@@ -1,0 +1,141 @@
+// Ablation: section 3's claim that "VPP scaling is complementary to existing
+// mitigation mechanisms ... and can reduce their overheads", quantified.
+//
+// For one module, at nominal VPP and at its VPPmin, sweep the strength of
+// two controller-side defenses against a fixed double-sided attack and find
+// the cheapest setting that still prevents every bit flip:
+//   * Graphene: the maximum safe counter threshold (higher = smaller/cheaper
+//     counter tables and fewer preventive refreshes);
+//   * PARA: the minimum safe refresh probability (lower = fewer extra ACTs).
+// Because HCfirst rises at reduced VPP, both defenses can be dialed down.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "memctrl/controller.hpp"
+
+namespace {
+
+using namespace vppstudy;
+
+struct AttackResult {
+  bool protected_ok = false;
+  std::uint64_t preventive_refreshes = 0;
+};
+
+AttackResult run_attack(const dram::ModuleProfile& profile, double vpp,
+                        std::unique_ptr<memctrl::MitigationPolicy> policy,
+                        std::uint64_t acts_per_aggressor) {
+  AttackResult out;
+  softmc::Session session(profile);
+  if (!session.set_vpp(vpp).ok()) return out;
+  memctrl::ControllerOptions opts;
+  opts.auto_refresh = false;
+  opts.use_secded = false;
+  memctrl::MemoryController mc(session, opts, std::move(policy));
+
+  const std::uint32_t victim = 1500;
+  const auto n = session.module().mapping().physical_neighbors(victim);
+  memctrl::Request wr;
+  wr.kind = memctrl::Request::Kind::kWrite;
+  wr.data.fill(0xAA);
+  for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
+    wr.address = {0, victim, c};
+    (void)mc.execute(wr);
+  }
+  memctrl::Request rd;
+  rd.kind = memctrl::Request::Kind::kRead;
+  for (std::uint64_t i = 0; i < acts_per_aggressor; ++i) {
+    rd.address = {0, n.below, 0};
+    (void)mc.execute(rd);
+    rd.address = {0, n.above, 0};
+    (void)mc.execute(rd);
+  }
+  out.preventive_refreshes = mc.stats().mitigative_refreshes;
+
+  std::array<std::uint8_t, 8> expected{};
+  expected.fill(0xAA);
+  out.protected_ok = true;
+  for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
+    rd.address = {0, victim, c};
+    auto r = mc.execute(rd);
+    if (!r.has_value() || r->data != expected) {
+      out.protected_ok = false;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 8192;
+  constexpr std::uint64_t kAttackActs = 60'000;
+
+  std::printf(
+      "# Ablation: mitigation overhead vs VPP (module B3, %llu ACTs per "
+      "aggressor)\n\n",
+      static_cast<unsigned long long>(kAttackActs));
+
+  for (const double vpp : {2.5, profile.vppmin_v}) {
+    std::printf("VPP = %.1fV (module-min HCfirst anchor: %.0f)\n", vpp,
+                vpp > 2.4 ? profile.hc_first_nominal
+                          : profile.hc_first_vppmin);
+
+    // Graphene: find the largest safe threshold.
+    std::uint64_t best_threshold = 0;
+    std::uint64_t best_refreshes = 0;
+    // The safe threshold tracks the victim's HCfirst (its neighbors get a
+    // preventive refresh roughly every T activations).
+    for (const std::uint64_t threshold :
+         {8000ULL, 16000ULL, 24000ULL, 32000ULL, 40000ULL, 48000ULL,
+          56000ULL, 64000ULL}) {
+      const auto r = run_attack(
+          profile, vpp,
+          std::make_unique<memctrl::Graphene>(profile.banks, 16, threshold),
+          kAttackActs);
+      if (r.protected_ok) {
+        best_threshold = threshold;
+        best_refreshes = r.preventive_refreshes;
+      }
+    }
+    std::printf(
+        "  graphene: max safe threshold %llu (preventive refreshes: %llu)\n",
+        static_cast<unsigned long long>(best_threshold),
+        static_cast<unsigned long long>(best_refreshes));
+
+    // PARA: find the smallest probability that survives 8 independent
+    // trials (PARA's protection is probabilistic, so a single lucky run
+    // proves nothing).
+    double best_p = 1.0;
+    std::uint64_t para_refreshes = 0;
+    for (const double p : {1.0 / 32768, 1.0 / 24576, 1.0 / 16384,
+                           1.0 / 12288, 1.0 / 8192, 1.0 / 4096}) {
+      bool all_safe = true;
+      std::uint64_t refreshes = 0;
+      for (std::uint64_t trial = 0; trial < 8 && all_safe; ++trial) {
+        const auto r = run_attack(
+            profile, vpp,
+            std::make_unique<memctrl::Para>(p, 0x9a7a + trial), kAttackActs);
+        all_safe = r.protected_ok;
+        refreshes = r.preventive_refreshes;
+      }
+      if (all_safe) {
+        best_p = p;
+        para_refreshes = refreshes;
+        break;  // probabilities ascend: first safe one is the cheapest
+      }
+    }
+    std::printf("  para:     min safe probability 1/%.0f (preventive "
+                "refreshes: %llu)\n\n",
+                1.0 / best_p,
+                static_cast<unsigned long long>(para_refreshes));
+  }
+  std::printf(
+      "Takeaway: at VPPmin the same attack is defeated with a weaker (and "
+      "cheaper) policy\nsetting -- the composition benefit section 3 argues "
+      "for.\n");
+  return 0;
+}

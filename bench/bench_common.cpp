@@ -1,0 +1,101 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "chips/module_db.hpp"
+
+namespace vppstudy::bench {
+
+namespace {
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != v && parsed > 0) ? parsed : fallback;
+}
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v && parsed > 0.0) ? parsed : fallback;
+}
+}  // namespace
+
+BenchOptions options_from_env() {
+  BenchOptions opt;
+  opt.rows_per_chunk =
+      static_cast<std::uint32_t>(env_long("VPP_BENCH_ROWS", 4));
+  opt.iterations = static_cast<int>(env_long("VPP_BENCH_ITERS", 1));
+  opt.max_modules =
+      static_cast<std::size_t>(env_long("VPP_BENCH_MODULES", 30));
+  opt.vpp_step = env_double("VPP_BENCH_STEP", 0.2);
+  return opt;
+}
+
+std::vector<double> vpp_grid(double step) {
+  std::vector<double> grid;
+  for (double v = 2.5; v >= 1.4 - 1e-9; v -= step) grid.push_back(v);
+  return grid;
+}
+
+core::SweepConfig sweep_config(const BenchOptions& opt) {
+  core::SweepConfig cfg;
+  cfg.vpp_levels = vpp_grid(opt.vpp_step);
+  cfg.sampling.chunks = opt.chunks;
+  cfg.sampling.rows_per_chunk = opt.rows_per_chunk;
+  cfg.hammer.num_iterations = opt.iterations;
+  cfg.trcd.num_iterations = opt.iterations;
+  cfg.trcd.column_stride = 64;
+  cfg.retention.num_iterations = 1;
+  return cfg;
+}
+
+std::vector<core::ModuleSweepResult> run_rowhammer_all(
+    const BenchOptions& opt) {
+  std::vector<core::ModuleSweepResult> sweeps;
+  const auto cfg = sweep_config(opt);
+  std::size_t done = 0;
+  for (const auto& profile : chips::all_profiles()) {
+    if (done >= opt.max_modules) break;
+    core::Study study(profile);
+    auto sweep = study.rowhammer_sweep(cfg);
+    if (!sweep) {
+      std::fprintf(stderr, "module %s failed: %s\n", profile.name.c_str(),
+                   sweep.error().message.c_str());
+      continue;
+    }
+    sweeps.push_back(std::move(*sweep));
+    ++done;
+  }
+  return sweeps;
+}
+
+void print_scale_banner(const std::string& what, const BenchOptions& opt) {
+  std::printf(
+      "# %s\n"
+      "# scale: %u rows/module (paper: 4096), %d iteration(s) (paper: 10), "
+      "%zu module(s), %.2fV steps (paper: 0.1V)\n"
+      "# override via VPP_BENCH_ROWS / VPP_BENCH_ITERS / VPP_BENCH_MODULES / "
+      "VPP_BENCH_STEP\n",
+      what.c_str(), opt.rows_per_chunk * opt.chunks, opt.iterations,
+      opt.max_modules, opt.vpp_step);
+}
+
+void print_series(const std::string& label, std::span<const double> x,
+                  std::span<const double> y, std::span<const double> lo,
+                  std::span<const double> hi) {
+  std::printf("%s\n", label.c_str());
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (i < lo.size() && i < hi.size()) {
+      std::printf("  %8.3f  %12.6g  [%12.6g, %12.6g]\n", x[i], y[i], lo[i],
+                  hi[i]);
+    } else {
+      std::printf("  %8.3f  %12.6g\n", x[i], y[i]);
+    }
+  }
+}
+
+}  // namespace vppstudy::bench

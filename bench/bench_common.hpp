@@ -1,0 +1,53 @@
+// Shared plumbing for the reproduction benches: common sweep drivers, text
+// rendering of figure series, and environment knobs so a user can trade
+// fidelity for runtime (VPP_BENCH_ROWS, VPP_BENCH_MODULES, ...).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chips/module_db.hpp"
+#include "core/study.hpp"
+#include "dram/profile.hpp"
+
+namespace vppstudy::bench {
+
+/// Environment-tunable knobs shared by all bench binaries.
+struct BenchOptions {
+  std::uint32_t rows_per_chunk = 4;   ///< x4 chunks => rows per module
+  std::uint32_t chunks = 4;
+  int iterations = 1;
+  std::size_t max_modules = 30;
+  double vpp_step = 0.2;              ///< figure sweeps: 2.5 down in steps
+};
+
+/// Read overrides from the environment:
+///   VPP_BENCH_ROWS     rows per chunk (default 4; paper: 1024)
+///   VPP_BENCH_ITERS    iterations (default 1; paper: 10)
+///   VPP_BENCH_MODULES  number of modules (default 30)
+///   VPP_BENCH_STEP     VPP step in volts (default 0.2; paper: 0.1)
+[[nodiscard]] BenchOptions options_from_env();
+
+/// VPP grid from 2.5 down to 1.4 in `step` volt steps.
+[[nodiscard]] std::vector<double> vpp_grid(double step);
+
+/// Sweep config assembled from bench options.
+[[nodiscard]] core::SweepConfig sweep_config(const BenchOptions& opt);
+
+/// Run the RowHammer sweep for the first `max_modules` profiles.
+[[nodiscard]] std::vector<core::ModuleSweepResult> run_rowhammer_all(
+    const BenchOptions& opt);
+
+/// Print a one-line banner describing the bench scale vs the paper's.
+void print_scale_banner(const std::string& what, const BenchOptions& opt);
+
+/// Render one series as a fixed-width table row block:
+///   label, then (x, y, [lo, hi]) lines.
+void print_series(const std::string& label, std::span<const double> x,
+                  std::span<const double> y,
+                  std::span<const double> lo = {},
+                  std::span<const double> hi = {});
+
+}  // namespace vppstudy::bench

@@ -1,0 +1,53 @@
+// Methodology check (section 4.1): the study deliberately tests DIMMs
+// *without* ECC because on-die ECC silently corrects single-bit flips and
+// would distort every RowHammer metric. This bench runs the same Alg. 1
+// measurement against the same module with and without a modeled on-die
+// SEC code and shows how badly the visible BER and HCfirst are skewed.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/rowhammer_test.hpp"
+
+int main() {
+  using namespace vppstudy;
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 8192;
+  constexpr std::uint32_t kRows = 12;
+
+  std::printf("# Methodology: why the study tests non-ECC DIMMs "
+              "(module B3, %u rows)\n\n", kRows);
+  std::printf("%-12s %14s %14s %14s\n", "on-die ECC", "min HCfirst",
+              "mean BER@300K", "corrections");
+
+  for (const bool ecc : {false, true}) {
+    auto p = profile;
+    p.has_ondie_ecc = ecc;
+    softmc::Session session(p);
+    session.set_auto_refresh(false);
+    harness::RowHammerConfig cfg;
+    cfg.num_iterations = 1;
+    harness::RowHammerTest test(session, cfg);
+
+    std::uint64_t min_hc = ~0ULL;
+    double ber_sum = 0.0;
+    std::uint32_t measured = 0;
+    for (std::uint32_t r = 100; measured < kRows; r += 29) {
+      auto rr = test.test_row(0, r, dram::DataPattern::kCheckerAA);
+      if (!rr) continue;
+      min_hc = std::min(min_hc, rr->hc_first);
+      ber_sum += rr->ber;
+      ++measured;
+    }
+    std::printf("%-12s %14llu %14.3e %14llu\n", ecc ? "enabled" : "disabled",
+                static_cast<unsigned long long>(min_hc), ber_sum / measured,
+                static_cast<unsigned long long>(
+                    session.module().stats().ondie_ecc_corrections));
+  }
+
+  std::printf(
+      "\nWith on-die SEC enabled the visible BER collapses (singles are "
+      "eaten per 64-bit\ndevice word) and the apparent HCfirst inflates -- "
+      "any characterization through an\nECC DIMM would understate the true "
+      "vulnerability, which is why section 4.1 rules\nthem out.\n");
+  return 0;
+}

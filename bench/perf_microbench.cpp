@@ -1,0 +1,88 @@
+// Performance microbenchmarks (google-benchmark) for the hot paths of the
+// simulation stack: counter-RNG synthesis, whole-row flip evaluation,
+// Alg. 1's measure_BER, the circuit solver, and dense LU.
+#include <benchmark/benchmark.h>
+
+#include "chips/module_db.hpp"
+#include "circuit/dram_cell.hpp"
+#include "circuit/matrix.hpp"
+#include "common/rng.hpp"
+#include "harness/rowhammer_test.hpp"
+#include "softmc/session.hpp"
+
+namespace {
+
+using namespace vppstudy;
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = common::mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_CellUniform(benchmark::State& state) {
+  const dram::CellPhysics phys(chips::profile_by_name("B3").value());
+  std::uint32_t bit = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phys.cell_uniform(
+        0, 500, bit++, dram::CellPhysics::CellDraw::kHammer));
+  }
+}
+BENCHMARK(BM_CellUniform);
+
+void BM_RowParams(benchmark::State& state) {
+  const dram::CellPhysics phys(chips::profile_by_name("B3").value());
+  std::uint32_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phys.row_params(0, row++ % 4096));
+  }
+}
+BENCHMARK(BM_RowParams);
+
+void BM_MeasureBer(benchmark::State& state) {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 4096;
+  softmc::Session session(profile);
+  harness::RowHammerConfig cfg;
+  cfg.num_iterations = 1;
+  harness::RowHammerTest test(session, cfg);
+  for (auto _ : state) {
+    auto ber = test.measure_ber(0, 500, dram::DataPattern::kCheckerAA,
+                                static_cast<std::uint64_t>(state.range(0)));
+    benchmark::DoNotOptimize(ber);
+  }
+}
+BENCHMARK(BM_MeasureBer)->Arg(1000)->Arg(300000);
+
+void BM_CircuitActivation(benchmark::State& state) {
+  circuit::DramCellSimParams p;
+  p.t_stop_ns = 30.0;
+  for (auto _ : state) {
+    auto r = circuit::simulate_activation(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CircuitActivation);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    circuit::Matrix a(n);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      b[r] = rng.uniform();
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform() + (r == c);
+    }
+    std::vector<double> x;
+    benchmark::DoNotOptimize(circuit::lu_solve(a, b, x));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(9)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 1: summary of the tested DDR4 DRAM chips per manufacturer.
+#include <cstdio>
+#include <map>
+
+#include "chips/module_db.hpp"
+
+int main() {
+  using namespace vppstudy;
+  std::printf("Table 1: Summary of the tested DDR4 DRAM chips\n");
+  std::printf("%-22s %7s %7s %8s %8s %5s %7s\n", "Mfr.", "#DIMMs", "#Chips",
+              "Density", "Die Rev.", "Org.", "Date");
+
+  // Group rows exactly as the paper does: (mfr, density, die rev, org, date).
+  struct Key {
+    dram::Manufacturer mfr;
+    int density;
+    std::string rev;
+    int org;
+    std::string date;
+    bool operator<(const Key& o) const {
+      return std::tie(mfr, density, rev, org, date) <
+             std::tie(o.mfr, o.density, o.rev, o.org, o.date);
+    }
+  };
+  std::map<Key, std::pair<int, int>> groups;  // -> (dimms, chips)
+  for (const auto& p : chips::all_profiles()) {
+    Key k{p.mfr, p.density_gbit, p.die_revision, p.org_width, p.mfr_date};
+    auto& [dimms, n_chips] = groups[k];
+    ++dimms;
+    n_chips += p.num_chips;
+  }
+  dram::Manufacturer last = dram::Manufacturer::kMfrC;
+  bool first = true;
+  int total_chips = 0;
+  int total_dimms = 0;
+  for (const auto& [k, v] : groups) {
+    const bool new_mfr = first || k.mfr != last;
+    std::printf("%-22s %7d %7d %6dGb %8s   x%-3d %7s\n",
+                new_mfr ? dram::manufacturer_name(k.mfr) : "", v.first,
+                v.second, k.density, k.rev.c_str(), k.org, k.date.c_str());
+    last = k.mfr;
+    first = false;
+    total_chips += v.second;
+    total_dimms += v.first;
+  }
+  std::printf("%-22s %7d %7d   (paper: 30 DIMMs, 272 chips)\n", "Total",
+              total_dimms, total_chips);
+  return 0;
+}

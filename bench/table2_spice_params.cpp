@@ -1,0 +1,34 @@
+// Table 2: key parameters of the SPICE model, printed from the actual
+// defaults the circuit simulator uses (so the table can never drift from
+// the code), plus a sanity DC check of the cell's restored level.
+#include <cstdio>
+
+#include "circuit/dram_cell.hpp"
+
+int main() {
+  using namespace vppstudy::circuit;
+  const DramCellSimParams p;
+
+  std::printf("Table 2: Key parameters used in SPICE simulations\n");
+  std::printf("%-20s %s\n", "Component", "Parameters");
+  std::printf("%-20s C: %.1f fF, R: %.0f Ohm\n", "DRAM Cell",
+              p.cell_c_f * 1e15, p.cell_r_ohm);
+  std::printf("%-20s C: %.1f fF, R: %.0f Ohm\n", "Bitline",
+              p.bitline_c_f * 1e15, p.bitline_r_ohm);
+  std::printf("%-20s W: %.0f nm, L: %.0f nm\n", "Cell Access NMOS",
+              p.access_nmos.w_m * 1e9, p.access_nmos.l_m * 1e9);
+  std::printf("%-20s W: %.1f um, L: %.1f um\n", "Sense Amp. NMOS",
+              p.sa_nmos.w_m * 1e6, p.sa_nmos.l_m * 1e6);
+  std::printf("%-20s W: %.1f um, L: %.1f um\n", "Sense Amp. PMOS",
+              p.sa_pmos.w_m * 1e6, p.sa_pmos.l_m * 1e6);
+  std::printf("\nOperating points: VDD = %.2fV, nominal VPP = %.2fV\n",
+              p.vdd_v, p.vpp_v);
+  std::printf("Restored cell level vs VPP (Obsv. 10 anchor points):\n");
+  for (double vpp : {2.5, 2.0, 1.9, 1.8, 1.7}) {
+    DramCellSimParams q = p;
+    q.vpp_v = vpp;
+    std::printf("  VPP=%.1fV -> Vcell(sat) = %.3fV\n", vpp,
+                steady_state_cell_voltage(q));
+  }
+  return 0;
+}

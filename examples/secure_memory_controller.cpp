@@ -1,0 +1,92 @@
+// Secure memory controller demo: combine the paper's findings into a
+// defense-in-depth configuration and pit it against a double-sided
+// RowHammer attacker.
+//
+//   baseline:  nominal VPP, refresh disabled            -> flips land
+//   defended:  reduced VPP (weaker disturbance) +
+//              regular refresh (enables in-DRAM TRR) +
+//              rank-level SECDED scrubbing              -> attack blunted
+//
+// Usage: ./build/examples/secure_memory_controller
+#include <cstdio>
+
+#include "chips/module_db.hpp"
+#include "dram/data_pattern.hpp"
+#include "ecc/secded.hpp"
+#include "ecc/word_census.hpp"
+#include "softmc/session.hpp"
+
+namespace {
+
+using namespace vppstudy;
+
+struct AttackOutcome {
+  std::uint64_t flipped_bits = 0;
+  std::uint64_t uncorrectable_words = 0;  // after SECDED (when enabled)
+  std::uint64_t trr_mitigations = 0;
+};
+
+AttackOutcome run_attack(bool defended) {
+  auto profile = chips::profile_by_name("B3").value();
+  softmc::Session session(profile);
+  session.set_auto_refresh(defended);  // defended controller refreshes
+  if (defended) {
+    // Table 3's recommended operating point for B3 is its VPPmin, 1.6V.
+    (void)session.set_vpp(chips::recommended_vpp(profile));
+  }
+
+  const std::uint32_t victim = 1500;
+  const auto n = session.module().mapping().physical_neighbors(victim);
+  const auto image =
+      dram::pattern_row(dram::DataPattern::kCheckerAA, dram::kBytesPerRow);
+  const auto agg = dram::pattern_row(dram::DataPattern::kChecker55,
+                                     dram::kBytesPerRow);
+  (void)session.init_row(0, victim, image);
+  (void)session.init_row(0, n.below, agg);
+  (void)session.init_row(0, n.above, agg);
+
+  // The attacker hammers in bursts; a real controller interleaves its
+  // refresh stream (tREFI) with the attacker's activations.
+  for (int burst = 0; burst < 30; ++burst) {
+    (void)session.hammer_double_sided(0, n.below, n.above, 10'000);
+    if (defended) (void)session.wait_ms(0.2);  // ~25 REFs via auto-refresh
+  }
+
+  AttackOutcome out;
+  auto observed = session.read_row(0, victim, 30.0);
+  if (!observed) return out;
+  const auto census = ecc::census_row(image, *observed);
+  out.flipped_bits = census.flipped_bits;
+  out.uncorrectable_words = defended ? census.multi_bit_words
+                                     : census.erroneous_words();
+  out.trr_mitigations = session.module().stats().trr_mitigations;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("double-sided RowHammer, 300K activations per aggressor\n\n");
+
+  const AttackOutcome baseline = run_attack(/*defended=*/false);
+  std::printf("baseline   (VPP=2.5V, no refresh, no ECC):\n");
+  std::printf("  flipped bits: %llu, exploitable words: %llu\n\n",
+              static_cast<unsigned long long>(baseline.flipped_bits),
+              static_cast<unsigned long long>(baseline.uncorrectable_words));
+
+  const AttackOutcome defended = run_attack(/*defended=*/true);
+  std::printf("defended   (VPP=1.6V + refresh/TRR + SECDED):\n");
+  std::printf("  flipped bits: %llu, TRR mitigations fired: %llu,\n"
+              "  words SECDED cannot repair: %llu\n\n",
+              static_cast<unsigned long long>(defended.flipped_bits),
+              static_cast<unsigned long long>(defended.trr_mitigations),
+              static_cast<unsigned long long>(defended.uncorrectable_words));
+
+  if (defended.uncorrectable_words == 0 && baseline.uncorrectable_words > 0) {
+    std::printf("attack blunted: VPP scaling composes with existing "
+                "defenses (section 3's key argument).\n");
+    return 0;
+  }
+  std::printf("unexpected outcome -- inspect the defense configuration.\n");
+  return 1;
+}

@@ -1,0 +1,58 @@
+// Circuit-level exploration: run the Table 2 cell/bitline/sense-amp netlist
+// through the built-in SPICE-class solver and dump activation waveforms as
+// CSV for plotting (Fig. 8a/9a style).
+//
+// Usage: ./build/examples/spice_waveforms [out.csv]   (default: stdout)
+#include <cstdio>
+#include <string>
+
+#include "circuit/dram_cell.hpp"
+#include "common/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vppstudy;
+
+  const double levels[] = {2.5, 2.1, 1.9, 1.8, 1.7};
+  std::vector<circuit::ActivationResult> results;
+  for (const double vpp : levels) {
+    circuit::DramCellSimParams p;
+    p.vpp_v = vpp;
+    auto r = circuit::simulate_activation(p);
+    if (!r) {
+      std::fprintf(stderr, "simulation failed at VPP=%.1fV: %s\n", vpp,
+                   r.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "VPP=%.1fV: tRCDmin=%.2fns tRASmin=%.2fns Vcell=%.3fV %s\n",
+                 vpp, r->t_rcd_min_ns, r->t_ras_min_ns, r->v_cell_final,
+                 r->reliable ? "reliable" : "UNRELIABLE");
+    results.push_back(std::move(*r));
+  }
+
+  std::vector<std::string> header{"t_ns"};
+  for (const double vpp : levels) {
+    header.push_back("bitline_" + std::to_string(vpp).substr(0, 3) + "V");
+    header.push_back("cell_" + std::to_string(vpp).substr(0, 3) + "V");
+  }
+  common::CsvWriter csv(header);
+  for (std::size_t i = 0; i < results[0].t_ns.size(); i += 8) {
+    csv.begin_row();
+    csv.add(results[0].t_ns[i]);
+    for (const auto& r : results) {
+      csv.add(r.v_bitline[i]);
+      csv.add(r.v_cell[i]);
+    }
+  }
+
+  if (argc > 1) {
+    if (!csv.write_file(argv[1])) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu samples)\n", argv[1], csv.row_count());
+  } else {
+    std::fputs(csv.str().c_str(), stdout);
+  }
+  return 0;
+}

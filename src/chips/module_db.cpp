@@ -1,0 +1,220 @@
+#include "chips/module_db.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::chips {
+
+using dram::Manufacturer;
+using dram::ModuleProfile;
+using dram::RetentionWeakClass;
+
+namespace {
+
+std::uint32_t rows_for_density(int density_gbit) {
+  switch (density_gbit) {
+    case 4: return 32768;
+    case 16: return 131072;
+    case 8:
+    default: return 65536;
+  }
+}
+
+/// Compact row of Table 3 data.
+struct Row {
+  const char* name;
+  const char* model;
+  Manufacturer mfr;
+  int chips;
+  int density;      // Gbit
+  int freq;         // MT/s
+  int width;        // x4 / x8
+  const char* rev;  // die revision, "-" unknown
+  const char* date; // week-year, "-" unknown
+  double hc_nom;    // min HCfirst at 2.5V
+  double ber_nom;   // BER at 300K, 2.5V
+  double vppmin;
+  double hc_min;    // min HCfirst at VPPmin
+  double ber_min;   // BER at VPPmin
+  double vpp_rec;
+  double trcd0;     // tRCDmin at 2.5V [ns]
+  double trcd_slope;// growth to VPPmin [ns]
+};
+
+// Table 3 verbatim (RowHammer columns) plus the tRCD model calibrated to
+// Fig. 7: A0-A2 exceed nominal tRCD (fixed by 24ns), B2/B5 exceed it
+// slightly (fixed by 15ns), everyone else stays inside the guardband.
+constexpr Row kRows[] = {
+    {"A0", "MTA18ASF2G72PZ-2G3B1QK", Manufacturer::kMfrA, 16, 8, 2400, 4, "B",
+     "11-19", 39.8e3, 1.24e-3, 1.4, 42.2e3, 1.00e-3, 1.4, 12.7, 8.0},
+    {"A1", "MTA18ASF2G72PZ-2G3B1QK", Manufacturer::kMfrA, 16, 8, 2400, 4, "B",
+     "11-19", 42.2e3, 9.90e-4, 1.4, 46.4e3, 7.83e-4, 1.4, 12.8, 7.0},
+    {"A2", "MTA18ASF2G72PZ-2G3B1QK", Manufacturer::kMfrA, 16, 8, 2400, 4, "B",
+     "11-19", 41.0e3, 1.24e-3, 1.7, 39.8e3, 1.35e-3, 2.1, 12.6, 9.0},
+    {"A3", "CT4G4DFS8266.C8FF", Manufacturer::kMfrA, 8, 4, 2666, 8, "F",
+     "07-21", 16.7e3, 3.33e-2, 1.4, 16.5e3, 3.52e-2, 1.7, 11.1, 0.4},
+    {"A4", "CT4G4DFS8266.C8FF", Manufacturer::kMfrA, 8, 4, 2666, 8, "F",
+     "07-21", 14.4e3, 3.18e-2, 1.5, 14.4e3, 3.33e-2, 2.5, 11.0, 0.4},
+    {"A5", "CT4G4SFS8213.C8FBD1", Manufacturer::kMfrA, 8, 4, 2400, 8, "-",
+     "48-16", 140.7e3, 1.39e-6, 2.4, 145.4e3, 3.39e-6, 2.4, 10.6, 0.3},
+    {"A6", "CT4G4DFS8266.C8FF", Manufacturer::kMfrA, 8, 4, 2666, 8, "F",
+     "07-21", 16.5e3, 3.50e-2, 1.5, 16.5e3, 3.66e-2, 2.5, 11.1, 0.45},
+    {"A7", "CMV4GX4M1A2133C15", Manufacturer::kMfrA, 8, 4, 2133, 8, "-",
+     "-", 16.5e3, 3.42e-2, 1.8, 16.5e3, 3.52e-2, 2.5, 11.2, 0.4},
+    {"A8", "MTA18ASF2G72PZ-2G3B1QG", Manufacturer::kMfrA, 16, 8, 2400, 4, "B",
+     "11-19", 35.2e3, 2.38e-3, 1.4, 39.8e3, 2.07e-3, 1.4, 11.2, 0.9},
+    {"A9", "CMV4GX4M1A2133C15", Manufacturer::kMfrA, 8, 4, 2133, 8, "-",
+     "-", 14.3e3, 3.33e-2, 1.5, 14.3e3, 3.48e-2, 1.6, 10.9, 0.4},
+
+    {"B0", "M378A1K43DB2-CTD", Manufacturer::kMfrB, 8, 8, 2666, 8, "D",
+     "10-21", 7.9e3, 1.18e-1, 2.0, 7.6e3, 1.22e-1, 2.5, 11.0, 0.45},
+    {"B1", "M378A1K43DB2-CTD", Manufacturer::kMfrB, 8, 8, 2666, 8, "D",
+     "10-21", 7.3e3, 1.26e-1, 2.0, 7.6e3, 1.28e-1, 2.0, 11.0, 0.4},
+    {"B2", "F4-2400C17S-8GNT", Manufacturer::kMfrB, 8, 4, 2400, 8, "F",
+     "02-21", 11.2e3, 2.52e-2, 1.6, 12.0e3, 2.22e-2, 1.6, 12.9, 1.8},
+    {"B3", "M393A1K43BB1-CTD6Y", Manufacturer::kMfrB, 8, 8, 2666, 8, "B",
+     "52-20", 16.6e3, 2.73e-3, 1.6, 21.1e3, 1.09e-3, 1.6, 11.1, 0.5},
+    {"B4", "M393A1K43BB1-CTD6Y", Manufacturer::kMfrB, 8, 8, 2666, 8, "B",
+     "52-20", 21.0e3, 2.95e-3, 1.8, 19.9e3, 2.52e-3, 2.0, 11.2, 0.45},
+    {"B5", "M471A5143EB0-CPB", Manufacturer::kMfrB, 8, 4, 2133, 8, "E",
+     "08-17", 21.0e3, 7.78e-3, 1.8, 21.0e3, 6.02e-3, 2.0, 12.8, 1.9},
+    {"B6", "CMK16GX4M2B3200C16", Manufacturer::kMfrB, 8, 8, 3200, 8, "-",
+     "-", 10.3e3, 1.14e-2, 1.7, 10.5e3, 9.82e-3, 1.7, 11.2, 0.9},
+    {"B7", "M378A1K43DB2-CTD", Manufacturer::kMfrB, 8, 8, 2666, 8, "D",
+     "10-21", 7.3e3, 1.32e-1, 2.0, 7.6e3, 1.33e-1, 2.0, 11.0, 0.35},
+    {"B8", "CMK16GX4M2B3200C16", Manufacturer::kMfrB, 8, 8, 3200, 8, "-",
+     "-", 11.6e3, 2.88e-2, 1.7, 10.5e3, 2.37e-2, 1.8, 11.2, 0.85},
+    {"B9", "M471A5244CB0-CRC", Manufacturer::kMfrB, 8, 8, 2133, 8, "C",
+     "19-19", 11.8e3, 2.68e-2, 1.7, 8.8e3, 2.39e-2, 1.8, 11.1, 0.8},
+
+    {"C0", "F4-2400C17S-8GNT", Manufacturer::kMfrC, 8, 4, 2400, 8, "B",
+     "02-21", 19.3e3, 7.29e-3, 1.7, 23.4e3, 6.61e-3, 1.7, 11.0, 0.45},
+    {"C1", "F4-2400C17S-8GNT", Manufacturer::kMfrC, 8, 4, 2400, 8, "B",
+     "02-21", 19.3e3, 6.31e-3, 1.7, 20.6e3, 5.90e-3, 1.7, 11.1, 0.4},
+    {"C2", "KSM32RD8/16HDR", Manufacturer::kMfrC, 8, 8, 3200, 8, "D",
+     "48-20", 9.6e3, 2.82e-2, 1.5, 9.2e3, 2.34e-2, 2.3, 11.2, 0.5},
+    {"C3", "KSM32RD8/16HDR", Manufacturer::kMfrC, 8, 8, 3200, 8, "D",
+     "48-20", 9.3e3, 2.57e-2, 1.5, 8.9e3, 2.21e-2, 2.3, 11.1, 0.45},
+    {"C4", "HMAA4GU6AJR8N-XN", Manufacturer::kMfrC, 8, 16, 3200, 8, "A",
+     "51-20", 11.6e3, 3.22e-2, 1.5, 11.7e3, 2.88e-2, 1.5, 11.2, 0.9},
+    {"C5", "HMAA4GU6AJR8N-XN", Manufacturer::kMfrC, 8, 16, 3200, 8, "A",
+     "51-20", 9.4e3, 3.28e-2, 1.5, 12.7e3, 2.85e-2, 1.5, 11.2, 0.85},
+    {"C6", "CMV4GX4M1A2133C15", Manufacturer::kMfrC, 8, 4, 2133, 8, "C",
+     "-", 14.2e3, 3.08e-2, 1.6, 15.5e3, 2.25e-2, 1.6, 10.8, 0.4},
+    {"C7", "CMV4GX4M1A2133C15", Manufacturer::kMfrC, 8, 4, 2133, 8, "C",
+     "-", 11.7e3, 3.24e-2, 1.6, 13.6e3, 2.60e-2, 1.6, 10.9, 0.35},
+    {"C8", "KSM32RD8/16HDR", Manufacturer::kMfrC, 8, 8, 3200, 8, "D",
+     "48-20", 11.4e3, 2.69e-2, 1.6, 9.5e3, 2.57e-2, 2.5, 11.1, 0.45},
+    {"C9", "F4-2400C17S-8GNT", Manufacturer::kMfrC, 8, 4, 2400, 8, "B",
+     "02-21", 12.6e3, 2.18e-2, 1.7, 15.2e3, 1.63e-2, 1.7, 11.0, 0.4},
+};
+
+/// Retention medians at 80C / 2.5V calibrated so Fig. 10b's per-vendor mean
+/// BER at tREFW = 4s comes out at 0.3% / 0.2% / 1.4% (2.5V) rising to
+/// 0.8% / 0.5% / 2.5% (1.5V); see DESIGN.md section 5.
+double ret_mu_for(Manufacturer mfr) {
+  switch (mfr) {
+    case Manufacturer::kMfrA: return 4.12;
+    case Manufacturer::kMfrB: return 4.22;
+    case Manufacturer::kMfrC: return 3.54;
+  }
+  return 4.1;
+}
+
+bool is_one_of(std::string_view name, std::initializer_list<const char*> set) {
+  return std::any_of(set.begin(), set.end(),
+                     [&](const char* s) { return name == s; });
+}
+
+ModuleProfile make_profile(const Row& r) {
+  ModuleProfile p;
+  p.name = r.name;
+  p.dimm_model = r.model;
+  p.mfr = r.mfr;
+  p.num_chips = r.chips;
+  p.density_gbit = r.density;
+  p.org_width = r.width;
+  p.die_revision = r.rev;
+  p.mfr_date = r.date;
+  p.frequency_mts = r.freq;
+  p.rows_per_bank = rows_for_density(r.density);
+  p.hc_first_nominal = r.hc_nom;
+  p.ber_nominal = r.ber_nom;
+  p.vppmin_v = r.vppmin;
+  p.hc_first_vppmin = r.hc_min;
+  p.ber_vppmin = r.ber_min;
+  p.vpp_rec_v = r.vpp_rec;
+  p.trcd0_ns = r.trcd0;
+  p.trcd_vpp_slope_ns = r.trcd_slope;
+  p.ret_mu_log_s = ret_mu_for(r.mfr);
+  p.seed = common::hash_key({0x56505053ULL /* "VPPS" */,
+                             common::mix64(static_cast<std::uint64_t>(
+                                 r.name[0]) << 8 |
+                                 static_cast<std::uint64_t>(r.name[1]))});
+
+  // Post-manufacturing row repairs: every DIMM ships with a few fused-out
+  // rows remapped to spares near the top of the bank (deterministic per
+  // module; the adjacency harness has to discover these the hard way).
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    dram::RowRepair rep;
+    rep.logical_row = static_cast<std::uint32_t>(
+        common::hash_key({p.seed, i, 0x5e9a17ULL}) %
+        (p.rows_per_bank - 64)) + 32;
+    rep.spare_physical = p.rows_per_bank - 4 - 2 * i;
+    p.row_repairs.push_back(rep);
+  }
+
+  // Retention-weak row classes (Obsv. 13/15, Fig. 11). Only B6/B8/B9 and
+  // C1/C3/C5/C9 exhibit 64ms failures at VPPmin; every vendor contributes a
+  // small 128ms class.
+  if (is_one_of(p.name, {"B6", "B8", "B9"})) {
+    p.weak_64ms = RetentionWeakClass{0.155, 4, 34.0, 62.0};
+    p.weak_64ms_b = RetentionWeakClass{0.0001, 116, 34.0, 62.0};
+  } else if (is_one_of(p.name, {"C1", "C3", "C5", "C9"})) {
+    p.weak_64ms = RetentionWeakClass{0.002, 1, 34.0, 62.0};
+  }
+  switch (p.mfr) {
+    case Manufacturer::kMfrA:
+      p.weak_128ms = RetentionWeakClass{0.001, 1, 70.0, 126.0};
+      break;
+    case Manufacturer::kMfrB:
+      p.weak_128ms = RetentionWeakClass{0.047, 2, 70.0, 126.0};
+      break;
+    case Manufacturer::kMfrC:
+      p.weak_128ms = RetentionWeakClass{0.002, 1, 70.0, 126.0};
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+const std::vector<ModuleProfile>& all_profiles() {
+  static const std::vector<ModuleProfile> kProfiles = [] {
+    std::vector<ModuleProfile> v;
+    v.reserve(std::size(kRows));
+    for (const Row& r : kRows) v.push_back(make_profile(r));
+    return v;
+  }();
+  return kProfiles;
+}
+
+std::optional<ModuleProfile> profile_by_name(std::string_view name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+int total_chip_count() {
+  int n = 0;
+  for (const auto& p : all_profiles()) n += p.num_chips;
+  return n;
+}
+
+double recommended_vpp(const dram::ModuleProfile& profile) {
+  return profile.vpp_rec_v;
+}
+
+}  // namespace vppstudy::chips

@@ -1,0 +1,27 @@
+// The 30 tested DIMMs of Table 3 (Appendix A), with their catalog data and
+// the measured RowHammer anchors at nominal VPP and VPPmin. These profiles
+// drive the device model so the harness re-measures the paper's numbers.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "dram/profile.hpp"
+
+namespace vppstudy::chips {
+
+/// All 30 module profiles (A0-A9, B0-B9, C0-C9), in Table 3 order.
+[[nodiscard]] const std::vector<dram::ModuleProfile>& all_profiles();
+
+/// Lookup by short name ("B3"); nullopt when unknown.
+[[nodiscard]] std::optional<dram::ModuleProfile> profile_by_name(
+    std::string_view name);
+
+/// Total number of DRAM chips across all profiles (the paper's 272).
+[[nodiscard]] int total_chip_count();
+
+/// Table 3's recommended operating point for a module (VPP_Rec).
+[[nodiscard]] double recommended_vpp(const dram::ModuleProfile& profile);
+
+}  // namespace vppstudy::chips

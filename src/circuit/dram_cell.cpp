@@ -1,0 +1,191 @@
+#include "circuit/dram_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vppstudy::circuit {
+
+double steady_state_cell_voltage(const DramCellSimParams& p) {
+  // Fixed-point iteration of v = min(VDD, VPP - Vth(vsb=v)); converges fast
+  // because dVth/dv < 1.
+  double v = p.vdd_v;
+  for (int i = 0; i < 64; ++i) {
+    const double vth = threshold_voltage(p.access_nmos, v);
+    const double next = std::min(p.vdd_v, p.vpp_v - vth);
+    if (std::abs(next - v) < 1e-9) return std::max(next, 0.0);
+    v = next;
+  }
+  return std::max(v, 0.0);
+}
+
+DramCellCircuit build_dram_cell_circuit(const DramCellSimParams& p) {
+  DramCellCircuit c;
+  Circuit& ckt = c.circuit;
+
+  c.bl0 = ckt.add_node("bl0");
+  c.blsa = ckt.add_node("blsa");
+  c.blb = ckt.add_node("blb");
+  c.celln = ckt.add_node("celln");
+  c.cellt = ckt.add_node("cellt");
+  c.wl = ckt.add_node("wl");
+  c.san = ckt.add_node("san");
+  c.sap = ckt.add_node("sap");
+
+  // Bitline as a pi-model: half the capacitance at each end, the full
+  // distributed resistance between the cell tap and the sense amplifier.
+  ckt.add_capacitor(c.bl0, kGround, p.bitline_c_f / 2.0);
+  ckt.add_capacitor(c.blsa, kGround, p.bitline_c_f / 2.0);
+  ckt.add_resistor(c.bl0, c.blsa, p.bitline_r_ohm);
+  // Reference bitline: lumped (no cell dumps charge on it).
+  ckt.add_capacitor(c.blb, kGround, p.bitline_c_f);
+
+  // Cell: access NMOS, series contact resistance, storage capacitor.
+  Mosfet access;
+  access.gate = c.wl;
+  access.drain = c.bl0;
+  access.source = c.celln;
+  access.bulk = kGround;
+  access.params = p.access_nmos;
+  ckt.add_mosfet(access);
+  ckt.add_resistor(c.celln, c.cellt, p.cell_r_ohm);
+  ckt.add_capacitor(c.cellt, kGround, p.cell_c_f);
+
+  // Sense amplifier: cross-coupled inverter pair between BLSA and BLB. The
+  // two NMOS thresholds are skewed by +/- half the mismatch to model
+  // sense-amplifier offset.
+  Mosfet n1;  // pulls BLSA toward SAN when BLB is high
+  n1.gate = c.blb;
+  n1.drain = c.blsa;
+  n1.source = c.san;
+  n1.bulk = kGround;
+  n1.params = p.sa_nmos;
+  n1.params.vt0 += p.sa_vt_mismatch_v / 2.0;
+  ckt.add_mosfet(n1);
+  Mosfet n2;
+  n2.gate = c.blsa;
+  n2.drain = c.blb;
+  n2.source = c.san;
+  n2.bulk = kGround;
+  n2.params = p.sa_nmos;
+  n2.params.vt0 -= p.sa_vt_mismatch_v / 2.0;
+  ckt.add_mosfet(n2);
+  Mosfet p1;  // pulls BLSA toward SAP when BLB is low
+  p1.gate = c.blb;
+  p1.drain = c.blsa;
+  p1.source = c.sap;
+  p1.bulk = c.sap;
+  p1.params = p.sa_pmos;
+  ckt.add_mosfet(p1);
+  Mosfet p2;
+  p2.gate = c.blsa;
+  p2.drain = c.blb;
+  p2.source = c.sap;
+  p2.bulk = c.sap;
+  p2.params = p.sa_pmos;
+  ckt.add_mosfet(p2);
+
+  // Stimulus sources.
+  const double half_vdd = p.vdd_v / 2.0;
+  const double ns = 1e-9;
+  ckt.add_voltage_source(
+      c.wl, kGround,
+      {{0.0, 0.0}, {p.wl_rise_ns * ns, p.vpp_v}});
+  ckt.add_voltage_source(
+      c.san, kGround,
+      {{0.0, half_vdd},
+       {p.sense_enable_ns * ns, half_vdd},
+       {(p.sense_enable_ns + p.sense_ramp_ns) * ns, 0.0}});
+  ckt.add_voltage_source(
+      c.sap, kGround,
+      {{0.0, half_vdd},
+       {p.sense_enable_ns * ns, half_vdd},
+       {(p.sense_enable_ns + p.sense_ramp_ns) * ns, p.vdd_v}});
+
+  // Initial conditions: precharged bitlines, stored cell level.
+  c.initial.assign(ckt.node_count(), 0.0);
+  const double cell_v =
+      p.initial_cell_v >= 0.0
+          ? p.initial_cell_v
+          : (p.cell_stores_one ? steady_state_cell_voltage(p) : 0.0);
+  c.initial[c.bl0] = half_vdd;
+  c.initial[c.blsa] = half_vdd;
+  c.initial[c.blb] = half_vdd;
+  c.initial[c.celln] = cell_v;
+  c.initial[c.cellt] = cell_v;
+  c.initial[c.wl] = 0.0;
+  c.initial[c.san] = half_vdd;
+  c.initial[c.sap] = half_vdd;
+  return c;
+}
+
+common::Expected<ActivationResult> simulate_activation(
+    const DramCellSimParams& p) {
+  DramCellCircuit c = build_dram_cell_circuit(p);
+  Solver solver(c.circuit);
+
+  TransientOptions opts;
+  opts.t_stop_s = p.t_stop_ns * 1e-9;
+  opts.dt_s = p.dt_ps * 1e-12;
+
+  const NodeId record[] = {c.blsa, c.blb, c.cellt};
+  auto wf = solver.transient(c.initial, opts, record);
+  if (!wf) return common::Error{wf.error().message};
+
+  ActivationResult res;
+  const auto& t_s = wf->t_s;
+  const auto bl = wf->trace(c.blsa);
+  const auto blb = wf->trace(c.blb);
+  const auto cell = wf->trace(c.cellt);
+  res.t_ns.reserve(t_s.size());
+  for (double t : t_s) res.t_ns.push_back(t * 1e9);
+  res.v_bitline.assign(bl.begin(), bl.end());
+  res.v_blb.assign(blb.begin(), blb.end());
+  res.v_cell.assign(cell.begin(), cell.end());
+
+  res.v_cell_final = res.v_cell.back();
+
+  // For a stored '1' the bitline must regenerate upward; a stored '0'
+  // mirrors downward. Normalize so the detection logic is shared.
+  const bool one = p.cell_stores_one;
+  const double vth =
+      one ? p.read_vth_frac * p.vdd_v : (1.0 - p.read_vth_frac) * p.vdd_v;
+
+  for (std::size_t i = 0; i < res.t_ns.size(); ++i) {
+    const bool crossed = one ? res.v_bitline[i] >= vth
+                             : res.v_bitline[i] <= vth;
+    if (crossed) {
+      res.t_rcd_min_ns = res.t_ns[i] + p.trcd_overhead_ns;
+      break;
+    }
+  }
+
+  // Restoration: within restore_band_frac of the final level, and staying
+  // there (scan backwards for the last point outside the band). The band is
+  // relative to the achievable final level: a VPP-limited cell completes its
+  // (shallower) restoration too.
+  const double band =
+      std::max(p.restore_band_frac * std::abs(res.v_cell_final), 1e-3);
+  std::size_t last_outside = 0;
+  bool any_outside = false;
+  for (std::size_t i = 0; i < res.v_cell.size(); ++i) {
+    if (std::abs(res.v_cell[i] - res.v_cell_final) > band) {
+      last_outside = i;
+      any_outside = true;
+    }
+  }
+  if (!any_outside) {
+    res.t_ras_min_ns = res.t_ns.front();
+  } else if (last_outside + 1 < res.t_ns.size()) {
+    res.t_ras_min_ns = res.t_ns[last_outside + 1];
+  }
+
+  // Reliability: correct regeneration direction, a crossed read threshold,
+  // and (for a stored '1') enough restored charge to sense again next time.
+  const double final_sep = res.v_bitline.back() - res.v_blb.back();
+  const bool correct_direction = one ? final_sep > 0.1 : final_sep < -0.1;
+  const bool restored_ok = !one || res.v_cell_final >= p.min_restored_v;
+  res.reliable = correct_direction && res.t_rcd_min_ns >= 0.0 && restored_ok;
+  return res;
+}
+
+}  // namespace vppstudy::circuit

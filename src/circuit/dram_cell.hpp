@@ -1,0 +1,128 @@
+// The DRAM cell / bitline / sense-amplifier circuit of Table 2, and the
+// activation + charge-restoration transient experiments behind Figs. 8 and 9.
+//
+// Topology (all values default to Table 2):
+//
+//   WL ----+                       SAP (pulses to VDD at sense enable)
+//          |                        |
+//         gate                   [P1][P2]  cross-coupled PMOS
+//   BL0 --[access NMOS]-- CELLN    |  |
+//    |         (R_cell) -- CELLT  BLSA--BLB
+//  C_bl/2        C_cell -- gnd     |  |
+//    |                           [N1][N2]  cross-coupled NMOS
+//   (R_bl to BLSA, C_bl/2 there)    |
+//                                  SAN (pulses to 0 at sense enable)
+//
+// The bitline pair is precharged to VDD/2; asserting the wordline to VPP
+// shares cell charge onto BL, the latch is enabled, and regeneration drives
+// BL/BLB apart. tRCDmin is when the bitline crosses the read threshold;
+// tRASmin is when the cell capacitor has recovered to within a band of its
+// final (possibly VPP-limited) level.
+#pragma once
+
+#include <vector>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/solver.hpp"
+#include "common/expected.hpp"
+
+namespace vppstudy::circuit {
+
+/// All knobs of the cell-activation experiment. Defaults reproduce Table 2
+/// plus the calibrated operating points discussed in DESIGN.md.
+struct DramCellSimParams {
+  double vdd_v = 1.2;
+  double vpp_v = 2.5;
+
+  // Table 2 passives.
+  double cell_c_f = 16.8e-15;
+  double cell_r_ohm = 698.0;
+  double bitline_c_f = 100.5e-15;
+  double bitline_r_ohm = 6980.0;
+
+  // Table 2 transistor geometries; K'/Vth calibrated so the nominal-VPP
+  // activation lands at the paper's SPICE operating point (mean tRCDmin of
+  // 11.6ns at 2.5V rising to ~13.6ns at 1.7V; see DESIGN.md section 5).
+  MosParams access_nmos{MosType::kNmos, 55e-9, 85e-9, 8e-6, 0.45,
+                        0.04, 0.58, 0.8};
+  MosParams sa_nmos{MosType::kNmos, 1.3e-6, 0.1e-6, 25e-6, 0.40,
+                    0.05, 0.0, 0.8};
+  MosParams sa_pmos{MosType::kPmos, 0.9e-6, 0.1e-6, 12e-6, 0.42,
+                    0.05, 0.0, 0.8};
+  /// Threshold mismatch between the two latch NMOS devices (sense-amplifier
+  /// offset); Monte-Carlo perturbs this around zero.
+  double sa_vt_mismatch_v = 0.0;
+
+  // Event timing.
+  double wl_rise_ns = 1.2;        ///< wordline 0 -> VPP ramp
+  double sense_enable_ns = 2.5;   ///< SAN/SAP fire this long after ACT
+  double sense_ramp_ns = 1.5;     ///< SAN/SAP transition time
+
+  // Transient controls.
+  double t_stop_ns = 80.0;
+  double dt_ps = 25.0;
+
+  /// True: cell stores a '1' (starts at its VPP-limited restored level).
+  bool cell_stores_one = true;
+  /// Override the initial cell voltage; <0 means "use the steady-state
+  /// restored level for this VPP" (see steady_state_cell_voltage).
+  double initial_cell_v = -1.0;
+
+  /// Bitline voltage that must be exceeded for a reliable read (fraction of
+  /// VDD). The paper's Fig. 8a annotates this as VTH.
+  double read_vth_frac = 0.75;
+  /// Charge restoration is "complete" when the cell is within this fraction
+  /// *of its final level* of that final level (calibrated so the nominal-VPP
+  /// tRASmin sits inside the DDR4 tRAS guardband and drops out of it below
+  /// 2.0V, per Obsv. 11).
+  double restore_band_frac = 0.05;
+  /// Fixed post-sensing margin added to the VTH crossing to form tRCD
+  /// (column decode + IO timing not modeled by the analog netlist).
+  double trcd_overhead_ns = 4.7;
+  /// Minimum acceptable restored cell level for a '1'. Below this the next
+  /// sensing operation has no margin left, so the run counts as unreliable --
+  /// this is what makes SPICE report no reliable operation at VPP <= 1.6V
+  /// (footnote 13 of the paper).
+  double min_restored_v = 0.92;
+};
+
+/// Outcome of one activation transient.
+struct ActivationResult {
+  std::vector<double> t_ns;
+  std::vector<double> v_bitline;  ///< sense-amp side bitline (BLSA)
+  std::vector<double> v_blb;      ///< reference bitline
+  std::vector<double> v_cell;     ///< cell capacitor top plate
+
+  /// Time at which BLSA crossed read_vth_frac*VDD plus trcd_overhead_ns;
+  /// < 0 when the threshold was never crossed (failed activation).
+  double t_rcd_min_ns = -1.0;
+  /// Time at which the cell entered its restore band; < 0 if never.
+  double t_ras_min_ns = -1.0;
+  /// Final (saturated) cell voltage at t_stop.
+  double v_cell_final = 0.0;
+  /// True if the latch regenerated in the correct direction and the read
+  /// threshold was crossed.
+  bool reliable = false;
+};
+
+/// Fixed point of v = min(VDD, VPP - Vth(v)) -- the VPP-limited level a cell
+/// saturates at after repeated restorations (Obsv. 10).
+[[nodiscard]] double steady_state_cell_voltage(const DramCellSimParams& p);
+
+/// Build the Table 2 netlist. Exposed for white-box tests; most callers use
+/// simulate_activation.
+struct DramCellCircuit {
+  Circuit circuit;
+  NodeId bl0 = 0, blsa = 0, blb = 0, celln = 0, cellt = 0;
+  NodeId wl = 0, san = 0, sap = 0;
+  std::vector<double> initial;  ///< initial node voltages, indexed by NodeId
+};
+[[nodiscard]] DramCellCircuit build_dram_cell_circuit(
+    const DramCellSimParams& p);
+
+/// Run the activation transient and extract tRCDmin / tRASmin.
+[[nodiscard]] common::Expected<ActivationResult> simulate_activation(
+    const DramCellSimParams& p);
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,50 @@
+#include "circuit/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vppstudy::circuit {
+
+void Matrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x) {
+  const std::size_t n = a.size();
+  x.assign(n, 0.0);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-18) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    const double diag = a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c)
+        a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return true;
+}
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,34 @@
+// Dense linear algebra for the MNA solver. Circuits in this study have ~10
+// unknowns, so a straightforward partial-pivot LU is both simplest and fast.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vppstudy::circuit {
+
+/// Row-major dense square matrix.
+class Matrix {
+ public:
+  explicit Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * n_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * n_ + c];
+  }
+  void clear();
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b in place via LU with partial pivoting. `a` and `b` are
+/// destroyed; the solution is returned in `x`. Returns false if the matrix is
+/// numerically singular (pivot below 1e-18).
+bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x);
+
+}  // namespace vppstudy::circuit

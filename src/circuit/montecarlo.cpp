@@ -1,0 +1,73 @@
+#include "circuit/montecarlo.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::circuit {
+
+double MonteCarloResult::worst_trcd_ns() const {
+  if (t_rcd_min_ns.empty()) return 0.0;
+  return *std::max_element(t_rcd_min_ns.begin(), t_rcd_min_ns.end());
+}
+
+double MonteCarloResult::worst_tras_ns() const {
+  if (t_ras_min_ns.empty()) return 0.0;
+  return *std::max_element(t_ras_min_ns.begin(), t_ras_min_ns.end());
+}
+
+double MonteCarloResult::reliability(std::size_t total_runs) const {
+  if (total_runs == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(failed_runs) / static_cast<double>(total_runs);
+}
+
+DramCellSimParams perturb(const DramCellSimParams& nominal, double spread,
+                          common::Xoshiro256& rng) {
+  DramCellSimParams p = nominal;
+  const auto jitter = [&](double v) {
+    return v * (1.0 + rng.uniform(-spread, spread));
+  };
+  p.cell_c_f = jitter(p.cell_c_f);
+  p.cell_r_ohm = jitter(p.cell_r_ohm);
+  p.bitline_c_f = jitter(p.bitline_c_f);
+  p.bitline_r_ohm = jitter(p.bitline_r_ohm);
+  p.access_nmos.kp = jitter(p.access_nmos.kp);
+  p.access_nmos.vt0 = jitter(p.access_nmos.vt0);
+  p.sa_nmos.kp = jitter(p.sa_nmos.kp);
+  p.sa_nmos.vt0 = jitter(p.sa_nmos.vt0);
+  p.sa_pmos.kp = jitter(p.sa_pmos.kp);
+  p.sa_pmos.vt0 = jitter(p.sa_pmos.vt0);
+  p.wl_rise_ns = jitter(p.wl_rise_ns);
+  // Sense-amplifier offset: the latch thresholds never match exactly. Scale
+  // the mismatch with the overall process spread (5% spread ~ +/-10mV).
+  p.sa_vt_mismatch_v =
+      nominal.sa_vt_mismatch_v + rng.uniform(-spread * 0.2, spread * 0.2);
+  return p;
+}
+
+MonteCarloResult run_monte_carlo(const DramCellSimParams& nominal,
+                                 const MonteCarloOptions& opts) {
+  MonteCarloResult result;
+  result.t_rcd_min_ns.reserve(opts.runs);
+  result.t_ras_min_ns.reserve(opts.runs);
+  result.v_cell_final.reserve(opts.runs);
+
+  common::Xoshiro256 rng(opts.seed);
+  for (std::size_t i = 0; i < opts.runs; ++i) {
+    const DramCellSimParams p = perturb(nominal, opts.spread, rng);
+    auto sim = simulate_activation(p);
+    if (!sim || !sim->reliable) {
+      ++result.failed_runs;
+      continue;
+    }
+    result.t_rcd_min_ns.push_back(sim->t_rcd_min_ns);
+    if (sim->t_ras_min_ns >= 0.0) {
+      result.t_ras_min_ns.push_back(sim->t_ras_min_ns);
+    }
+    result.v_cell_final.push_back(sim->v_cell_final);
+  }
+  return result;
+}
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,50 @@
+// Monte-Carlo driver for the cell-activation experiment (section 4.5): every
+// run perturbs component parameters by up to +/-5% (uniform), mirroring the
+// paper's 10K-run methodology for Figs. 8b and 9b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/dram_cell.hpp"
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace vppstudy::circuit {
+
+struct MonteCarloOptions {
+  std::size_t runs = 1000;
+  double spread = 0.05;      ///< max relative parameter perturbation
+  std::uint64_t seed = 0x5eed;
+};
+
+struct MonteCarloResult {
+  std::vector<double> t_rcd_min_ns;  ///< per successful run
+  std::vector<double> t_ras_min_ns;
+  std::vector<double> v_cell_final;
+  std::size_t failed_runs = 0;       ///< unreliable or non-converged runs
+
+  [[nodiscard]] stats::Summary trcd_summary() const {
+    return stats::summarize(t_rcd_min_ns);
+  }
+  [[nodiscard]] stats::Summary tras_summary() const {
+    return stats::summarize(t_ras_min_ns);
+  }
+  /// Worst-case (largest) reliable tRCDmin across all runs, the quantity the
+  /// paper's Fig. 8b annotates with vertical lines. 0 when no run succeeded.
+  [[nodiscard]] double worst_trcd_ns() const;
+  [[nodiscard]] double worst_tras_ns() const;
+  /// Fraction of runs that produced a reliable activation.
+  [[nodiscard]] double reliability(std::size_t total_runs) const;
+};
+
+/// Apply one +/-spread perturbation to all process-sensitive parameters.
+[[nodiscard]] DramCellSimParams perturb(const DramCellSimParams& nominal,
+                                        double spread,
+                                        common::Xoshiro256& rng);
+
+/// Run the Monte-Carlo sweep at the VPP baked into `nominal`.
+[[nodiscard]] MonteCarloResult run_monte_carlo(
+    const DramCellSimParams& nominal, const MonteCarloOptions& opts);
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,77 @@
+#include "circuit/mosfet.hpp"
+
+#include <algorithm>
+
+namespace vppstudy::circuit {
+
+MosEval eval_nmos_forward(const MosParams& p, double vgs, double vds,
+                          double vsb) noexcept {
+  MosEval e;
+  const double vth = threshold_voltage(p, vsb);
+  const double vov = vgs - vth;
+  const double beta = p.beta();
+  // Ids depends on vgs - vth(vsb); dIds/dVbs = gm * dVth/dVsb.
+  const double dvth_dvsb =
+      p.gamma > 0.0
+          ? p.gamma / (2.0 * std::sqrt(std::max(p.phi + vsb, 1e-6)))
+          : 0.0;
+  if (vov <= 0.0) {
+    return e;  // cutoff: the solver adds gmin shunts for conditioning
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    e.ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * (vov - vds) * clm +
+            beta * (vov * vds - 0.5 * vds * vds) * p.lambda;
+  } else {
+    // Saturation.
+    e.ids = 0.5 * beta * vov * vov * clm;
+    e.gm = beta * vov * clm;
+    e.gds = 0.5 * beta * vov * vov * p.lambda;
+  }
+  e.gmb = e.gm * dvth_dvsb;
+  return e;
+}
+
+MosLinear linearize_mosfet(const MosParams& p, double vg, double vd, double vs,
+                           double vb) noexcept {
+  // PMOS: evaluate the mirrored NMOS problem; the current flips sign while
+  // the partials w.r.t. absolute voltages keep their sign (double negation).
+  const double sign = (p.type == MosType::kPmos) ? -1.0 : 1.0;
+  double eg = sign * vg, ed = sign * vd, es = sign * vs, eb = sign * vb;
+
+  const bool swapped = ed < es;
+  if (swapped) std::swap(ed, es);
+
+  const MosEval e = eval_nmos_forward(p, eg - es, ed - es, es - eb);
+
+  // Partials of the forward current (drain->source in forward orientation)
+  // w.r.t. the mirrored terminal voltages.
+  double gg = e.gm;
+  double gd = e.gds;
+  double gs = -(e.gm + e.gds + e.gmb);
+  double gb = e.gmb;
+  double ids = e.ids;
+  if (swapped) {
+    // Actual channel current is the negated forward current; the drain and
+    // source partials exchange roles.
+    ids = -ids;
+    gg = -gg;
+    gb = -gb;
+    std::swap(gd, gs);
+    gd = -gd;
+    gs = -gs;
+  }
+  MosLinear lin;
+  lin.g_g = gg;
+  lin.g_d = gd;
+  lin.g_s = gs;
+  lin.g_b = gb;
+  const double i_actual = sign < 0 ? -ids : ids;
+  lin.i0 = i_actual - (gg * vg + gd * vd + gs * vs + gb * vb);
+  return lin;
+}
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,73 @@
+// Level-1 (Shichman-Hodges) MOSFET model with channel-length modulation and
+// body effect. The study's SPICE runs use 22nm PTM devices; a level-1 model
+// with calibrated K'/Vth reproduces the qualitative waveforms the paper
+// reports (it explicitly does not expect SPICE to match real silicon).
+#pragma once
+
+#include <cmath>
+
+namespace vppstudy::circuit {
+
+enum class MosType { kNmos, kPmos };
+
+/// Process + geometry parameters of one transistor.
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double w_m = 1e-6;        ///< channel width [m]
+  double l_m = 1e-7;        ///< channel length [m]
+  double kp = 300e-6;       ///< transconductance parameter K' = u*Cox [A/V^2]
+  double vt0 = 0.45;        ///< zero-bias threshold voltage [V]
+  double lambda = 0.05;     ///< channel-length modulation [1/V]
+  double gamma = 0.45;      ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.8;         ///< 2*phi_F surface potential [V]
+
+  [[nodiscard]] double beta() const noexcept { return kp * w_m / l_m; }
+};
+
+/// Evaluation of the drain current and its small-signal conductances at an
+/// operating point, in the device's forward orientation (vds >= 0).
+struct MosEval {
+  double ids = 0.0;  ///< drain current [A]
+  double gm = 0.0;   ///< dIds/dVgs
+  double gds = 0.0;  ///< dIds/dVds
+  double gmb = 0.0;  ///< dIds/dVbs
+};
+
+/// Linearized channel current w.r.t. the four *absolute* terminal voltages:
+/// I(v) = i0 + g_g*vg + g_d*vd + g_s*vs + g_b*vb. I flows out of the drain
+/// node and into the source node. Handles drain/source swap (vds < 0) and
+/// PMOS polarity.
+struct MosLinear {
+  double i0 = 0.0;
+  double g_g = 0.0;
+  double g_d = 0.0;
+  double g_s = 0.0;
+  double g_b = 0.0;
+
+  [[nodiscard]] double current(double vg, double vd, double vs,
+                               double vb) const noexcept {
+    return i0 + g_g * vg + g_d * vd + g_s * vs + g_b * vb;
+  }
+};
+
+/// Threshold voltage including body effect. `vsb` is source-to-bulk voltage
+/// in the device's own polarity (>= 0 increases |Vth|).
+[[nodiscard]] inline double threshold_voltage(const MosParams& p,
+                                              double vsb) noexcept {
+  if (p.gamma == 0.0) return p.vt0;
+  const double vsb_eff = std::max(vsb, -p.phi * 0.5);
+  return p.vt0 +
+         p.gamma * (std::sqrt(p.phi + vsb_eff) - std::sqrt(p.phi));
+}
+
+/// Evaluate a level-1 NMOS in its forward orientation (requires vds >= 0 for
+/// meaningful results). Exposed for unit tests of the device equations.
+[[nodiscard]] MosEval eval_nmos_forward(const MosParams& p, double vgs,
+                                        double vds, double vsb) noexcept;
+
+/// Full evaluation at absolute terminal voltages; see MosLinear.
+[[nodiscard]] MosLinear linearize_mosfet(const MosParams& p, double vg,
+                                         double vd, double vs,
+                                         double vb) noexcept;
+
+}  // namespace vppstudy::circuit

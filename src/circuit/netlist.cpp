@@ -1,0 +1,63 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vppstudy::circuit {
+
+double VoltageSource::value_at(double t_s) const noexcept {
+  if (waveform.empty()) return 0.0;
+  if (t_s <= waveform.front().t_s) return waveform.front().v;
+  for (std::size_t i = 1; i < waveform.size(); ++i) {
+    if (t_s <= waveform[i].t_s) {
+      const auto& a = waveform[i - 1];
+      const auto& b = waveform[i];
+      const double span = b.t_s - a.t_s;
+      if (span <= 0.0) return b.v;
+      return a.v + (b.v - a.v) * (t_s - a.t_s) / span;
+    }
+  }
+  return waveform.back().v;
+}
+
+Circuit::Circuit() { names_.emplace_back("gnd"); }
+
+NodeId Circuit::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  return names_.size() - 1;
+}
+
+const std::string& Circuit::node_name(NodeId n) const { return names_.at(n); }
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  assert(ohms > 0.0);
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+  assert(farads > 0.0);
+  capacitors_.push_back({a, b, farads});
+}
+
+std::size_t Circuit::add_voltage_source(NodeId plus, NodeId minus,
+                                        std::vector<PwlPoint> waveform) {
+  assert(!waveform.empty());
+  assert(std::is_sorted(waveform.begin(), waveform.end(),
+                        [](const PwlPoint& a, const PwlPoint& b) {
+                          return a.t_s < b.t_s;
+                        }));
+  sources_.push_back({plus, minus, std::move(waveform)});
+  return sources_.size() - 1;
+}
+
+std::size_t Circuit::add_dc_source(NodeId plus, NodeId minus, double volts) {
+  return add_voltage_source(plus, minus, {{0.0, volts}});
+}
+
+void Circuit::add_mosfet(const Mosfet& m) { mosfets_.push_back(m); }
+
+std::size_t Circuit::unknown_count() const noexcept {
+  return (names_.size() - 1) + sources_.size();
+}
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,99 @@
+// Netlist representation for the MNA solver.
+//
+// A Circuit owns nodes and elements. Node 0 is ground. Voltage sources add a
+// branch-current unknown (classic Modified Nodal Analysis).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/mosfet.hpp"
+
+namespace vppstudy::circuit {
+
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+/// A point of a piecewise-linear source waveform.
+struct PwlPoint {
+  double t_s = 0.0;
+  double v = 0.0;
+};
+
+struct Resistor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 1.0;
+};
+
+struct Capacitor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 1e-15;
+};
+
+/// Independent voltage source; value follows a PWL waveform (a single point
+/// makes it DC). Held constant after the last point.
+struct VoltageSource {
+  NodeId plus = kGround;
+  NodeId minus = kGround;
+  std::vector<PwlPoint> waveform;
+
+  [[nodiscard]] double value_at(double t_s) const noexcept;
+};
+
+struct Mosfet {
+  NodeId gate = kGround;
+  NodeId drain = kGround;
+  NodeId source = kGround;
+  NodeId bulk = kGround;
+  MosParams params;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Create a named node; returns its id. Node 0 (ground) pre-exists.
+  NodeId add_node(std::string name);
+  [[nodiscard]] std::size_t node_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  /// Returns the source index (usable to query branch current later).
+  std::size_t add_voltage_source(NodeId plus, NodeId minus,
+                                 std::vector<PwlPoint> waveform);
+  std::size_t add_dc_source(NodeId plus, NodeId minus, double volts);
+  void add_mosfet(const Mosfet& m);
+
+  [[nodiscard]] const std::vector<Resistor>& resistors() const noexcept {
+    return resistors_;
+  }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const noexcept {
+    return capacitors_;
+  }
+  [[nodiscard]] const std::vector<VoltageSource>& sources() const noexcept {
+    return sources_;
+  }
+  [[nodiscard]] std::vector<VoltageSource>& sources() noexcept {
+    return sources_;
+  }
+  [[nodiscard]] const std::vector<Mosfet>& mosfets() const noexcept {
+    return mosfets_;
+  }
+  [[nodiscard]] std::vector<Mosfet>& mosfets() noexcept { return mosfets_; }
+
+  /// Total MNA unknowns: (nodes - 1) + voltage-source branches.
+  [[nodiscard]] std::size_t unknown_count() const noexcept;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VoltageSource> sources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace vppstudy::circuit

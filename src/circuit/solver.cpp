@@ -1,0 +1,197 @@
+#include "circuit/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vppstudy::circuit {
+
+std::span<const double> Waveform::trace(NodeId node) const {
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    if (nodes[k] == node) return v[k];
+  }
+  assert(false && "node was not recorded");
+  return {};
+}
+
+Solver::Solver(const Circuit& circuit)
+    : circuit_(circuit),
+      n_nodes_(circuit.node_count()),
+      n_unknowns_(circuit.unknown_count()) {}
+
+void Solver::stamp_linear(Matrix& g, std::vector<double>& rhs, double t_s,
+                          bool is_transient, double dt_s,
+                          std::span<const double> prev, double gmin) const {
+  // Unknown layout: [v1..v_{N-1}, i_src0..i_srcM]. Node k maps to row k-1.
+  const auto row_of = [](NodeId n) { return n - 1; };
+
+  // gmin shunts keep otherwise-floating nodes well conditioned.
+  for (NodeId n = 1; n < n_nodes_; ++n) g.at(row_of(n), row_of(n)) += gmin;
+
+  for (const auto& r : circuit_.resistors()) {
+    const double cond = 1.0 / r.ohms;
+    if (r.a != kGround) g.at(row_of(r.a), row_of(r.a)) += cond;
+    if (r.b != kGround) g.at(row_of(r.b), row_of(r.b)) += cond;
+    if (r.a != kGround && r.b != kGround) {
+      g.at(row_of(r.a), row_of(r.b)) -= cond;
+      g.at(row_of(r.b), row_of(r.a)) -= cond;
+    }
+  }
+
+  if (is_transient) {
+    // Backward-Euler companion: I = (C/dt) * (v_ab - v_ab_prev).
+    for (const auto& c : circuit_.capacitors()) {
+      const double geq = c.farads / dt_s;
+      const double va_prev = c.a == kGround ? 0.0 : prev[c.a];
+      const double vb_prev = c.b == kGround ? 0.0 : prev[c.b];
+      const double ieq = geq * (va_prev - vb_prev);
+      if (c.a != kGround) {
+        g.at(row_of(c.a), row_of(c.a)) += geq;
+        rhs[row_of(c.a)] += ieq;
+      }
+      if (c.b != kGround) {
+        g.at(row_of(c.b), row_of(c.b)) += geq;
+        rhs[row_of(c.b)] -= ieq;
+      }
+      if (c.a != kGround && c.b != kGround) {
+        g.at(row_of(c.a), row_of(c.b)) -= geq;
+        g.at(row_of(c.b), row_of(c.a)) -= geq;
+      }
+    }
+  }
+
+  const std::size_t branch_base = n_nodes_ - 1;
+  const auto& sources = circuit_.sources();
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const auto& src = sources[s];
+    const std::size_t br = branch_base + s;
+    if (src.plus != kGround) {
+      g.at(row_of(src.plus), br) += 1.0;
+      g.at(br, row_of(src.plus)) += 1.0;
+    }
+    if (src.minus != kGround) {
+      g.at(row_of(src.minus), br) -= 1.0;
+      g.at(br, row_of(src.minus)) -= 1.0;
+    }
+    rhs[br] += src.value_at(t_s);
+  }
+}
+
+void Solver::stamp_mosfets(Matrix& g, std::vector<double>& rhs,
+                           std::span<const double> v) const {
+  const auto row_of = [](NodeId n) { return n - 1; };
+  const auto volt = [&](NodeId n) { return n == kGround ? 0.0 : v[n]; };
+
+  for (const auto& m : circuit_.mosfets()) {
+    const MosLinear lin = linearize_mosfet(m.params, volt(m.gate),
+                                           volt(m.drain), volt(m.source),
+                                           volt(m.bulk));
+    // Current lin.i0 + sum(g_x * v_x) leaves the drain, enters the source.
+    struct Term {
+      NodeId node;
+      double cond;
+    };
+    const Term terms[] = {{m.gate, lin.g_g},
+                          {m.drain, lin.g_d},
+                          {m.source, lin.g_s},
+                          {m.bulk, lin.g_b}};
+    if (m.drain != kGround) {
+      for (const auto& t : terms) {
+        if (t.node != kGround) g.at(row_of(m.drain), row_of(t.node)) += t.cond;
+      }
+      rhs[row_of(m.drain)] -= lin.i0;
+    }
+    if (m.source != kGround) {
+      for (const auto& t : terms) {
+        if (t.node != kGround) g.at(row_of(m.source), row_of(t.node)) -= t.cond;
+      }
+      rhs[row_of(m.source)] += lin.i0;
+    }
+  }
+}
+
+common::Status Solver::newton_solve(double t_s, bool is_transient, double dt_s,
+                                    std::span<const double> prev,
+                                    std::vector<double>& v,
+                                    const TransientOptions& opts) {
+  Matrix g(n_unknowns_);
+  std::vector<double> rhs(n_unknowns_, 0.0);
+  std::vector<double> solution;
+
+  for (int iter = 0; iter < opts.max_nr_iterations; ++iter) {
+    g.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    stamp_linear(g, rhs, t_s, is_transient, dt_s, prev, opts.gmin_s);
+    stamp_mosfets(g, rhs, v);
+
+    if (!lu_solve(g, rhs, solution)) {
+      return common::Error{"singular MNA matrix at t=" + std::to_string(t_s)};
+    }
+
+    // Damped update + convergence check on node voltages.
+    double max_dv = 0.0;
+    for (NodeId n = 1; n < n_nodes_; ++n) {
+      double dv = solution[n - 1] - v[n];
+      max_dv = std::max(max_dv, std::abs(dv));
+      dv = std::clamp(dv, -opts.v_step_limit, opts.v_step_limit);
+      v[n] += dv;
+    }
+    if (max_dv < opts.v_tolerance) return common::Status::ok_status();
+  }
+  return common::Error{"Newton-Raphson did not converge at t=" +
+                       std::to_string(t_s)};
+}
+
+common::Expected<std::vector<double>> Solver::dc_operating_point(
+    const TransientOptions& opts) {
+  std::vector<double> v(n_nodes_, 0.0);
+  // gmin stepping: start with a heavy shunt and relax it, reusing the
+  // previous solution as the next initial guess.
+  for (double gmin : {1e-3, 1e-6, 1e-9, opts.gmin_s}) {
+    TransientOptions o = opts;
+    o.gmin_s = gmin;
+    if (auto st = newton_solve(0.0, /*is_transient=*/false, 0.0, v, v, o);
+        !st.ok()) {
+      return common::Error{st.error().message};
+    }
+  }
+  return v;
+}
+
+common::Expected<Waveform> Solver::transient(
+    std::span<const double> initial, const TransientOptions& opts,
+    std::span<const NodeId> record_nodes) {
+  assert(initial.size() == n_nodes_);
+  Waveform wf;
+  wf.nodes.assign(record_nodes.begin(), record_nodes.end());
+  wf.v.resize(record_nodes.size());
+
+  std::vector<double> prev(initial.begin(), initial.end());
+  std::vector<double> v = prev;
+
+  const auto steps = static_cast<std::size_t>(opts.t_stop_s / opts.dt_s);
+  wf.t_s.reserve(steps + 1);
+  for (auto& tr : wf.v) tr.reserve(steps + 1);
+
+  const auto record = [&](double t) {
+    wf.t_s.push_back(t);
+    for (std::size_t k = 0; k < wf.nodes.size(); ++k) {
+      wf.v[k].push_back(wf.nodes[k] == kGround ? 0.0 : v[wf.nodes[k]]);
+    }
+  };
+  record(0.0);
+
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double t = static_cast<double>(i) * opts.dt_s;
+    if (auto st = newton_solve(t, /*is_transient=*/true, opts.dt_s, prev, v,
+                               opts);
+        !st.ok()) {
+      return common::Error{st.error().message};
+    }
+    prev.assign(v.begin(), v.end());
+    record(t);
+  }
+  return wf;
+}
+
+}  // namespace vppstudy::circuit

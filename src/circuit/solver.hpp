@@ -1,0 +1,70 @@
+// MNA solver: DC operating point and fixed-step backward-Euler transient with
+// a Newton-Raphson inner loop (voltage-step damping + gmin for robustness on
+// the regenerative sense-amplifier latch).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/matrix.hpp"
+#include "circuit/netlist.hpp"
+#include "common/expected.hpp"
+
+namespace vppstudy::circuit {
+
+struct TransientOptions {
+  double t_stop_s = 60e-9;
+  double dt_s = 25e-12;
+  int max_nr_iterations = 80;
+  double v_tolerance = 1e-6;     ///< NR convergence: max |dV| across nodes
+  double v_step_limit = 0.4;     ///< NR damping: clamp per-iteration |dV|
+  double gmin_s = 1e-12;         ///< shunt conductance to ground on all nodes
+};
+
+/// Recorded node-voltage traces: `v[k][i]` is node `nodes[k]` at `t_s[i]`.
+struct Waveform {
+  std::vector<NodeId> nodes;
+  std::vector<double> t_s;
+  std::vector<std::vector<double>> v;
+
+  /// Index into `v` for a node id; asserts the node was recorded.
+  [[nodiscard]] std::span<const double> trace(NodeId node) const;
+};
+
+class Solver {
+ public:
+  explicit Solver(const Circuit& circuit);
+
+  /// Solve the DC operating point at t=0 source values. Returns node
+  /// voltages indexed by NodeId (entry 0 is ground = 0).
+  [[nodiscard]] common::Expected<std::vector<double>> dc_operating_point(
+      const TransientOptions& opts = {});
+
+  /// Backward-Euler transient from explicit initial node voltages
+  /// (SPICE `.tran uic` style). `initial` is indexed by NodeId.
+  [[nodiscard]] common::Expected<Waveform> transient(
+      std::span<const double> initial, const TransientOptions& opts,
+      std::span<const NodeId> record_nodes);
+
+ private:
+  /// One NR solve of the (possibly time-discretized) nonlinear system.
+  /// `prev` holds node voltages at the previous timestep (ignored for DC).
+  /// `v` is in/out: initial guess in, solution out.
+  [[nodiscard]] common::Status newton_solve(double t_s, bool is_transient,
+                                            double dt_s,
+                                            std::span<const double> prev,
+                                            std::vector<double>& v,
+                                            const TransientOptions& opts);
+
+  void stamp_linear(Matrix& g, std::vector<double>& rhs, double t_s,
+                    bool is_transient, double dt_s,
+                    std::span<const double> prev, double gmin) const;
+  void stamp_mosfets(Matrix& g, std::vector<double>& rhs,
+                     std::span<const double> v) const;
+
+  const Circuit& circuit_;
+  std::size_t n_nodes_;     // including ground
+  std::size_t n_unknowns_;  // (nodes-1) + source branches
+};
+
+}  // namespace vppstudy::circuit

@@ -1,0 +1,82 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+
+namespace vppstudy::common {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::begin_row() {
+  flush_current();
+  row_open_ = true;
+}
+
+void CsvWriter::flush_current() {
+  if (row_open_) {
+    rows_.push_back(std::move(current_));
+    current_.clear();
+    row_open_ = false;
+  }
+}
+
+void CsvWriter::add(std::string_view field) {
+  current_.emplace_back(field);
+}
+
+void CsvWriter::add(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  current_.push_back(os.str());
+}
+
+void CsvWriter::add(std::uint64_t value) {
+  current_.push_back(std::to_string(value));
+}
+
+void CsvWriter::add(std::int64_t value) {
+  current_.push_back(std::to_string(value));
+}
+
+std::size_t CsvWriter::row_count() const noexcept { return rows_.size(); }
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  auto all_rows = rows_;
+  if (row_open_) all_rows.push_back(current_);
+  for (const auto& row : all_rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << str();
+  return static_cast<bool>(f);
+}
+
+}  // namespace vppstudy::common

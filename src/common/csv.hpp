@@ -1,0 +1,46 @@
+// Small CSV writer used by the benchmark harness to dump figure series.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vppstudy::common {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// separators). Numeric fields are formatted with full double precision.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Begin a new row. Fields are appended with `add`.
+  void begin_row();
+  void add(std::string_view field);
+  void add(double value);
+  void add(std::uint64_t value);
+  void add(std::int64_t value);
+
+  /// Number of completed data rows (the in-progress row is excluded).
+  [[nodiscard]] std::size_t row_count() const noexcept;
+
+  /// Render the full document (header + rows) as a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void flush_current();
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+  bool row_open_ = false;
+};
+
+/// Escape a single CSV field.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace vppstudy::common

@@ -1,0 +1,81 @@
+// A minimal expected/result type (C++20 has no std::expected yet).
+//
+// Used at fallible API boundaries -- e.g. the SoftMC session refuses to talk
+// to a module whose VPP rail is below its communication minimum, mirroring
+// the paper's VPPmin limitation (section 7).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vppstudy::common {
+
+/// Error payload carried by Expected<T>.
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Expected {
+ public:
+  // Implicit construction from both value and error keeps call sites terse:
+  //   return Error{"vpp below vppmin"};
+  //   return some_value;
+  Expected(T value) : storage_(std::move(value)) {}            // NOLINT
+  Expected(Error error) : storage_(std::move(error)) {}        // NOLINT
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!has_value());
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Expected<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  [[nodiscard]] static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return ok_; }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool ok_ = true;
+};
+
+}  // namespace vppstudy::common

@@ -1,0 +1,79 @@
+// Counter-based deterministic random utilities.
+//
+// Every stochastic quantity in the device model (per-cell weakness, retention
+// time, threshold voltage, ...) is synthesized on demand from a counter-based
+// hash keyed on (seed, coordinates, parameter id). This gives the defining
+// property of real-chip characterization data -- bit flips occur at
+// *consistently predictable locations* across repeated tests -- without
+// storing per-cell state for billions of cells.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+namespace vppstudy::common {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash an arbitrary-length key of 64-bit words into one 64-bit value.
+[[nodiscard]] constexpr std::uint64_t
+hash_key(std::initializer_list<std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  for (std::uint64_t w : words) {
+    h = mix64(h ^ mix64(w));
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from a 64-bit hash value.
+[[nodiscard]] constexpr double to_unit_double(std::uint64_t h) noexcept {
+  // Use the top 53 bits for a dyadic rational in [0,1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [0, 1) for a hashed key.
+[[nodiscard]] constexpr double
+uniform_at(std::initializer_list<std::uint64_t> words) noexcept {
+  return to_unit_double(hash_key(words));
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over the full open interval).
+[[nodiscard]] double inverse_normal_cdf(double p) noexcept;
+
+/// Standard normal CDF, accurate to ~1e-12 (via std::erfc).
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+/// Standard normal draw for a hashed key.
+[[nodiscard]] double normal_at(std::initializer_list<std::uint64_t> words) noexcept;
+
+/// A small, fast sequential PRNG (xoshiro256**) for Monte-Carlo loops where a
+/// stream (rather than a pure function of coordinates) is the right tool.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Standard normal via inverse-CDF of a uniform draw.
+  [[nodiscard]] double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Uniform integer in [0, bound).
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace vppstudy::common

@@ -1,0 +1,51 @@
+#include "core/export.hpp"
+
+#include "dram/data_pattern.hpp"
+
+namespace vppstudy::core {
+
+common::CsvWriter to_csv(const ModuleSweepResult& sweep) {
+  common::CsvWriter csv(
+      {"module", "row", "wcdp", "vpp_v", "hc_first", "ber"});
+  for (const auto& row : sweep.rows) {
+    for (std::size_t l = 0; l < sweep.vpp_levels.size(); ++l) {
+      if (l >= row.hc_first.size()) continue;
+      csv.begin_row();
+      csv.add(sweep.module_name);
+      csv.add(static_cast<std::uint64_t>(row.row));
+      csv.add(dram::pattern_name(row.wcdp));
+      csv.add(sweep.vpp_levels[l]);
+      csv.add(static_cast<std::uint64_t>(row.hc_first[l]));
+      csv.add(row.ber[l]);
+    }
+  }
+  return csv;
+}
+
+common::CsvWriter to_csv(const TrcdSweepResult& sweep) {
+  common::CsvWriter csv({"module", "vpp_v", "trcd_min_ns"});
+  for (std::size_t l = 0; l < sweep.vpp_levels.size(); ++l) {
+    csv.begin_row();
+    csv.add(sweep.module_name);
+    csv.add(sweep.vpp_levels[l]);
+    csv.add(sweep.trcd_min_ns[l]);
+  }
+  return csv;
+}
+
+common::CsvWriter to_csv(const RetentionSweepResult& sweep) {
+  common::CsvWriter csv({"module", "vpp_v", "trefw_ms", "mean_ber"});
+  for (std::size_t l = 0; l < sweep.vpp_levels.size(); ++l) {
+    for (std::size_t w = 0; w < sweep.trefw_ms.size(); ++w) {
+      if (w >= sweep.mean_ber[l].size()) continue;
+      csv.begin_row();
+      csv.add(sweep.module_name);
+      csv.add(sweep.vpp_levels[l]);
+      csv.add(sweep.trefw_ms[w]);
+      csv.add(sweep.mean_ber[l][w]);
+    }
+  }
+  return csv;
+}
+
+}  // namespace vppstudy::core

@@ -1,0 +1,21 @@
+// CSV exporters for sweep results, so downstream plotting (Fig. 3/5/7/10
+// style) can consume the data without linking the library.
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/study.hpp"
+
+namespace vppstudy::core {
+
+/// One row per (DRAM row, VPP level): module, row, wcdp, vpp, hc_first, ber.
+[[nodiscard]] common::CsvWriter to_csv(const ModuleSweepResult& sweep);
+
+/// One row per VPP level: module, vpp, trcd_min_ns.
+[[nodiscard]] common::CsvWriter to_csv(const TrcdSweepResult& sweep);
+
+/// One row per (VPP level, refresh window): module, vpp, trefw_ms, mean_ber.
+[[nodiscard]] common::CsvWriter to_csv(const RetentionSweepResult& sweep);
+
+}  // namespace vppstudy::core

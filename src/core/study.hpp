@@ -1,0 +1,128 @@
+// Public facade: run the paper's characterization campaigns against a module
+// and aggregate the observations of sections 5 and 6.
+//
+// Quickstart:
+//   auto profile = chips::profile_by_name("B3").value();
+//   core::Study study(profile);
+//   core::SweepConfig cfg = core::SweepConfig::quick();
+//   auto sweep = study.rowhammer_sweep(cfg);
+//   auto obs = core::aggregate_observations({*sweep});
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "harness/experiment.hpp"
+#include "harness/retention_test.hpp"
+#include "harness/rowhammer_test.hpp"
+#include "harness/trcd_test.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::core {
+
+/// VPP levels and row sampling for one characterization campaign.
+struct SweepConfig {
+  /// Voltages to test, highest first. Levels below the module's VPPmin are
+  /// skipped automatically (the module stops responding there, section 7).
+  std::vector<double> vpp_levels;
+  harness::RowSampling sampling;
+  harness::RowHammerConfig hammer;
+  harness::TrcdConfig trcd;
+  harness::RetentionConfig retention;
+  bool determine_wcdp = true;  ///< per-row WCDP at nominal VPP (section 4.1)
+
+  /// The paper's full grid: 2.5V down to 1.4V in 0.1V steps.
+  [[nodiscard]] static SweepConfig paper();
+  /// A reduced grid + small row sample that runs in seconds (for tests,
+  /// examples, and bench defaults; benches report the sample size).
+  [[nodiscard]] static SweepConfig quick();
+};
+
+/// One row's metric across the tested VPP levels.
+struct RowSeries {
+  std::uint32_t row = 0;
+  dram::DataPattern wcdp = dram::DataPattern::kCheckerAA;
+  std::vector<std::uint64_t> hc_first;  ///< parallel to vpp_levels
+  std::vector<double> ber;
+};
+
+struct ModuleSweepResult {
+  std::string module_name;
+  dram::Manufacturer mfr = dram::Manufacturer::kMfrA;
+  double vppmin_v = 0.0;
+  std::vector<double> vpp_levels;  ///< actually tested (>= VPPmin)
+  std::vector<RowSeries> rows;
+
+  /// Index of a VPP level, or -1.
+  [[nodiscard]] int level_index(double vpp_v) const noexcept;
+  /// Module-level metric at a level: min HCfirst / max BER across rows (the
+  /// paper's Table 3 semantics).
+  [[nodiscard]] std::uint64_t min_hc_first_at(std::size_t level) const;
+  [[nodiscard]] double max_ber_at(std::size_t level) const;
+  /// Per-row normalized values (vs the nominal level 0).
+  [[nodiscard]] std::vector<double> normalized_hc_first_at(
+      std::size_t level) const;
+  [[nodiscard]] std::vector<double> normalized_ber_at(std::size_t level) const;
+};
+
+/// tRCD sweep output (Fig. 7).
+struct TrcdSweepResult {
+  std::string module_name;
+  double vppmin_v = 0.0;
+  std::vector<double> vpp_levels;
+  /// Module tRCDmin (max across sampled rows) per level.
+  std::vector<double> trcd_min_ns;
+};
+
+/// Retention sweep output (Fig. 10).
+struct RetentionSweepResult {
+  std::string module_name;
+  dram::Manufacturer mfr = dram::Manufacturer::kMfrA;
+  std::vector<double> vpp_levels;
+  std::vector<double> trefw_ms;
+  /// mean_ber[level][window] across sampled rows.
+  std::vector<std::vector<double>> mean_ber;
+  /// Per-row BER at a reference window (Fig. 10b), parallel to vpp_levels.
+  std::vector<std::vector<double>> row_ber_at_reference;
+  double reference_trefw_ms = 4000.0;
+};
+
+class Study {
+ public:
+  explicit Study(const dram::ModuleProfile& profile);
+
+  [[nodiscard]] softmc::Session& session() noexcept { return session_; }
+  [[nodiscard]] const dram::ModuleProfile& profile() const noexcept {
+    return session_.module().profile();
+  }
+
+  [[nodiscard]] common::Expected<ModuleSweepResult> rowhammer_sweep(
+      const SweepConfig& config);
+  [[nodiscard]] common::Expected<TrcdSweepResult> trcd_sweep(
+      const SweepConfig& config);
+  [[nodiscard]] common::Expected<RetentionSweepResult> retention_sweep(
+      const SweepConfig& config);
+
+ private:
+  softmc::Session session_;
+};
+
+/// The headline aggregates of sections 5 and 8 (Takeaway 1).
+struct Observations {
+  double mean_hc_first_increase = 0.0;  ///< fractional, at VPPmin (paper: 0.074)
+  double max_hc_first_increase = 0.0;   ///< paper: 0.858
+  double mean_ber_reduction = 0.0;      ///< paper: 0.152
+  double max_ber_reduction = 0.0;       ///< paper: 0.669
+  double fraction_rows_hc_increase = 0.0;   ///< paper: 0.693
+  double fraction_rows_hc_decrease = 0.0;   ///< paper: 0.142
+  double fraction_rows_ber_decrease = 0.0;  ///< paper: 0.812
+  double fraction_rows_ber_increase = 0.0;  ///< paper: 0.154
+};
+
+[[nodiscard]] Observations aggregate_observations(
+    std::span<const ModuleSweepResult> sweeps);
+
+}  // namespace vppstudy::core

@@ -1,0 +1,13 @@
+#include "dram/data_pattern.hpp"
+
+namespace vppstudy::dram {
+
+std::vector<std::uint8_t> pattern_row(DataPattern p, std::size_t bytes) {
+  return std::vector<std::uint8_t>(bytes, pattern_byte(p));
+}
+
+std::uint8_t pattern_signature(std::span<const std::uint8_t> row) noexcept {
+  return row.empty() ? 0 : row.front();
+}
+
+}  // namespace vppstudy::dram

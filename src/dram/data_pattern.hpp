@@ -1,0 +1,77 @@
+// The six data patterns used throughout the study (section 4.1): row stripe
+// (0xFF / 0x00), checkerboard (0xAA / 0x55), and thick checker (0xCC / 0x33).
+// For a given victim pattern, aggressor rows are initialized with its bitwise
+// inverse (Alg. 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace vppstudy::dram {
+
+enum class DataPattern : std::uint8_t {
+  kAllOnes = 0,     // 0xFF
+  kAllZeros = 1,    // 0x00
+  kCheckerAA = 2,   // 0xAA
+  kChecker55 = 3,   // 0x55
+  kThickCC = 4,     // 0xCC
+  kThick33 = 5,     // 0x33
+};
+
+inline constexpr std::array<DataPattern, 6> kAllPatterns = {
+    DataPattern::kAllOnes,  DataPattern::kAllZeros, DataPattern::kCheckerAA,
+    DataPattern::kChecker55, DataPattern::kThickCC, DataPattern::kThick33,
+};
+
+/// The repeating fill byte of a pattern.
+[[nodiscard]] constexpr std::uint8_t pattern_byte(DataPattern p) noexcept {
+  switch (p) {
+    case DataPattern::kAllOnes: return 0xFF;
+    case DataPattern::kAllZeros: return 0x00;
+    case DataPattern::kCheckerAA: return 0xAA;
+    case DataPattern::kChecker55: return 0x55;
+    case DataPattern::kThickCC: return 0xCC;
+    case DataPattern::kThick33: return 0x33;
+  }
+  return 0;
+}
+
+/// The pattern whose fill byte is the bitwise inverse (used for aggressors).
+[[nodiscard]] constexpr DataPattern inverse_pattern(DataPattern p) noexcept {
+  switch (p) {
+    case DataPattern::kAllOnes: return DataPattern::kAllZeros;
+    case DataPattern::kAllZeros: return DataPattern::kAllOnes;
+    case DataPattern::kCheckerAA: return DataPattern::kChecker55;
+    case DataPattern::kChecker55: return DataPattern::kCheckerAA;
+    case DataPattern::kThickCC: return DataPattern::kThick33;
+    case DataPattern::kThick33: return DataPattern::kThickCC;
+  }
+  return p;
+}
+
+[[nodiscard]] constexpr std::string_view pattern_name(DataPattern p) noexcept {
+  switch (p) {
+    case DataPattern::kAllOnes: return "0xFF";
+    case DataPattern::kAllZeros: return "0x00";
+    case DataPattern::kCheckerAA: return "0xAA";
+    case DataPattern::kChecker55: return "0x55";
+    case DataPattern::kThickCC: return "0xCC";
+    case DataPattern::kThick33: return "0x33";
+  }
+  return "?";
+}
+
+/// A full row image for a pattern.
+[[nodiscard]] std::vector<std::uint8_t> pattern_row(DataPattern p,
+                                                    std::size_t bytes);
+
+/// Classify a row image back to a canonical pattern via its fill byte;
+/// returns the byte value itself (the device physics keys pattern-dependent
+/// coupling off this signature; see CellPhysics::pattern_factor).
+[[nodiscard]] std::uint8_t pattern_signature(
+    std::span<const std::uint8_t> row) noexcept;
+
+}  // namespace vppstudy::dram

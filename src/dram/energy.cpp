@@ -1,0 +1,39 @@
+#include "dram/energy.hpp"
+
+#include "common/units.hpp"
+
+namespace vppstudy::dram {
+
+double EnergyModel::vpp_scale(double vpp_v) const noexcept {
+  const double r = vpp_v / common::kNominalVppV;
+  return r * r;
+}
+
+EnergyBreakdown EnergyModel::account(const ModuleStats& stats, double vpp_v,
+                                     double elapsed_s) const noexcept {
+  EnergyBreakdown e;
+  const auto acts = static_cast<double>(stats.activates);
+  const auto reads = static_cast<double>(stats.reads);
+  const auto writes = static_cast<double>(stats.writes);
+  const auto refs = static_cast<double>(stats.refreshes);
+
+  // E = Q * V; charges are specified in nC at their rail voltage, results
+  // in mJ (nC * V = nJ; /1e6 = mJ).
+  e.vdd_mj = (acts * params_.act_pre_vdd_nc + reads * params_.rd_vdd_nc +
+              writes * params_.wr_vdd_nc + refs * params_.ref_vdd_nc) *
+             params_.vdd_v * 1e-6;
+
+  // Pump charge Q = C_wordline * VPP scales linearly with VPP and the energy
+  // Q * VPP quadratically; vpp_scale() is that V^2 factor vs nominal.
+  e.vpp_mj = (acts * params_.act_vpp_nc_at_nominal +
+              refs * params_.ref_vpp_nc_at_nominal) *
+             common::kNominalVppV * 1e-6 * vpp_scale(vpp_v);
+
+  // Static power: mW * s = mJ.
+  e.static_mj = (params_.static_vdd_mw +
+                 params_.static_vpp_mw_at_nominal * vpp_scale(vpp_v)) *
+                elapsed_s;
+  return e;
+}
+
+}  // namespace vppstudy::dram

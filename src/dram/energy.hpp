@@ -1,0 +1,64 @@
+// DRAM energy accounting split by rail. DDR4 exposes VDD and VPP
+// separately, and the wordline pump's draw (the IPP currents of the
+// datasheet) scales with the pumped voltage -- which is exactly why the
+// paper argues VPP scaling comes at "a fixed hardware cost for a given
+// power budget" (section 3). This model turns ModuleStats into energy
+// numbers so benches can report the power side of the trade-off.
+//
+// Current values follow DDR4-2400 x8 datasheet IDD/IPP specs
+// (order-of-magnitude; see e.g. Micron MT40A docs).
+#pragma once
+
+#include "dram/module.hpp"
+
+namespace vppstudy::dram {
+
+struct EnergyModelParams {
+  double vdd_v = 1.2;
+  // Per-operation charge drawn from VDD [nC] (core + IO).
+  double act_pre_vdd_nc = 2.2;   ///< one ACT+PRE cycle
+  double rd_vdd_nc = 1.3;        ///< one burst read
+  double wr_vdd_nc = 1.4;        ///< one burst write
+  double ref_vdd_nc = 28.0;      ///< one REF command (8K rows / 8192 REFs)
+  // Per-activation charge drawn from the VPP pump at nominal 2.5V [nC];
+  // scales ~quadratically with VPP (pump charges the wordline capacitance
+  // to VPP through a VPP-proportional transfer).
+  double act_vpp_nc_at_nominal = 0.48;
+  double ref_vpp_nc_at_nominal = 6.0;
+  // Static draw [mW] per rail.
+  double static_vdd_mw = 45.0;
+  double static_vpp_mw_at_nominal = 4.0;
+};
+
+struct EnergyBreakdown {
+  double vdd_mj = 0.0;      ///< dynamic energy from the VDD rail [mJ]
+  double vpp_mj = 0.0;      ///< dynamic energy from the VPP rail [mJ]
+  double static_mj = 0.0;   ///< static energy over the elapsed window [mJ]
+
+  [[nodiscard]] double total_mj() const noexcept {
+    return vdd_mj + vpp_mj + static_mj;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyModelParams params = {}) : params_(params) {}
+
+  /// Energy consumed by the operations in `stats` at wordline voltage
+  /// `vpp_v`, over `elapsed_s` of wall-clock (for the static component).
+  [[nodiscard]] EnergyBreakdown account(const ModuleStats& stats,
+                                        double vpp_v,
+                                        double elapsed_s) const noexcept;
+
+  /// VPP-rail scale factor relative to nominal (quadratic in voltage).
+  [[nodiscard]] double vpp_scale(double vpp_v) const noexcept;
+
+  [[nodiscard]] const EnergyModelParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  EnergyModelParams params_;
+};
+
+}  // namespace vppstudy::dram

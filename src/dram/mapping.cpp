@@ -1,0 +1,110 @@
+#include "dram/mapping.hpp"
+
+#include <cassert>
+
+namespace vppstudy::dram {
+
+MappingScheme scheme_for(Manufacturer mfr) noexcept {
+  switch (mfr) {
+    case Manufacturer::kMfrA: return MappingScheme::kBitSwizzle;
+    case Manufacturer::kMfrB: return MappingScheme::kMirroredPairs;
+    case Manufacturer::kMfrC: return MappingScheme::kBlockInvert;
+  }
+  return MappingScheme::kIdentity;
+}
+
+RowMapping::RowMapping(MappingScheme scheme, std::uint32_t rows) noexcept
+    : scheme_(scheme), rows_(rows) {
+  assert(rows >= 8 && (rows & (rows - 1)) == 0 && "rows must be a power of 2");
+}
+
+RowMapping::RowMapping(MappingScheme scheme, std::uint32_t rows,
+                       std::vector<RowRepair> repairs)
+    : scheme_(scheme), rows_(rows), repairs_(std::move(repairs)) {
+  assert(rows >= 8 && (rows & (rows - 1)) == 0 && "rows must be a power of 2");
+  // Drop repairs that do not fit this geometry (tests shrink rows_per_bank
+  // after pulling a profile from the catalog).
+  std::erase_if(repairs_, [&](const RowRepair& r) {
+    return r.logical_row >= rows_ || r.spare_physical >= rows_;
+  });
+}
+
+namespace {
+
+// Mfr. A style: XOR row bit 3 into bits 1..2. Involutive (applying it twice
+// is the identity), which keeps the inverse trivial.
+std::uint32_t swizzle(std::uint32_t r) noexcept {
+  const std::uint32_t b3 = (r >> 3) & 1u;
+  return r ^ (b3 << 1) ^ (b3 << 2);
+}
+
+// Mfr. B style: within each block of 4 rows, swap the middle two
+// (0,1,2,3 -> 0,2,1,3). Involutive.
+std::uint32_t mirror_pairs(std::uint32_t r) noexcept {
+  const std::uint32_t low = r & 3u;
+  if (low == 1u) return r + 1;
+  if (low == 2u) return r - 1;
+  return r;
+}
+
+// Mfr. C style: invert the low 3 row bits inside odd 1K blocks. Involutive.
+std::uint32_t block_invert(std::uint32_t r) noexcept {
+  if ((r >> 10) & 1u) return r ^ 7u;
+  return r;
+}
+
+}  // namespace
+
+std::uint32_t RowMapping::base_transform(std::uint32_t row) const noexcept {
+  switch (scheme_) {
+    case MappingScheme::kIdentity: return row;
+    case MappingScheme::kBitSwizzle: return swizzle(row);
+    case MappingScheme::kMirroredPairs: return mirror_pairs(row);
+    case MappingScheme::kBlockInvert: return block_invert(row);
+  }
+  return row;
+}
+
+// With base involution B and a repair (L -> spare S), the full map M is B
+// with the *outputs* of inputs L and B(S) transposed:
+//   M(L)    = S
+//   M(B(S)) = B(L)   (the displaced logical row takes the fused-out slot)
+//   M(x)    = B(x) otherwise.
+// Hence M^-1(S) = L, M^-1(B(L)) = B(S), else M^-1(p) = B(p).
+
+std::uint32_t RowMapping::logical_to_physical(std::uint32_t row) const noexcept {
+  assert(row < rows_);
+  for (const auto& rep : repairs_) {
+    if (row == rep.logical_row) return rep.spare_physical;
+    if (row == base_transform(rep.spare_physical)) {
+      return base_transform(rep.logical_row);
+    }
+  }
+  return base_transform(row);
+}
+
+std::uint32_t RowMapping::physical_to_logical(std::uint32_t row) const noexcept {
+  assert(row < rows_);
+  for (const auto& rep : repairs_) {
+    if (row == rep.spare_physical) return rep.logical_row;
+    if (row == base_transform(rep.logical_row)) {
+      return base_transform(rep.spare_physical);
+    }
+  }
+  return base_transform(row);
+}
+
+RowMapping::Neighbors RowMapping::physical_neighbors(
+    std::uint32_t logical_row) const noexcept {
+  Neighbors n;
+  const std::uint32_t phys = logical_to_physical(logical_row);
+  if (phys == 0 || phys + 1 >= rows_) {
+    return n;  // physical edge of the bank
+  }
+  n.below = physical_to_logical(phys - 1);
+  n.above = physical_to_logical(phys + 1);
+  n.valid = true;
+  return n;
+}
+
+}  // namespace vppstudy::dram

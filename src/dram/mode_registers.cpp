@@ -1,0 +1,75 @@
+#include "dram/mode_registers.hpp"
+
+#include <string>
+
+namespace vppstudy::dram {
+
+using common::Error;
+
+namespace {
+
+// Field layouts (simplified but stable encodings used by this model):
+//   MR0: [6:3] CL - 9, [1:0] burst (0 = BL8, 2 = BC4)
+//   MR2: [5:3] CWL - 9
+//   MR4: [3] FGR 2x, [2] temperature-controlled refresh
+//   MR6: [0] TRR enable
+constexpr std::uint32_t kMr4Fgr = 1u << 3;
+constexpr std::uint32_t kMr4Tcr = 1u << 2;
+constexpr std::uint32_t kMr6Trr = 1u << 0;
+
+}  // namespace
+
+common::Expected<ModeRegisters> apply_mrs(ModeRegisters current, int mr_index,
+                                          std::uint32_t operand) {
+  switch (mr_index) {
+    case 0: {
+      const int cl = static_cast<int>((operand >> 3) & 0xF) + 9;
+      const std::uint32_t bl = operand & 0x3;
+      if (bl != 0 && bl != 2) return Error{"MR0: unsupported burst mode"};
+      if (cl < 9 || cl > 24) return Error{"MR0: CAS latency out of range"};
+      current.cas_latency = cl;
+      current.burst_length = bl == 0 ? 8 : 4;
+      return current;
+    }
+    case 2: {
+      const int cwl = static_cast<int>((operand >> 3) & 0x7) + 9;
+      if (cwl < 9 || cwl > 16) return Error{"MR2: CWL out of range"};
+      current.cas_write_latency = cwl;
+      return current;
+    }
+    case 4: {
+      current.refresh_mode = (operand & kMr4Fgr) ? RefreshMode::kFgr2x
+                                                 : RefreshMode::kNormal1x;
+      current.temp_controlled_refresh = (operand & kMr4Tcr) != 0;
+      return current;
+    }
+    case 6: {
+      current.trr_enabled = (operand & kMr6Trr) != 0;
+      return current;
+    }
+    default:
+      return Error{"unsupported mode register MR" + std::to_string(mr_index)};
+  }
+}
+
+std::uint32_t encode_mr0(const ModeRegisters& mr) noexcept {
+  return (static_cast<std::uint32_t>(mr.cas_latency - 9) << 3) |
+         (mr.burst_length == 8 ? 0u : 2u);
+}
+
+std::uint32_t encode_mr2(const ModeRegisters& mr) noexcept {
+  return static_cast<std::uint32_t>(mr.cas_write_latency - 9) << 3;
+}
+
+std::uint32_t encode_mr4(const ModeRegisters& mr) noexcept {
+  std::uint32_t v = 0;
+  if (mr.refresh_mode == RefreshMode::kFgr2x) v |= kMr4Fgr;
+  if (mr.temp_controlled_refresh) v |= kMr4Tcr;
+  return v;
+}
+
+std::uint32_t encode_mr6(const ModeRegisters& mr) noexcept {
+  return mr.trr_enabled ? kMr6Trr : 0u;
+}
+
+}  // namespace vppstudy::dram

@@ -1,0 +1,56 @@
+// DDR4 mode registers (JESD79-4 MR0-MR6), modeled for the fields that
+// matter to this study's physics and methodology:
+//   * MR0: CAS latency / burst length (decoded, informational),
+//   * MR2: CAS write latency,
+//   * MR4: refresh options -- temperature-controlled refresh and the 2x
+//          fine-granularity refresh mode (footnote 7: DDR4 doubles the
+//          refresh rate at >= 85C),
+//   * MR6 (vendor space here): the TRR enable the paper's methodology
+//          sidesteps by never issuing REF.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.hpp"
+
+namespace vppstudy::dram {
+
+enum class RefreshMode : std::uint8_t {
+  kNormal1x = 0,  ///< every cell refreshed once per tREFW
+  kFgr2x = 1,     ///< fine-granularity 2x: half the stripe, twice the rate
+};
+
+struct ModeRegisters {
+  // MR0
+  int cas_latency = 17;
+  int burst_length = 8;
+  // MR2
+  int cas_write_latency = 12;
+  // MR4
+  RefreshMode refresh_mode = RefreshMode::kNormal1x;
+  bool temp_controlled_refresh = false;
+  // Vendor space
+  bool trr_enabled = true;
+
+  /// Effective refresh-rate multiplier at a given chip temperature:
+  /// FGR 2x always doubles; temperature-controlled refresh doubles at the
+  /// 85C boundary (footnote 7 / JESD79-4).
+  [[nodiscard]] double refresh_rate_multiplier(double temp_c) const noexcept {
+    double mult = refresh_mode == RefreshMode::kFgr2x ? 2.0 : 1.0;
+    if (temp_controlled_refresh && temp_c >= 85.0) mult *= 2.0;
+    return mult;
+  }
+};
+
+/// Decode a raw MRS operand for a register index (0, 2 or 4 supported; the
+/// vendor TRR bit rides on index 6). Unknown indices are rejected.
+[[nodiscard]] common::Expected<ModeRegisters> apply_mrs(
+    ModeRegisters current, int mr_index, std::uint32_t operand);
+
+/// Encode the supported registers back into raw operands (round-trip form).
+[[nodiscard]] std::uint32_t encode_mr0(const ModeRegisters& mr) noexcept;
+[[nodiscard]] std::uint32_t encode_mr2(const ModeRegisters& mr) noexcept;
+[[nodiscard]] std::uint32_t encode_mr4(const ModeRegisters& mr) noexcept;
+[[nodiscard]] std::uint32_t encode_mr6(const ModeRegisters& mr) noexcept;
+
+}  // namespace vppstudy::dram

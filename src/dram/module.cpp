@@ -1,0 +1,466 @@
+#include "dram/module.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::dram {
+
+using common::Error;
+using common::Status;
+
+namespace {
+
+/// Skip a whole-row physics pass when the expected flip count is below this.
+constexpr double kNegligibleExpectedFlips = 1e-3;
+
+/// Probability floor below which individual hash draws are skipped.
+constexpr double kNegligibleCellProbability = 1e-12;
+
+}  // namespace
+
+Module::Module(ModuleProfile profile)
+    : profile_(std::move(profile)),
+      physics_(profile_),
+      mapping_(scheme_for(profile_.mfr), profile_.rows_per_bank,
+               profile_.row_repairs),
+      trr_(profile_.banks, TrrEngine::Options{}),
+      banks_(profile_.banks) {}
+
+Status Module::check_responsive() const {
+  if (!responsive()) {
+    return Error{"module " + profile_.name +
+                 " does not respond: VPP below VPPmin (" +
+                 std::to_string(profile_.vppmin_v) + "V)"};
+  }
+  return Status::ok_status();
+}
+
+double Module::acts_of(const BankState& b,
+                       std::uint32_t physical_row) const {
+  const auto it = b.acts.find(physical_row);
+  return it == b.acts.end() ? 0.0 : it->second;
+}
+
+Module::RowState& Module::row_state(BankState& bank_state, std::uint32_t bank,
+                                    std::uint32_t physical_row) {
+  auto [it, inserted] = bank_state.rows.try_emplace(physical_row);
+  RowState& rs = it->second;
+  if (inserted) {
+    // A never-touched row: treat it as restored "long ago" with power-up
+    // content. Its first activation will not see artificial decay because
+    // restore_time starts at the current epoch when first sensed.
+    rs.restore_time_ns = 0.0;
+    rs.restore_vpp = vpp_v_;
+    rs.neigh_below_acts = acts_of(bank_state, physical_row - 1);
+    rs.neigh_above_acts = acts_of(bank_state, physical_row + 1);
+    rs.neigh2_below_acts = acts_of(bank_state, physical_row - 2);
+    rs.neigh2_above_acts = acts_of(bank_state, physical_row + 2);
+    (void)bank;
+  }
+  return rs;
+}
+
+void Module::ensure_initialized(std::uint32_t bank,
+                                std::uint32_t physical_row, RowState& rs) {
+  if (rs.initialized) return;
+  rs.data.resize(kBytesPerRow);
+  // Deterministic power-up content.
+  for (std::uint32_t i = 0; i < kBytesPerRow; ++i) {
+    rs.data[i] = static_cast<std::uint8_t>(
+        common::hash_key({profile_.seed, bank, physical_row, i, 0xb007ULL}));
+  }
+  rs.initialized = true;
+}
+
+void Module::apply_flips(std::uint32_t bank, std::uint32_t physical_row,
+                         RowState& rs, double p_hammer, double p_retention,
+                         double dt_s) {
+  const bool do_hammer = p_hammer > kNegligibleCellProbability;
+  const bool do_retention = p_retention > kNegligibleCellProbability;
+
+  // Weak retention cells (Obsv. 14/15): flip when the elapsed time exceeds
+  // their (VPP-scaled) retention time.
+  std::vector<std::uint32_t> weak_flips;
+  if (dt_s > 1e-3) {
+    const double scale = physics_.weak_cell_ret_scale(rs.restore_vpp) *
+                         std::exp2((80.0 - temp_c_) / 10.0);
+    for (const auto& wc : physics_.weak_cells(bank, physical_row)) {
+      if (dt_s > wc.t_ret_at_vppmin_s * scale) weak_flips.push_back(wc.bit);
+    }
+  }
+  if (!do_hammer && !do_retention && weak_flips.empty()) return;
+
+  const double hammer_threshold = 1.0 - p_hammer;
+  const double retention_threshold = 1.0 - p_retention;
+
+  std::vector<std::uint32_t> flipped_bits;
+  const auto consider_bit = [&](std::uint32_t bit, bool hammer, bool retention,
+                                bool weak) {
+    const std::uint32_t byte = bit / 8;
+    const std::uint32_t in_byte = bit % 8;
+    const bool stored = ((rs.data[byte] >> in_byte) & 1u) != 0;
+    // Only cells holding charge can lose it: a cell whose stored value is
+    // the discharged state is immune to both hammering and leakage. Weak
+    // retention cells are the exception: the study identifies them under
+    // each row's worst-case pattern, which by construction charges them, so
+    // the model treats them as charged under every canonical pattern.
+    if (!weak &&
+        stored != physics_.charged_value(bank, physical_row, bit)) {
+      return;
+    }
+    bool flips = false;
+    std::uint64_t flip_kind = 0;
+    if (hammer && physics_.cell_uniform(bank, physical_row, bit,
+                                        CellPhysics::CellDraw::kHammer) >
+                      hammer_threshold) {
+      flips = true;
+      flip_kind = 1;
+    }
+    if (!flips && retention &&
+        physics_.cell_uniform(bank, physical_row, bit,
+                              CellPhysics::CellDraw::kRetention) >
+            retention_threshold) {
+      flips = true;
+      flip_kind = 2;
+    }
+    if (!flips && weak) {
+      flips = true;
+      flip_kind = 2;
+    }
+    if (!flips) return;
+    flipped_bits.push_back(bit);
+    if (flip_kind == 1) {
+      ++stats_.hammer_bit_flips;
+    } else {
+      ++stats_.retention_bit_flips;
+    }
+  };
+
+  if (do_hammer || do_retention) {
+    for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
+      consider_bit(bit, do_hammer, do_retention, false);
+    }
+  }
+  for (const std::uint32_t bit : weak_flips) {
+    if (std::find(flipped_bits.begin(), flipped_bits.end(), bit) ==
+        flipped_bits.end()) {
+      consider_bit(bit, false, false, true);
+    }
+  }
+
+  if (flipped_bits.empty()) return;
+
+  // Optional on-die ECC: a single flipped bit inside a 64-bit device word is
+  // silently corrected during sensing; multi-bit words are not.
+  if (profile_.has_ondie_ecc) {
+    std::unordered_map<std::uint32_t, std::uint32_t> flips_per_word;
+    for (const auto bit : flipped_bits) ++flips_per_word[bit / 64];
+    std::vector<std::uint32_t> surviving;
+    surviving.reserve(flipped_bits.size());
+    for (const auto bit : flipped_bits) {
+      if (flips_per_word[bit / 64] >= 2) {
+        surviving.push_back(bit);
+      } else {
+        ++stats_.ondie_ecc_corrections;
+      }
+    }
+    flipped_bits = std::move(surviving);
+  }
+
+  for (const auto bit : flipped_bits) {
+    rs.data[bit / 8] = static_cast<std::uint8_t>(rs.data[bit / 8] ^
+                                                 (1u << (bit % 8)));
+  }
+}
+
+void Module::sense_and_restore(std::uint32_t bank, BankState& bs,
+                               std::uint32_t physical_row, RowState& rs,
+                               double now_ns) {
+  if (rs.initialized) {
+    const double dt_s = std::max(0.0, (now_ns - rs.restore_time_ns) * 1e-9);
+    const double below = acts_of(bs, physical_row - 1) - rs.neigh_below_acts;
+    const double above = acts_of(bs, physical_row + 1) - rs.neigh_above_acts;
+    const double below2 =
+        acts_of(bs, physical_row - 2) - rs.neigh2_below_acts;
+    const double above2 =
+        acts_of(bs, physical_row + 2) - rs.neigh2_above_acts;
+    // Per-aggressor hammer count: a double-sided attack with HC activations
+    // per side contributes (HC+HC)/2 = HC (section 4.2's definition).
+    // Distance-2 aggressors couple ~30x more weakly (the "blast radius"
+    // measured by [11]): they matter only under extreme hammering.
+    constexpr double kDistance2Coupling = 1.0 / 30.0;
+    const double hc = (below + above) / 2.0 +
+                      kDistance2Coupling * (below2 + above2) / 2.0;
+
+    const auto rp = physics_.row_params(bank, physical_row);
+    double p_hammer = 0.0;
+    if (hc > 0.0) {
+      const std::uint8_t signature = rs.data.empty() ? 0 : rs.data[0];
+      const int vpp_bucket = static_cast<int>(std::lround(vpp_v_ * 10.0));
+      const double pf =
+          physics_.pattern_factor(bank, physical_row, signature, vpp_bucket);
+      double hc_eff = hc;
+      if (measurement_noise_sigma_ > 0.0) {
+        hc_eff *= 1.0 + measurement_noise_sigma_ *
+                            common::normal_at({profile_.seed,
+                                               ++hammer_noise_counter_,
+                                               0xc0ffeeULL});
+      }
+      p_hammer = physics_.hammer_flip_probability(rp, hc_eff, vpp_v_, pf,
+                                                  rs.restore_q, temp_c_);
+    }
+    const std::uint8_t ret_signature = rs.data.empty() ? 0 : rs.data[0];
+    const double ret_pf =
+        physics_.pattern_retention_factor(bank, physical_row, ret_signature);
+    const double p_retention = physics_.retention_flip_probability(
+        rp, dt_s * ret_pf, rs.restore_vpp, temp_c_, rs.restore_q);
+
+    const double expected_flips =
+        (p_hammer + p_retention) * kBitsPerRow / 2.0;
+    if (expected_flips > kNegligibleExpectedFlips || dt_s > 1e-3) {
+      apply_flips(bank, physical_row, rs, p_hammer, p_retention, dt_s);
+    }
+  }
+  rs.restore_time_ns = now_ns;
+  rs.restore_vpp = vpp_v_;
+  rs.restore_q = 1.0;  // adjusted at precharge if tRAS was violated
+  rs.neigh_below_acts = acts_of(bs, physical_row - 1);
+  rs.neigh_above_acts = acts_of(bs, physical_row + 1);
+  rs.neigh2_below_acts = acts_of(bs, physical_row - 2);
+  rs.neigh2_above_acts = acts_of(bs, physical_row + 2);
+}
+
+Status Module::activate(std::uint32_t bank, std::uint32_t logical_row,
+                        double now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return st;
+  if (bank >= banks_.size()) return Error{"bank out of range"};
+  if (logical_row >= profile_.rows_per_bank) return Error{"row out of range"};
+  BankState& bs = banks_[bank];
+  if (bs.open_physical_row >= 0) {
+    return Error{"ACT to bank " + std::to_string(bank) +
+                 " which already has an open row"};
+  }
+  const std::uint32_t phys = mapping_.logical_to_physical(logical_row);
+  bs.acts[phys] += 1.0;
+  ++stats_.activates;
+  if (trr_enabled_ && profile_.has_trr) trr_.observe_activate(bank, phys);
+
+  RowState& rs = row_state(bs, bank, phys);
+  sense_and_restore(bank, bs, phys, rs, now_ns);
+
+  bs.open_physical_row = phys;
+  bs.activate_time_ns = now_ns;
+  return Status::ok_status();
+}
+
+Status Module::precharge(std::uint32_t bank, double now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return st;
+  if (bank >= banks_.size()) return Error{"bank out of range"};
+  BankState& bs = banks_[bank];
+  if (bs.open_physical_row >= 0) {
+    // A row closed before its charge-restoration completed keeps only part
+    // of its charge (tRAS violation; section 6.2).
+    const double open_ns = now_ns - bs.activate_time_ns;
+    auto it = bs.rows.find(static_cast<std::uint32_t>(bs.open_physical_row));
+    if (it != bs.rows.end()) {
+      it->second.restore_q = physics_.restore_fraction(open_ns, vpp_v_);
+    }
+    bs.open_physical_row = -1;
+  }
+  ++stats_.precharges;
+  return Status::ok_status();
+}
+
+Status Module::precharge_all(double now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return st;
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    if (auto st = precharge(b, now_ns); !st.ok()) return st;
+    --stats_.precharges;  // count PREA as one operation below
+  }
+  ++stats_.precharges;
+  return Status::ok_status();
+}
+
+common::Expected<std::array<std::uint8_t, kBytesPerColumn>> Module::read(
+    std::uint32_t bank, std::uint32_t column, double now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return Error{st.error().message};
+  if (bank >= banks_.size()) return Error{"bank out of range"};
+  if (column >= kColumnsPerRow) return Error{"column out of range"};
+  BankState& bs = banks_[bank];
+  if (bs.open_physical_row < 0) {
+    return Error{"RD to bank " + std::to_string(bank) + " with no open row"};
+  }
+  const auto phys = static_cast<std::uint32_t>(bs.open_physical_row);
+  RowState& rs = row_state(bs, bank, phys);
+  ensure_initialized(bank, phys, rs);
+  ++stats_.reads;
+
+  std::array<std::uint8_t, kBytesPerColumn> out{};
+  std::copy_n(rs.data.begin() + column * kBytesPerColumn, kBytesPerColumn,
+              out.begin());
+
+  // Reads issued before the row's slowest cells have sensed return wrong
+  // values for those cells (the data in the array is unaffected -- the row
+  // buffer simply had not settled). A small per-read jitter models the
+  // analog noise of marginal timing.
+  const double trcd_ns = now_ns - bs.activate_time_ns;
+  const auto rp = physics_.row_params(bank, phys);
+  const double jitter =
+      0.04 * common::normal_at({profile_.seed, ++read_noise_counter_, 0x7eadULL});
+  const double p_fail =
+      physics_.trcd_fail_probability(rp, trcd_ns + jitter, vpp_v_);
+  if (p_fail > kNegligibleCellProbability) {
+    const double threshold = 1.0 - p_fail;
+    for (std::uint32_t i = 0; i < kBytesPerColumn * 8; ++i) {
+      const std::uint32_t bit = column * kBytesPerColumn * 8 + i;
+      if (physics_.cell_uniform(bank, phys, bit,
+                                CellPhysics::CellDraw::kTrcd) > threshold) {
+        out[i / 8] = static_cast<std::uint8_t>(out[i / 8] ^ (1u << (i % 8)));
+        ++stats_.trcd_read_errors;
+      }
+    }
+  }
+  return out;
+}
+
+Status Module::write(std::uint32_t bank, std::uint32_t column,
+                     std::span<const std::uint8_t, kBytesPerColumn> data,
+                     double now_ns) {
+  (void)now_ns;
+  if (auto st = check_responsive(); !st.ok()) return st;
+  if (bank >= banks_.size()) return Error{"bank out of range"};
+  if (column >= kColumnsPerRow) return Error{"column out of range"};
+  BankState& bs = banks_[bank];
+  if (bs.open_physical_row < 0) {
+    return Error{"WR to bank " + std::to_string(bank) + " with no open row"};
+  }
+  const auto phys = static_cast<std::uint32_t>(bs.open_physical_row);
+  RowState& rs = row_state(bs, bank, phys);
+  ensure_initialized(bank, phys, rs);
+  std::copy(data.begin(), data.end(),
+            rs.data.begin() + column * kBytesPerColumn);
+  ++stats_.writes;
+  return Status::ok_status();
+}
+
+void Module::refresh_physical_row(std::uint32_t bank,
+                                  std::uint32_t physical_row, double now_ns) {
+  BankState& bs = banks_[bank];
+  const auto it = bs.rows.find(physical_row);
+  if (it == bs.rows.end()) return;  // never-touched rows have nothing to lose
+  sense_and_restore(bank, bs, physical_row, it->second, now_ns);
+}
+
+Status Module::refresh(double now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return st;
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    if (banks_[b].open_physical_row >= 0) {
+      return Error{"REF with open row in bank " + std::to_string(b)};
+    }
+  }
+  // Each REF covers rows_per_bank / 8192 consecutive rows in every bank
+  // (JESD79-4: 8192 REFs per refresh window); FGR 2x / temperature-
+  // controlled refresh widen the stripe so rows are visited more often.
+  const double rate = mode_registers_.refresh_rate_multiplier(temp_c_);
+  const std::uint32_t stripe = std::max(
+      1u, static_cast<std::uint32_t>(
+              static_cast<double>(profile_.rows_per_bank) / 8192.0 * rate));
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    for (std::uint32_t r = 0; r < stripe; ++r) {
+      refresh_physical_row(b, refresh_cursor_ + r, now_ns);
+    }
+  }
+  refresh_cursor_ = (refresh_cursor_ + stripe) % profile_.rows_per_bank;
+  ++stats_.refreshes;
+
+  if (trr_enabled_ && profile_.has_trr && mode_registers_.trr_enabled) {
+    if (const auto m = trr_.on_refresh()) {
+      // Refresh the physical neighbors of the suspected aggressor.
+      if (m->physical_row > 0) {
+        refresh_physical_row(m->bank, m->physical_row - 1, now_ns);
+      }
+      if (m->physical_row + 1 < profile_.rows_per_bank) {
+        refresh_physical_row(m->bank, m->physical_row + 1, now_ns);
+      }
+      ++stats_.trr_mitigations;
+    }
+  }
+  return Status::ok_status();
+}
+
+Status Module::load_mode_register(int mr_index, std::uint32_t operand,
+                                  double now_ns) {
+  (void)now_ns;
+  if (auto st = check_responsive(); !st.ok()) return st;
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    if (banks_[b].open_physical_row >= 0) {
+      return Error{"MRS with open row in bank " + std::to_string(b)};
+    }
+  }
+  auto updated = apply_mrs(mode_registers_, mr_index, operand);
+  if (!updated) return Error{updated.error().message};
+  mode_registers_ = *updated;
+  return Status::ok_status();
+}
+
+Status Module::hammer_pair(std::uint32_t bank, std::uint32_t logical_row_a,
+                           std::uint32_t logical_row_b, std::uint64_t count,
+                           double act_to_act_ns, double& now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return st;
+  if (bank >= banks_.size()) return Error{"bank out of range"};
+  BankState& bs = banks_[bank];
+  if (bs.open_physical_row >= 0) {
+    return Error{"hammer loop needs a precharged bank"};
+  }
+  const std::uint32_t pa = mapping_.logical_to_physical(logical_row_a);
+  const std::uint32_t pb = mapping_.logical_to_physical(logical_row_b);
+  if (pa == pb) return Error{"hammer rows must differ"};
+
+  // Settle both aggressors' pending physics at the loop start, then account
+  // the activations in bulk. Because the loop interleaves ACT a / ACT b,
+  // each aggressor is re-restored between any two neighbor activations, so
+  // the per-interval disturbance on the aggressors themselves is
+  // sub-threshold -- absorbing the counts into fresh snapshots at the end is
+  // physically equivalent and makes 300K-activation loops O(1).
+  RowState& ra = row_state(bs, bank, pa);
+  sense_and_restore(bank, bs, pa, ra, now_ns);
+  RowState& rb = row_state(bs, bank, pb);
+  sense_and_restore(bank, bs, pb, rb, now_ns);
+
+  // Each loop activation leaves the aggressor open for (act_to_act - tRP);
+  // longer on-times disturb more per activation ([12]'s on-time axis). At
+  // the nominal tRC spacing the factor is exactly 1.
+  const double on_ns = act_to_act_ns - 13.5;
+  const double weight =
+      physics_.on_time_factor(on_ns) * static_cast<double>(count);
+  bs.acts[pa] += weight;
+  bs.acts[pb] += weight;
+  stats_.activates += 2 * count;
+  stats_.precharges += 2 * count;
+  if (trr_enabled_ && profile_.has_trr) {
+    trr_.observe_activates(bank, pa, count);
+    trr_.observe_activates(bank, pb, count);
+  }
+  now_ns += static_cast<double>(2 * count) * act_to_act_ns;
+
+  // Final restore snapshots after the loop.
+  sense_and_restore(bank, bs, pa, ra, now_ns);
+  sense_and_restore(bank, bs, pb, rb, now_ns);
+  return Status::ok_status();
+}
+
+std::vector<std::uint8_t> Module::debug_row_snapshot(std::uint32_t bank,
+                                                     std::uint32_t logical_row,
+                                                     double now_ns) {
+  BankState& bs = banks_.at(bank);
+  const std::uint32_t phys = mapping_.logical_to_physical(logical_row);
+  RowState& rs = row_state(bs, bank, phys);
+  ensure_initialized(bank, phys, rs);
+  sense_and_restore(bank, bs, phys, rs, now_ns);
+  return rs.data;
+}
+
+}  // namespace vppstudy::dram

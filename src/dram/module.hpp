@@ -1,0 +1,176 @@
+// The DDR4 module device model: a rank of lock-step chips exposed at module
+// granularity (8KB rows, 64-bit columns), with externally driven VPP/VDD
+// rails, a bank state machine, lazily evaluated cell physics, an internal
+// logical->physical row mapping, TRR, and optional on-die ECC.
+//
+// The host (src/softmc) supplies cycle-accurate command timestamps; the
+// device reacts physically (partial restoration on short tRAS, read errors
+// on short tRCD, decay without REF, disturbance from neighbor activations).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/units.hpp"
+#include "dram/mapping.hpp"
+#include "dram/mode_registers.hpp"
+#include "dram/physics.hpp"
+#include "dram/profile.hpp"
+#include "dram/trr.hpp"
+#include "dram/types.hpp"
+
+namespace vppstudy::dram {
+
+/// Counters a test harness reads out after an experiment.
+struct ModuleStats {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t hammer_bit_flips = 0;
+  std::uint64_t retention_bit_flips = 0;
+  std::uint64_t trcd_read_errors = 0;
+  std::uint64_t trr_mitigations = 0;
+  std::uint64_t ondie_ecc_corrections = 0;
+};
+
+class Module {
+ public:
+  explicit Module(ModuleProfile profile);
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const ModuleProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] const CellPhysics& physics() const noexcept { return physics_; }
+  [[nodiscard]] const RowMapping& mapping() const noexcept { return mapping_; }
+  [[nodiscard]] const ModuleStats& stats() const noexcept { return stats_; }
+
+  // --- Power rail and environment -------------------------------------------
+  /// Drive the external VPP rail. The device accepts any voltage; whether it
+  /// still *responds* is a separate question (see responsive()).
+  void set_vpp(double vpp_v) noexcept { vpp_v_ = vpp_v; }
+  [[nodiscard]] double vpp() const noexcept { return vpp_v_; }
+  void set_temperature(double temp_c) noexcept { temp_c_ = temp_c; }
+  [[nodiscard]] double temperature() const noexcept { return temp_c_; }
+  /// Below the module's VPPmin the access transistors can no longer connect
+  /// cells to bitlines and the module stops communicating (section 7).
+  [[nodiscard]] bool responsive() const noexcept {
+    return vpp_v_ >= profile_.vppmin_v - 1e-9;
+  }
+
+  void set_trr_enabled(bool enabled) noexcept { trr_enabled_ = enabled; }
+
+  /// MRS command: program a mode register (banks must be precharged).
+  /// Supported: MR0 (CL/BL), MR2 (CWL), MR4 (refresh options), MR6 (vendor
+  /// TRR enable). FGR 2x widens the per-REF stripe so every row is visited
+  /// twice per refresh window.
+  [[nodiscard]] common::Status load_mode_register(int mr_index,
+                                                  std::uint32_t operand,
+                                                  double now_ns);
+  [[nodiscard]] const ModeRegisters& mode_registers() const noexcept {
+    return mode_registers_;
+  }
+
+  /// Optional run-to-run measurement noise (relative sigma on the effective
+  /// disturbance of each hammer evaluation). Real rigs see small thermal and
+  /// supply fluctuations between iterations -- the paper quantifies them via
+  /// the coefficient of variation across 10 repeats (section 4.6). Default 0
+  /// keeps the model bit-exact across repeated identical experiments.
+  void set_measurement_noise(double relative_sigma) noexcept {
+    measurement_noise_sigma_ = relative_sigma;
+  }
+
+  // --- DDR4 command interface (now_ns: host-provided command time) -----------
+  [[nodiscard]] common::Status activate(std::uint32_t bank,
+                                        std::uint32_t logical_row,
+                                        double now_ns);
+  [[nodiscard]] common::Status precharge(std::uint32_t bank, double now_ns);
+  [[nodiscard]] common::Status precharge_all(double now_ns);
+  /// Read one 64-bit column burst from the open row. Reads issued before the
+  /// slowest cells have sensed (short tRCD) return corrupted data.
+  [[nodiscard]] common::Expected<std::array<std::uint8_t, kBytesPerColumn>>
+  read(std::uint32_t bank, std::uint32_t column, double now_ns);
+  [[nodiscard]] common::Status write(
+      std::uint32_t bank, std::uint32_t column,
+      std::span<const std::uint8_t, kBytesPerColumn> data, double now_ns);
+  /// One REF command: refreshes the next stripe of rows in every bank and
+  /// gives TRR its chance to act.
+  [[nodiscard]] common::Status refresh(double now_ns);
+
+  /// Bulk double-sided hammer fast path (the SoftMC LOOP instruction):
+  /// alternately activate+precharge `row_a` and `row_b` `count` times each,
+  /// spaced `act_to_act_ns` apart. Advances `now_ns` past the loop.
+  [[nodiscard]] common::Status hammer_pair(std::uint32_t bank,
+                                           std::uint32_t logical_row_a,
+                                           std::uint32_t logical_row_b,
+                                           std::uint64_t count,
+                                           double act_to_act_ns,
+                                           double& now_ns);
+
+  /// Test/debug support: direct snapshot of a row's stored bytes, evaluating
+  /// pending physics first (as an activation at `now_ns` would).
+  [[nodiscard]] std::vector<std::uint8_t> debug_row_snapshot(
+      std::uint32_t bank, std::uint32_t logical_row, double now_ns);
+
+ private:
+  struct RowState {
+    std::vector<std::uint8_t> data;  ///< kBytesPerRow once initialized
+    double restore_time_ns = 0.0;
+    double restore_vpp = common::kNominalVppV;
+    double restore_q = 1.0;  ///< fraction of full restoration achieved
+    double neigh_below_acts = 0.0;  ///< weighted snapshot at last restore
+    double neigh_above_acts = 0.0;
+    double neigh2_below_acts = 0.0;  ///< distance-2 snapshots
+    double neigh2_above_acts = 0.0;
+    bool initialized = false;
+  };
+  struct BankState {
+    std::unordered_map<std::uint32_t, RowState> rows;  // by physical row
+    /// Disturbance-weighted activation counts by physical row: a plain ACT
+    /// adds 1.0, a hammer-loop activation adds its on-time factor.
+    std::unordered_map<std::uint32_t, double> acts;
+    std::int64_t open_physical_row = -1;
+    double activate_time_ns = 0.0;
+  };
+
+  [[nodiscard]] common::Status check_responsive() const;
+  RowState& row_state(BankState& bank_state, std::uint32_t bank,
+                      std::uint32_t physical_row);
+  [[nodiscard]] double acts_of(const BankState& b,
+                               std::uint32_t physical_row) const;
+  /// Apply pending retention + hammer physics to a row, then mark it
+  /// restored at `now_ns` (what a row activation's sensing does).
+  void sense_and_restore(std::uint32_t bank, BankState& bs,
+                         std::uint32_t physical_row, RowState& rs,
+                         double now_ns);
+  void apply_flips(std::uint32_t bank, std::uint32_t physical_row,
+                   RowState& rs, double p_hammer, double p_retention,
+                   double dt_s);
+  void ensure_initialized(std::uint32_t bank, std::uint32_t physical_row,
+                          RowState& rs);
+  void refresh_physical_row(std::uint32_t bank, std::uint32_t physical_row,
+                            double now_ns);
+
+  ModuleProfile profile_;
+  CellPhysics physics_;
+  RowMapping mapping_;
+  TrrEngine trr_;
+  ModeRegisters mode_registers_;
+  bool trr_enabled_ = true;
+  std::vector<BankState> banks_;
+  ModuleStats stats_;
+  double vpp_v_ = common::kNominalVppV;
+  double temp_c_ = common::kHammerTestTempC;
+  std::uint32_t refresh_cursor_ = 0;
+  std::uint64_t read_noise_counter_ = 0;
+  std::uint64_t hammer_noise_counter_ = 0;
+  double measurement_noise_sigma_ = 0.0;
+};
+
+}  // namespace vppstudy::dram

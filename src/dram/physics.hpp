@@ -1,0 +1,201 @@
+// Mechanistic cell physics: how VPP, hammer counts, elapsed time, timing
+// violations, and data patterns turn into bit flips.
+//
+// The model follows the error mechanisms the paper names (section 2.3/2.4):
+//
+//  * Disturbance per aggressor activation combines electron injection/drift
+//    (~linear in VPP) and capacitive crosstalk (~quadratic in VPP), so
+//    lowering VPP weakens hammering -> HCfirst rises, BER falls (Obsv. 1/4).
+//  * Charge restoration saturates at min(VDD, VPP - Vth) (Obsv. 10); the
+//    restoration deficit at low VPP *opposes* the disturbance reduction and
+//    produces the minority of rows whose vulnerability worsens (Obsv. 2/5).
+//  * Retention: exponential leakage with lognormal cell time constants; the
+//    restoration deficit shortens effective retention (Obsv. 12).
+//  * Activation latency: a weaker wordline overdrive slows charge sharing
+//    (Obsv. 7-9; cross-checked against src/circuit's transistor-level sim).
+//
+// Every per-row / per-cell quantity is a pure function of (module seed,
+// coordinates), so flips are at consistently predictable locations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/profile.hpp"
+
+namespace vppstudy::dram {
+
+/// Per-vendor behavioral coefficients (calibrated against the per-vendor
+/// spreads of Figs. 4, 6, 10b; see DESIGN.md section 5).
+struct VendorCurve {
+  double shape_gamma = 1.2;        ///< curvature of the VPP sensitivity shape
+  double s_jitter_sigma = 0.12;    ///< per-row spread of HCfirst sensitivity
+  double inversion_fraction = 0.2; ///< rows with a restoration-penalty term
+  double inversion_scale = 0.25;   ///< strength of that penalty
+  double alpha_jitter_sigma = 0.06;///< per-row spread of the BER exponent
+  double row_strength_sigma = 0.35;///< spread of per-row HCfirst above the min
+  double trcd_row_sigma_ns = 0.25; ///< row-to-row tRCDmin offset
+  double trcd_cell_sigma_ns = 0.12;///< cell-level tRCDmin spread within a row
+  double ret_sigma_log = 1.0;      ///< per-cell lognormal retention sigma
+  double ret_vpp_kappa = 0.5;      ///< retention sensitivity to VPP deficit
+  double ret_mu_jitter = 0.25;     ///< per-row retention median jitter
+  double pattern_spread = 0.10;    ///< WCDP tilt magnitude on HCfirst
+};
+
+[[nodiscard]] const VendorCurve& vendor_curve(Manufacturer mfr) noexcept;
+
+/// Analytic VPP-limited restored cell voltage: fixed point of
+/// v = min(VDD, VPP - Vth(v)) with the same access-transistor constants as
+/// the circuit model (cross-checked in tests against
+/// circuit::steady_state_cell_voltage).
+[[nodiscard]] double analytic_restored_voltage(double vpp_v) noexcept;
+
+/// Normalized restoration deficit in [0,1): 0 when the cell restores to full
+/// VDD (VPP >= ~2.0V), growing as VPP drops.
+[[nodiscard]] double restore_deficit(double vpp_v) noexcept;
+
+class CellPhysics {
+ public:
+  explicit CellPhysics(const ModuleProfile& profile);
+  /// Ablation-study constructor: override the vendor behavioral curve
+  /// (e.g. zero the inversion terms to show Obsv. 2/5 vanish without the
+  /// restoration-penalty mechanism).
+  CellPhysics(const ModuleProfile& profile, const VendorCurve& curve);
+
+  /// Deterministic per-row parameters.
+  struct RowParams {
+    double hc_first = 30e3;    ///< weakest-cell flip threshold at 2.5V
+    double alpha_nom = 2.0;    ///< per-cell flip-probability exponent at 2.5V
+    double s = 0.0;            ///< VPP sensitivity scale (row-specific)
+    double penalty_w = 0.0;    ///< restoration-penalty weight (0 for most rows)
+    double trcd_offset_ns = 0.0;
+    double ret_mu = 4.1;       ///< ln(median retention seconds) at 80C/2.5V
+    /// Per-row temperature coefficient of the RowHammer threshold. Prior
+    /// work (Orosa+ MICRO'21, cited as [12]) shows the interaction is
+    /// row-dependent with both signs; the paper defers the three-way
+    /// VPP/temperature study to future work (section 7) -- this term lets
+    /// the bench suite explore it.
+    double temp_sens = 0.0;
+  };
+  [[nodiscard]] RowParams row_params(std::uint32_t bank,
+                                     std::uint32_t phys_row) const;
+
+  /// Normalized VPP sensitivity shape: 0 at nominal VPP, 1 at this module's
+  /// VPPmin, smooth in between.
+  [[nodiscard]] double sensitivity_shape(double vpp_v) const noexcept;
+
+  /// Row-level HCfirst multiplier M_row(vpp) (1 at nominal VPP).
+  [[nodiscard]] double hammer_multiplier(const RowParams& rp,
+                                         double vpp_v) const noexcept;
+
+  /// Effective flip-probability exponent at a VPP level (the BER-vs-HC slope
+  /// steepens/flattens slightly with VPP so that both HCfirst and BER anchors
+  /// of Table 3 are hit; see DESIGN.md).
+  [[nodiscard]] double alpha_at(const RowParams& rp,
+                                double vpp_v) const noexcept;
+
+  /// Data-pattern multiplier on hc0 (>= 1; the WCDP is the pattern with the
+  /// smallest factor). `signature` is the row's fill byte; `vpp_bucket`
+  /// introduces the rare WCDP flips across VPP the paper reports (~2.4% of
+  /// rows, footnote 9).
+  [[nodiscard]] double pattern_factor(std::uint32_t bank, std::uint32_t row,
+                                      std::uint8_t signature,
+                                      int vpp_bucket) const;
+
+  /// Data-pattern multiplier on *effective elapsed time* for retention
+  /// (>= 1): some patterns couple more leakage into a row's cells, so the
+  /// retention WCDP is the pattern with the largest factor (section 4.4).
+  [[nodiscard]] double pattern_retention_factor(std::uint32_t bank,
+                                                std::uint32_t row,
+                                                std::uint8_t signature) const;
+
+  /// Per-cell flip probability after `hc` activations of *each* of the two
+  /// physical neighbors, at wordline voltage `vpp_v` and chip temperature
+  /// `temp_c`, for cells whose stored value leaves them chargeable (the
+  /// vulnerable half). Tests run at 50C (section 4.1), where the
+  /// temperature term vanishes.
+  [[nodiscard]] double hammer_flip_probability(
+      const RowParams& rp, double hc, double vpp_v, double pattern_factor,
+      double restore_q, double temp_c = 50.0) const noexcept;
+
+  /// Row-level HCfirst multiplier from temperature alone (1 at the 50C
+  /// characterization setpoint; direction is row-dependent).
+  [[nodiscard]] double temperature_multiplier(const RowParams& rp,
+                                              double temp_c) const noexcept;
+
+  /// Disturbance weight of one aggressor activation as a function of how
+  /// long the aggressor row stays open ([12] characterizes this "aggressor
+  /// on-time" axis; RowPress later weaponized it). 1.0 at the nominal tRAS
+  /// of 32ns, growing logarithmically with longer open times.
+  [[nodiscard]] double on_time_factor(double on_ns) const noexcept;
+
+  /// Per-cell probability that leakage flips a charged cell after `dt_s`
+  /// seconds without refresh. `restore_q` in (0,1] scales the initial charge
+  /// (1 = fully restored at the given VPP).
+  [[nodiscard]] double retention_flip_probability(const RowParams& rp,
+                                                  double dt_s, double vpp_v,
+                                                  double temp_c,
+                                                  double restore_q) const noexcept;
+
+  /// Row-level mean of the minimum reliable activation latency at a VPP.
+  [[nodiscard]] double trcd_row_mean_ns(const RowParams& rp,
+                                        double vpp_v) const noexcept;
+
+  /// Probability that a single cell misreads when accessed `trcd_ns` after
+  /// ACT (cell-level spread around the row mean).
+  [[nodiscard]] double trcd_fail_probability(const RowParams& rp,
+                                             double trcd_ns,
+                                             double vpp_v) const noexcept;
+
+  /// Fraction of full restoration achieved when a row stays open for
+  /// `open_ns` before precharge (tRAS violations cause partial restore).
+  [[nodiscard]] double restore_fraction(double open_ns,
+                                        double vpp_v) const noexcept;
+
+  /// Stable per-cell uniform draw for a named purpose.
+  enum class CellDraw : std::uint64_t {
+    kHammer = 1,
+    kRetention = 2,
+    kTrcd = 3,
+    kPolarity = 4,
+  };
+  [[nodiscard]] double cell_uniform(std::uint32_t bank, std::uint32_t row,
+                                    std::uint32_t bit, CellDraw what) const;
+  /// True-cell / anti-cell layout: the stored value that corresponds to a
+  /// *charged* capacitor for this cell.
+  [[nodiscard]] bool charged_value(std::uint32_t bank, std::uint32_t row,
+                                   std::uint32_t bit) const;
+
+  /// Retention-weak cells of a row (Obsv. 14/15): bit index plus the cell's
+  /// retention time at VPPmin, placed in distinct 64-bit words.
+  struct WeakCell {
+    std::uint32_t bit = 0;
+    double t_ret_at_vppmin_s = 0.0;
+  };
+  [[nodiscard]] std::vector<WeakCell> weak_cells(std::uint32_t bank,
+                                                 std::uint32_t row) const;
+
+  /// Retention-time multiplier of weak cells at `vpp_v`, relative to their
+  /// specified time at VPPmin (> 1 at nominal VPP: weak cells only cross the
+  /// 64ms boundary when VPP is reduced, Obsv. 13).
+  [[nodiscard]] double weak_cell_ret_scale(double vpp_v) const noexcept;
+
+  [[nodiscard]] const ModuleProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] const VendorCurve& curve() const noexcept { return curve_; }
+
+  /// Module-level anchors derived from the profile (exposed for tests).
+  [[nodiscard]] double alpha_nominal_module() const noexcept { return alpha_nom_mod_; }
+  [[nodiscard]] double alpha_vppmin_module() const noexcept { return alpha_min_mod_; }
+  [[nodiscard]] double log_m_module() const noexcept { return log_m_mod_; }
+
+ private:
+  ModuleProfile profile_;
+  VendorCurve curve_;
+  double alpha_nom_mod_ = 2.0;  ///< ln(N*BER)/ln(300K/HCfirst) at 2.5V
+  double alpha_min_mod_ = 2.0;  ///< same anchored at VPPmin
+  double log_m_mod_ = 0.0;      ///< ln(HCfirst@VPPmin / HCfirst@2.5V)
+  double mu_mod_ = 0.0;         ///< per-row mean sensitivity at VPPmin
+  double gap_mod_ = 0.0;        ///< mu_mod_ - log_m_mod_ (penalty tail depth)
+};
+
+}  // namespace vppstudy::dram

@@ -1,0 +1,37 @@
+#include "dram/timing.hpp"
+
+namespace vppstudy::dram {
+
+Ddr4Timing timing_for_speed_grade(int mega_transfers_per_s) {
+  Ddr4Timing t;  // defaults: DDR4-2400
+  switch (mega_transfers_per_s) {
+    case 2133:
+      t.t_ck_ns = 0.937;
+      t.t_rcd_ns = 14.06;
+      t.t_rp_ns = 14.06;
+      t.t_ras_ns = 33.0;
+      t.t_rc_ns = 47.06;
+      break;
+    case 2400:
+      break;  // defaults
+    case 2666:
+      t.t_ck_ns = 0.750;
+      t.t_rcd_ns = 13.50;
+      t.t_rp_ns = 13.50;
+      t.t_ras_ns = 32.0;
+      t.t_rc_ns = 45.5;
+      break;
+    case 3200:
+      t.t_ck_ns = 0.625;
+      t.t_rcd_ns = 13.75;
+      t.t_rp_ns = 13.75;
+      t.t_ras_ns = 32.0;
+      t.t_rc_ns = 45.75;
+      break;
+    default:
+      break;  // fall back to DDR4-2400
+  }
+  return t;
+}
+
+}  // namespace vppstudy::dram

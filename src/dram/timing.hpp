@@ -1,0 +1,33 @@
+// DDR4 timing parameters (JESD79-4) for the speed grades of the tested
+// modules. All values in nanoseconds. The SoftMC timing checker consumes
+// these; the characterization harness deliberately violates some of them
+// (that is the whole point of an FPGA-based testing platform).
+#pragma once
+
+#include <cstdint>
+
+namespace vppstudy::dram {
+
+struct Ddr4Timing {
+  double t_ck_ns = 0.833;     ///< clock period (DDR4-2400)
+  double t_rcd_ns = 13.5;     ///< ACT -> RD/WR
+  double t_ras_ns = 32.0;     ///< ACT -> PRE
+  double t_rp_ns = 13.5;      ///< PRE -> ACT
+  double t_rc_ns = 45.5;      ///< ACT -> ACT (same bank)
+  double t_rrd_s_ns = 3.3;    ///< ACT -> ACT (different bank group)
+  double t_rrd_l_ns = 4.9;    ///< ACT -> ACT (same bank group)
+  double t_faw_ns = 21.0;     ///< rolling four-activate window
+  double t_wr_ns = 15.0;      ///< write recovery
+  double t_rtp_ns = 7.5;      ///< read to precharge
+  double t_cl_ns = 13.5;      ///< CAS latency
+  double t_cwl_ns = 10.0;     ///< CAS write latency
+  double t_refi_ns = 7800.0;  ///< average refresh interval
+  double t_rfc_ns = 350.0;    ///< refresh cycle time
+  double t_refw_ms = 64.0;    ///< refresh window (all rows refreshed once)
+};
+
+/// Timing set for a standard speed grade, selected by data rate in MT/s.
+/// Values follow JESD79-4 bin tables; unknown rates fall back to DDR4-2400.
+[[nodiscard]] Ddr4Timing timing_for_speed_grade(int mega_transfers_per_s);
+
+}  // namespace vppstudy::dram

@@ -1,0 +1,68 @@
+#include "dram/trr.hpp"
+
+#include <algorithm>
+
+namespace vppstudy::dram {
+
+TrrEngine::TrrEngine(std::uint32_t banks, Options options)
+    : options_(options), tables_(banks) {}
+
+void TrrEngine::observe_activate(std::uint32_t bank,
+                                 std::uint32_t physical_row) {
+  observe_activates(bank, physical_row, 1);
+}
+
+void TrrEngine::observe_activates(std::uint32_t bank,
+                                  std::uint32_t physical_row,
+                                  std::uint64_t count) {
+  if (bank >= tables_.size() || count == 0) return;
+  auto& table = tables_[bank];
+  for (auto& e : table) {
+    if (e.row == physical_row) {
+      e.count += count;
+      return;
+    }
+  }
+  if (table.size() < options_.table_entries) {
+    table.push_back({physical_row, count});
+    return;
+  }
+  // Misra-Gries: decrement everyone by the smaller of (count, min count);
+  // a displaced entry makes room for the newcomer.
+  auto min_it = std::min_element(
+      table.begin(), table.end(),
+      [](const Entry& a, const Entry& b) { return a.count < b.count; });
+  if (count > min_it->count) {
+    const std::uint64_t dec = min_it->count;
+    for (auto& e : table) e.count -= std::min(e.count, dec);
+    *min_it = {physical_row, count - dec};
+  } else {
+    for (auto& e : table) e.count -= std::min(e.count, count);
+  }
+}
+
+std::optional<TrrEngine::Mitigation> TrrEngine::on_refresh() {
+  // Round-robin over banks so a single hot bank cannot starve the others.
+  for (std::uint32_t i = 0; i < tables_.size(); ++i) {
+    const std::uint32_t bank =
+        (refresh_scan_bank_ + i) % static_cast<std::uint32_t>(tables_.size());
+    auto& table = tables_[bank];
+    auto hot = std::max_element(
+        table.begin(), table.end(),
+        [](const Entry& a, const Entry& b) { return a.count < b.count; });
+    if (hot != table.end() && hot->count >= options_.act_threshold) {
+      Mitigation m{bank, hot->row};
+      hot->count = 0;
+      refresh_scan_bank_ = (bank + 1) % static_cast<std::uint32_t>(tables_.size());
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+void TrrEngine::reset() {
+  for (auto& t : tables_) t.clear();
+  refresh_scan_bank_ = 0;
+}
+
+}  // namespace vppstudy::dram

@@ -1,0 +1,52 @@
+// In-DRAM Target Row Refresh (TRR) model. Modern DDR4 chips track frequently
+// activated rows and refresh their neighbors during REF commands [36,43].
+// Crucially -- and this is how the paper disables it (section 4.1) -- TRR can
+// only act when the memory controller issues REF; a refresh-free test window
+// renders it inert.
+//
+// The tracker is a per-bank Misra-Gries frequent-item table, which matches
+// the counter-table behavior reverse-engineered from real chips by U-TRR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vppstudy::dram {
+
+class TrrEngine {
+ public:
+  struct Options {
+    std::uint32_t table_entries = 8;    ///< tracked aggressor candidates/bank
+    std::uint64_t act_threshold = 512;  ///< count needed to earn a mitigation
+  };
+
+  TrrEngine(std::uint32_t banks, Options options);
+
+  /// Called on every ACT.
+  void observe_activate(std::uint32_t bank, std::uint32_t physical_row);
+  /// Bulk form used by the hammer fast path.
+  void observe_activates(std::uint32_t bank, std::uint32_t physical_row,
+                         std::uint64_t count);
+
+  /// Called on REF: returns the aggressor row (if any) whose neighbors the
+  /// chip decides to refresh now, consuming its counter.
+  struct Mitigation {
+    std::uint32_t bank = 0;
+    std::uint32_t physical_row = 0;
+  };
+  [[nodiscard]] std::optional<Mitigation> on_refresh();
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint32_t row = 0;
+    std::uint64_t count = 0;
+  };
+  Options options_;
+  std::vector<std::vector<Entry>> tables_;  // per bank
+  std::uint32_t refresh_scan_bank_ = 0;
+};
+
+}  // namespace vppstudy::dram

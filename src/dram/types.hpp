@@ -1,0 +1,70 @@
+// Shared vocabulary types for the DRAM device model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vppstudy::dram {
+
+/// The three major DRAM manufacturers of the study (Table 1). The paper
+/// anonymizes them as Mfr. A/B/C (Micron / Samsung / SK Hynix).
+enum class Manufacturer { kMfrA, kMfrB, kMfrC };
+
+[[nodiscard]] inline const char* manufacturer_name(Manufacturer m) noexcept {
+  switch (m) {
+    case Manufacturer::kMfrA: return "Mfr. A (Micron)";
+    case Manufacturer::kMfrB: return "Mfr. B (Samsung)";
+    case Manufacturer::kMfrC: return "Mfr. C (SK Hynix)";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline char manufacturer_letter(Manufacturer m) noexcept {
+  switch (m) {
+    case Manufacturer::kMfrA: return 'A';
+    case Manufacturer::kMfrB: return 'B';
+    case Manufacturer::kMfrC: return 'C';
+  }
+  return '?';
+}
+
+/// Logical DRAM coordinates as seen over the DDR4 interface.
+struct Address {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;
+};
+
+/// Geometry constants of the modeled rank (chips operate in lock-step, so the
+/// model works at module granularity; see DESIGN.md).
+inline constexpr std::uint32_t kBytesPerRow = 8192;   ///< 8KB rank page
+inline constexpr std::uint32_t kBitsPerRow = kBytesPerRow * 8;
+inline constexpr std::uint32_t kBytesPerColumn = 8;   ///< one 64-bit word
+inline constexpr std::uint32_t kColumnsPerRow = kBytesPerRow / kBytesPerColumn;
+inline constexpr std::uint32_t kBanksPerRank = 16;    ///< DDR4 x8: 4 BG x 4
+
+/// DDR4 command identifiers (the subset the study exercises).
+enum class CommandKind : std::uint8_t {
+  kActivate,
+  kPrecharge,
+  kPrechargeAll,
+  kRead,
+  kWrite,
+  kRefresh,
+  kNop,
+};
+
+[[nodiscard]] inline const char* command_name(CommandKind k) noexcept {
+  switch (k) {
+    case CommandKind::kActivate: return "ACT";
+    case CommandKind::kPrecharge: return "PRE";
+    case CommandKind::kPrechargeAll: return "PREA";
+    case CommandKind::kRead: return "RD";
+    case CommandKind::kWrite: return "WR";
+    case CommandKind::kRefresh: return "REF";
+    case CommandKind::kNop: return "NOP";
+  }
+  return "?";
+}
+
+}  // namespace vppstudy::dram

@@ -1,0 +1,117 @@
+#include "ecc/secded.hpp"
+
+#include <array>
+#include <bit>
+
+namespace vppstudy::ecc {
+
+namespace {
+
+// Classic extended-Hamming construction over a 72-bit frame:
+//   * frame positions 1..71 hold 7 parity bits (at the powers of two) and the
+//     64 data bits (at every other position),
+//   * frame position 0 holds the overall parity bit (the SECDED extension).
+// The i-th Hamming parity bit covers every position whose index has bit i
+// set; the syndrome of a single-bit error is then exactly its position.
+
+/// data-bit index (0..63) -> frame position (non-power-of-two in 1..71).
+constexpr std::array<int, 64> build_data_positions() {
+  std::array<int, 64> pos{};
+  int next = 0;
+  for (int p = 1; p <= 71 && next < 64; ++p) {
+    if ((p & (p - 1)) == 0) continue;  // power of two: parity position
+    pos[next++] = p;
+  }
+  return pos;
+}
+constexpr std::array<int, 64> kDataPos = build_data_positions();
+
+/// frame position -> data-bit index, or -1 for parity positions.
+constexpr std::array<int, 72> build_frame_to_data() {
+  std::array<int, 72> map{};
+  for (auto& m : map) m = -1;
+  for (int i = 0; i < 64; ++i) map[static_cast<std::size_t>(kDataPos[i])] = i;
+  return map;
+}
+constexpr std::array<int, 72> kFrameToData = build_frame_to_data();
+
+/// Check-bit layout inside Codeword::check: bits 0..6 are the Hamming parity
+/// bits for frame positions 1,2,4,8,16,32,64; bit 7 is the overall parity.
+
+std::uint8_t hamming_parities(std::uint64_t data) noexcept {
+  std::uint8_t parities = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (((data >> i) & 1) == 0) continue;
+    const int p = kDataPos[static_cast<std::size_t>(i)];
+    for (int b = 0; b < 7; ++b) {
+      if (p & (1 << b)) parities = static_cast<std::uint8_t>(parities ^ (1 << b));
+    }
+  }
+  return parities;
+}
+
+}  // namespace
+
+Codeword encode(std::uint64_t data) noexcept {
+  Codeword cw;
+  cw.data = data;
+  std::uint8_t check = hamming_parities(data);
+  // Overall parity across data bits and the 7 Hamming bits (even parity).
+  const int ones = std::popcount(data) + std::popcount(static_cast<unsigned>(check & 0x7f));
+  if (ones & 1) check = static_cast<std::uint8_t>(check | 0x80);
+  cw.check = check;
+  return cw;
+}
+
+DecodeResult decode(const Codeword& cw) noexcept {
+  DecodeResult r;
+  r.data = cw.data;
+
+  const std::uint8_t expected = hamming_parities(cw.data);
+  const std::uint8_t syndrome =
+      static_cast<std::uint8_t>((expected ^ cw.check) & 0x7f);
+
+  const int ones = std::popcount(cw.data) +
+                   std::popcount(static_cast<unsigned>(cw.check));
+  const bool overall_parity_ok = (ones & 1) == 0;
+
+  if (syndrome == 0 && overall_parity_ok) {
+    r.state = DecodeState::kClean;
+    return r;
+  }
+  if (syndrome == 0 && !overall_parity_ok) {
+    // Only the overall parity bit itself is wrong.
+    r.state = DecodeState::kCorrectedCheck;
+    return r;
+  }
+  if (!overall_parity_ok) {
+    // Odd number of flipped bits with a nonzero syndrome: single-bit error at
+    // frame position `syndrome`.
+    const int pos = syndrome;
+    if (pos <= 71) {
+      const int data_bit = kFrameToData[static_cast<std::size_t>(pos)];
+      if (data_bit >= 0) {
+        r.data ^= (1ULL << data_bit);
+        r.state = DecodeState::kCorrectedData;
+        r.corrected_bit = data_bit;
+      } else {
+        r.state = DecodeState::kCorrectedCheck;
+      }
+      return r;
+    }
+  }
+  // Nonzero syndrome with even overall parity: double-bit error.
+  r.state = DecodeState::kUncorrectable;
+  return r;
+}
+
+Codeword flip_bit(Codeword cw, int position) noexcept {
+  if (position < 64) {
+    cw.data ^= (1ULL << position);
+  } else {
+    cw.check = static_cast<std::uint8_t>(cw.check ^ (1u << (position - 64)));
+  }
+  return cw;
+}
+
+}  // namespace vppstudy::ecc

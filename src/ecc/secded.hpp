@@ -1,0 +1,41 @@
+// SECDED(72,64) Hamming code [Hamming 1950], the "simple single error
+// correcting code" of Obsv. 14: rank-level DDR4 ECC protects each 64-bit data
+// word with 8 check bits, correcting any single-bit error and detecting any
+// double-bit error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace vppstudy::ecc {
+
+/// A 72-bit codeword: 64 data bits + 8 check bits.
+struct Codeword {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+};
+
+enum class DecodeState {
+  kClean,              ///< no error detected
+  kCorrectedData,      ///< single-bit error in the data bits, corrected
+  kCorrectedCheck,     ///< single-bit error in the check bits, corrected
+  kUncorrectable,      ///< double-bit (or worse detectable) error
+};
+
+struct DecodeResult {
+  std::uint64_t data = 0;
+  DecodeState state = DecodeState::kClean;
+  /// Bit position (0-63) of a corrected data-bit error, if any.
+  std::optional<int> corrected_bit;
+};
+
+/// Encode 64 data bits into a SECDED codeword.
+[[nodiscard]] Codeword encode(std::uint64_t data) noexcept;
+
+/// Decode (and correct, when possible) a possibly-corrupted codeword.
+[[nodiscard]] DecodeResult decode(const Codeword& cw) noexcept;
+
+/// Flip one bit of a codeword; positions 0-63 hit data, 64-71 hit check bits.
+[[nodiscard]] Codeword flip_bit(Codeword cw, int position) noexcept;
+
+}  // namespace vppstudy::ecc

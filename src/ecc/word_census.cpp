@@ -1,0 +1,34 @@
+#include "ecc/word_census.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace vppstudy::ecc {
+
+WordCensus census_row(std::span<const std::uint8_t> expected,
+                      std::span<const std::uint8_t> observed) {
+  assert(expected.size() == observed.size());
+  assert(expected.size() % 8 == 0);
+
+  WordCensus census;
+  census.total_words = expected.size() / 8;
+  for (std::size_t w = 0; w < census.total_words; ++w) {
+    std::uint64_t e = 0;
+    std::uint64_t o = 0;
+    std::memcpy(&e, expected.data() + w * 8, 8);
+    std::memcpy(&o, observed.data() + w * 8, 8);
+    const int flips = std::popcount(e ^ o);
+    census.flipped_bits += static_cast<std::uint64_t>(flips);
+    if (flips == 0) {
+      ++census.clean_words;
+    } else if (flips == 1) {
+      ++census.single_bit_words;
+    } else {
+      ++census.multi_bit_words;
+    }
+  }
+  return census;
+}
+
+}  // namespace vppstudy::ecc

@@ -1,0 +1,33 @@
+// Word-level error census over a DRAM row (Obsv. 14/15, Fig. 11): given the
+// expected and observed contents of a row, count how many 64-bit data words
+// contain exactly one / more than one flipped bit, and decide whether SECDED
+// would fully repair the row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vppstudy::ecc {
+
+struct WordCensus {
+  std::uint64_t total_words = 0;
+  std::uint64_t clean_words = 0;
+  std::uint64_t single_bit_words = 0;  ///< exactly one flipped bit
+  std::uint64_t multi_bit_words = 0;   ///< two or more flipped bits
+  std::uint64_t flipped_bits = 0;
+
+  /// SECDED repairs the row iff no word has more than one flipped bit.
+  [[nodiscard]] bool secded_correctable() const noexcept {
+    return multi_bit_words == 0;
+  }
+  [[nodiscard]] std::uint64_t erroneous_words() const noexcept {
+    return single_bit_words + multi_bit_words;
+  }
+};
+
+/// Compare expected vs observed row images (same length, a multiple of 8
+/// bytes) word by word.
+[[nodiscard]] WordCensus census_row(std::span<const std::uint8_t> expected,
+                                    std::span<const std::uint8_t> observed);
+
+}  // namespace vppstudy::ecc

@@ -1,0 +1,104 @@
+#include "harness/adjacency.hpp"
+
+#include <algorithm>
+
+#include "dram/data_pattern.hpp"
+#include "harness/experiment.hpp"
+
+namespace vppstudy::harness {
+
+using common::Error;
+
+AdjacencyRevEng::AdjacencyRevEng(softmc::Session& session,
+                                 AdjacencyConfig config)
+    : session_(session), config_(config) {}
+
+common::Expected<std::vector<std::uint32_t>> AdjacencyRevEng::find_victims(
+    std::uint32_t bank, std::uint32_t aggressor) {
+  const std::uint32_t rows = session_.module().profile().rows_per_bank;
+  const auto pattern = dram::DataPattern::kCheckerAA;
+  const auto victim_image = dram::pattern_row(pattern, dram::kBytesPerRow);
+  const auto aggressor_image = dram::pattern_row(
+      dram::inverse_pattern(pattern), dram::kBytesPerRow);
+
+  // Candidate window around the aggressor (mappings in this model move rows
+  // only short distances; real tooling widens the window until it converges).
+  const std::uint32_t lo =
+      aggressor > config_.scan_window ? aggressor - config_.scan_window : 0;
+  const std::uint32_t hi =
+      std::min(rows - 1, aggressor + config_.scan_window);
+
+  for (std::uint32_t r = lo; r <= hi; ++r) {
+    const auto& image = (r == aggressor) ? aggressor_image : victim_image;
+    if (auto st = session_.init_row(bank, r, image); !st.ok())
+      return Error{st.error().message};
+  }
+
+  // Single-sided hammering via the loop instruction needs a partner row;
+  // use one far outside the scan window so its own victims don't interfere.
+  const std::uint32_t partner = (aggressor + rows / 2) % rows;
+  if (auto st = session_.hammer_double_sided(bank, aggressor, partner,
+                                             config_.hammer_count);
+      !st.ok())
+    return Error{st.error().message};
+
+  // Collect flip counts, then keep only the dominant victims: distance-2
+  // rows also flip under extreme hammering (the blast radius), but with far
+  // fewer bits -- the immediate neighbors stand out by an order of
+  // magnitude, which is how real reverse-engineering separates them.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> flips_per_row;
+  std::uint64_t max_flips = 0;
+  for (std::uint32_t r = lo; r <= hi; ++r) {
+    if (r == aggressor) continue;
+    auto observed = session_.read_row(bank, r, kSafeReadTrcdNs);
+    if (!observed) return Error{observed.error().message};
+    const std::uint64_t flips = count_bit_flips(victim_image, *observed);
+    if (flips > 0) flips_per_row.emplace_back(r, flips);
+    max_flips = std::max(max_flips, flips);
+  }
+  std::vector<std::uint32_t> victims;
+  for (const auto& [r, flips] : flips_per_row) {
+    if (flips * 10 >= max_flips) victims.push_back(r);
+  }
+  return victims;
+}
+
+common::Expected<std::unordered_map<std::uint32_t,
+                                    AdjacencyRevEng::AggressorPair>>
+AdjacencyRevEng::recover_block(std::uint32_t bank, std::uint32_t start,
+                               std::uint32_t count) {
+  // victim -> set of aggressors observed to disturb it.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> aggressors_of;
+  const std::uint32_t margin = config_.scan_window;
+  const std::uint32_t lo = start > margin ? start - margin : 0;
+  const std::uint32_t hi = start + count + margin;
+  for (std::uint32_t agg = lo; agg < hi; ++agg) {
+    auto victims = find_victims(bank, agg);
+    if (!victims) return Error{victims.error().message};
+    for (const std::uint32_t v : *victims) {
+      aggressors_of[v].push_back(agg);
+    }
+  }
+
+  std::unordered_map<std::uint32_t, AggressorPair> result;
+  for (std::uint32_t v = start; v < start + count; ++v) {
+    const auto it = aggressors_of.find(v);
+    if (it == aggressors_of.end()) continue;
+    AggressorPair pair;
+    auto aggs = it->second;
+    std::sort(aggs.begin(), aggs.end());
+    aggs.erase(std::unique(aggs.begin(), aggs.end()), aggs.end());
+    if (aggs.size() >= 2) {
+      pair.below = aggs[0];
+      pair.above = aggs[1];
+      pair.complete = true;
+    } else if (aggs.size() == 1) {
+      pair.below = aggs[0];
+      pair.above = aggs[0];
+    }
+    result[v] = pair;
+  }
+  return result;
+}
+
+}  // namespace vppstudy::harness

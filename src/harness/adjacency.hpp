@@ -1,0 +1,47 @@
+// Physical-adjacency reverse engineering (section 4.2): DRAM-internal row
+// remapping means the rows a double-sided attack must activate are not
+// logical_row +/- 1. Like prior work [11,12], we recover the mapping by
+// hammering a candidate aggressor hard and observing which *logical* rows
+// flip: those are its physical neighbors.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::harness {
+
+struct AdjacencyConfig {
+  std::uint64_t hammer_count = 2'000'000;  ///< strong single-sided hammering
+  std::uint32_t scan_window = 8;           ///< logical rows scanned per side
+};
+
+class AdjacencyRevEng {
+ public:
+  AdjacencyRevEng(softmc::Session& session, AdjacencyConfig config);
+
+  /// Hammer logical `aggressor` and return the logical rows in the scan
+  /// window that flipped -- its physical neighbors.
+  [[nodiscard]] common::Expected<std::vector<std::uint32_t>> find_victims(
+      std::uint32_t bank, std::uint32_t aggressor);
+
+  /// Recover the aggressor pair for every row in [start, start+count):
+  /// map from victim logical row to its two aggressor logical rows.
+  struct AggressorPair {
+    std::uint32_t below = 0;
+    std::uint32_t above = 0;
+    bool complete = false;  ///< both sides recovered
+  };
+  [[nodiscard]] common::Expected<
+      std::unordered_map<std::uint32_t, AggressorPair>>
+  recover_block(std::uint32_t bank, std::uint32_t start, std::uint32_t count);
+
+ private:
+  softmc::Session& session_;
+  AdjacencyConfig config_;
+};
+
+}  // namespace vppstudy::harness

@@ -1,0 +1,145 @@
+#include "harness/attack_patterns.hpp"
+
+#include <algorithm>
+
+#include "harness/experiment.hpp"
+
+namespace vppstudy::harness {
+
+using common::Error;
+
+const char* attack_name(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kSingleSided: return "single-sided";
+    case AttackKind::kDoubleSided: return "double-sided";
+    case AttackKind::kManySided: return "many-sided";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Logical row currently mapped to a physical position.
+std::uint32_t logical_at(const dram::RowMapping& mapping,
+                         std::uint32_t physical) {
+  return mapping.physical_to_logical(physical);
+}
+
+}  // namespace
+
+common::Expected<AttackOutcome> run_attack(softmc::Session& session,
+                                           std::uint32_t bank,
+                                           std::uint32_t victim_row,
+                                           const AttackConfig& config) {
+  const auto& mapping = session.module().mapping();
+  const std::uint32_t rows = mapping.rows();
+  const std::uint32_t victim_phys = mapping.logical_to_physical(victim_row);
+
+  // Lay out aggressors and victims in *physical* space.
+  std::vector<std::uint32_t> aggressors;  // logical addresses
+  std::vector<std::uint32_t> victims;     // logical addresses
+  switch (config.kind) {
+    case AttackKind::kSingleSided:
+      if (victim_phys == 0) return Error{"victim at physical edge"};
+      aggressors.push_back(logical_at(mapping, victim_phys - 1));
+      victims.push_back(victim_row);
+      break;
+    case AttackKind::kDoubleSided:
+      if (victim_phys == 0 || victim_phys + 1 >= rows)
+        return Error{"victim at physical edge"};
+      aggressors.push_back(logical_at(mapping, victim_phys - 1));
+      aggressors.push_back(logical_at(mapping, victim_phys + 1));
+      victims.push_back(victim_row);
+      break;
+    case AttackKind::kManySided: {
+      // TRRespass layout: aggressors at every even offset, victims between.
+      if (config.sides < 2) return Error{"many-sided needs >= 2 sides"};
+      const std::uint32_t base = victim_phys - 1;
+      if (base == 0 || base + 2ull * config.sides >= rows)
+        return Error{"many-sided pattern does not fit the bank"};
+      for (std::uint32_t s = 0; s < config.sides; ++s) {
+        aggressors.push_back(logical_at(mapping, base + 2 * s));
+        if (s + 1 < config.sides) {
+          victims.push_back(logical_at(mapping, base + 2 * s + 1));
+        }
+      }
+      break;
+    }
+  }
+
+  // Initialize victims with the pattern, aggressors with its inverse.
+  const auto victim_image =
+      dram::pattern_row(config.victim_pattern, dram::kBytesPerRow);
+  const auto aggressor_image = dram::pattern_row(
+      dram::inverse_pattern(config.victim_pattern), dram::kBytesPerRow);
+  for (const std::uint32_t v : victims) {
+    if (auto st = session.init_row(bank, v, victim_image); !st.ok())
+      return Error{st.error().message};
+  }
+  for (const std::uint32_t a : aggressors) {
+    if (auto st = session.init_row(bank, a, aggressor_image); !st.ok())
+      return Error{st.error().message};
+  }
+
+  const double start_ns = session.clock_ns();
+  const std::uint64_t trr_before = session.module().stats().trr_mitigations;
+
+  // Hammer in chunks so refresh (when requested) interleaves realistically.
+  const std::uint64_t chunk = config.refresh_during_attack
+                                  ? std::min<std::uint64_t>(2000, config.hammer_count)
+                                  : config.hammer_count;
+  std::uint64_t remaining = config.hammer_count;
+  // A single-sided attack still uses the pair instruction; the partner sits
+  // half a bank away so its disturbance cannot reach our victims.
+  const std::uint32_t far_partner = (victim_row + rows / 2) % rows;
+  while (remaining > 0) {
+    const std::uint64_t now_chunk = std::min(chunk, remaining);
+    if (config.kind == AttackKind::kSingleSided) {
+      if (auto st = session.hammer_double_sided(bank, aggressors[0],
+                                                far_partner, now_chunk);
+          !st.ok())
+        return Error{st.error().message};
+    } else {
+      for (std::size_t i = 0; i + 1 < aggressors.size(); i += 2) {
+        if (auto st = session.hammer_double_sided(bank, aggressors[i],
+                                                  aggressors[i + 1], now_chunk);
+            !st.ok())
+          return Error{st.error().message};
+      }
+      if (aggressors.size() % 2 != 0) {
+        if (auto st = session.hammer_double_sided(bank, aggressors.back(),
+                                                  far_partner, now_chunk);
+            !st.ok())
+          return Error{st.error().message};
+      }
+    }
+    if (config.refresh_during_attack) {
+      // Issue the REFs the elapsed wall-clock owes (one per tREFI per
+      // hammered pair chunk: 2 * chunk * tRC of activity).
+      const double activity_ns = 2.0 * static_cast<double>(now_chunk) *
+                                 session.timing().t_rc_ns *
+                                 std::max<std::size_t>(1, aggressors.size() / 2);
+      const auto refs = static_cast<std::uint64_t>(
+          activity_ns / session.timing().t_refi_ns) + 1;
+      softmc::Program p(session.timing());
+      for (std::uint64_t r = 0; r < refs; ++r) p.ref(session.timing().t_rfc_ns);
+      if (auto res = session.execute(p); !res.status.ok()) return Error{res.status.error().message};
+    }
+    remaining -= now_chunk;
+  }
+
+  AttackOutcome outcome;
+  outcome.elapsed_ms = (session.clock_ns() - start_ns) / 1e6;
+  outcome.trr_mitigations =
+      session.module().stats().trr_mitigations - trr_before;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    auto observed = session.read_row(bank, victims[i], kSafeReadTrcdNs);
+    if (!observed) return Error{observed.error().message};
+    const std::uint64_t flips = count_bit_flips(victim_image, *observed);
+    outcome.total_flips += flips;
+    if (victims[i] == victim_row || i == 0) outcome.victim_flips = flips;
+  }
+  return outcome;
+}
+
+}  // namespace vppstudy::harness

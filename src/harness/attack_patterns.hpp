@@ -1,0 +1,55 @@
+// RowHammer attack patterns (section 4.2): the study uses double-sided
+// attacks because they are the most effective when no defense runs, but
+// discusses single-sided [Kim+ ISCA'14] and many-sided attacks (TRRespass /
+// U-TRR / Blacksmith) whose purpose is to overwhelm in-DRAM TRR trackers.
+// This module implements all three so their relative effectiveness -- and
+// their interaction with the TRR model -- can be measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "dram/data_pattern.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::harness {
+
+enum class AttackKind {
+  kSingleSided,  ///< one aggressor adjacent to the victim
+  kDoubleSided,  ///< both adjacent aggressors (the study's workhorse)
+  kManySided,    ///< TRRespass-style: N aggressor pairs straddling N victims
+};
+
+[[nodiscard]] const char* attack_name(AttackKind kind) noexcept;
+
+struct AttackConfig {
+  AttackKind kind = AttackKind::kDoubleSided;
+  /// Activations per aggressor row.
+  std::uint64_t hammer_count = 300'000;
+  /// Many-sided only: number of (victim, aggressor-pair) groups; aggressors
+  /// are shared between adjacent groups exactly as TRRespass lays them out.
+  std::uint32_t sides = 8;
+  dram::DataPattern victim_pattern = dram::DataPattern::kCheckerAA;
+  /// Interleave REF commands at tREFI during the attack (gives TRR its
+  /// chance to fight back; the characterization study never does this).
+  bool refresh_during_attack = false;
+};
+
+struct AttackOutcome {
+  /// Flipped bits in the primary victim row.
+  std::uint64_t victim_flips = 0;
+  /// Flipped bits across all victim rows of a many-sided pattern.
+  std::uint64_t total_flips = 0;
+  std::uint64_t trr_mitigations = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// Run one attack against `victim_row` (for many-sided, the first victim of
+/// the group). Initializes victims with the pattern and aggressors with its
+/// inverse, hammers, then reads back and counts flips.
+[[nodiscard]] common::Expected<AttackOutcome> run_attack(
+    softmc::Session& session, std::uint32_t bank, std::uint32_t victim_row,
+    const AttackConfig& config);
+
+}  // namespace vppstudy::harness

@@ -1,0 +1,64 @@
+#include "harness/retention_test.hpp"
+
+#include <algorithm>
+
+#include "harness/experiment.hpp"
+
+namespace vppstudy::harness {
+
+using common::Error;
+
+RetentionTest::RetentionTest(softmc::Session& session, RetentionConfig config)
+    : session_(session), config_(config) {}
+
+common::Expected<double> RetentionTest::measure_ber(std::uint32_t bank,
+                                                    std::uint32_t row,
+                                                    dram::DataPattern pattern,
+                                                    double trefw_ms) {
+  const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
+  if (auto st = session_.init_row(bank, row, image); !st.ok())
+    return Error{st.error().message};
+  if (auto st = session_.wait_ms(trefw_ms); !st.ok())
+    return Error{st.error().message};
+  auto observed = session_.read_row(bank, row, kSafeReadTrcdNs);
+  if (!observed) return Error{observed.error().message};
+  return bit_error_rate(image, *observed);
+}
+
+common::Expected<RetentionRowResult> RetentionTest::test_row(
+    std::uint32_t bank, std::uint32_t row, dram::DataPattern wcdp) {
+  RetentionRowResult result;
+  result.row = row;
+  result.wcdp = wcdp;
+  for (double trefw = config_.min_trefw_ms; trefw <= config_.max_trefw_ms;
+       trefw *= 2.0) {
+    double worst = 0.0;
+    for (int i = 0; i < config_.num_iterations; ++i) {
+      auto ber = measure_ber(bank, row, wcdp, trefw);
+      if (!ber) return Error{ber.error().message};
+      worst = std::max(worst, *ber);
+    }
+    result.trefw_ms.push_back(trefw);
+    result.ber.push_back(worst);
+  }
+  return result;
+}
+
+common::Expected<RetentionWordCensus> RetentionTest::census_at(
+    std::uint32_t bank, std::uint32_t row, dram::DataPattern pattern,
+    double trefw_ms) {
+  const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
+  if (auto st = session_.init_row(bank, row, image); !st.ok())
+    return Error{st.error().message};
+  if (auto st = session_.wait_ms(trefw_ms); !st.ok())
+    return Error{st.error().message};
+  auto observed = session_.read_row(bank, row, kSafeReadTrcdNs);
+  if (!observed) return Error{observed.error().message};
+  RetentionWordCensus rc;
+  rc.row = row;
+  rc.trefw_ms = trefw_ms;
+  rc.census = ecc::census_row(image, *observed);
+  return rc;
+}
+
+}  // namespace vppstudy::harness

@@ -1,0 +1,36 @@
+// Worst-case data pattern (WCDP) selection (section 4.1): for each row and
+// each test type, the most error-prone of the six canonical patterns is
+// determined at nominal VPP and reused at reduced VPP levels.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.hpp"
+#include "dram/data_pattern.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::harness {
+
+/// RowHammer WCDP: the pattern with the lowest HCfirst, tie-broken by the
+/// largest BER at 300K (section 4.2). Implemented as the pattern with the
+/// largest BER at a probe hammer count, escalating the count when no pattern
+/// flips at all (HCfirst and BER rank patterns identically in both the model
+/// and, to first order, real chips).
+[[nodiscard]] common::Expected<dram::DataPattern> find_wcdp_hammer(
+    softmc::Session& session, std::uint32_t bank, std::uint32_t row,
+    std::uint64_t probe_hc = 300'000);
+
+/// Retention WCDP: the pattern that flips at the smallest refresh window,
+/// tie-broken by BER at the largest window (section 4.4). Probed at a fixed
+/// long window.
+[[nodiscard]] common::Expected<dram::DataPattern> find_wcdp_retention(
+    softmc::Session& session, std::uint32_t bank, std::uint32_t row,
+    double probe_trefw_ms = 4000.0);
+
+/// tRCD WCDP: the pattern with the largest observed tRCDmin (section 4.3),
+/// probed by counting read errors at a deliberately aggressive tRCD.
+[[nodiscard]] common::Expected<dram::DataPattern> find_wcdp_trcd(
+    softmc::Session& session, std::uint32_t bank, std::uint32_t row,
+    double probe_trcd_ns = 9.0);
+
+}  // namespace vppstudy::harness

@@ -1,0 +1,215 @@
+#include "memctrl/controller.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/units.hpp"
+
+namespace vppstudy::memctrl {
+
+using common::Error;
+using common::Status;
+
+namespace {
+
+std::uint64_t ecc_key(const dram::Address& a) noexcept {
+  return (static_cast<std::uint64_t>(a.bank) << 48) |
+         (static_cast<std::uint64_t>(a.row) << 16) |
+         static_cast<std::uint64_t>(a.column);
+}
+
+}  // namespace
+
+MemoryController::MemoryController(softmc::Session& session,
+                                   ControllerOptions options,
+                                   std::unique_ptr<MitigationPolicy> policy)
+    : session_(session), options_(std::move(options)),
+      policy_(std::move(policy)),
+      next_refresh_ns_(session.clock_ns() + session.timing().t_refi_ns),
+      next_selective_ns_(session.clock_ns() +
+                         common::ms_to_ns(common::kNominalTrefwMs) / 2.0),
+      open_rows_(dram::kBanksPerRank, -1) {
+  assert(policy_ != nullptr);
+  // The controller owns refresh; the session must not double-issue.
+  session_.set_auto_refresh(false);
+}
+
+common::Status MemoryController::close_all_rows() {
+  for (std::uint32_t bank = 0; bank < open_rows_.size(); ++bank) {
+    if (open_rows_[bank] < 0) continue;
+    softmc::Program p(session_.timing());
+    p.pre(bank, session_.timing().t_rp_ns);
+    if (auto r = session_.execute(p); !r.status.ok()) return r.status;
+    open_rows_[bank] = -1;
+  }
+  return Status::ok_status();
+}
+
+Status MemoryController::catch_up_refresh() {
+  if (!options_.auto_refresh) return Status::ok_status();
+  // REF and targeted refreshes need precharged banks.
+  if (session_.clock_ns() >= next_refresh_ns_ ||
+      (!options_.fast_refresh_rows.empty() &&
+       session_.clock_ns() >= next_selective_ns_)) {
+    if (auto st = close_all_rows(); !st.ok()) return st;
+  }
+  // Issue any REFs whose tREFI slots have elapsed.
+  while (session_.clock_ns() >= next_refresh_ns_) {
+    softmc::Program p(session_.timing());
+    p.ref(session_.timing().t_rp_ns);
+    if (auto r = session_.execute(p); !r.status.ok()) return r.status;
+    ++stats_.refresh_commands;
+    next_refresh_ns_ += session_.timing().t_refi_ns;
+  }
+  // Selective 2x refresh: touch the flagged rows once per half-tREFW.
+  if (!options_.fast_refresh_rows.empty() &&
+      session_.clock_ns() >= next_selective_ns_) {
+    for (const auto& addr : options_.fast_refresh_rows) {
+      if (auto st = touch_row(addr.bank, addr.row); !st.ok()) return st;
+      ++stats_.selective_refreshes;
+    }
+    next_selective_ns_ += common::ms_to_ns(common::kNominalTrefwMs) / 2.0;
+  }
+  return Status::ok_status();
+}
+
+Status MemoryController::touch_row(std::uint32_t bank, std::uint32_t row) {
+  softmc::Program p(session_.timing());
+  p.act(bank, row);
+  p.pre(bank);  // default delay = tRAS: full restoration
+  return session_.execute(p).status;
+}
+
+Status MemoryController::refresh_neighbors_of(std::uint32_t bank,
+                                              std::uint32_t row) {
+  const auto neighbors = session_.module().mapping().physical_neighbors(row);
+  if (!neighbors.valid) return Status::ok_status();
+  if (auto st = touch_row(bank, neighbors.below); !st.ok()) return st;
+  if (auto st = touch_row(bank, neighbors.above); !st.ok()) return st;
+  stats_.mitigative_refreshes += 2;
+  return Status::ok_status();
+}
+
+common::Expected<Response> MemoryController::execute(const Request& request) {
+  if (auto st = catch_up_refresh(); !st.ok()) return Error{st.error().message};
+
+  const auto& addr = request.address;
+  const auto& t = session_.timing();
+  const double trcd =
+      options_.trcd_override_ns > 0.0 ? options_.trcd_override_ns : t.t_rcd_ns;
+
+  const bool open_page = options_.page_policy == PagePolicy::kOpenPage;
+  const bool row_hit =
+      open_page && addr.bank < open_rows_.size() &&
+      open_rows_[addr.bank] == static_cast<std::int64_t>(addr.row);
+
+  // Mitigation observes only real activations: a row hit issues none.
+  MitigationAction action;
+  if (!row_hit) {
+    action = policy_->on_activate(addr.bank, addr.row);
+    if (action.throttle_ns > 0.0) {
+      softmc::Program wait(t);
+      wait.wait_ns(action.throttle_ns);
+      if (auto r = session_.execute(wait); !r.status.ok())
+        return Error{r.status.error().message};
+      stats_.throttled_ns += action.throttle_ns;
+    }
+  }
+
+  Response response;
+  softmc::Program p(t);
+  if (row_hit) {
+    ++stats_.row_hits;
+    if (request.kind == Request::Kind::kWrite) {
+      p.wr(addr.bank, addr.column, request.data, 4.0 * t.t_ck_ns);
+    } else {
+      p.rd(addr.bank, addr.column, 4.0 * t.t_ck_ns);
+    }
+  } else {
+    if (open_page && open_rows_[addr.bank] >= 0) {
+      // Row conflict: close the stale row first.
+      p.pre(addr.bank, std::max(t.t_rtp_ns, t.t_wr_ns));
+    }
+    p.act(addr.bank, addr.row);
+    ++stats_.activates;
+    if (open_page) ++stats_.row_misses;
+    if (request.kind == Request::Kind::kWrite) {
+      p.wr(addr.bank, addr.column, request.data, trcd);
+      if (!open_page) p.pre(addr.bank, std::max(t.t_ras_ns - trcd, t.t_wr_ns));
+    } else {
+      p.rd(addr.bank, addr.column, trcd);
+      if (!open_page) p.pre(addr.bank, std::max(t.t_ras_ns - trcd, t.t_rtp_ns));
+    }
+  }
+  auto result = session_.execute(p);
+  if (!result.status.ok()) return Error{result.status.error().message};
+  if (open_page) open_rows_[addr.bank] = static_cast<std::int64_t>(addr.row);
+
+  if (request.kind == Request::Kind::kWrite) {
+    ++stats_.writes;
+    if (options_.use_secded) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, request.data.data(), sizeof(word));
+      ecc_store_[ecc_key(addr)] = ecc::encode(word).check;
+    }
+  } else {
+    ++stats_.reads;
+    if (result.reads.size() != 1) return Error{"missing read data"};
+    response.data = result.reads.front();
+    if (options_.use_secded) {
+      const auto it = ecc_store_.find(ecc_key(addr));
+      if (it != ecc_store_.end()) {
+        ecc::Codeword cw;
+        std::memcpy(&cw.data, response.data.data(), sizeof(cw.data));
+        cw.check = it->second;
+        const auto decoded = ecc::decode(cw);
+        switch (decoded.state) {
+          case ecc::DecodeState::kClean:
+            break;
+          case ecc::DecodeState::kCorrectedData:
+          case ecc::DecodeState::kCorrectedCheck:
+            response.corrected = true;
+            ++stats_.ecc_corrections;
+            std::memcpy(response.data.data(), &decoded.data,
+                        sizeof(decoded.data));
+            break;
+          case ecc::DecodeState::kUncorrectable:
+            response.uncorrectable = true;
+            ++stats_.ecc_uncorrectable;
+            break;
+        }
+      }
+    }
+  }
+
+  // Apply the policy's preventive refreshes after the access completes
+  // (targeted row touches need precharged banks).
+  if (!action.refresh_neighbors_of.empty()) {
+    if (auto st = close_all_rows(); !st.ok())
+      return Error{st.error().message};
+  }
+  for (const std::uint32_t victim_of : action.refresh_neighbors_of) {
+    if (auto st = refresh_neighbors_of(addr.bank, victim_of); !st.ok())
+      return Error{st.error().message};
+  }
+
+  response.completed_at_ns = session_.clock_ns();
+  return response;
+}
+
+common::Status MemoryController::idle_ms(double ms) {
+  // Advance in tREFI-sized chunks so refresh stays on schedule.
+  double remaining = common::ms_to_ns(ms);
+  const double chunk = session_.timing().t_refi_ns;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, chunk);
+    softmc::Program p(session_.timing());
+    p.wait_ns(step);
+    if (auto r = session_.execute(p); !r.status.ok()) return r.status;
+    remaining -= step;
+    if (auto st = catch_up_refresh(); !st.ok()) return st;
+  }
+  return Status::ok_status();
+}
+
+}  // namespace vppstudy::memctrl

@@ -1,0 +1,105 @@
+// A closed-page DDR4 memory controller on top of the SoftMC session: request
+// interface, nominal-timing command generation, distributed refresh, optional
+// rank-level SECDED, pluggable RowHammer mitigation, and selective 2x refresh
+// for retention-weak rows (the Obsv. 15 countermeasure).
+//
+// This is the "system" view of the paper's findings: the characterization
+// harness violates timing on purpose; the controller is the component that
+// must *honor* timing while surviving a hammering tenant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "ecc/secded.hpp"
+#include "memctrl/mitigation.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::memctrl {
+
+struct Request {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  dram::Address address;  ///< column selects one 64-bit word
+  std::array<std::uint8_t, dram::kBytesPerColumn> data{};  ///< for writes
+};
+
+struct Response {
+  std::array<std::uint8_t, dram::kBytesPerColumn> data{};
+  bool corrected = false;      ///< SECDED repaired a single-bit error
+  bool uncorrectable = false;  ///< SECDED detected >= 2 flips in the word
+  double completed_at_ns = 0.0;
+};
+
+struct ControllerStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t activates = 0;
+  std::uint64_t row_hits = 0;    ///< open-page: served from the open row
+  std::uint64_t row_misses = 0;  ///< open-page: needed PRE+ACT
+  std::uint64_t refresh_commands = 0;
+  std::uint64_t mitigative_refreshes = 0;  ///< preventive neighbor refreshes
+  std::uint64_t selective_refreshes = 0;   ///< extra 2x-rate row refreshes
+  std::uint64_t ecc_corrections = 0;
+  std::uint64_t ecc_uncorrectable = 0;
+  double throttled_ns = 0.0;
+};
+
+enum class PagePolicy {
+  kClosedPage,  ///< PRE after every access (the default; attack-hostile)
+  kOpenPage,    ///< keep the row open for locality (row hits skip ACT)
+};
+
+struct ControllerOptions {
+  bool auto_refresh = true;        ///< REF every tREFI while time advances
+  bool use_secded = true;          ///< rank-level SECDED(72,64)
+  double trcd_override_ns = -1.0;  ///< >0: use a longer tRCD (Obsv. 7 fix)
+  PagePolicy page_policy = PagePolicy::kClosedPage;
+  /// Rows refreshed at 2x rate via targeted ACT+PRE (Obsv. 15's selective
+  /// refresh); populated from a retention profile.
+  std::vector<dram::Address> fast_refresh_rows;
+};
+
+class MemoryController {
+ public:
+  MemoryController(softmc::Session& session, ControllerOptions options,
+                   std::unique_ptr<MitigationPolicy> policy);
+
+  /// Execute one request with nominal (or overridden) timing; advances the
+  /// session clock and interleaves any due refresh work first.
+  [[nodiscard]] common::Expected<Response> execute(const Request& request);
+
+  /// Let wall-clock pass with the bus idle (refresh keeps running).
+  [[nodiscard]] common::Status idle_ms(double ms);
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] MitigationPolicy& policy() noexcept { return *policy_; }
+
+ private:
+  [[nodiscard]] common::Status catch_up_refresh();
+  [[nodiscard]] common::Status refresh_neighbors_of(std::uint32_t bank,
+                                                    std::uint32_t row);
+  /// Targeted restore of one row (ACT + tRAS + PRE).
+  [[nodiscard]] common::Status touch_row(std::uint32_t bank,
+                                         std::uint32_t row);
+  /// Open-page: close every open row (needed before REF or targeted work).
+  [[nodiscard]] common::Status close_all_rows();
+
+  softmc::Session& session_;
+  ControllerOptions options_;
+  std::unique_ptr<MitigationPolicy> policy_;
+  ControllerStats stats_;
+  double next_refresh_ns_;
+  double next_selective_ns_;
+  /// Open-page bookkeeping: logical row currently open per bank, or -1.
+  std::vector<std::int64_t> open_rows_;
+  /// Rank-level ECC store: the "ninth chip" holding one check byte per
+  /// 64-bit word, keyed by (bank, row, column).
+  std::unordered_map<std::uint64_t, std::uint8_t> ecc_store_;
+};
+
+}  // namespace vppstudy::memctrl

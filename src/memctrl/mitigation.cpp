@@ -1,0 +1,140 @@
+#include "memctrl/mitigation.hpp"
+
+#include <algorithm>
+
+namespace vppstudy::memctrl {
+
+// --- PARA --------------------------------------------------------------------
+
+Para::Para(double probability, std::uint64_t seed)
+    : probability_(probability), rng_(seed), seed_(seed) {}
+
+std::string Para::name() const {
+  return "para(p=" + std::to_string(probability_) + ")";
+}
+
+MitigationAction Para::on_activate(std::uint32_t, std::uint32_t row) {
+  MitigationAction action;
+  if (rng_.uniform() < probability_) {
+    action.refresh_neighbors_of.push_back(row);
+    ++mitigations_;
+  }
+  return action;
+}
+
+void Para::reset() { rng_ = common::Xoshiro256(seed_); }
+
+// --- Graphene ----------------------------------------------------------------
+
+Graphene::Graphene(std::uint32_t banks, std::uint32_t table_entries,
+                   std::uint64_t threshold)
+    : table_entries_(table_entries), threshold_(threshold), tables_(banks) {}
+
+std::string Graphene::name() const {
+  return "graphene(T=" + std::to_string(threshold_) + ")";
+}
+
+MitigationAction Graphene::on_activate(std::uint32_t bank,
+                                       std::uint32_t row) {
+  MitigationAction action;
+  if (bank >= tables_.size()) return action;
+  auto& table = tables_[bank];
+
+  Entry* entry = nullptr;
+  for (auto& e : table) {
+    if (e.row == row) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    if (table.size() < table_entries_) {
+      table.push_back({row, 0});
+      entry = &table.back();
+    } else {
+      // Misra-Gries: decrement the minimum; displace it if it hits zero.
+      auto min_it = std::min_element(
+          table.begin(), table.end(),
+          [](const Entry& a, const Entry& b) { return a.count < b.count; });
+      if (min_it->count == 0) {
+        *min_it = {row, 0};
+        entry = &*min_it;
+      } else {
+        for (auto& e : table) --e.count;
+        return action;
+      }
+    }
+  }
+  if (++entry->count >= threshold_) {
+    entry->count = 0;
+    action.refresh_neighbors_of.push_back(row);
+    ++mitigations_;
+  }
+  return action;
+}
+
+void Graphene::reset() {
+  for (auto& t : tables_) t.clear();
+}
+
+// --- BlockHammer-lite ----------------------------------------------------------
+
+BlockHammerLite::BlockHammerLite(std::uint32_t banks,
+                                 std::uint64_t blacklist_threshold,
+                                 double throttle_ns)
+    : threshold_(blacklist_threshold), throttle_ns_(throttle_ns),
+      tables_(banks) {}
+
+std::string BlockHammerLite::name() const {
+  return "blockhammer(T=" + std::to_string(threshold_) + ")";
+}
+
+MitigationAction BlockHammerLite::on_activate(std::uint32_t bank,
+                                              std::uint32_t row) {
+  MitigationAction action;
+  if (bank >= tables_.size()) return action;
+  auto& table = tables_[bank];
+  Entry* entry = nullptr;
+  for (auto& e : table) {
+    if (e.row == row) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    if (table.size() < 16) {
+      table.push_back({row, 0});
+      entry = &table.back();
+    } else {
+      auto min_it = std::min_element(
+          table.begin(), table.end(),
+          [](const Entry& a, const Entry& b) { return a.count < b.count; });
+      const std::uint64_t dec = std::min<std::uint64_t>(min_it->count, 1);
+      for (auto& e : table) e.count -= std::min(e.count, dec);
+      if (min_it->count == 0) {
+        *min_it = {row, 0};
+        entry = &*min_it;
+      } else {
+        return action;
+      }
+    }
+  }
+  ++entry->count;
+  if (entry->count >= threshold_) {
+    // Blacklisted: throttle the requester and refresh the victims, then let
+    // the row earn its way back.
+    action.throttle_ns = throttle_ns_;
+    action.refresh_neighbors_of.push_back(row);
+    entry->count = threshold_ / 2;
+    ++mitigations_;
+    ++throttled_;
+  }
+  return action;
+}
+
+void BlockHammerLite::reset() {
+  for (auto& t : tables_) t.clear();
+  throttled_ = 0;
+}
+
+}  // namespace vppstudy::memctrl

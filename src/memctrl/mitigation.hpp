@@ -1,0 +1,127 @@
+// Controller-side RowHammer mitigation policies (section 3 of the paper
+// surveys these; section 9 argues VPP scaling is *complementary* to them).
+// Implemented here so the ablation benches can quantify that claim: at
+// reduced VPP the same protection level needs a cheaper policy setting.
+//
+//  * PARA     [Kim+ ISCA'14]: on every ACT, refresh the neighbors with a
+//             small probability p. Stateless; overhead ~ 2p extra ACTs.
+//  * Graphene [Park+ MICRO'20]: Misra-Gries counters per bank; when a row's
+//             estimated count crosses a threshold, refresh its neighbors
+//             and reset. Deterministic protection if threshold < HCfirst/2.
+//  * BlockHammer-lite [Yaglikci+ HPCA'21]: rate-limits rows whose activation
+//             count in a rolling window exceeds a blacklist threshold
+//             (modeled as a throttle delay plus neighbor refresh).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::memctrl {
+
+/// What a policy wants done after observing one ACT.
+struct MitigationAction {
+  /// Logical rows whose *physical neighbors* must be preventively refreshed.
+  std::vector<std::uint32_t> refresh_neighbors_of;
+  /// Extra delay imposed on the requester (BlockHammer-style throttling).
+  double throttle_ns = 0.0;
+};
+
+class MitigationPolicy {
+ public:
+  virtual ~MitigationPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Observe an ACT to (bank, logical row) and decide on countermeasures.
+  [[nodiscard]] virtual MitigationAction on_activate(std::uint32_t bank,
+                                                     std::uint32_t row) = 0;
+  virtual void reset() = 0;
+
+  [[nodiscard]] std::uint64_t mitigations() const noexcept {
+    return mitigations_;
+  }
+
+ protected:
+  std::uint64_t mitigations_ = 0;
+};
+
+/// The do-nothing baseline.
+class NoMitigation final : public MitigationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] MitigationAction on_activate(std::uint32_t,
+                                             std::uint32_t) override {
+    return {};
+  }
+  void reset() override {}
+};
+
+/// PARA: probabilistic adjacent-row activation.
+class Para final : public MitigationPolicy {
+ public:
+  /// `probability` is the per-ACT chance of a neighbor refresh (the paper
+  /// that proposed PARA uses ~0.001-0.01 depending on HCfirst).
+  explicit Para(double probability, std::uint64_t seed = 0x9a7a);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MitigationAction on_activate(std::uint32_t bank,
+                                             std::uint32_t row) override;
+  void reset() override;
+  [[nodiscard]] double probability() const noexcept { return probability_; }
+
+ private:
+  double probability_;
+  common::Xoshiro256 rng_;
+  std::uint64_t seed_;
+};
+
+/// Graphene: exact-ish frequent-item counting with a refresh threshold.
+class Graphene final : public MitigationPolicy {
+ public:
+  Graphene(std::uint32_t banks, std::uint32_t table_entries,
+           std::uint64_t threshold);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MitigationAction on_activate(std::uint32_t bank,
+                                             std::uint32_t row) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t threshold() const noexcept { return threshold_; }
+
+ private:
+  struct Entry {
+    std::uint32_t row = 0;
+    std::uint64_t count = 0;
+  };
+  std::uint32_t table_entries_;
+  std::uint64_t threshold_;
+  std::vector<std::vector<Entry>> tables_;
+};
+
+/// BlockHammer-lite: blacklist-and-throttle.
+class BlockHammerLite final : public MitigationPolicy {
+ public:
+  BlockHammerLite(std::uint32_t banks, std::uint64_t blacklist_threshold,
+                  double throttle_ns);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MitigationAction on_activate(std::uint32_t bank,
+                                             std::uint32_t row) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t throttled_activations() const noexcept {
+    return throttled_;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t row = 0;
+    std::uint64_t count = 0;
+  };
+  std::uint64_t threshold_;
+  double throttle_ns_;
+  std::vector<std::vector<Entry>> tables_;
+  std::uint64_t throttled_ = 0;
+};
+
+}  // namespace vppstudy::memctrl

@@ -1,0 +1,45 @@
+#include "memctrl/retention_profiler.hpp"
+
+#include "dram/data_pattern.hpp"
+#include "harness/experiment.hpp"
+
+namespace vppstudy::memctrl {
+
+using common::Error;
+
+common::Expected<RetentionProfile> profile_retention(
+    softmc::Session& session, const ProfilerOptions& options) {
+  RetentionProfile profile;
+  const double window_ms =
+      options.target_trefw_ms * options.guardband_factor;
+
+  // Profile with the strongest canonical pattern pair: both polarities are
+  // exercised so weak cells cannot hide behind a favorable stored value.
+  for (std::uint32_t row = options.first_row;
+       row < options.first_row + options.row_count; ++row) {
+    if (row >= session.module().profile().rows_per_bank) break;
+    ++profile.rows_scanned;
+    bool weak = false;
+    for (const auto pattern :
+         {dram::DataPattern::kCheckerAA, dram::DataPattern::kChecker55}) {
+      const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
+      if (auto st = session.init_row(options.bank, row, image); !st.ok())
+        return Error{st.error().message};
+      if (auto st = session.wait_ms(window_ms); !st.ok())
+        return Error{st.error().message};
+      auto observed =
+          session.read_row(options.bank, row, harness::kSafeReadTrcdNs);
+      if (!observed) return Error{observed.error().message};
+      if (harness::count_bit_flips(image, *observed) > 0) {
+        weak = true;
+        break;
+      }
+    }
+    if (weak) {
+      profile.weak_rows.push_back({options.bank, row, 0});
+    }
+  }
+  return profile;
+}
+
+}  // namespace vppstudy::memctrl

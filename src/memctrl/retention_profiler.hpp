@@ -1,0 +1,43 @@
+// REAPER-style retention profiling [Patel+ ISCA'17], applied the way
+// Obsv. 15 suggests: find the small fraction of rows that cannot hold the
+// nominal refresh window at a reduced VPP, so the controller can refresh
+// *only those* at 2x rate instead of the whole rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "dram/types.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::memctrl {
+
+struct RetentionProfile {
+  /// Rows that flipped within the profiling window at the profiled VPP.
+  std::vector<dram::Address> weak_rows;
+  std::uint32_t rows_scanned = 0;
+
+  [[nodiscard]] double weak_fraction() const noexcept {
+    return rows_scanned == 0
+               ? 0.0
+               : static_cast<double>(weak_rows.size()) / rows_scanned;
+  }
+};
+
+struct ProfilerOptions {
+  std::uint32_t bank = 0;
+  std::uint32_t first_row = 8;
+  std::uint32_t row_count = 128;
+  /// Profile with guardband: test at twice the target window so marginal
+  /// rows are caught before they fail in the field (REAPER's core idea).
+  double target_trefw_ms = 64.0;
+  double guardband_factor = 2.0;
+};
+
+/// Scan rows at the session's current VPP/temperature; rows showing any flip
+/// within target*guardband are flagged for 2x refresh.
+[[nodiscard]] common::Expected<RetentionProfile> profile_retention(
+    softmc::Session& session, const ProfilerOptions& options);
+
+}  // namespace vppstudy::memctrl

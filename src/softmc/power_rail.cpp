@@ -1,0 +1,28 @@
+#include "softmc/power_rail.hpp"
+
+#include <cmath>
+
+namespace vppstudy::softmc {
+
+PowerRail::PowerRail(double initial_v, Limits limits)
+    : limits_(limits), voltage_v_(initial_v) {}
+
+common::Expected<double> PowerRail::set_voltage(double volts) {
+  if (volts < limits_.min_v - 1e-12 || volts > limits_.max_v + 1e-12) {
+    return common::Error{"requested voltage outside instrument range"};
+  }
+  const double quantized =
+      std::round(volts / limits_.resolution_v) * limits_.resolution_v;
+  voltage_v_ = quantized;
+  return quantized;
+}
+
+double PowerRail::estimate_current_a(double activates_per_s) const noexcept {
+  // Static pump leakage plus per-activation wordline charge (order-of-
+  // magnitude numbers from DDR4 datasheet IPP specs).
+  constexpr double kStaticA = 0.004;
+  constexpr double kChargePerActC = 40e-12;
+  return kStaticA + kChargePerActC * activates_per_s * voltage_v_ / 2.5;
+}
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,41 @@
+// External power-rail model: the study removes the interposer's VPP shunt
+// resistor and drives the DIMM's VPP pin from a bench supply (TTi PL068-P)
+// with 1mV resolution (section 4.1). This class models that supply: voltage
+// setpoints quantize to 1mV and clamp to the instrument's output range.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.hpp"
+
+namespace vppstudy::softmc {
+
+/// Instrument output limits (defaults: TTi PL068-P, 0-6V, 1mV steps).
+struct RailLimits {
+  double min_v = 0.0;
+  double max_v = 6.0;
+  double resolution_v = 0.001;
+};
+
+class PowerRail {
+ public:
+  using Limits = RailLimits;
+
+  explicit PowerRail(double initial_v, Limits limits = Limits{});
+
+  /// Program a setpoint; returns the actually applied (quantized, clamped)
+  /// voltage or an error if the request is outside the instrument range.
+  common::Expected<double> set_voltage(double volts);
+
+  [[nodiscard]] double voltage() const noexcept { return voltage_v_; }
+
+  /// Crude load-current estimate for the lab notebook: wordline pump draw
+  /// scales with activation rate; exposed so examples can report power.
+  [[nodiscard]] double estimate_current_a(double activates_per_s) const noexcept;
+
+ private:
+  Limits limits_;
+  double voltage_v_;
+};
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,75 @@
+// SoftMC-style instruction programs. A test is a list of DDR4 commands, each
+// scheduled a number of 1.5ns command slots after its predecessor (our FPGA
+// interface can issue one command per 1.5ns, section 4.3 footnote 10).
+// Builders default to nominal DDR4 timing; characterization tests override
+// the slot counts to *violate* timing deliberately -- that flexibility is the
+// entire reason the study uses an FPGA platform instead of a CPU.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dram/timing.hpp"
+#include "dram/types.hpp"
+
+namespace vppstudy::softmc {
+
+struct Instruction {
+  dram::CommandKind kind = dram::CommandKind::kNop;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;
+  std::array<std::uint8_t, dram::kBytesPerColumn> write_data{};
+  /// Command slots (1.5ns each) after the previous instruction issues.
+  std::uint32_t slots_after_previous = 1;
+  /// kNop only: extra idle time (used for retention waits; slots would
+  /// overflow for multi-second waits).
+  double extra_wait_ns = 0.0;
+  /// Hammer-loop extension (maps to SoftMC's LOOP construct): when
+  /// loop_count > 0, this ACT alternates (row, loop_row_b) loop_count times
+  /// each with loop_act_to_act_ns spacing.
+  std::uint64_t loop_count = 0;
+  std::uint32_t loop_row_b = 0;
+  double loop_act_to_act_ns = 0.0;
+};
+
+/// Fluent builder for instruction sequences.
+class Program {
+ public:
+  explicit Program(dram::Ddr4Timing timing);
+
+  [[nodiscard]] const dram::Ddr4Timing& timing() const noexcept {
+    return timing_;
+  }
+  [[nodiscard]] const std::vector<Instruction>& instructions() const noexcept {
+    return instructions_;
+  }
+
+  /// Convert a latency in ns to command slots, rounding *up* (the FPGA can
+  /// only lengthen timing to the next 1.5ns boundary).
+  [[nodiscard]] static std::uint32_t slots_for(double ns) noexcept;
+
+  Program& act(std::uint32_t bank, std::uint32_t row, double delay_ns = -1.0);
+  Program& pre(std::uint32_t bank, double delay_ns = -1.0);
+  Program& rd(std::uint32_t bank, std::uint32_t column, double delay_ns = -1.0);
+  Program& wr(std::uint32_t bank, std::uint32_t column,
+              std::array<std::uint8_t, dram::kBytesPerColumn> data,
+              double delay_ns = -1.0);
+  Program& ref(double delay_ns = -1.0);
+  Program& wait_ns(double ns);
+  /// Double-sided hammer loop: ACT/PRE row_a and row_b alternately,
+  /// `count` times each. `act_to_act_ns <= 0` uses the nominal tRC; larger
+  /// spacings keep each aggressor open longer (RowPress-style on-time
+  /// experiments).
+  Program& hammer(std::uint32_t bank, std::uint32_t row_a, std::uint32_t row_b,
+                  std::uint64_t count, double act_to_act_ns = -1.0);
+
+ private:
+  Program& push(Instruction inst, double default_delay_ns, double delay_ns);
+
+  dram::Ddr4Timing timing_;
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace vppstudy::softmc

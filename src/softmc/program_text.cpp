@@ -1,0 +1,157 @@
+#include "softmc/program_text.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace vppstudy::softmc {
+
+using common::Error;
+
+namespace {
+
+double slots_to_ns(std::uint32_t slots) {
+  return static_cast<double>(slots) * common::kCommandSlotNs;
+}
+
+std::string hex_word(
+    const std::array<std::uint8_t, dram::kBytesPerColumn>& data) {
+  char buf[2 * dram::kBytesPerColumn + 1];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(buf + 2 * i, 3, "%02x", data[i]);
+  }
+  return std::string(buf, 2 * dram::kBytesPerColumn);
+}
+
+common::Expected<std::array<std::uint8_t, dram::kBytesPerColumn>> parse_hex(
+    const std::string& hex) {
+  std::array<std::uint8_t, dram::kBytesPerColumn> out{};
+  if (hex.size() != 2 * dram::kBytesPerColumn) {
+    return Error{"WR data must be 16 hex digits"};
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    unsigned byte = 0;
+    if (std::sscanf(hex.c_str() + 2 * i, "%2x", &byte) != 1) {
+      return Error{"invalid hex in WR data"};
+    }
+    out[i] = static_cast<std::uint8_t>(byte);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string program_to_text(const Program& program) {
+  std::ostringstream os;
+  os << "# SoftMC program (" << program.instructions().size()
+     << " instructions)\n";
+  for (const Instruction& i : program.instructions()) {
+    switch (i.kind) {
+      case dram::CommandKind::kActivate:
+        if (i.loop_count > 0) {
+          os << "HAMMER " << i.bank << ' ' << i.row << ' ' << i.loop_row_b
+             << ' ' << i.loop_count << '\n';
+        } else {
+          os << "ACT " << i.bank << ' ' << i.row << " @"
+             << slots_to_ns(i.slots_after_previous) << '\n';
+        }
+        break;
+      case dram::CommandKind::kPrecharge:
+        os << "PRE " << i.bank << " @" << slots_to_ns(i.slots_after_previous)
+           << '\n';
+        break;
+      case dram::CommandKind::kPrechargeAll:
+        os << "PREA @" << slots_to_ns(i.slots_after_previous) << '\n';
+        break;
+      case dram::CommandKind::kRead:
+        os << "RD " << i.bank << ' ' << i.column << " @"
+           << slots_to_ns(i.slots_after_previous) << '\n';
+        break;
+      case dram::CommandKind::kWrite:
+        os << "WR " << i.bank << ' ' << i.column << ' '
+           << hex_word(i.write_data) << " @"
+           << slots_to_ns(i.slots_after_previous) << '\n';
+        break;
+      case dram::CommandKind::kRefresh:
+        os << "REF @" << slots_to_ns(i.slots_after_previous) << '\n';
+        break;
+      case dram::CommandKind::kNop:
+        os << "WAIT " << i.extra_wait_ns << '\n';
+        break;
+    }
+  }
+  return os.str();
+}
+
+common::Expected<Program> program_from_text(std::string_view text,
+                                            const dram::Ddr4Timing& timing) {
+  Program program(timing);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) continue;
+
+    const auto fail = [&](const std::string& why) {
+      return Error{"line " + std::to_string(line_no) + ": " + why};
+    };
+
+    // Optional trailing "@<delay>" is picked off the token stream later.
+    const auto read_delay = [&]() -> double {
+      std::string tok;
+      if (ls >> tok && tok.size() > 1 && tok[0] == '@') {
+        return std::atof(tok.c_str() + 1);
+      }
+      return -1.0;
+    };
+
+    if (op == "ACT") {
+      std::uint32_t bank = 0, row = 0;
+      if (!(ls >> bank >> row)) return fail("ACT needs <bank> <row>");
+      program.act(bank, row, read_delay());
+    } else if (op == "PRE") {
+      std::uint32_t bank = 0;
+      if (!(ls >> bank)) return fail("PRE needs <bank>");
+      program.pre(bank, read_delay());
+    } else if (op == "RD") {
+      std::uint32_t bank = 0, col = 0;
+      if (!(ls >> bank >> col)) return fail("RD needs <bank> <col>");
+      program.rd(bank, col, read_delay());
+    } else if (op == "WR") {
+      std::uint32_t bank = 0, col = 0;
+      std::string hex;
+      if (!(ls >> bank >> col >> hex)) {
+        return fail("WR needs <bank> <col> <hex16>");
+      }
+      auto data = parse_hex(hex);
+      if (!data) return fail(data.error().message);
+      program.wr(bank, col, *data, read_delay());
+    } else if (op == "REF") {
+      program.ref(read_delay());
+    } else if (op == "WAIT") {
+      double ns = 0.0;
+      if (!(ls >> ns)) return fail("WAIT needs <ns>");
+      program.wait_ns(ns);
+    } else if (op == "HAMMER") {
+      std::uint32_t bank = 0, a = 0, b = 0;
+      std::uint64_t count = 0;
+      if (!(ls >> bank >> a >> b >> count)) {
+        return fail("HAMMER needs <bank> <rowA> <rowB> <count>");
+      }
+      program.hammer(bank, a, b, count);
+    } else {
+      return fail("unknown opcode '" + op + "'");
+    }
+  }
+  return program;
+}
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,34 @@
+// Text (de)serialization of SoftMC programs -- the equivalent of DRAM
+// Bender's program files. Lets test sequences ship as data, be diffed in
+// review, and be replayed by vppctl or the examples.
+//
+// Format: one instruction per line,
+//   ACT  <bank> <row> [@<delay_ns>]
+//   PRE  <bank>       [@<delay_ns>]
+//   RD   <bank> <col> [@<delay_ns>]
+//   WR   <bank> <col> <16 hex digits> [@<delay_ns>]
+//   REF               [@<delay_ns>]
+//   WAIT <ns>
+//   HAMMER <bank> <rowA> <rowB> <count>
+// '#' starts a comment; blank lines are ignored. A missing @delay uses the
+// builder's nominal-timing default.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/expected.hpp"
+#include "softmc/program.hpp"
+
+namespace vppstudy::softmc {
+
+/// Render a program to the text format (always with explicit @slots-derived
+/// delays so a round trip is exact).
+[[nodiscard]] std::string program_to_text(const Program& program);
+
+/// Parse the text format. Returns a descriptive error with the offending
+/// line number on malformed input.
+[[nodiscard]] common::Expected<Program> program_from_text(
+    std::string_view text, const dram::Ddr4Timing& timing);
+
+}  // namespace vppstudy::softmc

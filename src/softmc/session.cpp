@@ -1,0 +1,186 @@
+#include "softmc/session.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace vppstudy::softmc {
+
+using common::Error;
+using common::Status;
+
+Session::Session(dram::ModuleProfile profile)
+    : module_(std::move(profile)),
+      timing_(dram::timing_for_speed_grade(module_.profile().frequency_mts)),
+      rail_(common::kNominalVppV),
+      checker_(timing_) {
+  module_.set_vpp(rail_.voltage());
+  module_.set_temperature(chamber_.temperature_c());
+}
+
+Status Session::set_vpp(double vpp_v) {
+  auto applied = rail_.set_voltage(vpp_v);
+  if (!applied) return Error{applied.error().message};
+  module_.set_vpp(*applied);
+  if (!module_.responsive()) {
+    return Error{"module " + module_.profile().name +
+                 " stopped communicating at VPP=" + std::to_string(*applied) +
+                 "V (below VPPmin)"};
+  }
+  return Status::ok_status();
+}
+
+Status Session::set_temperature(double temp_c) {
+  const auto settle = chamber_.settle(temp_c);
+  module_.set_temperature(settle.temperature_c);
+  if (!settle.converged) {
+    return Error{"thermal chamber failed to settle at " +
+                 std::to_string(temp_c) + "C"};
+  }
+  return Status::ok_status();
+}
+
+ExecutionResult Session::execute(const Program& program) {
+  ExecutionResult result;
+  const std::size_t violations_before = checker_.violations().size();
+  for (const Instruction& inst : program.instructions()) {
+    advance(inst.slots_after_previous * common::kCommandSlotNs);
+    if (inst.extra_wait_ns > 0.0) advance(inst.extra_wait_ns);
+
+    Status st;
+    switch (inst.kind) {
+      case dram::CommandKind::kActivate:
+        if (inst.loop_count > 0) {
+          const double start = clock_ns_;
+          double now = clock_ns_;
+          st = module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
+                                   inst.loop_count, inst.loop_act_to_act_ns,
+                                   now);
+          checker_.observe_hammer(inst.bank, inst.loop_count,
+                                  inst.loop_act_to_act_ns, start, now);
+          clock_ns_ = now;
+        } else {
+          checker_.observe(inst.kind, inst.bank, clock_ns_);
+          st = module_.activate(inst.bank, inst.row, clock_ns_);
+        }
+        break;
+      case dram::CommandKind::kPrecharge:
+        checker_.observe(inst.kind, inst.bank, clock_ns_);
+        st = module_.precharge(inst.bank, clock_ns_);
+        break;
+      case dram::CommandKind::kPrechargeAll:
+        checker_.observe(inst.kind, inst.bank, clock_ns_);
+        st = module_.precharge_all(clock_ns_);
+        break;
+      case dram::CommandKind::kRead: {
+        checker_.observe(inst.kind, inst.bank, clock_ns_);
+        auto data = module_.read(inst.bank, inst.column, clock_ns_);
+        if (!data) {
+          st = Error{data.error().message};
+        } else {
+          result.reads.push_back(*data);
+        }
+        break;
+      }
+      case dram::CommandKind::kWrite:
+        checker_.observe(inst.kind, inst.bank, clock_ns_);
+        st = module_.write(inst.bank, inst.column, inst.write_data, clock_ns_);
+        break;
+      case dram::CommandKind::kRefresh:
+        checker_.observe(inst.kind, inst.bank, clock_ns_);
+        st = module_.refresh(clock_ns_);
+        break;
+      case dram::CommandKind::kNop:
+        break;
+    }
+    if (!st.ok()) {
+      result.status = st;
+      break;
+    }
+  }
+  result.timing_violations = checker_.violations().size() - violations_before;
+  return result;
+}
+
+Status Session::init_row(std::uint32_t bank, std::uint32_t row,
+                         const std::vector<std::uint8_t>& image) {
+  if (image.size() != dram::kBytesPerRow) {
+    return Error{"row image must be exactly one row (8192 bytes)"};
+  }
+  Program p(timing_);
+  p.act(bank, row);
+  // Burst writes back-to-back at 4-clock column spacing.
+  const double col_spacing = 4.0 * timing_.t_ck_ns;
+  for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
+    std::array<std::uint8_t, dram::kBytesPerColumn> word{};
+    std::copy_n(image.begin() + c * dram::kBytesPerColumn,
+                dram::kBytesPerColumn, word.begin());
+    p.wr(bank, c, word, c == 0 ? timing_.t_rcd_ns : col_spacing);
+  }
+  p.pre(bank, timing_.t_wr_ns + col_spacing);
+  auto r = execute(p);
+  return r.status;
+}
+
+common::Expected<std::vector<std::uint8_t>> Session::read_row(
+    std::uint32_t bank, std::uint32_t row, double trcd_ns) {
+  Program p(timing_);
+  p.act(bank, row);
+  const double first_delay = trcd_ns > 0.0 ? trcd_ns : timing_.t_rcd_ns;
+  const double col_spacing = 4.0 * timing_.t_ck_ns;
+  for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
+    p.rd(bank, c, c == 0 ? first_delay : col_spacing);
+  }
+  p.pre(bank, timing_.t_rtp_ns);
+  auto r = execute(p);
+  if (!r.status.ok()) return Error{r.status.error().message};
+  std::vector<std::uint8_t> out(dram::kBytesPerRow);
+  for (std::size_t c = 0; c < r.reads.size(); ++c) {
+    std::copy(r.reads[c].begin(), r.reads[c].end(),
+              out.begin() + c * dram::kBytesPerColumn);
+  }
+  return out;
+}
+
+common::Expected<std::array<std::uint8_t, dram::kBytesPerColumn>>
+Session::read_column_with_trcd(std::uint32_t bank, std::uint32_t row,
+                               std::uint32_t column, double trcd_ns) {
+  Program p(timing_);
+  p.act(bank, row);
+  p.rd(bank, column, trcd_ns);  // possibly < nominal: the experiment
+  p.pre(bank, std::max(timing_.t_ras_ns - trcd_ns, timing_.t_rtp_ns));
+  auto r = execute(p);
+  if (!r.status.ok()) return Error{r.status.error().message};
+  if (r.reads.size() != 1) return Error{"expected exactly one read burst"};
+  return r.reads.front();
+}
+
+Status Session::hammer_double_sided(std::uint32_t bank, std::uint32_t row_a,
+                                    std::uint32_t row_b, std::uint64_t count,
+                                    double act_to_act_ns) {
+  Program p(timing_);
+  p.hammer(bank, row_a, row_b, count, act_to_act_ns);
+  return execute(p).status;
+}
+
+Status Session::wait_ms(double ms) {
+  if (!auto_refresh_) {
+    Program p(timing_);
+    p.wait_ns(common::ms_to_ns(ms));
+    return execute(p).status;
+  }
+  // With refresh enabled, interleave REF commands at tREFI.
+  double remaining_ns = common::ms_to_ns(ms);
+  while (remaining_ns > 0.0) {
+    const double chunk = std::min(remaining_ns, timing_.t_refi_ns);
+    Program p(timing_);
+    p.wait_ns(chunk);
+    p.ref(timing_.t_rp_ns);
+    auto r = execute(p);
+    if (!r.status.ok()) return r.status;
+    remaining_ns -= chunk;
+  }
+  return Status::ok_status();
+}
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,100 @@
+// The SoftMC host session: owns the device under test, the external VPP
+// supply, the thermal chamber, a monotonically advancing command clock, and
+// the timing checker. The characterization harness (src/harness) talks only
+// to this class -- the same boundary the paper's host software has against
+// the FPGA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "dram/module.hpp"
+#include "dram/timing.hpp"
+#include "softmc/power_rail.hpp"
+#include "softmc/program.hpp"
+#include "softmc/thermal.hpp"
+#include "softmc/timing_checker.hpp"
+
+namespace vppstudy::softmc {
+
+/// Result of executing a Program.
+struct ExecutionResult {
+  std::vector<std::array<std::uint8_t, dram::kBytesPerColumn>> reads;
+  std::size_t timing_violations = 0;
+  common::Status status;  ///< first device error aborts execution
+};
+
+class Session {
+ public:
+  /// Takes ownership of the module (the DIMM seated on the interposer).
+  explicit Session(dram::ModuleProfile profile);
+
+  [[nodiscard]] dram::Module& module() noexcept { return module_; }
+  [[nodiscard]] const dram::Module& module() const noexcept { return module_; }
+  [[nodiscard]] const dram::Ddr4Timing& timing() const noexcept {
+    return timing_;
+  }
+  [[nodiscard]] double clock_ns() const noexcept { return clock_ns_; }
+
+  // --- Rig control -----------------------------------------------------------
+  /// Program the external VPP supply; fails when the voltage is out of the
+  /// instrument's range OR the module stops responding at this level.
+  common::Status set_vpp(double vpp_v);
+  [[nodiscard]] double vpp() const noexcept { return rail_.voltage(); }
+  /// Drive the heater pads to a setpoint (blocks until the PID settles).
+  common::Status set_temperature(double temp_c);
+  [[nodiscard]] double temperature() const noexcept {
+    return chamber_.temperature_c();
+  }
+  /// Refresh management: the characterization tests disable refresh, which
+  /// is also what neutralizes on-die TRR (section 4.1).
+  void set_auto_refresh(bool enabled) noexcept { auto_refresh_ = enabled; }
+
+  // --- Program execution ------------------------------------------------------
+  [[nodiscard]] ExecutionResult execute(const Program& program);
+
+  [[nodiscard]] const std::vector<TimingViolation>& violations() const noexcept {
+    return checker_.violations();
+  }
+  void clear_violations() { checker_.clear_violations(); }
+
+  // --- Convenience operations used by the harness -----------------------------
+  /// ACT + 1024 WR + PRE with nominal timing.
+  common::Status init_row(std::uint32_t bank, std::uint32_t row,
+                          const std::vector<std::uint8_t>& image);
+  /// ACT + 1024 RD + PRE; returns the full 8KB row. `trcd_ns <= 0` uses the
+  /// nominal tRCD. Characterization harnesses pass a generous latency so
+  /// verification reads cannot be corrupted by marginal activation timing
+  /// (isolating the effect under test, section 4.1).
+  common::Expected<std::vector<std::uint8_t>> read_row(std::uint32_t bank,
+                                                       std::uint32_t row,
+                                                       double trcd_ns = -1.0);
+  /// One ACT + single-column RD at an explicit (possibly violating) tRCD,
+  /// then PRE. Returns the 8 bytes read (Alg. 2's inner access).
+  common::Expected<std::array<std::uint8_t, dram::kBytesPerColumn>>
+  read_column_with_trcd(std::uint32_t bank, std::uint32_t row,
+                        std::uint32_t column, double trcd_ns);
+  /// Double-sided hammer: `count` alternating activations of each aggressor.
+  /// `act_to_act_ns <= 0` uses the nominal tRC spacing.
+  common::Status hammer_double_sided(std::uint32_t bank, std::uint32_t row_a,
+                                     std::uint32_t row_b, std::uint64_t count,
+                                     double act_to_act_ns = -1.0);
+  /// Idle wait (retention tests). Issues REFs during the wait when auto
+  /// refresh is enabled.
+  common::Status wait_ms(double ms);
+
+ private:
+  void advance(double ns) noexcept { clock_ns_ += ns; }
+
+  dram::Module module_;
+  dram::Ddr4Timing timing_;
+  PowerRail rail_;
+  ThermalChamber chamber_;
+  TimingChecker checker_;
+  double clock_ns_ = 0.0;
+  bool auto_refresh_ = false;
+};
+
+}  // namespace vppstudy::softmc

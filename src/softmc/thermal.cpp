@@ -1,0 +1,80 @@
+#include "softmc/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vppstudy::softmc {
+
+PidController::PidController(Gains gains) : gains_(gains) {}
+
+double PidController::step(double setpoint, double measurement, double dt_s) {
+  const double error = setpoint - measurement;
+  const double derivative = has_prev_ ? (error - prev_error_) / dt_s : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+
+  // Tentative integral with anti-windup: only integrate when the output is
+  // not saturated against the error direction.
+  const double tentative = integral_ + error * dt_s;
+  double out = gains_.kp * error + gains_.ki * tentative + gains_.kd * derivative;
+  if (out > gains_.output_max) {
+    out = gains_.output_max;
+    if (error < 0.0) integral_ = tentative;
+  } else if (out < gains_.output_min) {
+    out = gains_.output_min;
+    if (error > 0.0) integral_ = tentative;
+  } else {
+    integral_ = tentative;
+  }
+  return out;
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+ThermalPlant::ThermalPlant(Params params)
+    : params_(params), temp_c_(params.ambient_c) {}
+
+void ThermalPlant::step(double heater_w, double dt_s) {
+  const double equilibrium =
+      params_.ambient_c + heater_w * params_.thermal_resistance_c_per_w;
+  const double a = std::exp(-dt_s / params_.time_constant_s);
+  temp_c_ = equilibrium + (temp_c_ - equilibrium) * a;
+}
+
+ThermalChamber::ThermalChamber()
+    : pid_(PidController::Gains{}), plant_(ThermalPlant::Params{}) {}
+
+ThermalChamber::SettleResult ThermalChamber::settle(double setpoint_c,
+                                                    double max_seconds) {
+  constexpr double kDt = 0.5;
+  constexpr double kPrecision = 0.1;   // FT200 spec
+  constexpr double kHoldSeconds = 30.0;
+
+  SettleResult r;
+  double held = 0.0;
+  for (double t = 0.0; t < max_seconds; t += kDt) {
+    const double power = pid_.step(setpoint_c, plant_.temperature_c(), kDt);
+    plant_.step(power, kDt);
+    if (std::abs(plant_.temperature_c() - setpoint_c) <= kPrecision) {
+      held += kDt;
+      if (held >= kHoldSeconds) {
+        r.temperature_c = plant_.temperature_c();
+        r.elapsed_s = t + kDt;
+        r.converged = true;
+        return r;
+      }
+    } else {
+      held = 0.0;
+    }
+  }
+  r.temperature_c = plant_.temperature_c();
+  r.elapsed_s = max_seconds;
+  r.converged = false;
+  return r;
+}
+
+}  // namespace vppstudy::softmc

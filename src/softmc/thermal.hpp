@@ -1,0 +1,78 @@
+// Thermal chamber model: heater pads on both sides of the DIMM driven by a
+// PID temperature controller (MaxWell FT200, +/-0.1C; section 4.1). A
+// first-order thermal plant plus a discrete PID loop reproduces the settle-
+// then-hold behavior the real rig shows.
+#pragma once
+
+namespace vppstudy::softmc {
+
+/// Discrete PID controller (parallel form with anti-windup clamping).
+class PidController {
+ public:
+  struct Gains {
+    double kp = 8.0;
+    double ki = 0.8;
+    double kd = 2.0;
+    double output_min = 0.0;   ///< heater power [W]
+    double output_max = 60.0;
+  };
+
+  explicit PidController(Gains gains);
+
+  /// One control step; returns the actuator command.
+  double step(double setpoint, double measurement, double dt_s);
+  void reset();
+
+ private:
+  Gains gains_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+/// First-order thermal plant: heater power raises plate temperature against
+/// ambient losses.
+class ThermalPlant {
+ public:
+  struct Params {
+    double ambient_c = 25.0;
+    double thermal_resistance_c_per_w = 1.2;
+    double time_constant_s = 40.0;
+  };
+
+  explicit ThermalPlant(Params params);
+
+  void step(double heater_w, double dt_s);
+  [[nodiscard]] double temperature_c() const noexcept { return temp_c_; }
+  void set_temperature(double c) noexcept { temp_c_ = c; }
+
+ private:
+  Params params_;
+  double temp_c_;
+};
+
+/// The full chamber: PID + plant. `settle` runs the loop until the plate
+/// holds the setpoint within the controller's precision.
+class ThermalChamber {
+ public:
+  ThermalChamber();
+
+  struct SettleResult {
+    double temperature_c = 0.0;
+    double elapsed_s = 0.0;
+    bool converged = false;
+  };
+  /// Drive toward `setpoint_c`; declares convergence after the temperature
+  /// stays within +/-0.1C (the FT200's precision) for 30 consecutive seconds.
+  SettleResult settle(double setpoint_c, double max_seconds = 3600.0);
+
+  [[nodiscard]] double temperature_c() const noexcept {
+    return plant_.temperature_c();
+  }
+
+ private:
+  PidController pid_;
+  ThermalPlant plant_;
+};
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,56 @@
+// Observational DDR4 timing checker. SoftMC deliberately lets tests violate
+// timing -- that is the methodology -- so the checker never blocks a command;
+// it records which JEDEC rule a command would have broken, letting tests and
+// benches distinguish intentional violations (reduced tRCD) from bugs.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dram/timing.hpp"
+#include "dram/types.hpp"
+
+namespace vppstudy::softmc {
+
+struct TimingViolation {
+  std::string rule;       ///< e.g. "tRCD"
+  std::uint32_t bank = 0;
+  double required_ns = 0.0;
+  double actual_ns = 0.0;
+  double at_ns = 0.0;
+};
+
+class TimingChecker {
+ public:
+  explicit TimingChecker(dram::Ddr4Timing timing);
+
+  /// Observe a command at `now_ns`; appends violations (if any).
+  void observe(dram::CommandKind kind, std::uint32_t bank, double now_ns);
+  /// Observe a bulk hammer loop (checked against tRC once).
+  void observe_hammer(std::uint32_t bank, std::uint64_t count,
+                      double act_to_act_ns, double start_ns, double end_ns);
+
+  [[nodiscard]] const std::vector<TimingViolation>& violations() const noexcept {
+    return violations_;
+  }
+  void clear_violations() { violations_.clear(); }
+
+ private:
+  struct BankTimes {
+    double last_act = -1e18;
+    double last_pre = -1e18;
+    bool open = false;
+  };
+
+  void record(const std::string& rule, std::uint32_t bank, double required,
+              double actual, double at);
+
+  dram::Ddr4Timing timing_;
+  std::vector<BankTimes> banks_;
+  std::vector<TimingViolation> violations_;
+  std::deque<double> recent_acts_;  ///< rank-level, for tFAW
+  double last_act_any_bank_ = -1e18;
+};
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,100 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::stats {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double sample_stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return sample_stddev(values) / std::abs(m);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.stddev = sample_stddev(values);
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  s.min = *lo;
+  s.max = *hi;
+  s.cv = (s.mean != 0.0) ? s.stddev / std::abs(s.mean) : 0.0;
+  return s;
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> values, double p) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p);
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> values,
+                                            double confidence) {
+  ConfidenceInterval ci;
+  if (values.empty()) return ci;
+  const double m = mean(values);
+  if (values.size() == 1) return {m, m};
+  const double se =
+      sample_stddev(values) / std::sqrt(static_cast<double>(values.size()));
+  const double alpha = 1.0 - std::clamp(confidence, 0.0, 0.999999);
+  const double z = common::inverse_normal_cdf(1.0 - alpha / 2.0);
+  return {m - z * se, m + z * se};
+}
+
+ConfidenceInterval central_interval(std::span<const double> values,
+                                    double confidence) {
+  if (values.empty()) return {};
+  confidence = std::clamp(confidence, 0.0, 1.0);
+  const double tail = (1.0 - confidence) / 2.0 * 100.0;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return {percentile_sorted(copy, tail), percentile_sorted(copy, 100.0 - tail)};
+}
+
+double fraction_above(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : values)
+    if (v > threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double fraction_below(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : values)
+    if (v < threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+}  // namespace vppstudy::stats

@@ -1,0 +1,58 @@
+// Descriptive statistics used throughout the characterization study:
+// mean / stddev / coefficient of variation (section 4.6), percentiles, and
+// normal-approximation confidence intervals (the 90% CI bands of Figs. 3/5/10).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vppstudy::stats {
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;      // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  /// Coefficient of variation = stddev / |mean| (0 when mean == 0).
+  double cv = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+[[nodiscard]] double mean(std::span<const double> values);
+[[nodiscard]] double sample_stddev(std::span<const double> values);
+
+/// Coefficient of variation, the paper's statistical-significance metric
+/// (section 4.6): stddev over mean of repeated measurements.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> values);
+
+/// Linear-interpolated percentile; `p` in [0, 100]. Sorts a copy.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Percentile over data the caller has already sorted ascending.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Two-sided normal-approximation confidence interval for the mean.
+/// `confidence` in (0,1), e.g. 0.90 for the paper's 90% bands.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(
+    std::span<const double> values, double confidence);
+
+/// Distribution-free central interval: the [ (1-c)/2, (1+c)/2 ] percentile
+/// band of the sample itself (used for across-row bands in Figs. 3/5).
+[[nodiscard]] ConfidenceInterval central_interval(std::span<const double> values,
+                                                  double confidence);
+
+/// Fraction of values strictly greater / strictly less than a threshold.
+[[nodiscard]] double fraction_above(std::span<const double> values,
+                                    double threshold);
+[[nodiscard]] double fraction_below(std::span<const double> values,
+                                    double threshold);
+
+}  // namespace vppstudy::stats

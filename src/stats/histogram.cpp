@@ -1,0 +1,69 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace vppstudy::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double value) {
+  double idx = (value - lo_) / width_;
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(idx));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const { return counts_.at(bin); }
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_low(bin) + width_ / 2.0;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        std::llround(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) *
+                                     static_cast<double>(max_bar_width)));
+    os << std::setw(10) << std::setprecision(4) << bin_center(i) << " | "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vppstudy::stats

@@ -1,0 +1,44 @@
+// Fixed-bin histogram used for the population-density figures (4, 6, 8b, 9b,
+// 10b, 11) and for quick text rendering in the bench binaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vppstudy::stats {
+
+class Histogram {
+ public:
+  /// Bins partition [lo, hi) uniformly; values outside are clamped into the
+  /// first/last bin so density mass is never silently dropped.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Probability density estimate of a bin: count / (total * bin_width).
+  [[nodiscard]] double density(std::size_t bin) const;
+  /// Fraction of samples in a bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// ASCII bar rendering (one line per bin) for the bench binaries.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vppstudy::stats

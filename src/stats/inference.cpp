@@ -1,0 +1,86 @@
+#include "stats/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::stats {
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                     double confidence,
+                                     std::size_t resamples,
+                                     std::uint64_t seed) {
+  if (sample.empty()) return {};
+  if (sample.size() == 1) return {sample[0], sample[0]};
+  common::Xoshiro256 rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const auto n = sample.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += sample[rng.bounded(n)];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  return central_interval(means, confidence);
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  MannWhitneyResult result;
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 == 0 || n2 == 0) return result;
+
+  // Pool, sort, and assign midranks.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(n1 + n2);
+  for (double v : a) pool.push_back({v, true});
+  for (double v : b) pool.push_back({v, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // sum of t^3 - t over tie groups
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j + 1 < pool.size() && pool[j + 1].value == pool[i].value) ++j;
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_term += t * t * t - t;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pool[k].from_a) rank_sum_a += midrank;
+    }
+    i = j + 1;
+  }
+
+  const double dn1 = static_cast<double>(n1);
+  const double dn2 = static_cast<double>(n2);
+  const double u1 = rank_sum_a - dn1 * (dn1 + 1.0) / 2.0;
+  result.u_statistic = u1;
+  result.effect = u1 / (dn1 * dn2);
+
+  const double mean_u = dn1 * dn2 / 2.0;
+  const double n = dn1 + dn2;
+  const double variance =
+      dn1 * dn2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (variance <= 0.0) return result;
+  // Continuity correction toward the mean.
+  const double cc = u1 > mean_u ? -0.5 : (u1 < mean_u ? 0.5 : 0.0);
+  result.z = (u1 - mean_u + cc) / std::sqrt(variance);
+  result.p_two_sided =
+      2.0 * (1.0 - common::normal_cdf(std::abs(result.z)));
+  result.p_two_sided = std::clamp(result.p_two_sided, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace vppstudy::stats

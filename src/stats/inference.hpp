@@ -1,0 +1,33 @@
+// Nonparametric inference utilities: bootstrap confidence intervals for the
+// across-row means the figures report, and the Mann-Whitney U test for
+// claims of the form "vendor C's rows improve more than vendor A's"
+// (Obsv. 3/6 compare population distributions, not just means).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "stats/descriptive.hpp"
+
+namespace vppstudy::stats {
+
+/// Percentile-bootstrap CI of the sample mean.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
+    std::span<const double> sample, double confidence,
+    std::size_t resamples = 2000, std::uint64_t seed = 0xb007);
+
+struct MannWhitneyResult {
+  double u_statistic = 0.0;   ///< U for the first sample
+  double z = 0.0;             ///< normal approximation (tie-corrected)
+  double p_two_sided = 1.0;
+  /// Common-language effect size: P(X > Y) + 0.5 P(X == Y).
+  double effect = 0.5;
+};
+
+/// Two-sided Mann-Whitney U (Wilcoxon rank-sum) via the normal approximation
+/// with tie correction. Suitable for the n >= ~20 populations the sweeps
+/// produce.
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b);
+
+}  // namespace vppstudy::stats

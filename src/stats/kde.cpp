@@ -1,0 +1,48 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace vppstudy::stats {
+
+double silverman_bandwidth(std::span<const double> sample) {
+  if (sample.size() < 2) return 1.0;
+  const double sd = sample_stddev(sample);
+  const double iqr =
+      percentile(sample, 75.0) - percentile(sample, 25.0);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(sd, iqr / 1.34);
+  if (spread <= 0.0) spread = sd > 0.0 ? sd : 1.0;
+  return 0.9 * spread *
+         std::pow(static_cast<double>(sample.size()), -0.2);
+}
+
+std::vector<KdePoint> gaussian_kde(std::span<const double> sample, double lo,
+                                   double hi, std::size_t grid_points,
+                                   double bandwidth) {
+  std::vector<KdePoint> out;
+  if (sample.empty() || grid_points == 0 || hi <= lo) return out;
+  if (bandwidth <= 0.0) bandwidth = silverman_bandwidth(sample);
+  if (bandwidth <= 0.0) bandwidth = 1e-6;
+
+  const double norm =
+      1.0 / (static_cast<double>(sample.size()) * bandwidth *
+             std::sqrt(2.0 * M_PI));
+  out.reserve(grid_points);
+  const double step =
+      grid_points > 1 ? (hi - lo) / static_cast<double>(grid_points - 1) : 0.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    double acc = 0.0;
+    for (double s : sample) {
+      const double z = (x - s) / bandwidth;
+      acc += std::exp(-0.5 * z * z);
+    }
+    out.push_back({x, acc * norm});
+  }
+  return out;
+}
+
+}  // namespace vppstudy::stats

@@ -1,0 +1,25 @@
+// Gaussian kernel density estimation -- the smooth population-density curves
+// of Figs. 4 and 6 are KDEs over per-row normalized metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vppstudy::stats {
+
+struct KdePoint {
+  double x = 0.0;
+  double density = 0.0;
+};
+
+/// Silverman's rule-of-thumb bandwidth for a Gaussian kernel.
+[[nodiscard]] double silverman_bandwidth(std::span<const double> sample);
+
+/// Evaluate a Gaussian KDE of `sample` on `grid_points` uniformly spaced
+/// points in [lo, hi]. Pass `bandwidth <= 0` to use Silverman's rule.
+[[nodiscard]] std::vector<KdePoint> gaussian_kde(std::span<const double> sample,
+                                                 double lo, double hi,
+                                                 std::size_t grid_points,
+                                                 double bandwidth = 0.0);
+
+}  // namespace vppstudy::stats

@@ -1,0 +1,50 @@
+#include "workload/runner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace vppstudy::workload {
+
+using common::Error;
+
+common::Expected<RunResult> run_trace(softmc::Session& session,
+                                      memctrl::MemoryController& controller,
+                                      TraceGenerator& gen,
+                                      std::uint64_t request_count,
+                                      const dram::EnergyModel& energy_model) {
+  RunResult result;
+  std::vector<double> latencies;
+  latencies.reserve(request_count);
+
+  const double start_ns = session.clock_ns();
+  const auto stats_before = session.module().stats();
+
+  for (std::uint64_t i = 0; i < request_count; ++i) {
+    const memctrl::Request req = gen.next();
+    const double t0 = session.clock_ns();
+    auto response = controller.execute(req);
+    if (!response) return Error{response.error().message};
+    latencies.push_back(session.clock_ns() - t0);
+  }
+
+  result.requests = request_count;
+  result.mean_latency_ns = stats::mean(latencies);
+  result.p99_latency_ns = stats::percentile(latencies, 99.0);
+  result.elapsed_ms = (session.clock_ns() - start_ns) / 1e6;
+  result.ecc_corrections = controller.stats().ecc_corrections;
+  result.ecc_uncorrectable = controller.stats().ecc_uncorrectable;
+
+  // Energy over this window only: difference the module counters.
+  dram::ModuleStats delta = session.module().stats();
+  delta.activates -= stats_before.activates;
+  delta.reads -= stats_before.reads;
+  delta.writes -= stats_before.writes;
+  delta.refreshes -= stats_before.refreshes;
+  result.energy = energy_model.account(delta, session.vpp(),
+                                       (session.clock_ns() - start_ns) / 1e9);
+  return result;
+}
+
+}  // namespace vppstudy::workload

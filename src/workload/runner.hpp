@@ -1,0 +1,35 @@
+// Drives a trace through the memory controller and collects latency and
+// energy statistics (the performance axis of section 8's Pareto analysis).
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.hpp"
+#include "dram/energy.hpp"
+#include "memctrl/controller.hpp"
+#include "workload/trace.hpp"
+
+namespace vppstudy::workload {
+
+struct RunResult {
+  std::uint64_t requests = 0;
+  double mean_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double elapsed_ms = 0.0;
+  dram::EnergyBreakdown energy;  ///< over the run window, at the run's VPP
+  std::uint64_t ecc_corrections = 0;
+  std::uint64_t ecc_uncorrectable = 0;
+
+  [[nodiscard]] double energy_per_request_uj() const noexcept {
+    return requests == 0 ? 0.0 : energy.total_mj() * 1000.0 / requests;
+  }
+};
+
+/// Execute `request_count` requests from `gen` through `controller`, then
+/// account energy from the module's stats at the session's current VPP.
+[[nodiscard]] common::Expected<RunResult> run_trace(
+    softmc::Session& session, memctrl::MemoryController& controller,
+    TraceGenerator& gen, std::uint64_t request_count,
+    const dram::EnergyModel& energy_model = dram::EnergyModel{});
+
+}  // namespace vppstudy::workload

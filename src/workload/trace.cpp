@@ -1,0 +1,73 @@
+#include "workload/trace.hpp"
+
+namespace vppstudy::workload {
+
+const char* trace_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kSequential: return "sequential";
+    case TraceKind::kRandom: return "random";
+    case TraceKind::kHotRows: return "hot-rows";
+    case TraceKind::kHammer: return "hammer";
+  }
+  return "?";
+}
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(config), rng_(config.seed) {}
+
+memctrl::Request TraceGenerator::next() {
+  memctrl::Request req;
+  req.kind = rng_.uniform() < config_.read_fraction
+                 ? memctrl::Request::Kind::kRead
+                 : memctrl::Request::Kind::kWrite;
+  if (req.kind == memctrl::Request::Kind::kWrite) {
+    for (auto& b : req.data) b = static_cast<std::uint8_t>(rng_.next());
+  }
+
+  switch (config_.kind) {
+    case TraceKind::kSequential: {
+      const std::uint64_t i = counter_++;
+      req.address.column =
+          static_cast<std::uint32_t>(i % dram::kColumnsPerRow);
+      req.address.row = static_cast<std::uint32_t>(
+          (i / dram::kColumnsPerRow) % config_.rows);
+      req.address.bank = static_cast<std::uint32_t>(
+          (i / (static_cast<std::uint64_t>(dram::kColumnsPerRow) *
+                config_.rows)) %
+          config_.banks);
+      break;
+    }
+    case TraceKind::kRandom:
+      req.address.bank = static_cast<std::uint32_t>(rng_.bounded(config_.banks));
+      req.address.row = static_cast<std::uint32_t>(rng_.bounded(config_.rows));
+      req.address.column = static_cast<std::uint32_t>(
+          rng_.bounded(dram::kColumnsPerRow));
+      break;
+    case TraceKind::kHotRows: {
+      req.address.bank = 0;
+      if (rng_.uniform() < 0.9) {
+        req.address.row = static_cast<std::uint32_t>(
+            8 + rng_.bounded(config_.hot_rows));
+      } else {
+        req.address.row =
+            static_cast<std::uint32_t>(rng_.bounded(config_.rows));
+      }
+      req.address.column = static_cast<std::uint32_t>(
+          rng_.bounded(dram::kColumnsPerRow));
+      break;
+    }
+    case TraceKind::kHammer: {
+      // Double-sided pattern in logical space around the victim; the
+      // controller's policy sees these as ordinary row activations.
+      req.kind = memctrl::Request::Kind::kRead;
+      req.address.bank = 0;
+      req.address.row =
+          (counter_++ % 2 == 0) ? config_.hammer_row - 1 : config_.hammer_row + 1;
+      req.address.column = 0;
+      break;
+    }
+  }
+  return req;
+}
+
+}  // namespace vppstudy::workload

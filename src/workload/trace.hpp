@@ -1,0 +1,47 @@
+// Synthetic access-trace generators for driving the memory controller:
+// the workloads behind the performance side of the paper's section 8
+// trade-off discussion (plus an adversarial tenant for security runs).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dram/types.hpp"
+#include "memctrl/controller.hpp"
+
+namespace vppstudy::workload {
+
+enum class TraceKind {
+  kSequential,    ///< streaming: walks rows/columns in order
+  kRandom,        ///< uniform random addresses
+  kHotRows,       ///< 90% of accesses to a small hot set (row-buffer friendly)
+  kHammer,        ///< adversarial: alternates two aggressor rows
+};
+
+[[nodiscard]] const char* trace_name(TraceKind kind) noexcept;
+
+struct TraceConfig {
+  TraceKind kind = TraceKind::kRandom;
+  std::uint32_t banks = dram::kBanksPerRank;
+  std::uint32_t rows = 4096;
+  double read_fraction = 0.7;
+  std::uint32_t hot_rows = 8;      ///< kHotRows: size of the hot set
+  std::uint32_t hammer_row = 1500; ///< kHammer: victim whose neighbors alternate
+  std::uint64_t seed = 0x77a0e;
+};
+
+/// Deterministic request stream.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(TraceConfig config);
+
+  [[nodiscard]] memctrl::Request next();
+  [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
+
+ private:
+  TraceConfig config_;
+  common::Xoshiro256 rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace vppstudy::workload

@@ -1,0 +1,147 @@
+#include "chips/module_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vppstudy::chips {
+namespace {
+
+using dram::Manufacturer;
+
+TEST(ModuleDb, ThirtyModulesTenPerVendor) {
+  const auto& all = all_profiles();
+  EXPECT_EQ(all.size(), 30u);
+  int a = 0, b = 0, c = 0;
+  for (const auto& p : all) {
+    switch (p.mfr) {
+      case Manufacturer::kMfrA: ++a; break;
+      case Manufacturer::kMfrB: ++b; break;
+      case Manufacturer::kMfrC: ++c; break;
+    }
+  }
+  EXPECT_EQ(a, 10);
+  EXPECT_EQ(b, 10);
+  EXPECT_EQ(c, 10);
+}
+
+TEST(ModuleDb, TwoHundredSeventyTwoChips) {
+  EXPECT_EQ(total_chip_count(), 272);  // the paper's headline chip count
+}
+
+TEST(ModuleDb, NamesUniqueAndLookupsWork) {
+  std::set<std::string> names;
+  for (const auto& p : all_profiles()) {
+    EXPECT_TRUE(names.insert(p.name).second);
+  }
+  EXPECT_TRUE(profile_by_name("B3").has_value());
+  EXPECT_TRUE(profile_by_name("C9").has_value());
+  EXPECT_FALSE(profile_by_name("D0").has_value());
+  EXPECT_EQ(profile_by_name("A5")->dimm_model, "CT4G4SFS8213.C8FBD1");
+}
+
+TEST(ModuleDb, Table3AnchorsSpotChecks) {
+  const auto b3 = profile_by_name("B3").value();
+  EXPECT_DOUBLE_EQ(b3.hc_first_nominal, 16.6e3);
+  EXPECT_DOUBLE_EQ(b3.ber_nominal, 2.73e-3);
+  EXPECT_DOUBLE_EQ(b3.vppmin_v, 1.6);
+  EXPECT_DOUBLE_EQ(b3.hc_first_vppmin, 21.1e3);
+
+  const auto a5 = profile_by_name("A5").value();
+  EXPECT_DOUBLE_EQ(a5.hc_first_nominal, 140.7e3);  // oldest, strongest chip
+  EXPECT_DOUBLE_EQ(a5.vppmin_v, 2.4);              // highest VPPmin
+
+  const auto a0 = profile_by_name("A0").value();
+  EXPECT_DOUBLE_EQ(a0.vppmin_v, 1.4);  // lowest VPPmin (section 7)
+}
+
+TEST(ModuleDb, AnchorsAreInternallyConsistent) {
+  for (const auto& p : all_profiles()) {
+    EXPECT_GT(p.hc_first_nominal, 0.0) << p.name;
+    EXPECT_GT(p.ber_nominal, 0.0) << p.name;
+    EXPECT_GE(p.vppmin_v, 1.4) << p.name;
+    EXPECT_LE(p.vppmin_v, 2.4) << p.name;
+    EXPECT_GE(p.vpp_rec_v, p.vppmin_v) << p.name;
+    EXPECT_LE(p.vpp_rec_v, 2.5) << p.name;
+    EXPECT_GT(p.rows_per_bank, 0u) << p.name;
+    EXPECT_TRUE(p.num_chips == 8 || p.num_chips == 16) << p.name;
+    EXPECT_NE(p.seed, 0u) << p.name;
+  }
+}
+
+TEST(ModuleDb, SeedsAreUniquePerModule) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : all_profiles()) {
+    EXPECT_TRUE(seeds.insert(p.seed).second) << p.name;
+  }
+}
+
+TEST(ModuleDb, TrcdCalibrationMatchesFig7Structure) {
+  // Only A0-A2 (24ns class) and B2/B5 (15ns class) may exceed the nominal
+  // 13.5ns at their VPPmin; everyone else must stay below it.
+  for (const auto& p : all_profiles()) {
+    const double worst = p.trcd0_ns + p.trcd_vpp_slope_ns;
+    const bool exceeds = worst > 13.5;
+    const bool expected_exceed = p.name == "A0" || p.name == "A1" ||
+                                 p.name == "A2" || p.name == "B2" ||
+                                 p.name == "B5";
+    EXPECT_EQ(exceeds, expected_exceed) << p.name << " worst=" << worst;
+    if (expected_exceed) {
+      const double cap = (p.name[0] == 'A') ? 24.0 : 15.0;
+      EXPECT_LE(worst, cap) << p.name;
+    }
+  }
+}
+
+TEST(ModuleDb, FailingChipCountsMatchPaper) {
+  // 48 chips fixed by tRCD=24ns (A0-A2, 16 chips each), 16 by 15ns (B2/B5).
+  int chips_24 = 0, chips_15 = 0, chips_ok = 0;
+  for (const auto& p : all_profiles()) {
+    const double worst = p.trcd0_ns + p.trcd_vpp_slope_ns;
+    if (worst > 13.5) {
+      (p.mfr == Manufacturer::kMfrA ? chips_24 : chips_15) += p.num_chips;
+    } else {
+      chips_ok += p.num_chips;
+    }
+  }
+  EXPECT_EQ(chips_24, 48);
+  EXPECT_EQ(chips_15, 16);
+  EXPECT_EQ(chips_ok, 208);  // Obsv. 7: 208 of 272 chips
+}
+
+TEST(ModuleDb, RetentionWeakClassesMatchObsv13) {
+  // 64ms failures at VPPmin: exactly B6/B8/B9 and C1/C3/C5/C9 (7 modules).
+  std::set<std::string> weak64;
+  for (const auto& p : all_profiles()) {
+    if (p.weak_64ms.row_fraction > 0.0) weak64.insert(p.name);
+  }
+  EXPECT_EQ(weak64, (std::set<std::string>{"B6", "B8", "B9", "C1", "C3", "C5",
+                                           "C9"}));
+  // Every module carries a (small) 128ms class.
+  for (const auto& p : all_profiles()) {
+    EXPECT_GT(p.weak_128ms.row_fraction, 0.0) << p.name;
+    EXPECT_GE(p.weak_128ms.t_ret_lo_ms, 64.0) << p.name;
+    EXPECT_LE(p.weak_128ms.t_ret_hi_ms, 128.0) << p.name;
+  }
+}
+
+TEST(ModuleDb, DensityGeometryConsistent) {
+  for (const auto& p : all_profiles()) {
+    switch (p.density_gbit) {
+      case 4: EXPECT_EQ(p.rows_per_bank, 32768u) << p.name; break;
+      case 8: EXPECT_EQ(p.rows_per_bank, 65536u) << p.name; break;
+      case 16: EXPECT_EQ(p.rows_per_bank, 131072u) << p.name; break;
+      default: ADD_FAILURE() << "unexpected density for " << p.name;
+    }
+  }
+}
+
+TEST(ModuleDb, NoTestedModuleHasOnDieEcc) {
+  // Section 4.1: modules are selected without ECC so nothing masks flips.
+  for (const auto& p : all_profiles()) {
+    EXPECT_FALSE(p.has_ondie_ecc) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace vppstudy::chips

@@ -1,0 +1,115 @@
+#include "circuit/dram_cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vppstudy::circuit {
+namespace {
+
+TEST(SteadyStateCellVoltage, FullVddAtNominalVpp) {
+  DramCellSimParams p;
+  p.vpp_v = 2.5;
+  EXPECT_NEAR(steady_state_cell_voltage(p), p.vdd_v, 1e-6);
+}
+
+TEST(SteadyStateCellVoltage, VppLimitedBelowTwoVolts) {
+  // Obsv. 10: at 1.7V the cell saturates near 1.0V rather than VDD=1.2V.
+  DramCellSimParams p;
+  p.vpp_v = 1.7;
+  const double v = steady_state_cell_voltage(p);
+  EXPECT_LT(v, p.vdd_v - 0.05);
+  EXPECT_GT(v, 0.85);
+}
+
+TEST(SteadyStateCellVoltage, MonotoneInVpp) {
+  DramCellSimParams p;
+  double prev = 0.0;
+  for (double vpp = 1.4; vpp <= 2.51; vpp += 0.1) {
+    p.vpp_v = vpp;
+    const double v = steady_state_cell_voltage(p);
+    EXPECT_GE(v, prev - 1e-9) << "vpp=" << vpp;
+    prev = v;
+  }
+}
+
+TEST(BuildDramCellCircuit, InitialConditionsArePrecharged) {
+  DramCellSimParams p;
+  const DramCellCircuit c = build_dram_cell_circuit(p);
+  EXPECT_DOUBLE_EQ(c.initial[c.blsa], p.vdd_v / 2.0);
+  EXPECT_DOUBLE_EQ(c.initial[c.blb], p.vdd_v / 2.0);
+  EXPECT_DOUBLE_EQ(c.initial[c.wl], 0.0);
+  EXPECT_NEAR(c.initial[c.cellt], p.vdd_v, 1e-6);  // stored '1' at 2.5V
+}
+
+TEST(SimulateActivation, ReliableAtNominalVpp) {
+  DramCellSimParams p;
+  auto r = simulate_activation(p);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_TRUE(r->reliable);
+  EXPECT_GT(r->t_rcd_min_ns, 4.0);
+  EXPECT_LT(r->t_rcd_min_ns, 14.0);
+  EXPECT_GT(r->v_cell_final, 1.1);  // fully restored
+}
+
+TEST(SimulateActivation, StoredZeroRegeneratesDownward) {
+  DramCellSimParams p;
+  p.cell_stores_one = false;
+  auto r = simulate_activation(p);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_TRUE(r->reliable);
+  EXPECT_LT(r->v_bitline.back(), 0.1);
+  EXPECT_LT(r->v_cell_final, 0.1);
+}
+
+TEST(SimulateActivation, TrcdIncreasesAsVppDrops) {
+  // Obsv. 8/9: reduced VPP slows activation.
+  DramCellSimParams p;
+  double prev_trcd = 0.0;
+  for (double vpp : {2.5, 2.1, 1.9, 1.7}) {
+    p.vpp_v = vpp;
+    auto r = simulate_activation(p);
+    ASSERT_TRUE(r.has_value()) << "vpp=" << vpp;
+    ASSERT_TRUE(r->reliable) << "vpp=" << vpp;
+    EXPECT_GE(r->t_rcd_min_ns, prev_trcd - 0.05) << "vpp=" << vpp;
+    prev_trcd = r->t_rcd_min_ns;
+  }
+}
+
+TEST(SimulateActivation, CellSaturatesLowerAtReducedVpp) {
+  DramCellSimParams nominal;
+  nominal.vpp_v = 2.5;
+  DramCellSimParams low = nominal;
+  low.vpp_v = 1.7;
+  auto rn = simulate_activation(nominal);
+  auto rl = simulate_activation(low);
+  ASSERT_TRUE(rn.has_value());
+  ASSERT_TRUE(rl.has_value());
+  EXPECT_GT(rn->v_cell_final, rl->v_cell_final + 0.05);
+}
+
+TEST(SimulateActivation, RestorationSlowerAtReducedVpp) {
+  DramCellSimParams p;
+  p.vpp_v = 2.5;
+  auto hi = simulate_activation(p);
+  p.vpp_v = 1.8;
+  auto lo = simulate_activation(p);
+  ASSERT_TRUE(hi.has_value());
+  ASSERT_TRUE(lo.has_value());
+  ASSERT_GE(hi->t_ras_min_ns, 0.0);
+  ASSERT_GE(lo->t_ras_min_ns, 0.0);
+  EXPECT_GT(lo->t_ras_min_ns, hi->t_ras_min_ns);
+}
+
+TEST(SimulateActivation, WaveformsHaveConsistentLengths) {
+  DramCellSimParams p;
+  p.t_stop_ns = 20.0;
+  p.dt_ps = 50.0;
+  auto r = simulate_activation(p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->t_ns.size(), r->v_bitline.size());
+  EXPECT_EQ(r->t_ns.size(), r->v_cell.size());
+  EXPECT_EQ(r->t_ns.size(), r->v_blb.size());
+  EXPECT_NEAR(r->t_ns.back(), 20.0, 0.06);
+}
+
+}  // namespace
+}  // namespace vppstudy::circuit

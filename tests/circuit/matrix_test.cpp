@@ -1,0 +1,82 @@
+#include "circuit/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vppstudy::circuit {
+namespace {
+
+TEST(LuSolve, Identity) {
+  Matrix a(3);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  std::vector<double> b{1.0, 2.0, 3.0};
+  std::vector<double> x;
+  ASSERT_TRUE(lu_solve(a, b, x));
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuSolve, General3x3) {
+  // A = [[2,1,1],[1,3,2],[1,0,0]], x = [1,2,3] -> b = [7,13,1]
+  Matrix a(3);
+  const double vals[3][3] = {{2, 1, 1}, {1, 3, 2}, {1, 0, 0}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = vals[r][c];
+  std::vector<double> b{7.0, 13.0, 1.0};
+  std::vector<double> x;
+  ASSERT_TRUE(lu_solve(a, b, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  std::vector<double> b{5.0, 7.0};
+  std::vector<double> x;
+  ASSERT_TRUE(lu_solve(a, b, x));
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(LuSolve, DetectsSingularMatrix) {
+  Matrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // rank 1
+  std::vector<double> b{1.0, 2.0};
+  std::vector<double> x;
+  EXPECT_FALSE(lu_solve(a, b, x));
+}
+
+TEST(LuSolve, IllConditionedButSolvable) {
+  Matrix a(2);
+  a.at(0, 0) = 1e-8;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  // x = [1, 2] -> b = [1e-8 + 2, 3]
+  std::vector<double> b{1e-8 + 2.0, 3.0};
+  std::vector<double> x;
+  ASSERT_TRUE(lu_solve(a, b, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 2.0, 1e-6);
+}
+
+TEST(Matrix, ClearZeroes) {
+  Matrix a(2);
+  a.at(0, 1) = 5.0;
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::circuit

@@ -1,0 +1,73 @@
+#include "circuit/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vppstudy::circuit {
+namespace {
+
+TEST(Perturb, StaysWithinSpread) {
+  DramCellSimParams nominal;
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const DramCellSimParams p = perturb(nominal, 0.05, rng);
+    EXPECT_NEAR(p.cell_c_f, nominal.cell_c_f, 0.05 * nominal.cell_c_f);
+    EXPECT_NEAR(p.access_nmos.vt0, nominal.access_nmos.vt0,
+                0.05 * nominal.access_nmos.vt0);
+    EXPECT_NEAR(p.bitline_r_ohm, nominal.bitline_r_ohm,
+                0.05 * nominal.bitline_r_ohm);
+  }
+}
+
+TEST(Perturb, DeterministicGivenRngState) {
+  DramCellSimParams nominal;
+  common::Xoshiro256 a(7);
+  common::Xoshiro256 b(7);
+  const auto pa = perturb(nominal, 0.05, a);
+  const auto pb = perturb(nominal, 0.05, b);
+  EXPECT_DOUBLE_EQ(pa.cell_c_f, pb.cell_c_f);
+  EXPECT_DOUBLE_EQ(pa.sa_pmos.kp, pb.sa_pmos.kp);
+}
+
+TEST(MonteCarlo, NominalVppMostRunsReliable) {
+  DramCellSimParams nominal;
+  MonteCarloOptions opts;
+  opts.runs = 20;
+  const auto mc = run_monte_carlo(nominal, opts);
+  EXPECT_GT(mc.reliability(opts.runs), 0.9);
+  EXPECT_EQ(mc.t_rcd_min_ns.size() + mc.failed_runs, opts.runs);
+}
+
+TEST(MonteCarlo, DistributionShiftsUpAtLowVpp) {
+  // Fig. 8b: the tRCDmin distribution shifts to larger values as VPP drops.
+  DramCellSimParams nominal;
+  MonteCarloOptions opts;
+  opts.runs = 15;
+  const auto hi = run_monte_carlo(nominal, opts);
+  DramCellSimParams low = nominal;
+  low.vpp_v = 1.8;
+  const auto lo = run_monte_carlo(low, opts);
+  ASSERT_FALSE(hi.t_rcd_min_ns.empty());
+  ASSERT_FALSE(lo.t_rcd_min_ns.empty());
+  EXPECT_GT(lo.trcd_summary().mean, hi.trcd_summary().mean);
+  EXPECT_GE(lo.worst_trcd_ns(), hi.worst_trcd_ns());
+}
+
+TEST(MonteCarlo, WorstCaseAtLeastMean) {
+  DramCellSimParams nominal;
+  MonteCarloOptions opts;
+  opts.runs = 10;
+  const auto mc = run_monte_carlo(nominal, opts);
+  ASSERT_FALSE(mc.t_rcd_min_ns.empty());
+  EXPECT_GE(mc.worst_trcd_ns(), mc.trcd_summary().mean);
+  EXPECT_GE(mc.worst_tras_ns(), 0.0);
+}
+
+TEST(MonteCarlo, EmptyResultHandled) {
+  MonteCarloResult r;
+  EXPECT_DOUBLE_EQ(r.worst_trcd_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(r.worst_tras_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(r.reliability(0), 0.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::circuit

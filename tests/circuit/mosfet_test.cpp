@@ -1,0 +1,156 @@
+#include "circuit/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vppstudy::circuit {
+namespace {
+
+MosParams simple_nmos() {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w_m = 1e-6;
+  p.l_m = 1e-7;
+  p.kp = 100e-6;
+  p.vt0 = 0.5;
+  p.lambda = 0.0;
+  p.gamma = 0.0;
+  return p;
+}
+
+TEST(ThresholdVoltage, NoBodyEffectWhenGammaZero) {
+  const MosParams p = simple_nmos();
+  EXPECT_DOUBLE_EQ(threshold_voltage(p, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(threshold_voltage(p, 1.0), 0.5);
+}
+
+TEST(ThresholdVoltage, IncreasesWithSourceBulkBias) {
+  MosParams p = simple_nmos();
+  p.gamma = 0.4;
+  const double vth0 = threshold_voltage(p, 0.0);
+  const double vth1 = threshold_voltage(p, 1.0);
+  EXPECT_DOUBLE_EQ(vth0, 0.5);
+  EXPECT_GT(vth1, vth0);
+  // Closed form: vt0 + gamma*(sqrt(phi+vsb)-sqrt(phi)).
+  EXPECT_NEAR(vth1, 0.5 + 0.4 * (std::sqrt(1.8) - std::sqrt(0.8)), 1e-12);
+}
+
+TEST(EvalNmosForward, CutoffHasNoCurrent) {
+  const auto e = eval_nmos_forward(simple_nmos(), 0.3, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(e.ids, 0.0);
+  EXPECT_DOUBLE_EQ(e.gm, 0.0);
+}
+
+TEST(EvalNmosForward, SaturationCurrentMatchesSquareLaw) {
+  const MosParams p = simple_nmos();
+  // vgs=1.5, vds=2 > vov=1: saturation. Ids = beta/2 * vov^2.
+  const auto e = eval_nmos_forward(p, 1.5, 2.0, 0.0);
+  const double beta = p.beta();
+  EXPECT_NEAR(e.ids, 0.5 * beta * 1.0, 1e-15);
+  EXPECT_NEAR(e.gm, beta * 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(e.gds, 0.0);  // lambda = 0
+}
+
+TEST(EvalNmosForward, TriodeCurrentMatchesFormula) {
+  const MosParams p = simple_nmos();
+  // vgs=1.5 (vov=1), vds=0.5 < vov: triode.
+  const auto e = eval_nmos_forward(p, 1.5, 0.5, 0.0);
+  const double beta = p.beta();
+  EXPECT_NEAR(e.ids, beta * (1.0 * 0.5 - 0.125), 1e-15);
+  EXPECT_NEAR(e.gds, beta * 0.5, 1e-15);
+}
+
+TEST(EvalNmosForward, ContinuousAtTriodeSaturationBoundary) {
+  const MosParams p = simple_nmos();
+  const auto lo = eval_nmos_forward(p, 1.5, 1.0 - 1e-9, 0.0);
+  const auto hi = eval_nmos_forward(p, 1.5, 1.0 + 1e-9, 0.0);
+  EXPECT_NEAR(lo.ids, hi.ids, 1e-12);
+}
+
+TEST(EvalNmosForward, LambdaAddsOutputConductance) {
+  MosParams p = simple_nmos();
+  p.lambda = 0.1;
+  const auto e = eval_nmos_forward(p, 1.5, 2.0, 0.0);
+  EXPECT_GT(e.gds, 0.0);
+}
+
+// Numerical-derivative checks for the full linearization: the stamped
+// conductances must match finite differences of the channel current, or the
+// Newton iteration would converge to wrong answers.
+double channel_current(const MosParams& p, double vg, double vd, double vs,
+                       double vb) {
+  return linearize_mosfet(p, vg, vd, vs, vb).current(vg, vd, vs, vb);
+}
+
+void check_partials(const MosParams& p, double vg, double vd, double vs,
+                    double vb) {
+  const auto lin = linearize_mosfet(p, vg, vd, vs, vb);
+  const double h = 1e-6;
+  const double dg = (channel_current(p, vg + h, vd, vs, vb) -
+                     channel_current(p, vg - h, vd, vs, vb)) /
+                    (2 * h);
+  const double dd = (channel_current(p, vg, vd + h, vs, vb) -
+                     channel_current(p, vg, vd - h, vs, vb)) /
+                    (2 * h);
+  const double ds = (channel_current(p, vg, vd, vs + h, vb) -
+                     channel_current(p, vg, vd, vs - h, vb)) /
+                    (2 * h);
+  const double scale =
+      std::max({1e-9, std::abs(lin.g_g), std::abs(lin.g_d), std::abs(lin.g_s)});
+  EXPECT_NEAR(lin.g_g, dg, 1e-4 * scale + 1e-12);
+  EXPECT_NEAR(lin.g_d, dd, 1e-4 * scale + 1e-12);
+  EXPECT_NEAR(lin.g_s, ds, 1e-4 * scale + 1e-12);
+}
+
+TEST(LinearizeMosfet, PartialsMatchFiniteDifferences_NmosForward) {
+  MosParams p = simple_nmos();
+  p.lambda = 0.05;
+  p.gamma = 0.45;
+  check_partials(p, 1.5, 1.0, 0.2, 0.0);   // saturation
+  check_partials(p, 1.5, 0.3, 0.1, 0.0);   // triode
+}
+
+TEST(LinearizeMosfet, PartialsMatchFiniteDifferences_NmosReversed) {
+  MosParams p = simple_nmos();
+  p.lambda = 0.05;
+  p.gamma = 0.45;
+  // Drain below source: internal swap path.
+  check_partials(p, 1.8, 0.1, 0.9, 0.0);
+}
+
+TEST(LinearizeMosfet, PartialsMatchFiniteDifferences_Pmos) {
+  MosParams p = simple_nmos();
+  p.type = MosType::kPmos;
+  p.lambda = 0.05;
+  // Source high (1.2), gate low, drain mid: PMOS conducting.
+  check_partials(p, 0.2, 0.6, 1.2, 1.2);
+  check_partials(p, 0.2, 1.1, 1.2, 1.2);  // triode-ish
+}
+
+TEST(LinearizeMosfet, SymmetricUnderTerminalSwap) {
+  // Channel current must be antisymmetric when drain and source swap.
+  MosParams p = simple_nmos();
+  p.gamma = 0.0;
+  p.lambda = 0.0;
+  const double i_fwd = channel_current(p, 1.5, 1.0, 0.2, 0.0);
+  const double i_rev = channel_current(p, 1.5, 0.2, 1.0, 0.0);
+  EXPECT_NEAR(i_fwd, -i_rev, 1e-12);
+}
+
+TEST(LinearizeMosfet, PmosConductsWithNegativeVgs) {
+  MosParams p = simple_nmos();
+  p.type = MosType::kPmos;
+  // Gate 0, source 1.2: |vgs| = 1.2 > vth: current flows source -> drain,
+  // i.e. the channel current out of the drain node is negative.
+  const double i = channel_current(p, 0.0, 0.6, 1.2, 1.2);
+  EXPECT_LT(i, 0.0);
+}
+
+TEST(LinearizeMosfet, NmosOffWhenGateLow) {
+  const MosParams p = simple_nmos();
+  EXPECT_DOUBLE_EQ(channel_current(p, 0.0, 1.0, 0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::circuit

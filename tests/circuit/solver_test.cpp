@@ -1,0 +1,172 @@
+#include "circuit/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vppstudy::circuit {
+namespace {
+
+TEST(DcOperatingPoint, VoltageDivider) {
+  Circuit c;
+  const NodeId vin = c.add_node("vin");
+  const NodeId mid = c.add_node("mid");
+  c.add_dc_source(vin, kGround, 10.0);
+  c.add_resistor(vin, mid, 1000.0);
+  c.add_resistor(mid, kGround, 1000.0);
+
+  Solver s(c);
+  auto v = s.dc_operating_point();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR((*v)[vin], 10.0, 1e-6);
+  EXPECT_NEAR((*v)[mid], 5.0, 1e-4);
+}
+
+TEST(DcOperatingPoint, NmosCommonSourceAmplifier) {
+  // VDD --R(10k)-- drain --NMOS-- gnd with gate at 1.0V.
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId gate = c.add_node("gate");
+  const NodeId drain = c.add_node("drain");
+  c.add_dc_source(vdd, kGround, 1.8);
+  c.add_dc_source(gate, kGround, 1.0);
+  c.add_resistor(vdd, drain, 10e3);
+  Mosfet m;
+  m.gate = gate;
+  m.drain = drain;
+  m.source = kGround;
+  m.bulk = kGround;
+  m.params = {MosType::kNmos, 1e-6, 1e-7, 100e-6, 0.5, 0.0, 0.0, 0.8};
+  c.add_mosfet(m);
+
+  Solver s(c);
+  auto v = s.dc_operating_point();
+  ASSERT_TRUE(v.has_value());
+  // If saturated: Ids = beta/2 * (0.5)^2 = 125uA -> V(drain) = 1.8-1.25 = 0.55.
+  // vds=0.55 > vov=0.5 so saturation assumption holds.
+  EXPECT_NEAR((*v)[drain], 0.55, 0.01);
+}
+
+TEST(Transient, RcDischargeMatchesAnalyticSolution) {
+  // Capacitor charged to 1V discharging through 1k into ground.
+  Circuit c;
+  const NodeId n = c.add_node("cap");
+  c.add_resistor(n, kGround, 1000.0);
+  c.add_capacitor(n, kGround, 1e-9);  // tau = 1us
+
+  Solver s(c);
+  TransientOptions opts;
+  opts.t_stop_s = 2e-6;
+  opts.dt_s = 1e-9;
+  std::vector<double> init(c.node_count(), 0.0);
+  init[n] = 1.0;
+  const NodeId rec[] = {n};
+  auto wf = s.transient(init, opts, rec);
+  ASSERT_TRUE(wf.has_value());
+
+  const auto trace = wf->trace(n);
+  // Compare at t = tau: v should be ~exp(-1).
+  const std::size_t idx = 1000;  // 1us / 1ns
+  EXPECT_NEAR(trace[idx], std::exp(-1.0), 5e-3);
+  // And at 2*tau.
+  EXPECT_NEAR(trace.back(), std::exp(-2.0), 5e-3);
+}
+
+TEST(Transient, RcChargeThroughSource) {
+  // Step source charging a cap through a resistor.
+  Circuit c;
+  const NodeId src = c.add_node("src");
+  const NodeId cap = c.add_node("cap");
+  c.add_voltage_source(src, kGround, {{0.0, 0.0}, {1e-12, 1.0}});
+  c.add_resistor(src, cap, 1000.0);
+  c.add_capacitor(cap, kGround, 1e-9);
+
+  Solver s(c);
+  TransientOptions opts;
+  opts.t_stop_s = 5e-6;
+  opts.dt_s = 2e-9;
+  std::vector<double> init(c.node_count(), 0.0);
+  const NodeId rec[] = {cap};
+  auto wf = s.transient(init, opts, rec);
+  ASSERT_TRUE(wf.has_value());
+  const auto trace = wf->trace(cap);
+  EXPECT_NEAR(trace.back(), 1.0, 1e-2);    // fully charged after 5 tau
+  // Monotone rise.
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i], trace[i - 1] - 1e-9);
+}
+
+TEST(Transient, PwlSourceInterpolation) {
+  VoltageSource v;
+  v.waveform = {{0.0, 0.0}, {1e-9, 2.0}, {3e-9, 2.0}, {4e-9, 1.0}};
+  EXPECT_DOUBLE_EQ(v.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.value_at(0.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(v.value_at(2e-9), 2.0);
+  EXPECT_DOUBLE_EQ(v.value_at(3.5e-9), 1.5);
+  EXPECT_DOUBLE_EQ(v.value_at(10e-9), 1.0);
+}
+
+TEST(Transient, CmosInverterSwitches) {
+  // Static CMOS inverter driven by a ramping input.
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  c.add_dc_source(vdd, kGround, 1.2);
+  c.add_voltage_source(in, kGround, {{0.0, 0.0}, {10e-9, 1.2}});
+  c.add_capacitor(out, kGround, 10e-15);
+
+  Mosfet nmos;
+  nmos.gate = in;
+  nmos.drain = out;
+  nmos.source = kGround;
+  nmos.bulk = kGround;
+  nmos.params = {MosType::kNmos, 1e-6, 1e-7, 100e-6, 0.4, 0.05, 0.0, 0.8};
+  c.add_mosfet(nmos);
+  Mosfet pmos;
+  pmos.gate = in;
+  pmos.drain = out;
+  pmos.source = vdd;
+  pmos.bulk = vdd;
+  pmos.params = {MosType::kPmos, 2e-6, 1e-7, 50e-6, 0.4, 0.05, 0.0, 0.8};
+  c.add_mosfet(pmos);
+
+  Solver s(c);
+  TransientOptions opts;
+  opts.t_stop_s = 12e-9;
+  opts.dt_s = 10e-12;
+  std::vector<double> init(c.node_count(), 0.0);
+  init[vdd] = 1.2;
+  init[out] = 1.2;  // input low -> output high
+  const NodeId rec[] = {out};
+  auto wf = s.transient(init, opts, rec);
+  ASSERT_TRUE(wf.has_value());
+  const auto out_trace = wf->trace(out);
+  EXPECT_GT(out_trace.front(), 1.0);  // starts high
+  EXPECT_LT(out_trace.back(), 0.2);   // ends low after input ramps high
+}
+
+TEST(Transient, RecordsRequestedNodesOnly) {
+  Circuit c;
+  const NodeId a = c.add_node("a");
+  const NodeId b = c.add_node("b");
+  c.add_dc_source(a, kGround, 1.0);
+  c.add_resistor(a, b, 100.0);
+  c.add_capacitor(b, kGround, 1e-12);
+  Solver s(c);
+  TransientOptions opts;
+  opts.t_stop_s = 1e-9;
+  opts.dt_s = 1e-10;
+  std::vector<double> init(c.node_count(), 0.0);
+  const NodeId rec[] = {b};
+  auto wf = s.transient(init, opts, rec);
+  ASSERT_TRUE(wf.has_value());
+  EXPECT_EQ(wf->nodes.size(), 1u);
+  EXPECT_EQ(wf->v.size(), 1u);
+  EXPECT_EQ(wf->t_s.size(), wf->v[0].size());
+  EXPECT_EQ(wf->t_s.size(), 11u);  // t=0 plus 10 steps
+}
+
+}  // namespace
+}  // namespace vppstudy::circuit

@@ -1,0 +1,69 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace vppstudy::common {
+namespace {
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSeparators) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, HeaderOnly) {
+  const CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.str(), "a,b\n");
+  EXPECT_EQ(w.row_count(), 0u);
+}
+
+TEST(CsvWriter, RowsAndTypes) {
+  CsvWriter w({"name", "x", "n"});
+  w.begin_row();
+  w.add("first");
+  w.add(1.5);
+  w.add(std::uint64_t{42});
+  w.begin_row();
+  w.add("second");
+  w.add(-2.25);
+  w.add(std::int64_t{-7});
+  EXPECT_EQ(w.str(), "name,x,n\nfirst,1.5,42\nsecond,-2.25,-7\n");
+}
+
+TEST(CsvWriter, RowCountExcludesOpenRow) {
+  CsvWriter w({"a"});
+  w.begin_row();
+  w.add("x");
+  EXPECT_EQ(w.row_count(), 0u);
+  w.begin_row();  // closes the first row
+  EXPECT_EQ(w.row_count(), 1u);
+}
+
+TEST(CsvWriter, WritesFile) {
+  CsvWriter w({"k", "v"});
+  w.begin_row();
+  w.add("vpp");
+  w.add(2.5);
+  const std::string path = testing::TempDir() + "/csv_test_out.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "vpp,2.5");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vppstudy::common

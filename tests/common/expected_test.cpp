@@ -1,0 +1,53 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vppstudy::common {
+namespace {
+
+Expected<int> parse_positive(int v) {
+  if (v <= 0) return Error{"not positive"};
+  return v;
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> e = parse_positive(5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 5);
+  EXPECT_EQ(*e, 5);
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> e = parse_positive(-1);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().message, "not positive");
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> e = std::string("payload");
+  const std::string s = std::move(e).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e = std::string("abc");
+  EXPECT_EQ(e->size(), 3u);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(Status, CarriesError) {
+  const Status s = Error{"rail fault"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "rail fault");
+}
+
+}  // namespace
+}  // namespace vppstudy::common

@@ -1,0 +1,131 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vppstudy::common {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Mix64, AvalanchesSingleBitChanges) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = mix64(0x1234567890abcdefULL);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    const int differing = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(differing, 10) << "weak diffusion at input bit " << bit;
+    EXPECT_LT(differing, 54) << "weak diffusion at input bit " << bit;
+  }
+}
+
+TEST(HashKey, OrderSensitive) {
+  EXPECT_NE(hash_key({1, 2}), hash_key({2, 1}));
+  EXPECT_NE(hash_key({1, 2}), hash_key({1, 2, 0}));
+}
+
+TEST(UniformAt, InUnitInterval) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = uniform_at({i, 7});
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformAt, MeanIsApproximatelyHalf) {
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) sum += uniform_at({i, 99});
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-4);
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdf, HandlesExtremeInputsWithoutInfinities) {
+  EXPECT_TRUE(std::isfinite(inverse_normal_cdf(0.0)));
+  EXPECT_TRUE(std::isfinite(inverse_normal_cdf(1.0)));
+  EXPECT_LT(inverse_normal_cdf(1e-12), -6.0);
+  EXPECT_GT(inverse_normal_cdf(1.0 - 1e-12), 6.0);
+}
+
+TEST(NormalAt, ApproximatelyStandardNormal) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const double z = normal_at({i, 3});
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, UniformRangeRespected) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.5);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Xoshiro256, NormalMomentsReasonable) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal(5.0, 2.0);
+    sum += z;
+    sum_sq += (z - 5.0) * (z - 5.0);
+  }
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / kN), 2.0, 0.05);
+}
+
+TEST(Xoshiro256, BoundedStaysBelowBound) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.bounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+}  // namespace
+}  // namespace vppstudy::common

@@ -1,0 +1,67 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vppstudy::core {
+namespace {
+
+ModuleSweepResult fake_sweep() {
+  ModuleSweepResult s;
+  s.module_name = "T0";
+  s.vpp_levels = {2.5, 1.6};
+  RowSeries r;
+  r.row = 42;
+  r.wcdp = dram::DataPattern::kThickCC;
+  r.hc_first = {10000, 12000};
+  r.ber = {1e-3, 5e-4};
+  s.rows.push_back(r);
+  return s;
+}
+
+TEST(ExportCsv, RowHammerSweepLayout) {
+  const auto csv = to_csv(fake_sweep());
+  const std::string text = csv.str();
+  std::istringstream in(text);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "module,row,wcdp,vpp_v,hc_first,ber");
+  std::getline(in, line);
+  EXPECT_EQ(line, "T0,42,0xCC,2.5,10000,0.001");
+  std::getline(in, line);
+  EXPECT_EQ(line, "T0,42,0xCC,1.6,12000,0.0005");
+  EXPECT_FALSE(std::getline(in, line));  // exactly 2 data rows
+}
+
+TEST(ExportCsv, TrcdSweepLayout) {
+  TrcdSweepResult s;
+  s.module_name = "T1";
+  s.vpp_levels = {2.5, 1.7};
+  s.trcd_min_ns = {12.0, 13.5};
+  const std::string text = to_csv(s).str();
+  EXPECT_NE(text.find("T1,2.5,12"), std::string::npos);
+  EXPECT_NE(text.find("T1,1.7,13.5"), std::string::npos);
+}
+
+TEST(ExportCsv, RetentionSweepLayout) {
+  RetentionSweepResult s;
+  s.module_name = "T2";
+  s.vpp_levels = {2.5};
+  s.trefw_ms = {64.0, 128.0};
+  s.mean_ber = {{0.0, 1e-6}};
+  const std::string text = to_csv(s).str();
+  EXPECT_NE(text.find("T2,2.5,64,0"), std::string::npos);
+  EXPECT_NE(text.find("T2,2.5,128,1e-06"), std::string::npos);
+}
+
+TEST(ExportCsv, SkipsLevelsWithoutData) {
+  auto s = fake_sweep();
+  s.rows[0].hc_first.pop_back();  // only one level measured
+  s.rows[0].ber.pop_back();
+  const auto csv = to_csv(s);
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vppstudy::core

@@ -1,0 +1,77 @@
+// Blast radius: prior work [11] shows RowHammer disturbs rows up to two
+// positions away, with distance-2 coupling ~30x weaker. These tests pin the
+// model's distance structure.
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "dram/data_pattern.hpp"
+#include "harness/experiment.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+/// Hammer one aggressor hard; return flips at each physical distance.
+std::vector<std::uint64_t> flips_by_distance(std::uint64_t hc) {
+  auto profile = small_profile();
+  softmc::Session s(profile);
+  s.module().set_trr_enabled(false);
+  const auto& mapping = s.module().mapping();
+  const std::uint32_t agg_phys = 600;
+  const std::uint32_t aggressor = mapping.physical_to_logical(agg_phys);
+  const auto image = pattern_row(DataPattern::kCheckerAA, kBytesPerRow);
+
+  // Initialize distance 1..3 on both sides.
+  for (int d = -3; d <= 3; ++d) {
+    if (d == 0) continue;
+    const std::uint32_t row = mapping.physical_to_logical(
+        static_cast<std::uint32_t>(static_cast<int>(agg_phys) + d));
+    EXPECT_TRUE(s.init_row(0, row, image).ok());
+  }
+  const std::uint32_t partner =
+      mapping.physical_to_logical(agg_phys + 2048 - 7);
+  EXPECT_TRUE(s.init_row(0, aggressor,
+                         pattern_row(DataPattern::kChecker55, kBytesPerRow))
+                  .ok());
+  EXPECT_TRUE(s.hammer_double_sided(0, aggressor, partner, hc).ok());
+
+  std::vector<std::uint64_t> by_distance(4, 0);
+  for (int d = -3; d <= 3; ++d) {
+    if (d == 0) continue;
+    const std::uint32_t row = mapping.physical_to_logical(
+        static_cast<std::uint32_t>(static_cast<int>(agg_phys) + d));
+    auto observed = s.read_row(0, row, harness::kSafeReadTrcdNs);
+    EXPECT_TRUE(observed.has_value());
+    by_distance[static_cast<std::size_t>(std::abs(d))] +=
+        harness::count_bit_flips(image, *observed);
+  }
+  return by_distance;
+}
+
+TEST(BlastRadius, ModerateHammeringOnlyReachesDistanceOne) {
+  // 100K single-sided activations: well above B3's threshold for the
+  // immediate neighbor, far below the distance-2 threshold (~30x higher).
+  const auto flips = flips_by_distance(100'000);
+  EXPECT_GT(flips[1], 0u);
+  EXPECT_EQ(flips[2], 0u);
+  EXPECT_EQ(flips[3], 0u);
+}
+
+TEST(BlastRadius, ExtremeHammeringReachesDistanceTwoButNotThree) {
+  // 2M activations: distance-2 effective count ~66K > HCfirst.
+  const auto flips = flips_by_distance(2'000'000);
+  EXPECT_GT(flips[1], 0u);
+  EXPECT_GT(flips[2], 0u);
+  EXPECT_EQ(flips[3], 0u);
+  // Distance-1 damage dominates distance-2 by a wide margin.
+  EXPECT_GT(flips[1], flips[2] * 3);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

@@ -1,0 +1,100 @@
+#include "dram/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vppstudy::dram {
+namespace {
+
+constexpr std::uint32_t kRows = 4096;
+
+TEST(RowMapping, AllSchemesAreBijections) {
+  for (const MappingScheme scheme :
+       {MappingScheme::kIdentity, MappingScheme::kBitSwizzle,
+        MappingScheme::kMirroredPairs, MappingScheme::kBlockInvert}) {
+    const RowMapping m(scheme, kRows);
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      const std::uint32_t p = m.logical_to_physical(r);
+      ASSERT_LT(p, kRows);
+      ASSERT_TRUE(seen.insert(p).second)
+          << "collision in scheme " << static_cast<int>(scheme);
+    }
+  }
+}
+
+TEST(RowMapping, RoundTripsThroughInverse) {
+  for (const MappingScheme scheme :
+       {MappingScheme::kIdentity, MappingScheme::kBitSwizzle,
+        MappingScheme::kMirroredPairs, MappingScheme::kBlockInvert}) {
+    const RowMapping m(scheme, kRows);
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      EXPECT_EQ(m.physical_to_logical(m.logical_to_physical(r)), r);
+    }
+  }
+}
+
+TEST(RowMapping, IdentityIsIdentity) {
+  const RowMapping m(MappingScheme::kIdentity, kRows);
+  EXPECT_EQ(m.logical_to_physical(17), 17u);
+  const auto n = m.physical_neighbors(17);
+  ASSERT_TRUE(n.valid);
+  EXPECT_EQ(n.below, 16u);
+  EXPECT_EQ(n.above, 18u);
+}
+
+TEST(RowMapping, SwizzleMovesSomeRows) {
+  const RowMapping m(MappingScheme::kBitSwizzle, kRows);
+  int moved = 0;
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    if (m.logical_to_physical(r) != r) ++moved;
+  }
+  EXPECT_GT(moved, 8);
+  EXPECT_LT(moved, 64);
+}
+
+TEST(RowMapping, MirroredPairsSwapMiddleOfEachBlock) {
+  const RowMapping m(MappingScheme::kMirroredPairs, kRows);
+  EXPECT_EQ(m.logical_to_physical(0), 0u);
+  EXPECT_EQ(m.logical_to_physical(1), 2u);
+  EXPECT_EQ(m.logical_to_physical(2), 1u);
+  EXPECT_EQ(m.logical_to_physical(3), 3u);
+}
+
+TEST(RowMapping, BlockInvertOnlyTouchesOddBlocks) {
+  const RowMapping m(MappingScheme::kBlockInvert, kRows);
+  EXPECT_EQ(m.logical_to_physical(5), 5u);          // block 0: untouched
+  EXPECT_EQ(m.logical_to_physical(1024 + 5), 1024u + (5u ^ 7u));
+}
+
+TEST(RowMapping, NeighborsConsistentWithMapping) {
+  for (const MappingScheme scheme :
+       {MappingScheme::kBitSwizzle, MappingScheme::kMirroredPairs,
+        MappingScheme::kBlockInvert}) {
+    const RowMapping m(scheme, kRows);
+    for (std::uint32_t r = 8; r < 128; ++r) {
+      const auto n = m.physical_neighbors(r);
+      ASSERT_TRUE(n.valid);
+      const std::uint32_t phys = m.logical_to_physical(r);
+      EXPECT_EQ(m.logical_to_physical(n.below), phys - 1);
+      EXPECT_EQ(m.logical_to_physical(n.above), phys + 1);
+    }
+  }
+}
+
+TEST(RowMapping, EdgeRowsHaveNoValidNeighborhood) {
+  const RowMapping m(MappingScheme::kIdentity, kRows);
+  EXPECT_FALSE(m.physical_neighbors(0).valid);
+  EXPECT_FALSE(m.physical_neighbors(kRows - 1).valid);
+  EXPECT_TRUE(m.physical_neighbors(1).valid);
+}
+
+TEST(RowMapping, VendorSchemeAssignment) {
+  EXPECT_EQ(scheme_for(Manufacturer::kMfrA), MappingScheme::kBitSwizzle);
+  EXPECT_EQ(scheme_for(Manufacturer::kMfrB), MappingScheme::kMirroredPairs);
+  EXPECT_EQ(scheme_for(Manufacturer::kMfrC), MappingScheme::kBlockInvert);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

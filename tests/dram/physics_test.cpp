@@ -1,0 +1,249 @@
+#include "dram/physics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "chips/module_db.hpp"
+#include "circuit/dram_cell.hpp"
+#include "common/units.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+ModuleProfile test_profile() {
+  auto p = chips::profile_by_name("B3");
+  return p.value();
+}
+
+TEST(AnalyticRestoredVoltage, MatchesCircuitModelFixedPoint) {
+  // The behavioral device model and the transistor-level circuit model must
+  // agree on the VPP-limited restoration level (same constants).
+  for (double vpp = 1.4; vpp <= 2.5 + 1e-9; vpp += 0.1) {
+    circuit::DramCellSimParams c;
+    c.vpp_v = vpp;
+    EXPECT_NEAR(analytic_restored_voltage(vpp),
+                circuit::steady_state_cell_voltage(c), 1e-6)
+        << "vpp=" << vpp;
+  }
+}
+
+TEST(AnalyticRestoredVoltage, MatchesPaperSaturationNumbers) {
+  // Obsv. 10: saturation deficits of ~4.1% / 11.0% / 18.1% at 1.9/1.8/1.7V.
+  EXPECT_NEAR(analytic_restored_voltage(2.5), 1.2, 1e-9);
+  EXPECT_NEAR(analytic_restored_voltage(2.0), 1.2, 1e-6);
+  EXPECT_NEAR(restore_deficit(1.9), 0.041, 0.015);
+  EXPECT_NEAR(restore_deficit(1.8), 0.110, 0.015);
+  EXPECT_NEAR(restore_deficit(1.7), 0.181, 0.015);
+}
+
+TEST(RestoreDeficit, ZeroAboveTwoVolts) {
+  EXPECT_DOUBLE_EQ(restore_deficit(2.5), 0.0);
+  EXPECT_DOUBLE_EQ(restore_deficit(2.1), 0.0);
+  EXPECT_GT(restore_deficit(1.6), restore_deficit(1.8));
+}
+
+TEST(CellPhysics, RowParamsAreDeterministic) {
+  const CellPhysics phys(test_profile());
+  const auto a = phys.row_params(0, 1234);
+  const auto b = phys.row_params(0, 1234);
+  EXPECT_DOUBLE_EQ(a.hc_first, b.hc_first);
+  EXPECT_DOUBLE_EQ(a.alpha_nom, b.alpha_nom);
+  EXPECT_DOUBLE_EQ(a.s, b.s);
+  const auto c = phys.row_params(0, 1235);
+  EXPECT_NE(a.hc_first, c.hc_first);
+}
+
+TEST(CellPhysics, RowStrengthNeverBelowModuleAnchor) {
+  const auto profile = test_profile();
+  const CellPhysics phys(profile);
+  for (std::uint32_t r = 0; r < 2000; ++r) {
+    EXPECT_GE(phys.row_params(0, r).hc_first,
+              profile.hc_first_nominal - 1e-6);
+  }
+}
+
+TEST(CellPhysics, SensitivityShapeAnchors) {
+  const auto profile = test_profile();
+  const CellPhysics phys(profile);
+  EXPECT_NEAR(phys.sensitivity_shape(common::kNominalVppV), 0.0, 1e-12);
+  EXPECT_NEAR(phys.sensitivity_shape(profile.vppmin_v), 1.0, 1e-12);
+  EXPECT_GT(phys.sensitivity_shape(1.8), phys.sensitivity_shape(2.2));
+}
+
+TEST(CellPhysics, HammerMultiplierOneAtNominal) {
+  const CellPhysics phys(test_profile());
+  for (std::uint32_t r : {0u, 7u, 99u}) {
+    const auto rp = phys.row_params(0, r);
+    EXPECT_NEAR(phys.hammer_multiplier(rp, common::kNominalVppV), 1.0, 1e-9);
+  }
+}
+
+TEST(CellPhysics, ModuleAnchorRatioEncodedInLogM) {
+  const auto profile = test_profile();  // B3: 16.6K -> 21.1K
+  const CellPhysics phys(profile);
+  EXPECT_NEAR(std::exp(phys.log_m_module()),
+              profile.hc_first_vppmin / profile.hc_first_nominal, 1e-9);
+}
+
+TEST(CellPhysics, HammerFlipProbabilityFloorAndGrowth) {
+  const auto profile = test_profile();
+  const CellPhysics phys(profile);
+  const auto rp = phys.row_params(0, 42);
+  // Below the row threshold: exactly zero.
+  EXPECT_DOUBLE_EQ(
+      phys.hammer_flip_probability(rp, rp.hc_first * 0.5, 2.5, 1.0, 1.0), 0.0);
+  // At the threshold: about one expected flip among the vulnerable cells.
+  const double p_at =
+      phys.hammer_flip_probability(rp, rp.hc_first, 2.5, 1.0, 1.0);
+  EXPECT_NEAR(p_at * (kBitsPerRow / 2.0), 1.0, 0.2);
+  // Monotone growth above.
+  const double p2 =
+      phys.hammer_flip_probability(rp, rp.hc_first * 2, 2.5, 1.0, 1.0);
+  EXPECT_GT(p2, p_at);
+}
+
+TEST(CellPhysics, PartialRestoreLowersTheFloor) {
+  const CellPhysics phys(test_profile());
+  const auto rp = phys.row_params(0, 7);
+  const double full =
+      phys.hammer_flip_probability(rp, rp.hc_first * 1.2, 2.5, 1.0, 1.0);
+  const double partial =
+      phys.hammer_flip_probability(rp, rp.hc_first * 1.2, 2.5, 1.0, 0.6);
+  EXPECT_GT(partial, full);
+}
+
+TEST(CellPhysics, PatternFactorAtLeastOneAndDeterministic) {
+  const CellPhysics phys(test_profile());
+  std::set<double> values;
+  for (std::uint8_t sig : {0xFF, 0x00, 0xAA, 0x55, 0xCC, 0x33}) {
+    const double f = phys.pattern_factor(0, 10, sig, 25);
+    EXPECT_GE(f, 1.0);
+    EXPECT_LE(f, 1.2);
+    EXPECT_DOUBLE_EQ(f, phys.pattern_factor(0, 10, sig, 25));
+    values.insert(f);
+  }
+  EXPECT_GT(values.size(), 3u);  // patterns are actually distinguished
+}
+
+TEST(CellPhysics, RetentionProbabilityBasics) {
+  const CellPhysics phys(test_profile());
+  const auto rp = phys.row_params(0, 3);
+  // Millisecond scale: negligible. Minutes: appreciable. Monotone.
+  const double p_64ms = phys.retention_flip_probability(rp, 0.064, 2.5, 80.0, 1.0);
+  const double p_4s = phys.retention_flip_probability(rp, 4.0, 2.5, 80.0, 1.0);
+  const double p_64s = phys.retention_flip_probability(rp, 64.0, 2.5, 80.0, 1.0);
+  EXPECT_LT(p_64ms, 1e-8);
+  EXPECT_GT(p_4s, p_64ms);
+  EXPECT_GT(p_64s, p_4s);
+}
+
+TEST(CellPhysics, RetentionWorseAtLowVppAndHighTemperature) {
+  const CellPhysics phys(test_profile());
+  const auto rp = phys.row_params(0, 3);
+  EXPECT_GT(phys.retention_flip_probability(rp, 4.0, 1.6, 80.0, 1.0),
+            phys.retention_flip_probability(rp, 4.0, 2.5, 80.0, 1.0));
+  EXPECT_GT(phys.retention_flip_probability(rp, 4.0, 2.5, 90.0, 1.0),
+            phys.retention_flip_probability(rp, 4.0, 2.5, 80.0, 1.0));
+}
+
+TEST(CellPhysics, RetentionCertainWhenChargeBelowThreshold) {
+  const CellPhysics phys(test_profile());
+  const auto rp = phys.row_params(0, 3);
+  EXPECT_DOUBLE_EQ(phys.retention_flip_probability(rp, 1.0, 2.5, 80.0, 0.3),
+                   1.0);
+}
+
+TEST(CellPhysics, TrcdGrowsAsVppDrops) {
+  const auto profile = test_profile();
+  const CellPhysics phys(profile);
+  const auto rp = phys.row_params(0, 5);
+  const double at_nom = phys.trcd_row_mean_ns(rp, 2.5);
+  const double at_min = phys.trcd_row_mean_ns(rp, profile.vppmin_v);
+  EXPECT_NEAR(at_nom, profile.trcd0_ns + rp.trcd_offset_ns, 1e-9);
+  EXPECT_NEAR(at_min - at_nom, profile.trcd_vpp_slope_ns, 1e-9);
+}
+
+TEST(CellPhysics, TrcdFailProbabilityMonotone) {
+  const CellPhysics phys(test_profile());
+  const auto rp = phys.row_params(0, 5);
+  const double relaxed = phys.trcd_fail_probability(rp, 13.5, 2.5);
+  const double tight = phys.trcd_fail_probability(rp, 9.0, 2.5);
+  EXPECT_LT(relaxed, 1e-6);
+  EXPECT_GT(tight, relaxed);
+}
+
+TEST(CellPhysics, RestoreFractionSaturatesAtFullTras) {
+  const CellPhysics phys(test_profile());
+  EXPECT_DOUBLE_EQ(phys.restore_fraction(60.0, 2.5), 1.0);
+  EXPECT_LT(phys.restore_fraction(10.0, 2.5), 1.0);
+  EXPECT_GE(phys.restore_fraction(1.0, 2.5), 0.3);
+  // Lower VPP needs longer to fully restore.
+  EXPECT_GT(phys.restore_fraction(30.0, 2.5),
+            phys.restore_fraction(30.0, 1.5) - 1e-12);
+}
+
+TEST(CellPhysics, ChargedValueRoughlyBalanced) {
+  const CellPhysics phys(test_profile());
+  int charged = 0;
+  constexpr int kN = 4096;
+  for (int i = 0; i < kN; ++i) {
+    charged += phys.charged_value(0, 17, static_cast<std::uint32_t>(i)) ? 1 : 0;
+  }
+  EXPECT_GT(charged, kN * 45 / 100);
+  EXPECT_LT(charged, kN * 55 / 100);
+}
+
+TEST(CellPhysics, WeakCellsLandInDistinctWords) {
+  // B6 has the 64ms weak classes (Obsv. 14 requires one flip per word).
+  const CellPhysics phys(chips::profile_by_name("B6").value());
+  int rows_with_weak = 0;
+  for (std::uint32_t r = 0; r < 500; ++r) {
+    const auto cells = phys.weak_cells(0, r);
+    if (cells.empty()) continue;
+    ++rows_with_weak;
+    std::set<std::uint32_t> words;
+    for (const auto& c : cells) {
+      EXPECT_LT(c.bit, kBitsPerRow);
+      EXPECT_TRUE(words.insert(c.bit / 64).second)
+          << "two weak cells share a 64-bit word";
+      EXPECT_GT(c.t_ret_at_vppmin_s, 0.030);
+      EXPECT_LT(c.t_ret_at_vppmin_s, 0.130);
+    }
+  }
+  // ~15.5% + 4.7% of rows should be in some weak class.
+  EXPECT_GT(rows_with_weak, 50);
+  EXPECT_LT(rows_with_weak, 180);
+}
+
+TEST(CellPhysics, WeakCellScaleAboveOneAtNominal) {
+  const CellPhysics phys(chips::profile_by_name("B6").value());
+  EXPECT_GT(phys.weak_cell_ret_scale(2.5), 1.5);
+  EXPECT_NEAR(phys.weak_cell_ret_scale(
+                  chips::profile_by_name("B6")->vppmin_v),
+              1.0, 1e-9);
+}
+
+TEST(CellPhysics, NoWeak64msCellsForMfrAModules) {
+  const CellPhysics phys(chips::profile_by_name("A3").value());
+  for (std::uint32_t r = 0; r < 300; ++r) {
+    for (const auto& c : phys.weak_cells(0, r)) {
+      // Mfr. A contributes only the 128ms class (Obsv. 13).
+      EXPECT_GT(c.t_ret_at_vppmin_s, 0.064);
+    }
+  }
+}
+
+TEST(VendorCurves, DistinctPerVendor) {
+  const auto& a = vendor_curve(Manufacturer::kMfrA);
+  const auto& b = vendor_curve(Manufacturer::kMfrB);
+  const auto& c = vendor_curve(Manufacturer::kMfrC);
+  EXPECT_NE(a.s_jitter_sigma, b.s_jitter_sigma);
+  EXPECT_NE(b.ret_vpp_kappa, c.ret_vpp_kappa);
+  // Mfr. C has the tightest per-row spread (Fig. 6: 0.91-1.35).
+  EXPECT_LT(c.s_jitter_sigma, b.s_jitter_sigma);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

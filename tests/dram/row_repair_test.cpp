@@ -1,0 +1,102 @@
+// Post-manufacturing row repair (section 4.2): repaired logical rows live on
+// spare physical rows, so their hammer neighborhood is nowhere near
+// logical +/- 1 -- and the reverse-engineering harness must still find it.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chips/module_db.hpp"
+#include "dram/mapping.hpp"
+#include "harness/experiment.hpp"
+#include "harness/rowhammer_test.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+TEST(RowRepair, MappingStaysBijectiveWithRepairs) {
+  const std::vector<RowRepair> repairs{{100, 4090}, {2000, 4088}};
+  for (const MappingScheme scheme :
+       {MappingScheme::kIdentity, MappingScheme::kBitSwizzle,
+        MappingScheme::kMirroredPairs, MappingScheme::kBlockInvert}) {
+    const RowMapping m(scheme, 4096, repairs);
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t r = 0; r < 4096; ++r) {
+      const std::uint32_t p = m.logical_to_physical(r);
+      ASSERT_LT(p, 4096u);
+      ASSERT_TRUE(seen.insert(p).second)
+          << "collision at row " << r << " scheme " << static_cast<int>(scheme);
+      EXPECT_EQ(m.physical_to_logical(p), r) << "row " << r;
+    }
+  }
+}
+
+TEST(RowRepair, RepairedRowLandsOnSpare) {
+  const RowMapping m(MappingScheme::kIdentity, 4096, {{100, 4090}});
+  EXPECT_EQ(m.logical_to_physical(100), 4090u);
+  EXPECT_EQ(m.physical_to_logical(4090), 100u);
+  // The displaced logical row (base target 4090) takes the fused slot (100).
+  EXPECT_EQ(m.logical_to_physical(4090), 100u);
+}
+
+TEST(RowRepair, RepairedRowNeighborsAreAtTheSpare) {
+  const RowMapping m(MappingScheme::kIdentity, 4096, {{100, 4090}});
+  const auto n = m.physical_neighbors(100);
+  ASSERT_TRUE(n.valid);
+  // Physical neighbors of the spare position 4090 are 4089 and 4091.
+  EXPECT_EQ(m.logical_to_physical(n.below), 4089u);
+  EXPECT_EQ(m.logical_to_physical(n.above), 4091u);
+}
+
+TEST(RowRepair, OutOfRangeRepairsDroppedOnShrink) {
+  // Catalog profiles carry repairs sized to the full bank; shrinking the
+  // geometry (as tests do) must not break the mapping.
+  const RowMapping m(MappingScheme::kIdentity, 64, {{100, 4090}});
+  EXPECT_TRUE(m.repairs().empty());
+  EXPECT_EQ(m.logical_to_physical(10), 10u);
+}
+
+TEST(RowRepair, CatalogModulesCarryRepairs) {
+  for (const auto& p : chips::all_profiles()) {
+    EXPECT_EQ(p.row_repairs.size(), 2u) << p.name;
+    for (const auto& r : p.row_repairs) {
+      EXPECT_LT(r.logical_row, p.rows_per_bank) << p.name;
+      EXPECT_GE(r.spare_physical, p.rows_per_bank - 16) << p.name;
+    }
+  }
+}
+
+TEST(RowRepair, RepairedVictimStillHammerableViaRecoveredNeighbors) {
+  auto profile = chips::profile_by_name("C0").value();
+  profile.rows_per_bank = 4096;
+  profile.row_repairs = {{600, 4090}};
+  softmc::Session s(profile);
+  s.module().set_trr_enabled(false);
+
+  // The attacker targets logical row 600, which physically lives on spare
+  // 4090: its double-sided aggressors are the logical rows adjacent to the
+  // spare, not 599/601.
+  const auto& mapping = s.module().mapping();
+  const auto n = mapping.physical_neighbors(600);
+  ASSERT_TRUE(n.valid);
+  EXPECT_EQ(mapping.logical_to_physical(n.below), 4089u);
+  EXPECT_EQ(mapping.logical_to_physical(n.above), 4091u);
+
+  // Hammering those aggressors flips the repaired victim...
+  harness::RowHammerConfig cfg;
+  cfg.num_iterations = 1;
+  harness::RowHammerTest test(s, cfg);
+  auto ber = test.measure_ber(0, 600, DataPattern::kCheckerAA, 400'000);
+  ASSERT_TRUE(ber.has_value()) << ber.error().message;
+  EXPECT_GT(*ber, 0.0);
+  // ...while hammering the naive logical +/- 1 rows does nothing.
+  const auto vimg = pattern_row(DataPattern::kCheckerAA, kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, 600, vimg).ok());
+  ASSERT_TRUE(s.hammer_double_sided(0, 599, 601, 400'000).ok());
+  auto observed = s.read_row(0, 600, harness::kSafeReadTrcdNs);
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_EQ(harness::count_bit_flips(vimg, *observed), 0u);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

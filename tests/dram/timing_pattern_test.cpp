@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "dram/data_pattern.hpp"
+#include "dram/timing.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+TEST(Timing, SpeedGradesHaveSensibleValues) {
+  for (const int mts : {2133, 2400, 2666, 3200}) {
+    const auto t = timing_for_speed_grade(mts);
+    EXPECT_GT(t.t_rcd_ns, 10.0) << mts;
+    EXPECT_LT(t.t_rcd_ns, 16.0) << mts;
+    EXPECT_GT(t.t_ras_ns, t.t_rcd_ns) << mts;
+    EXPECT_NEAR(t.t_rc_ns, t.t_ras_ns + t.t_rp_ns, 0.6) << mts;
+    EXPECT_GT(t.t_ck_ns, 0.0) << mts;
+  }
+}
+
+TEST(Timing, UnknownGradeFallsBackToDdr42400) {
+  const auto def = timing_for_speed_grade(2400);
+  const auto unk = timing_for_speed_grade(1866);
+  EXPECT_DOUBLE_EQ(def.t_rcd_ns, unk.t_rcd_ns);
+  EXPECT_DOUBLE_EQ(def.t_ck_ns, unk.t_ck_ns);
+}
+
+TEST(Timing, FasterClockForHigherDataRate) {
+  EXPECT_LT(timing_for_speed_grade(3200).t_ck_ns,
+            timing_for_speed_grade(2133).t_ck_ns);
+}
+
+TEST(DataPattern, BytesMatchTheSixCanonicalPatterns) {
+  EXPECT_EQ(pattern_byte(DataPattern::kAllOnes), 0xFF);
+  EXPECT_EQ(pattern_byte(DataPattern::kAllZeros), 0x00);
+  EXPECT_EQ(pattern_byte(DataPattern::kCheckerAA), 0xAA);
+  EXPECT_EQ(pattern_byte(DataPattern::kChecker55), 0x55);
+  EXPECT_EQ(pattern_byte(DataPattern::kThickCC), 0xCC);
+  EXPECT_EQ(pattern_byte(DataPattern::kThick33), 0x33);
+}
+
+TEST(DataPattern, InverseIsBitwiseComplement) {
+  for (const DataPattern p : kAllPatterns) {
+    EXPECT_EQ(pattern_byte(inverse_pattern(p)),
+              static_cast<std::uint8_t>(~pattern_byte(p)));
+    EXPECT_EQ(inverse_pattern(inverse_pattern(p)), p);
+  }
+}
+
+TEST(DataPattern, RowFillAndSignature) {
+  const auto row = pattern_row(DataPattern::kThickCC, 64);
+  EXPECT_EQ(row.size(), 64u);
+  for (const auto b : row) EXPECT_EQ(b, 0xCC);
+  EXPECT_EQ(pattern_signature(row), 0xCC);
+  EXPECT_EQ(pattern_signature(std::vector<std::uint8_t>{}), 0);
+}
+
+TEST(DataPattern, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const DataPattern p : kAllPatterns) {
+    EXPECT_TRUE(names.insert(pattern_name(p)).second);
+  }
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

@@ -1,0 +1,117 @@
+#include "dram/trr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "dram/module.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+TEST(TrrEngine, TracksFrequentAggressor) {
+  TrrEngine trr(4, {8, 100});
+  for (int i = 0; i < 500; ++i) trr.observe_activate(0, 42);
+  const auto m = trr.on_refresh();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->bank, 0u);
+  EXPECT_EQ(m->physical_row, 42u);
+}
+
+TEST(TrrEngine, BelowThresholdNoMitigation) {
+  TrrEngine trr(4, {8, 1000});
+  for (int i = 0; i < 500; ++i) trr.observe_activate(0, 42);
+  EXPECT_FALSE(trr.on_refresh().has_value());
+}
+
+TEST(TrrEngine, MitigationConsumesCounter) {
+  TrrEngine trr(4, {8, 100});
+  trr.observe_activates(1, 7, 500);
+  ASSERT_TRUE(trr.on_refresh().has_value());
+  EXPECT_FALSE(trr.on_refresh().has_value());
+}
+
+TEST(TrrEngine, SurvivesDecoyFlooding) {
+  // Misra-Gries keeps the heavy hitter even when many one-off rows churn
+  // through the table.
+  TrrEngine trr(1, {4, 1000});
+  for (int round = 0; round < 2000; ++round) {
+    trr.observe_activate(0, 99);
+    trr.observe_activate(0, static_cast<std::uint32_t>(round % 64));
+  }
+  const auto m = trr.on_refresh();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->physical_row, 99u);
+}
+
+TEST(TrrEngine, PerBankIsolation) {
+  TrrEngine trr(2, {8, 100});
+  trr.observe_activates(0, 11, 500);
+  trr.observe_activates(1, 22, 800);
+  const auto first = trr.on_refresh();
+  ASSERT_TRUE(first.has_value());
+  const auto second = trr.on_refresh();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(first->bank, second->bank);
+}
+
+TEST(TrrEngine, ResetClearsState) {
+  TrrEngine trr(2, {8, 100});
+  trr.observe_activates(0, 5, 500);
+  trr.reset();
+  EXPECT_FALSE(trr.on_refresh().has_value());
+}
+
+// End-to-end: with refresh flowing, TRR refreshes hammer victims and
+// prevents the bit flips the refresh-free methodology exposes (this is why
+// the paper issues no REF during tests, section 4.1).
+TEST(TrrIntegration, RefreshDrivenMitigationPreventsFlips) {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 4096;
+  const std::uint32_t victim = 500;
+
+  const auto run = [&](bool with_refresh) {
+    Module m{dram::ModuleProfile{profile}};
+    const auto n = m.mapping().physical_neighbors(victim);
+    double t = 0.0;
+    auto fill = [&](std::uint32_t row, std::uint8_t v) {
+      ASSERT_TRUE(m.activate(0, row, t).ok());
+      t += 13.5;
+      std::array<std::uint8_t, kBytesPerColumn> w{};
+      w.fill(v);
+      for (std::uint32_t c = 0; c < kColumnsPerRow; ++c) {
+        ASSERT_TRUE(m.write(0, c, w, t).ok());
+        t += 3.0;
+      }
+      t += 20.0;
+      ASSERT_TRUE(m.precharge(0, t).ok());
+      t += 13.5;
+    };
+    fill(victim, 0xAA);
+    fill(n.below, 0x55);
+    fill(n.above, 0x55);
+
+    // Hammer in bursts; optionally interleave REF commands (as a normal
+    // memory controller would every tREFI).
+    for (int burst = 0; burst < 40; ++burst) {
+      ASSERT_TRUE(m.hammer_pair(0, n.below, n.above, 5000, 45.5, t).ok());
+      if (with_refresh) {
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_TRUE(m.refresh(t).ok());
+          t += 350.0;
+        }
+      }
+    }
+    (void)m.debug_row_snapshot(0, victim, t);
+    if (with_refresh) {
+      EXPECT_GT(m.stats().trr_mitigations, 0u);
+      EXPECT_EQ(m.stats().hammer_bit_flips, 0u);
+    } else {
+      EXPECT_GT(m.stats().hammer_bit_flips, 0u);
+    }
+  };
+  run(/*with_refresh=*/false);
+  run(/*with_refresh=*/true);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

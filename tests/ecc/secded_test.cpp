@@ -1,0 +1,85 @@
+#include "ecc/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::ecc {
+namespace {
+
+TEST(Secded, CleanRoundTrip) {
+  for (std::uint64_t data : {0ULL, ~0ULL, 0xdeadbeefcafef00dULL, 1ULL}) {
+    const Codeword cw = encode(data);
+    const DecodeResult r = decode(cw);
+    EXPECT_EQ(r.state, DecodeState::kClean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST(Secded, CorrectsEverySingleDataBitError) {
+  const std::uint64_t data = 0x0123456789abcdefULL;
+  const Codeword cw = encode(data);
+  for (int bit = 0; bit < 64; ++bit) {
+    const DecodeResult r = decode(flip_bit(cw, bit));
+    EXPECT_EQ(r.state, DecodeState::kCorrectedData) << "bit " << bit;
+    EXPECT_EQ(r.data, data) << "bit " << bit;
+    ASSERT_TRUE(r.corrected_bit.has_value());
+    EXPECT_EQ(*r.corrected_bit, bit);
+  }
+}
+
+TEST(Secded, CorrectsEverySingleCheckBitError) {
+  const std::uint64_t data = 0xfedcba9876543210ULL;
+  const Codeword cw = encode(data);
+  for (int bit = 64; bit < 72; ++bit) {
+    const DecodeResult r = decode(flip_bit(cw, bit));
+    EXPECT_EQ(r.state, DecodeState::kCorrectedCheck) << "bit " << bit;
+    EXPECT_EQ(r.data, data) << "bit " << bit;
+  }
+}
+
+TEST(Secded, DetectsAllDoubleBitErrorsAsUncorrectable) {
+  // Exhaustive over data-bit pairs for one word (64*63/2 = 2016 cases).
+  const std::uint64_t data = 0xaaaa5555f0f01234ULL;
+  const Codeword cw = encode(data);
+  for (int i = 0; i < 64; ++i) {
+    for (int j = i + 1; j < 64; ++j) {
+      const DecodeResult r = decode(flip_bit(flip_bit(cw, i), j));
+      EXPECT_EQ(r.state, DecodeState::kUncorrectable)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, DetectsMixedDataCheckDoubleErrors) {
+  const std::uint64_t data = 0x1122334455667788ULL;
+  const Codeword cw = encode(data);
+  for (int i = 0; i < 64; i += 7) {
+    for (int j = 64; j < 72; ++j) {
+      const DecodeResult r = decode(flip_bit(flip_bit(cw, i), j));
+      EXPECT_EQ(r.state, DecodeState::kUncorrectable)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, RandomizedSingleErrorSweep) {
+  common::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t data = rng.next();
+    const int bit = static_cast<int>(rng.bounded(72));
+    const DecodeResult r = decode(flip_bit(encode(data), bit));
+    EXPECT_EQ(r.data, data);
+    EXPECT_NE(r.state, DecodeState::kUncorrectable);
+    EXPECT_NE(r.state, DecodeState::kClean);
+  }
+}
+
+TEST(Secded, CheckBitsDifferAcrossData) {
+  // Sanity: the code is not degenerate.
+  EXPECT_NE(encode(0).check, encode(1).check);
+  EXPECT_NE(encode(1).check, encode(2).check);
+}
+
+}  // namespace
+}  // namespace vppstudy::ecc

@@ -1,0 +1,68 @@
+#include "ecc/word_census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vppstudy::ecc {
+namespace {
+
+std::vector<std::uint8_t> filled(std::size_t n, std::uint8_t v) {
+  return std::vector<std::uint8_t>(n, v);
+}
+
+TEST(WordCensus, CleanRow) {
+  const auto a = filled(64, 0xAA);
+  const auto c = census_row(a, a);
+  EXPECT_EQ(c.total_words, 8u);
+  EXPECT_EQ(c.clean_words, 8u);
+  EXPECT_EQ(c.erroneous_words(), 0u);
+  EXPECT_TRUE(c.secded_correctable());
+  EXPECT_EQ(c.flipped_bits, 0u);
+}
+
+TEST(WordCensus, SingleBitFlipInOneWord) {
+  const auto expected = filled(64, 0x00);
+  auto observed = expected;
+  observed[3] = 0x01;  // one bit in word 0
+  const auto c = census_row(expected, observed);
+  EXPECT_EQ(c.single_bit_words, 1u);
+  EXPECT_EQ(c.multi_bit_words, 0u);
+  EXPECT_EQ(c.clean_words, 7u);
+  EXPECT_TRUE(c.secded_correctable());
+  EXPECT_EQ(c.flipped_bits, 1u);
+}
+
+TEST(WordCensus, TwoFlipsSameWordIsUncorrectable) {
+  const auto expected = filled(64, 0x00);
+  auto observed = expected;
+  observed[0] = 0x01;
+  observed[7] = 0x80;  // same 64-bit word (bytes 0..7)
+  const auto c = census_row(expected, observed);
+  EXPECT_EQ(c.multi_bit_words, 1u);
+  EXPECT_FALSE(c.secded_correctable());
+}
+
+TEST(WordCensus, TwoFlipsDifferentWordsStillCorrectable) {
+  const auto expected = filled(64, 0xFF);
+  auto observed = expected;
+  observed[0] = 0xFE;   // word 0
+  observed[8] = 0xFD;   // word 1
+  const auto c = census_row(expected, observed);
+  EXPECT_EQ(c.single_bit_words, 2u);
+  EXPECT_EQ(c.multi_bit_words, 0u);
+  EXPECT_TRUE(c.secded_correctable());
+  EXPECT_EQ(c.flipped_bits, 2u);
+}
+
+TEST(WordCensus, ManyBitsInOneByte) {
+  const auto expected = filled(8, 0x00);
+  auto observed = expected;
+  observed[2] = 0xFF;
+  const auto c = census_row(expected, observed);
+  EXPECT_EQ(c.flipped_bits, 8u);
+  EXPECT_EQ(c.multi_bit_words, 1u);
+}
+
+}  // namespace
+}  // namespace vppstudy::ecc

@@ -1,0 +1,68 @@
+#include "harness/adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chips/module_db.hpp"
+
+namespace vppstudy::harness {
+namespace {
+
+dram::ModuleProfile small_profile(const char* name) {
+  auto p = chips::profile_by_name(name).value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+TEST(Adjacency, FindVictimsHitsPhysicalNeighbors) {
+  auto profile = small_profile("B3");
+  softmc::Session s(profile);
+  s.module().set_trr_enabled(false);
+  AdjacencyRevEng reveng(s, AdjacencyConfig{});
+
+  const std::uint32_t aggressor = 512;
+  auto victims = reveng.find_victims(0, aggressor);
+  ASSERT_TRUE(victims.has_value());
+  // The ground-truth physical neighbors must be among the flipped rows.
+  const auto& mapping = s.module().mapping();
+  const std::uint32_t phys = mapping.logical_to_physical(aggressor);
+  const std::uint32_t below = mapping.physical_to_logical(phys - 1);
+  const std::uint32_t above = mapping.physical_to_logical(phys + 1);
+  EXPECT_NE(std::find(victims->begin(), victims->end(), below),
+            victims->end());
+  EXPECT_NE(std::find(victims->begin(), victims->end(), above),
+            victims->end());
+}
+
+TEST(Adjacency, RecoveredPairsMatchGroundTruthMapping) {
+  // The whole point of the reverse-engineering step (section 4.2): the
+  // recovered aggressor pairs must equal the device's internal mapping.
+  for (const char* module : {"A3", "B3", "C0"}) {
+    auto profile = small_profile(module);
+    softmc::Session s(profile);
+    s.module().set_trr_enabled(false);
+    AdjacencyRevEng reveng(s, AdjacencyConfig{});
+
+    auto recovered = reveng.recover_block(0, 512, 8);
+    ASSERT_TRUE(recovered.has_value()) << module;
+    const auto& mapping = s.module().mapping();
+    int verified = 0;
+    for (const auto& [victim, pair] : *recovered) {
+      if (!pair.complete) continue;
+      const auto truth = mapping.physical_neighbors(victim);
+      ASSERT_TRUE(truth.valid);
+      const auto lo = std::min(truth.below, truth.above);
+      const auto hi = std::max(truth.below, truth.above);
+      EXPECT_EQ(std::min(pair.below, pair.above), lo)
+          << module << " victim " << victim;
+      EXPECT_EQ(std::max(pair.below, pair.above), hi)
+          << module << " victim " << victim;
+      ++verified;
+    }
+    EXPECT_GE(verified, 6) << module;
+  }
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

@@ -1,0 +1,96 @@
+#include "harness/attack_patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+
+namespace vppstudy::harness {
+namespace {
+
+dram::ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+AttackConfig attack(AttackKind kind, std::uint64_t hc) {
+  AttackConfig c;
+  c.kind = kind;
+  c.hammer_count = hc;
+  return c;
+}
+
+TEST(AttackPatterns, DoubleSidedFlipsAtModerateCounts) {
+  softmc::Session s(small_profile());
+  auto r = run_attack(s, 0, 700, attack(AttackKind::kDoubleSided, 300'000));
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_GT(r->victim_flips, 0u);
+  EXPECT_EQ(r->trr_mitigations, 0u);  // no REF issued -> TRR inert
+}
+
+TEST(AttackPatterns, DoubleSidedBeatsSingleSided) {
+  // Section 4.2: double-sided is the most effective attack absent defenses.
+  softmc::Session s1(small_profile());
+  auto single =
+      run_attack(s1, 0, 700, attack(AttackKind::kSingleSided, 300'000));
+  softmc::Session s2(small_profile());
+  auto dbl = run_attack(s2, 0, 700, attack(AttackKind::kDoubleSided, 300'000));
+  ASSERT_TRUE(single.has_value());
+  ASSERT_TRUE(dbl.has_value());
+  EXPECT_GT(dbl->victim_flips, single->victim_flips);
+}
+
+TEST(AttackPatterns, ManySidedHitsMultipleVictims) {
+  softmc::Session s(small_profile());
+  AttackConfig c = attack(AttackKind::kManySided, 300'000);
+  c.sides = 6;
+  auto r = run_attack(s, 0, 700, c);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_GT(r->total_flips, r->victim_flips);
+}
+
+TEST(AttackPatterns, RefreshEnablesTrrAgainstDoubleSided) {
+  // With REF flowing, the in-DRAM tracker catches a two-aggressor attack.
+  softmc::Session s(small_profile());
+  AttackConfig c = attack(AttackKind::kDoubleSided, 300'000);
+  c.refresh_during_attack = true;
+  auto r = run_attack(s, 0, 700, c);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_GT(r->trr_mitigations, 0u);
+  EXPECT_EQ(r->victim_flips, 0u);
+}
+
+TEST(AttackPatterns, ManySidedThrashesTrrTracker) {
+  // TRRespass's insight: more aggressors than tracker entries -> the
+  // Misra-Gries table decays and victims flip despite refresh.
+  softmc::Session s(small_profile());
+  AttackConfig c = attack(AttackKind::kManySided, 300'000);
+  c.sides = 20;  // tracker has 8 entries per bank
+  c.refresh_during_attack = true;
+  auto r = run_attack(s, 0, 700, c);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_GT(r->total_flips, 0u);
+}
+
+TEST(AttackPatterns, EdgeVictimRejected) {
+  softmc::Session s(small_profile());
+  auto r = run_attack(s, 0, 0, attack(AttackKind::kDoubleSided, 1000));
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(AttackPatterns, ManySidedNeedsRoom) {
+  auto profile = small_profile();
+  softmc::Session s(profile);
+  AttackConfig c = attack(AttackKind::kManySided, 1000);
+  c.sides = 3000;  // cannot fit in a 4096-row bank from row 700
+  EXPECT_FALSE(run_attack(s, 0, 700, c).has_value());
+}
+
+TEST(AttackPatterns, NamesAreStable) {
+  EXPECT_STREQ(attack_name(AttackKind::kSingleSided), "single-sided");
+  EXPECT_STREQ(attack_name(AttackKind::kDoubleSided), "double-sided");
+  EXPECT_STREQ(attack_name(AttackKind::kManySided), "many-sided");
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

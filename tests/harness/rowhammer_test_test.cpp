@@ -1,0 +1,120 @@
+#include "harness/rowhammer_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "harness/wcdp.hpp"
+
+namespace vppstudy::harness {
+namespace {
+
+dram::ModuleProfile small_profile(const char* name = "B3") {
+  auto p = chips::profile_by_name(name).value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+RowHammerConfig quick_config() {
+  RowHammerConfig c;
+  c.num_iterations = 1;
+  return c;
+}
+
+TEST(RowHammerTest, MeasureBerZeroWithoutHammering) {
+  softmc::Session s(small_profile());
+  RowHammerTest test(s, quick_config());
+  auto ber = test.measure_ber(0, 500, dram::DataPattern::kCheckerAA, 0);
+  ASSERT_TRUE(ber.has_value());
+  EXPECT_DOUBLE_EQ(*ber, 0.0);
+}
+
+TEST(RowHammerTest, MeasureBerPositiveAboveThreshold) {
+  softmc::Session s(small_profile());
+  RowHammerTest test(s, quick_config());
+  auto ber = test.measure_ber(0, 500, dram::DataPattern::kCheckerAA, 300'000);
+  ASSERT_TRUE(ber.has_value());
+  EXPECT_GT(*ber, 0.0);
+  EXPECT_LT(*ber, 0.1);
+}
+
+TEST(RowHammerTest, BerMonotoneInHammerCount) {
+  softmc::Session s(small_profile());
+  RowHammerTest test(s, quick_config());
+  double prev = -1.0;
+  for (const std::uint64_t hc : {50'000ULL, 100'000ULL, 300'000ULL}) {
+    auto ber = test.measure_ber(0, 500, dram::DataPattern::kCheckerAA, hc);
+    ASSERT_TRUE(ber.has_value());
+    EXPECT_GE(*ber, prev);
+    prev = *ber;
+  }
+}
+
+TEST(RowHammerTest, MeasureBerIsRepeatable) {
+  softmc::Session s(small_profile());
+  RowHammerTest test(s, quick_config());
+  auto a = test.measure_ber(0, 500, dram::DataPattern::kCheckerAA, 200'000);
+  auto b = test.measure_ber(0, 500, dram::DataPattern::kCheckerAA, 200'000);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(*a, *b);  // flips at consistently predictable locations
+}
+
+TEST(RowHammerTest, EdgeVictimRejected) {
+  softmc::Session s(small_profile());
+  RowHammerTest test(s, quick_config());
+  EXPECT_FALSE(test.measure_ber(0, 0, dram::DataPattern::kCheckerAA, 1000)
+                   .has_value());
+}
+
+TEST(RowHammerTest, TestRowFindsHcFirstNearModuleAnchor) {
+  softmc::Session s(small_profile());  // B3: min HCfirst 16.6K
+  RowHammerTest test(s, quick_config());
+  auto r = test.test_row(0, 500, dram::DataPattern::kCheckerAA);
+  ASSERT_TRUE(r.has_value());
+  // This particular row's threshold is >= the module anchor and of the same
+  // order of magnitude.
+  EXPECT_GT(r->hc_first, 10'000u);
+  EXPECT_LT(r->hc_first, 200'000u);
+  EXPECT_GT(r->ber, 0.0);
+}
+
+TEST(RowHammerTest, HcFirstIsActuallyAFlipBoundary) {
+  softmc::Session s(small_profile());
+  RowHammerTest test(s, quick_config());
+  auto r = test.test_row(0, 700, dram::DataPattern::kCheckerAA);
+  ASSERT_TRUE(r.has_value());
+  // Hammering at the reported HCfirst flips at least one bit...
+  auto at = test.measure_ber(0, 700, r->wcdp, r->hc_first);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_GT(*at, 0.0);
+  // ...and hammering well below it flips nothing.
+  auto below = test.measure_ber(0, 700, r->wcdp, r->hc_first / 2);
+  ASSERT_TRUE(below.has_value());
+  EXPECT_DOUBLE_EQ(*below, 0.0);
+}
+
+TEST(Wcdp, HammerWcdpIsStablePerRow) {
+  softmc::Session s(small_profile());
+  auto a = find_wcdp_hammer(s, 0, 500);
+  auto b = find_wcdp_hammer(s, 0, 500);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(Wcdp, HammerWcdpMaximizesBer) {
+  softmc::Session s(small_profile());
+  auto wcdp = find_wcdp_hammer(s, 0, 500);
+  ASSERT_TRUE(wcdp.has_value());
+  RowHammerTest test(s, quick_config());
+  auto worst = test.measure_ber(0, 500, *wcdp, 300'000);
+  ASSERT_TRUE(worst.has_value());
+  for (const auto p : dram::kAllPatterns) {
+    auto ber = test.measure_ber(0, 500, p, 300'000);
+    ASSERT_TRUE(ber.has_value());
+    EXPECT_LE(*ber, *worst + 1e-12) << dram::pattern_name(p);
+  }
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

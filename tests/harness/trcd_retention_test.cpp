@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chips/module_db.hpp"
+#include "common/units.hpp"
+#include "harness/retention_test.hpp"
+#include "harness/trcd_test.hpp"
+
+namespace vppstudy::harness {
+namespace {
+
+dram::ModuleProfile small_profile(const char* name) {
+  auto p = chips::profile_by_name(name).value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+TrcdConfig quick_trcd() {
+  TrcdConfig c;
+  c.num_iterations = 1;
+  c.column_stride = 64;
+  return c;
+}
+
+TEST(TrcdTest, NominalTrcdIsReliableOnHealthyModule) {
+  softmc::Session s(small_profile("C0"));  // trcd0 = 11.0ns
+  TrcdTest test(s, quick_trcd());
+  auto faulty = test.is_faulty(0, 100, dram::DataPattern::kCheckerAA, 13.5);
+  ASSERT_TRUE(faulty.has_value());
+  EXPECT_FALSE(*faulty);
+}
+
+TEST(TrcdTest, VeryShortTrcdIsFaulty) {
+  softmc::Session s(small_profile("C0"));
+  TrcdTest test(s, quick_trcd());
+  auto faulty = test.is_faulty(0, 100, dram::DataPattern::kCheckerAA, 6.0);
+  ASSERT_TRUE(faulty.has_value());
+  EXPECT_TRUE(*faulty);
+}
+
+TEST(TrcdTest, TestRowQuantizesToCommandSlots) {
+  softmc::Session s(small_profile("C0"));
+  TrcdTest test(s, quick_trcd());
+  auto r = test.test_row(0, 100, dram::DataPattern::kCheckerAA);
+  ASSERT_TRUE(r.has_value());
+  // Result must sit on the 13.5 - k*1.5 grid.
+  const double steps = (13.5 - r->trcd_min_ns) / 1.5;
+  EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  EXPECT_GT(r->trcd_min_ns, 6.0);
+  EXPECT_LE(r->trcd_min_ns, 13.5);
+}
+
+TEST(TrcdTest, TrcdMinGrowsAtReducedVpp) {
+  softmc::Session s(small_profile("A0"));  // strong VPP dependence
+  TrcdTest test(s, quick_trcd());
+  auto nominal = test.test_row(0, 100, dram::DataPattern::kCheckerAA);
+  ASSERT_TRUE(nominal.has_value());
+  ASSERT_TRUE(s.set_vpp(1.4).ok());  // A0's VPPmin
+  auto low = test.test_row(0, 100, dram::DataPattern::kCheckerAA);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_GT(low->trcd_min_ns, nominal->trcd_min_ns);
+  // A0 at VPPmin needs more than nominal tRCD but works at 24ns (Obsv. 7).
+  EXPECT_GT(low->trcd_min_ns, 13.5);
+  EXPECT_LE(low->trcd_min_ns, 24.0);
+}
+
+TEST(RetentionTest, NoFlipsAtNominalRefreshWindowNominalVpp) {
+  softmc::Session s(small_profile("B0"));
+  ASSERT_TRUE(s.set_temperature(common::kRetentionTestTempC).ok());
+  RetentionTest test(s, RetentionConfig{});
+  auto ber = test.measure_ber(0, 100, dram::DataPattern::kCheckerAA, 64.0);
+  ASSERT_TRUE(ber.has_value());
+  EXPECT_DOUBLE_EQ(*ber, 0.0);
+}
+
+TEST(RetentionTest, LongWindowsLeakMonotonically) {
+  softmc::Session s(small_profile("C0"));
+  ASSERT_TRUE(s.set_temperature(common::kRetentionTestTempC).ok());
+  RetentionTest test(s, RetentionConfig{});
+  auto r = test.test_row(0, 100, dram::DataPattern::kCheckerAA);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->trefw_ms.size(), 11u);  // 16ms .. 16384ms in powers of two
+  EXPECT_DOUBLE_EQ(r->trefw_ms.front(), 16.0);
+  for (std::size_t i = 1; i < r->ber.size(); ++i) {
+    EXPECT_GE(r->ber[i], r->ber[i - 1] - 1e-12);
+  }
+  EXPECT_GT(r->ber.back(), 0.0);  // 16s at 80C certainly leaks
+}
+
+TEST(RetentionTest, ReducedVppIncreasesRetentionBer) {
+  auto profile = small_profile("C0");
+  softmc::Session s(profile);
+  ASSERT_TRUE(s.set_temperature(common::kRetentionTestTempC).ok());
+  RetentionTest test(s, RetentionConfig{});
+  auto nominal = test.measure_ber(0, 100, dram::DataPattern::kCheckerAA, 4000.0);
+  ASSERT_TRUE(nominal.has_value());
+  ASSERT_TRUE(s.set_vpp(profile.vppmin_v).ok());
+  auto low = test.measure_ber(0, 100, dram::DataPattern::kCheckerAA, 4000.0);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_GT(*low, *nominal);
+}
+
+TEST(RetentionTest, WeakRowsFailAt64msOnlyAtVppmin) {
+  // B6 carries the 64ms weak class. Find a weak row, then check the
+  // boundary behavior at nominal VPP vs VPPmin.
+  auto profile = small_profile("B6");
+  dram::CellPhysics physics(profile);
+  std::uint32_t weak_row = 0;
+  for (std::uint32_t r = 8; r < 2000; ++r) {
+    const auto cells = physics.weak_cells(0, r);
+    bool in_64 = false;
+    for (const auto& c : cells) in_64 |= c.t_ret_at_vppmin_s < 0.064;
+    if (in_64 && physics.weak_cells(0, r).size() <= 8) {
+      weak_row = r;
+      break;
+    }
+  }
+  ASSERT_NE(weak_row, 0u) << "no weak row found in scan range";
+
+  softmc::Session s(profile);
+  ASSERT_TRUE(s.set_temperature(common::kRetentionTestTempC).ok());
+  RetentionTest test(s, RetentionConfig{});
+  auto nominal = test.measure_ber(0, weak_row, dram::DataPattern::kCheckerAA,
+                                  64.0);
+  ASSERT_TRUE(nominal.has_value());
+  EXPECT_DOUBLE_EQ(*nominal, 0.0);  // holds at nominal VPP
+  ASSERT_TRUE(s.set_vpp(profile.vppmin_v).ok());
+  auto low = test.measure_ber(0, weak_row, dram::DataPattern::kCheckerAA, 64.0);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_GT(*low, 0.0);  // fails the 64ms window at VPPmin (Obsv. 13)
+}
+
+TEST(RetentionTest, CensusSeesOnlySingleBitWords) {
+  // Obsv. 14: at the smallest failing window, no 64-bit word carries more
+  // than one flip, so SECDED repairs everything.
+  auto profile = small_profile("B6");
+  softmc::Session s(profile);
+  ASSERT_TRUE(s.set_temperature(common::kRetentionTestTempC).ok());
+  ASSERT_TRUE(s.set_vpp(profile.vppmin_v).ok());
+  RetentionTest test(s, RetentionConfig{});
+  int rows_with_errors = 0;
+  for (std::uint32_t row = 8; row < 72 && rows_with_errors < 3; ++row) {
+    auto census = test.census_at(0, row, dram::DataPattern::kCheckerAA, 64.0);
+    ASSERT_TRUE(census.has_value());
+    if (census->census.erroneous_words() == 0) continue;
+    ++rows_with_errors;
+    EXPECT_TRUE(census->census.secded_correctable()) << "row " << row;
+  }
+  EXPECT_GT(rows_with_errors, 0);
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

@@ -1,0 +1,232 @@
+#include "memctrl/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "memctrl/retention_profiler.hpp"
+
+namespace vppstudy::memctrl {
+namespace {
+
+dram::ModuleProfile small_profile(const char* name = "B3") {
+  auto p = chips::profile_by_name(name).value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+Request write_req(std::uint32_t bank, std::uint32_t row, std::uint32_t col,
+                  std::uint8_t fill) {
+  Request r;
+  r.kind = Request::Kind::kWrite;
+  r.address = {bank, row, col};
+  r.data.fill(fill);
+  return r;
+}
+
+Request read_req(std::uint32_t bank, std::uint32_t row, std::uint32_t col) {
+  Request r;
+  r.kind = Request::Kind::kRead;
+  r.address = {bank, row, col};
+  return r;
+}
+
+TEST(MemoryController, WriteReadRoundTrip) {
+  softmc::Session session(small_profile());
+  MemoryController mc(session, ControllerOptions{},
+                      std::make_unique<NoMitigation>());
+  ASSERT_TRUE(mc.execute(write_req(0, 100, 5, 0x3C)).has_value());
+  auto r = mc.execute(read_req(0, 100, 5));
+  ASSERT_TRUE(r.has_value());
+  std::array<std::uint8_t, 8> expected{};
+  expected.fill(0x3C);
+  EXPECT_EQ(r->data, expected);
+  EXPECT_FALSE(r->corrected);
+  EXPECT_FALSE(r->uncorrectable);
+  EXPECT_EQ(mc.stats().reads, 1u);
+  EXPECT_EQ(mc.stats().writes, 1u);
+}
+
+TEST(MemoryController, RefreshKeepsScheduleDuringIdle) {
+  softmc::Session session(small_profile());
+  MemoryController mc(session, ControllerOptions{},
+                      std::make_unique<NoMitigation>());
+  ASSERT_TRUE(mc.idle_ms(1.0).ok());
+  // 1ms / 7.8us = ~128 REFs.
+  EXPECT_GT(mc.stats().refresh_commands, 100u);
+  EXPECT_LT(mc.stats().refresh_commands, 160u);
+}
+
+TEST(MemoryController, RefreshDisabledIssuesNone) {
+  softmc::Session session(small_profile());
+  ControllerOptions opts;
+  opts.auto_refresh = false;
+  MemoryController mc(session, opts, std::make_unique<NoMitigation>());
+  ASSERT_TRUE(mc.idle_ms(2.0).ok());
+  EXPECT_EQ(mc.stats().refresh_commands, 0u);
+}
+
+TEST(MemoryController, SecdedCorrectsInjectedSingleBitError) {
+  softmc::Session session(small_profile());
+  MemoryController mc(session, ControllerOptions{},
+                      std::make_unique<NoMitigation>());
+  ASSERT_TRUE(mc.execute(write_req(0, 200, 3, 0xFF)).has_value());
+  // Corrupt one stored bit behind the controller's back.
+  {
+    auto& module = session.module();
+    const double now = session.clock_ns() + 100.0;
+    ASSERT_TRUE(module.activate(0, 200, now).ok());
+    std::array<std::uint8_t, 8> corrupted{};
+    corrupted.fill(0xFF);
+    corrupted[0] = 0xFE;  // one bit
+    ASSERT_TRUE(module
+                    .write(0, 3, std::span<const std::uint8_t, 8>(corrupted),
+                           now + 20.0)
+                    .ok());
+    ASSERT_TRUE(module.precharge(0, now + 60.0).ok());
+  }
+  auto r = mc.execute(read_req(0, 200, 3));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->corrected);
+  EXPECT_EQ(r->data[0], 0xFF);  // repaired
+  EXPECT_EQ(mc.stats().ecc_corrections, 1u);
+}
+
+TEST(MemoryController, SecdedFlagsDoubleBitErrorUncorrectable) {
+  softmc::Session session(small_profile());
+  MemoryController mc(session, ControllerOptions{},
+                      std::make_unique<NoMitigation>());
+  ASSERT_TRUE(mc.execute(write_req(0, 201, 3, 0x00)).has_value());
+  {
+    auto& module = session.module();
+    const double now = session.clock_ns() + 100.0;
+    ASSERT_TRUE(module.activate(0, 201, now).ok());
+    std::array<std::uint8_t, 8> corrupted{};
+    corrupted[0] = 0x03;  // two bits
+    ASSERT_TRUE(module
+                    .write(0, 3, std::span<const std::uint8_t, 8>(corrupted),
+                           now + 20.0)
+                    .ok());
+    ASSERT_TRUE(module.precharge(0, now + 60.0).ok());
+  }
+  auto r = mc.execute(read_req(0, 201, 3));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->uncorrectable);
+  EXPECT_EQ(mc.stats().ecc_uncorrectable, 1u);
+}
+
+TEST(MemoryController, TrcdOverrideMakesMarginalModuleReadable) {
+  // A0 at its VPPmin needs ~21ns tRCD; the nominal 13.5ns misreads, the
+  // Obsv. 7 override (24ns) fixes it.
+  auto profile = small_profile("A0");
+  const auto run = [&](double trcd_override) {
+    softmc::Session session(profile);
+    (void)session.set_vpp(profile.vppmin_v);
+    ControllerOptions opts;
+    opts.trcd_override_ns = trcd_override;
+    opts.use_secded = false;
+    MemoryController mc(session, opts, std::make_unique<NoMitigation>());
+    (void)mc.execute(write_req(0, 300, 0, 0xA5));
+    auto r = mc.execute(read_req(0, 300, 0));
+    std::array<std::uint8_t, 8> expected{};
+    expected.fill(0xA5);
+    return r.has_value() && r->data == expected;
+  };
+  EXPECT_FALSE(run(-1.0));   // nominal tRCD: corrupted read
+  EXPECT_TRUE(run(24.0));    // the paper's fix
+}
+
+TEST(MemoryController, GraphenePolicyStopsHammerThroughController) {
+  auto profile = small_profile();
+  const auto run = [&](std::unique_ptr<MitigationPolicy> policy,
+                       std::uint64_t* mitigations) {
+    softmc::Session session(profile);
+    ControllerOptions opts;
+    opts.auto_refresh = false;  // isolate the policy's contribution
+    opts.use_secded = false;    // and count raw flips
+    MemoryController mc(session, opts, std::move(policy));
+    const std::uint32_t victim = 500;
+    const auto n = session.module().mapping().physical_neighbors(victim);
+    // Populate the whole victim row through the controller.
+    for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
+      (void)mc.execute(write_req(0, victim, c, 0xAA));
+    }
+    // Attack through the controller: 40K activations per aggressor.
+    for (int i = 0; i < 40000; ++i) {
+      (void)mc.execute(read_req(0, n.below, 0));
+      (void)mc.execute(read_req(0, n.above, 0));
+    }
+    *mitigations = mc.stats().mitigative_refreshes;
+    // Scan the full row for damage.
+    std::array<std::uint8_t, 8> expected{};
+    expected.fill(0xAA);
+    for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
+      auto r = mc.execute(read_req(0, victim, c));
+      if (!r.has_value() || r->data != expected) return false;
+    }
+    return true;
+  };
+  std::uint64_t none_mit = 0;
+  std::uint64_t graphene_mit = 0;
+  const bool none_ok =
+      run(std::make_unique<NoMitigation>(), &none_mit);
+  const bool graphene_ok = run(
+      std::make_unique<Graphene>(profile.banks, 16, 2000), &graphene_mit);
+  EXPECT_FALSE(none_ok);      // unprotected: the victim's word flips
+  EXPECT_TRUE(graphene_ok);   // protected: preventive refreshes win
+  EXPECT_EQ(none_mit, 0u);
+  EXPECT_GT(graphene_mit, 0u);
+}
+
+TEST(RetentionProfiler, FlagsWeakRowsOnlyAtReducedVpp) {
+  auto profile = small_profile("B6");  // carries the 64ms weak class
+  softmc::Session session(profile);
+  ASSERT_TRUE(session.set_temperature(80.0).ok());
+  session.set_auto_refresh(false);
+
+  ProfilerOptions opts;
+  opts.row_count = 64;
+  auto nominal = profile_retention(session, opts);
+  ASSERT_TRUE(nominal.has_value()) << nominal.error().message;
+
+  ASSERT_TRUE(session.set_vpp(profile.vppmin_v).ok());
+  auto low = profile_retention(session, opts);
+  ASSERT_TRUE(low.has_value());
+  // At VPPmin, ~15.5% of B6's rows fail the guardbanded window.
+  EXPECT_GT(low->weak_rows.size(), nominal->weak_rows.size());
+  EXPECT_GT(low->weak_fraction(), 0.05);
+  EXPECT_LT(low->weak_fraction(), 0.60);
+  EXPECT_EQ(low->rows_scanned, 64u);
+}
+
+TEST(MemoryControllerSelectiveRefresh, ProtectsProfiledRowsAtVppmin) {
+  auto profile = small_profile("B6");
+  softmc::Session session(profile);
+  ASSERT_TRUE(session.set_temperature(80.0).ok());
+  ASSERT_TRUE(session.set_vpp(profile.vppmin_v).ok());
+
+  ProfilerOptions popts;
+  popts.row_count = 48;
+  auto prof = profile_retention(session, popts);
+  ASSERT_TRUE(prof.has_value());
+  ASSERT_FALSE(prof->weak_rows.empty());
+
+  ControllerOptions opts;
+  opts.fast_refresh_rows = prof->weak_rows;
+  opts.use_secded = false;
+  MemoryController mc(session, opts, std::make_unique<NoMitigation>());
+
+  // Write a weak row, idle for a full refresh window, read back: the 2x
+  // selective refresh must have restored it in between.
+  const auto weak = prof->weak_rows.front();
+  ASSERT_TRUE(mc.execute(write_req(weak.bank, weak.row, 0, 0x99)).has_value());
+  ASSERT_TRUE(mc.idle_ms(64.0).ok());
+  auto r = mc.execute(read_req(weak.bank, weak.row, 0));
+  ASSERT_TRUE(r.has_value());
+  std::array<std::uint8_t, 8> expected{};
+  expected.fill(0x99);
+  EXPECT_EQ(r->data, expected);
+  EXPECT_GT(mc.stats().selective_refreshes, 0u);
+}
+
+}  // namespace
+}  // namespace vppstudy::memctrl

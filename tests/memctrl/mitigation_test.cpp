@@ -1,0 +1,123 @@
+#include "memctrl/mitigation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vppstudy::memctrl {
+namespace {
+
+TEST(NoMitigation, NeverActs) {
+  NoMitigation policy;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = policy.on_activate(0, 42);
+    EXPECT_TRUE(a.refresh_neighbors_of.empty());
+    EXPECT_DOUBLE_EQ(a.throttle_ns, 0.0);
+  }
+  EXPECT_EQ(policy.mitigations(), 0u);
+}
+
+TEST(Para, FiresAtConfiguredRate) {
+  Para policy(0.01);
+  constexpr int kActs = 100000;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < kActs; ++i) {
+    fired += policy.on_activate(0, 7).refresh_neighbors_of.empty() ? 0 : 1;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / kActs, 0.01, 0.002);
+  EXPECT_EQ(policy.mitigations(), fired);
+}
+
+TEST(Para, ZeroProbabilityNeverFires) {
+  Para policy(0.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(policy.on_activate(0, 7).refresh_neighbors_of.empty());
+  }
+}
+
+TEST(Para, ResetRestoresDeterministicStream) {
+  Para a(0.05, 99);
+  Para b(0.05, 99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.on_activate(0, 1).refresh_neighbors_of.size(),
+              b.on_activate(0, 1).refresh_neighbors_of.size());
+  }
+  a.reset();
+  Para fresh(0.05, 99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.on_activate(0, 1).refresh_neighbors_of.size(),
+              fresh.on_activate(0, 1).refresh_neighbors_of.size());
+  }
+}
+
+TEST(Graphene, RefreshesAtThreshold) {
+  Graphene policy(2, 8, 100);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = policy.on_activate(0, 55);
+    if (!a.refresh_neighbors_of.empty()) {
+      EXPECT_EQ(a.refresh_neighbors_of.front(), 55u);
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 10u);  // every 100 activations
+}
+
+TEST(Graphene, GuaranteesBoundWithDecoyPressure) {
+  // Even with many decoy rows churning the table, the heavy hitter must be
+  // mitigated before accumulating ~2x the threshold.
+  Graphene policy(1, 4, 500);
+  std::uint64_t aggressor_acts_since_refresh = 0;
+  std::uint64_t worst_gap = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = policy.on_activate(0, 999);
+    ++aggressor_acts_since_refresh;
+    if (!a.refresh_neighbors_of.empty()) {
+      worst_gap = std::max(worst_gap, aggressor_acts_since_refresh);
+      aggressor_acts_since_refresh = 0;
+    }
+    (void)policy.on_activate(0, static_cast<std::uint32_t>(i % 97));
+  }
+  EXPECT_GT(policy.mitigations(), 0u);
+  EXPECT_LE(worst_gap, 1200u);
+}
+
+TEST(Graphene, IndependentBanks) {
+  Graphene policy(2, 8, 10);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(policy.on_activate(0, 1).refresh_neighbors_of.empty());
+    EXPECT_TRUE(policy.on_activate(1, 1).refresh_neighbors_of.empty());
+  }
+  EXPECT_FALSE(policy.on_activate(0, 1).refresh_neighbors_of.empty());
+  EXPECT_FALSE(policy.on_activate(1, 1).refresh_neighbors_of.empty());
+}
+
+TEST(BlockHammerLite, ThrottlesBlacklistedRows) {
+  BlockHammerLite policy(1, 100, 500.0);
+  double throttled = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    throttled += policy.on_activate(0, 3).throttle_ns;
+  }
+  EXPECT_GT(throttled, 0.0);
+  EXPECT_GT(policy.throttled_activations(), 0u);
+  // After the first blacklist event the count resets to T/2, so subsequent
+  // events come every T/2 activations.
+  EXPECT_EQ(policy.throttled_activations(), 1u + (300u - 100u) / 50u);
+}
+
+TEST(BlockHammerLite, QuietRowsNeverThrottled) {
+  BlockHammerLite policy(1, 1000, 500.0);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(policy.on_activate(0, static_cast<std::uint32_t>(i)).throttle_ns,
+                     0.0);
+  }
+}
+
+TEST(Policies, NamesAreDescriptive) {
+  EXPECT_EQ(NoMitigation{}.name(), "none");
+  EXPECT_NE(Para(0.01).name().find("para"), std::string::npos);
+  EXPECT_NE(Graphene(1, 4, 100).name().find("100"), std::string::npos);
+  EXPECT_NE(BlockHammerLite(1, 50, 1.0).name().find("blockhammer"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vppstudy::memctrl

@@ -1,0 +1,124 @@
+// Parameterized property sweeps of the circuit simulator across VPP levels:
+// invariants that must hold at every operating point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dram_cell.hpp"
+#include "circuit/solver.hpp"
+
+namespace vppstudy::circuit {
+namespace {
+
+class ActivationAtVpp : public ::testing::TestWithParam<double> {
+ protected:
+  DramCellSimParams params() const {
+    DramCellSimParams p;
+    p.vpp_v = GetParam();
+    return p;
+  }
+};
+
+TEST_P(ActivationAtVpp, TransientConvergesAndIsBounded) {
+  auto r = simulate_activation(params());
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  for (std::size_t i = 0; i < r->t_ns.size(); ++i) {
+    EXPECT_GT(r->v_bitline[i], -0.2) << "t=" << r->t_ns[i];
+    EXPECT_LT(r->v_bitline[i], 1.5) << "t=" << r->t_ns[i];
+    EXPECT_GT(r->v_cell[i], -0.2);
+    EXPECT_LT(r->v_cell[i], 1.5);
+  }
+}
+
+TEST_P(ActivationAtVpp, ChargeSharingNeverExceedsSteadyState) {
+  const auto p = params();
+  auto r = simulate_activation(p);
+  ASSERT_TRUE(r.has_value());
+  const double vsat = steady_state_cell_voltage(p);
+  EXPECT_LE(r->v_cell_final, vsat + 0.02) << "cell overshoot";
+}
+
+TEST_P(ActivationAtVpp, BitlinesSeparateAfterSensing) {
+  auto r = simulate_activation(params());
+  ASSERT_TRUE(r.has_value());
+  // By the end of the transient the latch must have railed the pair apart.
+  const double sep = r->v_bitline.back() - r->v_blb.back();
+  EXPECT_GT(std::abs(sep), 0.8);
+}
+
+TEST_P(ActivationAtVpp, StoredZeroIsAlwaysReadReliably) {
+  // A '0' does not depend on the wordline overdrive: discharging works at
+  // every VPP the study tested.
+  auto p = params();
+  p.cell_stores_one = false;
+  auto r = simulate_activation(p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->reliable) << "vpp=" << p.vpp_v;
+  EXPECT_LT(r->v_cell_final, 0.1);
+}
+
+TEST_P(ActivationAtVpp, EnergyDecaysNothingOscillates) {
+  // Backward Euler is L-stable: the recorded waveforms must not ring. Check
+  // the bitline is monotone after the latch has clearly railed.
+  auto r = simulate_activation(params());
+  ASSERT_TRUE(r.has_value());
+  std::size_t start = r->t_ns.size() * 3 / 4;
+  for (std::size_t i = start + 1; i < r->t_ns.size(); ++i) {
+    EXPECT_NEAR(r->v_bitline[i], r->v_bitline[i - 1], 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VppGrid, ActivationAtVpp,
+                         ::testing::Values(2.5, 2.3, 2.1, 2.0, 1.9, 1.8, 1.7),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "Vpp" +
+                                  std::to_string(static_cast<int>(
+                                      std::lround(info.param * 10)));
+                         });
+
+// Grid-independence: halving the timestep must not materially change the
+// extracted tRCDmin (a classic transient-solver sanity property).
+TEST(CircuitProperties, TrcdStableUnderTimestepRefinement) {
+  DramCellSimParams coarse;
+  coarse.dt_ps = 50.0;
+  DramCellSimParams fine;
+  fine.dt_ps = 12.5;
+  auto rc = simulate_activation(coarse);
+  auto rf = simulate_activation(fine);
+  ASSERT_TRUE(rc.has_value());
+  ASSERT_TRUE(rf.has_value());
+  EXPECT_NEAR(rc->t_rcd_min_ns, rf->t_rcd_min_ns, 0.25);
+}
+
+// The solver must satisfy KCL at the DC operating point of a loaded divider
+// with a MOSFET: total current into the output node is ~zero.
+TEST(CircuitProperties, DcSolutionSatisfiesKcl) {
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId gate = c.add_node("gate");
+  const NodeId out = c.add_node("out");
+  c.add_dc_source(vdd, kGround, 1.8);
+  c.add_dc_source(gate, kGround, 1.1);
+  c.add_resistor(vdd, out, 5e3);
+  c.add_resistor(out, kGround, 50e3);
+  Mosfet m;
+  m.gate = gate;
+  m.drain = out;
+  m.source = kGround;
+  m.bulk = kGround;
+  m.params = {MosType::kNmos, 2e-6, 1e-7, 120e-6, 0.5, 0.02, 0.0, 0.8};
+  c.add_mosfet(m);
+
+  Solver s(c);
+  auto v = s.dc_operating_point();
+  ASSERT_TRUE(v.has_value());
+  const double vout = (*v)[out];
+  const double i_in = (1.8 - vout) / 5e3;
+  const double i_leak = vout / 50e3;
+  const auto lin = linearize_mosfet(m.params, (*v)[gate], vout, 0.0, 0.0);
+  const double i_fet = lin.current((*v)[gate], vout, 0.0, 0.0);
+  EXPECT_NEAR(i_in, i_leak + i_fet, 1e-7);
+}
+
+}  // namespace
+}  // namespace vppstudy::circuit

@@ -1,0 +1,157 @@
+// Parameterized property sweeps over all 30 module profiles: invariants the
+// device physics must satisfy for *every* DIMM in the catalog, not just the
+// handful used in the unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "chips/module_db.hpp"
+#include "common/units.hpp"
+#include "dram/data_pattern.hpp"
+#include "dram/physics.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+class ModulePhysicsProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  ModuleProfile profile() const {
+    return chips::profile_by_name(GetParam()).value();
+  }
+};
+
+TEST_P(ModulePhysicsProperty, SensitivityShapeIsMonotoneAndAnchored) {
+  const CellPhysics phys(profile());
+  EXPECT_NEAR(phys.sensitivity_shape(2.5), 0.0, 1e-12);
+  EXPECT_NEAR(phys.sensitivity_shape(profile().vppmin_v), 1.0, 1e-12);
+  double prev = -1.0;
+  for (double vpp = 2.5; vpp >= profile().vppmin_v - 1e-9; vpp -= 0.05) {
+    const double s = phys.sensitivity_shape(vpp);
+    EXPECT_GE(s, prev - 1e-12) << "vpp=" << vpp;
+    prev = s;
+  }
+}
+
+TEST_P(ModulePhysicsProperty, HammerMultiplierIsOneAtNominalForAllRows) {
+  const CellPhysics phys(profile());
+  for (std::uint32_t row = 1; row < 600; row += 37) {
+    const auto rp = phys.row_params(0, row);
+    EXPECT_NEAR(phys.hammer_multiplier(rp, common::kNominalVppV), 1.0, 1e-9)
+        << "row " << row;
+  }
+}
+
+TEST_P(ModulePhysicsProperty, FlipProbabilityIsMonotoneInHammerCount) {
+  const CellPhysics phys(profile());
+  const auto rp = phys.row_params(0, 123);
+  double prev = -1.0;
+  for (double f = 0.5; f < 40.0; f *= 1.7) {
+    const double p =
+        phys.hammer_flip_probability(rp, rp.hc_first * f, 2.5, 1.0, 1.0);
+    EXPECT_GE(p, prev) << "factor " << f;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST_P(ModulePhysicsProperty, ExpectedFlipsAtAnchorIsAboutOne) {
+  const CellPhysics phys(profile());
+  // For the weakest rows (hc_first near the module anchor) the expected
+  // flip count at hc_first must be ~1 by construction.
+  for (std::uint32_t row = 1; row < 400; row += 61) {
+    const auto rp = phys.row_params(0, row);
+    const double p =
+        phys.hammer_flip_probability(rp, rp.hc_first, 2.5, 1.0, 1.0);
+    EXPECT_NEAR(p * (kBitsPerRow / 2.0), 1.0, 0.25) << "row " << row;
+  }
+}
+
+TEST_P(ModulePhysicsProperty, RetentionIsMonotoneInTimeAndTemperature) {
+  const CellPhysics phys(profile());
+  const auto rp = phys.row_params(0, 77);
+  double prev = -1.0;
+  for (double t = 0.016; t <= 16.5; t *= 2.0) {
+    const double p = phys.retention_flip_probability(rp, t, 2.5, 80.0, 1.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_LE(phys.retention_flip_probability(rp, 1.0, 2.5, 45.0, 1.0),
+            phys.retention_flip_probability(rp, 1.0, 2.5, 85.0, 1.0));
+}
+
+TEST_P(ModulePhysicsProperty, RetentionNeverImprovesWhenVppDrops) {
+  const CellPhysics phys(profile());
+  const auto rp = phys.row_params(0, 77);
+  double prev = 1.0;
+  for (double vpp = 2.5; vpp >= profile().vppmin_v - 1e-9; vpp -= 0.1) {
+    const double p = phys.retention_flip_probability(rp, 2.0, vpp, 80.0, 1.0);
+    // Lower VPP -> shallower restoration -> equal or higher flip chance.
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(p + 1e-15, prev == 1.0 ? 0.0 : prev) << "vpp=" << vpp;
+    prev = p;
+  }
+}
+
+TEST_P(ModulePhysicsProperty, TrcdRowMeanGrowsMonotonicallyTowardVppmin) {
+  const CellPhysics phys(profile());
+  const auto rp = phys.row_params(0, 5);
+  double prev = 0.0;
+  for (double vpp = 2.5; vpp >= profile().vppmin_v - 1e-9; vpp -= 0.1) {
+    const double t = phys.trcd_row_mean_ns(rp, vpp);
+    EXPECT_GE(t, prev - 1e-12) << "vpp=" << vpp;
+    prev = t;
+  }
+}
+
+TEST_P(ModulePhysicsProperty, WeakCellsAlwaysInDistinctWordsAndInRange) {
+  const CellPhysics phys(profile());
+  for (std::uint32_t row = 0; row < 400; row += 7) {
+    const auto cells = phys.weak_cells(0, row);
+    std::set<std::uint32_t> words;
+    for (const auto& c : cells) {
+      EXPECT_LT(c.bit, kBitsPerRow);
+      EXPECT_TRUE(words.insert(c.bit / 64).second);
+      EXPECT_GT(c.t_ret_at_vppmin_s, 0.0);
+      EXPECT_LT(c.t_ret_at_vppmin_s, 0.2);
+    }
+  }
+}
+
+TEST_P(ModulePhysicsProperty, PatternFactorsBoundedForAllPatterns) {
+  const CellPhysics phys(profile());
+  for (std::uint32_t row = 1; row < 200; row += 31) {
+    for (const auto p : kAllPatterns) {
+      const double f =
+          phys.pattern_factor(0, row, pattern_byte(p), 25);
+      EXPECT_GE(f, 1.0);
+      EXPECT_LE(f, 1.25);
+      const double fr = phys.pattern_retention_factor(0, row, pattern_byte(p));
+      EXPECT_GE(fr, 1.0);
+      EXPECT_LE(fr, 1.3);
+    }
+  }
+}
+
+TEST_P(ModulePhysicsProperty, RowParamsIndependentAcrossBanks) {
+  const CellPhysics phys(profile());
+  const auto a = phys.row_params(0, 99);
+  const auto b = phys.row_params(1, 99);
+  EXPECT_NE(a.hc_first, b.hc_first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModules, ModulePhysicsProperty,
+    ::testing::Values("A0", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
+                      "A9", "B0", "B1", "B2", "B3", "B4", "B5", "B6", "B7",
+                      "B8", "B9", "C0", "C1", "C2", "C3", "C4", "C5", "C6",
+                      "C7", "C8", "C9"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace vppstudy::dram

@@ -1,0 +1,56 @@
+#include "softmc/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vppstudy::softmc {
+namespace {
+
+dram::Ddr4Timing timing() { return dram::timing_for_speed_grade(2400); }
+
+TEST(Program, SlotsRoundUpToCommandGranularity) {
+  EXPECT_EQ(Program::slots_for(1.5), 1u);
+  EXPECT_EQ(Program::slots_for(1.6), 2u);
+  EXPECT_EQ(Program::slots_for(13.5), 9u);
+  EXPECT_EQ(Program::slots_for(0.0), 1u);
+  EXPECT_EQ(Program::slots_for(-3.0), 1u);
+}
+
+TEST(Program, BuilderProducesExpectedSequence) {
+  Program p(timing());
+  p.act(0, 42).rd(0, 3).pre(0);
+  const auto& ins = p.instructions();
+  ASSERT_EQ(ins.size(), 3u);
+  EXPECT_EQ(ins[0].kind, dram::CommandKind::kActivate);
+  EXPECT_EQ(ins[0].row, 42u);
+  EXPECT_EQ(ins[1].kind, dram::CommandKind::kRead);
+  EXPECT_EQ(ins[1].column, 3u);
+  // Default RD delay is the nominal tRCD (13.5ns -> 9 slots).
+  EXPECT_EQ(ins[1].slots_after_previous, 9u);
+  EXPECT_EQ(ins[2].kind, dram::CommandKind::kPrecharge);
+}
+
+TEST(Program, ExplicitDelaysOverrideDefaults) {
+  Program p(timing());
+  p.act(0, 1).rd(0, 0, /*delay_ns=*/6.0);
+  EXPECT_EQ(p.instructions()[1].slots_after_previous, 4u);  // ceil(6/1.5)
+}
+
+TEST(Program, HammerCarriesLoopFields) {
+  Program p(timing());
+  p.hammer(2, 10, 12, 30000);
+  const auto& i = p.instructions().front();
+  EXPECT_EQ(i.loop_count, 30000u);
+  EXPECT_EQ(i.row, 10u);
+  EXPECT_EQ(i.loop_row_b, 12u);
+  EXPECT_DOUBLE_EQ(i.loop_act_to_act_ns, timing().t_rc_ns);
+}
+
+TEST(Program, WaitCarriesExtraTime) {
+  Program p(timing());
+  p.wait_ns(64e6);
+  EXPECT_DOUBLE_EQ(p.instructions().front().extra_wait_ns, 64e6);
+  EXPECT_EQ(p.instructions().front().kind, dram::CommandKind::kNop);
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

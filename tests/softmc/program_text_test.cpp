@@ -1,0 +1,83 @@
+#include "softmc/program_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::softmc {
+namespace {
+
+dram::Ddr4Timing timing() { return dram::timing_for_speed_grade(2400); }
+
+TEST(ProgramText, RoundTripsEveryOpcode) {
+  Program p(timing());
+  std::array<std::uint8_t, 8> word{};
+  word.fill(0xA5);
+  p.act(0, 42).wr(0, 3, word).pre(0).ref().wait_ns(1234.5).hammer(1, 10, 12,
+                                                                  5000);
+  p.rd(0, 7, 6.0);
+
+  const std::string text = program_to_text(p);
+  auto parsed = program_from_text(text, timing());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const auto& a = p.instructions();
+  const auto& b = parsed->instructions();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "instr " << i;
+    EXPECT_EQ(a[i].bank, b[i].bank) << "instr " << i;
+    EXPECT_EQ(a[i].row, b[i].row) << "instr " << i;
+    EXPECT_EQ(a[i].column, b[i].column) << "instr " << i;
+    EXPECT_EQ(a[i].write_data, b[i].write_data) << "instr " << i;
+    EXPECT_EQ(a[i].slots_after_previous, b[i].slots_after_previous)
+        << "instr " << i;
+    EXPECT_EQ(a[i].loop_count, b[i].loop_count) << "instr " << i;
+    EXPECT_DOUBLE_EQ(a[i].extra_wait_ns, b[i].extra_wait_ns) << "instr " << i;
+  }
+}
+
+TEST(ProgramText, CommentsAndBlanksIgnored) {
+  const char* text =
+      "# a full test\n"
+      "\n"
+      "ACT 0 10   # open the row\n"
+      "RD 0 0\n";
+  auto p = program_from_text(text, timing());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->instructions().size(), 2u);
+}
+
+TEST(ProgramText, ErrorsCarryLineNumbers) {
+  auto p = program_from_text("ACT 0 1\nBOGUS 3\n", timing());
+  ASSERT_FALSE(p.has_value());
+  EXPECT_NE(p.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ProgramText, MalformedOperandsRejected) {
+  EXPECT_FALSE(program_from_text("ACT 0\n", timing()).has_value());
+  EXPECT_FALSE(program_from_text("WR 0 0 zz\n", timing()).has_value());
+  EXPECT_FALSE(program_from_text("WR 0 0 a5a5\n", timing()).has_value());
+  EXPECT_FALSE(program_from_text("WAIT\n", timing()).has_value());
+  EXPECT_FALSE(program_from_text("HAMMER 0 1 2\n", timing()).has_value());
+}
+
+TEST(ProgramText, ParsedProgramActuallyRuns) {
+  auto profile = chips::profile_by_name("C0").value();
+  profile.rows_per_bank = 1024;
+  Session session(profile);
+  const char* text =
+      "ACT 0 100\n"
+      "RD 0 0 @6.0\n"    // deliberate tRCD violation: 6ns after the ACT
+      "WR 0 0 4242424242424242 @13.5\n"
+      "PRE 0 @40\n";
+  auto p = program_from_text(text, session.timing());
+  ASSERT_TRUE(p.has_value()) << p.error().message;
+  const auto result = session.execute(*p);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.reads.size(), 1u);
+  EXPECT_GT(result.timing_violations, 0u);  // the 6ns read was flagged
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

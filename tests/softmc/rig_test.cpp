@@ -1,0 +1,92 @@
+// Tests for the lab-rig models: external power rail and thermal chamber.
+#include <gtest/gtest.h>
+
+#include "softmc/power_rail.hpp"
+#include "softmc/thermal.hpp"
+
+namespace vppstudy::softmc {
+namespace {
+
+TEST(PowerRail, QuantizesToOneMillivolt) {
+  PowerRail rail(2.5);
+  auto v = rail.set_voltage(1.7004);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, 1.700, 1e-9);
+  v = rail.set_voltage(1.7006);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, 1.701, 1e-9);
+}
+
+TEST(PowerRail, RejectsOutOfRangeRequests) {
+  PowerRail rail(2.5);
+  EXPECT_FALSE(rail.set_voltage(-0.5).has_value());
+  EXPECT_FALSE(rail.set_voltage(7.0).has_value());
+  EXPECT_NEAR(rail.voltage(), 2.5, 1e-9);  // unchanged after rejection
+}
+
+TEST(PowerRail, CustomLimitsRespected) {
+  PowerRail rail(1.0, RailLimits{0.5, 3.0, 0.01});
+  EXPECT_FALSE(rail.set_voltage(0.4).has_value());
+  auto v = rail.set_voltage(1.234);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, 1.23, 1e-9);
+}
+
+TEST(PowerRail, CurrentEstimateScalesWithActivity) {
+  PowerRail rail(2.5);
+  const double idle = rail.estimate_current_a(0.0);
+  const double busy = rail.estimate_current_a(20e6);
+  EXPECT_GT(idle, 0.0);
+  EXPECT_GT(busy, idle);
+}
+
+TEST(PidController, DrivesPlantToSetpoint) {
+  PidController pid(PidController::Gains{});
+  ThermalPlant plant(ThermalPlant::Params{});
+  for (int i = 0; i < 4000; ++i) {
+    const double power = pid.step(50.0, plant.temperature_c(), 0.5);
+    EXPECT_GE(power, 0.0);
+    EXPECT_LE(power, 60.0);
+    plant.step(power, 0.5);
+  }
+  EXPECT_NEAR(plant.temperature_c(), 50.0, 0.2);
+}
+
+TEST(PidController, ResetClearsIntegrator) {
+  PidController pid(PidController::Gains{});
+  for (int i = 0; i < 100; ++i) (void)pid.step(80.0, 25.0, 0.5);
+  pid.reset();
+  // After reset the first step's output has no accumulated integral: it
+  // matches a fresh controller's output.
+  PidController fresh(PidController::Gains{});
+  EXPECT_DOUBLE_EQ(pid.step(80.0, 25.0, 0.5), fresh.step(80.0, 25.0, 0.5));
+}
+
+TEST(ThermalPlant, ApproachesEquilibriumExponentially) {
+  ThermalPlant plant(ThermalPlant::Params{25.0, 1.0, 10.0});
+  // 20W heater: equilibrium at 45C.
+  for (int i = 0; i < 1000; ++i) plant.step(20.0, 0.5);
+  EXPECT_NEAR(plant.temperature_c(), 45.0, 0.1);
+}
+
+TEST(ThermalChamber, SettlesAtHammerAndRetentionSetpoints) {
+  ThermalChamber chamber;
+  const auto r50 = chamber.settle(50.0);
+  EXPECT_TRUE(r50.converged);
+  EXPECT_NEAR(r50.temperature_c, 50.0, 0.1);
+  const auto r80 = chamber.settle(80.0);
+  EXPECT_TRUE(r80.converged);
+  EXPECT_NEAR(r80.temperature_c, 80.0, 0.1);
+  // Cooling back down also works (the rig's minimum is bounded by ambient).
+  const auto r50b = chamber.settle(50.0);
+  EXPECT_TRUE(r50b.converged);
+}
+
+TEST(ThermalChamber, CannotSettleBelowAmbient) {
+  ThermalChamber chamber;
+  const auto r = chamber.settle(10.0, /*max_seconds=*/200.0);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

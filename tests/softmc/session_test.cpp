@@ -1,0 +1,132 @@
+#include "softmc/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chips/module_db.hpp"
+#include "dram/data_pattern.hpp"
+
+namespace vppstudy::softmc {
+namespace {
+
+dram::ModuleProfile small_profile(const char* name = "B3") {
+  auto p = chips::profile_by_name(name).value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+TEST(Session, InitAndReadRowRoundTrips) {
+  Session s(small_profile());
+  const auto image = dram::pattern_row(dram::DataPattern::kThickCC,
+                                       dram::kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, 100, image).ok());
+  auto read = s.read_row(0, 100);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, image);
+  EXPECT_EQ(s.violations().size(), 0u);
+}
+
+TEST(Session, ClockAdvancesMonotonically) {
+  Session s(small_profile());
+  const double t0 = s.clock_ns();
+  const auto image = dram::pattern_row(dram::DataPattern::kAllOnes,
+                                       dram::kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, 1, image).ok());
+  EXPECT_GT(s.clock_ns(), t0);
+  ASSERT_TRUE(s.wait_ms(2.0).ok());
+  EXPECT_GT(s.clock_ns(), t0 + 2e6);
+}
+
+TEST(Session, SetVppFailsBelowVppmin) {
+  Session s(small_profile());  // B3: VPPmin 1.6V
+  EXPECT_TRUE(s.set_vpp(1.7).ok());
+  EXPECT_FALSE(s.set_vpp(1.5).ok());
+  EXPECT_FALSE(s.set_vpp(9.0).ok());  // outside instrument range
+}
+
+TEST(Session, SetTemperatureReachesSetpoint) {
+  Session s(small_profile());
+  ASSERT_TRUE(s.set_temperature(80.0).ok());
+  EXPECT_NEAR(s.temperature(), 80.0, 0.15);
+  EXPECT_NEAR(s.module().temperature(), 80.0, 0.15);
+}
+
+TEST(Session, ReadColumnWithReducedTrcdViolatesTimingOnPurpose) {
+  Session s(small_profile("A0"));
+  const auto image = dram::pattern_row(dram::DataPattern::kCheckerAA,
+                                       dram::kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, 50, image).ok());
+  s.clear_violations();
+  auto word = s.read_column_with_trcd(0, 50, 3, 6.0);
+  ASSERT_TRUE(word.has_value());
+  // The checker flags the deliberate tRCD violation...
+  bool flagged = false;
+  for (const auto& v : s.violations()) flagged |= (v.rule == "tRCD");
+  EXPECT_TRUE(flagged);
+  // ...and the device returns corrupted data at 6ns on this module.
+  std::array<std::uint8_t, dram::kBytesPerColumn> expected{};
+  expected.fill(0xAA);
+  EXPECT_NE(*word, expected);
+}
+
+TEST(Session, HammerDoubleSidedFlipsVictimBits) {
+  Session s(small_profile());
+  s.module().set_trr_enabled(false);
+  const std::uint32_t victim = 500;
+  const auto n = s.module().mapping().physical_neighbors(victim);
+  ASSERT_TRUE(n.valid);
+  const auto vimg = dram::pattern_row(dram::DataPattern::kCheckerAA,
+                                      dram::kBytesPerRow);
+  const auto aimg = dram::pattern_row(dram::DataPattern::kChecker55,
+                                      dram::kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, victim, vimg).ok());
+  ASSERT_TRUE(s.init_row(0, n.below, aimg).ok());
+  ASSERT_TRUE(s.init_row(0, n.above, aimg).ok());
+  ASSERT_TRUE(s.hammer_double_sided(0, n.below, n.above, 300'000).ok());
+  auto observed = s.read_row(0, victim);
+  ASSERT_TRUE(observed.has_value());
+  EXPECT_NE(*observed, vimg);
+}
+
+TEST(Session, ExecuteCollectsReads) {
+  Session s(small_profile());
+  const auto image = dram::pattern_row(dram::DataPattern::kAllOnes,
+                                       dram::kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, 9, image).ok());
+  Program p(s.timing());
+  p.act(0, 9).rd(0, 0).rd(0, 1, 3.0).pre(0);
+  const auto result = s.execute(p);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.reads.size(), 2u);
+  for (const auto& burst : result.reads) {
+    for (const auto b : burst) EXPECT_EQ(b, 0xFF);
+  }
+}
+
+TEST(Session, ExecuteAbortsOnDeviceError) {
+  Session s(small_profile());
+  Program p(s.timing());
+  p.rd(0, 0);  // read with no open row
+  const auto result = s.execute(p);
+  EXPECT_FALSE(result.status.ok());
+}
+
+TEST(Session, WaitWithAutoRefreshIssuesRefs) {
+  Session s(small_profile());
+  s.set_auto_refresh(true);
+  const auto refs_before = s.module().stats().refreshes;
+  ASSERT_TRUE(s.wait_ms(1.0).ok());
+  // 1ms / 7.8us tREFI: ~128 REF commands.
+  const auto refs = s.module().stats().refreshes - refs_before;
+  EXPECT_GT(refs, 100u);
+  EXPECT_LT(refs, 160u);
+}
+
+TEST(Session, WaitWithoutRefreshIssuesNone) {
+  Session s(small_profile());
+  s.set_auto_refresh(false);
+  ASSERT_TRUE(s.wait_ms(5.0).ok());
+  EXPECT_EQ(s.module().stats().refreshes, 0u);
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

@@ -1,0 +1,98 @@
+#include "softmc/timing_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vppstudy::softmc {
+namespace {
+
+dram::Ddr4Timing timing() { return dram::timing_for_speed_grade(2400); }
+
+bool has_rule(const TimingChecker& c, const std::string& rule) {
+  for (const auto& v : c.violations()) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(TimingChecker, CleanSequenceHasNoViolations) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 0, 0.0);
+  c.observe(dram::CommandKind::kRead, 0, 13.5);
+  c.observe(dram::CommandKind::kPrecharge, 0, 32.0);
+  c.observe(dram::CommandKind::kActivate, 0, 45.5);
+  EXPECT_TRUE(c.violations().empty());
+}
+
+TEST(TimingChecker, DetectsTrcdViolation) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 0, 0.0);
+  c.observe(dram::CommandKind::kRead, 0, 6.0);
+  EXPECT_TRUE(has_rule(c, "tRCD"));
+}
+
+TEST(TimingChecker, DetectsTrasViolation) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 0, 0.0);
+  c.observe(dram::CommandKind::kPrecharge, 0, 10.0);
+  EXPECT_TRUE(has_rule(c, "tRAS"));
+}
+
+TEST(TimingChecker, DetectsTrpViolation) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 0, 0.0);
+  c.observe(dram::CommandKind::kPrecharge, 0, 32.0);
+  c.observe(dram::CommandKind::kActivate, 0, 35.0);
+  EXPECT_TRUE(has_rule(c, "tRP"));
+}
+
+TEST(TimingChecker, DetectsTfawViolation) {
+  TimingChecker c(timing());
+  // Five activates to different banks within 21ns.
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    c.observe(dram::CommandKind::kActivate, b, b * 5.0);
+  }
+  EXPECT_TRUE(has_rule(c, "tFAW"));
+}
+
+TEST(TimingChecker, DetectsTrrdViolation) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 0, 0.0);
+  c.observe(dram::CommandKind::kActivate, 1, 1.5);
+  EXPECT_TRUE(has_rule(c, "tRRD"));
+}
+
+TEST(TimingChecker, HammerLoopAtNominalRateIsClean) {
+  TimingChecker c(timing());
+  c.observe_hammer(0, 300000, timing().t_rc_ns, 0.0, 300000 * 2 * 45.5);
+  EXPECT_TRUE(c.violations().empty());
+}
+
+TEST(TimingChecker, HammerLoopTooFastIsFlagged) {
+  TimingChecker c(timing());
+  c.observe_hammer(0, 1000, 20.0, 0.0, 1000 * 2 * 20.0);
+  EXPECT_TRUE(has_rule(c, "tRC(loop)"));
+}
+
+TEST(TimingChecker, ClearViolationsResets) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 0, 0.0);
+  c.observe(dram::CommandKind::kRead, 0, 2.0);
+  EXPECT_FALSE(c.violations().empty());
+  c.clear_violations();
+  EXPECT_TRUE(c.violations().empty());
+}
+
+TEST(TimingChecker, ViolationRecordsContext) {
+  TimingChecker c(timing());
+  c.observe(dram::CommandKind::kActivate, 3, 100.0);
+  c.observe(dram::CommandKind::kRead, 3, 104.0);
+  ASSERT_FALSE(c.violations().empty());
+  const auto& v = c.violations().front();
+  EXPECT_EQ(v.bank, 3u);
+  EXPECT_DOUBLE_EQ(v.required_ns, 13.5);
+  EXPECT_DOUBLE_EQ(v.actual_ns, 4.0);
+  EXPECT_DOUBLE_EQ(v.at_ns, 104.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

@@ -1,0 +1,113 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::stats {
+namespace {
+
+TEST(Mean, Basics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(SampleStddev, KnownValue) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population sigma is 2; sample stddev is sqrt(32/7).
+  EXPECT_NEAR(sample_stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStddev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(CoefficientOfVariation, MatchesDefinition) {
+  const std::vector<double> v{10.0, 12.0, 8.0, 10.0};
+  EXPECT_NEAR(coefficient_of_variation(v), sample_stddev(v) / 10.0, 1e-12);
+}
+
+TEST(CoefficientOfVariation, ZeroMeanGivesZero) {
+  const std::vector<double> v{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 0.0);
+}
+
+TEST(Summarize, AllFieldsPopulated) {
+  const std::vector<double> v{1.0, 5.0, 3.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+  EXPECT_NEAR(s.cv, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(PercentileSorted, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 10.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 90.0), 7.0);
+}
+
+TEST(MeanConfidenceInterval, CoversTrueMeanOnNormalData) {
+  common::Xoshiro256 rng(123);
+  int covered = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> sample;
+    sample.reserve(50);
+    for (int i = 0; i < 50; ++i) sample.push_back(rng.normal(10.0, 2.0));
+    const auto ci = mean_confidence_interval(sample, 0.90);
+    if (ci.lower <= 10.0 && 10.0 <= ci.upper) ++covered;
+  }
+  // Expect roughly 90% coverage; allow generous slack for 200 trials.
+  EXPECT_GT(covered, kTrials * 80 / 100);
+  EXPECT_LT(covered, kTrials * 99 / 100);
+}
+
+TEST(MeanConfidenceInterval, DegenerateInputs) {
+  const auto empty = mean_confidence_interval(std::vector<double>{}, 0.9);
+  EXPECT_DOUBLE_EQ(empty.lower, 0.0);
+  EXPECT_DOUBLE_EQ(empty.upper, 0.0);
+  const auto single = mean_confidence_interval(std::vector<double>{4.0}, 0.9);
+  EXPECT_DOUBLE_EQ(single.lower, 4.0);
+  EXPECT_DOUBLE_EQ(single.upper, 4.0);
+}
+
+TEST(CentralInterval, MatchesPercentiles) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const auto ci = central_interval(v, 0.90);
+  EXPECT_NEAR(ci.lower, 5.0, 1e-9);
+  EXPECT_NEAR(ci.upper, 95.0, 1e-9);
+}
+
+TEST(Fractions, AboveAndBelow) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_above(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above(std::vector<double>{}, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::stats

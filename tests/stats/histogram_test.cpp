@@ -1,0 +1,73 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vppstudy::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 2.25);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 1.0, 8);
+  for (int i = 0; i < 64; ++i) h.add((i % 8) / 8.0 + 0.01);
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b)
+    integral += h.density(b) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 2.0, 5);
+  const std::vector<double> vals{0.1, 0.5, 1.2, 1.9, 0.3};
+  h.add_all(vals);
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyDensityIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(0.75);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vppstudy::stats

@@ -1,0 +1,97 @@
+#include "stats/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::stats {
+namespace {
+
+TEST(BootstrapMeanCi, CoversTrueMean) {
+  common::Xoshiro256 rng(31);
+  int covered = 0;
+  constexpr int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 40; ++i) sample.push_back(rng.normal(3.0, 1.0));
+    const auto ci = bootstrap_mean_ci(sample, 0.90, 600,
+                                      static_cast<std::uint64_t>(t));
+    if (ci.lower <= 3.0 && 3.0 <= ci.upper) ++covered;
+  }
+  EXPECT_GT(covered, 75);
+}
+
+TEST(BootstrapMeanCi, DegenerateInputs) {
+  const auto empty = bootstrap_mean_ci({}, 0.9);
+  EXPECT_DOUBLE_EQ(empty.lower, 0.0);
+  const std::vector<double> one{5.0};
+  const auto single = bootstrap_mean_ci(one, 0.9);
+  EXPECT_DOUBLE_EQ(single.lower, 5.0);
+  EXPECT_DOUBLE_EQ(single.upper, 5.0);
+}
+
+TEST(BootstrapMeanCi, DeterministicForSeed) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto a = bootstrap_mean_ci(v, 0.9, 500, 7);
+  const auto b = bootstrap_mean_ci(v, 0.9, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(MannWhitneyU, DetectsClearShift) {
+  common::Xoshiro256 rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(1.5, 1.0));
+  }
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_LT(r.p_two_sided, 0.001);
+  EXPECT_LT(r.effect, 0.3);  // a mostly below b
+}
+
+TEST(MannWhitneyU, NoFalsePositiveOnIdenticalDistributions) {
+  common::Xoshiro256 rng(9);
+  int significant = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng.normal());
+      b.push_back(rng.normal());
+    }
+    if (mann_whitney_u(a, b).p_two_sided < 0.05) ++significant;
+  }
+  // ~5% expected by construction.
+  EXPECT_LT(significant, kTrials * 12 / 100);
+}
+
+TEST(MannWhitneyU, HandlesTies) {
+  const std::vector<double> a{1.0, 1.0, 2.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 2.0, 3.0};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_GE(r.p_two_sided, 0.0);
+  EXPECT_LE(r.p_two_sided, 1.0);
+  EXPECT_GT(r.effect, 0.0);
+  EXPECT_LT(r.effect, 1.0);
+}
+
+TEST(MannWhitneyU, SymmetricEffect) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  const auto ab = mann_whitney_u(a, b);
+  const auto ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.effect + ba.effect, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ab.effect, 0.0);  // all of a below all of b
+}
+
+TEST(MannWhitneyU, EmptyInputsSafe) {
+  const std::vector<double> a{1.0};
+  const auto r = mann_whitney_u(a, {});
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::stats

@@ -1,0 +1,71 @@
+#include "stats/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::stats {
+namespace {
+
+TEST(SilvermanBandwidth, PositiveForSpreadData) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_GT(silverman_bandwidth(v), 0.0);
+}
+
+TEST(SilvermanBandwidth, ShrinksWithSampleSize) {
+  common::Xoshiro256 rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 30; ++i) small.push_back(rng.normal());
+  for (int i = 0; i < 3000; ++i) large.push_back(rng.normal());
+  EXPECT_GT(silverman_bandwidth(small), silverman_bandwidth(large));
+}
+
+TEST(GaussianKde, IntegratesToApproximatelyOne) {
+  common::Xoshiro256 rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.normal(0.0, 1.0));
+  const auto pts = gaussian_kde(sample, -6.0, 6.0, 241);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    integral += 0.5 * (pts[i].density + pts[i - 1].density) *
+                (pts[i].x - pts[i - 1].x);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(GaussianKde, PeaksNearTheMode) {
+  common::Xoshiro256 rng(11);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.normal(3.0, 0.5));
+  const auto pts = gaussian_kde(sample, 0.0, 6.0, 121);
+  double best_x = 0.0;
+  double best_d = -1.0;
+  for (const auto& p : pts) {
+    if (p.density > best_d) {
+      best_d = p.density;
+      best_x = p.x;
+    }
+  }
+  EXPECT_NEAR(best_x, 3.0, 0.3);
+}
+
+TEST(GaussianKde, EmptyInputsHandled) {
+  EXPECT_TRUE(gaussian_kde(std::vector<double>{}, 0.0, 1.0, 10).empty());
+  const std::vector<double> one{1.0};
+  EXPECT_TRUE(gaussian_kde(one, 1.0, 1.0, 10).empty());  // hi <= lo
+  EXPECT_TRUE(gaussian_kde(one, 0.0, 1.0, 0).empty());
+}
+
+TEST(GaussianKde, ExplicitBandwidthRespected) {
+  const std::vector<double> sample{0.0};
+  const auto narrow = gaussian_kde(sample, -1.0, 1.0, 3, 0.1);
+  const auto wide = gaussian_kde(sample, -1.0, 1.0, 3, 1.0);
+  // At the sample point, a narrower kernel is taller.
+  EXPECT_GT(narrow[1].density, wide[1].density);
+}
+
+}  // namespace
+}  // namespace vppstudy::stats

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "chips/module_db.hpp"
+#include "dram/energy.hpp"
+#include "workload/runner.hpp"
+#include "workload/trace.hpp"
+
+namespace vppstudy::workload {
+namespace {
+
+dram::ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("C0").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+TraceConfig config_for(TraceKind kind) {
+  TraceConfig c;
+  c.kind = kind;
+  c.rows = 4096;
+  return c;
+}
+
+TEST(TraceGenerator, SequentialWalksColumnsThenRows) {
+  TraceGenerator gen(config_for(TraceKind::kSequential));
+  auto first = gen.next();
+  auto second = gen.next();
+  EXPECT_EQ(first.address.column + 1, second.address.column);
+  EXPECT_EQ(first.address.row, second.address.row);
+}
+
+TEST(TraceGenerator, RandomStaysInBounds) {
+  TraceGenerator gen(config_for(TraceKind::kRandom));
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = gen.next();
+    EXPECT_LT(r.address.bank, dram::kBanksPerRank);
+    EXPECT_LT(r.address.row, 4096u);
+    EXPECT_LT(r.address.column, dram::kColumnsPerRow);
+  }
+}
+
+TEST(TraceGenerator, ReadFractionRespected) {
+  auto c = config_for(TraceKind::kRandom);
+  c.read_fraction = 0.7;
+  TraceGenerator gen(c);
+  int reads = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    reads += gen.next().kind == memctrl::Request::Kind::kRead ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.7, 0.02);
+}
+
+TEST(TraceGenerator, HotRowsConcentrateAccesses) {
+  auto c = config_for(TraceKind::kHotRows);
+  c.hot_rows = 8;
+  TraceGenerator gen(c);
+  int hot = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = gen.next();
+    if (r.address.row >= 8 && r.address.row < 16) ++hot;
+  }
+  EXPECT_GT(hot, kN * 80 / 100);
+}
+
+TEST(TraceGenerator, HammerAlternatesAggressors) {
+  auto c = config_for(TraceKind::kHammer);
+  c.hammer_row = 1500;
+  TraceGenerator gen(c);
+  std::set<std::uint32_t> rows;
+  for (int i = 0; i < 10; ++i) rows.insert(gen.next().address.row);
+  EXPECT_EQ(rows, (std::set<std::uint32_t>{1499, 1501}));
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed) {
+  TraceGenerator a(config_for(TraceKind::kRandom));
+  TraceGenerator b(config_for(TraceKind::kRandom));
+  for (int i = 0; i < 100; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    EXPECT_EQ(ra.address.row, rb.address.row);
+    EXPECT_EQ(ra.address.column, rb.address.column);
+  }
+}
+
+TEST(RunTrace, CollectsLatencyAndEnergy) {
+  softmc::Session session(small_profile());
+  memctrl::MemoryController mc(session, memctrl::ControllerOptions{},
+                               std::make_unique<memctrl::NoMitigation>());
+  TraceGenerator gen(config_for(TraceKind::kRandom));
+  auto r = run_trace(session, mc, gen, 500);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_EQ(r->requests, 500u);
+  EXPECT_GT(r->mean_latency_ns, 20.0);   // at least ACT+RD+PRE
+  EXPECT_LT(r->mean_latency_ns, 500.0);
+  // Rare refresh-stall outliers can pull the mean slightly above p99.
+  EXPECT_GE(r->p99_latency_ns, 0.9 * r->mean_latency_ns);
+  EXPECT_GT(r->energy.total_mj(), 0.0);
+  EXPECT_GT(r->energy_per_request_uj(), 0.0);
+}
+
+TEST(RunTrace, LowerVppUsesLessPumpEnergy) {
+  auto profile = small_profile();
+  const auto energy_at = [&](double vpp) {
+    softmc::Session session(profile);
+    (void)session.set_vpp(vpp);
+    memctrl::MemoryController mc(session, memctrl::ControllerOptions{},
+                                 std::make_unique<memctrl::NoMitigation>());
+    TraceGenerator gen(config_for(TraceKind::kRandom));
+    auto r = run_trace(session, mc, gen, 300);
+    return r.has_value() ? r->energy.vpp_mj : -1.0;
+  };
+  const double hi = energy_at(2.5);
+  const double lo = energy_at(1.7);
+  ASSERT_GT(hi, 0.0);
+  ASSERT_GT(lo, 0.0);
+  // Pump energy ~ VPP^2: (1.7/2.5)^2 = 0.46.
+  EXPECT_NEAR(lo / hi, 0.46, 0.05);
+}
+
+}  // namespace
+}  // namespace vppstudy::workload
+
+namespace vppstudy::dram {
+namespace {
+
+TEST(EnergyModel, VppScaleIsQuadratic) {
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.vpp_scale(2.5), 1.0);
+  EXPECT_NEAR(model.vpp_scale(1.25), 0.25, 1e-12);
+}
+
+TEST(EnergyModel, AccountsPerOperation) {
+  const EnergyModel model;
+  ModuleStats stats;
+  stats.activates = 1000;
+  stats.reads = 500;
+  stats.writes = 200;
+  stats.refreshes = 10;
+  const auto e = model.account(stats, 2.5, 0.001);
+  EXPECT_GT(e.vdd_mj, 0.0);
+  EXPECT_GT(e.vpp_mj, 0.0);
+  EXPECT_GT(e.static_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_mj(), e.vdd_mj + e.vpp_mj + e.static_mj);
+
+  // Doubling the activations doubles the ACT contributions exactly.
+  ModuleStats doubled = stats;
+  doubled.activates *= 2;
+  const auto e2 = model.account(doubled, 2.5, 0.001);
+  const double act_vdd =
+      1000.0 * model.params().act_pre_vdd_nc * model.params().vdd_v * 1e-6;
+  EXPECT_NEAR(e2.vdd_mj - e.vdd_mj, act_vdd, 1e-12);
+}
+
+TEST(EnergyModel, ZeroStatsZeroDynamicEnergy) {
+  const EnergyModel model;
+  const auto e = model.account(ModuleStats{}, 2.5, 0.0);
+  EXPECT_DOUBLE_EQ(e.vdd_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.vpp_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.static_mj, 0.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::dram

@@ -1,0 +1,238 @@
+// vppctl: command-line front end to the characterization stack.
+//
+//   vppctl list
+//       Print the module catalog (Table 3 anchors).
+//   vppctl hammer  --module B3 [--vpp 1.8] [--row 1500] [--hc 300000]
+//       Double-sided hammer one row and report BER + HCfirst.
+//   vppctl sweep   --module B3 --test rowhammer|trcd|retention
+//                  [--rows 16] [--step 0.2] [--csv out.csv]
+//       Run a full VPP sweep and print (or export) the series.
+//   vppctl profile --module B6 [--vpp 1.7] [--rows 128]
+//       REAPER-style retention profile at a VPP level.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "chips/module_db.hpp"
+#include "common/csv.hpp"
+#include "common/units.hpp"
+#include "core/study.hpp"
+#include "harness/rowhammer_test.hpp"
+#include "harness/wcdp.hpp"
+#include "memctrl/retention_profiler.hpp"
+
+namespace {
+
+using namespace vppstudy;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) break;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_list() {
+  std::printf("%-4s %-26s %-6s %6s %6s %9s %10s %6s %8s\n", "name", "model",
+              "mfr", "chips", "Gbit", "HCfirst", "BER@300K", "VPPmin",
+              "VPP_rec");
+  for (const auto& p : chips::all_profiles()) {
+    std::printf("%-4s %-26s %-6c %6d %6d %9.0f %10.2e %6.1f %8.1f\n",
+                p.name.c_str(), p.dimm_model.c_str(),
+                dram::manufacturer_letter(p.mfr), p.num_chips, p.density_gbit,
+                p.hc_first_nominal, p.ber_nominal, p.vppmin_v, p.vpp_rec_v);
+  }
+  return 0;
+}
+
+int cmd_hammer(const std::map<std::string, std::string>& flags) {
+  const auto profile = chips::profile_by_name(flag_or(flags, "module", "B3"));
+  if (!profile) {
+    std::fprintf(stderr, "unknown module\n");
+    return 1;
+  }
+  const double vpp = std::atof(flag_or(flags, "vpp", "2.5").c_str());
+  const auto row =
+      static_cast<std::uint32_t>(std::atoi(flag_or(flags, "row", "1500").c_str()));
+  const auto hc = static_cast<std::uint64_t>(
+      std::atoll(flag_or(flags, "hc", "300000").c_str()));
+
+  softmc::Session session(*profile);
+  session.set_auto_refresh(false);
+  if (auto st = session.set_vpp(vpp); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.error().message.c_str());
+    return 1;
+  }
+  auto wcdp = harness::find_wcdp_hammer(session, 0, row);
+  if (!wcdp) {
+    std::fprintf(stderr, "%s\n", wcdp.error().message.c_str());
+    return 1;
+  }
+  harness::RowHammerConfig cfg;
+  cfg.num_iterations = 1;
+  cfg.ber_hc = hc;
+  harness::RowHammerTest test(session, cfg);
+  auto result = test.test_row(0, row, *wcdp);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    return 1;
+  }
+  std::printf("module %s row %u at VPP=%.2fV (WCDP %s):\n",
+              profile->name.c_str(), row, vpp,
+              std::string(dram::pattern_name(*wcdp)).c_str());
+  std::printf("  HCfirst = %llu\n",
+              static_cast<unsigned long long>(result->hc_first));
+  std::printf("  BER at HC=%llu: %.4e\n", static_cast<unsigned long long>(hc),
+              result->ber);
+  return 0;
+}
+
+int cmd_sweep(const std::map<std::string, std::string>& flags) {
+  const auto profile = chips::profile_by_name(flag_or(flags, "module", "B3"));
+  if (!profile) {
+    std::fprintf(stderr, "unknown module\n");
+    return 1;
+  }
+  const std::string kind = flag_or(flags, "test", "rowhammer");
+  const auto rows =
+      static_cast<std::uint32_t>(std::atoi(flag_or(flags, "rows", "16").c_str()));
+  const double step = std::atof(flag_or(flags, "step", "0.2").c_str());
+  const std::string csv_path = flag_or(flags, "csv", "");
+
+  core::SweepConfig cfg = core::SweepConfig::quick();
+  cfg.vpp_levels.clear();
+  for (double v = 2.5; v >= 1.4 - 1e-9; v -= step) cfg.vpp_levels.push_back(v);
+  cfg.sampling.chunks = 4;
+  cfg.sampling.rows_per_chunk = std::max(1u, rows / 4);
+
+  core::Study study(*profile);
+  if (kind == "rowhammer") {
+    auto sweep = study.rowhammer_sweep(cfg);
+    if (!sweep) {
+      std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+      return 1;
+    }
+    common::CsvWriter csv({"vpp_v", "min_hc_first", "max_ber"});
+    std::printf("%-8s %12s %12s\n", "VPP[V]", "minHCfirst", "maxBER");
+    for (std::size_t l = 0; l < sweep->vpp_levels.size(); ++l) {
+      std::printf("%-8.2f %12llu %12.4e\n", sweep->vpp_levels[l],
+                  static_cast<unsigned long long>(sweep->min_hc_first_at(l)),
+                  sweep->max_ber_at(l));
+      csv.begin_row();
+      csv.add(sweep->vpp_levels[l]);
+      csv.add(static_cast<std::uint64_t>(sweep->min_hc_first_at(l)));
+      csv.add(sweep->max_ber_at(l));
+    }
+    if (!csv_path.empty() && !csv.write_file(csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+  } else if (kind == "trcd") {
+    auto sweep = study.trcd_sweep(cfg);
+    if (!sweep) {
+      std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+      return 1;
+    }
+    common::CsvWriter csv({"vpp_v", "trcd_min_ns"});
+    std::printf("%-8s %12s\n", "VPP[V]", "tRCDmin[ns]");
+    for (std::size_t l = 0; l < sweep->vpp_levels.size(); ++l) {
+      std::printf("%-8.2f %12.1f\n", sweep->vpp_levels[l],
+                  sweep->trcd_min_ns[l]);
+      csv.begin_row();
+      csv.add(sweep->vpp_levels[l]);
+      csv.add(sweep->trcd_min_ns[l]);
+    }
+    if (!csv_path.empty() && !csv.write_file(csv_path)) return 1;
+  } else if (kind == "retention") {
+    auto sweep = study.retention_sweep(cfg);
+    if (!sweep) {
+      std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+      return 1;
+    }
+    common::CsvWriter csv({"vpp_v", "trefw_ms", "mean_ber"});
+    std::printf("%-8s %10s %12s\n", "VPP[V]", "tREFW[ms]", "meanBER");
+    for (std::size_t l = 0; l < sweep->vpp_levels.size(); ++l) {
+      for (std::size_t w = 0; w < sweep->trefw_ms.size(); ++w) {
+        std::printf("%-8.2f %10.0f %12.4e\n", sweep->vpp_levels[l],
+                    sweep->trefw_ms[w], sweep->mean_ber[l][w]);
+        csv.begin_row();
+        csv.add(sweep->vpp_levels[l]);
+        csv.add(sweep->trefw_ms[w]);
+        csv.add(sweep->mean_ber[l][w]);
+      }
+    }
+    if (!csv_path.empty() && !csv.write_file(csv_path)) return 1;
+  } else {
+    std::fprintf(stderr, "unknown --test '%s'\n", kind.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_profile(const std::map<std::string, std::string>& flags) {
+  const auto profile = chips::profile_by_name(flag_or(flags, "module", "B6"));
+  if (!profile) {
+    std::fprintf(stderr, "unknown module\n");
+    return 1;
+  }
+  const double vpp =
+      std::atof(flag_or(flags, "vpp", std::to_string(profile->vppmin_v))
+                    .c_str());
+  const auto rows =
+      static_cast<std::uint32_t>(std::atoi(flag_or(flags, "rows", "128").c_str()));
+
+  softmc::Session session(*profile);
+  session.set_auto_refresh(false);
+  if (auto st = session.set_temperature(common::kRetentionTestTempC); !st.ok())
+    return 1;
+  if (auto st = session.set_vpp(vpp); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.error().message.c_str());
+    return 1;
+  }
+  memctrl::ProfilerOptions opts;
+  opts.row_count = rows;
+  auto prof = memctrl::profile_retention(session, opts);
+  if (!prof) {
+    std::fprintf(stderr, "%s\n", prof.error().message.c_str());
+    return 1;
+  }
+  std::printf("module %s at VPP=%.2fV, 80C: %zu of %u rows need 2x refresh "
+              "(%.1f%%)\n",
+              profile->name.c_str(), vpp, prof->weak_rows.size(),
+              prof->rows_scanned, 100.0 * prof->weak_fraction());
+  for (const auto& addr : prof->weak_rows) {
+    std::printf("  bank %u row %u\n", addr.bank, addr.row);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vppctl <list|hammer|sweep|profile> [--flag value ...]\n"
+               "see the header comment of tools/vppctl.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "list") return cmd_list();
+  if (cmd == "hammer") return cmd_hammer(flags);
+  if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "profile") return cmd_profile(flags);
+  return usage();
+}
