@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "chips/module_db.hpp"
 
@@ -32,6 +33,41 @@ BenchOptions options_from_env() {
   opt.max_modules =
       static_cast<std::size_t>(env_long("VPP_BENCH_MODULES", 30));
   opt.vpp_step = env_double("VPP_BENCH_STEP", 0.2);
+  // 0 is meaningful for jobs (all hardware threads), so parse it directly.
+  if (const char* v = std::getenv("VPP_BENCH_JOBS")) {
+    opt.jobs = std::atoi(v);
+  }
+  return opt;
+}
+
+BenchOptions options_from_args(int argc, char** argv) {
+  BenchOptions opt = options_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* flag, const char** out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        *out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    const char* value = nullptr;
+    if (flag_value("--jobs", &value)) {
+      opt.jobs = std::atoi(value);
+    } else if (flag_value("--rows", &value)) {
+      opt.rows_per_chunk = static_cast<std::uint32_t>(std::atol(value));
+    } else if (flag_value("--iters", &value)) {
+      opt.iterations = std::atoi(value);
+    } else if (flag_value("--modules", &value)) {
+      opt.max_modules = static_cast<std::size_t>(std::atol(value));
+    } else if (flag_value("--step", &value)) {
+      opt.vpp_step = std::atof(value);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --jobs N, --rows N, --iters N, "
+                   "--modules N, --step V)\n",
+                   argv[i]);
+    }
+  }
   return opt;
 }
 
@@ -53,35 +89,56 @@ core::SweepConfig sweep_config(const BenchOptions& opt) {
   return cfg;
 }
 
+std::vector<dram::ModuleProfile> bench_modules(const BenchOptions& opt) {
+  std::vector<dram::ModuleProfile> modules;
+  for (const auto& profile : chips::all_profiles()) {
+    if (modules.size() >= opt.max_modules) break;
+    modules.push_back(profile);
+  }
+  return modules;
+}
+
+core::StudyConfig study_config(const BenchOptions& opt) {
+  core::StudyConfig config;
+  config.sweep = sweep_config(opt);
+  config.modules = bench_modules(opt);
+  config.seed = opt.seed;
+  config.jobs = opt.jobs;
+  return config;
+}
+
 std::vector<core::ModuleSweepResult> run_rowhammer_all(
     const BenchOptions& opt) {
-  std::vector<core::ModuleSweepResult> sweeps;
-  const auto cfg = sweep_config(opt);
-  std::size_t done = 0;
-  for (const auto& profile : chips::all_profiles()) {
-    if (done >= opt.max_modules) break;
-    core::Study study(profile);
-    auto sweep = study.rowhammer_sweep(cfg);
-    if (!sweep) {
-      std::fprintf(stderr, "module %s failed: %s\n", profile.name.c_str(),
-                   sweep.error().message.c_str());
-      continue;
-    }
-    sweeps.push_back(std::move(*sweep));
-    ++done;
+  core::ParallelStudy engine(study_config(opt));
+  auto sweeps = engine.rowhammer_sweeps();
+  if (!sweeps) {
+    std::fprintf(stderr, "rowhammer sweep failed: %s\n",
+                 sweeps.error().message.c_str());
+    return {};
   }
-  return sweeps;
+  return std::move(*sweeps);
+}
+
+std::vector<core::TrcdSweepResult> run_trcd_all(const BenchOptions& opt) {
+  core::ParallelStudy engine(study_config(opt));
+  auto sweeps = engine.trcd_sweeps();
+  if (!sweeps) {
+    std::fprintf(stderr, "tRCD sweep failed: %s\n",
+                 sweeps.error().message.c_str());
+    return {};
+  }
+  return std::move(*sweeps);
 }
 
 void print_scale_banner(const std::string& what, const BenchOptions& opt) {
   std::printf(
       "# %s\n"
       "# scale: %u rows/module (paper: 4096), %d iteration(s) (paper: 10), "
-      "%zu module(s), %.2fV steps (paper: 0.1V)\n"
+      "%zu module(s), %.2fV steps (paper: 0.1V), %d job(s)\n"
       "# override via VPP_BENCH_ROWS / VPP_BENCH_ITERS / VPP_BENCH_MODULES / "
-      "VPP_BENCH_STEP\n",
+      "VPP_BENCH_STEP / VPP_BENCH_JOBS or --jobs N\n",
       what.c_str(), opt.rows_per_chunk * opt.chunks, opt.iterations,
-      opt.max_modules, opt.vpp_step);
+      opt.max_modules, opt.vpp_step, opt.jobs);
 }
 
 void print_series(const std::string& label, std::span<const double> x,

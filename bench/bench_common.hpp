@@ -1,14 +1,21 @@
 // Shared plumbing for the reproduction benches: common sweep drivers, text
 // rendering of figure series, and environment knobs so a user can trade
-// fidelity for runtime (VPP_BENCH_ROWS, VPP_BENCH_MODULES, ...).
+// fidelity for runtime (VPP_BENCH_ROWS, VPP_BENCH_MODULES, ...). Every bench
+// accepts a --jobs N flag (or VPP_BENCH_JOBS) and runs its sweeps on the
+// parallel deterministic engine: results are bit-identical at any job count.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <future>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "chips/module_db.hpp"
+#include "common/thread_pool.hpp"
+#include "core/parallel_study.hpp"
 #include "core/study.hpp"
 #include "dram/profile.hpp"
 
@@ -21,6 +28,8 @@ struct BenchOptions {
   int iterations = 1;
   std::size_t max_modules = 30;
   double vpp_step = 0.2;              ///< figure sweeps: 2.5 down in steps
+  int jobs = 1;                       ///< worker threads; 0 = all hardware
+  std::uint64_t seed = 0;             ///< base seed of per-job noise streams
 };
 
 /// Read overrides from the environment:
@@ -28,7 +37,16 @@ struct BenchOptions {
 ///   VPP_BENCH_ITERS    iterations (default 1; paper: 10)
 ///   VPP_BENCH_MODULES  number of modules (default 30)
 ///   VPP_BENCH_STEP     VPP step in volts (default 0.2; paper: 0.1)
+///   VPP_BENCH_JOBS     worker threads (default 1; 0 = all hardware threads)
 [[nodiscard]] BenchOptions options_from_env();
+
+/// options_from_env plus command-line flags (flags win):
+///   --jobs N      worker threads (0 = all hardware threads)
+///   --rows N      rows per chunk
+///   --iters N     iterations
+///   --modules N   number of modules
+///   --step V      VPP step in volts
+[[nodiscard]] BenchOptions options_from_args(int argc, char** argv);
 
 /// VPP grid from 2.5 down to 1.4 in `step` volt steps.
 [[nodiscard]] std::vector<double> vpp_grid(double step);
@@ -36,9 +54,31 @@ struct BenchOptions {
 /// Sweep config assembled from bench options.
 [[nodiscard]] core::SweepConfig sweep_config(const BenchOptions& opt);
 
-/// Run the RowHammer sweep for the first `max_modules` profiles.
+/// Engine config over the first `max_modules` profiles with the shared grid.
+[[nodiscard]] core::StudyConfig study_config(const BenchOptions& opt);
+
+/// The first `max_modules` profiles.
+[[nodiscard]] std::vector<dram::ModuleProfile> bench_modules(
+    const BenchOptions& opt);
+
+/// Run the RowHammer sweep for the first `max_modules` profiles on the
+/// parallel engine ((module, VPP level) job granularity).
 [[nodiscard]] std::vector<core::ModuleSweepResult> run_rowhammer_all(
     const BenchOptions& opt);
+
+/// Run the tRCD sweep for the first `max_modules` profiles (Fig. 7).
+[[nodiscard]] std::vector<core::TrcdSweepResult> run_trcd_all(
+    const BenchOptions& opt);
+
+/// Fan one job per module out on a work-stealing pool. `fn` maps a profile
+/// to common::Expected<R>; results come back in module order (deterministic
+/// regardless of scheduling), with failed modules skipped after a stderr
+/// note. This is the driver for benches whose VPP grid depends on the
+/// module (e.g. {2.5V, VPPmin}) -- within each job the engine runs inline.
+template <typename Fn>
+[[nodiscard]] auto parallel_module_map(const BenchOptions& opt, Fn fn)
+    -> std::vector<typename std::invoke_result_t<
+        Fn&, const dram::ModuleProfile&>::value_type>;
 
 /// Print a one-line banner describing the bench scale vs the paper's.
 void print_scale_banner(const std::string& what, const BenchOptions& opt);
@@ -49,5 +89,33 @@ void print_series(const std::string& label, std::span<const double> x,
                   std::span<const double> y,
                   std::span<const double> lo = {},
                   std::span<const double> hi = {});
+
+// --- template implementation -------------------------------------------------
+
+template <typename Fn>
+auto parallel_module_map(const BenchOptions& opt, Fn fn)
+    -> std::vector<typename std::invoke_result_t<
+        Fn&, const dram::ModuleProfile&>::value_type> {
+  using Result = std::invoke_result_t<Fn&, const dram::ModuleProfile&>;
+  const auto modules = bench_modules(opt);
+  common::ThreadPool pool(common::ThreadPool::workers_for_jobs(opt.jobs));
+  std::vector<std::future<Result>> futures;
+  futures.reserve(modules.size());
+  for (const auto& profile : modules) {
+    futures.push_back(pool.submit([&fn, &profile] { return fn(profile); }));
+  }
+  std::vector<typename Result::value_type> out;
+  out.reserve(modules.size());
+  for (std::size_t m = 0; m < modules.size(); ++m) {
+    auto result = futures[m].get();
+    if (!result) {
+      std::fprintf(stderr, "module %s failed: %s\n", modules[m].name.c_str(),
+                   result.error().message.c_str());
+      continue;
+    }
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
 
 }  // namespace vppstudy::bench

@@ -11,12 +11,12 @@
 #include "bench_common.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vppstudy;
-  auto opt = bench::options_from_env();
+  auto opt = bench::options_from_args(argc, argv);
   bench::print_scale_banner("Fig. 10: retention BER under reduced VPP", opt);
 
-  auto cfg = bench::sweep_config(opt);
+  const auto cfg = bench::sweep_config(opt);
   // Retention needs only a coarse VPP grid: nominal, 2.0, and VPPmin.
   struct VendorAccum {
     std::vector<double> ref_ber_nominal;  // per-row BER at 4s, 2.5V
@@ -29,30 +29,30 @@ int main() {
   int clean_at_64ms = 0;
   int modules_tested = 0;
 
-  std::size_t done = 0;
-  for (const auto& profile : chips::all_profiles()) {
-    if (done++ >= opt.max_modules) break;
-    cfg.vpp_levels = {2.5, 2.0, profile.vppmin_v};
-    core::Study study(profile);
-    auto sweep = study.retention_sweep(cfg);
-    if (!sweep) {
-      std::fprintf(stderr, "%s failed: %s\n", profile.name.c_str(),
-                   sweep.error().message.c_str());
-      continue;
-    }
+  // One job per module on a {2.5V, 2.0V, VPPmin} grid; aggregation stays
+  // serial and in module order below.
+  const auto sweeps = bench::parallel_module_map(
+      opt,
+      [&cfg](const dram::ModuleProfile& profile) {
+        auto module_cfg = cfg;
+        module_cfg.vpp_levels = {2.5, 2.0, profile.vppmin_v};
+        core::Study study(profile);
+        return study.retention_sweep(module_cfg);
+      });
+  for (const auto& sweep : sweeps) {
     ++modules_tested;
-    if (windows.empty()) windows = sweep->trefw_ms;
-    for (std::size_t l = 0; l < sweep->vpp_levels.size() && l < 3; ++l) {
+    if (windows.empty()) windows = sweep.trefw_ms;
+    for (std::size_t l = 0; l < sweep.vpp_levels.size() && l < 3; ++l) {
       auto& acc = mean_curves[static_cast<int>(l)];
-      if (acc.empty()) acc.assign(sweep->mean_ber[l].size(), 0.0);
-      for (std::size_t w = 0; w < sweep->mean_ber[l].size(); ++w) {
-        acc[w] += sweep->mean_ber[l][w];
+      if (acc.empty()) acc.assign(sweep.mean_ber[l].size(), 0.0);
+      for (std::size_t w = 0; w < sweep.mean_ber[l].size(); ++w) {
+        acc[w] += sweep.mean_ber[l][w];
       }
     }
     ++curve_count;
-    auto& v = vendors[sweep->mfr];
-    const auto& nominal_rows = sweep->row_ber_at_reference.front();
-    const auto& low_rows = sweep->row_ber_at_reference.back();
+    auto& v = vendors[sweep.mfr];
+    const auto& nominal_rows = sweep.row_ber_at_reference.front();
+    const auto& low_rows = sweep.row_ber_at_reference.back();
     v.ref_ber_nominal.insert(v.ref_ber_nominal.end(), nominal_rows.begin(),
                              nominal_rows.end());
     v.ref_ber_low.insert(v.ref_ber_low.end(), low_rows.begin(),
@@ -62,7 +62,7 @@ int main() {
     for (std::size_t w = 0; w < windows.size(); ++w) {
       if (std::abs(windows[w] - 64.0) < 1.0) idx64 = w;
     }
-    if (sweep->mean_ber.back()[idx64] == 0.0) ++clean_at_64ms;
+    if (sweep.mean_ber.back()[idx64] == 0.0) ++clean_at_64ms;
   }
 
   std::printf("\nFig. 10a: mean retention BER vs tREFW (rows averaged over "

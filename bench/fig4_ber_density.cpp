@@ -4,29 +4,39 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kde.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vppstudy;
-  auto opt = bench::options_from_env();
+  auto opt = bench::options_from_args(argc, argv);
   opt.vpp_step = 1.1;  // only 2.5V and VPPmin matter for this figure
   bench::print_scale_banner("Fig. 4: normalized BER density at VPPmin", opt);
 
-  auto cfg = bench::sweep_config(opt);
+  const auto cfg = bench::sweep_config(opt);
+  // One job per module; each runs a {2.5V, VPPmin} grid inline and reports
+  // its vendor plus the per-row normalized BERs at VPPmin.
+  using VendorRows = std::pair<dram::Manufacturer, std::vector<double>>;
+  auto rows = bench::parallel_module_map(
+      opt,
+      [&cfg](const dram::ModuleProfile& profile)
+          -> common::Expected<VendorRows> {
+        auto module_cfg = cfg;
+        module_cfg.vpp_levels = {2.5, profile.vppmin_v};
+        core::Study study(profile);
+        auto sweep = study.rowhammer_sweep(module_cfg);
+        if (!sweep) return sweep.error();
+        return VendorRows{
+            profile.mfr,
+            sweep->normalized_ber_at(sweep->vpp_levels.size() - 1)};
+      });
   std::map<dram::Manufacturer, std::vector<double>> per_vendor;
-  std::size_t done = 0;
-  for (const auto& profile : chips::all_profiles()) {
-    if (done++ >= opt.max_modules) break;
-    cfg.vpp_levels = {2.5, profile.vppmin_v};
-    core::Study study(profile);
-    auto sweep = study.rowhammer_sweep(cfg);
-    if (!sweep) continue;
-    const auto norm = sweep->normalized_ber_at(sweep->vpp_levels.size() - 1);
-    auto& bucket = per_vendor[profile.mfr];
+  for (auto& [mfr, norm] : rows) {
+    auto& bucket = per_vendor[mfr];
     bucket.insert(bucket.end(), norm.begin(), norm.end());
   }
 

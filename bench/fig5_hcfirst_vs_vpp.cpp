@@ -7,9 +7,9 @@
 #include "bench_common.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vppstudy;
-  const auto opt = bench::options_from_env();
+  const auto opt = bench::options_from_args(argc, argv);
   bench::print_scale_banner("Fig. 5: normalized HCfirst vs VPP", opt);
 
   const auto sweeps = bench::run_rowhammer_all(opt);

@@ -9,25 +9,12 @@
 #include "bench_common.hpp"
 #include "common/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vppstudy;
-  const auto opt = bench::options_from_env();
+  const auto opt = bench::options_from_args(argc, argv);
   bench::print_scale_banner("Fig. 7: minimum reliable tRCD vs VPP", opt);
 
-  const auto cfg = bench::sweep_config(opt);
-  std::vector<core::TrcdSweepResult> sweeps;
-  std::size_t done = 0;
-  for (const auto& profile : chips::all_profiles()) {
-    if (done++ >= opt.max_modules) break;
-    core::Study study(profile);
-    auto sweep = study.trcd_sweep(cfg);
-    if (!sweep) {
-      std::fprintf(stderr, "%s failed: %s\n", profile.name.c_str(),
-                   sweep.error().message.c_str());
-      continue;
-    }
-    sweeps.push_back(std::move(*sweep));
-  }
+  const auto sweeps = bench::run_trcd_all(opt);
 
   std::printf("%-6s", "VPP[V]");
   for (const auto& s : sweeps) std::printf(" %5s", s.module_name.c_str());

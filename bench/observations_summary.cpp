@@ -5,21 +5,20 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vppstudy;
-  auto opt = bench::options_from_env();
+  const auto opt = bench::options_from_args(argc, argv);
   bench::print_scale_banner("Observations 1-6 summary", opt);
 
-  auto cfg = bench::sweep_config(opt);
-  std::vector<core::ModuleSweepResult> sweeps;
-  std::size_t done = 0;
-  for (const auto& profile : chips::all_profiles()) {
-    if (done++ >= opt.max_modules) break;
-    cfg.vpp_levels = {2.5, profile.vppmin_v};
-    core::Study study(profile);
-    auto sweep = study.rowhammer_sweep(cfg);
-    if (sweep) sweeps.push_back(std::move(*sweep));
-  }
+  const auto cfg = bench::sweep_config(opt);
+  const auto sweeps = bench::parallel_module_map(
+      opt,
+      [&cfg](const dram::ModuleProfile& profile) {
+        auto module_cfg = cfg;
+        module_cfg.vpp_levels = {2.5, profile.vppmin_v};
+        core::Study study(profile);
+        return study.rowhammer_sweep(module_cfg);
+      });
   const auto obs = core::aggregate_observations(sweeps);
 
   std::printf("\n%-46s %10s %10s\n", "quantity (at VPPmin)", "measured",

@@ -1,8 +1,13 @@
 // Performance microbenchmarks (google-benchmark) for the hot paths of the
 // simulation stack: counter-RNG synthesis, whole-row flip evaluation,
-// Alg. 1's measure_BER, the circuit solver, and dense LU.
+// Alg. 1's measure_BER, the circuit solver, and dense LU -- plus an
+// end-to-end study sweep parameterized by --jobs, so serial-vs-parallel
+// speedup is one `--benchmark_filter=BM_StudySweep` run away.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "bench_common.hpp"
 #include "chips/module_db.hpp"
 #include "circuit/dram_cell.hpp"
 #include "circuit/matrix.hpp"
@@ -82,6 +87,36 @@ void BM_LuSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuSolve)->Arg(9)->Arg(32);
+
+// End-to-end RowHammer sweep through the parallel engine, with the job count
+// as the benchmark argument. Compare the `jobs:1` row against `jobs:N` to
+// read off the parallel speedup; the per-iteration work is identical (the
+// engine is deterministic at any job count), so wall time is the whole story.
+void BM_StudySweep(benchmark::State& state) {
+  bench::BenchOptions opt;  // fixed small scale; independent of env knobs
+  opt.rows_per_chunk = 2;
+  opt.chunks = 2;
+  opt.iterations = 1;
+  opt.max_modules = 8;
+  opt.vpp_step = 0.4;
+  opt.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ParallelStudy engine(bench::study_config(opt));
+    auto sweeps = engine.rowhammer_sweeps();
+    if (!sweeps) state.SkipWithError(sweeps.error().message.c_str());
+    benchmark::DoNotOptimize(sweeps);
+  }
+  state.counters["jobs"] = static_cast<double>(
+      common::ThreadPool::resolve_jobs(opt.jobs));
+}
+BENCHMARK(BM_StudySweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

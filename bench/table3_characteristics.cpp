@@ -2,13 +2,14 @@
 // VPPmin, re-measured through the full harness (Alg. 1 with WCDP selection)
 // and printed next to the paper's values.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "chips/module_db.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vppstudy;
-  auto opt = bench::options_from_env();
+  const auto opt = bench::options_from_args(argc, argv);
   bench::print_scale_banner("Table 3: module characteristics", opt);
 
   std::printf(
@@ -16,29 +17,33 @@ int main() {
       "Model", "HC@2.5", "BER@2.5", "VPmin", "HC@min", "BER@min",
       "paperHC25", "paperBER25", "paperHCmn", "paperBERmn");
 
-  auto cfg = bench::sweep_config(opt);
-  std::size_t done = 0;
-  for (const auto& profile : chips::all_profiles()) {
-    if (done++ >= opt.max_modules) break;
-    cfg.vpp_levels = {2.5, profile.vppmin_v};
-    core::Study study(profile);
-    auto sweep = study.rowhammer_sweep(cfg);
-    if (!sweep) {
-      std::printf("%-4s failed: %s\n", profile.name.c_str(),
-                  sweep.error().message.c_str());
-      continue;
-    }
-    const std::size_t last = sweep->vpp_levels.size() - 1;
-    std::printf(
-        "%-4s %-26s | %9llu %9.2e | %5.1f | %9llu %9.2e | %9.0f %9.2e | "
-        "%9.0f %9.2e\n",
-        profile.name.c_str(), profile.dimm_model.c_str(),
-        static_cast<unsigned long long>(sweep->min_hc_first_at(0)),
-        sweep->max_ber_at(0), profile.vppmin_v,
-        static_cast<unsigned long long>(sweep->min_hc_first_at(last)),
-        sweep->max_ber_at(last), profile.hc_first_nominal,
-        profile.ber_nominal, profile.hc_first_vppmin, profile.ber_vppmin);
-  }
+  const auto cfg = bench::sweep_config(opt);
+  // Each job measures one module on its own {2.5V, VPPmin} grid and formats
+  // its table row; rows print in module order regardless of scheduling.
+  const auto lines = bench::parallel_module_map(
+      opt,
+      [&cfg](const dram::ModuleProfile& profile)
+          -> common::Expected<std::string> {
+        auto module_cfg = cfg;
+        module_cfg.vpp_levels = {2.5, profile.vppmin_v};
+        core::Study study(profile);
+        auto sweep = study.rowhammer_sweep(module_cfg);
+        if (!sweep) return sweep.error();
+        const std::size_t last = sweep->vpp_levels.size() - 1;
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "%-4s %-26s | %9llu %9.2e | %5.1f | %9llu %9.2e | %9.0f %9.2e | "
+            "%9.0f %9.2e",
+            profile.name.c_str(), profile.dimm_model.c_str(),
+            static_cast<unsigned long long>(sweep->min_hc_first_at(0)),
+            sweep->max_ber_at(0), profile.vppmin_v,
+            static_cast<unsigned long long>(sweep->min_hc_first_at(last)),
+            sweep->max_ber_at(last), profile.hc_first_nominal,
+            profile.ber_nominal, profile.hc_first_vppmin, profile.ber_vppmin);
+        return std::string(line);
+      });
+  for (const auto& line : lines) std::printf("%s\n", line.c_str());
   std::printf(
       "\nNote: measured columns come from the simulated-device harness on a "
       "row sample;\npaper columns are the Table 3 anchors the device model "

@@ -25,6 +25,8 @@ void CsvWriter::begin_row() {
   row_open_ = true;
 }
 
+void CsvWriter::end_row() { flush_current(); }
+
 void CsvWriter::flush_current() {
   if (row_open_) {
     rows_.push_back(std::move(current_));

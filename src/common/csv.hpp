@@ -17,6 +17,10 @@ class CsvWriter {
 
   /// Begin a new row. Fields are appended with `add`.
   void begin_row();
+  /// Complete the in-progress row (begin_row also does this implicitly).
+  /// Writers that hand the document to row_count()-based consumers must end
+  /// their last row explicitly.
+  void end_row();
   void add(std::string_view field);
   void add(double value);
   void add(std::uint64_t value);

@@ -20,6 +20,8 @@ struct Error {
 template <typename T>
 class Expected {
  public:
+  using value_type = T;
+
   // Implicit construction from both value and error keeps call sites terse:
   //   return Error{"vpp below vppmin"};
   //   return some_value;

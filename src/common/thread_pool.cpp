@@ -1,0 +1,95 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vppstudy::common {
+
+namespace {
+
+// Identifies the pool (and deque) a worker thread belongs to, so nested
+// submit() calls from inside a task land on the submitter's own deque (the
+// back, LIFO) instead of round-robin. Plain thread-locals: a thread only ever
+// belongs to one pool.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  deques_.resize(workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+unsigned ThreadPool::resolve_jobs(int jobs) noexcept {
+  if (jobs > 0) return static_cast<unsigned>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (t_pool == this) {
+      deques_[t_worker].push_back(std::move(task));
+    } else {
+      deques_[next_deque_].push_back(std::move(task));
+      next_deque_ = (next_deque_ + 1) % deques_.size();
+    }
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out) {
+  if (!deques_[self].empty()) {
+    out = std::move(deques_[self].back());
+    deques_[self].pop_back();
+    return true;
+  }
+  std::size_t victim = self;
+  std::size_t victim_size = 0;
+  for (std::size_t i = 0; i < deques_.size(); ++i) {
+    if (i != self && deques_[i].size() > victim_size) {
+      victim = i;
+      victim_size = deques_[i].size();
+    }
+  }
+  if (victim_size == 0) return false;
+  out = std::move(deques_[victim].front());
+  deques_[victim].pop_front();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_pool = this;
+  t_worker = self;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] {
+        if (stop_) return true;
+        return std::any_of(deques_.begin(), deques_.end(),
+                           [](const auto& d) { return !d.empty(); });
+      });
+      if (!pop_or_steal(self, task)) {
+        if (stop_) return;
+        continue;
+      }
+    }
+    task();
+  }
+}
+
+}  // namespace vppstudy::common

@@ -1,0 +1,88 @@
+// A small work-stealing thread pool for the sweep engine.
+//
+// Each worker owns a deque: it pushes and pops work at the back (LIFO, cache
+// friendly for nested submissions) and takes from the front of the fullest
+// other deque when its own runs dry (FIFO stealing, oldest-first). External
+// submissions are distributed round-robin across the worker deques. Sweep
+// jobs are coarse (a whole (module, VPP level) campaign each), so a single
+// pool mutex is cheap and keeps the scheduler trivially race-free.
+//
+// Determinism contract: the pool schedules *when* tasks run, never *what*
+// they compute. Sweep jobs derive every random quantity from their own
+// counter-based stream (see core/parallel_study), so any interleaving --
+// including the 0-worker inline fallback -- produces identical results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vppstudy::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 workers is a valid degenerate pool: submit()
+  /// runs the task inline on the calling thread (serial --jobs runs and
+  /// debugging without scheduler noise).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for the inline pool).
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Schedule `fn` and return a future for its result. Exceptions thrown by
+  /// the task are captured and rethrown from future::get().
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F&>> submit(F&& fn) {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // inline fallback; the future still carries exceptions
+      return future;
+    }
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Resolve a user-facing --jobs value: 0 or negative means "all hardware
+  /// threads" (with a floor of 1 when the runtime cannot tell).
+  [[nodiscard]] static unsigned resolve_jobs(int jobs) noexcept;
+
+  /// Map a --jobs value to a worker count for this pool: --jobs 1 runs
+  /// inline (0 workers, no scheduler in the loop), anything else resolves
+  /// through resolve_jobs.
+  [[nodiscard]] static unsigned workers_for_jobs(int jobs) noexcept {
+    return jobs == 1 ? 0 : resolve_jobs(jobs);
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  /// Pop from own deque's back, else steal from the fullest other deque's
+  /// front. Caller must hold mutex_. Returns false when all deques are empty.
+  [[nodiscard]] bool pop_or_steal(std::size_t self,
+                                  std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::deque<std::function<void()>>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::size_t next_deque_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vppstudy::common

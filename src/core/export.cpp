@@ -19,6 +19,7 @@ common::CsvWriter to_csv(const ModuleSweepResult& sweep) {
       csv.add(row.ber[l]);
     }
   }
+  csv.end_row();
   return csv;
 }
 
@@ -30,6 +31,7 @@ common::CsvWriter to_csv(const TrcdSweepResult& sweep) {
     csv.add(sweep.vpp_levels[l]);
     csv.add(sweep.trcd_min_ns[l]);
   }
+  csv.end_row();
   return csv;
 }
 
@@ -45,6 +47,7 @@ common::CsvWriter to_csv(const RetentionSweepResult& sweep) {
       csv.add(sweep.mean_ber[l][w]);
     }
   }
+  csv.end_row();
   return csv;
 }
 

@@ -1,0 +1,327 @@
+#include "core/parallel_study.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "harness/retention_test.hpp"
+#include "harness/rowhammer_test.hpp"
+#include "harness/trcd_test.hpp"
+#include "harness/wcdp.hpp"
+#include "softmc/session.hpp"
+
+namespace vppstudy::core {
+
+using common::Error;
+
+std::uint64_t vpp_millivolts(double vpp_v) noexcept {
+  return static_cast<std::uint64_t>(std::llround(vpp_v * 1000.0));
+}
+
+std::uint64_t job_stream_seed(std::uint64_t seed, std::uint64_t module_seed,
+                              std::uint64_t vpp_mv, JobPhase phase) noexcept {
+  return common::hash_key(
+      {seed, module_seed, vpp_mv, static_cast<std::uint64_t>(phase)});
+}
+
+namespace {
+
+unsigned workers_for(int jobs) {
+  return common::ThreadPool::workers_for_jobs(jobs);
+}
+
+/// Configure a fresh rig session the way every characterization job starts:
+/// refresh disabled (which also neutralizes TRR, section 4.1), temperature
+/// set, VPP programmed, and the job's private noise stream keyed in.
+common::Status setup_job_session(softmc::Session& session, double temp_c,
+                                 double vpp_v, std::uint64_t base_seed,
+                                 JobPhase phase) {
+  session.set_auto_refresh(false);
+  if (auto st = session.set_temperature(temp_c); !st.ok()) return st;
+  if (auto st = session.set_vpp(vpp_v); !st.ok()) return st;
+  session.set_noise_stream(job_stream_seed(
+      base_seed, session.module().profile().seed, vpp_millivolts(vpp_v),
+      phase));
+  return common::Status::ok_status();
+}
+
+/// Output of a per-module WCDP job (phase A of the RowHammer campaign).
+struct HammerPrep {
+  std::vector<std::uint32_t> rows;
+  std::vector<dram::DataPattern> wcdp;
+};
+
+common::Expected<HammerPrep> wcdp_job(const dram::ModuleProfile& profile,
+                                      const SweepConfig& sweep,
+                                      std::uint64_t base_seed,
+                                      double nominal_vpp) {
+  softmc::Session session(profile);
+  if (auto st = setup_job_session(session, common::kHammerTestTempC,
+                                  nominal_vpp, base_seed, JobPhase::kWcdp);
+      !st.ok()) {
+    return st.error();
+  }
+  HammerPrep prep;
+  prep.rows = sweep.sampling.sample(session.module().mapping());
+  if (prep.rows.empty()) return Error{"row sampling produced no rows"};
+  if (sweep.determine_wcdp) {
+    auto wcdp =
+        harness::find_wcdp_hammer_rows(session, sweep.sampling.bank,
+                                       prep.rows);
+    if (!wcdp) return Error{wcdp.error().message};
+    prep.wcdp = std::move(*wcdp);
+  } else {
+    prep.wcdp.assign(prep.rows.size(), dram::DataPattern::kCheckerAA);
+  }
+  return prep;
+}
+
+/// Phase B of the RowHammer campaign: one (module, VPP level) cell.
+common::Expected<std::vector<harness::RowHammerRowResult>> hammer_level_job(
+    const dram::ModuleProfile& profile, const SweepConfig& sweep,
+    std::uint64_t base_seed, double vpp_v, const HammerPrep& prep) {
+  softmc::Session session(profile);
+  if (auto st = setup_job_session(session, common::kHammerTestTempC, vpp_v,
+                                  base_seed, JobPhase::kRowHammer);
+      !st.ok()) {
+    return st.error();
+  }
+  harness::RowHammerTest test(session, sweep.hammer);
+  auto rows = test.test_rows(sweep.sampling.bank, prep.rows, prep.wcdp);
+  if (!rows) return Error{rows.error().message};
+  return std::move(*rows);
+}
+
+/// One (module, VPP level) cell of the tRCD campaign: module tRCDmin is the
+/// max across sampled rows (Table 3 semantics).
+common::Expected<double> trcd_level_job(const dram::ModuleProfile& profile,
+                                        const SweepConfig& sweep,
+                                        std::uint64_t base_seed,
+                                        double vpp_v) {
+  softmc::Session session(profile);
+  if (auto st = setup_job_session(session, common::kHammerTestTempC, vpp_v,
+                                  base_seed, JobPhase::kTrcd);
+      !st.ok()) {
+    return st.error();
+  }
+  const auto rows = sweep.sampling.sample(session.module().mapping());
+  if (rows.empty()) return Error{"row sampling produced no rows"};
+  harness::TrcdTest test(session, sweep.trcd);
+  auto results =
+      test.test_rows(sweep.sampling.bank, rows, dram::DataPattern::kCheckerAA);
+  if (!results) return Error{results.error().message};
+  double module_trcd = 0.0;
+  for (const auto& r : *results) {
+    module_trcd = std::max(module_trcd, r.trcd_min_ns);
+  }
+  return module_trcd;
+}
+
+/// One (module, VPP level) cell of the retention campaign.
+struct RetentionLevel {
+  std::vector<double> trefw_ms;
+  std::vector<double> mean_ber;        ///< per window, averaged across rows
+  std::vector<double> ref_bers;        ///< per row, at the reference window
+};
+
+common::Expected<RetentionLevel> retention_level_job(
+    const dram::ModuleProfile& profile, const SweepConfig& sweep,
+    std::uint64_t base_seed, double vpp_v, double reference_trefw_ms) {
+  // Retention tests run at 80C (section 4.1).
+  softmc::Session session(profile);
+  if (auto st = setup_job_session(session, common::kRetentionTestTempC, vpp_v,
+                                  base_seed, JobPhase::kRetention);
+      !st.ok()) {
+    return st.error();
+  }
+  const auto rows = sweep.sampling.sample(session.module().mapping());
+  if (rows.empty()) return Error{"row sampling produced no rows"};
+  harness::RetentionTest test(session, sweep.retention);
+  auto results =
+      test.test_rows(sweep.sampling.bank, rows, dram::DataPattern::kCheckerAA);
+  if (!results) return Error{results.error().message};
+
+  RetentionLevel out;
+  std::vector<double> sums;
+  for (const auto& rr : *results) {
+    if (out.trefw_ms.empty()) out.trefw_ms = rr.trefw_ms;
+    if (sums.empty()) sums.assign(rr.ber.size(), 0.0);
+    for (std::size_t w = 0; w < rr.ber.size(); ++w) sums[w] += rr.ber[w];
+    // Per-row BER at the reference window (closest probed window).
+    std::size_t ref = 0;
+    for (std::size_t w = 0; w < rr.trefw_ms.size(); ++w) {
+      if (std::abs(rr.trefw_ms[w] - reference_trefw_ms) <
+          std::abs(rr.trefw_ms[ref] - reference_trefw_ms)) {
+        ref = w;
+      }
+    }
+    out.ref_bers.push_back(rr.ber[ref]);
+  }
+  for (double& s : sums) s /= static_cast<double>(results->size());
+  out.mean_ber = std::move(sums);
+  return out;
+}
+
+}  // namespace
+
+ParallelStudy::ParallelStudy(StudyConfig config) : config_(std::move(config)) {}
+
+common::Expected<std::vector<ModuleSweepResult>>
+ParallelStudy::rowhammer_sweeps() {
+  common::ThreadPool pool(workers_for(config_.jobs));
+  const SweepConfig& sweep = config_.sweep;
+  const std::uint64_t seed = config_.seed;
+
+  struct ModulePlan {
+    std::vector<double> levels;
+    std::future<common::Expected<HammerPrep>> prep;
+    std::shared_ptr<const HammerPrep> ready;
+    std::vector<
+        std::future<common::Expected<std::vector<harness::RowHammerRowResult>>>>
+        per_level;
+  };
+  std::vector<ModulePlan> plans(config_.modules.size());
+
+  // Phase A: one WCDP-determination job per module, all in flight at once.
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
+    if (plans[m].levels.empty()) {
+      return Error{"no usable VPP levels for module " + profile.name};
+    }
+    const double nominal = plans[m].levels.front();
+    plans[m].prep = pool.submit([&profile, &sweep, seed, nominal] {
+      return wcdp_job(profile, sweep, seed, nominal);
+    });
+  }
+
+  // Phase B: as each module's prep lands, fan out its (module, level) cells.
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    auto prep = plans[m].prep.get();
+    if (!prep) return prep.error();
+    plans[m].ready = std::make_shared<const HammerPrep>(std::move(*prep));
+    for (const double vpp : plans[m].levels) {
+      plans[m].per_level.push_back(
+          pool.submit([&profile, &sweep, seed, vpp, prep = plans[m].ready] {
+            return hammer_level_job(profile, sweep, seed, vpp, *prep);
+          }));
+    }
+  }
+
+  // Assembly in (module, level) order: independent of completion order.
+  std::vector<ModuleSweepResult> sweeps;
+  sweeps.reserve(config_.modules.size());
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    ModuleSweepResult result;
+    result.module_name = profile.name;
+    result.mfr = profile.mfr;
+    result.vppmin_v = profile.vppmin_v;
+    result.vpp_levels = plans[m].levels;
+    result.rows.resize(plans[m].ready->rows.size());
+    for (std::size_t i = 0; i < plans[m].ready->rows.size(); ++i) {
+      result.rows[i].row = plans[m].ready->rows[i];
+      result.rows[i].wcdp = plans[m].ready->wcdp[i];
+    }
+    for (auto& future : plans[m].per_level) {
+      auto level = future.get();
+      if (!level) return level.error();
+      for (std::size_t i = 0; i < level->size(); ++i) {
+        result.rows[i].hc_first.push_back((*level)[i].hc_first);
+        result.rows[i].ber.push_back((*level)[i].ber);
+      }
+    }
+    sweeps.push_back(std::move(result));
+  }
+  return sweeps;
+}
+
+common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
+  common::ThreadPool pool(workers_for(config_.jobs));
+  const SweepConfig& sweep = config_.sweep;
+  const std::uint64_t seed = config_.seed;
+
+  std::vector<std::vector<std::future<common::Expected<double>>>> cells(
+      config_.modules.size());
+  std::vector<std::vector<double>> levels(config_.modules.size());
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    levels[m] = usable_vpp_levels(sweep, profile.vppmin_v);
+    if (levels[m].empty()) {
+      return Error{"no usable VPP levels for module " + profile.name};
+    }
+    for (const double vpp : levels[m]) {
+      cells[m].push_back(pool.submit([&profile, &sweep, seed, vpp] {
+        return trcd_level_job(profile, sweep, seed, vpp);
+      }));
+    }
+  }
+
+  std::vector<TrcdSweepResult> sweeps;
+  sweeps.reserve(config_.modules.size());
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    TrcdSweepResult result;
+    result.module_name = config_.modules[m].name;
+    result.vppmin_v = config_.modules[m].vppmin_v;
+    result.vpp_levels = levels[m];
+    for (auto& future : cells[m]) {
+      auto trcd = future.get();
+      if (!trcd) return trcd.error();
+      result.trcd_min_ns.push_back(*trcd);
+    }
+    sweeps.push_back(std::move(result));
+  }
+  return sweeps;
+}
+
+common::Expected<std::vector<RetentionSweepResult>>
+ParallelStudy::retention_sweeps() {
+  common::ThreadPool pool(workers_for(config_.jobs));
+  const SweepConfig& sweep = config_.sweep;
+  const std::uint64_t seed = config_.seed;
+
+  std::vector<std::vector<std::future<common::Expected<RetentionLevel>>>>
+      cells(config_.modules.size());
+  std::vector<std::vector<double>> levels(config_.modules.size());
+  const double reference_trefw_ms = RetentionSweepResult{}.reference_trefw_ms;
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    levels[m] = usable_vpp_levels(sweep, profile.vppmin_v);
+    if (levels[m].empty()) {
+      return Error{"no usable VPP levels for module " + profile.name};
+    }
+    for (const double vpp : levels[m]) {
+      cells[m].push_back(
+          pool.submit([&profile, &sweep, seed, vpp, reference_trefw_ms] {
+            return retention_level_job(profile, sweep, seed, vpp,
+                                       reference_trefw_ms);
+          }));
+    }
+  }
+
+  std::vector<RetentionSweepResult> sweeps;
+  sweeps.reserve(config_.modules.size());
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    RetentionSweepResult result;
+    result.module_name = config_.modules[m].name;
+    result.mfr = config_.modules[m].mfr;
+    result.vpp_levels = levels[m];
+    for (auto& future : cells[m]) {
+      auto level = future.get();
+      if (!level) return level.error();
+      if (result.trefw_ms.empty()) result.trefw_ms = level->trefw_ms;
+      result.mean_ber.push_back(std::move(level->mean_ber));
+      result.row_ber_at_reference.push_back(std::move(level->ref_bers));
+    }
+    sweeps.push_back(std::move(result));
+  }
+  return sweeps;
+}
+
+}  // namespace vppstudy::core

@@ -1,0 +1,82 @@
+// The parallel deterministic sweep engine.
+//
+// A characterization campaign (Figs. 3-11) is an embarrassingly parallel grid
+// of (module, VPP level) cells: every cell owns its own rig session, so cells
+// never share device state. This layer decomposes a StudyConfig into those
+// per-cell jobs, runs them on a work-stealing pool (common/thread_pool), and
+// reassembles the per-module sweep results in a fixed order.
+//
+// Determinism: each job derives a private noise stream from
+//   hash_key({seed, module seed, VPP in millivolts, phase tag})
+// and re-keys its session with it, so a job's output is a pure function of
+// its key -- never of scheduling. `jobs = 1` and `jobs = N` produce
+// bit-identical results (and byte-identical CSV exports).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "core/study.hpp"
+#include "dram/profile.hpp"
+
+namespace vppstudy::core {
+
+/// A full multi-module campaign: what to sweep, on which modules, with which
+/// base seed for the per-job noise streams, and how many workers.
+struct StudyConfig {
+  SweepConfig sweep;
+  std::vector<dram::ModuleProfile> modules;
+  /// Base seed of the per-job noise streams. Campaigns with different seeds
+  /// see independent measurement noise; the device physics (which cells are
+  /// weak, where flips land) is keyed by each module's own profile seed and
+  /// does not change.
+  std::uint64_t seed = 0;
+  /// Worker threads: 1 runs jobs inline on the calling thread (serial),
+  /// >= 2 spawns that many workers, 0 or negative uses all hardware threads.
+  int jobs = 1;
+};
+
+/// The experiment family a job belongs to; part of its stream key so the
+/// same (module, VPP) cell draws independent noise in different sweeps.
+enum class JobPhase : std::uint64_t {
+  kWcdp = 1,
+  kRowHammer = 2,
+  kTrcd = 3,
+  kRetention = 4,
+};
+
+/// VPP level quantized to the millivolt grid of the rig's supply (stable
+/// against floating-point drift in level arithmetic).
+[[nodiscard]] std::uint64_t vpp_millivolts(double vpp_v) noexcept;
+
+/// The deterministic per-job stream seed (see file header).
+[[nodiscard]] std::uint64_t job_stream_seed(std::uint64_t seed,
+                                            std::uint64_t module_seed,
+                                            std::uint64_t vpp_mv,
+                                            JobPhase phase) noexcept;
+
+class ParallelStudy {
+ public:
+  explicit ParallelStudy(StudyConfig config);
+
+  [[nodiscard]] const StudyConfig& config() const noexcept { return config_; }
+
+  /// Alg. 1 over the whole grid; one ModuleSweepResult per module, in
+  /// config order. Fails on the first failing job (module order, then level
+  /// order -- deterministic regardless of scheduling).
+  [[nodiscard]] common::Expected<std::vector<ModuleSweepResult>>
+  rowhammer_sweeps();
+
+  /// Alg. 2 over the grid (Fig. 7).
+  [[nodiscard]] common::Expected<std::vector<TrcdSweepResult>> trcd_sweeps();
+
+  /// Alg. 3 over the grid (Fig. 10).
+  [[nodiscard]] common::Expected<std::vector<RetentionSweepResult>>
+  retention_sweeps();
+
+ private:
+  StudyConfig config_;
+};
+
+}  // namespace vppstudy::core

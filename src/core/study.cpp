@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/units.hpp"
-#include "harness/wcdp.hpp"
+#include "core/parallel_study.hpp"
 
 namespace vppstudy::core {
 
@@ -95,10 +96,8 @@ Study::Study(const dram::ModuleProfile& profile) : session_(profile) {
   (void)session_.set_temperature(common::kHammerTestTempC);
 }
 
-namespace {
-
-std::vector<double> usable_levels(const SweepConfig& config,
-                                  double vppmin_v) {
+std::vector<double> usable_vpp_levels(const SweepConfig& config,
+                                      double vppmin_v) {
   std::vector<double> out;
   for (double v : config.vpp_levels) {
     if (v >= vppmin_v - 1e-9) out.push_back(v);
@@ -106,127 +105,44 @@ std::vector<double> usable_levels(const SweepConfig& config,
   return out;
 }
 
+namespace {
+
+// The serial facade delegates to the sweep engine with one module and inline
+// job execution: Study results are therefore bit-identical to what
+// ParallelStudy produces for the same module at any --jobs count.
+StudyConfig single_module_config(const dram::ModuleProfile& profile,
+                                 const SweepConfig& sweep) {
+  StudyConfig config;
+  config.sweep = sweep;
+  config.modules = {profile};
+  config.jobs = 1;
+  return config;
+}
+
+template <typename T>
+common::Expected<T> first_or_error(common::Expected<std::vector<T>> sweeps) {
+  if (!sweeps) return sweeps.error();
+  if (sweeps->empty()) return Error{"sweep produced no result"};
+  return std::move(sweeps->front());
+}
+
 }  // namespace
 
 common::Expected<ModuleSweepResult> Study::rowhammer_sweep(
     const SweepConfig& config) {
-  ModuleSweepResult result;
-  result.module_name = profile().name;
-  result.mfr = profile().mfr;
-  result.vppmin_v = profile().vppmin_v;
-  result.vpp_levels = usable_levels(config, profile().vppmin_v);
-  if (result.vpp_levels.empty()) return Error{"no usable VPP levels"};
-
-  if (auto st = session_.set_temperature(common::kHammerTestTempC); !st.ok())
-    return st.error();
-
-  const auto rows = config.sampling.sample(session_.module().mapping());
-  if (rows.empty()) return Error{"row sampling produced no rows"};
-
-  // WCDP per row, determined once at nominal VPP (section 4.1).
-  if (auto st = session_.set_vpp(result.vpp_levels.front()); !st.ok())
-    return st.error();
-  std::vector<dram::DataPattern> wcdp(rows.size(),
-                                      dram::DataPattern::kCheckerAA);
-  if (config.determine_wcdp) {
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      auto p = harness::find_wcdp_hammer(session_, config.sampling.bank,
-                                         rows[i]);
-      if (!p) return Error{p.error().message};
-      wcdp[i] = *p;
-    }
-  }
-
-  result.rows.resize(rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    result.rows[i].row = rows[i];
-    result.rows[i].wcdp = wcdp[i];
-  }
-
-  harness::RowHammerTest test(session_, config.hammer);
-  for (const double vpp : result.vpp_levels) {
-    if (auto st = session_.set_vpp(vpp); !st.ok()) return st.error();
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      auto rr = test.test_row(config.sampling.bank, rows[i], wcdp[i]);
-      if (!rr) return Error{rr.error().message};
-      result.rows[i].hc_first.push_back(rr->hc_first);
-      result.rows[i].ber.push_back(rr->ber);
-    }
-  }
-  return result;
+  ParallelStudy engine(single_module_config(profile(), config));
+  return first_or_error(engine.rowhammer_sweeps());
 }
 
 common::Expected<TrcdSweepResult> Study::trcd_sweep(const SweepConfig& config) {
-  TrcdSweepResult result;
-  result.module_name = profile().name;
-  result.vppmin_v = profile().vppmin_v;
-  result.vpp_levels = usable_levels(config, profile().vppmin_v);
-  if (result.vpp_levels.empty()) return Error{"no usable VPP levels"};
-
-  if (auto st = session_.set_temperature(common::kHammerTestTempC); !st.ok())
-    return st.error();
-
-  const auto rows = config.sampling.sample(session_.module().mapping());
-  if (rows.empty()) return Error{"row sampling produced no rows"};
-
-  harness::TrcdTest test(session_, config.trcd);
-  for (const double vpp : result.vpp_levels) {
-    if (auto st = session_.set_vpp(vpp); !st.ok()) return st.error();
-    double module_trcd = 0.0;
-    for (const std::uint32_t row : rows) {
-      auto rr = test.test_row(config.sampling.bank, row,
-                              dram::DataPattern::kCheckerAA);
-      if (!rr) return Error{rr.error().message};
-      module_trcd = std::max(module_trcd, rr->trcd_min_ns);
-    }
-    result.trcd_min_ns.push_back(module_trcd);
-  }
-  return result;
+  ParallelStudy engine(single_module_config(profile(), config));
+  return first_or_error(engine.trcd_sweeps());
 }
 
 common::Expected<RetentionSweepResult> Study::retention_sweep(
     const SweepConfig& config) {
-  RetentionSweepResult result;
-  result.module_name = profile().name;
-  result.mfr = profile().mfr;
-  result.vpp_levels = usable_levels(config, profile().vppmin_v);
-  if (result.vpp_levels.empty()) return Error{"no usable VPP levels"};
-
-  // Retention tests run at 80C (section 4.1).
-  if (auto st = session_.set_temperature(common::kRetentionTestTempC);
-      !st.ok())
-    return st.error();
-
-  const auto rows = config.sampling.sample(session_.module().mapping());
-  if (rows.empty()) return Error{"row sampling produced no rows"};
-
-  harness::RetentionTest test(session_, config.retention);
-  for (const double vpp : result.vpp_levels) {
-    if (auto st = session_.set_vpp(vpp); !st.ok()) return st.error();
-    std::vector<double> sums;
-    std::vector<double> ref_bers;
-    for (const std::uint32_t row : rows) {
-      auto rr = test.test_row(config.sampling.bank, row,
-                              dram::DataPattern::kCheckerAA);
-      if (!rr) return Error{rr.error().message};
-      if (result.trefw_ms.empty()) result.trefw_ms = rr->trefw_ms;
-      if (sums.empty()) sums.assign(rr->ber.size(), 0.0);
-      for (std::size_t w = 0; w < rr->ber.size(); ++w) sums[w] += rr->ber[w];
-      // Per-row BER at the reference window (closest probed window).
-      std::size_t ref = 0;
-      for (std::size_t w = 0; w < rr->trefw_ms.size(); ++w) {
-        if (std::abs(rr->trefw_ms[w] - result.reference_trefw_ms) <
-            std::abs(rr->trefw_ms[ref] - result.reference_trefw_ms)) {
-          ref = w;
-        }
-      }
-      ref_bers.push_back(rr->ber[ref]);
-    }
-    for (double& s : sums) s /= static_cast<double>(rows.size());
-    result.mean_ber.push_back(std::move(sums));
-    result.row_ber_at_reference.push_back(std::move(ref_bers));
-  }
-  return result;
+  ParallelStudy engine(single_module_config(profile(), config));
+  return first_or_error(engine.retention_sweeps());
 }
 
 Observations aggregate_observations(

@@ -41,6 +41,11 @@ struct SweepConfig {
   [[nodiscard]] static SweepConfig quick();
 };
 
+/// The subset of `config.vpp_levels` a module can actually run: levels below
+/// the module's VPPmin are dropped (the module stops responding, section 7).
+[[nodiscard]] std::vector<double> usable_vpp_levels(const SweepConfig& config,
+                                                    double vppmin_v);
+
 /// One row's metric across the tested VPP levels.
 struct RowSeries {
   std::uint32_t row = 0;

@@ -205,7 +205,7 @@ void Module::sense_and_restore(std::uint32_t bank, BankState& bs,
       double hc_eff = hc;
       if (measurement_noise_sigma_ > 0.0) {
         hc_eff *= 1.0 + measurement_noise_sigma_ *
-                            common::normal_at({profile_.seed,
+                            common::normal_at({profile_.seed ^ noise_stream_,
                                                ++hammer_noise_counter_,
                                                0xc0ffeeULL});
       }
@@ -309,7 +309,8 @@ common::Expected<std::array<std::uint8_t, kBytesPerColumn>> Module::read(
   const double trcd_ns = now_ns - bs.activate_time_ns;
   const auto rp = physics_.row_params(bank, phys);
   const double jitter =
-      0.04 * common::normal_at({profile_.seed, ++read_noise_counter_, 0x7eadULL});
+      0.04 * common::normal_at({profile_.seed ^ noise_stream_,
+                                ++read_noise_counter_, 0x7eadULL});
   const double p_fail =
       physics_.trcd_fail_probability(rp, trcd_ns + jitter, vpp_v_);
   if (p_fail > kNegligibleCellProbability) {

@@ -86,6 +86,17 @@ class Module {
     measurement_noise_sigma_ = relative_sigma;
   }
 
+  /// Select an independent stream for the *sequential* noise draws (read
+  /// jitter, hammer measurement noise) and restart their counters. Stream 0
+  /// reproduces the default sequence. The parallel sweep engine derives one
+  /// stream per (module, VPP level) job so that a job's results are a pure
+  /// function of its key, independent of scheduling (core/parallel_study).
+  void set_noise_stream(std::uint64_t stream) noexcept {
+    noise_stream_ = stream;
+    read_noise_counter_ = 0;
+    hammer_noise_counter_ = 0;
+  }
+
   // --- DDR4 command interface (now_ns: host-provided command time) -----------
   [[nodiscard]] common::Status activate(std::uint32_t bank,
                                         std::uint32_t logical_row,
@@ -168,6 +179,7 @@ class Module {
   double vpp_v_ = common::kNominalVppV;
   double temp_c_ = common::kHammerTestTempC;
   std::uint32_t refresh_cursor_ = 0;
+  std::uint64_t noise_stream_ = 0;  ///< XORed into the seed of noise draws
   std::uint64_t read_noise_counter_ = 0;
   std::uint64_t hammer_noise_counter_ = 0;
   double measurement_noise_sigma_ = 0.0;

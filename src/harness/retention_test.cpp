@@ -61,4 +61,17 @@ common::Expected<RetentionWordCensus> RetentionTest::census_at(
   return rc;
 }
 
+common::Expected<std::vector<RetentionRowResult>> RetentionTest::test_rows(
+    std::uint32_t bank, std::span<const std::uint32_t> rows,
+    dram::DataPattern pattern) {
+  std::vector<RetentionRowResult> out;
+  out.reserve(rows.size());
+  for (const std::uint32_t row : rows) {
+    auto rr = test_row(bank, row, pattern);
+    if (!rr) return Error{rr.error().message};
+    out.push_back(std::move(*rr));
+  }
+  return out;
+}
+
 }  // namespace vppstudy::harness

@@ -86,4 +86,20 @@ common::Expected<RowHammerRowResult> RowHammerTest::test_row(
   return result;
 }
 
+common::Expected<std::vector<RowHammerRowResult>> RowHammerTest::test_rows(
+    std::uint32_t bank, std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp) {
+  if (rows.size() != wcdp.size()) {
+    return Error{"rows/wcdp size mismatch"};
+  }
+  std::vector<RowHammerRowResult> out;
+  out.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto rr = test_row(bank, rows[i], wcdp[i]);
+    if (!rr) return Error{rr.error().message};
+    out.push_back(*rr);
+  }
+  return out;
+}
+
 }  // namespace vppstudy::harness

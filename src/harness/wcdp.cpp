@@ -54,6 +54,19 @@ common::Expected<DataPattern> find_wcdp_hammer(softmc::Session& session,
   return DataPattern::kCheckerAA;
 }
 
+common::Expected<std::vector<DataPattern>> find_wcdp_hammer_rows(
+    softmc::Session& session, std::uint32_t bank,
+    std::span<const std::uint32_t> rows, std::uint64_t probe_hc) {
+  std::vector<DataPattern> out;
+  out.reserve(rows.size());
+  for (const std::uint32_t row : rows) {
+    auto p = find_wcdp_hammer(session, bank, row, probe_hc);
+    if (!p) return Error{p.error().message};
+    out.push_back(*p);
+  }
+  return out;
+}
+
 common::Expected<DataPattern> find_wcdp_retention(softmc::Session& session,
                                                   std::uint32_t bank,
                                                   std::uint32_t row,

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/expected.hpp"
 #include "dram/data_pattern.hpp"
@@ -19,6 +21,14 @@ namespace vppstudy::harness {
 [[nodiscard]] common::Expected<dram::DataPattern> find_wcdp_hammer(
     softmc::Session& session, std::uint32_t bank, std::uint32_t row,
     std::uint64_t probe_hc = 300'000);
+
+/// Batch form of find_wcdp_hammer: the WCDP-determination unit of a
+/// per-module sweep job. The session must already sit at nominal VPP
+/// (section 4.1 determines WCDPs there and reuses them at reduced levels).
+[[nodiscard]] common::Expected<std::vector<dram::DataPattern>>
+find_wcdp_hammer_rows(softmc::Session& session, std::uint32_t bank,
+                      std::span<const std::uint32_t> rows,
+                      std::uint64_t probe_hc = 300'000);
 
 /// Retention WCDP: the pattern that flips at the smallest refresh window,
 /// tie-broken by BER at the largest window (section 4.4). Probed at a fixed

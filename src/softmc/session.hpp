@@ -51,6 +51,12 @@ class Session {
   /// Refresh management: the characterization tests disable refresh, which
   /// is also what neutralizes on-die TRR (section 4.1).
   void set_auto_refresh(bool enabled) noexcept { auto_refresh_ = enabled; }
+  /// Re-key the device's sequential measurement-noise draws. The parallel
+  /// sweep engine calls this once per (module, VPP level) job so every job
+  /// owns an independent, deterministic noise stream (dram::Module docs).
+  void set_noise_stream(std::uint64_t stream) noexcept {
+    module_.set_noise_stream(stream);
+  }
 
   // --- Program execution ------------------------------------------------------
   [[nodiscard]] ExecutionResult execute(const Program& program);

@@ -1,0 +1,108 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vppstudy::common {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasksAcrossWorkers) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([i, &counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(sum, kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  const auto caller = std::this_thread::get_id();
+  auto future = pool.submit([caller] {
+    return std::this_thread::get_id() == caller;
+  });
+  // The inline pool must have finished the task before submit returned.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get());
+}
+
+TEST(ThreadPool, ZeroWorkersStillPropagatesExceptions) {
+  ThreadPool pool(0);
+  auto future = pool.submit([]() -> int { throw std::logic_error("inline"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, StealsWorkSubmittedFromWithinTasks) {
+  // One producer task fans nested tasks out; idle workers must steal them.
+  ThreadPool pool(4);
+  constexpr int kNested = 64;
+  std::vector<std::future<int>> nested;
+  nested.reserve(kNested);
+  auto producer = pool.submit([&pool, &nested] {
+    for (int i = 0; i < kNested; ++i) {
+      nested.push_back(pool.submit([i] { return i + 1; }));
+    }
+    return 0;
+  });
+  producer.get();
+  int sum = 0;
+  for (auto& f : nested) sum += f.get();
+  EXPECT_EQ(sum, kNested * (kNested + 1) / 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      auto future = pool.submit([&done] {
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+      (void)future;  // futures dropped on purpose: destructor must still run
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ResolveJobsMapsUserFacingValues) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_jobs(7), 7u);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);   // all hardware threads
+  EXPECT_GE(ThreadPool::resolve_jobs(-3), 1u);
+  EXPECT_EQ(ThreadPool::workers_for_jobs(1), 0u);  // serial => inline pool
+  EXPECT_EQ(ThreadPool::workers_for_jobs(5), 5u);
+}
+
+}  // namespace
+}  // namespace vppstudy::common
