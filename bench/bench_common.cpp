@@ -113,9 +113,10 @@ std::vector<core::ModuleSweepResult> run_rowhammer_all(
   auto sweeps = engine.rowhammer_sweeps();
   if (!sweeps) {
     std::fprintf(stderr, "rowhammer sweep failed: %s\n",
-                 sweeps.error().message.c_str());
+                 sweeps.error().to_string().c_str());
     return {};
   }
+  print_instrumentation("rowhammer", *sweeps);
   return std::move(*sweeps);
 }
 
@@ -124,9 +125,10 @@ std::vector<core::TrcdSweepResult> run_trcd_all(const BenchOptions& opt) {
   auto sweeps = engine.trcd_sweeps();
   if (!sweeps) {
     std::fprintf(stderr, "tRCD sweep failed: %s\n",
-                 sweeps.error().message.c_str());
+                 sweeps.error().to_string().c_str());
     return {};
   }
+  print_instrumentation("trcd", *sweeps);
   return std::move(*sweeps);
 }
 

@@ -83,6 +83,29 @@ template <typename Fn>
 /// Print a one-line banner describing the bench scale vs the paper's.
 void print_scale_banner(const std::string& what, const BenchOptions& opt);
 
+/// Print each sweep's aggregated rig instrumentation as '#'-prefixed comment
+/// lines (so figure output stays machine-parseable), plus a campaign total.
+/// Works for any sweep-result type carrying an `instrumentation` member.
+template <typename SweepResult>
+void print_instrumentation(const std::string& what,
+                           std::span<const SweepResult> sweeps) {
+  core::SweepInstrumentation total;
+  for (const auto& sweep : sweeps) {
+    std::printf("# instrumentation %s %s: %s\n", what.c_str(),
+                sweep.module_name.c_str(),
+                sweep.instrumentation.summary().c_str());
+    total += sweep.instrumentation;
+  }
+  std::printf("# instrumentation %s total: %s\n", what.c_str(),
+              total.summary().c_str());
+}
+
+template <typename SweepResult>
+void print_instrumentation(const std::string& what,
+                           const std::vector<SweepResult>& sweeps) {
+  print_instrumentation(what, std::span<const SweepResult>(sweeps));
+}
+
 /// Render one series as a fixed-width table row block:
 ///   label, then (x, y, [lo, hi]) lines.
 void print_series(const std::string& label, std::span<const double> x,
@@ -110,7 +133,7 @@ auto parallel_module_map(const BenchOptions& opt, Fn fn)
     auto result = futures[m].get();
     if (!result) {
       std::fprintf(stderr, "module %s failed: %s\n", modules[m].name.c_str(),
-                   result.error().message.c_str());
+                   result.error().to_string().c_str());
       continue;
     }
     out.push_back(std::move(*result));

@@ -62,6 +62,20 @@ void BM_MeasureBer(benchmark::State& state) {
 }
 BENCHMARK(BM_MeasureBer)->Arg(1000)->Arg(300000);
 
+// Full-row readout (ACT + 1024 RD + PRE): the read-burst buffer is pre-sized
+// from Program::read_count(), so the executor does no vector reallocation.
+void BM_ReadRow(benchmark::State& state) {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 4096;
+  softmc::Session session(profile);
+  for (auto _ : state) {
+    auto row = session.read_row(0, 500);
+    if (!row) state.SkipWithError(row.error().message.c_str());
+    benchmark::DoNotOptimize(row);
+  }
+}
+BENCHMARK(BM_ReadRow);
+
 void BM_CircuitActivation(benchmark::State& state) {
   circuit::DramCellSimParams p;
   p.t_stop_ns = 30.0;

@@ -129,7 +129,7 @@ common::Expected<ActivationResult> simulate_activation(
 
   const NodeId record[] = {c.blsa, c.blb, c.cellt};
   auto wf = solver.transient(c.initial, opts, record);
-  if (!wf) return common::Error{wf.error().message};
+  if (!wf) return std::move(wf).error().with_context("simulate_activation");
 
   ActivationResult res;
   const auto& t_s = wf->t_s;

@@ -138,8 +138,9 @@ common::Status Solver::newton_solve(double t_s, bool is_transient, double dt_s,
     }
     if (max_dv < opts.v_tolerance) return common::Status::ok_status();
   }
-  return common::Error{"Newton-Raphson did not converge at t=" +
-                       std::to_string(t_s)};
+  return common::Error{common::ErrorCode::kSolverDiverged,
+                       "Newton-Raphson did not converge at t=" +
+                           std::to_string(t_s)};
 }
 
 common::Expected<std::vector<double>> Solver::dc_operating_point(
@@ -152,7 +153,7 @@ common::Expected<std::vector<double>> Solver::dc_operating_point(
     o.gmin_s = gmin;
     if (auto st = newton_solve(0.0, /*is_transient=*/false, 0.0, v, v, o);
         !st.ok()) {
-      return common::Error{st.error().message};
+      return std::move(st).error().with_context("dc_operating_point");
     }
   }
   return v;
@@ -186,7 +187,7 @@ common::Expected<Waveform> Solver::transient(
     if (auto st = newton_solve(t, /*is_transient=*/true, opts.dt_s, prev, v,
                                opts);
         !st.ok()) {
-      return common::Error{st.error().message};
+      return std::move(st).error().with_context("transient");
     }
     prev.assign(v.begin(), v.end());
     record(t);

@@ -1,0 +1,113 @@
+#include "common/error.hpp"
+
+#include <utility>
+
+namespace vppstudy::common {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown: return "kUnknown";
+    case ErrorCode::kInvalidArgument: return "kInvalidArgument";
+    case ErrorCode::kVppOutOfRange: return "kVppOutOfRange";
+    case ErrorCode::kModuleUnresponsive: return "kModuleUnresponsive";
+    case ErrorCode::kThermalTimeout: return "kThermalTimeout";
+    case ErrorCode::kTimingViolationFatal: return "kTimingViolationFatal";
+    case ErrorCode::kBadRowImage: return "kBadRowImage";
+    case ErrorCode::kReadUnderrun: return "kReadUnderrun";
+    case ErrorCode::kDeviceProtocol: return "kDeviceProtocol";
+    case ErrorCode::kSolverDiverged: return "kSolverDiverged";
+    case ErrorCode::kParseError: return "kParseError";
+    case ErrorCode::kNoUsableLevels: return "kNoUsableLevels";
+    case ErrorCode::kEmptySample: return "kEmptySample";
+  }
+  return "kUnknown";
+}
+
+Error&& Error::with_context(std::string_view note) && {
+  if (!note.empty()) {
+    if (context.notes.empty()) {
+      context.notes = note;
+    } else {
+      // Outermost first: the newest note is the caller furthest from the
+      // failure, so it leads the chain.
+      context.notes = std::string(note) + " <- " + context.notes;
+    }
+  }
+  return std::move(*this);
+}
+
+Error Error::with_context(std::string_view note) const& {
+  Error copy = *this;
+  return std::move(copy).with_context(note);
+}
+
+Error&& Error::with_module(std::string_view name) && {
+  if (context.module.empty()) context.module = name;
+  return std::move(*this);
+}
+
+Error&& Error::with_op(std::string_view op) && {
+  if (context.op.empty()) context.op = op;
+  return std::move(*this);
+}
+
+Error&& Error::with_bank(std::int32_t bank) && {
+  if (context.bank < 0) context.bank = bank;
+  return std::move(*this);
+}
+
+Error&& Error::with_row(std::int64_t row) && {
+  if (context.row < 0) context.row = row;
+  return std::move(*this);
+}
+
+Error&& Error::with_bank_row(std::int32_t bank, std::int64_t row) && {
+  return std::move(std::move(*this).with_bank(bank)).with_row(row);
+}
+
+Error&& Error::with_vpp_mv(std::int64_t vpp_mv) && {
+  if (context.vpp_mv < 0) context.vpp_mv = vpp_mv;
+  return std::move(*this);
+}
+
+Error&& Error::with_code(ErrorCode c) && {
+  if (code == ErrorCode::kUnknown) code = c;
+  return std::move(*this);
+}
+
+std::string Error::to_string() const {
+  std::string out;
+  out.reserve(message.size() + 64);
+  out += '[';
+  out += error_code_name(code);
+  out += "] ";
+  out += message;
+  if (!context.module.empty() || !context.op.empty() || context.bank >= 0 ||
+      context.row >= 0 || context.vpp_mv >= 0) {
+    out += " (";
+    bool first = true;
+    const auto field = [&](std::string_view key, const std::string& value) {
+      if (!first) out += ' ';
+      first = false;
+      out += key;
+      out += '=';
+      out += value;
+    };
+    if (!context.module.empty()) field("module", context.module);
+    if (!context.op.empty()) field("op", context.op);
+    if (context.bank >= 0) field("bank", std::to_string(context.bank));
+    if (context.row >= 0) field("row", std::to_string(context.row));
+    if (context.vpp_mv >= 0) {
+      field("vpp", std::to_string(context.vpp_mv) + "mV");
+    }
+    out += ')';
+  }
+  if (!context.notes.empty()) {
+    out += " {ctx: ";
+    out += context.notes;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace vppstudy::common

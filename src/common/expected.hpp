@@ -1,4 +1,9 @@
-// A minimal expected/result type (C++20 has no std::expected yet).
+// The Result family: Expected<T> (value-or-Error), Status (ok-or-Error), and
+// the Result<T> alias unifying both (Result<void> == Status). C++20 has no
+// std::expected yet, so this is ours, grown with the monadic helpers
+// (and_then / transform / transform_error) and the VPP_RETURN_IF_ERROR /
+// VPP_ASSIGN_OR_RETURN macros that let every layer forward the typed
+// common::Error (see common/error.hpp) instead of re-wrapping strings.
 //
 // Used at fallible API boundaries -- e.g. the SoftMC session refuses to talk
 // to a module whose VPP rail is below its communication minimum, mirroring
@@ -6,16 +11,13 @@
 #pragma once
 
 #include <cassert>
-#include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
-namespace vppstudy::common {
+#include "common/error.hpp"
 
-/// Error payload carried by Expected<T>.
-struct Error {
-  std::string message;
-};
+namespace vppstudy::common {
 
 template <typename T>
 class Expected {
@@ -23,7 +25,7 @@ class Expected {
   using value_type = T;
 
   // Implicit construction from both value and error keeps call sites terse:
-  //   return Error{"vpp below vppmin"};
+  //   return Error{ErrorCode::kVppOutOfRange, "vpp below vppmin"};
   //   return some_value;
   Expected(T value) : storage_(std::move(value)) {}            // NOLINT
   Expected(Error error) : storage_(std::move(error)) {}        // NOLINT
@@ -50,11 +52,53 @@ class Expected {
     assert(!has_value());
     return std::get<Error>(storage_);
   }
+  [[nodiscard]] Error&& error() && {
+    assert(!has_value());
+    return std::get<Error>(std::move(storage_));
+  }
 
   [[nodiscard]] const T* operator->() const { return &value(); }
   [[nodiscard]] T* operator->() { return &value(); }
   [[nodiscard]] const T& operator*() const& { return value(); }
   [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] T&& operator*() && { return std::move(*this).value(); }
+
+  // --- Monadic helpers -------------------------------------------------------
+  /// Apply `f : const T& -> Expected<U>` when ok; forward the error intact
+  /// otherwise.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> std::invoke_result_t<F, const T&> {
+    if (has_value()) return std::forward<F>(f)(value());
+    return error();
+  }
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) && -> std::invoke_result_t<F, T&&> {
+    if (has_value()) return std::forward<F>(f)(std::move(*this).value());
+    return std::move(*this).error();
+  }
+
+  /// Apply `f : const T& -> U` when ok, wrapping the result.
+  template <typename F>
+  [[nodiscard]] auto transform(F&& f) const&
+      -> Expected<std::invoke_result_t<F, const T&>> {
+    if (has_value()) return std::forward<F>(f)(value());
+    return error();
+  }
+  template <typename F>
+  [[nodiscard]] auto transform(F&& f) && -> Expected<std::invoke_result_t<F, T&&>> {
+    if (has_value()) return std::forward<F>(f)(std::move(*this).value());
+    return std::move(*this).error();
+  }
+
+  /// Apply `f : Error&& -> Error` to a held error (context chaining):
+  ///   return std::move(r).transform_error([](Error&& e) {
+  ///     return std::move(e).with_context("phase B");
+  ///   });
+  template <typename F>
+  [[nodiscard]] Expected transform_error(F&& f) && {
+    if (has_value()) return std::move(*this);
+    return std::forward<F>(f)(std::move(*this).error());
+  }
 
  private:
   std::variant<T, Error> storage_;
@@ -70,9 +114,33 @@ class Status {
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] explicit operator bool() const noexcept { return ok_; }
-  [[nodiscard]] const Error& error() const {
+  [[nodiscard]] const Error& error() const& {
     assert(!ok_);
     return error_;
+  }
+  [[nodiscard]] Error&& error() && {
+    assert(!ok_);
+    return std::move(error_);
+  }
+
+  // --- Monadic helpers -------------------------------------------------------
+  /// Run `f : () -> Status-or-Expected<U>` when ok; forward the error intact.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> std::invoke_result_t<F> {
+    if (ok_) return std::forward<F>(f)();
+    return error();
+  }
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) && -> std::invoke_result_t<F> {
+    if (ok_) return std::forward<F>(f)();
+    return std::move(*this).error();
+  }
+
+  /// Apply `f : Error&& -> Error` to a held error (context chaining).
+  template <typename F>
+  [[nodiscard]] Status transform_error(F&& f) && {
+    if (ok_) return Status{};
+    return std::forward<F>(f)(std::move(*this).error());
   }
 
  private:
@@ -80,4 +148,51 @@ class Status {
   bool ok_ = true;
 };
 
+// --- The unified Result alias ------------------------------------------------
+namespace detail {
+template <typename T>
+struct ResultOf {
+  using type = Expected<T>;
+};
+template <>
+struct ResultOf<void> {
+  using type = Status;
+};
+}  // namespace detail
+
+/// Result<T> is Expected<T>; Result<> / Result<void> is Status. New code
+/// should spell fallible signatures with Result.
+template <typename T = void>
+using Result = typename detail::ResultOf<T>::type;
+
 }  // namespace vppstudy::common
+
+// --- Propagation macros ------------------------------------------------------
+// Forward a failing Status/Expected out of the enclosing function. The
+// enclosing function may return either family: a moved Error converts to
+// both. The optional _CTX form adds a breadcrumb via with_context().
+#define VPP_RETURN_IF_ERROR(expr)                           \
+  do {                                                      \
+    if (auto vpp_status_ = (expr); !vpp_status_) {          \
+      return ::std::move(vpp_status_).error();              \
+    }                                                       \
+  } while (false)
+
+#define VPP_RETURN_IF_ERROR_CTX(expr, note)                          \
+  do {                                                               \
+    if (auto vpp_status_ = (expr); !vpp_status_) {                   \
+      return ::std::move(vpp_status_).error().with_context((note));  \
+    }                                                                \
+  } while (false)
+
+#define VPP_RESULT_CONCAT_INNER_(a, b) a##b
+#define VPP_RESULT_CONCAT_(a, b) VPP_RESULT_CONCAT_INNER_(a, b)
+
+/// VPP_ASSIGN_OR_RETURN(auto rows, sample_rows(...)); -- declares `rows`
+/// from the Expected's value or returns the error to the caller.
+#define VPP_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  auto VPP_RESULT_CONCAT_(vpp_result_, __LINE__) = (rexpr);                \
+  if (!VPP_RESULT_CONCAT_(vpp_result_, __LINE__)) {                        \
+    return ::std::move(VPP_RESULT_CONCAT_(vpp_result_, __LINE__)).error(); \
+  }                                                                        \
+  lhs = *::std::move(VPP_RESULT_CONCAT_(vpp_result_, __LINE__))

@@ -18,6 +18,7 @@
 namespace vppstudy::core {
 
 using common::Error;
+using common::ErrorCode;
 
 std::uint64_t vpp_millivolts(double vpp_v) noexcept {
   return static_cast<std::uint64_t>(std::llround(vpp_v * 1000.0));
@@ -54,6 +55,7 @@ common::Status setup_job_session(softmc::Session& session, double temp_c,
 struct HammerPrep {
   std::vector<std::uint32_t> rows;
   std::vector<dram::DataPattern> wcdp;
+  softmc::CommandCounts counts;  ///< the prep session's instrumentation
 };
 
 common::Expected<HammerPrep> wcdp_job(const dram::ModuleProfile& profile,
@@ -64,62 +66,102 @@ common::Expected<HammerPrep> wcdp_job(const dram::ModuleProfile& profile,
   if (auto st = setup_job_session(session, common::kHammerTestTempC,
                                   nominal_vpp, base_seed, JobPhase::kWcdp);
       !st.ok()) {
-    return st.error();
+    return std::move(st).error().with_module(profile.name).with_context(
+        "wcdp job setup");
   }
   HammerPrep prep;
   prep.rows = sweep.sampling.sample(session.module().mapping());
-  if (prep.rows.empty()) return Error{"row sampling produced no rows"};
+  if (prep.rows.empty()) {
+    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+        .with_module(profile.name);
+  }
   if (sweep.determine_wcdp) {
     auto wcdp =
         harness::find_wcdp_hammer_rows(session, sweep.sampling.bank,
                                        prep.rows);
-    if (!wcdp) return Error{wcdp.error().message};
+    if (!wcdp) {
+      return std::move(wcdp).error().with_module(profile.name).with_context(
+          "wcdp determination");
+    }
     prep.wcdp = std::move(*wcdp);
   } else {
     prep.wcdp.assign(prep.rows.size(), dram::DataPattern::kCheckerAA);
   }
+  prep.counts = session.counters();
   return prep;
 }
 
 /// Phase B of the RowHammer campaign: one (module, VPP level) cell.
-common::Expected<std::vector<harness::RowHammerRowResult>> hammer_level_job(
+struct HammerLevel {
+  std::vector<harness::RowHammerRowResult> rows;
+  softmc::CommandCounts counts;
+};
+
+common::Expected<HammerLevel> hammer_level_job(
     const dram::ModuleProfile& profile, const SweepConfig& sweep,
     std::uint64_t base_seed, double vpp_v, const HammerPrep& prep) {
   softmc::Session session(profile);
   if (auto st = setup_job_session(session, common::kHammerTestTempC, vpp_v,
                                   base_seed, JobPhase::kRowHammer);
       !st.ok()) {
-    return st.error();
+    return std::move(st)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_context("hammer job setup");
   }
   harness::RowHammerTest test(session, sweep.hammer);
   auto rows = test.test_rows(sweep.sampling.bank, prep.rows, prep.wcdp);
-  if (!rows) return Error{rows.error().message};
-  return std::move(*rows);
+  if (!rows) {
+    return std::move(rows)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)));
+  }
+  return HammerLevel{std::move(*rows), session.counters()};
 }
 
 /// One (module, VPP level) cell of the tRCD campaign: module tRCDmin is the
 /// max across sampled rows (Table 3 semantics).
-common::Expected<double> trcd_level_job(const dram::ModuleProfile& profile,
-                                        const SweepConfig& sweep,
-                                        std::uint64_t base_seed,
-                                        double vpp_v) {
+struct TrcdLevel {
+  double trcd_min_ns = 0.0;
+  softmc::CommandCounts counts;
+};
+
+common::Expected<TrcdLevel> trcd_level_job(const dram::ModuleProfile& profile,
+                                           const SweepConfig& sweep,
+                                           std::uint64_t base_seed,
+                                           double vpp_v) {
   softmc::Session session(profile);
   if (auto st = setup_job_session(session, common::kHammerTestTempC, vpp_v,
                                   base_seed, JobPhase::kTrcd);
       !st.ok()) {
-    return st.error();
+    return std::move(st)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_context("trcd job setup");
   }
   const auto rows = sweep.sampling.sample(session.module().mapping());
-  if (rows.empty()) return Error{"row sampling produced no rows"};
+  if (rows.empty()) {
+    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+        .with_module(profile.name);
+  }
   harness::TrcdTest test(session, sweep.trcd);
   auto results =
       test.test_rows(sweep.sampling.bank, rows, dram::DataPattern::kCheckerAA);
-  if (!results) return Error{results.error().message};
-  double module_trcd = 0.0;
-  for (const auto& r : *results) {
-    module_trcd = std::max(module_trcd, r.trcd_min_ns);
+  if (!results) {
+    return std::move(results)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)));
   }
-  return module_trcd;
+  TrcdLevel out;
+  for (const auto& r : *results) {
+    out.trcd_min_ns = std::max(out.trcd_min_ns, r.trcd_min_ns);
+  }
+  out.counts = session.counters();
+  return out;
 }
 
 /// One (module, VPP level) cell of the retention campaign.
@@ -127,6 +169,7 @@ struct RetentionLevel {
   std::vector<double> trefw_ms;
   std::vector<double> mean_ber;        ///< per window, averaged across rows
   std::vector<double> ref_bers;        ///< per row, at the reference window
+  softmc::CommandCounts counts;
 };
 
 common::Expected<RetentionLevel> retention_level_job(
@@ -137,14 +180,26 @@ common::Expected<RetentionLevel> retention_level_job(
   if (auto st = setup_job_session(session, common::kRetentionTestTempC, vpp_v,
                                   base_seed, JobPhase::kRetention);
       !st.ok()) {
-    return st.error();
+    return std::move(st)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_context("retention job setup");
   }
   const auto rows = sweep.sampling.sample(session.module().mapping());
-  if (rows.empty()) return Error{"row sampling produced no rows"};
+  if (rows.empty()) {
+    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+        .with_module(profile.name);
+  }
   harness::RetentionTest test(session, sweep.retention);
   auto results =
       test.test_rows(sweep.sampling.bank, rows, dram::DataPattern::kCheckerAA);
-  if (!results) return Error{results.error().message};
+  if (!results) {
+    return std::move(results)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)));
+  }
 
   RetentionLevel out;
   std::vector<double> sums;
@@ -164,6 +219,7 @@ common::Expected<RetentionLevel> retention_level_job(
   }
   for (double& s : sums) s /= static_cast<double>(results->size());
   out.mean_ber = std::move(sums);
+  out.counts = session.counters();
   return out;
 }
 
@@ -181,9 +237,7 @@ ParallelStudy::rowhammer_sweeps() {
     std::vector<double> levels;
     std::future<common::Expected<HammerPrep>> prep;
     std::shared_ptr<const HammerPrep> ready;
-    std::vector<
-        std::future<common::Expected<std::vector<harness::RowHammerRowResult>>>>
-        per_level;
+    std::vector<std::future<common::Expected<HammerLevel>>> per_level;
   };
   std::vector<ModulePlan> plans(config_.modules.size());
 
@@ -192,7 +246,9 @@ ParallelStudy::rowhammer_sweeps() {
     const dram::ModuleProfile& profile = config_.modules[m];
     plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
     if (plans[m].levels.empty()) {
-      return Error{"no usable VPP levels for module " + profile.name};
+      return Error{ErrorCode::kNoUsableLevels,
+                   "no usable VPP levels for module " + profile.name}
+          .with_module(profile.name);
     }
     const double nominal = plans[m].levels.front();
     plans[m].prep = pool.submit([&profile, &sweep, seed, nominal] {
@@ -204,7 +260,7 @@ ParallelStudy::rowhammer_sweeps() {
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
     auto prep = plans[m].prep.get();
-    if (!prep) return prep.error();
+    if (!prep) return std::move(prep).error();
     plans[m].ready = std::make_shared<const HammerPrep>(std::move(*prep));
     for (const double vpp : plans[m].levels) {
       plans[m].per_level.push_back(
@@ -225,16 +281,18 @@ ParallelStudy::rowhammer_sweeps() {
     result.vppmin_v = profile.vppmin_v;
     result.vpp_levels = plans[m].levels;
     result.rows.resize(plans[m].ready->rows.size());
+    result.instrumentation.add_job(plans[m].ready->counts);
     for (std::size_t i = 0; i < plans[m].ready->rows.size(); ++i) {
       result.rows[i].row = plans[m].ready->rows[i];
       result.rows[i].wcdp = plans[m].ready->wcdp[i];
     }
     for (auto& future : plans[m].per_level) {
       auto level = future.get();
-      if (!level) return level.error();
-      for (std::size_t i = 0; i < level->size(); ++i) {
-        result.rows[i].hc_first.push_back((*level)[i].hc_first);
-        result.rows[i].ber.push_back((*level)[i].ber);
+      if (!level) return std::move(level).error();
+      result.instrumentation.add_job(level->counts);
+      for (std::size_t i = 0; i < level->rows.size(); ++i) {
+        result.rows[i].hc_first.push_back(level->rows[i].hc_first);
+        result.rows[i].ber.push_back(level->rows[i].ber);
       }
     }
     sweeps.push_back(std::move(result));
@@ -247,14 +305,16 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
   const SweepConfig& sweep = config_.sweep;
   const std::uint64_t seed = config_.seed;
 
-  std::vector<std::vector<std::future<common::Expected<double>>>> cells(
+  std::vector<std::vector<std::future<common::Expected<TrcdLevel>>>> cells(
       config_.modules.size());
   std::vector<std::vector<double>> levels(config_.modules.size());
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
     levels[m] = usable_vpp_levels(sweep, profile.vppmin_v);
     if (levels[m].empty()) {
-      return Error{"no usable VPP levels for module " + profile.name};
+      return Error{ErrorCode::kNoUsableLevels,
+                   "no usable VPP levels for module " + profile.name}
+          .with_module(profile.name);
     }
     for (const double vpp : levels[m]) {
       cells[m].push_back(pool.submit([&profile, &sweep, seed, vpp] {
@@ -272,8 +332,9 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
     result.vpp_levels = levels[m];
     for (auto& future : cells[m]) {
       auto trcd = future.get();
-      if (!trcd) return trcd.error();
-      result.trcd_min_ns.push_back(*trcd);
+      if (!trcd) return std::move(trcd).error();
+      result.instrumentation.add_job(trcd->counts);
+      result.trcd_min_ns.push_back(trcd->trcd_min_ns);
     }
     sweeps.push_back(std::move(result));
   }
@@ -294,7 +355,9 @@ ParallelStudy::retention_sweeps() {
     const dram::ModuleProfile& profile = config_.modules[m];
     levels[m] = usable_vpp_levels(sweep, profile.vppmin_v);
     if (levels[m].empty()) {
-      return Error{"no usable VPP levels for module " + profile.name};
+      return Error{ErrorCode::kNoUsableLevels,
+                   "no usable VPP levels for module " + profile.name}
+          .with_module(profile.name);
     }
     for (const double vpp : levels[m]) {
       cells[m].push_back(
@@ -314,7 +377,8 @@ ParallelStudy::retention_sweeps() {
     result.vpp_levels = levels[m];
     for (auto& future : cells[m]) {
       auto level = future.get();
-      if (!level) return level.error();
+      if (!level) return std::move(level).error();
+      result.instrumentation.add_job(level->counts);
       if (result.trefw_ms.empty()) result.trefw_ms = level->trefw_ms;
       result.mean_ber.push_back(std::move(level->mean_ber));
       result.row_ber_at_reference.push_back(std::move(level->ref_bers));

@@ -10,6 +10,11 @@
 namespace vppstudy::core {
 
 using common::Error;
+using common::ErrorCode;
+
+std::string SweepInstrumentation::summary() const {
+  return std::to_string(jobs) + " rig sessions: " + counts.summary();
+}
 
 SweepConfig SweepConfig::paper() {
   SweepConfig c;
@@ -121,8 +126,10 @@ StudyConfig single_module_config(const dram::ModuleProfile& profile,
 
 template <typename T>
 common::Expected<T> first_or_error(common::Expected<std::vector<T>> sweeps) {
-  if (!sweeps) return sweeps.error();
-  if (sweeps->empty()) return Error{"sweep produced no result"};
+  if (!sweeps) return std::move(sweeps).error();
+  if (sweeps->empty()) {
+    return Error{ErrorCode::kEmptySample, "sweep produced no result"};
+  }
   return std::move(sweeps->front());
 }
 

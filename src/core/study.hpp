@@ -19,6 +19,7 @@
 #include "harness/retention_test.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "harness/trcd_test.hpp"
+#include "softmc/counters.hpp"
 #include "softmc/session.hpp"
 
 namespace vppstudy::core {
@@ -46,6 +47,29 @@ struct SweepConfig {
 [[nodiscard]] std::vector<double> usable_vpp_levels(const SweepConfig& config,
                                                     double vppmin_v);
 
+/// Aggregated rig instrumentation for one sweep: the per-session command
+/// counts of every job that contributed, summed. Integer sums are
+/// order-independent, so the aggregate is identical at any --jobs count even
+/// though jobs complete in scheduler order.
+struct SweepInstrumentation {
+  std::uint64_t jobs = 0;  ///< rig sessions that contributed
+  softmc::CommandCounts counts;
+
+  void add_job(const softmc::CommandCounts& job_counts) {
+    ++jobs;
+    counts += job_counts;
+  }
+  SweepInstrumentation& operator+=(const SweepInstrumentation& other) {
+    jobs += other.jobs;
+    counts += other.counts;
+    return *this;
+  }
+  friend bool operator==(const SweepInstrumentation&,
+                         const SweepInstrumentation&) = default;
+  /// "12 jobs: ACT=... hammerACT=... RD=... ..." (see CommandCounts).
+  [[nodiscard]] std::string summary() const;
+};
+
 /// One row's metric across the tested VPP levels.
 struct RowSeries {
   std::uint32_t row = 0;
@@ -60,6 +84,9 @@ struct ModuleSweepResult {
   double vppmin_v = 0.0;
   std::vector<double> vpp_levels;  ///< actually tested (>= VPPmin)
   std::vector<RowSeries> rows;
+  /// Summed command counts of every rig session this sweep ran (WCDP prep
+  /// plus one job per VPP level).
+  SweepInstrumentation instrumentation;
 
   /// Index of a VPP level, or -1.
   [[nodiscard]] int level_index(double vpp_v) const noexcept;
@@ -80,6 +107,7 @@ struct TrcdSweepResult {
   std::vector<double> vpp_levels;
   /// Module tRCDmin (max across sampled rows) per level.
   std::vector<double> trcd_min_ns;
+  SweepInstrumentation instrumentation;
 };
 
 /// Retention sweep output (Fig. 10).
@@ -93,6 +121,7 @@ struct RetentionSweepResult {
   /// Per-row BER at a reference window (Fig. 10b), parallel to vpp_levels.
   std::vector<std::vector<double>> row_ber_at_reference;
   double reference_trefw_ms = 4000.0;
+  SweepInstrumentation instrumentation;
 };
 
 class Study {

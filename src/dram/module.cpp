@@ -9,6 +9,7 @@
 namespace vppstudy::dram {
 
 using common::Error;
+using common::ErrorCode;
 using common::Status;
 
 namespace {
@@ -21,6 +22,14 @@ constexpr double kNegligibleCellProbability = 1e-12;
 
 }  // namespace
 
+Error Module::range_error(std::string what, std::uint32_t value,
+                          std::uint32_t limit) const {
+  return Error{ErrorCode::kInvalidArgument,
+               std::move(what) + " " + std::to_string(value) +
+                   " out of range (limit " + std::to_string(limit) + ")"}
+      .with_module(profile_.name);
+}
+
 Module::Module(ModuleProfile profile)
     : profile_(std::move(profile)),
       physics_(profile_),
@@ -31,9 +40,12 @@ Module::Module(ModuleProfile profile)
 
 Status Module::check_responsive() const {
   if (!responsive()) {
-    return Error{"module " + profile_.name +
-                 " does not respond: VPP below VPPmin (" +
-                 std::to_string(profile_.vppmin_v) + "V)"};
+    return Error{ErrorCode::kModuleUnresponsive,
+                 "module " + profile_.name +
+                     " does not respond: VPP below VPPmin (" +
+                     std::to_string(profile_.vppmin_v) + "V)"}
+        .with_module(profile_.name)
+        .with_vpp_mv(static_cast<std::int64_t>(std::lround(vpp_v_ * 1000.0)));
   }
   return Status::ok_status();
 }
@@ -236,12 +248,22 @@ void Module::sense_and_restore(std::uint32_t bank, BankState& bs,
 Status Module::activate(std::uint32_t bank, std::uint32_t logical_row,
                         double now_ns) {
   if (auto st = check_responsive(); !st.ok()) return st;
-  if (bank >= banks_.size()) return Error{"bank out of range"};
-  if (logical_row >= profile_.rows_per_bank) return Error{"row out of range"};
+  if (bank >= banks_.size()) {
+    return range_error("bank", bank,
+                       static_cast<std::uint32_t>(banks_.size()));
+  }
+  if (logical_row >= profile_.rows_per_bank) {
+    return range_error("row", logical_row, profile_.rows_per_bank)
+        .with_bank(static_cast<std::int32_t>(bank));
+  }
   BankState& bs = banks_[bank];
   if (bs.open_physical_row >= 0) {
-    return Error{"ACT to bank " + std::to_string(bank) +
-                 " which already has an open row"};
+    return Error{ErrorCode::kDeviceProtocol,
+                 "ACT to bank " + std::to_string(bank) +
+                     " which already has an open row"}
+        .with_module(profile_.name)
+        .with_bank_row(static_cast<std::int32_t>(bank), logical_row)
+        .with_op("ACT");
   }
   const std::uint32_t phys = mapping_.logical_to_physical(logical_row);
   bs.acts[phys] += 1.0;
@@ -258,7 +280,10 @@ Status Module::activate(std::uint32_t bank, std::uint32_t logical_row,
 
 Status Module::precharge(std::uint32_t bank, double now_ns) {
   if (auto st = check_responsive(); !st.ok()) return st;
-  if (bank >= banks_.size()) return Error{"bank out of range"};
+  if (bank >= banks_.size()) {
+    return range_error("bank", bank,
+                       static_cast<std::uint32_t>(banks_.size()));
+  }
   BankState& bs = banks_[bank];
   if (bs.open_physical_row >= 0) {
     // A row closed before its charge-restoration completed keeps only part
@@ -286,12 +311,22 @@ Status Module::precharge_all(double now_ns) {
 
 common::Expected<std::array<std::uint8_t, kBytesPerColumn>> Module::read(
     std::uint32_t bank, std::uint32_t column, double now_ns) {
-  if (auto st = check_responsive(); !st.ok()) return Error{st.error().message};
-  if (bank >= banks_.size()) return Error{"bank out of range"};
-  if (column >= kColumnsPerRow) return Error{"column out of range"};
+  if (auto st = check_responsive(); !st.ok()) return std::move(st).error();
+  if (bank >= banks_.size()) {
+    return range_error("bank", bank,
+                       static_cast<std::uint32_t>(banks_.size()));
+  }
+  if (column >= kColumnsPerRow) {
+    return range_error("column", column, kColumnsPerRow)
+        .with_bank(static_cast<std::int32_t>(bank));
+  }
   BankState& bs = banks_[bank];
   if (bs.open_physical_row < 0) {
-    return Error{"RD to bank " + std::to_string(bank) + " with no open row"};
+    return Error{ErrorCode::kDeviceProtocol,
+                 "RD to bank " + std::to_string(bank) + " with no open row"}
+        .with_module(profile_.name)
+        .with_bank(static_cast<std::int32_t>(bank))
+        .with_op("RD");
   }
   const auto phys = static_cast<std::uint32_t>(bs.open_physical_row);
   RowState& rs = row_state(bs, bank, phys);
@@ -332,11 +367,21 @@ Status Module::write(std::uint32_t bank, std::uint32_t column,
                      double now_ns) {
   (void)now_ns;
   if (auto st = check_responsive(); !st.ok()) return st;
-  if (bank >= banks_.size()) return Error{"bank out of range"};
-  if (column >= kColumnsPerRow) return Error{"column out of range"};
+  if (bank >= banks_.size()) {
+    return range_error("bank", bank,
+                       static_cast<std::uint32_t>(banks_.size()));
+  }
+  if (column >= kColumnsPerRow) {
+    return range_error("column", column, kColumnsPerRow)
+        .with_bank(static_cast<std::int32_t>(bank));
+  }
   BankState& bs = banks_[bank];
   if (bs.open_physical_row < 0) {
-    return Error{"WR to bank " + std::to_string(bank) + " with no open row"};
+    return Error{ErrorCode::kDeviceProtocol,
+                 "WR to bank " + std::to_string(bank) + " with no open row"}
+        .with_module(profile_.name)
+        .with_bank(static_cast<std::int32_t>(bank))
+        .with_op("WR");
   }
   const auto phys = static_cast<std::uint32_t>(bs.open_physical_row);
   RowState& rs = row_state(bs, bank, phys);
@@ -359,7 +404,11 @@ Status Module::refresh(double now_ns) {
   if (auto st = check_responsive(); !st.ok()) return st;
   for (std::uint32_t b = 0; b < banks_.size(); ++b) {
     if (banks_[b].open_physical_row >= 0) {
-      return Error{"REF with open row in bank " + std::to_string(b)};
+      return Error{ErrorCode::kDeviceProtocol,
+                   "REF with open row in bank " + std::to_string(b)}
+          .with_module(profile_.name)
+          .with_bank(static_cast<std::int32_t>(b))
+          .with_op("REF");
     }
   }
   // Each REF covers rows_per_bank / 8192 consecutive rows in every bank
@@ -398,11 +447,18 @@ Status Module::load_mode_register(int mr_index, std::uint32_t operand,
   if (auto st = check_responsive(); !st.ok()) return st;
   for (std::uint32_t b = 0; b < banks_.size(); ++b) {
     if (banks_[b].open_physical_row >= 0) {
-      return Error{"MRS with open row in bank " + std::to_string(b)};
+      return Error{ErrorCode::kDeviceProtocol,
+                   "MRS with open row in bank " + std::to_string(b)}
+          .with_module(profile_.name)
+          .with_bank(static_cast<std::int32_t>(b))
+          .with_op("MRS");
     }
   }
   auto updated = apply_mrs(mode_registers_, mr_index, operand);
-  if (!updated) return Error{updated.error().message};
+  if (!updated) {
+    return std::move(updated).error().with_module(profile_.name).with_op(
+        "MRS");
+  }
   mode_registers_ = *updated;
   return Status::ok_status();
 }
@@ -411,14 +467,26 @@ Status Module::hammer_pair(std::uint32_t bank, std::uint32_t logical_row_a,
                            std::uint32_t logical_row_b, std::uint64_t count,
                            double act_to_act_ns, double& now_ns) {
   if (auto st = check_responsive(); !st.ok()) return st;
-  if (bank >= banks_.size()) return Error{"bank out of range"};
+  if (bank >= banks_.size()) {
+    return range_error("bank", bank,
+                       static_cast<std::uint32_t>(banks_.size()));
+  }
   BankState& bs = banks_[bank];
   if (bs.open_physical_row >= 0) {
-    return Error{"hammer loop needs a precharged bank"};
+    return Error{ErrorCode::kDeviceProtocol,
+                 "hammer loop needs a precharged bank"}
+        .with_module(profile_.name)
+        .with_bank(static_cast<std::int32_t>(bank))
+        .with_op("HAMMER");
   }
   const std::uint32_t pa = mapping_.logical_to_physical(logical_row_a);
   const std::uint32_t pb = mapping_.logical_to_physical(logical_row_b);
-  if (pa == pb) return Error{"hammer rows must differ"};
+  if (pa == pb) {
+    return Error{ErrorCode::kInvalidArgument, "hammer rows must differ"}
+        .with_module(profile_.name)
+        .with_bank_row(static_cast<std::int32_t>(bank), logical_row_a)
+        .with_op("HAMMER");
+  }
 
   // Settle both aggressors' pending physics at the loop start, then account
   // the activations in bulk. Because the loop interleaves ACT a / ACT b,

@@ -151,6 +151,9 @@ class Module {
   };
 
   [[nodiscard]] common::Status check_responsive() const;
+  [[nodiscard]] common::Error range_error(std::string what,
+                                          std::uint32_t value,
+                                          std::uint32_t limit) const;
   RowState& row_state(BankState& bank_state, std::uint32_t bank,
                       std::uint32_t physical_row);
   [[nodiscard]] double acts_of(const BankState& b,

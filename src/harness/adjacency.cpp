@@ -30,17 +30,17 @@ common::Expected<std::vector<std::uint32_t>> AdjacencyRevEng::find_victims(
 
   for (std::uint32_t r = lo; r <= hi; ++r) {
     const auto& image = (r == aggressor) ? aggressor_image : victim_image;
-    if (auto st = session_.init_row(bank, r, image); !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(session_.init_row(bank, r, image),
+                            "adjacency window init");
   }
 
   // Single-sided hammering via the loop instruction needs a partner row;
   // use one far outside the scan window so its own victims don't interfere.
   const std::uint32_t partner = (aggressor + rows / 2) % rows;
-  if (auto st = session_.hammer_double_sided(bank, aggressor, partner,
-                                             config_.hammer_count);
-      !st.ok())
-    return Error{st.error().message};
+  VPP_RETURN_IF_ERROR_CTX(
+      session_.hammer_double_sided(bank, aggressor, partner,
+                                   config_.hammer_count),
+      "adjacency hammer");
 
   // Collect flip counts, then keep only the dominant victims: distance-2
   // rows also flip under extreme hammering (the blast radius), but with far
@@ -51,7 +51,9 @@ common::Expected<std::vector<std::uint32_t>> AdjacencyRevEng::find_victims(
   for (std::uint32_t r = lo; r <= hi; ++r) {
     if (r == aggressor) continue;
     auto observed = session_.read_row(bank, r, kSafeReadTrcdNs);
-    if (!observed) return Error{observed.error().message};
+    if (!observed) {
+      return std::move(observed).error().with_context("adjacency scan read");
+    }
     const std::uint64_t flips = count_bit_flips(victim_image, *observed);
     if (flips > 0) flips_per_row.emplace_back(r, flips);
     max_flips = std::max(max_flips, flips);
@@ -74,7 +76,9 @@ AdjacencyRevEng::recover_block(std::uint32_t bank, std::uint32_t start,
   const std::uint32_t hi = start + count + margin;
   for (std::uint32_t agg = lo; agg < hi; ++agg) {
     auto victims = find_victims(bank, agg);
-    if (!victims) return Error{victims.error().message};
+    if (!victims) {
+      return std::move(victims).error().with_context("adjacency block scan");
+    }
     for (const std::uint32_t v : *victims) {
       aggressors_of[v].push_back(agg);
     }

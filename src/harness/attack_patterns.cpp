@@ -7,6 +7,7 @@
 namespace vppstudy::harness {
 
 using common::Error;
+using common::ErrorCode;
 
 const char* attack_name(AttackKind kind) noexcept {
   switch (kind) {
@@ -40,23 +41,34 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
   std::vector<std::uint32_t> victims;     // logical addresses
   switch (config.kind) {
     case AttackKind::kSingleSided:
-      if (victim_phys == 0) return Error{"victim at physical edge"};
+      if (victim_phys == 0) {
+        return Error{ErrorCode::kInvalidArgument, "victim at physical edge"}
+            .with_bank_row(static_cast<std::int32_t>(bank), victim_row);
+      }
       aggressors.push_back(logical_at(mapping, victim_phys - 1));
       victims.push_back(victim_row);
       break;
     case AttackKind::kDoubleSided:
-      if (victim_phys == 0 || victim_phys + 1 >= rows)
-        return Error{"victim at physical edge"};
+      if (victim_phys == 0 || victim_phys + 1 >= rows) {
+        return Error{ErrorCode::kInvalidArgument, "victim at physical edge"}
+            .with_bank_row(static_cast<std::int32_t>(bank), victim_row);
+      }
       aggressors.push_back(logical_at(mapping, victim_phys - 1));
       aggressors.push_back(logical_at(mapping, victim_phys + 1));
       victims.push_back(victim_row);
       break;
     case AttackKind::kManySided: {
       // TRRespass layout: aggressors at every even offset, victims between.
-      if (config.sides < 2) return Error{"many-sided needs >= 2 sides"};
+      if (config.sides < 2) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "many-sided needs >= 2 sides"};
+      }
       const std::uint32_t base = victim_phys - 1;
-      if (base == 0 || base + 2ull * config.sides >= rows)
-        return Error{"many-sided pattern does not fit the bank"};
+      if (base == 0 || base + 2ull * config.sides >= rows) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "many-sided pattern does not fit the bank"}
+            .with_bank_row(static_cast<std::int32_t>(bank), victim_row);
+      }
       for (std::uint32_t s = 0; s < config.sides; ++s) {
         aggressors.push_back(logical_at(mapping, base + 2 * s));
         if (s + 1 < config.sides) {
@@ -73,12 +85,12 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
   const auto aggressor_image = dram::pattern_row(
       dram::inverse_pattern(config.victim_pattern), dram::kBytesPerRow);
   for (const std::uint32_t v : victims) {
-    if (auto st = session.init_row(bank, v, victim_image); !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(session.init_row(bank, v, victim_image),
+                            "attack victim init");
   }
   for (const std::uint32_t a : aggressors) {
-    if (auto st = session.init_row(bank, a, aggressor_image); !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(session.init_row(bank, a, aggressor_image),
+                            "attack aggressor init");
   }
 
   const double start_ns = session.clock_ns();
@@ -95,22 +107,22 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
   while (remaining > 0) {
     const std::uint64_t now_chunk = std::min(chunk, remaining);
     if (config.kind == AttackKind::kSingleSided) {
-      if (auto st = session.hammer_double_sided(bank, aggressors[0],
-                                                far_partner, now_chunk);
-          !st.ok())
-        return Error{st.error().message};
+      VPP_RETURN_IF_ERROR_CTX(
+          session.hammer_double_sided(bank, aggressors[0], far_partner,
+                                      now_chunk),
+          "single-sided hammer");
     } else {
       for (std::size_t i = 0; i + 1 < aggressors.size(); i += 2) {
-        if (auto st = session.hammer_double_sided(bank, aggressors[i],
-                                                  aggressors[i + 1], now_chunk);
-            !st.ok())
-          return Error{st.error().message};
+        VPP_RETURN_IF_ERROR_CTX(
+            session.hammer_double_sided(bank, aggressors[i],
+                                        aggressors[i + 1], now_chunk),
+            "paired hammer");
       }
       if (aggressors.size() % 2 != 0) {
-        if (auto st = session.hammer_double_sided(bank, aggressors.back(),
-                                                  far_partner, now_chunk);
-            !st.ok())
-          return Error{st.error().message};
+        VPP_RETURN_IF_ERROR_CTX(
+            session.hammer_double_sided(bank, aggressors.back(), far_partner,
+                                        now_chunk),
+            "odd-aggressor hammer");
       }
     }
     if (config.refresh_during_attack) {
@@ -123,7 +135,11 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
           activity_ns / session.timing().t_refi_ns) + 1;
       softmc::Program p(session.timing());
       for (std::uint64_t r = 0; r < refs; ++r) p.ref(session.timing().t_rfc_ns);
-      if (auto res = session.execute(p); !res.status.ok()) return Error{res.status.error().message};
+      if (auto res = session.execute(p); !res.status.ok()) {
+        return std::move(res.status)
+            .error()
+            .with_context("interleaved refresh");
+      }
     }
     remaining -= now_chunk;
   }
@@ -134,7 +150,9 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
       session.module().stats().trr_mitigations - trr_before;
   for (std::size_t i = 0; i < victims.size(); ++i) {
     auto observed = session.read_row(bank, victims[i], kSafeReadTrcdNs);
-    if (!observed) return Error{observed.error().message};
+    if (!observed) {
+      return std::move(observed).error().with_context("attack readback");
+    }
     const std::uint64_t flips = count_bit_flips(victim_image, *observed);
     outcome.total_flips += flips;
     if (victims[i] == victim_row || i == 0) outcome.victim_flips = flips;

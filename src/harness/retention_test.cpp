@@ -16,12 +16,13 @@ common::Expected<double> RetentionTest::measure_ber(std::uint32_t bank,
                                                     dram::DataPattern pattern,
                                                     double trefw_ms) {
   const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
-  if (auto st = session_.init_row(bank, row, image); !st.ok())
-    return Error{st.error().message};
-  if (auto st = session_.wait_ms(trefw_ms); !st.ok())
-    return Error{st.error().message};
+  VPP_RETURN_IF_ERROR_CTX(session_.init_row(bank, row, image),
+                          "retention init");
+  VPP_RETURN_IF_ERROR_CTX(session_.wait_ms(trefw_ms), "retention wait");
   auto observed = session_.read_row(bank, row, kSafeReadTrcdNs);
-  if (!observed) return Error{observed.error().message};
+  if (!observed) {
+    return std::move(observed).error().with_context("retention readback");
+  }
   return bit_error_rate(image, *observed);
 }
 
@@ -34,9 +35,9 @@ common::Expected<RetentionRowResult> RetentionTest::test_row(
        trefw *= 2.0) {
     double worst = 0.0;
     for (int i = 0; i < config_.num_iterations; ++i) {
-      auto ber = measure_ber(bank, row, wcdp, trefw);
-      if (!ber) return Error{ber.error().message};
-      worst = std::max(worst, *ber);
+      VPP_ASSIGN_OR_RETURN(const double ber,
+                           measure_ber(bank, row, wcdp, trefw));
+      worst = std::max(worst, ber);
     }
     result.trefw_ms.push_back(trefw);
     result.ber.push_back(worst);
@@ -48,12 +49,12 @@ common::Expected<RetentionWordCensus> RetentionTest::census_at(
     std::uint32_t bank, std::uint32_t row, dram::DataPattern pattern,
     double trefw_ms) {
   const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
-  if (auto st = session_.init_row(bank, row, image); !st.ok())
-    return Error{st.error().message};
-  if (auto st = session_.wait_ms(trefw_ms); !st.ok())
-    return Error{st.error().message};
+  VPP_RETURN_IF_ERROR_CTX(session_.init_row(bank, row, image), "census init");
+  VPP_RETURN_IF_ERROR_CTX(session_.wait_ms(trefw_ms), "census wait");
   auto observed = session_.read_row(bank, row, kSafeReadTrcdNs);
-  if (!observed) return Error{observed.error().message};
+  if (!observed) {
+    return std::move(observed).error().with_context("census readback");
+  }
   RetentionWordCensus rc;
   rc.row = row;
   rc.trefw_ms = trefw_ms;
@@ -67,9 +68,9 @@ common::Expected<std::vector<RetentionRowResult>> RetentionTest::test_rows(
   std::vector<RetentionRowResult> out;
   out.reserve(rows.size());
   for (const std::uint32_t row : rows) {
-    auto rr = test_row(bank, row, pattern);
-    if (!rr) return Error{rr.error().message};
-    out.push_back(std::move(*rr));
+    VPP_ASSIGN_OR_RETURN(RetentionRowResult rr,
+                         test_row(bank, row, pattern));
+    out.push_back(std::move(rr));
   }
   return out;
 }

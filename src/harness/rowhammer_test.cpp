@@ -7,6 +7,7 @@
 namespace vppstudy::harness {
 
 using common::Error;
+using common::ErrorCode;
 
 RowHammerTest::RowHammerTest(softmc::Session& session, RowHammerConfig config)
     : session_(session), config_(config) {}
@@ -18,30 +19,34 @@ common::Expected<double> RowHammerTest::measure_ber(std::uint32_t bank,
   const auto neighbors =
       session_.module().mapping().physical_neighbors(victim_row);
   if (!neighbors.valid) {
-    return Error{"victim row has no double-sided neighborhood"};
+    return Error{ErrorCode::kInvalidArgument,
+                 "victim row has no double-sided neighborhood"}
+        .with_bank_row(static_cast<std::int32_t>(bank), victim_row);
   }
   const auto victim_image = dram::pattern_row(pattern, dram::kBytesPerRow);
   const auto aggressor_image =
       dram::pattern_row(dram::inverse_pattern(pattern), dram::kBytesPerRow);
 
-  if (auto st = session_.init_row(bank, victim_row, victim_image); !st.ok())
-    return Error{st.error().message};
-  if (auto st = session_.init_row(bank, neighbors.below, aggressor_image);
-      !st.ok())
-    return Error{st.error().message};
-  if (auto st = session_.init_row(bank, neighbors.above, aggressor_image);
-      !st.ok())
-    return Error{st.error().message};
+  VPP_RETURN_IF_ERROR_CTX(session_.init_row(bank, victim_row, victim_image),
+                          "rowhammer victim init");
+  VPP_RETURN_IF_ERROR_CTX(
+      session_.init_row(bank, neighbors.below, aggressor_image),
+      "rowhammer aggressor init");
+  VPP_RETURN_IF_ERROR_CTX(
+      session_.init_row(bank, neighbors.above, aggressor_image),
+      "rowhammer aggressor init");
 
   if (hc > 0) {
-    if (auto st = session_.hammer_double_sided(bank, neighbors.below,
-                                               neighbors.above, hc);
-        !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(
+        session_.hammer_double_sided(bank, neighbors.below, neighbors.above,
+                                     hc),
+        "rowhammer loop");
   }
 
   auto observed = session_.read_row(bank, victim_row, kSafeReadTrcdNs);
-  if (!observed) return Error{observed.error().message};
+  if (!observed) {
+    return std::move(observed).error().with_context("rowhammer readback");
+  }
   return bit_error_rate(victim_image, *observed);
 }
 
@@ -53,9 +58,9 @@ common::Expected<RowHammerRowResult> RowHammerTest::test_row(
 
   // BER at the fixed hammer count: worst (largest) across iterations.
   for (int i = 0; i < config_.num_iterations; ++i) {
-    auto ber = measure_ber(bank, victim_row, wcdp, config_.ber_hc);
-    if (!ber) return Error{ber.error().message};
-    result.ber = std::max(result.ber, *ber);
+    VPP_ASSIGN_OR_RETURN(const double ber,
+                         measure_ber(bank, victim_row, wcdp, config_.ber_hc));
+    result.ber = std::max(result.ber, ber);
   }
 
   // HCfirst: Alg. 1's bisection. Start at initial_hc; increase while no bit
@@ -66,9 +71,9 @@ common::Expected<RowHammerRowResult> RowHammerTest::test_row(
   while (step > config_.min_step) {
     double worst_ber = 0.0;
     for (int i = 0; i < config_.num_iterations; ++i) {
-      auto ber = measure_ber(bank, victim_row, wcdp, hc);
-      if (!ber) return Error{ber.error().message};
-      worst_ber = std::max(worst_ber, *ber);
+      VPP_ASSIGN_OR_RETURN(const double ber,
+                           measure_ber(bank, victim_row, wcdp, hc));
+      worst_ber = std::max(worst_ber, ber);
     }
     if (worst_ber == 0.0) {
       hc += step;
@@ -90,14 +95,14 @@ common::Expected<std::vector<RowHammerRowResult>> RowHammerTest::test_rows(
     std::uint32_t bank, std::span<const std::uint32_t> rows,
     std::span<const dram::DataPattern> wcdp) {
   if (rows.size() != wcdp.size()) {
-    return Error{"rows/wcdp size mismatch"};
+    return Error{ErrorCode::kInvalidArgument, "rows/wcdp size mismatch"};
   }
   std::vector<RowHammerRowResult> out;
   out.reserve(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    auto rr = test_row(bank, rows[i], wcdp[i]);
-    if (!rr) return Error{rr.error().message};
-    out.push_back(*rr);
+    VPP_ASSIGN_OR_RETURN(RowHammerRowResult rr,
+                         test_row(bank, rows[i], wcdp[i]));
+    out.push_back(std::move(rr));
   }
   return out;
 }

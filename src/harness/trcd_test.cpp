@@ -6,6 +6,7 @@
 namespace vppstudy::harness {
 
 using common::Error;
+using common::ErrorCode;
 
 TrcdTest::TrcdTest(softmc::Session& session, TrcdConfig config)
     : session_(session), config_(config) {}
@@ -16,12 +17,14 @@ common::Expected<bool> TrcdTest::is_faulty(std::uint32_t bank,
                                            double trcd_ns) {
   const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
   for (int iter = 0; iter < config_.num_iterations; ++iter) {
-    if (auto st = session_.init_row(bank, row, image); !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(session_.init_row(bank, row, image),
+                            "trcd init");
     for (std::uint32_t c = 0; c < dram::kColumnsPerRow;
          c += config_.column_stride) {
       auto word = session_.read_column_with_trcd(bank, row, c, trcd_ns);
-      if (!word) return Error{word.error().message};
+      if (!word) {
+        return std::move(word).error().with_context("trcd probe read");
+      }
       for (std::uint32_t i = 0; i < dram::kBytesPerColumn; ++i) {
         if ((*word)[i] != image[c * dram::kBytesPerColumn + i]) return true;
       }
@@ -44,13 +47,14 @@ common::Expected<TrcdRowResult> TrcdTest::test_row(std::uint32_t bank,
   bool found_reliable = false;
   double trcd_min = config_.start_ns;
   while (!found_faulty || !found_reliable) {
-    auto faulty = is_faulty(bank, row, wcdp, trcd);
-    if (!faulty) return Error{faulty.error().message};
-    if (*faulty) {
+    VPP_ASSIGN_OR_RETURN(const bool faulty, is_faulty(bank, row, wcdp, trcd));
+    if (faulty) {
       found_faulty = true;
       trcd += config_.step_ns;
       if (trcd > config_.max_ns) {
-        return Error{"row never became reliable below the search bound"};
+        return Error{ErrorCode::kInvalidArgument,
+                     "row never became reliable below the search bound"}
+            .with_bank_row(static_cast<std::int32_t>(bank), row);
       }
     } else {
       found_reliable = true;
@@ -69,9 +73,8 @@ common::Expected<std::vector<TrcdRowResult>> TrcdTest::test_rows(
   std::vector<TrcdRowResult> out;
   out.reserve(rows.size());
   for (const std::uint32_t row : rows) {
-    auto rr = test_row(bank, row, pattern);
-    if (!rr) return Error{rr.error().message};
-    out.push_back(*rr);
+    VPP_ASSIGN_OR_RETURN(TrcdRowResult rr, test_row(bank, row, pattern));
+    out.push_back(rr);
   }
   return out;
 }

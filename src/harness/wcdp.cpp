@@ -29,14 +29,18 @@ common::Expected<DataPattern> find_wcdp_hammer(softmc::Session& session,
     double best_ber = 0.0;
     for (const DataPattern p : dram::kAllPatterns) {
       auto ber = test.measure_ber(bank, row, p, probe_hc);
-      if (!ber) return Error{ber.error().message};
+      if (!ber) {
+        return std::move(ber).error().with_context("wcdp hammer probe");
+      }
       if (*ber <= 0.0) continue;
       // Halve until the flips disappear: the last flipping count is the
       // coarse HCfirst of this pattern.
       std::uint64_t first_hc = probe_hc;
       for (std::uint64_t hc = probe_hc / 2; hc >= probe_hc / 32; hc /= 2) {
         auto b = test.measure_ber(bank, row, p, hc);
-        if (!b) return Error{b.error().message};
+        if (!b) {
+          return std::move(b).error().with_context("wcdp halving ladder");
+        }
         if (*b <= 0.0) break;
         first_hc = hc;
       }
@@ -60,9 +64,9 @@ common::Expected<std::vector<DataPattern>> find_wcdp_hammer_rows(
   std::vector<DataPattern> out;
   out.reserve(rows.size());
   for (const std::uint32_t row : rows) {
-    auto p = find_wcdp_hammer(session, bank, row, probe_hc);
-    if (!p) return Error{p.error().message};
-    out.push_back(*p);
+    VPP_ASSIGN_OR_RETURN(const DataPattern p,
+                         find_wcdp_hammer(session, bank, row, probe_hc));
+    out.push_back(p);
   }
   return out;
 }
@@ -75,12 +79,14 @@ common::Expected<DataPattern> find_wcdp_retention(softmc::Session& session,
   double best_ber = -1.0;
   for (const DataPattern p : dram::kAllPatterns) {
     const auto image = dram::pattern_row(p, dram::kBytesPerRow);
-    if (auto st = session.init_row(bank, row, image); !st.ok())
-      return Error{st.error().message};
-    if (auto st = session.wait_ms(probe_trefw_ms); !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(session.init_row(bank, row, image),
+                            "wcdp retention init");
+    VPP_RETURN_IF_ERROR_CTX(session.wait_ms(probe_trefw_ms),
+                            "wcdp retention wait");
     auto observed = session.read_row(bank, row, kSafeReadTrcdNs);
-    if (!observed) return Error{observed.error().message};
+    if (!observed) {
+      return std::move(observed).error().with_context("wcdp retention read");
+    }
     const double ber = bit_error_rate(image, *observed);
     if (ber > best_ber) {
       best_ber = ber;
@@ -98,12 +104,14 @@ common::Expected<DataPattern> find_wcdp_trcd(softmc::Session& session,
   std::uint64_t best_errors = 0;
   for (const DataPattern p : dram::kAllPatterns) {
     const auto image = dram::pattern_row(p, dram::kBytesPerRow);
-    if (auto st = session.init_row(bank, row, image); !st.ok())
-      return Error{st.error().message};
+    VPP_RETURN_IF_ERROR_CTX(session.init_row(bank, row, image),
+                            "wcdp trcd init");
     std::uint64_t errors = 0;
     for (std::uint32_t c = 0; c < dram::kColumnsPerRow; c += 64) {
       auto word = session.read_column_with_trcd(bank, row, c, probe_trcd_ns);
-      if (!word) return Error{word.error().message};
+      if (!word) {
+        return std::move(word).error().with_context("wcdp trcd probe");
+      }
       for (std::uint32_t i = 0; i < dram::kBytesPerColumn; ++i) {
         errors += static_cast<std::uint64_t>(
             __builtin_popcount(static_cast<unsigned>(

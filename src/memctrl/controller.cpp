@@ -91,7 +91,9 @@ Status MemoryController::refresh_neighbors_of(std::uint32_t bank,
 }
 
 common::Expected<Response> MemoryController::execute(const Request& request) {
-  if (auto st = catch_up_refresh(); !st.ok()) return Error{st.error().message};
+  if (auto st = catch_up_refresh(); !st.ok()) {
+    return std::move(st).error().with_context("catch_up_refresh");
+  }
 
   const auto& addr = request.address;
   const auto& t = session_.timing();
@@ -111,7 +113,7 @@ common::Expected<Response> MemoryController::execute(const Request& request) {
       softmc::Program wait(t);
       wait.wait_ns(action.throttle_ns);
       if (auto r = session_.execute(wait); !r.status.ok())
-        return Error{r.status.error().message};
+        return std::move(r.status).error().with_context("mitigation throttle");
       stats_.throttled_ns += action.throttle_ns;
     }
   }
@@ -142,7 +144,12 @@ common::Expected<Response> MemoryController::execute(const Request& request) {
     }
   }
   auto result = session_.execute(p);
-  if (!result.status.ok()) return Error{result.status.error().message};
+  if (!result.status.ok()) {
+    return std::move(result.status)
+        .error()
+        .with_bank_row(static_cast<std::int32_t>(addr.bank), addr.row)
+        .with_context("memory controller access");
+  }
   if (open_page) open_rows_[addr.bank] = static_cast<std::int64_t>(addr.row);
 
   if (request.kind == Request::Kind::kWrite) {
@@ -154,7 +161,11 @@ common::Expected<Response> MemoryController::execute(const Request& request) {
     }
   } else {
     ++stats_.reads;
-    if (result.reads.size() != 1) return Error{"missing read data"};
+    if (result.reads.size() != 1) {
+      return Error{common::ErrorCode::kReadUnderrun, "missing read data"}
+          .with_bank_row(static_cast<std::int32_t>(addr.bank), addr.row)
+          .with_op("RD");
+    }
     response.data = result.reads.front();
     if (options_.use_secded) {
       const auto it = ecc_store_.find(ecc_key(addr));
@@ -186,11 +197,11 @@ common::Expected<Response> MemoryController::execute(const Request& request) {
   // (targeted row touches need precharged banks).
   if (!action.refresh_neighbors_of.empty()) {
     if (auto st = close_all_rows(); !st.ok())
-      return Error{st.error().message};
+      return std::move(st).error().with_context("preventive refresh");
   }
   for (const std::uint32_t victim_of : action.refresh_neighbors_of) {
     if (auto st = refresh_neighbors_of(addr.bank, victim_of); !st.ok())
-      return Error{st.error().message};
+      return std::move(st).error().with_context("preventive refresh");
   }
 
   response.completed_at_ns = session_.clock_ns();

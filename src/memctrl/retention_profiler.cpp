@@ -24,12 +24,15 @@ common::Expected<RetentionProfile> profile_retention(
          {dram::DataPattern::kCheckerAA, dram::DataPattern::kChecker55}) {
       const auto image = dram::pattern_row(pattern, dram::kBytesPerRow);
       if (auto st = session.init_row(options.bank, row, image); !st.ok())
-        return Error{st.error().message};
+        return std::move(st).error().with_context("retention profiler init");
       if (auto st = session.wait_ms(window_ms); !st.ok())
-        return Error{st.error().message};
+        return std::move(st).error().with_context("retention profiler wait");
       auto observed =
           session.read_row(options.bank, row, harness::kSafeReadTrcdNs);
-      if (!observed) return Error{observed.error().message};
+      if (!observed) {
+        return std::move(observed).error().with_context(
+            "retention profiler readback");
+      }
       if (harness::count_bit_flips(image, *observed) > 0) {
         weak = true;
         break;

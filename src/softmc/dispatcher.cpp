@@ -1,0 +1,130 @@
+#include "softmc/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace vppstudy::softmc {
+
+using common::Error;
+using common::ErrorCode;
+using common::Status;
+
+CommandDispatcher::CommandDispatcher(
+    dram::Module& module, const std::vector<TimingViolation>& violation_log)
+    : module_(module), violation_log_(violation_log) {}
+
+void CommandDispatcher::add_observer(SessionObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;
+  }
+  observers_.push_back(observer);
+}
+
+void CommandDispatcher::remove_observer(SessionObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void CommandDispatcher::advance(double& clock_ns, double ns) {
+  const double from = clock_ns;
+  clock_ns += ns;
+  for (SessionObserver* obs : observers_) obs->on_clock_advance(from, clock_ns);
+}
+
+void CommandDispatcher::notify_command(const Instruction& inst,
+                                       double now_ns) {
+  for (SessionObserver* obs : observers_) obs->on_command(inst, now_ns);
+}
+
+void CommandDispatcher::notify_new_violations(std::size_t watermark) {
+  for (std::size_t i = watermark; i < violation_log_.size(); ++i) {
+    for (SessionObserver* obs : observers_) {
+      obs->on_violation(violation_log_[i]);
+    }
+  }
+}
+
+ExecutionResult CommandDispatcher::execute(const Program& program,
+                                           double& clock_ns) {
+  ExecutionResult result;
+  result.reads.reserve(program.read_count());
+  const std::size_t violations_before = violation_log_.size();
+  for (const Instruction& inst : program.instructions()) {
+    advance(clock_ns, inst.slots_after_previous * common::kCommandSlotNs);
+    if (inst.extra_wait_ns > 0.0) advance(clock_ns, inst.extra_wait_ns);
+
+    // The timing checker is the first observer: it sees the command at its
+    // issue timestamp before the device acts on it (hammer loops are
+    // checked when the loop retires, via on_hammer below).
+    std::size_t watermark = violation_log_.size();
+    notify_command(inst, clock_ns);
+    notify_new_violations(watermark);
+
+    Status st;
+    switch (inst.kind) {
+      case dram::CommandKind::kActivate:
+        if (inst.loop_count > 0) {
+          const double start = clock_ns;
+          double now = clock_ns;
+          st = module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
+                                   inst.loop_count, inst.loop_act_to_act_ns,
+                                   now);
+          watermark = violation_log_.size();
+          for (SessionObserver* obs : observers_) {
+            obs->on_hammer(inst.bank, inst.loop_count,
+                           inst.loop_act_to_act_ns, start, now);
+          }
+          notify_new_violations(watermark);
+          const double from = clock_ns;
+          clock_ns = now;
+          for (SessionObserver* obs : observers_) {
+            obs->on_clock_advance(from, clock_ns);
+          }
+        } else {
+          st = module_.activate(inst.bank, inst.row, clock_ns);
+        }
+        break;
+      case dram::CommandKind::kPrecharge:
+        st = module_.precharge(inst.bank, clock_ns);
+        break;
+      case dram::CommandKind::kPrechargeAll:
+        st = module_.precharge_all(clock_ns);
+        break;
+      case dram::CommandKind::kRead: {
+        auto data = module_.read(inst.bank, inst.column, clock_ns);
+        if (!data) {
+          st = std::move(data).error();
+        } else {
+          result.reads.push_back(*data);
+        }
+        break;
+      }
+      case dram::CommandKind::kWrite:
+        st = module_.write(inst.bank, inst.column, inst.write_data, clock_ns);
+        break;
+      case dram::CommandKind::kRefresh:
+        st = module_.refresh(clock_ns);
+        break;
+      case dram::CommandKind::kNop:
+        break;
+    }
+    if (!st.ok()) {
+      result.status = std::move(st)
+                          .error()
+                          .with_op(dram::command_name(inst.kind))
+                          .with_bank(static_cast<std::int32_t>(inst.bank));
+      for (SessionObserver* obs : observers_) {
+        obs->on_error(result.status.error(), clock_ns);
+      }
+      break;
+    }
+  }
+  result.timing_violations = violation_log_.size() - violations_before;
+  return result;
+}
+
+}  // namespace vppstudy::softmc

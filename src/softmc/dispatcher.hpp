@@ -1,0 +1,57 @@
+// CommandDispatcher: the per-instruction dispatch loop extracted from
+// Session::execute. It owns nothing but references -- the device under test
+// and the observer list -- and is deliberately dumb: it advances the command
+// clock, issues each instruction to the module, and notifies observers. The
+// timing checker is the first observer, so every command is timing-checked
+// before the device acts on it, exactly as in the pre-refactor monolith; the
+// dispatcher must not change command ordering or clock arithmetic (sweep
+// output is bit-identical by construction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "dram/module.hpp"
+#include "softmc/observer.hpp"
+#include "softmc/program.hpp"
+
+namespace vppstudy::softmc {
+
+/// Result of executing a Program.
+struct ExecutionResult {
+  std::vector<std::array<std::uint8_t, dram::kBytesPerColumn>> reads;
+  std::size_t timing_violations = 0;
+  common::Status status;  ///< first device error aborts execution
+};
+
+class CommandDispatcher {
+ public:
+  /// `violation_log` is the checker's violation vector; the dispatcher
+  /// watches it for growth so new violations fan out to observers.
+  CommandDispatcher(dram::Module& module,
+                    const std::vector<TimingViolation>& violation_log);
+
+  /// Observers are notified in registration order. The timing checker must
+  /// be registered first (Session does this) so it sees commands before any
+  /// derived metric does. Observers are borrowed, never owned.
+  void add_observer(SessionObserver* observer);
+  void remove_observer(SessionObserver* observer);
+
+  /// Execute `program` against the module, advancing `clock_ns` in place.
+  [[nodiscard]] ExecutionResult execute(const Program& program,
+                                        double& clock_ns);
+
+ private:
+  void advance(double& clock_ns, double ns);
+  void notify_command(const Instruction& inst, double now_ns);
+  /// Fan out violations appended to the log since `watermark`.
+  void notify_new_violations(std::size_t watermark);
+
+  dram::Module& module_;
+  const std::vector<TimingViolation>& violation_log_;
+  std::vector<SessionObserver*> observers_;
+};
+
+}  // namespace vppstudy::softmc

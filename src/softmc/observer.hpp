@@ -1,0 +1,73 @@
+// The session observer interface: the command stream is the observable
+// artifact of the methodology (every deliberate timing violation, hammer
+// loop, and failure mode of sections 4.1-4.3 is a sequence of DDR4 commands
+// the host issues). The CommandDispatcher notifies observers of every
+// command, hammer loop, timing violation, device error, and clock advance;
+// TimingChecker is the first observer, CommandTraceRecorder and
+// SessionCounters ride on the same hooks, and later work (fault injection,
+// trace-driven replay) plugs in without touching the dispatch loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "softmc/program.hpp"
+
+namespace vppstudy::softmc {
+
+/// One JEDEC timing rule a command would have broken. Deliberate violations
+/// are the methodology, so these are observations, never failures.
+struct TimingViolation {
+  std::string rule;       ///< e.g. "tRCD"
+  std::uint32_t bank = 0;
+  double required_ns = 0.0;
+  double actual_ns = 0.0;
+  double at_ns = 0.0;
+};
+
+/// Hook interface for the command dispatch loop. All callbacks default to
+/// no-ops so observers override only what they need. Callback order per
+/// instruction: on_clock_advance (as the command clock moves to issue
+/// time), on_command (at issue, before the device acts), then -- after the
+/// device acts -- on_hammer for loop instructions, on_violation for each
+/// new timing violation, and on_error if the device rejected the command.
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+
+  /// The command clock moved from `from_ns` to `to_ns`.
+  virtual void on_clock_advance(double from_ns, double to_ns) {
+    (void)from_ns;
+    (void)to_ns;
+  }
+  /// An instruction issues at `now_ns`. Hammer loops (loop_count > 0)
+  /// surface here once at loop start; their activations are reported via
+  /// on_hammer when the loop retires.
+  virtual void on_command(const Instruction& inst, double now_ns) {
+    (void)inst;
+    (void)now_ns;
+  }
+  /// A hammer loop retired: `count` activations of each aggressor at
+  /// `act_to_act_ns` spacing between start_ns and end_ns.
+  virtual void on_hammer(std::uint32_t bank, std::uint64_t count,
+                         double act_to_act_ns, double start_ns,
+                         double end_ns) {
+    (void)bank;
+    (void)count;
+    (void)act_to_act_ns;
+    (void)start_ns;
+    (void)end_ns;
+  }
+  /// The timing checker flagged a JEDEC rule.
+  virtual void on_violation(const TimingViolation& violation) {
+    (void)violation;
+  }
+  /// The device rejected a command; execution aborts after this call.
+  virtual void on_error(const common::Error& error, double now_ns) {
+    (void)error;
+    (void)now_ns;
+  }
+};
+
+}  // namespace vppstudy::softmc

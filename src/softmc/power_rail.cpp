@@ -9,7 +9,11 @@ PowerRail::PowerRail(double initial_v, Limits limits)
 
 common::Expected<double> PowerRail::set_voltage(double volts) {
   if (volts < limits_.min_v - 1e-12 || volts > limits_.max_v + 1e-12) {
-    return common::Error{"requested voltage outside instrument range"};
+    return common::Error{common::ErrorCode::kVppOutOfRange,
+                         "requested " + std::to_string(volts) +
+                             "V outside instrument range [" +
+                             std::to_string(limits_.min_v) + ", " +
+                             std::to_string(limits_.max_v) + "]V"};
   }
   const double quantized =
       std::round(volts / limits_.resolution_v) * limits_.resolution_v;

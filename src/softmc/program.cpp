@@ -44,6 +44,7 @@ Program& Program::rd(std::uint32_t bank, std::uint32_t column,
   i.kind = dram::CommandKind::kRead;
   i.bank = bank;
   i.column = column;
+  ++read_count_;
   return push(i, timing_.t_rcd_ns, delay_ns);
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,9 @@ class Program {
   [[nodiscard]] const std::vector<Instruction>& instructions() const noexcept {
     return instructions_;
   }
+  /// Number of RD instructions: lets the executor pre-size its read-burst
+  /// buffer (a 1024-column row read would otherwise reallocate ~10 times).
+  [[nodiscard]] std::size_t read_count() const noexcept { return read_count_; }
 
   /// Convert a latency in ns to command slots, rounding *up* (the FPGA can
   /// only lengthen timing to the next 1.5ns boundary).
@@ -70,6 +74,7 @@ class Program {
 
   dram::Ddr4Timing timing_;
   std::vector<Instruction> instructions_;
+  std::size_t read_count_ = 0;
 };
 
 }  // namespace vppstudy::softmc

@@ -9,6 +9,7 @@
 namespace vppstudy::softmc {
 
 using common::Error;
+using common::ErrorCode;
 
 namespace {
 
@@ -29,12 +30,12 @@ common::Expected<std::array<std::uint8_t, dram::kBytesPerColumn>> parse_hex(
     const std::string& hex) {
   std::array<std::uint8_t, dram::kBytesPerColumn> out{};
   if (hex.size() != 2 * dram::kBytesPerColumn) {
-    return Error{"WR data must be 16 hex digits"};
+    return Error{ErrorCode::kParseError, "WR data must be 16 hex digits"};
   }
   for (std::size_t i = 0; i < out.size(); ++i) {
     unsigned byte = 0;
     if (std::sscanf(hex.c_str() + 2 * i, "%2x", &byte) != 1) {
-      return Error{"invalid hex in WR data"};
+      return Error{ErrorCode::kParseError, "invalid hex in WR data"};
     }
     out[i] = static_cast<std::uint8_t>(byte);
   }
@@ -101,7 +102,8 @@ common::Expected<Program> program_from_text(std::string_view text,
     if (!(ls >> op)) continue;
 
     const auto fail = [&](const std::string& why) {
-      return Error{"line " + std::to_string(line_no) + ": " + why};
+      return Error{ErrorCode::kParseError,
+                   "line " + std::to_string(line_no) + ": " + why};
     };
 
     // Optional trailing "@<delay>" is picked off the token stream later.
@@ -132,7 +134,10 @@ common::Expected<Program> program_from_text(std::string_view text,
         return fail("WR needs <bank> <col> <hex16>");
       }
       auto data = parse_hex(hex);
-      if (!data) return fail(data.error().message);
+      if (!data) {
+        return std::move(data).error().with_context(
+            "line " + std::to_string(line_no));
+      }
       program.wr(bank, col, *data, read_delay());
     } else if (op == "REF") {
       program.ref(read_delay());

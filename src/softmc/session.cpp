@@ -1,31 +1,67 @@
 #include "softmc/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/units.hpp"
 
 namespace vppstudy::softmc {
 
 using common::Error;
+using common::ErrorCode;
 using common::Status;
+
+namespace {
+
+std::int64_t to_millivolts(double volts) noexcept {
+  return static_cast<std::int64_t>(std::llround(volts * 1000.0));
+}
+
+}  // namespace
 
 Session::Session(dram::ModuleProfile profile)
     : module_(std::move(profile)),
       timing_(dram::timing_for_speed_grade(module_.profile().frequency_mts)),
       rail_(common::kNominalVppV),
-      checker_(timing_) {
+      checker_(timing_),
+      dispatcher_(module_, checker_.violations()),
+      ops_(timing_) {
   module_.set_vpp(rail_.voltage());
   module_.set_temperature(chamber_.temperature_c());
+  // Observer order is part of the execution contract: the timing checker
+  // must see every command first, then derived metrics accumulate.
+  dispatcher_.add_observer(&checker_);
+  dispatcher_.add_observer(&counters_);
+}
+
+void Session::enable_trace(std::size_t capacity) {
+  disable_trace();
+  trace_ = std::make_unique<CommandTraceRecorder>(capacity);
+  dispatcher_.add_observer(trace_.get());
+}
+
+void Session::disable_trace() {
+  if (!trace_) return;
+  dispatcher_.remove_observer(trace_.get());
+  trace_.reset();
 }
 
 Status Session::set_vpp(double vpp_v) {
   auto applied = rail_.set_voltage(vpp_v);
-  if (!applied) return Error{applied.error().message};
+  if (!applied) {
+    return std::move(applied)
+        .error()
+        .with_module(module_.profile().name)
+        .with_vpp_mv(to_millivolts(vpp_v));
+  }
   module_.set_vpp(*applied);
   if (!module_.responsive()) {
-    return Error{"module " + module_.profile().name +
-                 " stopped communicating at VPP=" + std::to_string(*applied) +
-                 "V (below VPPmin)"};
+    return Error{ErrorCode::kModuleUnresponsive,
+                 "module " + module_.profile().name +
+                     " stopped communicating at VPP=" +
+                     std::to_string(*applied) + "V (below VPPmin)"}
+        .with_module(module_.profile().name)
+        .with_vpp_mv(to_millivolts(*applied));
   }
   return Status::ok_status();
 }
@@ -34,106 +70,43 @@ Status Session::set_temperature(double temp_c) {
   const auto settle = chamber_.settle(temp_c);
   module_.set_temperature(settle.temperature_c);
   if (!settle.converged) {
-    return Error{"thermal chamber failed to settle at " +
-                 std::to_string(temp_c) + "C"};
+    return Error{ErrorCode::kThermalTimeout,
+                 "thermal chamber failed to settle at " +
+                     std::to_string(temp_c) + "C"}
+        .with_module(module_.profile().name);
   }
   return Status::ok_status();
 }
 
-ExecutionResult Session::execute(const Program& program) {
-  ExecutionResult result;
-  const std::size_t violations_before = checker_.violations().size();
-  for (const Instruction& inst : program.instructions()) {
-    advance(inst.slots_after_previous * common::kCommandSlotNs);
-    if (inst.extra_wait_ns > 0.0) advance(inst.extra_wait_ns);
-
-    Status st;
-    switch (inst.kind) {
-      case dram::CommandKind::kActivate:
-        if (inst.loop_count > 0) {
-          const double start = clock_ns_;
-          double now = clock_ns_;
-          st = module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
-                                   inst.loop_count, inst.loop_act_to_act_ns,
-                                   now);
-          checker_.observe_hammer(inst.bank, inst.loop_count,
-                                  inst.loop_act_to_act_ns, start, now);
-          clock_ns_ = now;
-        } else {
-          checker_.observe(inst.kind, inst.bank, clock_ns_);
-          st = module_.activate(inst.bank, inst.row, clock_ns_);
-        }
-        break;
-      case dram::CommandKind::kPrecharge:
-        checker_.observe(inst.kind, inst.bank, clock_ns_);
-        st = module_.precharge(inst.bank, clock_ns_);
-        break;
-      case dram::CommandKind::kPrechargeAll:
-        checker_.observe(inst.kind, inst.bank, clock_ns_);
-        st = module_.precharge_all(clock_ns_);
-        break;
-      case dram::CommandKind::kRead: {
-        checker_.observe(inst.kind, inst.bank, clock_ns_);
-        auto data = module_.read(inst.bank, inst.column, clock_ns_);
-        if (!data) {
-          st = Error{data.error().message};
-        } else {
-          result.reads.push_back(*data);
-        }
-        break;
-      }
-      case dram::CommandKind::kWrite:
-        checker_.observe(inst.kind, inst.bank, clock_ns_);
-        st = module_.write(inst.bank, inst.column, inst.write_data, clock_ns_);
-        break;
-      case dram::CommandKind::kRefresh:
-        checker_.observe(inst.kind, inst.bank, clock_ns_);
-        st = module_.refresh(clock_ns_);
-        break;
-      case dram::CommandKind::kNop:
-        break;
-    }
-    if (!st.ok()) {
-      result.status = st;
-      break;
-    }
-  }
-  result.timing_violations = checker_.violations().size() - violations_before;
-  return result;
-}
-
 Status Session::init_row(std::uint32_t bank, std::uint32_t row,
                          const std::vector<std::uint8_t>& image) {
-  if (image.size() != dram::kBytesPerRow) {
-    return Error{"row image must be exactly one row (8192 bytes)"};
+  auto program = ops_.init_row(bank, row, image);
+  if (!program) {
+    return std::move(program).error().with_module(module_.profile().name);
   }
-  Program p(timing_);
-  p.act(bank, row);
-  // Burst writes back-to-back at 4-clock column spacing.
-  const double col_spacing = 4.0 * timing_.t_ck_ns;
-  for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
-    std::array<std::uint8_t, dram::kBytesPerColumn> word{};
-    std::copy_n(image.begin() + c * dram::kBytesPerColumn,
-                dram::kBytesPerColumn, word.begin());
-    p.wr(bank, c, word, c == 0 ? timing_.t_rcd_ns : col_spacing);
-  }
-  p.pre(bank, timing_.t_wr_ns + col_spacing);
-  auto r = execute(p);
-  return r.status;
+  return execute(*program).status;
 }
 
 common::Expected<std::vector<std::uint8_t>> Session::read_row(
     std::uint32_t bank, std::uint32_t row, double trcd_ns) {
-  Program p(timing_);
-  p.act(bank, row);
-  const double first_delay = trcd_ns > 0.0 ? trcd_ns : timing_.t_rcd_ns;
-  const double col_spacing = 4.0 * timing_.t_ck_ns;
-  for (std::uint32_t c = 0; c < dram::kColumnsPerRow; ++c) {
-    p.rd(bank, c, c == 0 ? first_delay : col_spacing);
+  auto r = execute(ops_.read_row(bank, row, trcd_ns));
+  if (!r.status.ok()) {
+    return std::move(r.status)
+        .error()
+        .with_bank_row(static_cast<std::int32_t>(bank), row)
+        .with_context("read_row");
   }
-  p.pre(bank, timing_.t_rtp_ns);
-  auto r = execute(p);
-  if (!r.status.ok()) return Error{r.status.error().message};
+  if (r.reads.size() != dram::kColumnsPerRow) {
+    // A short read is a rig fault, not data: zero-filling the tail would
+    // masquerade as bit flips in whatever experiment is verifying this row.
+    return Error{ErrorCode::kReadUnderrun,
+                 "row readout returned " + std::to_string(r.reads.size()) +
+                     " of " + std::to_string(dram::kColumnsPerRow) +
+                     " read bursts"}
+        .with_module(module_.profile().name)
+        .with_bank_row(static_cast<std::int32_t>(bank), row)
+        .with_op("RD");
+  }
   std::vector<std::uint8_t> out(dram::kBytesPerRow);
   for (std::size_t c = 0; c < r.reads.size(); ++c) {
     std::copy(r.reads[c].begin(), r.reads[c].end(),
@@ -145,38 +118,40 @@ common::Expected<std::vector<std::uint8_t>> Session::read_row(
 common::Expected<std::array<std::uint8_t, dram::kBytesPerColumn>>
 Session::read_column_with_trcd(std::uint32_t bank, std::uint32_t row,
                                std::uint32_t column, double trcd_ns) {
-  Program p(timing_);
-  p.act(bank, row);
-  p.rd(bank, column, trcd_ns);  // possibly < nominal: the experiment
-  p.pre(bank, std::max(timing_.t_ras_ns - trcd_ns, timing_.t_rtp_ns));
-  auto r = execute(p);
-  if (!r.status.ok()) return Error{r.status.error().message};
-  if (r.reads.size() != 1) return Error{"expected exactly one read burst"};
+  auto r = execute(ops_.read_column(bank, row, column, trcd_ns));
+  if (!r.status.ok()) {
+    return std::move(r.status)
+        .error()
+        .with_bank_row(static_cast<std::int32_t>(bank), row)
+        .with_context("read_column_with_trcd");
+  }
+  if (r.reads.size() != 1) {
+    return Error{ErrorCode::kReadUnderrun,
+                 "expected exactly one read burst, got " +
+                     std::to_string(r.reads.size())}
+        .with_module(module_.profile().name)
+        .with_bank_row(static_cast<std::int32_t>(bank), row)
+        .with_op("RD");
+  }
   return r.reads.front();
 }
 
 Status Session::hammer_double_sided(std::uint32_t bank, std::uint32_t row_a,
                                     std::uint32_t row_b, std::uint64_t count,
                                     double act_to_act_ns) {
-  Program p(timing_);
-  p.hammer(bank, row_a, row_b, count, act_to_act_ns);
-  return execute(p).status;
+  return execute(ops_.hammer_pair(bank, row_a, row_b, count, act_to_act_ns))
+      .status;
 }
 
 Status Session::wait_ms(double ms) {
   if (!auto_refresh_) {
-    Program p(timing_);
-    p.wait_ns(common::ms_to_ns(ms));
-    return execute(p).status;
+    return execute(ops_.wait(common::ms_to_ns(ms))).status;
   }
   // With refresh enabled, interleave REF commands at tREFI.
   double remaining_ns = common::ms_to_ns(ms);
   while (remaining_ns > 0.0) {
     const double chunk = std::min(remaining_ns, timing_.t_refi_ns);
-    Program p(timing_);
-    p.wait_ns(chunk);
-    p.ref(timing_.t_rp_ns);
-    auto r = execute(p);
+    auto r = execute(ops_.wait(chunk, /*ref_after=*/true));
     if (!r.status.ok()) return r.status;
     remaining_ns -= chunk;
   }

@@ -1,30 +1,28 @@
 // The SoftMC host session: owns the device under test, the external VPP
 // supply, the thermal chamber, a monotonically advancing command clock, and
-// the timing checker. The characterization harness (src/harness) talks only
-// to this class -- the same boundary the paper's host software has against
-// the FPGA.
+// the command dispatcher with its observer chain (timing checker first, then
+// always-on command counters, then an optional trace recorder). The
+// characterization harness (src/harness) talks only to this class -- the
+// same boundary the paper's host software has against the FPGA.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/expected.hpp"
 #include "dram/module.hpp"
 #include "dram/timing.hpp"
+#include "softmc/counters.hpp"
+#include "softmc/dispatcher.hpp"
 #include "softmc/power_rail.hpp"
 #include "softmc/program.hpp"
+#include "softmc/row_ops.hpp"
 #include "softmc/thermal.hpp"
 #include "softmc/timing_checker.hpp"
+#include "softmc/trace_recorder.hpp"
 
 namespace vppstudy::softmc {
-
-/// Result of executing a Program.
-struct ExecutionResult {
-  std::vector<std::array<std::uint8_t, dram::kBytesPerColumn>> reads;
-  std::size_t timing_violations = 0;
-  common::Status status;  ///< first device error aborts execution
-};
 
 class Session {
  public:
@@ -39,11 +37,13 @@ class Session {
   [[nodiscard]] double clock_ns() const noexcept { return clock_ns_; }
 
   // --- Rig control -----------------------------------------------------------
-  /// Program the external VPP supply; fails when the voltage is out of the
-  /// instrument's range OR the module stops responding at this level.
+  /// Program the external VPP supply; fails with kVppOutOfRange when the
+  /// voltage is outside the instrument's range, kModuleUnresponsive when
+  /// the module stops responding at this level.
   common::Status set_vpp(double vpp_v);
   [[nodiscard]] double vpp() const noexcept { return rail_.voltage(); }
-  /// Drive the heater pads to a setpoint (blocks until the PID settles).
+  /// Drive the heater pads to a setpoint (blocks until the PID settles);
+  /// fails with kThermalTimeout when it does not converge.
   common::Status set_temperature(double temp_c);
   [[nodiscard]] double temperature() const noexcept {
     return chamber_.temperature_c();
@@ -58,22 +58,50 @@ class Session {
     module_.set_noise_stream(stream);
   }
 
-  // --- Program execution ------------------------------------------------------
-  [[nodiscard]] ExecutionResult execute(const Program& program);
+  // --- Program execution -------------------------------------------------------
+  [[nodiscard]] ExecutionResult execute(const Program& program) {
+    return dispatcher_.execute(program, clock_ns_);
+  }
 
   [[nodiscard]] const std::vector<TimingViolation>& violations() const noexcept {
     return checker_.violations();
   }
   void clear_violations() { checker_.clear_violations(); }
 
+  // --- Instrumentation ---------------------------------------------------------
+  /// Always-on command counters (see softmc/counters.hpp).
+  [[nodiscard]] const CommandCounts& counters() const noexcept {
+    return counters_.counts();
+  }
+  void reset_counters() noexcept { counters_.reset(); }
+
+  /// Attach a command trace ring buffer (replacing any previous one).
+  void enable_trace(std::size_t capacity = CommandTraceRecorder::kDefaultCapacity);
+  void disable_trace();
+  /// nullptr unless enable_trace() was called.
+  [[nodiscard]] const CommandTraceRecorder* trace() const noexcept {
+    return trace_.get();
+  }
+
+  /// Register an external observer (fault injectors, custom metrics). The
+  /// observer is borrowed and must outlive the session (or be removed).
+  void add_observer(SessionObserver* observer) {
+    dispatcher_.add_observer(observer);
+  }
+  void remove_observer(SessionObserver* observer) {
+    dispatcher_.remove_observer(observer);
+  }
+
   // --- Convenience operations used by the harness -----------------------------
+  // All are thin wrappers over RowOps program builders + execute().
   /// ACT + 1024 WR + PRE with nominal timing.
   common::Status init_row(std::uint32_t bank, std::uint32_t row,
                           const std::vector<std::uint8_t>& image);
   /// ACT + 1024 RD + PRE; returns the full 8KB row. `trcd_ns <= 0` uses the
   /// nominal tRCD. Characterization harnesses pass a generous latency so
   /// verification reads cannot be corrupted by marginal activation timing
-  /// (isolating the effect under test, section 4.1).
+  /// (isolating the effect under test, section 4.1). Fails with
+  /// kReadUnderrun if the device returned fewer bursts than requested.
   common::Expected<std::vector<std::uint8_t>> read_row(std::uint32_t bank,
                                                        std::uint32_t row,
                                                        double trcd_ns = -1.0);
@@ -92,13 +120,15 @@ class Session {
   common::Status wait_ms(double ms);
 
  private:
-  void advance(double ns) noexcept { clock_ns_ += ns; }
-
   dram::Module module_;
   dram::Ddr4Timing timing_;
   PowerRail rail_;
   ThermalChamber chamber_;
   TimingChecker checker_;
+  SessionCounters counters_;
+  std::unique_ptr<CommandTraceRecorder> trace_;
+  CommandDispatcher dispatcher_;
+  RowOps ops_;
   double clock_ns_ = 0.0;
   bool auto_refresh_ = false;
 };

@@ -1,7 +1,9 @@
 // Observational DDR4 timing checker. SoftMC deliberately lets tests violate
 // timing -- that is the methodology -- so the checker never blocks a command;
 // it records which JEDEC rule a command would have broken, letting tests and
-// benches distinguish intentional violations (reduced tRCD) from bugs.
+// benches distinguish intentional violations (reduced tRCD) from bugs. It is
+// the first observer on the CommandDispatcher: it sees every command before
+// the device acts on it.
 #pragma once
 
 #include <deque>
@@ -10,18 +12,11 @@
 
 #include "dram/timing.hpp"
 #include "dram/types.hpp"
+#include "softmc/observer.hpp"
 
 namespace vppstudy::softmc {
 
-struct TimingViolation {
-  std::string rule;       ///< e.g. "tRCD"
-  std::uint32_t bank = 0;
-  double required_ns = 0.0;
-  double actual_ns = 0.0;
-  double at_ns = 0.0;
-};
-
-class TimingChecker {
+class TimingChecker : public SessionObserver {
  public:
   explicit TimingChecker(dram::Ddr4Timing timing);
 
@@ -30,6 +25,19 @@ class TimingChecker {
   /// Observe a bulk hammer loop (checked against tRC once).
   void observe_hammer(std::uint32_t bank, std::uint64_t count,
                       double act_to_act_ns, double start_ns, double end_ns);
+
+  // --- SessionObserver -------------------------------------------------------
+  /// Loop instructions are skipped here (their timing is checked when the
+  /// loop retires, via on_hammer).
+  void on_command(const Instruction& inst, double now_ns) override {
+    if (inst.loop_count > 0) return;
+    observe(inst.kind, inst.bank, now_ns);
+  }
+  void on_hammer(std::uint32_t bank, std::uint64_t count,
+                 double act_to_act_ns, double start_ns,
+                 double end_ns) override {
+    observe_hammer(bank, count, act_to_act_ns, start_ns, end_ns);
+  }
 
   [[nodiscard]] const std::vector<TimingViolation>& violations() const noexcept {
     return violations_;

@@ -1,0 +1,88 @@
+#include "softmc/trace_recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace vppstudy::softmc {
+
+std::string TraceEntry::to_string() const {
+  char buf[128];
+  if (loop_count > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "HAMMER b%u r%u/r%u x%" PRIu64 " @%.1fns", bank, row, column,
+                  loop_count, at_ns);
+    return buf;
+  }
+  switch (kind) {
+    case dram::CommandKind::kActivate:
+      std::snprintf(buf, sizeof(buf), "ACT b%u r%u @%.1fns", bank, row, at_ns);
+      break;
+    case dram::CommandKind::kRead:
+      std::snprintf(buf, sizeof(buf), "RD b%u c%u @%.1fns", bank, column,
+                    at_ns);
+      break;
+    case dram::CommandKind::kWrite:
+      std::snprintf(buf, sizeof(buf), "WR b%u c%u @%.1fns", bank, column,
+                    at_ns);
+      break;
+    case dram::CommandKind::kPrecharge:
+    case dram::CommandKind::kPrechargeAll:
+      std::snprintf(buf, sizeof(buf), "%s b%u @%.1fns",
+                    dram::command_name(kind), bank, at_ns);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "%s @%.1fns", dram::command_name(kind),
+                    at_ns);
+      break;
+  }
+  return buf;
+}
+
+CommandTraceRecorder::CommandTraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+std::vector<TraceEntry> CommandTraceRecorder::entries() const {
+  std::vector<TraceEntry> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    // Not yet wrapped: slots [0, next_) are chronological.
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    // Wrapped: oldest entry sits at next_.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+void CommandTraceRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void CommandTraceRecorder::on_command(const Instruction& inst, double now_ns) {
+  TraceEntry entry;
+  entry.kind = inst.kind;
+  entry.bank = inst.bank;
+  entry.row = inst.row;
+  // Hammer loops reuse `column` for the partner row in the rendered trace.
+  entry.column = inst.loop_count > 0 ? inst.loop_row_b : inst.column;
+  entry.loop_count = inst.loop_count;
+  entry.at_ns = now_ns;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(entry);
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = entry;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+}  // namespace vppstudy::softmc

@@ -1,0 +1,55 @@
+// CommandTraceRecorder: a fixed-capacity ring buffer over the command
+// stream. When a sweep fails (or vppctl is run with --trace), the last N
+// commands tell you exactly what the host was doing to the device --
+// the same post-mortem a SoftMC trace dump gives on real hardware. The ring
+// overwrites oldest-first, so the memory cost is bounded no matter how long
+// the hammer campaign ran.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/types.hpp"
+#include "softmc/observer.hpp"
+
+namespace vppstudy::softmc {
+
+/// One recorded command issue.
+struct TraceEntry {
+  dram::CommandKind kind = dram::CommandKind::kNop;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;
+  std::uint64_t loop_count = 0;  ///< > 0 for hammer-loop instructions
+  double at_ns = 0.0;
+
+  /// e.g. "ACT b0 r1500 @123.0ns" / "HAMMER b0 r1499/r1501 x300000 @..."
+  [[nodiscard]] std::string to_string() const;
+};
+
+class CommandTraceRecorder final : public SessionObserver {
+ public:
+  explicit CommandTraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Commands seen over the recorder's lifetime (>= entries().size()).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  /// Retained entries, oldest first.
+  [[nodiscard]] std::vector<TraceEntry> entries() const;
+  void clear();
+
+  // --- SessionObserver -------------------------------------------------------
+  void on_command(const Instruction& inst, double now_ns) override;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEntry> ring_;
+  std::size_t next_ = 0;  ///< ring slot the next entry lands in
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vppstudy::softmc

@@ -25,7 +25,10 @@ common::Expected<RunResult> run_trace(softmc::Session& session,
     const memctrl::Request req = gen.next();
     const double t0 = session.clock_ns();
     auto response = controller.execute(req);
-    if (!response) return Error{response.error().message};
+    if (!response) {
+      return std::move(response).error().with_context(
+          "workload request " + std::to_string(i));
+    }
     latencies.push_back(session.clock_ns() - t0);
   }
 

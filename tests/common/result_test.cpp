@@ -1,0 +1,226 @@
+// Tests for the typed-diagnostics machinery: ErrorCode taxonomy, the
+// ErrorContext with_*() chain (fill-blanks-only semantics), to_string
+// rendering, the monadic Result helpers, and the propagation macros that
+// every layer uses to forward errors without re-wrapping strings.
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace vppstudy::common {
+namespace {
+
+TEST(ErrorCodeName, IsStablePerCode) {
+  EXPECT_EQ(error_code_name(ErrorCode::kUnknown), "kUnknown");
+  EXPECT_EQ(error_code_name(ErrorCode::kVppOutOfRange), "kVppOutOfRange");
+  EXPECT_EQ(error_code_name(ErrorCode::kReadUnderrun), "kReadUnderrun");
+  EXPECT_EQ(error_code_name(ErrorCode::kNoUsableLevels), "kNoUsableLevels");
+}
+
+TEST(Error, DefaultsToUnknownWithEmptyContext) {
+  const Error e{"something broke"};
+  EXPECT_EQ(e.code, ErrorCode::kUnknown);
+  EXPECT_EQ(e.message, "something broke");
+  EXPECT_TRUE(e.context.empty());
+}
+
+TEST(Error, WithCodeRefinesOnlyUnknown) {
+  const Error refined = Error{"parse failed"}.with_code(ErrorCode::kParseError);
+  EXPECT_EQ(refined.code, ErrorCode::kParseError);
+  // A concrete code is closest to the failure; later layers cannot clobber.
+  Error copy = refined;
+  const Error reclobbered = std::move(copy).with_code(ErrorCode::kDeviceProtocol);
+  EXPECT_EQ(reclobbered.code, ErrorCode::kParseError);
+}
+
+TEST(Error, ChainersFillOnlyBlankFields) {
+  Error inner = Error{ErrorCode::kDeviceProtocol, "RD with no open row"}
+                    .with_module("B3")
+                    .with_bank_row(2, 17)
+                    .with_vpp_mv(1700);
+  // The inner layer already attributed the failure; outer guesses lose.
+  // Blank fields (op here) do get filled.
+  const Error e = std::move(inner)
+                      .with_module("A0")
+                      .with_bank_row(0, 0)
+                      .with_vpp_mv(2500)
+                      .with_op("RD");
+  EXPECT_EQ(e.context.module, "B3");
+  EXPECT_EQ(e.context.bank, 2);
+  EXPECT_EQ(e.context.row, 17);
+  EXPECT_EQ(e.context.vpp_mv, 1700);
+  EXPECT_EQ(e.context.op, "RD");
+}
+
+TEST(Error, NotesChainOutermostFirst) {
+  const Error e =
+      Error{"boom"}.with_context("inner layer").with_context("outer layer");
+  EXPECT_EQ(e.context.notes, "outer layer <- inner layer");
+}
+
+TEST(Error, ConstWithContextLeavesOriginalIntact) {
+  const Error e = Error{"boom"}.with_context("first");
+  const Error annotated = e.with_context("second");
+  EXPECT_EQ(e.context.notes, "first");
+  EXPECT_EQ(annotated.context.notes, "second <- first");
+}
+
+TEST(Error, ToStringRendersCodeContextAndNotes) {
+  const Error e = Error{ErrorCode::kReadUnderrun, "short read"}
+                      .with_module("B3")
+                      .with_op("RD")
+                      .with_bank_row(0, 17)
+                      .with_vpp_mv(1700)
+                      .with_context("phase B")
+                      .with_context("read verification");
+  EXPECT_EQ(e.to_string(),
+            "[kReadUnderrun] short read "
+            "(module=B3 op=RD bank=0 row=17 vpp=1700mV) "
+            "{ctx: read verification <- phase B}");
+}
+
+TEST(Error, ToStringOmitsEmptyContext) {
+  const Error e{ErrorCode::kEmptySample, "no rows"};
+  EXPECT_EQ(e.to_string(), "[kEmptySample] no rows");
+}
+
+TEST(ResultAlias, UnifiesExpectedAndStatus) {
+  static_assert(std::is_same_v<Result<>, Status>);
+  static_assert(std::is_same_v<Result<void>, Status>);
+  static_assert(std::is_same_v<Result<int>, Expected<int>>);
+  SUCCEED();
+}
+
+// --- Monadic helpers ---------------------------------------------------------
+
+Expected<int> parse_positive(int v) {
+  if (v <= 0) return Error{ErrorCode::kInvalidArgument, "not positive"};
+  return v;
+}
+
+TEST(Expected, AndThenChainsOnSuccess) {
+  const auto r = parse_positive(4).and_then(
+      [](const int v) -> Expected<std::string> { return std::to_string(v); });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, "4");
+}
+
+TEST(Expected, AndThenForwardsErrorIntact) {
+  const auto r = parse_positive(-1).and_then(
+      [](const int v) -> Expected<std::string> { return std::to_string(v); });
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Expected, TransformWrapsPlainValue) {
+  const auto r = parse_positive(5).transform([](const int v) { return 2 * v; });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST(Expected, TransformErrorChainsContext) {
+  auto r = parse_positive(-1);
+  auto annotated = std::move(r).transform_error(
+      [](Error&& e) { return std::move(e).with_context("layer above"); });
+  ASSERT_FALSE(annotated.has_value());
+  EXPECT_EQ(annotated.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(annotated.error().context.notes, "layer above");
+}
+
+TEST(Status, AndThenRunsOnOk) {
+  const Status ok;
+  const auto r =
+      ok.and_then([]() -> Expected<int> { return 3; });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 3);
+}
+
+TEST(Status, TransformErrorChainsContext) {
+  Status st = Error{ErrorCode::kThermalTimeout, "no settle"};
+  st = std::move(st).transform_error(
+      [](Error&& e) { return std::move(e).with_context("retention init"); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, ErrorCode::kThermalTimeout);
+  EXPECT_EQ(st.error().context.notes, "retention init");
+}
+
+// --- Propagation macros ------------------------------------------------------
+// A three-layer stack: the innermost failure's code and context survive the
+// crossing of every boundary, while each layer adds one breadcrumb.
+
+Status device_layer(bool fail) {
+  if (fail) {
+    return Error{ErrorCode::kDeviceProtocol, "RD with no open row"}
+        .with_op("RD")
+        .with_bank(1);
+  }
+  return Status::ok_status();
+}
+
+Status harness_layer(bool fail) {
+  VPP_RETURN_IF_ERROR_CTX(device_layer(fail), "measure_ber");
+  return Status::ok_status();
+}
+
+Expected<int> core_layer(bool fail) {
+  // Status error converts to the Expected<int> return type.
+  VPP_RETURN_IF_ERROR_CTX(harness_layer(fail), "rowhammer job");
+  return 42;
+}
+
+TEST(Macros, ReturnIfErrorForwardsTypedErrorAcrossLayers) {
+  const auto r = core_layer(true);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kDeviceProtocol);
+  EXPECT_EQ(r.error().context.op, "RD");
+  EXPECT_EQ(r.error().context.bank, 1);
+  EXPECT_EQ(r.error().context.notes, "rowhammer job <- measure_ber");
+}
+
+TEST(Macros, ReturnIfErrorPassesOkThrough) {
+  const auto r = core_layer(false);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42);
+}
+
+Expected<int> doubled(int v) {
+  VPP_ASSIGN_OR_RETURN(const int x, parse_positive(v));
+  return 2 * x;
+}
+
+TEST(Macros, AssignOrReturnDeclaresValueOrForwards) {
+  const auto ok = doubled(21);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 42);
+
+  const auto err = doubled(0);
+  ASSERT_FALSE(err.has_value());
+  EXPECT_EQ(err.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Macros, AssignOrReturnMovesNonCopyableValues) {
+  // The macro moves out of the Expected; a move-only payload compiles.
+  struct MoveOnly {
+    explicit MoveOnly(int v) : value(v) {}
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    MoveOnly(const MoveOnly&) = delete;
+    int value;
+  };
+  const auto make = []() -> Expected<MoveOnly> { return MoveOnly{9}; };
+  const auto use = [&]() -> Expected<int> {
+    VPP_ASSIGN_OR_RETURN(const MoveOnly m, make());
+    return m.value;
+  };
+  const auto r = use();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 9);
+}
+
+}  // namespace
+}  // namespace vppstudy::common

@@ -1,0 +1,131 @@
+// Tests for the per-sweep rig instrumentation: every (module, VPP level) job
+// contributes its session's command counts, the aggregate is identical at
+// any --jobs count, and typed errors cross the softmc -> harness -> core
+// boundary with their code and context intact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chips/module_db.hpp"
+#include "common/error.hpp"
+#include "core/parallel_study.hpp"
+#include "core/study.hpp"
+
+namespace vppstudy::core {
+namespace {
+
+dram::ModuleProfile small_profile(const char* name = "B3") {
+  auto p = chips::profile_by_name(name).value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+StudyConfig small_config(int jobs) {
+  StudyConfig config;
+  config.sweep = SweepConfig::quick();
+  config.sweep.vpp_levels = {2.5, 2.0, 1.6};
+  config.sweep.sampling.chunks = 2;
+  config.sweep.sampling.rows_per_chunk = 2;
+  config.modules = {small_profile()};
+  config.seed = 0;
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(SweepInstrumentation, AggregatesJobCountsAsAFold) {
+  softmc::CommandCounts a;
+  a.activates = 3;
+  a.reads = 10;
+  softmc::CommandCounts b;
+  b.activates = 1;
+  b.hammer_activations = 600;
+
+  SweepInstrumentation inst;
+  inst.add_job(a);
+  inst.add_job(b);
+  EXPECT_EQ(inst.jobs, 2u);
+  EXPECT_EQ(inst.counts.activates, 4u);
+  EXPECT_EQ(inst.counts.reads, 10u);
+  EXPECT_EQ(inst.counts.hammer_activations, 600u);
+
+  SweepInstrumentation other;
+  other.add_job(a);
+  inst += other;
+  EXPECT_EQ(inst.jobs, 3u);
+  EXPECT_EQ(inst.counts.activates, 7u);
+}
+
+TEST(SweepInstrumentation, RowHammerSweepCountsOneJobPerLevelPlusPrep) {
+  ParallelStudy engine(small_config(1));
+  auto sweeps = engine.rowhammer_sweeps();
+  ASSERT_TRUE(sweeps.has_value()) << sweeps.error().to_string();
+  ASSERT_EQ(sweeps->size(), 1u);
+  const ModuleSweepResult& sweep = sweeps->front();
+
+  // B3's VPPmin is 1.6V, so all three levels run: one WCDP-prep session
+  // plus one session per level.
+  ASSERT_EQ(sweep.vpp_levels.size(), 3u);
+  EXPECT_EQ(sweep.instrumentation.jobs, 4u);
+  // A hammer campaign is dominated by loop activations; every job also
+  // reads rows back for verification.
+  EXPECT_GT(sweep.instrumentation.counts.hammer_activations, 0u);
+  EXPECT_GT(sweep.instrumentation.counts.reads, 0u);
+  EXPECT_GT(sweep.instrumentation.counts.simulated_ns, 0.0);
+  EXPECT_NE(sweep.instrumentation.summary().find("rig sessions"),
+            std::string::npos);
+}
+
+TEST(SweepInstrumentation, TrcdSweepCountsOneJobPerLevel) {
+  ParallelStudy engine(small_config(1));
+  auto sweeps = engine.trcd_sweeps();
+  ASSERT_TRUE(sweeps.has_value()) << sweeps.error().to_string();
+  const TrcdSweepResult& sweep = sweeps->front();
+  ASSERT_EQ(sweep.vpp_levels.size(), 3u);
+  EXPECT_EQ(sweep.instrumentation.jobs, 3u);
+  // Alg. 2 probes single columns at reduced tRCD: deliberate violations are
+  // the methodology, and the counters see them.
+  EXPECT_GT(sweep.instrumentation.counts.timing_violations, 0u);
+}
+
+TEST(SweepInstrumentation, IsIdenticalAcrossJobCounts) {
+  ParallelStudy serial(small_config(1));
+  ParallelStudy parallel(small_config(8));
+  auto s = serial.rowhammer_sweeps();
+  auto p = parallel.rowhammer_sweeps();
+  ASSERT_TRUE(s.has_value()) << s.error().to_string();
+  ASSERT_TRUE(p.has_value()) << p.error().to_string();
+  ASSERT_EQ(s->size(), p->size());
+  for (std::size_t m = 0; m < s->size(); ++m) {
+    EXPECT_EQ((*s)[m].instrumentation, (*p)[m].instrumentation);
+    EXPECT_EQ((*s)[m].instrumentation.summary(),
+              (*p)[m].instrumentation.summary());
+  }
+}
+
+TEST(SweepInstrumentation, StudyFacadeCarriesInstrumentationToo) {
+  Study study(small_profile());
+  auto config = small_config(1);
+  auto sweep = study.trcd_sweep(config.sweep);
+  ASSERT_TRUE(sweep.has_value()) << sweep.error().to_string();
+  EXPECT_EQ(sweep->instrumentation.jobs, 3u);
+  EXPECT_GT(sweep->instrumentation.counts.total_commands(), 0u);
+}
+
+TEST(TypedErrors, NoUsableLevelsCrossesTheLayerBoundaryIntact) {
+  auto config = small_config(1);
+  config.sweep.vpp_levels = {1.0};  // below B3's VPPmin: nothing to run
+  ParallelStudy engine(config);
+  auto sweeps = engine.rowhammer_sweeps();
+  ASSERT_FALSE(sweeps.has_value());
+  EXPECT_EQ(sweeps.error().code, common::ErrorCode::kNoUsableLevels);
+  EXPECT_EQ(sweeps.error().context.module, "B3");
+
+  // The serial facade forwards the same typed error.
+  Study study(small_profile());
+  auto single = study.rowhammer_sweep(config.sweep);
+  ASSERT_FALSE(single.has_value());
+  EXPECT_EQ(single.error().code, common::ErrorCode::kNoUsableLevels);
+}
+
+}  // namespace
+}  // namespace vppstudy::core

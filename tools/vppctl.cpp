@@ -3,10 +3,15 @@
 //   vppctl list
 //       Print the module catalog (Table 3 anchors).
 //   vppctl hammer  --module B3 [--vpp 1.8] [--row 1500] [--hc 300000]
+//                  [--counters] [--trace [N]]
 //       Double-sided hammer one row and report BER + HCfirst.
+//       --counters prints the rig session's command counts; --trace prints
+//       the last N commands the rig issued (default 32).
 //   vppctl sweep   --module B3 --test rowhammer|trcd|retention
-//                  [--rows 16] [--step 0.2] [--csv out.csv]
-//       Run a full VPP sweep and print (or export) the series.
+//                  [--rows 16] [--step 0.2] [--csv out.csv] [--counters]
+//       Run a full VPP sweep and print (or export) the series. --counters
+//       prints the aggregated instrumentation of every rig session the
+//       sweep ran.
 //   vppctl profile --module B6 [--vpp 1.7] [--rows 128]
 //       REAPER-style retention profile at a VPP level.
 #include <cstdio>
@@ -30,11 +35,23 @@ using namespace vppstudy;
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) break;
-    flags[argv[i] + 2] = argv[i + 1];
+    std::string name(argv[i] + 2);
+    // A flag followed by another flag (or by nothing) is boolean.
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      flags.insert_or_assign(std::move(name), std::string("1"));
+    } else {
+      flags.insert_or_assign(std::move(name), std::string(argv[i + 1]));
+      ++i;
+    }
   }
   return flags;
+}
+
+bool has_flag(const std::map<std::string, std::string>& flags,
+              const std::string& key) {
+  return flags.find(key) != flags.end();
 }
 
 std::string flag_or(const std::map<std::string, std::string>& flags,
@@ -70,13 +87,17 @@ int cmd_hammer(const std::map<std::string, std::string>& flags) {
 
   softmc::Session session(*profile);
   session.set_auto_refresh(false);
+  if (has_flag(flags, "trace")) {
+    const int cap = std::atoi(flag_or(flags, "trace", "1").c_str());
+    session.enable_trace(cap > 1 ? static_cast<std::size_t>(cap) : 32);
+  }
   if (auto st = session.set_vpp(vpp); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.error().message.c_str());
+    std::fprintf(stderr, "%s\n", st.error().to_string().c_str());
     return 1;
   }
   auto wcdp = harness::find_wcdp_hammer(session, 0, row);
   if (!wcdp) {
-    std::fprintf(stderr, "%s\n", wcdp.error().message.c_str());
+    std::fprintf(stderr, "%s\n", wcdp.error().to_string().c_str());
     return 1;
   }
   harness::RowHammerConfig cfg;
@@ -85,7 +106,7 @@ int cmd_hammer(const std::map<std::string, std::string>& flags) {
   harness::RowHammerTest test(session, cfg);
   auto result = test.test_row(0, row, *wcdp);
   if (!result) {
-    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
     return 1;
   }
   std::printf("module %s row %u at VPP=%.2fV (WCDP %s):\n",
@@ -95,6 +116,16 @@ int cmd_hammer(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(result->hc_first));
   std::printf("  BER at HC=%llu: %.4e\n", static_cast<unsigned long long>(hc),
               result->ber);
+  if (has_flag(flags, "counters")) {
+    std::printf("  counters: %s\n", session.counters().summary().c_str());
+  }
+  if (const auto* trace = session.trace()) {
+    std::printf("  last %zu of %llu commands:\n", trace->entries().size(),
+                static_cast<unsigned long long>(trace->total_recorded()));
+    for (const auto& entry : trace->entries()) {
+      std::printf("    %s\n", entry.to_string().c_str());
+    }
+  }
   return 0;
 }
 
@@ -120,8 +151,12 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   if (kind == "rowhammer") {
     auto sweep = study.rowhammer_sweep(cfg);
     if (!sweep) {
-      std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+      std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
       return 1;
+    }
+    if (has_flag(flags, "counters")) {
+      std::printf("instrumentation: %s\n",
+                  sweep->instrumentation.summary().c_str());
     }
     common::CsvWriter csv({"vpp_v", "min_hc_first", "max_ber"});
     std::printf("%-8s %12s %12s\n", "VPP[V]", "minHCfirst", "maxBER");
@@ -141,8 +176,12 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   } else if (kind == "trcd") {
     auto sweep = study.trcd_sweep(cfg);
     if (!sweep) {
-      std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+      std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
       return 1;
+    }
+    if (has_flag(flags, "counters")) {
+      std::printf("instrumentation: %s\n",
+                  sweep->instrumentation.summary().c_str());
     }
     common::CsvWriter csv({"vpp_v", "trcd_min_ns"});
     std::printf("%-8s %12s\n", "VPP[V]", "tRCDmin[ns]");
@@ -157,8 +196,12 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   } else if (kind == "retention") {
     auto sweep = study.retention_sweep(cfg);
     if (!sweep) {
-      std::fprintf(stderr, "%s\n", sweep.error().message.c_str());
+      std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
       return 1;
+    }
+    if (has_flag(flags, "counters")) {
+      std::printf("instrumentation: %s\n",
+                  sweep->instrumentation.summary().c_str());
     }
     common::CsvWriter csv({"vpp_v", "trefw_ms", "mean_ber"});
     std::printf("%-8s %10s %12s\n", "VPP[V]", "tREFW[ms]", "meanBER");
@@ -197,14 +240,14 @@ int cmd_profile(const std::map<std::string, std::string>& flags) {
   if (auto st = session.set_temperature(common::kRetentionTestTempC); !st.ok())
     return 1;
   if (auto st = session.set_vpp(vpp); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.error().message.c_str());
+    std::fprintf(stderr, "%s\n", st.error().to_string().c_str());
     return 1;
   }
   memctrl::ProfilerOptions opts;
   opts.row_count = rows;
   auto prof = memctrl::profile_retention(session, opts);
   if (!prof) {
-    std::fprintf(stderr, "%s\n", prof.error().message.c_str());
+    std::fprintf(stderr, "%s\n", prof.error().to_string().c_str());
     return 1;
   }
   std::printf("module %s at VPP=%.2fV, 80C: %zu of %u rows need 2x refresh "
