@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "chips/module_db.hpp"
+#include "common/json.hpp"
 
 namespace vppstudy::bench {
 
@@ -141,6 +142,33 @@ void print_scale_banner(const std::string& what, const BenchOptions& opt) {
       "VPP_BENCH_STEP / VPP_BENCH_JOBS or --jobs N\n",
       what.c_str(), opt.rows_per_chunk * opt.chunks, opt.iterations,
       opt.max_modules, opt.vpp_step, opt.jobs);
+}
+
+std::string perf_snapshot_path() {
+  if (const char* v = std::getenv("VPP_BENCH_JSON")) return v;
+  return "BENCH_perf.json";
+}
+
+bool write_perf_snapshot(const std::string& path,
+                         std::span<const PerfEntry> entries) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.kv("schema", "vppstudy-bench-perf/1");
+  json.key("benchmarks").begin_array();
+  for (const auto& e : entries) {
+    json.begin_object();
+    json.kv("name", e.name);
+    json.kv("ns_per_op", e.ns_per_op);
+    if (!e.counters.empty()) {
+      json.key("counters").begin_object();
+      for (const auto& [name, value] : e.counters) json.kv(name, value);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.write_file(path);
 }
 
 void print_series(const std::string& label, std::span<const double> x,

@@ -113,6 +113,25 @@ void print_series(const std::string& label, std::span<const double> x,
                   std::span<const double> lo = {},
                   std::span<const double> hi = {});
 
+/// One benchmark's measurement in the machine-readable perf snapshot.
+struct PerfEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+  /// User counters as finalized by google-benchmark (rates already divided
+  /// by elapsed time), e.g. "flips_per_s".
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Resolve the perf-snapshot path: $VPP_BENCH_JSON, or "BENCH_perf.json" in
+/// the working directory when unset.
+[[nodiscard]] std::string perf_snapshot_path();
+
+/// Write the perf snapshot (name -> ns/op + counters) as a JSON document so
+/// CI can archive a perf trajectory across commits. Returns false on I/O
+/// failure.
+[[nodiscard]] bool write_perf_snapshot(const std::string& path,
+                                       std::span<const PerfEntry> entries);
+
 // --- template implementation -------------------------------------------------
 
 template <typename Fn>

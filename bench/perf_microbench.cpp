@@ -12,6 +12,7 @@
 #include "circuit/dram_cell.hpp"
 #include "circuit/matrix.hpp"
 #include "common/rng.hpp"
+#include "dram/module.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "softmc/session.hpp"
 
@@ -61,6 +62,82 @@ void BM_MeasureBer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MeasureBer)->Arg(1000)->Arg(300000);
+
+// Victim sensing after a double-sided hammer burst, directly on the device
+// model: each iteration is hammer_pair (O(1) bulk accounting) followed by the
+// ACT+PRE that evaluates the accumulated disturbance on the victim. range(0)
+// is the per-side hammer count; range(1) == 1 evaluates flips with the
+// reference full-row scan instead of the flip-index fast path, so fast vs
+// reference is a pair of adjacent bench rows. The low-count case keeps the
+// flip probability within the index (O(actual flips)); the high-count case
+// exceeds the index tail and exercises the bit-exact full-scan fallback in
+// both modes.
+void BM_SenseRestore(benchmark::State& state) {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 4096;
+  dram::Module::Options opts;
+  opts.reference_sensing = state.range(1) != 0;
+  dram::Module module(std::move(profile), opts);
+  module.set_trr_enabled(false);
+  const std::uint32_t victim = 500;
+  const auto neighbors = module.mapping().physical_neighbors(victim);
+  if (!neighbors.valid) {
+    state.SkipWithError("victim has no double-sided neighborhood");
+    return;
+  }
+  (void)module.debug_row_snapshot(0, victim, 0.0);  // initialize row content
+  const auto hc = static_cast<std::uint64_t>(state.range(0));
+  const dram::ModuleStats before = module.stats();
+  double now = 100.0;
+  for (auto _ : state) {
+    auto st =
+        module.hammer_pair(0, neighbors.below, neighbors.above, hc, 45.0, now);
+    if (st.ok()) st = module.activate(0, victim, now);
+    now += 35.0;
+    if (st.ok()) st = module.precharge(0, now);
+    now += 15.0;
+    if (!st.ok()) {
+      state.SkipWithError(st.error().message.c_str());
+      break;
+    }
+  }
+  const dram::ModuleStats& after = module.stats();
+  state.counters["flips_per_s"] = benchmark::Counter(
+      static_cast<double>((after.hammer_bit_flips + after.retention_bit_flips) -
+                          (before.hammer_bit_flips +
+                           before.retention_bit_flips)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SenseRestore)
+    ->Args({120000, 0})
+    ->Args({120000, 1})
+    ->Args({2000000, 0})
+    ->Args({2000000, 1});
+
+// Retention-dominated flip evaluation: the victim sits unrefreshed for
+// 500ms, then one ACT+PRE applies leakage and weak-cell physics. range(0)
+// == 1 uses the reference full-row scan (as above).
+void BM_ApplyFlips(benchmark::State& state) {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 4096;
+  dram::Module::Options opts;
+  opts.reference_sensing = state.range(0) != 0;
+  dram::Module module(std::move(profile), opts);
+  module.set_trr_enabled(false);
+  (void)module.debug_row_snapshot(0, 500, 0.0);
+  double now = 100.0;
+  for (auto _ : state) {
+    auto st = module.activate(0, 500, now);
+    now += 35.0;
+    if (st.ok()) st = module.precharge(0, now);
+    now += 500e6;  // half a second without refresh before the next sense
+    if (!st.ok()) {
+      state.SkipWithError(st.error().message.c_str());
+      break;
+    }
+  }
+}
+BENCHMARK(BM_ApplyFlips)->Arg(0)->Arg(1);
 
 // Full-row readout (ACT + 1024 RD + PRE): the read-burst buffer is pre-sized
 // from Program::read_count(), so the executor does no vector reallocation.
@@ -132,6 +209,51 @@ BENCHMARK(BM_StudySweep)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Console output as usual, plus every per-iteration run captured for the
+// machine-readable BENCH_perf.json snapshot (ns/op + finalized counters).
+class PerfSnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::PerfEntry entry;
+      entry.name = run.benchmark_name();
+      entry.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name, counter.value);
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<bench::PerfEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<bench::PerfEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN expanded so the run can end by writing the perf snapshot
+// ($VPP_BENCH_JSON, default ./BENCH_perf.json).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  PerfSnapshotReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string path = vppstudy::bench::perf_snapshot_path();
+  if (!vppstudy::bench::write_perf_snapshot(path, reporter.entries())) {
+    std::fprintf(stderr, "cannot write perf snapshot %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("perf snapshot: %s (%zu benchmarks)\n", path.c_str(),
+              reporter.entries().size());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer: the machine-readable side channel of the
+// bench/tooling layer (BENCH_perf.json snapshots, per-sweep instrumentation
+// sidecars). No DOM, no parsing -- callers emit objects/arrays in order and
+// the writer handles commas, nesting, and string escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vppstudy::common {
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Render the document (valid once all containers are closed).
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  /// Write the document to a file; returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was emitted.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace vppstudy::common

@@ -51,4 +51,55 @@ common::CsvWriter to_csv(const RetentionSweepResult& sweep) {
   return csv;
 }
 
+common::JsonWriter instrumentation_json(std::string_view sweep_kind,
+                                        std::string_view module_name,
+                                        std::span<const double> vpp_levels,
+                                        const SweepInstrumentation& instr) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.kv("sweep", sweep_kind);
+  json.kv("module", module_name);
+  json.key("vpp_levels").begin_array();
+  for (const double v : vpp_levels) json.value(v);
+  json.end_array();
+  json.kv("jobs", instr.jobs);
+  const softmc::CommandCounts& c = instr.counts;
+  json.key("counts").begin_object();
+  json.kv("activates", c.activates);
+  json.kv("hammer_loops", c.hammer_loops);
+  json.kv("hammer_activations", c.hammer_activations);
+  json.kv("reads", c.reads);
+  json.kv("writes", c.writes);
+  json.kv("precharges", c.precharges);
+  json.kv("refreshes", c.refreshes);
+  json.kv("waits", c.waits);
+  json.kv("timing_violations", c.timing_violations);
+  json.kv("device_errors", c.device_errors);
+  json.kv("simulated_ns", c.simulated_ns);
+  json.kv("total_commands", c.total_commands());
+  json.end_object();
+  json.end_object();
+  return json;
+}
+
+common::JsonWriter instrumentation_json(const ModuleSweepResult& sweep) {
+  return instrumentation_json("rowhammer", sweep.module_name,
+                              sweep.vpp_levels, sweep.instrumentation);
+}
+
+common::JsonWriter instrumentation_json(const TrcdSweepResult& sweep) {
+  return instrumentation_json("trcd", sweep.module_name, sweep.vpp_levels,
+                              sweep.instrumentation);
+}
+
+common::JsonWriter instrumentation_json(const RetentionSweepResult& sweep) {
+  return instrumentation_json("retention", sweep.module_name,
+                              sweep.vpp_levels, sweep.instrumentation);
+}
+
+bool write_instrumentation_sidecar(const std::string& csv_path,
+                                   const common::JsonWriter& doc) {
+  return doc.write_file(csv_path + ".json");
+}
+
 }  // namespace vppstudy::core

@@ -1,10 +1,14 @@
 // CSV exporters for sweep results, so downstream plotting (Fig. 3/5/7/10
-// style) can consume the data without linking the library.
+// style) can consume the data without linking the library, plus the JSON
+// instrumentation sidecar written next to each CSV series.
 #pragma once
 
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "core/study.hpp"
 
 namespace vppstudy::core {
@@ -17,5 +21,26 @@ namespace vppstudy::core {
 
 /// One row per (VPP level, refresh window): module, vpp, trefw_ms, mean_ber.
 [[nodiscard]] common::CsvWriter to_csv(const RetentionSweepResult& sweep);
+
+/// A sweep's rig instrumentation as a JSON document: sweep kind, module,
+/// tested VPP levels, and the aggregated per-sweep command counts. Written
+/// as the `<csv>.json` sidecar next to every exported CSV series so plotting
+/// pipelines can sanity-check the command stream that produced the data.
+[[nodiscard]] common::JsonWriter instrumentation_json(
+    std::string_view sweep_kind, std::string_view module_name,
+    std::span<const double> vpp_levels, const SweepInstrumentation& instr);
+
+/// Convenience overloads binding kind/module/levels from the result type.
+[[nodiscard]] common::JsonWriter instrumentation_json(
+    const ModuleSweepResult& sweep);
+[[nodiscard]] common::JsonWriter instrumentation_json(
+    const TrcdSweepResult& sweep);
+[[nodiscard]] common::JsonWriter instrumentation_json(
+    const RetentionSweepResult& sweep);
+
+/// Write a sweep's instrumentation sidecar next to its CSV: the sidecar path
+/// is `csv_path + ".json"`. Returns false on I/O failure.
+[[nodiscard]] bool write_instrumentation_sidecar(const std::string& csv_path,
+                                                 const common::JsonWriter& doc);
 
 }  // namespace vppstudy::core

@@ -31,7 +31,11 @@ Error Module::range_error(std::string what, std::uint32_t value,
 }
 
 Module::Module(ModuleProfile profile)
+    : Module(std::move(profile), Options{}) {}
+
+Module::Module(ModuleProfile profile, Options options)
     : profile_(std::move(profile)),
+      options_(options),
       physics_(profile_),
       mapping_(scheme_for(profile_.mfr), profile_.rows_per_bank,
                profile_.row_repairs),
@@ -87,6 +91,56 @@ void Module::ensure_initialized(std::uint32_t bank,
   rs.initialized = true;
 }
 
+const CellPhysics::RowParams& Module::cached_row_params(
+    std::uint32_t bank, std::uint32_t physical_row, RowState& rs) {
+  auto& cache = rs.physics_cache;
+  if (!cache.has_params) {
+    cache.params = physics_.row_params(bank, physical_row);
+    cache.has_params = true;
+  }
+  return cache.params;
+}
+
+const std::vector<CellPhysics::WeakCell>& Module::cached_weak_cells(
+    std::uint32_t bank, std::uint32_t physical_row, RowState& rs) {
+  auto& cache = rs.physics_cache;
+  if (!cache.has_weak) {
+    cache.weak = physics_.weak_cells(bank, physical_row);
+    std::sort(cache.weak.begin(), cache.weak.end(),
+              [](const CellPhysics::WeakCell& a,
+                 const CellPhysics::WeakCell& b) { return a.bit < b.bit; });
+    cache.has_weak = true;
+  }
+  return cache.weak;
+}
+
+const std::vector<std::uint64_t>& Module::cached_polarity(
+    std::uint32_t bank, std::uint32_t physical_row, RowState& rs) {
+  auto& cache = rs.physics_cache;
+  if (cache.polarity.empty()) {
+    cache.polarity = physics_.charged_words(bank, physical_row);
+  }
+  return cache.polarity;
+}
+
+const CellPhysics::RowFlipIndex* Module::usable_flip_index(
+    std::uint32_t bank, std::uint32_t physical_row, RowState& rs,
+    CellPhysics::CellDraw what, double p) {
+  auto& cache = rs.physics_cache;
+  const bool hammer = what == CellPhysics::CellDraw::kHammer;
+  bool& built = hammer ? cache.has_hammer_index : cache.has_retention_index;
+  auto& index = hammer ? cache.hammer_index : cache.retention_index;
+  if (!built) {
+    // Building costs one full-row pass; only worth it when the requested
+    // probability is small enough that the default tail depth will cover
+    // it (large p means the full scan is the right tool anyway).
+    if (p > CellPhysics::kFlipIndexSafeP) return nullptr;
+    index = physics_.build_flip_index(bank, physical_row, what);
+    built = true;
+  }
+  return index.covers(p) ? &index : nullptr;
+}
+
 void Module::apply_flips(std::uint32_t bank, std::uint32_t physical_row,
                          RowState& rs, double p_hammer, double p_retention,
                          double dt_s) {
@@ -94,12 +148,12 @@ void Module::apply_flips(std::uint32_t bank, std::uint32_t physical_row,
   const bool do_retention = p_retention > kNegligibleCellProbability;
 
   // Weak retention cells (Obsv. 14/15): flip when the elapsed time exceeds
-  // their (VPP-scaled) retention time.
+  // their (VPP-scaled) retention time. The cached list is sorted by bit.
   std::vector<std::uint32_t> weak_flips;
   if (dt_s > 1e-3) {
     const double scale = physics_.weak_cell_ret_scale(rs.restore_vpp) *
                          std::exp2((80.0 - temp_c_) / 10.0);
-    for (const auto& wc : physics_.weak_cells(bank, physical_row)) {
+    for (const auto& wc : cached_weak_cells(bank, physical_row, rs)) {
       if (dt_s > wc.t_ret_at_vppmin_s * scale) weak_flips.push_back(wc.bit);
     }
   }
@@ -107,77 +161,133 @@ void Module::apply_flips(std::uint32_t bank, std::uint32_t physical_row,
 
   const double hammer_threshold = 1.0 - p_hammer;
   const double retention_threshold = 1.0 - p_retention;
-
-  std::vector<std::uint32_t> flipped_bits;
-  const auto consider_bit = [&](std::uint32_t bit, bool hammer, bool retention,
-                                bool weak) {
-    const std::uint32_t byte = bit / 8;
-    const std::uint32_t in_byte = bit % 8;
-    const bool stored = ((rs.data[byte] >> in_byte) & 1u) != 0;
-    // Only cells holding charge can lose it: a cell whose stored value is
-    // the discharged state is immune to both hammering and leakage. Weak
-    // retention cells are the exception: the study identifies them under
-    // each row's worst-case pattern, which by construction charges them, so
-    // the model treats them as charged under every canonical pattern.
-    if (!weak &&
-        stored != physics_.charged_value(bank, physical_row, bit)) {
-      return;
-    }
-    bool flips = false;
-    std::uint64_t flip_kind = 0;
-    if (hammer && physics_.cell_uniform(bank, physical_row, bit,
-                                        CellPhysics::CellDraw::kHammer) >
-                      hammer_threshold) {
-      flips = true;
-      flip_kind = 1;
-    }
-    if (!flips && retention &&
-        physics_.cell_uniform(bank, physical_row, bit,
-                              CellPhysics::CellDraw::kRetention) >
-            retention_threshold) {
-      flips = true;
-      flip_kind = 2;
-    }
-    if (!flips && weak) {
-      flips = true;
-      flip_kind = 2;
-    }
-    if (!flips) return;
-    flipped_bits.push_back(bit);
-    if (flip_kind == 1) {
-      ++stats_.hammer_bit_flips;
-    } else {
-      ++stats_.retention_bit_flips;
-    }
+  const auto stored_bit = [&](std::uint32_t bit) {
+    return ((rs.data[bit / 8] >> (bit % 8)) & 1u) != 0;
   };
 
-  if (do_hammer || do_retention) {
+  // Candidate flips per mechanism, each sorted ascending by bit. A bit that
+  // qualifies for both mechanisms is classified as a hammer flip (matching
+  // the reference scan, which tests the hammer draw first).
+  std::vector<std::uint32_t> hammer_bits;
+  std::vector<std::uint32_t> retention_bits;
+
+  const CellPhysics::RowFlipIndex* hammer_index =
+      do_hammer && !options_.reference_sensing
+          ? usable_flip_index(bank, physical_row, rs,
+                              CellPhysics::CellDraw::kHammer, p_hammer)
+          : nullptr;
+  const CellPhysics::RowFlipIndex* retention_index =
+      do_retention && !options_.reference_sensing
+          ? usable_flip_index(bank, physical_row, rs,
+                              CellPhysics::CellDraw::kRetention, p_retention)
+          : nullptr;
+  const bool fast = !options_.reference_sensing &&
+                    (!do_hammer || hammer_index != nullptr) &&
+                    (!do_retention || retention_index != nullptr);
+
+  if (fast) {
+    // O(flips): the cells whose uniform exceeds 1-p are exactly the prefix
+    // of the index (sorted descending by uniform), so walk it until the
+    // threshold and keep the charged ones. Only cells holding charge can
+    // lose it: a cell whose stored value is the discharged state is immune
+    // to both hammering and leakage.
+    if (hammer_index != nullptr) {
+      for (const auto& e : hammer_index->cells) {
+        if (e.u <= hammer_threshold) break;
+        if (stored_bit(e.bit) ==
+            physics_.charged_value(bank, physical_row, e.bit)) {
+          hammer_bits.push_back(e.bit);
+        }
+      }
+      std::sort(hammer_bits.begin(), hammer_bits.end());
+    }
+    if (retention_index != nullptr) {
+      for (const auto& e : retention_index->cells) {
+        if (e.u <= retention_threshold) break;
+        if (std::binary_search(hammer_bits.begin(), hammer_bits.end(),
+                               e.bit)) {
+          continue;  // already flipped by hammer this pass
+        }
+        if (stored_bit(e.bit) ==
+            physics_.charged_value(bank, physical_row, e.bit)) {
+          retention_bits.push_back(e.bit);
+        }
+      }
+      std::sort(retention_bits.begin(), retention_bits.end());
+    }
+  } else if (do_hammer || do_retention) {
+    // Reference full-row scan: every bit, charge polarity via the cached
+    // per-row polarity words, then the per-bit uniform draws. This is the
+    // path the flip index must stay bit-exact against.
+    const std::vector<std::uint64_t>& polarity =
+        cached_polarity(bank, physical_row, rs);
     for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
-      consider_bit(bit, do_hammer, do_retention, false);
+      const bool charged = ((polarity[bit / 64] >> (bit % 64)) & 1ULL) != 0;
+      if (stored_bit(bit) != charged) continue;
+      if (do_hammer && physics_.cell_uniform(bank, physical_row, bit,
+                                             CellPhysics::CellDraw::kHammer) >
+                           hammer_threshold) {
+        hammer_bits.push_back(bit);
+        continue;
+      }
+      if (do_retention &&
+          physics_.cell_uniform(bank, physical_row, bit,
+                                CellPhysics::CellDraw::kRetention) >
+              retention_threshold) {
+        retention_bits.push_back(bit);
+      }
     }
   }
-  for (const std::uint32_t bit : weak_flips) {
-    if (std::find(flipped_bits.begin(), flipped_bits.end(), bit) ==
-        flipped_bits.end()) {
-      consider_bit(bit, false, false, true);
+
+  stats_.hammer_bit_flips += hammer_bits.size();
+  stats_.retention_bit_flips += retention_bits.size();
+
+  // Sorted union of the two (disjoint) mechanism lists.
+  std::vector<std::uint32_t> flipped_bits;
+  flipped_bits.reserve(hammer_bits.size() + retention_bits.size() +
+                       weak_flips.size());
+  std::merge(hammer_bits.begin(), hammer_bits.end(), retention_bits.begin(),
+             retention_bits.end(), std::back_inserter(flipped_bits));
+
+  // Weak cells flip unconditionally (no charge check: the study identifies
+  // them under each row's worst-case pattern, which by construction charges
+  // them) unless the bit already flipped above. Both lists are sorted, so a
+  // single merge pass replaces the old per-bit std::find dedup.
+  if (!weak_flips.empty()) {
+    std::vector<std::uint32_t> merged;
+    merged.reserve(flipped_bits.size() + weak_flips.size());
+    auto it = flipped_bits.begin();
+    for (const std::uint32_t bit : weak_flips) {
+      while (it != flipped_bits.end() && *it < bit) merged.push_back(*it++);
+      if (it != flipped_bits.end() && *it == bit) continue;  // deduped
+      merged.push_back(bit);
+      ++stats_.retention_bit_flips;
     }
+    merged.insert(merged.end(), it, flipped_bits.end());
+    flipped_bits = std::move(merged);
   }
 
   if (flipped_bits.empty()) return;
 
   // Optional on-die ECC: a single flipped bit inside a 64-bit device word is
-  // silently corrected during sensing; multi-bit words are not.
+  // silently corrected during sensing; multi-bit words are not. The bit list
+  // is sorted, so same-word flips form consecutive runs.
   if (profile_.has_ondie_ecc) {
-    std::unordered_map<std::uint32_t, std::uint32_t> flips_per_word;
-    for (const auto bit : flipped_bits) ++flips_per_word[bit / 64];
     std::vector<std::uint32_t> surviving;
     surviving.reserve(flipped_bits.size());
-    for (const auto bit : flipped_bits) {
-      if (flips_per_word[bit / 64] >= 2) {
-        surviving.push_back(bit);
+    for (std::size_t i = 0; i < flipped_bits.size();) {
+      std::size_t j = i + 1;
+      while (j < flipped_bits.size() &&
+             flipped_bits[j] / 64 == flipped_bits[i] / 64) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        surviving.insert(surviving.end(), flipped_bits.begin() + i,
+                         flipped_bits.begin() + j);
       } else {
         ++stats_.ondie_ecc_corrections;
       }
+      i = j;
     }
     flipped_bits = std::move(surviving);
   }
@@ -207,7 +317,8 @@ void Module::sense_and_restore(std::uint32_t bank, BankState& bs,
     const double hc = (below + above) / 2.0 +
                       kDistance2Coupling * (below2 + above2) / 2.0;
 
-    const auto rp = physics_.row_params(bank, physical_row);
+    const CellPhysics::RowParams& rp =
+        cached_row_params(bank, physical_row, rs);
     double p_hammer = 0.0;
     if (hc > 0.0) {
       const std::uint8_t signature = rs.data.empty() ? 0 : rs.data[0];
@@ -274,6 +385,7 @@ Status Module::activate(std::uint32_t bank, std::uint32_t logical_row,
   sense_and_restore(bank, bs, phys, rs, now_ns);
 
   bs.open_physical_row = phys;
+  bs.open_row_state = &rs;  // nodes are pointer-stable; rows are never erased
   bs.activate_time_ns = now_ns;
   return Status::ok_status();
 }
@@ -289,11 +401,11 @@ Status Module::precharge(std::uint32_t bank, double now_ns) {
     // A row closed before its charge-restoration completed keeps only part
     // of its charge (tRAS violation; section 6.2).
     const double open_ns = now_ns - bs.activate_time_ns;
-    auto it = bs.rows.find(static_cast<std::uint32_t>(bs.open_physical_row));
-    if (it != bs.rows.end()) {
-      it->second.restore_q = physics_.restore_fraction(open_ns, vpp_v_);
+    if (bs.open_row_state != nullptr) {
+      bs.open_row_state->restore_q = physics_.restore_fraction(open_ns, vpp_v_);
     }
     bs.open_physical_row = -1;
+    bs.open_row_state = nullptr;
   }
   ++stats_.precharges;
   return Status::ok_status();
@@ -329,7 +441,8 @@ common::Expected<std::array<std::uint8_t, kBytesPerColumn>> Module::read(
         .with_op("RD");
   }
   const auto phys = static_cast<std::uint32_t>(bs.open_physical_row);
-  RowState& rs = row_state(bs, bank, phys);
+  RowState& rs = bs.open_row_state != nullptr ? *bs.open_row_state
+                                              : row_state(bs, bank, phys);
   ensure_initialized(bank, phys, rs);
   ++stats_.reads;
 
@@ -342,12 +455,24 @@ common::Expected<std::array<std::uint8_t, kBytesPerColumn>> Module::read(
   // buffer simply had not settled). A small per-read jitter models the
   // analog noise of marginal timing.
   const double trcd_ns = now_ns - bs.activate_time_ns;
-  const auto rp = physics_.row_params(bank, phys);
-  const double jitter =
-      0.04 * common::normal_at({profile_.seed ^ noise_stream_,
-                                ++read_noise_counter_, 0x7eadULL});
-  const double p_fail =
-      physics_.trcd_fail_probability(rp, trcd_ns + jitter, vpp_v_);
+  const CellPhysics::RowParams& rp = cached_row_params(bank, phys, rs);
+  RowPhysicsCache& pc = rs.physics_cache;
+  if (pc.trcd_mean_vpp != vpp_v_) {
+    pc.trcd_mean_ns = physics_.trcd_row_mean_ns(rp, vpp_v_);
+    pc.trcd_mean_vpp = vpp_v_;
+  }
+  // The jitter draw position is consumed whether or not the draw's value can
+  // matter (keeping the noise-counter sequence identical); the draw and the
+  // failure evaluation are skipped when no representable jitter could make
+  // the read marginal (see CellPhysics::trcd_certainly_safe).
+  ++read_noise_counter_;
+  double p_fail = 0.0;
+  if (!physics_.trcd_certainly_safe(pc.trcd_mean_ns, trcd_ns)) {
+    const double jitter =
+        0.04 * common::normal_at({profile_.seed ^ noise_stream_,
+                                  read_noise_counter_, 0x7eadULL});
+    p_fail = physics_.trcd_fail_probability(rp, trcd_ns + jitter, vpp_v_);
+  }
   if (p_fail > kNegligibleCellProbability) {
     const double threshold = 1.0 - p_fail;
     for (std::uint32_t i = 0; i < kBytesPerColumn * 8; ++i) {
@@ -384,7 +509,8 @@ Status Module::write(std::uint32_t bank, std::uint32_t column,
         .with_op("WR");
   }
   const auto phys = static_cast<std::uint32_t>(bs.open_physical_row);
-  RowState& rs = row_state(bs, bank, phys);
+  RowState& rs = bs.open_row_state != nullptr ? *bs.open_row_state
+                                              : row_state(bs, bank, phys);
   ensure_initialized(bank, phys, rs);
   std::copy(data.begin(), data.end(),
             rs.data.begin() + column * kBytesPerColumn);
@@ -420,7 +546,11 @@ Status Module::refresh(double now_ns) {
               static_cast<double>(profile_.rows_per_bank) / 8192.0 * rate));
   for (std::uint32_t b = 0; b < banks_.size(); ++b) {
     for (std::uint32_t r = 0; r < stripe; ++r) {
-      refresh_physical_row(b, refresh_cursor_ + r, now_ns);
+      // Wrap the stripe: when the cursor sits near the end of the bank (or a
+      // mid-cycle MRS widened the stripe) the tail rows are 0, 1, ... --
+      // without the modulo they were silently skipped every cycle.
+      refresh_physical_row(b, (refresh_cursor_ + r) % profile_.rows_per_bank,
+                           now_ns);
     }
   }
   refresh_cursor_ = (refresh_cursor_ + stripe) % profile_.rows_per_bank;

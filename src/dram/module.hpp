@@ -41,7 +41,17 @@ struct ModuleStats {
 
 class Module {
  public:
+  /// Behavioral switches that do not belong to the device profile.
+  struct Options {
+    /// Evaluate flips with the reference 65536-bit row scan instead of the
+    /// sorted flip-index fast path. Both are bit-exact by construction (the
+    /// determinism suite asserts it); the reference scan exists so tests
+    /// and benches can measure and cross-check the fast path.
+    bool reference_sensing = false;
+  };
+
   explicit Module(ModuleProfile profile);
+  Module(ModuleProfile profile, Options options);
 
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
@@ -65,6 +75,14 @@ class Module {
   }
 
   void set_trr_enabled(bool enabled) noexcept { trr_enabled_ = enabled; }
+
+  /// Test/bench hook: toggle the reference full-row scan (see Options).
+  void set_reference_sensing(bool on) noexcept {
+    options_.reference_sensing = on;
+  }
+  [[nodiscard]] bool reference_sensing() const noexcept {
+    return options_.reference_sensing;
+  }
 
   /// MRS command: program a mode register (banks must be precharged).
   /// Supported: MR0 (CL/BL), MR2 (CWL), MR4 (refresh options), MR6 (vendor
@@ -130,6 +148,25 @@ class Module {
       std::uint32_t bank, std::uint32_t logical_row, double now_ns);
 
  private:
+  /// Lazily built per-row caches of quantities that are pure functions of
+  /// (module seed, bank, row). They are device-lifetime immutable, so
+  /// caching them beside the row's mutable state is safe; the memory budget
+  /// is documented in docs/MODEL.md ("Sensing hot path & flip index").
+  struct RowPhysicsCache {
+    bool has_params = false;
+    CellPhysics::RowParams params;
+    /// Memoized trcd_row_mean_ns at `trcd_mean_vpp` (the one VPP-dependent
+    /// quantity on the read path; VPP rarely changes between read bursts).
+    double trcd_mean_vpp = -1.0;  ///< no valid rail voltage is negative
+    double trcd_mean_ns = 0.0;
+    bool has_weak = false;
+    std::vector<CellPhysics::WeakCell> weak;  ///< sorted by bit index
+    std::vector<std::uint64_t> polarity;      ///< charged_words, empty=unbuilt
+    bool has_hammer_index = false;
+    CellPhysics::RowFlipIndex hammer_index;
+    bool has_retention_index = false;
+    CellPhysics::RowFlipIndex retention_index;
+  };
   struct RowState {
     std::vector<std::uint8_t> data;  ///< kBytesPerRow once initialized
     double restore_time_ns = 0.0;
@@ -140,6 +177,7 @@ class Module {
     double neigh2_below_acts = 0.0;  ///< distance-2 snapshots
     double neigh2_above_acts = 0.0;
     bool initialized = false;
+    RowPhysicsCache physics_cache;
   };
   struct BankState {
     std::unordered_map<std::uint32_t, RowState> rows;  // by physical row
@@ -147,6 +185,9 @@ class Module {
     /// adds 1.0, a hammer-loop activation adds its on-time factor.
     std::unordered_map<std::uint32_t, double> acts;
     std::int64_t open_physical_row = -1;
+    /// State of the open row (unordered_map nodes are pointer-stable), so
+    /// the per-column read/write burst skips the hash lookup.
+    RowState* open_row_state = nullptr;
     double activate_time_ns = 0.0;
   };
 
@@ -171,7 +212,22 @@ class Module {
   void refresh_physical_row(std::uint32_t bank, std::uint32_t physical_row,
                             double now_ns);
 
+  // --- Per-row physics cache accessors (lazily built) -----------------------
+  [[nodiscard]] const CellPhysics::RowParams& cached_row_params(
+      std::uint32_t bank, std::uint32_t physical_row, RowState& rs);
+  [[nodiscard]] const std::vector<CellPhysics::WeakCell>& cached_weak_cells(
+      std::uint32_t bank, std::uint32_t physical_row, RowState& rs);
+  [[nodiscard]] const std::vector<std::uint64_t>& cached_polarity(
+      std::uint32_t bank, std::uint32_t physical_row, RowState& rs);
+  /// The flip index for a draw kind, built on first use when `p` is small
+  /// enough to plausibly be covered; returns nullptr (caller falls back to
+  /// the full scan) when `p` needs more of the tail than the index keeps.
+  [[nodiscard]] const CellPhysics::RowFlipIndex* usable_flip_index(
+      std::uint32_t bank, std::uint32_t physical_row, RowState& rs,
+      CellPhysics::CellDraw what, double p);
+
   ModuleProfile profile_;
+  Options options_;
   CellPhysics physics_;
   RowMapping mapping_;
   TrrEngine trr_;

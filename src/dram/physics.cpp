@@ -336,6 +336,49 @@ bool CellPhysics::charged_value(std::uint32_t bank, std::uint32_t row,
           1u) != 0;
 }
 
+std::vector<std::uint64_t> CellPhysics::charged_words(std::uint32_t bank,
+                                                      std::uint32_t row) const {
+  std::vector<std::uint64_t> words(kColumnsPerRow, 0);
+  for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
+    if (charged_value(bank, row, bit)) {
+      words[bit / 64] |= 1ULL << (bit % 64);
+    }
+  }
+  return words;
+}
+
+CellPhysics::RowFlipIndex CellPhysics::build_flip_index(
+    std::uint32_t bank, std::uint32_t row, CellDraw what,
+    std::uint32_t top_k) const {
+  RowFlipIndex index;
+  if (top_k == 0) return index;
+  // Partial selection: keep the running top-K in a min-heap keyed on u so
+  // one pass over the row suffices. Ties cannot occur (cell_uniform values
+  // are distinct 53-bit dyadics with overwhelming probability, and equal
+  // values would land in the same position of the sorted tail anyway).
+  auto& heap = index.cells;
+  heap.reserve(top_k + 1);
+  const auto less_u = [](const RowFlipIndex::Entry& a,
+                         const RowFlipIndex::Entry& b) { return a.u > b.u; };
+  for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
+    const double u = cell_uniform(bank, row, bit, what);
+    if (heap.size() < top_k) {
+      heap.push_back({u, bit});
+      std::push_heap(heap.begin(), heap.end(), less_u);
+    } else if (u > heap.front().u) {
+      std::pop_heap(heap.begin(), heap.end(), less_u);
+      heap.back() = {u, bit};
+      std::push_heap(heap.begin(), heap.end(), less_u);
+    }
+  }
+  std::sort(heap.begin(), heap.end(),
+            [](const RowFlipIndex::Entry& a, const RowFlipIndex::Entry& b) {
+              return a.u > b.u;
+            });
+  index.floor_u = heap.back().u;
+  return index;
+}
+
 std::vector<CellPhysics::WeakCell> CellPhysics::weak_cells(
     std::uint32_t bank, std::uint32_t row) const {
   std::vector<WeakCell> cells;

@@ -147,6 +147,29 @@ class CellPhysics {
                                              double trcd_ns,
                                              double vpp_v) const noexcept;
 
+  /// Bound on the per-read timing jitter applied by the device model:
+  /// 0.04 * normal_at(...), and inverse_normal_cdf clamps its input to
+  /// [1e-300, 1-1e-16] so |draw| < 37.5 -> |jitter| < 1.5ns. 2ns is a
+  /// strict upper bound on any representable draw.
+  static constexpr double kTrcdJitterBoundNs = 2.0;
+
+  /// Conservative fast check for the read hot path: true when a read issued
+  /// `trcd_ns` after ACT cannot fail *any* cell even under the most extreme
+  /// representable jitter draw -- i.e. trcd_fail_probability at
+  /// (trcd_ns - kTrcdJitterBoundNs) is far below the negligible-probability
+  /// floor (z <= -7.5 => p < 4e-14 < 1e-12). Callers may then skip the
+  /// jitter draw and the failure evaluation entirely; behavior is
+  /// bit-identical because the skipped block could not have flipped a bit.
+  /// `row_mean_ns` is trcd_row_mean_ns(rp, vpp) (cacheable per row x VPP).
+  [[nodiscard]] bool trcd_certainly_safe(double row_mean_ns,
+                                         double trcd_ns) const noexcept {
+    const double z =
+        (row_mean_ns - (trcd_ns - kTrcdJitterBoundNs)) /
+            curve_.trcd_cell_sigma_ns -
+        4.0;
+    return z <= -7.5;
+  }
+
   /// Fraction of full restoration achieved when a row stays open for
   /// `open_ns` before precharge (tRAS violations cause partial restore).
   [[nodiscard]] double restore_fraction(double open_ns,
@@ -165,6 +188,45 @@ class CellPhysics {
   /// *charged* capacitor for this cell.
   [[nodiscard]] bool charged_value(std::uint32_t bank, std::uint32_t row,
                                    std::uint32_t bit) const;
+  /// One 64-bit polarity word per column: bit i of word w is
+  /// charged_value(bank, row, w*64 + i). A per-row cache of these words
+  /// turns the per-bit polarity hash into a bit test (dram::Module caches
+  /// them in its RowState; see docs/MODEL.md "Sensing hot path").
+  [[nodiscard]] std::vector<std::uint64_t> charged_words(
+      std::uint32_t bank, std::uint32_t row) const;
+
+  /// Default depth of a row flip index (see build_flip_index).
+  static constexpr std::uint32_t kFlipIndexTopK = 512;
+  /// Conservative per-cell probability below which a freshly built
+  /// default-depth index is expected to cover the draw: the K-th largest of
+  /// N uniforms concentrates at 1 - K/N, so half of K leaves ample margin.
+  /// Callers check RowFlipIndex::covers() for the exact per-row answer.
+  static constexpr double kFlipIndexSafeP =
+      static_cast<double>(kFlipIndexTopK) / (2.0 * kBitsPerRow);
+
+  /// Sorted weak-tail index of one row's per-cell uniforms for one draw
+  /// kind. Because cell_uniform is a pure function of its coordinates, the
+  /// set {bit : uniform > 1 - p} -- exactly the cells a probability-p flip
+  /// evaluation selects -- is a prefix of the row's uniforms sorted
+  /// descending. The index retains the top-K of them; any p with
+  /// 1 - p >= floor_u is answered in O(actual flips) instead of a
+  /// 65536-bit scan.
+  struct RowFlipIndex {
+    struct Entry {
+      double u = 0.0;          ///< the cell's uniform draw
+      std::uint32_t bit = 0;   ///< bit index within the row
+    };
+    std::vector<Entry> cells;  ///< descending by u
+    double floor_u = 0.0;      ///< smallest uniform retained
+
+    /// True when the prefix {u > 1 - p} is fully contained in `cells`.
+    [[nodiscard]] bool covers(double p) const noexcept {
+      return !cells.empty() && (1.0 - p) >= floor_u;
+    }
+  };
+  [[nodiscard]] RowFlipIndex build_flip_index(
+      std::uint32_t bank, std::uint32_t row, CellDraw what,
+      std::uint32_t top_k = kFlipIndexTopK) const;
 
   /// Retention-weak cells of a row (Obsv. 14/15): bit index plus the cell's
   /// retention time at VPPmin, placed in distinct 64-bit words.

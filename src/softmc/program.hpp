@@ -54,6 +54,13 @@ class Program {
   /// only lengthen timing to the next 1.5ns boundary).
   [[nodiscard]] static std::uint32_t slots_for(double ns) noexcept;
 
+  /// Pre-size the instruction list (row-granularity builders know their
+  /// command count up front; 1024-column bursts would reallocate ~10 times).
+  Program& reserve(std::size_t n) {
+    instructions_.reserve(n);
+    return *this;
+  }
+
   Program& act(std::uint32_t bank, std::uint32_t row, double delay_ns = -1.0);
   Program& pre(std::uint32_t bank, double delay_ns = -1.0);
   Program& rd(std::uint32_t bank, std::uint32_t column, double delay_ns = -1.0);

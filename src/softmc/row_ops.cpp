@@ -19,6 +19,7 @@ common::Expected<Program> RowOps::init_row(
         .with_bank_row(static_cast<std::int32_t>(bank), row);
   }
   Program p(timing_);
+  p.reserve(dram::kColumnsPerRow + 2);
   p.act(bank, row);
   // Burst writes back-to-back at 4-clock column spacing.
   const double spacing = column_spacing_ns();
@@ -35,6 +36,7 @@ common::Expected<Program> RowOps::init_row(
 Program RowOps::read_row(std::uint32_t bank, std::uint32_t row,
                          double trcd_ns) const {
   Program p(timing_);
+  p.reserve(dram::kColumnsPerRow + 2);
   p.act(bank, row);
   const double first_delay = trcd_ns > 0.0 ? trcd_ns : timing_.t_rcd_ns;
   const double spacing = column_spacing_ns();

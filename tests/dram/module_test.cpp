@@ -182,6 +182,80 @@ TEST(Module, RefreshPreventsRetentionDecay) {
   EXPECT_GT(m.stats().refreshes, 8000u);
 }
 
+// Regression for the refresh-stripe wrap bug: refresh() iterated
+// `refresh_cursor_ + r` without reducing modulo rows_per_bank, so when the
+// stripe reached past the end of the bank -- e.g. an MRS switching to FGR 2x
+// widened it while the cursor sat at the last 1x position -- the wrapped tail
+// rows (physical 0, 1, ...) were silently skipped for that cycle.
+//
+// Detection uses the neighbor-activation snapshots sensing takes: a REF that
+// visits physical row 0 between two sub-threshold hammer phases absorbs the
+// first phase's disturbance into a fresh snapshot, so the final sense sees
+// only the second phase (below the deterministic flip floor -> zero flips).
+// If the REF skips row 0, the phases add up past the floor and bits flip.
+TEST(Module, RefreshStripeWrapsAroundBankEnd) {
+  auto profile = chips::profile_by_name("B3").value();
+  profile.rows_per_bank = 16384;  // stripe 2 at 1x refresh, 4 under FGR 2x
+
+  // Single-sided hammer on the physical neighbor of row 0: the victim's
+  // effective count is half the aggressor activations.
+  const auto victim_flips = [&](std::uint64_t aggressor_acts) -> int {
+    Module m(profile);
+    m.set_trr_enabled(false);
+    const std::uint32_t victim = m.mapping().physical_to_logical(0);
+    const std::uint32_t agg1 = m.mapping().physical_to_logical(1);
+    const std::uint32_t agg3 = m.mapping().physical_to_logical(3);
+    double t = 100.0;
+    const auto before = m.debug_row_snapshot(0, victim, t);
+    EXPECT_TRUE(m.hammer_pair(0, agg1, agg3, aggressor_acts, 46.0, t).ok());
+    const auto after = m.debug_row_snapshot(0, victim, t);
+    int flips = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      flips += __builtin_popcount(
+          static_cast<unsigned>(before[i] ^ after[i]));
+    }
+    return flips;
+  };
+
+  // Calibrate: the smallest activation count that flips this victim. The
+  // flip floor is a hard threshold, so any count below ~80% of this is
+  // deterministically flip-free.
+  std::uint64_t acts_flip = 20000;
+  while (victim_flips(acts_flip) == 0) {
+    acts_flip = acts_flip + acts_flip / 4;
+    ASSERT_LT(acts_flip, 10'000'000u) << "no flips found during calibration";
+  }
+  const std::uint64_t phase_acts = acts_flip / 2;
+
+  // The scenario: park the refresh cursor at the last 1x stripe position,
+  // widen the stripe with FGR 2x, hammer, REF (must wrap onto rows 0 and 1),
+  // hammer again, sense.
+  Module m(profile);
+  m.set_trr_enabled(false);
+  const std::uint32_t victim = m.mapping().physical_to_logical(0);
+  const std::uint32_t agg1 = m.mapping().physical_to_logical(1);
+  const std::uint32_t agg3 = m.mapping().physical_to_logical(3);
+  double t = 100.0;
+  const auto initial = m.debug_row_snapshot(0, victim, t);
+  for (int i = 0; i < 8191; ++i) {  // cursor: 8191 * 2 = 16382
+    ASSERT_TRUE(m.refresh(t).ok());
+    t += 200.0;
+  }
+  ModeRegisters fgr;
+  fgr.refresh_mode = RefreshMode::kFgr2x;
+  ASSERT_TRUE(m.load_mode_register(4, encode_mr4(fgr), t).ok());
+
+  ASSERT_TRUE(m.hammer_pair(0, agg1, agg3, phase_acts, 46.0, t).ok());
+  ASSERT_TRUE(m.refresh(t).ok());  // covers 16382, 16383, -> 0, 1
+  ASSERT_TRUE(m.hammer_pair(0, agg1, agg3, phase_acts, 46.0, t).ok());
+
+  const auto final_bytes = m.debug_row_snapshot(0, victim, t);
+  EXPECT_EQ(initial, final_bytes)
+      << "REF did not wrap onto physical row 0: the two sub-threshold "
+         "hammer phases accumulated into a super-threshold disturbance";
+  EXPECT_EQ(m.stats().hammer_bit_flips, 0u);
+}
+
 TEST(Module, RefreshRequiresPrechargedBanks) {
   Module m(small_profile());
   ASSERT_TRUE(m.activate(0, 1, 0.0).ok());

@@ -11,7 +11,8 @@
 //                  [--rows 16] [--step 0.2] [--csv out.csv] [--counters]
 //       Run a full VPP sweep and print (or export) the series. --counters
 //       prints the aggregated instrumentation of every rig session the
-//       sweep ran.
+//       sweep ran; --csv additionally writes the same instrumentation as a
+//       machine-readable JSON sidecar at <out.csv>.json.
 //   vppctl profile --module B6 [--vpp 1.7] [--rows 128]
 //       REAPER-style retention profile at a VPP level.
 #include <cstdio>
@@ -23,6 +24,7 @@
 #include "chips/module_db.hpp"
 #include "common/csv.hpp"
 #include "common/units.hpp"
+#include "core/export.hpp"
 #include "core/study.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "harness/wcdp.hpp"
@@ -169,9 +171,16 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
       csv.add(static_cast<std::uint64_t>(sweep->min_hc_first_at(l)));
       csv.add(sweep->max_ber_at(l));
     }
-    if (!csv_path.empty() && !csv.write_file(csv_path)) {
-      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
-      return 1;
+    if (!csv_path.empty()) {
+      if (!csv.write_file(csv_path)) {
+        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      if (!core::write_instrumentation_sidecar(
+              csv_path, core::instrumentation_json(*sweep))) {
+        std::fprintf(stderr, "cannot write %s.json\n", csv_path.c_str());
+        return 1;
+      }
     }
   } else if (kind == "trcd") {
     auto sweep = study.trcd_sweep(cfg);
@@ -192,7 +201,13 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
       csv.add(sweep->vpp_levels[l]);
       csv.add(sweep->trcd_min_ns[l]);
     }
-    if (!csv_path.empty() && !csv.write_file(csv_path)) return 1;
+    if (!csv_path.empty()) {
+      if (!csv.write_file(csv_path)) return 1;
+      if (!core::write_instrumentation_sidecar(
+              csv_path, core::instrumentation_json(*sweep))) {
+        return 1;
+      }
+    }
   } else if (kind == "retention") {
     auto sweep = study.retention_sweep(cfg);
     if (!sweep) {
@@ -215,7 +230,13 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
         csv.add(sweep->mean_ber[l][w]);
       }
     }
-    if (!csv_path.empty() && !csv.write_file(csv_path)) return 1;
+    if (!csv_path.empty()) {
+      if (!csv.write_file(csv_path)) return 1;
+      if (!core::write_instrumentation_sidecar(
+              csv_path, core::instrumentation_json(*sweep))) {
+        return 1;
+      }
+    }
   } else {
     std::fprintf(stderr, "unknown --test '%s'\n", kind.c_str());
     return 1;
