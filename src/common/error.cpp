@@ -23,6 +23,22 @@ std::string_view error_code_name(ErrorCode code) noexcept {
   return "kUnknown";
 }
 
+ErrorCode error_code_from_name(std::string_view name) noexcept {
+  constexpr ErrorCode kAll[] = {
+      ErrorCode::kUnknown,        ErrorCode::kInvalidArgument,
+      ErrorCode::kVppOutOfRange,  ErrorCode::kModuleUnresponsive,
+      ErrorCode::kThermalTimeout, ErrorCode::kTimingViolationFatal,
+      ErrorCode::kBadRowImage,    ErrorCode::kReadUnderrun,
+      ErrorCode::kDeviceProtocol, ErrorCode::kSolverDiverged,
+      ErrorCode::kParseError,     ErrorCode::kNoUsableLevels,
+      ErrorCode::kEmptySample,
+  };
+  for (const ErrorCode code : kAll) {
+    if (error_code_name(code) == name) return code;
+  }
+  return ErrorCode::kUnknown;
+}
+
 Error&& Error::with_context(std::string_view note) && {
   if (!note.empty()) {
     if (context.notes.empty()) {

@@ -51,6 +51,10 @@ enum class ErrorCode : std::uint8_t {
 /// Stable short name, e.g. "kVppOutOfRange".
 [[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
 
+/// Reverse of error_code_name (used when deserializing trace dumps and
+/// fault-plan specs); kUnknown for unrecognized names.
+[[nodiscard]] ErrorCode error_code_from_name(std::string_view name) noexcept;
+
 /// Structured context attached to an Error as it crosses layers. Fields are
 /// optional: negative numeric values / empty strings mean "not set".
 struct ErrorContext {

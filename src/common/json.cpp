@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 
 namespace vppstudy::common {
 
@@ -118,6 +120,298 @@ bool JsonWriter::write_file(const std::string& path) const {
   if (!file) return false;
   file << out_ << '\n';
   return static_cast<bool>(file);
+}
+
+// --- JsonValue ---------------------------------------------------------------
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.items_ = std::move(items);
+  return j;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.members_ = std::move(members);
+  return j;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key,
+                            double fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::uint64_t JsonValue::uint_or(std::string_view key,
+                                 std::uint64_t fallback) const noexcept {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_number() || v->as_number() < 0.0) return fallback;
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::string(fallback);
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse_document() {
+    VPP_ASSIGN_OR_RETURN(JsonValue doc, parse_value(0));
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return doc;
+  }
+
+ private:
+  /// Containers deeper than this are rejected (a hostile dump must not be
+  /// able to overflow the parser's stack).
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] Error fail(std::string what) const {
+    return Error{ErrorCode::kParseError,
+                 std::move(what) + " at byte " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        VPP_ASSIGN_OR_RETURN(std::string s, parse_string());
+        return JsonValue::make_string(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return JsonValue::make_bool(true);
+        }
+        return fail("malformed literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return JsonValue::make_bool(false);
+        }
+        return fail("malformed literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return JsonValue::make_null();
+        }
+        return fail("malformed literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    std::vector<JsonValue::Member> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      VPP_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      VPP_ASSIGN_OR_RETURN(JsonValue value, parse_value(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue::make_object(std::move(members));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      VPP_ASSIGN_OR_RETURN(JsonValue value, parse_value(depth + 1));
+      items.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue::make_array(std::move(items));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("malformed \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (our writer only emits \u for
+            // control characters; surrogate pairs are out of scope).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return fail("malformed number '" + token + "'");
+    }
+    return JsonValue::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+Result<JsonValue> parse_json_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Error{ErrorCode::kParseError, "cannot read JSON file " + path};
+  }
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return parse_json(text).transform_error([&path](Error&& e) {
+    return std::move(e).with_context("while parsing " + path);
+  });
 }
 
 }  // namespace vppstudy::common

@@ -1,13 +1,17 @@
-// Minimal streaming JSON writer: the machine-readable side channel of the
-// bench/tooling layer (BENCH_perf.json snapshots, per-sweep instrumentation
-// sidecars). No DOM, no parsing -- callers emit objects/arrays in order and
-// the writer handles commas, nesting, and string escaping.
+// JSON support for the bench/tooling layer: a minimal streaming writer
+// (BENCH_perf.json snapshots, per-sweep instrumentation sidecars, trace
+// dumps) and a small recursive-descent parser (JsonValue DOM) so the same
+// documents can be read back -- trace-driven replay loads the dumps the
+// writer produced. Parse failures surface as typed kParseError results.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/expected.hpp"
 
 namespace vppstudy::common {
 
@@ -52,5 +56,90 @@ class JsonWriter {
   std::vector<bool> has_element_;
   bool pending_key_ = false;
 };
+
+// --- Parsing -----------------------------------------------------------------
+
+/// A parsed JSON document node. Numbers are kept as doubles (the documents
+/// this layer reads -- trace dumps, instrumentation sidecars -- stay well
+/// inside the 2^53 integer-exact range); object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; asserted in debug builds, callers check kind() or use
+  /// the *_or() forms below.
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<Member>& members() const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup (nullptr when absent or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Leaf lookups with fallback: `doc.number_or("vpp_v", 2.5)`.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const noexcept;
+  [[nodiscard]] std::uint64_t uint_or(std::string_view key,
+                                      std::uint64_t fallback) const noexcept;
+  [[nodiscard]] bool bool_or(std::string_view key,
+                             bool fallback) const noexcept;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+
+  // --- construction (used by the parser and tests) ---------------------------
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parse a complete JSON document. Trailing non-whitespace, unterminated
+/// containers, and malformed literals fail with ErrorCode::kParseError and a
+/// byte offset in the message.
+[[nodiscard]] Result<JsonValue> parse_json(std::string_view text);
+
+/// Read and parse a JSON file; kParseError on unreadable or malformed input.
+[[nodiscard]] Result<JsonValue> parse_json_file(const std::string& path);
 
 }  // namespace vppstudy::common

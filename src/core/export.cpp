@@ -51,6 +51,82 @@ common::CsvWriter to_csv(const RetentionSweepResult& sweep) {
   return csv;
 }
 
+common::CsvWriter campaign_to_csv(const CampaignResult& campaign) {
+  common::CsvWriter csv({"module", "status", "error_code", "attempts", "row",
+                         "wcdp", "vpp_v", "hc_first", "ber"});
+  for (const ModuleCampaignResult& m : campaign.modules) {
+    if (!m.completed) {
+      csv.begin_row();
+      csv.add(m.module_name);
+      csv.add("quarantined");
+      csv.add(common::error_code_name(m.error_code));
+      csv.add(static_cast<std::uint64_t>(m.attempts));
+      csv.add("");
+      csv.add("");
+      csv.add("");
+      csv.add("");
+      csv.add("");
+      continue;
+    }
+    for (const RowSeries& row : m.sweep.rows) {
+      for (std::size_t l = 0; l < m.sweep.vpp_levels.size(); ++l) {
+        if (l >= row.hc_first.size()) continue;
+        csv.begin_row();
+        csv.add(m.module_name);
+        csv.add("completed");
+        csv.add("");
+        csv.add(static_cast<std::uint64_t>(m.attempts));
+        csv.add(static_cast<std::uint64_t>(row.row));
+        csv.add(dram::pattern_name(row.wcdp));
+        csv.add(m.sweep.vpp_levels[l]);
+        csv.add(static_cast<std::uint64_t>(row.hc_first[l]));
+        csv.add(row.ber[l]);
+      }
+    }
+  }
+  csv.end_row();
+  return csv;
+}
+
+common::JsonWriter campaign_json(const CampaignResult& campaign) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.kv("modules_total",
+          static_cast<std::uint64_t>(campaign.modules.size()));
+  json.kv("modules_completed",
+          static_cast<std::uint64_t>(campaign.completed_count()));
+  json.kv("retries", campaign.instrumentation.retries);
+  json.kv("quarantined_modules", campaign.instrumentation.quarantined_modules);
+  json.kv("hc_first_cv", campaign.hc_first_cv());
+  json.key("modules").begin_array();
+  for (const ModuleCampaignResult& m : campaign.modules) {
+    json.begin_object();
+    json.kv("module", m.module_name);
+    json.kv("status", m.completed ? "completed" : "quarantined");
+    json.kv("attempts", static_cast<std::uint64_t>(m.attempts));
+    if (!m.completed) {
+      json.kv("error_code", common::error_code_name(m.error_code));
+      json.kv("error", m.error_message);
+    }
+    const auto& inj = m.injections;
+    if (inj.total() > 0 || inj.flipped_bits > 0) {
+      json.key("injections").begin_object();
+      json.kv("dropped_acts", inj.dropped_acts);
+      json.kv("duplicated_acts", inj.duplicated_acts);
+      json.kv("dropped_reads", inj.dropped_reads);
+      json.kv("corrupted_reads", inj.corrupted_reads);
+      json.kv("flipped_bits", inj.flipped_bits);
+      json.kv("delayed_pres", inj.delayed_pres);
+      json.kv("spurious_errors", inj.spurious_errors);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json;
+}
+
 common::JsonWriter instrumentation_json(std::string_view sweep_kind,
                                         std::string_view module_name,
                                         std::span<const double> vpp_levels,
@@ -63,6 +139,8 @@ common::JsonWriter instrumentation_json(std::string_view sweep_kind,
   for (const double v : vpp_levels) json.value(v);
   json.end_array();
   json.kv("jobs", instr.jobs);
+  json.kv("retries", instr.retries);
+  json.kv("quarantined_modules", instr.quarantined_modules);
   const softmc::CommandCounts& c = instr.counts;
   json.key("counts").begin_object();
   json.kv("activates", c.activates);

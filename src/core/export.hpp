@@ -9,6 +9,7 @@
 
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "core/resilient_study.hpp"
 #include "core/study.hpp"
 
 namespace vppstudy::core {
@@ -21,6 +22,18 @@ namespace vppstudy::core {
 
 /// One row per (VPP level, refresh window): module, vpp, trefw_ms, mean_ber.
 [[nodiscard]] common::CsvWriter to_csv(const RetentionSweepResult& sweep);
+
+/// Partial-result export of a resilient campaign. Completed modules emit
+/// one row per (DRAM row, VPP level) with status "completed"; quarantined
+/// modules emit a single marker row with status "quarantined", the typed
+/// error code, and the attempt count, so downstream consumers can tell a
+/// missing point from a never-measured one.
+[[nodiscard]] common::CsvWriter campaign_to_csv(const CampaignResult& campaign);
+
+/// The campaign as a JSON document: per-module status, attempts, typed
+/// error codes, injection tallies, retry/quarantine accounting, and the
+/// cross-module HCfirst CV over completed modules.
+[[nodiscard]] common::JsonWriter campaign_json(const CampaignResult& campaign);
 
 /// A sweep's rig instrumentation as a JSON document: sweep kind, module,
 /// tested VPP levels, and the aggregated per-sweep command counts. Written

@@ -1,0 +1,79 @@
+// Fault-tolerant campaign runner: the RowHammer sweep of core/study wrapped
+// in the harness retry/backoff policy (harness/recovery), with an optional
+// deterministic FaultInjector standing in for the misbehaving silicon the
+// paper's rig saw at reduced VPP. Each module gets a bounded attempt budget;
+// transient typed failures re-run the module with re-salted fault draws,
+// persistent ones (or an exhausted budget) quarantine it. Quarantined
+// modules keep their failure evidence -- the typed error, the attempt count,
+// and a replayable trace dump of the failing session -- and are excluded
+// from cross-module statistics (hc_first_cv). Partial results export via
+// core/export's campaign CSV/JSON with explicit status markers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "dram/profile.hpp"
+#include "harness/recovery.hpp"
+#include "softmc/fault_injector.hpp"
+#include "softmc/trace_dump.hpp"
+
+namespace vppstudy::core {
+
+/// One resilient RowHammer campaign: which modules, which sweep, which
+/// faults to inject, and how hard to retry.
+struct ResilientConfig {
+  SweepConfig sweep;
+  std::vector<dram::ModuleProfile> modules;
+  /// Base seed of the per-job noise streams (same role as StudyConfig::seed).
+  std::uint64_t seed = 0;
+  /// Faults to inject; an empty plan runs the campaign clean.
+  softmc::FaultPlan faults;
+  harness::RetryPolicy retry;
+  /// Trace ring capacity of every campaign session (the failing session's
+  /// ring becomes the quarantine dump).
+  std::size_t trace_capacity = softmc::CommandTraceRecorder::kDefaultCapacity;
+};
+
+/// Outcome of one module's campaign.
+struct ModuleCampaignResult {
+  std::string module_name;
+  bool completed = false;
+  std::uint32_t attempts = 0;  ///< sessions-of-record: 1 + retries
+  /// The final failure (quarantined modules only).
+  common::ErrorCode error_code = common::ErrorCode::kUnknown;
+  std::string error_message;
+  /// Valid when completed.
+  ModuleSweepResult sweep;
+  /// Injection tallies of the final attempt (what the module survived or
+  /// died to).
+  softmc::FaultInjector::InjectionCounts injections;
+  /// Replayable evidence of the failing session (quarantined modules only).
+  bool has_dump = false;
+  softmc::TraceDump dump;
+};
+
+struct CampaignResult {
+  std::vector<ModuleCampaignResult> modules;  ///< config order
+  /// All sessions the campaign ran, failed attempts included, with retry
+  /// and quarantine accounting.
+  SweepInstrumentation instrumentation;
+  std::vector<harness::QuarantineRecord> quarantines;
+
+  [[nodiscard]] std::size_t completed_count() const noexcept;
+  /// Coefficient of variation of module-min HCfirst at the nominal level,
+  /// across *completed* modules only -- quarantined modules carry partial
+  /// or no data and would bias the spread (the paper's CV-across-repeats
+  /// methodology, section 4.6, applied across modules). 0 with fewer than
+  /// two completed modules.
+  [[nodiscard]] double hc_first_cv() const;
+};
+
+/// Run the campaign. Always returns a result: per-module failures are
+/// recorded as quarantines, never propagated as campaign failure.
+[[nodiscard]] CampaignResult run_resilient_rowhammer(
+    const ResilientConfig& config);
+
+}  // namespace vppstudy::core

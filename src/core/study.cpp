@@ -13,7 +13,13 @@ using common::Error;
 using common::ErrorCode;
 
 std::string SweepInstrumentation::summary() const {
-  return std::to_string(jobs) + " rig sessions: " + counts.summary();
+  std::string out = std::to_string(jobs) + " rig sessions";
+  if (retries > 0 || quarantined_modules > 0) {
+    out += " (" + std::to_string(retries) + " retried, " +
+           std::to_string(quarantined_modules) + " module(s) quarantined)";
+  }
+  out += ": " + counts.summary();
+  return out;
 }
 
 SweepConfig SweepConfig::paper() {

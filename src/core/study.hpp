@@ -53,6 +53,11 @@ struct SweepConfig {
 /// though jobs complete in scheduler order.
 struct SweepInstrumentation {
   std::uint64_t jobs = 0;  ///< rig sessions that contributed
+  /// Retry accounting (core/resilient_study): sessions re-run after a
+  /// transient failure, and modules given up on after the retry budget.
+  /// Plain sweeps leave both at zero.
+  std::uint64_t retries = 0;
+  std::uint64_t quarantined_modules = 0;
   softmc::CommandCounts counts;
 
   void add_job(const softmc::CommandCounts& job_counts) {
@@ -61,6 +66,8 @@ struct SweepInstrumentation {
   }
   SweepInstrumentation& operator+=(const SweepInstrumentation& other) {
     jobs += other.jobs;
+    retries += other.retries;
+    quarantined_modules += other.quarantined_modules;
     counts += other.counts;
     return *this;
   }

@@ -114,6 +114,11 @@ class Module {
     read_noise_counter_ = 0;
     hammer_noise_counter_ = 0;
   }
+  /// The active sequential-noise stream key (recorded in trace dumps so a
+  /// replay session can reproduce the same noise draws).
+  [[nodiscard]] std::uint64_t noise_stream() const noexcept {
+    return noise_stream_;
+  }
 
   // --- DDR4 command interface (now_ns: host-provided command time) -----------
   [[nodiscard]] common::Status activate(std::uint32_t bank,

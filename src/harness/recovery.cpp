@@ -1,0 +1,41 @@
+#include "harness/recovery.hpp"
+
+namespace vppstudy::harness {
+
+std::string_view fault_class_name(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::kTransient: return "transient";
+    case FaultClass::kPersistent: return "persistent";
+  }
+  return "?";
+}
+
+FaultClass classify_error(common::ErrorCode code) noexcept {
+  using common::ErrorCode;
+  switch (code) {
+    case ErrorCode::kUnknown:
+    case ErrorCode::kModuleUnresponsive:
+    case ErrorCode::kThermalTimeout:
+    case ErrorCode::kTimingViolationFatal:
+    case ErrorCode::kReadUnderrun:
+    case ErrorCode::kDeviceProtocol:
+      return FaultClass::kTransient;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kVppOutOfRange:
+    case ErrorCode::kBadRowImage:
+    case ErrorCode::kSolverDiverged:
+    case ErrorCode::kParseError:
+    case ErrorCode::kNoUsableLevels:
+    case ErrorCode::kEmptySample:
+      return FaultClass::kPersistent;
+  }
+  return FaultClass::kTransient;
+}
+
+std::string QuarantineRecord::to_string() const {
+  return module + ": quarantined after " + std::to_string(attempts) +
+         " attempt(s): [" + std::string(common::error_code_name(code)) + "] " +
+         message;
+}
+
+}  // namespace vppstudy::harness

@@ -48,79 +48,120 @@ void CommandDispatcher::notify_new_violations(std::size_t watermark) {
   }
 }
 
+bool CommandDispatcher::issue_one(const Instruction& inst,
+                                  ExecutionResult& result, double& clock_ns) {
+  // The timing checker is the first observer: it sees the command at its
+  // issue timestamp before the device acts on it (hammer loops are
+  // checked when the loop retires, via on_hammer below).
+  std::size_t watermark = violation_log_.size();
+  notify_command(inst, clock_ns);
+  notify_new_violations(watermark);
+
+  Status st;
+  switch (inst.kind) {
+    case dram::CommandKind::kActivate:
+      if (inst.loop_count > 0) {
+        const double start = clock_ns;
+        double now = clock_ns;
+        st = module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
+                                 inst.loop_count, inst.loop_act_to_act_ns,
+                                 now);
+        watermark = violation_log_.size();
+        for (SessionObserver* obs : observers_) {
+          obs->on_hammer(inst.bank, inst.loop_count,
+                         inst.loop_act_to_act_ns, start, now);
+        }
+        notify_new_violations(watermark);
+        const double from = clock_ns;
+        clock_ns = now;
+        for (SessionObserver* obs : observers_) {
+          obs->on_clock_advance(from, clock_ns);
+        }
+      } else {
+        st = module_.activate(inst.bank, inst.row, clock_ns);
+      }
+      break;
+    case dram::CommandKind::kPrecharge:
+      st = module_.precharge(inst.bank, clock_ns);
+      break;
+    case dram::CommandKind::kPrechargeAll:
+      st = module_.precharge_all(clock_ns);
+      break;
+    case dram::CommandKind::kRead: {
+      auto data = module_.read(inst.bank, inst.column, clock_ns);
+      if (!data) {
+        st = std::move(data).error();
+      } else {
+        if (interceptor_ != nullptr) {
+          interceptor_->corrupt_read(inst.bank, inst.column, *data, clock_ns);
+        }
+        result.reads.push_back(*data);
+      }
+      break;
+    }
+    case dram::CommandKind::kWrite:
+      st = module_.write(inst.bank, inst.column, inst.write_data, clock_ns);
+      break;
+    case dram::CommandKind::kRefresh:
+      st = module_.refresh(clock_ns);
+      break;
+    case dram::CommandKind::kNop:
+      break;
+  }
+  if (!st.ok()) {
+    result.status = std::move(st)
+                        .error()
+                        .with_op(dram::command_name(inst.kind))
+                        .with_bank(static_cast<std::int32_t>(inst.bank));
+    for (SessionObserver* obs : observers_) {
+      obs->on_error(result.status.error(), clock_ns);
+    }
+    return false;
+  }
+  return true;
+}
+
 ExecutionResult CommandDispatcher::execute(const Program& program,
                                            double& clock_ns) {
   ExecutionResult result;
   result.reads.reserve(program.read_count());
   const std::size_t violations_before = violation_log_.size();
-  for (const Instruction& inst : program.instructions()) {
-    advance(clock_ns, inst.slots_after_previous * common::kCommandSlotNs);
-    if (inst.extra_wait_ns > 0.0) advance(clock_ns, inst.extra_wait_ns);
-
-    // The timing checker is the first observer: it sees the command at its
-    // issue timestamp before the device acts on it (hammer loops are
-    // checked when the loop retires, via on_hammer below).
-    std::size_t watermark = violation_log_.size();
-    notify_command(inst, clock_ns);
-    notify_new_violations(watermark);
-
-    Status st;
-    switch (inst.kind) {
-      case dram::CommandKind::kActivate:
-        if (inst.loop_count > 0) {
-          const double start = clock_ns;
-          double now = clock_ns;
-          st = module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
-                                   inst.loop_count, inst.loop_act_to_act_ns,
-                                   now);
-          watermark = violation_log_.size();
-          for (SessionObserver* obs : observers_) {
-            obs->on_hammer(inst.bank, inst.loop_count,
-                           inst.loop_act_to_act_ns, start, now);
-          }
-          notify_new_violations(watermark);
-          const double from = clock_ns;
-          clock_ns = now;
-          for (SessionObserver* obs : observers_) {
-            obs->on_clock_advance(from, clock_ns);
-          }
-        } else {
-          st = module_.activate(inst.bank, inst.row, clock_ns);
-        }
-        break;
-      case dram::CommandKind::kPrecharge:
-        st = module_.precharge(inst.bank, clock_ns);
-        break;
-      case dram::CommandKind::kPrechargeAll:
-        st = module_.precharge_all(clock_ns);
-        break;
-      case dram::CommandKind::kRead: {
-        auto data = module_.read(inst.bank, inst.column, clock_ns);
-        if (!data) {
-          st = std::move(data).error();
-        } else {
-          result.reads.push_back(*data);
-        }
-        break;
-      }
-      case dram::CommandKind::kWrite:
-        st = module_.write(inst.bank, inst.column, inst.write_data, clock_ns);
-        break;
-      case dram::CommandKind::kRefresh:
-        st = module_.refresh(clock_ns);
-        break;
-      case dram::CommandKind::kNop:
-        break;
+  for (const Instruction& original : program.instructions()) {
+    // With no interceptor this loop body reduces to advance + issue_one on
+    // the original instruction -- no copy, identical behavior to the
+    // pre-interceptor dispatch loop.
+    Instruction mutated;
+    const Instruction* inst = &original;
+    CommandInterceptor::Decision decision;
+    if (interceptor_ != nullptr) {
+      mutated = original;
+      decision = interceptor_->intercept(mutated, clock_ns);
+      inst = &mutated;
     }
-    if (!st.ok()) {
-      result.status = std::move(st)
-                          .error()
-                          .with_op(dram::command_name(inst.kind))
-                          .with_bank(static_cast<std::int32_t>(inst.bank));
+
+    advance(clock_ns, inst->slots_after_previous * common::kCommandSlotNs);
+    if (inst->extra_wait_ns > 0.0) advance(clock_ns, inst->extra_wait_ns);
+
+    if (decision.action == CommandInterceptor::Action::kDrop) {
+      // The command left the host but never reached the device: time still
+      // passes, but no observer sees it (the trace ring must mirror the
+      // device's view so a captured dump replays the failure faithfully).
+      continue;
+    }
+    if (decision.action == CommandInterceptor::Action::kFail) {
+      result.status = std::move(decision.error)
+                          .with_op(dram::command_name(inst->kind))
+                          .with_bank(static_cast<std::int32_t>(inst->bank));
       for (SessionObserver* obs : observers_) {
         obs->on_error(result.status.error(), clock_ns);
       }
       break;
+    }
+
+    if (!issue_one(*inst, result, clock_ns)) break;
+    if (decision.action == CommandInterceptor::Action::kDuplicate) {
+      advance(clock_ns, common::kCommandSlotNs);
+      if (!issue_one(*inst, result, clock_ns)) break;
     }
   }
   result.timing_violations = violation_log_.size() - violations_before;

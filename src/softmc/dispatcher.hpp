@@ -39,6 +39,17 @@ class CommandDispatcher {
   void add_observer(SessionObserver* observer);
   void remove_observer(SessionObserver* observer);
 
+  /// Install (or clear, with nullptr) the active command interceptor. At
+  /// most one is consulted; it is borrowed, never owned. With none
+  /// installed the dispatch loop is byte-identical to the pre-interceptor
+  /// code path (no per-instruction copy).
+  void set_interceptor(CommandInterceptor* interceptor) noexcept {
+    interceptor_ = interceptor;
+  }
+  [[nodiscard]] const CommandInterceptor* interceptor() const noexcept {
+    return interceptor_;
+  }
+
   /// Execute `program` against the module, advancing `clock_ns` in place.
   [[nodiscard]] ExecutionResult execute(const Program& program,
                                         double& clock_ns);
@@ -48,10 +59,16 @@ class CommandDispatcher {
   void notify_command(const Instruction& inst, double now_ns);
   /// Fan out violations appended to the log since `watermark`.
   void notify_new_violations(std::size_t watermark);
+  /// Issue one instruction to the device (observers notified first). On a
+  /// device rejection fills `result.status`, fans out on_error, and returns
+  /// false to abort the program.
+  bool issue_one(const Instruction& inst, ExecutionResult& result,
+                 double& clock_ns);
 
   dram::Module& module_;
   const std::vector<TimingViolation>& violation_log_;
   std::vector<SessionObserver*> observers_;
+  CommandInterceptor* interceptor_ = nullptr;
 };
 
 }  // namespace vppstudy::softmc

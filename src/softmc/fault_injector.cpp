@@ -1,0 +1,322 @@
+#include "softmc/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace vppstudy::softmc {
+
+using common::Error;
+using common::ErrorCode;
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDropAct: return "drop_act";
+    case FaultKind::kDuplicateAct: return "dup_act";
+    case FaultKind::kDropRead: return "drop_read";
+    case FaultKind::kFlipReadBits: return "flip_read";
+    case FaultKind::kDelayPre: return "delay_pre";
+    case FaultKind::kSpuriousError: return "spurious";
+  }
+  return "?";
+}
+
+common::ErrorCode expected_error_code(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDropAct: return ErrorCode::kDeviceProtocol;
+    case FaultKind::kDuplicateAct: return ErrorCode::kDeviceProtocol;
+    case FaultKind::kDropRead: return ErrorCode::kReadUnderrun;
+    case FaultKind::kFlipReadBits: return ErrorCode::kUnknown;  // silent
+    case FaultKind::kDelayPre: return ErrorCode::kUnknown;      // silent
+    case FaultKind::kSpuriousError: return ErrorCode::kModuleUnresponsive;
+  }
+  return ErrorCode::kUnknown;
+}
+
+namespace {
+
+[[nodiscard]] bool kind_from_name(std::string_view name, FaultKind& out) {
+  constexpr FaultKind kAll[] = {
+      FaultKind::kDropAct,      FaultKind::kDuplicateAct,
+      FaultKind::kDropRead,     FaultKind::kFlipReadBits,
+      FaultKind::kDelayPre,     FaultKind::kSpuriousError,
+  };
+  for (const FaultKind k : kAll) {
+    if (fault_kind_name(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] Error spec_error(std::string what) {
+  return Error{ErrorCode::kParseError,
+               "fault plan: " + std::move(what)};
+}
+
+}  // namespace
+
+common::Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string_view clause = trim(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    // First comma-token names the rule ("seed=N", "<kind>=p", "<kind>@i"),
+    // the rest are key=value options.
+    std::size_t cpos = 0;
+    bool first = true;
+    FaultRule rule;
+    bool have_rule = false;
+    while (cpos <= clause.size()) {
+      const std::size_t cend = std::min(clause.find(',', cpos), clause.size());
+      const std::string_view token = trim(clause.substr(cpos, cend - cpos));
+      cpos = cend + 1;
+      if (token.empty()) continue;
+
+      if (first) {
+        first = false;
+        const std::size_t eq = token.find('=');
+        const std::size_t at = token.find('@');
+        if (eq != std::string_view::npos && token.substr(0, eq) == "seed") {
+          plan.seed = std::strtoull(std::string(token.substr(eq + 1)).c_str(),
+                                    nullptr, 10);
+          continue;
+        }
+        const std::size_t sep = std::min(eq, at);
+        if (sep == std::string_view::npos) {
+          return spec_error("clause '" + std::string(clause) +
+                            "' needs '<kind>=<prob>' or '<kind>@<index>'");
+        }
+        if (!kind_from_name(token.substr(0, sep), rule.kind)) {
+          return spec_error("unknown fault kind '" +
+                            std::string(token.substr(0, sep)) + "'");
+        }
+        const std::string arg(token.substr(sep + 1));
+        if (sep == at) {
+          rule.at_command = std::strtoull(arg.c_str(), nullptr, 10);
+        } else {
+          rule.probability = std::atof(arg.c_str());
+          if (rule.probability < 0.0 || rule.probability > 1.0 ||
+              !std::isfinite(rule.probability)) {
+            return spec_error("probability '" + arg + "' not in [0, 1]");
+          }
+        }
+        have_rule = true;
+        continue;
+      }
+
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos || !have_rule) {
+        return spec_error("malformed option '" + std::string(token) + "'");
+      }
+      const std::string_view key = token.substr(0, eq);
+      const std::string val(token.substr(eq + 1));
+      if (key == "bits") {
+        rule.bits = static_cast<std::uint32_t>(
+            std::strtoul(val.c_str(), nullptr, 10));
+        if (rule.bits == 0 || rule.bits > 64) {
+          return spec_error("bits must be in [1, 64]");
+        }
+      } else if (key == "ns") {
+        rule.delay_ns = std::atof(val.c_str());
+        if (!(rule.delay_ns > 0.0)) {
+          return spec_error("ns must be positive");
+        }
+      } else if (key == "code") {
+        rule.code = common::error_code_from_name(val);
+        if (rule.code == ErrorCode::kUnknown && val != "kUnknown") {
+          return spec_error("unknown error code '" + val + "'");
+        }
+      } else {
+        return spec_error("unknown option '" + std::string(key) + "'");
+      }
+    }
+    if (have_rule) plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultRule& rule : rules) {
+    out += ';';
+    out += fault_kind_name(rule.kind);
+    if (rule.at_command != FaultRule::kNoSchedule) {
+      out += '@' + std::to_string(rule.at_command);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "=%g", rule.probability);
+      out += buf;
+    }
+    if (rule.kind == FaultKind::kFlipReadBits && rule.bits != 1) {
+      out += ",bits=" + std::to_string(rule.bits);
+    }
+    if (rule.kind == FaultKind::kDelayPre) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ",ns=%g", rule.delay_ns);
+      out += buf;
+    }
+    if (rule.kind == FaultKind::kSpuriousError) {
+      out += ",code=";
+      out += common::error_code_name(rule.code);
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultInjector::set_attempt(std::uint32_t attempt) noexcept {
+  attempt_ = attempt;
+  commands_seen_ = 0;
+  pending_trp_debt_ns_ = 0.0;
+  pending_trp_bank_ = 0;
+  counts_ = InjectionCounts{};
+  log_.clear();
+}
+
+bool FaultInjector::fires(const FaultRule& rule, std::uint64_t index,
+                          std::uint64_t salt) const noexcept {
+  if (rule.at_command != FaultRule::kNoSchedule) {
+    return index == rule.at_command;
+  }
+  if (rule.probability <= 0.0) return false;
+  return common::uniform_at({plan_.seed, attempt_,
+                             static_cast<std::uint64_t>(rule.kind), index,
+                             salt}) < rule.probability;
+}
+
+void FaultInjector::record(FaultKind kind, std::uint64_t index, double at_ns) {
+  log_.push_back(InjectionEvent{kind, index, at_ns});
+}
+
+CommandInterceptor::Decision FaultInjector::intercept(Instruction& inst,
+                                                      double now_ns) {
+  const std::uint64_t index = commands_seen_++;
+  constexpr std::uint32_t kAnyBank = ~0U;
+
+  // Reclaim a delayed PRE's tRP debt: the rest of the program does not know
+  // the PRE went out late, so the next ACT on that bank keeps its original
+  // absolute schedule -- which shortens the observed PRE-to-ACT gap and
+  // trips the TimingChecker's tRP rule.
+  const bool plain_act =
+      inst.kind == dram::CommandKind::kActivate && inst.loop_count == 0;
+  if (pending_trp_debt_ns_ > 0.0 && inst.kind == dram::CommandKind::kActivate &&
+      (pending_trp_bank_ == kAnyBank || inst.bank == pending_trp_bank_)) {
+    const double gap =
+        inst.slots_after_previous * common::kCommandSlotNs + inst.extra_wait_ns;
+    inst.slots_after_previous = 0;
+    inst.extra_wait_ns = std::max(0.0, gap - pending_trp_debt_ns_);
+    pending_trp_debt_ns_ = 0.0;
+  }
+
+  for (const FaultRule& rule : plan_.rules) {
+    switch (rule.kind) {
+      case FaultKind::kDropAct:
+        if (plain_act && fires(rule, index, 0)) {
+          ++counts_.dropped_acts;
+          record(rule.kind, index, now_ns);
+          return Decision{Action::kDrop, {}};
+        }
+        break;
+      case FaultKind::kDuplicateAct:
+        if (plain_act && fires(rule, index, 0)) {
+          ++counts_.duplicated_acts;
+          record(rule.kind, index, now_ns);
+          return Decision{Action::kDuplicate, {}};
+        }
+        break;
+      case FaultKind::kDropRead:
+        if (inst.kind == dram::CommandKind::kRead && fires(rule, index, 0)) {
+          ++counts_.dropped_reads;
+          record(rule.kind, index, now_ns);
+          return Decision{Action::kDrop, {}};
+        }
+        break;
+      case FaultKind::kFlipReadBits:
+        break;  // handled in corrupt_read()
+      case FaultKind::kDelayPre:
+        if ((inst.kind == dram::CommandKind::kPrecharge ||
+             inst.kind == dram::CommandKind::kPrechargeAll) &&
+            fires(rule, index, 0)) {
+          inst.extra_wait_ns += rule.delay_ns;
+          pending_trp_debt_ns_ = rule.delay_ns;
+          pending_trp_bank_ = inst.kind == dram::CommandKind::kPrechargeAll
+                                  ? kAnyBank
+                                  : inst.bank;
+          ++counts_.delayed_pres;
+          record(rule.kind, index, now_ns);
+        }
+        break;
+      case FaultKind::kSpuriousError:
+        if (fires(rule, index, 0)) {
+          ++counts_.spurious_errors;
+          record(rule.kind, index, now_ns);
+          return Decision{
+              Action::kFail,
+              Error{rule.code,
+                    "injected spurious fault at command " +
+                        std::to_string(index) + " (seed " +
+                        std::to_string(plan_.seed) + ", attempt " +
+                        std::to_string(attempt_) + ")"}};
+        }
+        break;
+    }
+  }
+  return Decision{};
+}
+
+void FaultInjector::corrupt_read(
+    std::uint32_t bank, std::uint32_t column,
+    std::array<std::uint8_t, dram::kBytesPerColumn>& data, double now_ns) {
+  (void)bank;
+  (void)column;
+  // The read's own command index (intercept() for it already ran).
+  const std::uint64_t index = commands_seen_ == 0 ? 0 : commands_seen_ - 1;
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind != FaultKind::kFlipReadBits) continue;
+    if (!fires(rule, index, 0)) continue;
+    // Flip `bits` distinct bit positions of the 64-bit burst, positions
+    // drawn from the same deterministic key family as the decision itself.
+    std::uint64_t flipped_mask = 0;
+    std::uint64_t salt = 1;
+    std::uint32_t placed = 0;
+    while (placed < rule.bits && salt < 64U * 8U) {
+      const std::uint64_t bit =
+          common::hash_key({plan_.seed, attempt_,
+                            static_cast<std::uint64_t>(rule.kind), index,
+                            salt++}) %
+          64;
+      if ((flipped_mask >> bit) & 1ULL) continue;
+      flipped_mask |= 1ULL << bit;
+      ++placed;
+    }
+    for (std::uint32_t byte = 0; byte < dram::kBytesPerColumn; ++byte) {
+      data[byte] ^= static_cast<std::uint8_t>((flipped_mask >> (byte * 8)) &
+                                              0xffULL);
+    }
+    ++counts_.corrupted_reads;
+    counts_.flipped_bits += placed;
+    record(rule.kind, index, now_ns);
+  }
+}
+
+}  // namespace vppstudy::softmc

@@ -4,14 +4,17 @@
 // the host issues). The CommandDispatcher notifies observers of every
 // command, hammer loop, timing violation, device error, and clock advance;
 // TimingChecker is the first observer, CommandTraceRecorder and
-// SessionCounters ride on the same hooks, and later work (fault injection,
-// trace-driven replay) plugs in without touching the dispatch loop.
+// SessionCounters ride on the same hooks, and FaultInjector plugs in via the
+// active CommandInterceptor hook below to perturb commands before the device
+// (and the observers) see them.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "common/error.hpp"
+#include "dram/types.hpp"
 #include "softmc/program.hpp"
 
 namespace vppstudy::softmc {
@@ -66,6 +69,47 @@ class SessionObserver {
   /// The device rejected a command; execution aborts after this call.
   virtual void on_error(const common::Error& error, double now_ns) {
     (void)error;
+    (void)now_ns;
+  }
+};
+
+/// Active counterpart to the passive SessionObserver: consulted by the
+/// dispatcher *before* each instruction is scheduled, it may mutate the
+/// instruction in flight (timing, addresses), drop it (the command leaves
+/// the host but never reaches the device -- observers do not see it, so a
+/// recorded trace mirrors the device's view and stays replayable), duplicate
+/// it, or fail it with a typed error as if the device had rejected it. After
+/// a successful RD it may additionally corrupt the returned burst. Exactly
+/// one interceptor can be active per dispatcher; softmc::FaultInjector is
+/// the canonical implementation.
+class CommandInterceptor {
+ public:
+  enum class Action : std::uint8_t {
+    kPass,       ///< issue the (possibly mutated) instruction normally
+    kDrop,       ///< time passes, but the device never sees the command
+    kDuplicate,  ///< issue twice, one command slot apart
+    kFail,       ///< abort execution with `Decision::error`
+  };
+  struct Decision {
+    Action action = Action::kPass;
+    common::Error error;  ///< only meaningful for kFail
+  };
+
+  virtual ~CommandInterceptor() = default;
+
+  /// Called once per program instruction (before the command clock advances
+  /// to its issue time). `inst` is a mutable copy; edits apply to this issue
+  /// only.
+  virtual Decision intercept(Instruction& inst, double now_ns) = 0;
+
+  /// Called after the device successfully returned a read burst; may flip
+  /// bits in `data` (silent corruption -- no typed error is raised).
+  virtual void corrupt_read(std::uint32_t bank, std::uint32_t column,
+                            std::array<std::uint8_t, dram::kBytesPerColumn>& data,
+                            double now_ns) {
+    (void)bank;
+    (void)column;
+    (void)data;
     (void)now_ns;
   }
 };

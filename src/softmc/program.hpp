@@ -61,6 +61,17 @@ class Program {
     return *this;
   }
 
+  /// Append a pre-built instruction verbatim -- the slot count and
+  /// extra_wait_ns are taken as-is, with no nominal-timing defaults. This is
+  /// the trace-replay path (softmc/trace_replayer): a dump entry's absolute
+  /// timestamp is reproduced exactly by computing the wait externally, which
+  /// slots_for()'s round-up would distort.
+  Program& push_raw(Instruction inst) {
+    if (inst.kind == dram::CommandKind::kRead) ++read_count_;
+    instructions_.push_back(inst);
+    return *this;
+  }
+
   Program& act(std::uint32_t bank, std::uint32_t row, double delay_ns = -1.0);
   Program& pre(std::uint32_t bank, double delay_ns = -1.0);
   Program& rd(std::uint32_t bank, std::uint32_t column, double delay_ns = -1.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/units.hpp"
+#include "softmc/fault_injector.hpp"
 
 namespace vppstudy::softmc {
 
@@ -32,6 +33,18 @@ Session::Session(dram::ModuleProfile profile)
   // must see every command first, then derived metrics accumulate.
   dispatcher_.add_observer(&checker_);
   dispatcher_.add_observer(&counters_);
+}
+
+void Session::set_fault_injector(FaultInjector* injector) {
+  if (injector_ != nullptr) {
+    dispatcher_.remove_observer(injector_);
+    dispatcher_.set_interceptor(nullptr);
+  }
+  injector_ = injector;
+  if (injector_ != nullptr) {
+    dispatcher_.set_interceptor(injector_);
+    dispatcher_.add_observer(injector_);
+  }
 }
 
 void Session::enable_trace(std::size_t capacity) {

@@ -24,6 +24,8 @@
 
 namespace vppstudy::softmc {
 
+class FaultInjector;
+
 class Session {
  public:
   /// Takes ownership of the module (the DIMM seated on the interposer).
@@ -83,6 +85,14 @@ class Session {
     return trace_.get();
   }
 
+  /// Attach a fault injector: registered as the dispatcher's command
+  /// interceptor and as an observer (replacing any previous injector).
+  /// Borrowed -- must outlive the session or be detached with nullptr.
+  void set_fault_injector(FaultInjector* injector);
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
   /// Register an external observer (fault injectors, custom metrics). The
   /// observer is borrowed and must outlive the session (or be removed).
   void add_observer(SessionObserver* observer) {
@@ -129,6 +139,7 @@ class Session {
   std::unique_ptr<CommandTraceRecorder> trace_;
   CommandDispatcher dispatcher_;
   RowOps ops_;
+  FaultInjector* injector_ = nullptr;
   double clock_ns_ = 0.0;
   bool auto_refresh_ = false;
 };

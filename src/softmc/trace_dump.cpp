@@ -1,0 +1,202 @@
+#include "softmc/trace_dump.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "softmc/session.hpp"
+
+namespace vppstudy::softmc {
+
+using common::Error;
+using common::ErrorCode;
+using common::JsonValue;
+
+namespace {
+
+[[nodiscard]] bool command_from_name(std::string_view name,
+                                     dram::CommandKind& out) {
+  constexpr dram::CommandKind kAll[] = {
+      dram::CommandKind::kActivate,     dram::CommandKind::kPrecharge,
+      dram::CommandKind::kPrechargeAll, dram::CommandKind::kRead,
+      dram::CommandKind::kWrite,        dram::CommandKind::kRefresh,
+      dram::CommandKind::kNop,
+  };
+  for (const dram::CommandKind k : kAll) {
+    if (dram::command_name(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] std::string hex_encode(
+    const std::array<std::uint8_t, dram::kBytesPerColumn>& data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * data.size());
+  for (const std::uint8_t b : data) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+[[nodiscard]] bool hex_decode(
+    std::string_view hex,
+    std::array<std::uint8_t, dram::kBytesPerColumn>& out) {
+  if (hex.size() != 2 * out.size()) return false;
+  const auto nibble = [](char c, std::uint8_t& v) {
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint8_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint8_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<std::uint8_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint8_t hi = 0;
+    std::uint8_t lo = 0;
+    if (!nibble(hex[2 * i], hi) || !nibble(hex[2 * i + 1], lo)) return false;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+constexpr std::array<std::uint8_t, dram::kBytesPerColumn> kZeroData{};
+
+}  // namespace
+
+TraceDump capture_trace_dump(const Session& session,
+                             const common::Error* failure) {
+  TraceDump dump;
+  dump.module = session.module().profile().name;
+  dump.vpp_v = session.vpp();
+  dump.temperature_c = session.temperature();
+  dump.noise_stream = session.module().noise_stream();
+  if (const CommandTraceRecorder* trace = session.trace()) {
+    dump.capacity = trace->capacity();
+    dump.total_recorded = trace->total_recorded();
+    dump.entries = trace->entries();
+  }
+  if (failure != nullptr) {
+    dump.error_code = failure->code;
+    dump.error_message = failure->to_string();
+  }
+  return dump;
+}
+
+common::JsonWriter trace_dump_json(const TraceDump& dump) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.kv("schema", std::string(TraceDump::kSchemaPrefix) +
+                        std::to_string(dump.version));
+  json.kv("module", dump.module);
+  json.kv("vpp_v", dump.vpp_v);
+  json.kv("temperature_c", dump.temperature_c);
+  json.kv("noise_stream", dump.noise_stream);
+  json.kv("capacity", static_cast<std::uint64_t>(dump.capacity));
+  json.kv("total_recorded", dump.total_recorded);
+  if (dump.has_failure()) {
+    json.key("failure").begin_object();
+    json.kv("code", common::error_code_name(dump.error_code));
+    json.kv("message", dump.error_message);
+    json.end_object();
+  }
+  json.key("entries").begin_array();
+  for (const TraceEntry& e : dump.entries) {
+    json.begin_object();
+    json.kv("cmd", dram::command_name(e.kind));
+    json.kv("bank", static_cast<std::uint64_t>(e.bank));
+    json.kv("row", static_cast<std::uint64_t>(e.row));
+    json.kv("col", static_cast<std::uint64_t>(e.column));
+    json.kv("at_ns", e.at_ns);
+    if (e.kind == dram::CommandKind::kWrite && e.write_data != kZeroData) {
+      json.kv("data", hex_encode(e.write_data));
+    }
+    if (e.loop_count > 0) {
+      json.kv("loop_count", e.loop_count);
+      json.kv("loop_act_to_act_ns", e.loop_act_to_act_ns);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json;
+}
+
+common::Result<TraceDump> parse_trace_dump(const JsonValue& doc) {
+  const auto fail = [](std::string what) {
+    return Error{ErrorCode::kParseError, "trace dump: " + std::move(what)};
+  };
+  if (!doc.is_object()) return fail("document is not an object");
+
+  const std::string schema = doc.string_or("schema", "");
+  if (schema.rfind(TraceDump::kSchemaPrefix, 0) != 0) {
+    return fail("unrecognized schema '" + schema + "'");
+  }
+  TraceDump dump;
+  dump.version = std::atoi(
+      schema.substr(TraceDump::kSchemaPrefix.size()).c_str());
+  if (dump.version < 1 || dump.version > TraceDump::kVersion) {
+    return fail("unsupported version " + std::to_string(dump.version));
+  }
+  dump.module = doc.string_or("module", "");
+  if (dump.module.empty()) return fail("missing module name");
+  dump.vpp_v = doc.number_or("vpp_v", 0.0);
+  dump.temperature_c = doc.number_or("temperature_c", 0.0);
+  dump.noise_stream = doc.uint_or("noise_stream", 0);
+  dump.capacity = static_cast<std::size_t>(doc.uint_or("capacity", 0));
+  dump.total_recorded = doc.uint_or("total_recorded", 0);
+
+  if (const JsonValue* failure = doc.find("failure")) {
+    if (!failure->is_object()) return fail("'failure' is not an object");
+    dump.error_code =
+        common::error_code_from_name(failure->string_or("code", "kUnknown"));
+    dump.error_message = failure->string_or("message", "");
+  }
+
+  const JsonValue* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return fail("missing 'entries' array");
+  }
+  dump.entries.reserve(entries->items().size());
+  for (const JsonValue& item : entries->items()) {
+    if (!item.is_object()) return fail("entry is not an object");
+    TraceEntry e;
+    if (!command_from_name(item.string_or("cmd", ""), e.kind)) {
+      return fail("unknown command '" + item.string_or("cmd", "") + "'");
+    }
+    e.bank = static_cast<std::uint32_t>(item.uint_or("bank", 0));
+    e.row = static_cast<std::uint32_t>(item.uint_or("row", 0));
+    e.column = static_cast<std::uint32_t>(item.uint_or("col", 0));
+    e.at_ns = item.number_or("at_ns", 0.0);
+    if (const JsonValue* data = item.find("data")) {
+      if (!data->is_string() || !hex_decode(data->as_string(), e.write_data)) {
+        return fail("malformed write data");
+      }
+    }
+    e.loop_count = item.uint_or("loop_count", 0);
+    e.loop_act_to_act_ns = item.number_or("loop_act_to_act_ns", 0.0);
+    dump.entries.push_back(e);
+  }
+  if (dump.total_recorded < dump.entries.size()) {
+    dump.total_recorded = dump.entries.size();
+  }
+  return dump;
+}
+
+common::Result<TraceDump> load_trace_dump(const std::string& path) {
+  VPP_ASSIGN_OR_RETURN(common::JsonValue doc, common::parse_json_file(path));
+  return parse_trace_dump(doc);
+}
+
+bool write_trace_dump(const std::string& path, const TraceDump& dump) {
+  return trace_dump_json(dump).write_file(path);
+}
+
+}  // namespace vppstudy::softmc

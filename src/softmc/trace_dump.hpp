@@ -1,0 +1,79 @@
+// Versioned trace dumps: serialize a CommandTraceRecorder ring (plus the rig
+// state needed to reproduce it -- module, VPP, temperature, noise stream,
+// and the failure that triggered the capture) to a JSON document via
+// common::JsonWriter, and parse it back with the common JSON parser. This is
+// the repro artifact of the methodology: when a sweep dies under reduced-VPP
+// misbehavior, the dump is what `vppctl replay` feeds back through a fresh
+// session to reproduce the failing command sequence in isolation
+// (softmc/trace_replayer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "softmc/trace_recorder.hpp"
+
+namespace vppstudy::softmc {
+
+class Session;
+
+/// A serialized command trace plus the rig state that produced it.
+/// Format stability: `schema` is "vppstudy-trace-dump/<version>"; parsers
+/// reject dumps whose major version they do not understand, and unknown
+/// object keys are ignored so the format can grow compatibly.
+struct TraceDump {
+  static constexpr int kVersion = 1;
+  static constexpr std::string_view kSchemaPrefix = "vppstudy-trace-dump/";
+
+  int version = kVersion;
+  std::string module;          ///< profile name, e.g. "B3"
+  double vpp_v = 0.0;
+  double temperature_c = 0.0;
+  std::uint64_t noise_stream = 0;
+  std::size_t capacity = 0;          ///< ring capacity at capture time
+  std::uint64_t total_recorded = 0;  ///< commands seen over the ring's life
+  /// The failure this dump captured; kUnknown with an empty message means
+  /// the trace was captured from a clean run.
+  common::ErrorCode error_code = common::ErrorCode::kUnknown;
+  std::string error_message;
+  std::vector<TraceEntry> entries;  ///< oldest first
+
+  /// True when the ring overwrote older commands: the replayed prefix is
+  /// missing, so replay is best-effort (documented in docs/MODEL.md).
+  [[nodiscard]] bool truncated() const noexcept {
+    return total_recorded > entries.size();
+  }
+  [[nodiscard]] bool has_failure() const noexcept {
+    return error_code != common::ErrorCode::kUnknown || !error_message.empty();
+  }
+
+  friend bool operator==(const TraceDump&, const TraceDump&) = default;
+};
+
+/// Snapshot the session's trace ring and rig state. `failure`, when given,
+/// is the error that aborted the run (recorded so replay can assert it
+/// reproduces). The session must have an enabled trace; otherwise the dump
+/// has no entries.
+[[nodiscard]] TraceDump capture_trace_dump(
+    const Session& session, const common::Error* failure = nullptr);
+
+/// Render as a JSON document.
+[[nodiscard]] common::JsonWriter trace_dump_json(const TraceDump& dump);
+
+/// Parse a dump from a JSON document / file. Fails with kParseError on
+/// malformed or version-incompatible input.
+[[nodiscard]] common::Result<TraceDump> parse_trace_dump(
+    const common::JsonValue& doc);
+[[nodiscard]] common::Result<TraceDump> load_trace_dump(
+    const std::string& path);
+
+/// Write the dump to `path`; false on I/O failure.
+[[nodiscard]] bool write_trace_dump(const std::string& path,
+                                    const TraceDump& dump);
+
+}  // namespace vppstudy::softmc

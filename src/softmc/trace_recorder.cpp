@@ -47,16 +47,22 @@ CommandTraceRecorder::CommandTraceRecorder(std::size_t capacity)
 std::vector<TraceEntry> CommandTraceRecorder::entries() const {
   std::vector<TraceEntry> out;
   out.reserve(ring_.size());
-  if (ring_.size() < capacity_) {
-    // Not yet wrapped: slots [0, next_) are chronological.
-    out.assign(ring_.begin(), ring_.end());
-  } else {
-    // Wrapped: oldest entry sits at next_.
-    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
-               ring_.end());
-    out.insert(out.end(), ring_.begin(),
-               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
-  }
+  for_each([&out](const TraceEntry& e) { out.push_back(e); });
+  return out;
+}
+
+std::vector<TraceEntry> CommandTraceRecorder::last(std::size_t n) const {
+  n = std::min(n, ring_.size());
+  std::vector<TraceEntry> out;
+  out.reserve(n);
+  std::size_t skip = ring_.size() - n;
+  for_each([&out, &skip](const TraceEntry& e) {
+    if (skip > 0) {
+      --skip;
+      return;
+    }
+    out.push_back(e);
+  });
   return out;
 }
 
@@ -73,7 +79,9 @@ void CommandTraceRecorder::on_command(const Instruction& inst, double now_ns) {
   entry.row = inst.row;
   // Hammer loops reuse `column` for the partner row in the rendered trace.
   entry.column = inst.loop_count > 0 ? inst.loop_row_b : inst.column;
+  if (inst.kind == dram::CommandKind::kWrite) entry.write_data = inst.write_data;
   entry.loop_count = inst.loop_count;
+  entry.loop_act_to_act_ns = inst.loop_count > 0 ? inst.loop_act_to_act_ns : 0.0;
   entry.at_ns = now_ns;
   if (ring_.size() < capacity_) {
     ring_.push_back(entry);

@@ -6,6 +6,7 @@
 // the hammer campaign ran.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -16,17 +17,23 @@
 
 namespace vppstudy::softmc {
 
-/// One recorded command issue.
+/// One recorded command issue. Carries everything needed to re-issue the
+/// command verbatim (write payloads, hammer-loop spacing), so a serialized
+/// ring (softmc/trace_dump) replays through a fresh session bit-exactly.
 struct TraceEntry {
   dram::CommandKind kind = dram::CommandKind::kNop;
   std::uint32_t bank = 0;
   std::uint32_t row = 0;
   std::uint32_t column = 0;
+  std::array<std::uint8_t, dram::kBytesPerColumn> write_data{};  ///< WR only
   std::uint64_t loop_count = 0;  ///< > 0 for hammer-loop instructions
+  double loop_act_to_act_ns = 0.0;  ///< hammer loops: aggressor spacing
   double at_ns = 0.0;
 
   /// e.g. "ACT b0 r1500 @123.0ns" / "HAMMER b0 r1499/r1501 x300000 @..."
   [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
 };
 
 class CommandTraceRecorder final : public SessionObserver {
@@ -36,10 +43,30 @@ class CommandTraceRecorder final : public SessionObserver {
   static constexpr std::size_t kDefaultCapacity = 256;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Commands seen over the recorder's lifetime (>= entries().size()).
+  /// Commands seen over the recorder's lifetime (>= size()).
   [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
-  /// Retained entries, oldest first.
+  /// Retained entries (== min(total_recorded, capacity)).
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  /// Retained entries, oldest first. Copies the whole ring -- prefer
+  /// for_each() / last() on hot or large-capacity paths.
   [[nodiscard]] std::vector<TraceEntry> entries() const;
+  /// Visit retained entries oldest-first without copying the ring.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    // Wrap-boundary invariant: once the ring is full, `next_` is both the
+    // slot the next entry lands in and the index of the *oldest* retained
+    // entry -- including the boundary case where the ring filled up exactly
+    // (next_ == 0, chronological == storage order). Regression-tested in
+    // tests/softmc/trace_ring_test.cpp.
+    if (ring_.size() < capacity_) {
+      for (const TraceEntry& e : ring_) fn(e);
+      return;
+    }
+    for (std::size_t i = next_; i < ring_.size(); ++i) fn(ring_[i]);
+    for (std::size_t i = 0; i < next_; ++i) fn(ring_[i]);
+  }
+  /// The most recent `n` entries, oldest first (copies only those n).
+  [[nodiscard]] std::vector<TraceEntry> last(std::size_t n) const;
   void clear();
 
   // --- SessionObserver -------------------------------------------------------

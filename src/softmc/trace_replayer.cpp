@@ -1,0 +1,95 @@
+#include "softmc/trace_replayer.hpp"
+
+#include <utility>
+
+#include "softmc/session.hpp"
+
+namespace vppstudy::softmc {
+
+using common::Error;
+using common::ErrorCode;
+
+common::Result<ReplayReport> TraceReplayer::replay(Session& session) {
+  ReplayReport report;
+  report.original_failed = dump_.has_failure();
+  report.original_code = dump_.error_code;
+  report.truncated = dump_.truncated();
+
+  session.reset_counters();
+  session.clear_violations();
+
+  for (std::size_t i = 0; i < dump_.entries.size(); ++i) {
+    const TraceEntry& entry = dump_.entries[i];
+    const double wait_ns = entry.at_ns - session.clock_ns();
+    if (wait_ns < -1e-6) {
+      return Error{ErrorCode::kParseError,
+                   "trace dump entry " + std::to_string(i) + " at " +
+                       std::to_string(entry.at_ns) +
+                       "ns precedes the replay clock (" +
+                       std::to_string(session.clock_ns()) + "ns)"};
+    }
+
+    // One instruction per entry, scheduled by absolute timestamp: zero
+    // slots plus an exact extra wait lands the command at entry.at_ns,
+    // which slots_for()'s 1.5ns round-up could not guarantee.
+    Instruction inst;
+    inst.kind = entry.kind;
+    inst.bank = entry.bank;
+    inst.row = entry.row;
+    inst.slots_after_previous = 0;
+    inst.extra_wait_ns = wait_ns > 0.0 ? wait_ns : 0.0;
+    if (entry.loop_count > 0) {
+      // Hammer entries store the partner row in `column` (trace_recorder).
+      inst.loop_count = entry.loop_count;
+      inst.loop_row_b = entry.column;
+      inst.loop_act_to_act_ns = entry.loop_act_to_act_ns;
+    } else {
+      inst.column = entry.column;
+    }
+    if (entry.kind == dram::CommandKind::kWrite) {
+      inst.write_data = entry.write_data;
+    }
+
+    Program step(session.timing());
+    step.push_raw(inst);
+    const ExecutionResult r = session.execute(step);
+    if (!r.status.ok()) {
+      report.replay_failed = true;
+      report.replay_code = r.status.error().code;
+      report.replay_message = r.status.error().to_string();
+      break;
+    }
+    ++report.commands_replayed;
+  }
+
+  report.counters = session.counters();
+  report.stats = session.module().stats();
+  report.timing_violations = session.violations().size();
+  return report;
+}
+
+common::Result<ReplayReport> TraceReplayer::replay_on_profile(
+    const dram::ModuleProfile& profile) {
+  Session session(profile);
+  session.set_noise_stream(dump_.noise_stream);
+  VPP_RETURN_IF_ERROR(session.set_temperature(dump_.temperature_c));
+
+  if (auto st = session.set_vpp(dump_.vpp_v); !st.ok()) {
+    // The original run may have died exactly here (VPP below the module's
+    // VPPmin): that IS the reproduction, with zero commands issued.
+    ReplayReport report;
+    report.original_failed = dump_.has_failure();
+    report.original_code = dump_.error_code;
+    report.truncated = dump_.truncated();
+    report.replay_failed = true;
+    report.replay_code = st.error().code;
+    report.replay_message = st.error().to_string();
+    if (report.original_failed && report.replay_code == report.original_code) {
+      return report;
+    }
+    return std::move(st).error().with_context("trace replay rig setup");
+  }
+  return replay(session);
+}
+
+}  // namespace vppstudy::softmc

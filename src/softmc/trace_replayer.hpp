@@ -1,0 +1,74 @@
+// TraceReplayer: feed a captured TraceDump back through a fresh Session,
+// reproducing the original command stream at its exact absolute timestamps.
+// Because the trace ring records the *device's* view (dropped commands never
+// reach it), replaying a dump captured from a fault-injected run reproduces
+// the same typed failure without the injector present -- the repro loop the
+// `vppctl replay` subcommand and the replay-fuzz CI job are built on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/expected.hpp"
+#include "dram/module.hpp"
+#include "dram/profile.hpp"
+#include "softmc/counters.hpp"
+#include "softmc/trace_dump.hpp"
+
+namespace vppstudy::softmc {
+
+class Session;
+
+/// What a replay run produced, against what the dump recorded.
+struct ReplayReport {
+  std::uint64_t commands_replayed = 0;  ///< entries issued before any failure
+  CommandCounts counters;               ///< replay session's command tally
+  dram::ModuleStats stats;              ///< replay device's stats
+  std::size_t timing_violations = 0;
+
+  bool original_failed = false;  ///< the dump recorded a failure
+  common::ErrorCode original_code = common::ErrorCode::kUnknown;
+  bool replay_failed = false;
+  common::ErrorCode replay_code = common::ErrorCode::kUnknown;
+  std::string replay_message;
+
+  /// The ring had overwritten the oldest commands, so the replayed prefix
+  /// is incomplete and reproduction is best-effort.
+  bool truncated = false;
+
+  /// Did the replay land where the original run did? A failing dump must
+  /// fail with the same ErrorCode; a clean dump must replay cleanly.
+  [[nodiscard]] bool reproduced() const noexcept {
+    if (original_failed) {
+      return replay_failed && replay_code == original_code;
+    }
+    return !replay_failed;
+  }
+};
+
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(TraceDump dump) : dump_(std::move(dump)) {}
+
+  [[nodiscard]] const TraceDump& dump() const noexcept { return dump_; }
+
+  /// Replay into a caller-prepared session whose rig state (module, VPP,
+  /// temperature, noise stream) already matches the dump. Counters and
+  /// violations are reset first so the report reflects the replay alone.
+  /// Fails with kParseError when the dump's timestamps are non-monotonic
+  /// (or start before the session clock).
+  [[nodiscard]] common::Result<ReplayReport> replay(Session& session);
+
+  /// Build a fresh session on `profile`, restore the dump's rig state
+  /// (noise stream, temperature, VPP), and replay. A module that refuses
+  /// the dump's VPP reproduces a kModuleUnresponsive failure dump without
+  /// issuing a single command; any other rig-setup error propagates.
+  [[nodiscard]] common::Result<ReplayReport> replay_on_profile(
+      const dram::ModuleProfile& profile);
+
+ private:
+  TraceDump dump_;
+};
+
+}  // namespace vppstudy::softmc

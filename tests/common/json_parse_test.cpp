@@ -1,0 +1,128 @@
+// Tests for the JSON parser that reads back what JsonWriter produced:
+// writer/parser round-trips, typed kParseError failures with byte offsets,
+// the depth cap, and the unknown-key tolerance the versioned trace-dump
+// format relies on to grow compatibly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace vppstudy::common {
+namespace {
+
+TEST(JsonParse, RoundTripsWriterDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "vppstudy-trace-dump/1");
+  w.kv("count", std::uint64_t{42});
+  w.kv("vpp_v", 2.5);
+  w.kv("ok", true);
+  w.key("entries").begin_array();
+  w.begin_object().kv("cmd", "ACT").kv("row", std::uint64_t{1500}).end_object();
+  w.begin_object().kv("cmd", "PRE").kv("row", std::uint64_t{0}).end_object();
+  w.end_array();
+  w.end_object();
+
+  const auto doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->string_or("schema", ""), "vppstudy-trace-dump/1");
+  EXPECT_EQ(doc->uint_or("count", 0), 42u);
+  EXPECT_DOUBLE_EQ(doc->number_or("vpp_v", 0.0), 2.5);
+  EXPECT_TRUE(doc->bool_or("ok", false));
+
+  const JsonValue* entries = doc->find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  ASSERT_EQ(entries->items().size(), 2u);
+  EXPECT_EQ(entries->items()[0].string_or("cmd", ""), "ACT");
+  EXPECT_EQ(entries->items()[1].string_or("cmd", ""), "PRE");
+}
+
+TEST(JsonParse, RoundTripsDoublesExactly) {
+  // The writer emits %.17g, enough digits to reconstruct any double
+  // bit-exactly -- which is what makes trace-dump timestamps replayable.
+  const double values[] = {0.0, 1.0 / 3.0, 6.25e-9, 123456.789012345,
+                           2.8421709430404007e-14};
+  for (const double v : values) {
+    JsonWriter w;
+    w.begin_object().kv("x", v).end_object();
+    const auto doc = parse_json(w.str());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->number_or("x", -1.0), v);
+  }
+}
+
+TEST(JsonParse, RoundTripsEscapedStrings) {
+  const std::string original = "a\"b\\c\nd\te\x01f";
+  JsonWriter w;
+  w.begin_object().kv("s", original).end_object();
+  const auto doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("s", ""), original);
+}
+
+TEST(JsonParse, UnknownKeysAreIgnorable) {
+  // Forward compatibility: lookups on keys a reader does not know about
+  // simply miss, and extra keys never make a document unparseable.
+  const auto doc =
+      parse_json(R"({"known": 1, "from_the_future": {"nested": [1, 2]}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->uint_or("known", 0), 1u);
+  EXPECT_EQ(doc->find("absent"), nullptr);
+  EXPECT_EQ(doc->uint_or("absent", 7), 7u);
+  EXPECT_EQ(doc->string_or("from_the_future", "fallback"), "fallback");
+}
+
+TEST(JsonParse, FailsWithByteOffsetOnTruncation) {
+  const auto doc = parse_json(R"({"a": )");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_EQ(doc.error().code, ErrorCode::kParseError);
+  EXPECT_NE(doc.error().message.find("at byte"), std::string::npos);
+}
+
+TEST(JsonParse, FailsOnTrailingGarbage) {
+  const auto doc = parse_json(R"({"a": 1} extra)");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_EQ(doc.error().code, ErrorCode::kParseError);
+}
+
+TEST(JsonParse, FailsOnMalformedLiteralsAndNumbers) {
+  for (const char* bad : {"tru", "{\"a\": nul}", "[1, 2,]", "{\"a\" 1}",
+                          "1.2.3", "--5", "\"unterminated"}) {
+    const auto doc = parse_json(bad);
+    ASSERT_FALSE(doc.has_value()) << bad;
+    EXPECT_EQ(doc.error().code, ErrorCode::kParseError) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsHostileNestingDepth) {
+  // A dump must not be able to overflow the parser's stack.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  const auto doc = parse_json(deep);
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_EQ(doc.error().code, ErrorCode::kParseError);
+  EXPECT_NE(doc.error().message.find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonParse, AcceptsReasonableNestingDepth) {
+  std::string nested;
+  for (int i = 0; i < 32; ++i) nested += '[';
+  nested += '1';
+  for (int i = 0; i < 32; ++i) nested += ']';
+  EXPECT_TRUE(parse_json(nested).has_value());
+}
+
+TEST(JsonParseFile, MissingFileIsTypedParseError) {
+  const auto doc = parse_json_file("/nonexistent/vppstudy-test.json");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_EQ(doc.error().code, ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace vppstudy::common

@@ -1,0 +1,219 @@
+// Round-trip property tests for trace-driven replay: a session's command
+// trace serialized to the versioned JSON dump, parsed back, and replayed
+// through a fresh session must reproduce the original run exactly --
+// identical SessionCounters, identical ModuleStats, and (for a failing run)
+// the identical typed ErrorCode. This is the acceptance contract behind
+// `vppctl replay` and the replay-fuzz CI job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "chips/module_db.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "dram/data_pattern.hpp"
+#include "softmc/fault_injector.hpp"
+#include "softmc/session.hpp"
+#include "softmc/trace_dump.hpp"
+#include "softmc/trace_replayer.hpp"
+
+namespace vppstudy::softmc {
+namespace {
+
+dram::ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+void expect_same_stats(const dram::ModuleStats& a, const dram::ModuleStats& b) {
+  EXPECT_EQ(a.activates, b.activates);
+  EXPECT_EQ(a.precharges, b.precharges);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.refreshes, b.refreshes);
+  EXPECT_EQ(a.hammer_bit_flips, b.hammer_bit_flips);
+  EXPECT_EQ(a.retention_bit_flips, b.retention_bit_flips);
+  EXPECT_EQ(a.trcd_read_errors, b.trcd_read_errors);
+  EXPECT_EQ(a.trr_mitigations, b.trr_mitigations);
+  EXPECT_EQ(a.ondie_ecc_corrections, b.ondie_ecc_corrections);
+}
+
+/// A short but representative rig run: row init (WR bursts), a double-sided
+/// hammer loop, and a verification read.
+void run_workload(Session& s) {
+  const auto image =
+      dram::pattern_row(dram::DataPattern::kCheckerAA, dram::kBytesPerRow);
+  ASSERT_TRUE(s.init_row(0, 500, image).ok());
+  ASSERT_TRUE(s.hammer_double_sided(0, 499, 501, 2000).ok());
+  ASSERT_TRUE(s.read_row(0, 500).has_value());
+}
+
+TEST(TraceReplay, JsonRoundTripPreservesTheDumpBitExactly) {
+  Session s(small_profile());
+  s.set_noise_stream(77);
+  s.enable_trace(8192);
+  run_workload(s);
+
+  const TraceDump dump = capture_trace_dump(s);
+  EXPECT_FALSE(dump.has_failure());
+  EXPECT_FALSE(dump.truncated());
+  EXPECT_EQ(dump.module, "B3");
+  EXPECT_EQ(dump.noise_stream, 77u);
+  EXPECT_EQ(dump.total_recorded, dump.entries.size());
+
+  const auto doc = common::parse_json(trace_dump_json(dump).str());
+  ASSERT_TRUE(doc.has_value());
+  const auto parsed = parse_trace_dump(*doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, dump);
+}
+
+TEST(TraceReplay, CleanRunReplaysToIdenticalCountersAndStats) {
+  Session s(small_profile());
+  s.set_noise_stream(42);
+  s.enable_trace(8192);
+  run_workload(s);
+
+  // Through the full serialization path, as vppctl replay would see it.
+  const auto doc =
+      common::parse_json(trace_dump_json(capture_trace_dump(s)).str());
+  ASSERT_TRUE(doc.has_value());
+  const auto dump = parse_trace_dump(*doc);
+  ASSERT_TRUE(dump.has_value());
+
+  TraceReplayer replayer(*dump);
+  const auto report = replayer.replay_on_profile(small_profile());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->reproduced());
+  EXPECT_FALSE(report->replay_failed);
+  EXPECT_FALSE(report->truncated);
+  EXPECT_EQ(report->commands_replayed, dump->entries.size());
+
+  // The replay is command-for-command and timestamp-for-timestamp the same
+  // run, so every counter matches -- including simulated time.
+  const CommandCounts& original = s.counters();
+  const CommandCounts& replayed = report->counters;
+  EXPECT_EQ(replayed.activates, original.activates);
+  EXPECT_EQ(replayed.hammer_loops, original.hammer_loops);
+  EXPECT_EQ(replayed.hammer_activations, original.hammer_activations);
+  EXPECT_EQ(replayed.reads, original.reads);
+  EXPECT_EQ(replayed.writes, original.writes);
+  EXPECT_EQ(replayed.precharges, original.precharges);
+  EXPECT_EQ(replayed.refreshes, original.refreshes);
+  EXPECT_EQ(replayed.waits, original.waits);
+  EXPECT_EQ(replayed.timing_violations, original.timing_violations);
+  EXPECT_EQ(replayed.device_errors, original.device_errors);
+  EXPECT_DOUBLE_EQ(replayed.simulated_ns, original.simulated_ns);
+
+  expect_same_stats(report->stats, s.module().stats());
+}
+
+TEST(TraceReplay, InjectedDropActFailureReproducesOriginalErrorCode) {
+  Session s(small_profile());
+  s.set_noise_stream(5);
+  s.enable_trace(8192);
+  FaultInjector inj(FaultPlan::parse("seed=3;drop_act@0").value());
+  s.set_fault_injector(&inj);
+
+  const auto image =
+      dram::pattern_row(dram::DataPattern::kCheckerAA, dram::kBytesPerRow);
+  const auto status = s.init_row(0, 500, image);
+  ASSERT_FALSE(status.ok());
+  ASSERT_EQ(status.error().code, common::ErrorCode::kDeviceProtocol);
+
+  // Capture with the failure attached, round-trip through JSON, replay on a
+  // fresh rig with no injector: the trace holds what the *device* saw (the
+  // dropped ACT is absent), so the same protocol error must recur.
+  const common::Error failure = status.error();
+  const auto doc = common::parse_json(
+      trace_dump_json(capture_trace_dump(s, &failure)).str());
+  ASSERT_TRUE(doc.has_value());
+  const auto dump = parse_trace_dump(*doc);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_TRUE(dump->has_failure());
+  EXPECT_EQ(dump->error_code, common::ErrorCode::kDeviceProtocol);
+
+  TraceReplayer replayer(*dump);
+  const auto report = replayer.replay_on_profile(small_profile());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->original_failed);
+  EXPECT_TRUE(report->replay_failed);
+  EXPECT_EQ(report->replay_code, common::ErrorCode::kDeviceProtocol);
+  EXPECT_TRUE(report->reproduced());
+}
+
+TEST(TraceReplay, TruncatedRingReplaysBestEffort) {
+  Session s(small_profile());
+  s.enable_trace(2);  // far smaller than the workload
+  run_workload(s);
+
+  const TraceDump dump = capture_trace_dump(s);
+  EXPECT_TRUE(dump.truncated());
+  ASSERT_EQ(dump.entries.size(), 2u);
+  EXPECT_GT(dump.total_recorded, 2u);
+
+  TraceReplayer replayer(dump);
+  const auto report = replayer.replay_on_profile(small_profile());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->truncated);
+  // The missing prefix opened the row; replaying the suffix alone cannot
+  // reproduce a clean run, and the report says so rather than crashing.
+  EXPECT_FALSE(report->reproduced());
+}
+
+TEST(TraceReplay, NonMonotonicTimestampsAreATypedParseError) {
+  Session s(small_profile());
+  s.enable_trace(64);
+  Program p(s.timing());
+  p.act(0, 1).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+
+  TraceDump dump = capture_trace_dump(s);
+  ASSERT_EQ(dump.entries.size(), 2u);
+  std::swap(dump.entries[0].at_ns, dump.entries[1].at_ns);
+
+  TraceReplayer replayer(dump);
+  const auto report = replayer.replay_on_profile(small_profile());
+  ASSERT_FALSE(report.has_value());
+  EXPECT_EQ(report.error().code, common::ErrorCode::kParseError);
+}
+
+TEST(TraceReplay, DumpFileRoundTripsThroughDisk) {
+  Session s(small_profile());
+  s.enable_trace(64);
+  Program p(s.timing());
+  p.act(0, 9).rd(0, 0).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+
+  const TraceDump dump = capture_trace_dump(s);
+  const std::string path = testing::TempDir() + "vppstudy_replay_test.json";
+  ASSERT_TRUE(write_trace_dump(path, dump));
+  const auto loaded = load_trace_dump(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, dump);
+}
+
+TEST(TraceReplay, RejectsFutureSchemaVersion) {
+  Session s(small_profile());
+  s.enable_trace(16);
+  Program p(s.timing());
+  p.act(0, 1).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+
+  std::string json = trace_dump_json(capture_trace_dump(s)).str();
+  const std::string from = "vppstudy-trace-dump/1";
+  const std::size_t at = json.find(from);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, from.size(), "vppstudy-trace-dump/999");
+
+  const auto doc = common::parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto dump = parse_trace_dump(*doc);
+  ASSERT_FALSE(dump.has_value());
+  EXPECT_EQ(dump.error().code, common::ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

@@ -1,0 +1,146 @@
+// Wrap-boundary regression tests for the command trace ring. The subtle
+// case is a ring filled to *exactly* its capacity: `next_` has wrapped to 0,
+// and entries()/for_each()/last() must all still report chronological
+// (oldest-first) order -- an off-by-one here silently reorders the dump a
+// failed sweep leaves behind, which would corrupt trace replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "chips/module_db.hpp"
+#include "dram/types.hpp"
+#include "softmc/session.hpp"
+#include "softmc/trace_recorder.hpp"
+
+namespace vppstudy::softmc {
+namespace {
+
+dram::ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+std::vector<TraceEntry> via_for_each(const CommandTraceRecorder& trace) {
+  std::vector<TraceEntry> out;
+  trace.for_each([&out](const TraceEntry& e) { out.push_back(e); });
+  return out;
+}
+
+TEST(TraceRing, ExactCapacityFillStaysChronological) {
+  Session s(small_profile());
+  s.enable_trace(4);
+
+  // Exactly four commands: the ring is full and next_ has wrapped to slot 0,
+  // the one state where "storage order" and "chronological order" coincide
+  // only if the wrap logic is right.
+  Program p(s.timing());
+  p.act(0, 1).rd(0, 0).rd(0, 1).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+
+  ASSERT_EQ(s.trace()->size(), 4u);
+  EXPECT_EQ(s.trace()->total_recorded(), 4u);
+  const auto entries = s.trace()->entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].kind, dram::CommandKind::kActivate);
+  EXPECT_EQ(entries[1].kind, dram::CommandKind::kRead);
+  EXPECT_EQ(entries[1].column, 0u);
+  EXPECT_EQ(entries[2].column, 1u);
+  EXPECT_EQ(entries[3].kind, dram::CommandKind::kPrecharge);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GT(entries[i].at_ns, entries[i - 1].at_ns);
+  }
+  EXPECT_EQ(via_for_each(*s.trace()), entries);
+}
+
+TEST(TraceRing, OneCommandPastCapacityEvictsOnlyTheOldest) {
+  Session s(small_profile());
+  s.enable_trace(4);
+
+  Program p(s.timing());
+  p.act(0, 1).rd(0, 0).rd(0, 1).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+  Program extra(s.timing());
+  extra.act(0, 2);  // the fifth command overwrites slot 0 (the original ACT)
+  ASSERT_TRUE(s.execute(extra).status.ok());
+
+  EXPECT_EQ(s.trace()->total_recorded(), 5u);
+  const auto entries = s.trace()->entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].kind, dram::CommandKind::kRead);
+  EXPECT_EQ(entries[0].column, 0u);
+  EXPECT_EQ(entries[3].kind, dram::CommandKind::kActivate);
+  EXPECT_EQ(entries[3].row, 2u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GT(entries[i].at_ns, entries[i - 1].at_ns);
+  }
+  EXPECT_EQ(via_for_each(*s.trace()), entries);
+}
+
+TEST(TraceRing, PartialFillReportsInsertionOrder) {
+  Session s(small_profile());
+  s.enable_trace(8);
+  Program p(s.timing());
+  p.act(0, 3).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+
+  EXPECT_EQ(s.trace()->size(), 2u);
+  EXPECT_EQ(s.trace()->total_recorded(), 2u);
+  const auto entries = s.trace()->entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].kind, dram::CommandKind::kActivate);
+  EXPECT_EQ(entries[1].kind, dram::CommandKind::kPrecharge);
+  EXPECT_EQ(via_for_each(*s.trace()), entries);
+}
+
+TEST(TraceRing, LastReturnsNewestSuffixOldestFirst) {
+  Session s(small_profile());
+  s.enable_trace(4);
+  Program p(s.timing());
+  p.act(0, 1).rd(0, 0).rd(0, 1).rd(0, 2).rd(0, 3).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());  // six commands through four slots
+
+  const auto entries = s.trace()->entries();
+  ASSERT_EQ(entries.size(), 4u);
+
+  const auto last2 = s.trace()->last(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0], entries[2]);
+  EXPECT_EQ(last2[1], entries[3]);
+
+  EXPECT_TRUE(s.trace()->last(0).empty());
+  // Asking for more than is retained clamps to the full ring.
+  EXPECT_EQ(s.trace()->last(100), entries);
+}
+
+TEST(TraceRing, ClearResetsRingAndLifetimeTotal) {
+  Session s(small_profile());
+  s.enable_trace(2);
+  Program p(s.timing());
+  p.act(0, 1).rd(0, 0).pre(0);
+  ASSERT_TRUE(s.execute(p).status.ok());
+  EXPECT_EQ(s.trace()->total_recorded(), 3u);
+
+  // enable_trace replaces the recorder wholesale; clear() is the in-place
+  // equivalent exercised directly on a standalone ring.
+  CommandTraceRecorder ring(2);
+  Instruction inst;
+  inst.kind = dram::CommandKind::kActivate;
+  ring.on_command(inst, 1.0);
+  ring.on_command(inst, 2.0);
+  ring.on_command(inst, 3.0);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.total_recorded(), 3u);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.entries().empty());
+  // Refilling after clear() starts a fresh chronology.
+  ring.on_command(inst, 9.0);
+  ASSERT_EQ(ring.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(ring.entries()[0].at_ns, 9.0);
+}
+
+}  // namespace
+}  // namespace vppstudy::softmc

@@ -15,20 +15,38 @@
 //       machine-readable JSON sidecar at <out.csv>.json.
 //   vppctl profile --module B6 [--vpp 1.7] [--rows 128]
 //       REAPER-style retention profile at a VPP level.
+//   vppctl inject  --faults "seed=7;drop_act=0.001;spurious@5000"
+//                  [--modules B3,A0] [--rows 8] [--retries 3] [--seed 1]
+//                  [--trace-cap 4096] [--csv out.csv] [--dump-dir DIR]
+//       Run a fault-injected RowHammer campaign under the harness retry
+//       policy. Deterministic: the same invocation produces the same
+//       quarantine set and byte-identical --csv/JSON exports. --dump-dir
+//       writes a replayable trace dump per quarantined module. Exit 0 when
+//       the campaign ran (quarantines included), 3 on a typed error.
+//   vppctl replay  <dump.json> [--verbose]
+//       Feed a captured trace dump through a fresh session and check that
+//       it reproduces the recorded outcome. Exit 0 when reproduced, 4 when
+//       the replay diverged, 3 on a typed error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "chips/module_db.hpp"
 #include "common/csv.hpp"
 #include "common/units.hpp"
 #include "core/export.hpp"
+#include "core/resilient_study.hpp"
 #include "core/study.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "harness/wcdp.hpp"
 #include "memctrl/retention_profiler.hpp"
+#include "softmc/fault_injector.hpp"
+#include "softmc/trace_dump.hpp"
+#include "softmc/trace_replayer.hpp"
 
 namespace {
 
@@ -281,9 +299,152 @@ int cmd_profile(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_inject(const std::map<std::string, std::string>& flags) {
+  // Typed-error exit code contract (asserted by the replay-fuzz CI job):
+  // 0 = campaign ran to completion (quarantined modules included),
+  // 3 = typed error (bad spec, unknown module, export I/O failure).
+  auto plan = softmc::FaultPlan::parse(flag_or(flags, "faults", "seed=1"));
+  if (!plan) {
+    std::fprintf(stderr, "%s\n", plan.error().to_string().c_str());
+    return 3;
+  }
+
+  core::ResilientConfig config;
+  config.faults = std::move(*plan);
+  config.seed = static_cast<std::uint64_t>(
+      std::strtoull(flag_or(flags, "seed", "1").c_str(), nullptr, 10));
+  config.retry.max_attempts = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "retries", "3").c_str()));
+
+  const auto rows =
+      static_cast<std::uint32_t>(std::atoi(flag_or(flags, "rows", "8").c_str()));
+  // Generous default ring so quarantine dumps usually cover the whole
+  // failing session (untruncated dumps replay exactly).
+  config.trace_capacity = static_cast<std::size_t>(
+      std::atoll(flag_or(flags, "trace-cap", "4096").c_str()));
+  config.sweep = core::SweepConfig::quick();
+  config.sweep.sampling.chunks = 2;
+  config.sweep.sampling.rows_per_chunk = std::max(1u, rows / 2);
+
+  std::string names =
+      flag_or(flags, "modules", flag_or(flags, "module", "B3"));
+  for (std::size_t pos = 0; pos <= names.size();) {
+    const std::size_t end = std::min(names.find(',', pos), names.size());
+    const std::string name = names.substr(pos, end - pos);
+    pos = end + 1;
+    if (name.empty()) continue;
+    auto profile = chips::profile_by_name(name);
+    if (!profile) {
+      std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
+      return 3;
+    }
+    // Small banks keep the campaign fast; physics keys off the profile seed.
+    profile->rows_per_bank = 4096;
+    config.modules.push_back(std::move(*profile));
+  }
+
+  const core::CampaignResult campaign = core::run_resilient_rowhammer(config);
+
+  for (const auto& m : campaign.modules) {
+    std::printf("%-4s %-11s attempts=%u injected=%llu", m.module_name.c_str(),
+                m.completed ? "completed" : "quarantined", m.attempts,
+                static_cast<unsigned long long>(m.injections.total()));
+    if (!m.completed) {
+      std::printf("  %s", m.error_message.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("campaign: %s\n", campaign.instrumentation.summary().c_str());
+  std::printf("completed %zu/%zu modules, HCfirst CV (completed only) = %.4f\n",
+              campaign.completed_count(), campaign.modules.size(),
+              campaign.hc_first_cv());
+
+  const std::string dump_dir = flag_or(flags, "dump-dir", "");
+  if (!dump_dir.empty()) {
+    std::error_code dir_ec;
+    std::filesystem::create_directories(dump_dir, dir_ec);
+    if (dir_ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", dump_dir.c_str(),
+                   dir_ec.message().c_str());
+      return 3;
+    }
+    for (const auto& m : campaign.modules) {
+      if (!m.has_dump) continue;
+      const std::string path =
+          dump_dir + "/" + m.module_name + ".trace.json";
+      if (!softmc::write_trace_dump(path, m.dump)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 3;
+      }
+      std::printf("wrote quarantine dump %s (%zu commands)\n", path.c_str(),
+                  m.dump.entries.size());
+    }
+  }
+
+  const std::string csv_path = flag_or(flags, "csv", "");
+  if (!csv_path.empty()) {
+    if (!core::campaign_to_csv(campaign).write_file(csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 3;
+    }
+    if (!core::write_instrumentation_sidecar(csv_path,
+                                             core::campaign_json(campaign))) {
+      std::fprintf(stderr, "cannot write %s.json\n", csv_path.c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
+
+int cmd_replay(const std::string& path,
+               const std::map<std::string, std::string>& flags) {
+  auto dump = softmc::load_trace_dump(path);
+  if (!dump) {
+    std::fprintf(stderr, "%s\n", dump.error().to_string().c_str());
+    return 3;
+  }
+  const auto profile = chips::profile_by_name(dump->module);
+  if (!profile) {
+    std::fprintf(stderr, "dump names unknown module '%s'\n",
+                 dump->module.c_str());
+    return 3;
+  }
+  std::printf("replaying %zu of %llu commands on %s at VPP=%.2fV%s\n",
+              dump->entries.size(),
+              static_cast<unsigned long long>(dump->total_recorded),
+              dump->module.c_str(), dump->vpp_v,
+              dump->truncated() ? " (ring truncated: best-effort)" : "");
+
+  softmc::TraceReplayer replayer(std::move(*dump));
+  auto report = replayer.replay_on_profile(*profile);
+  if (!report) {
+    std::fprintf(stderr, "%s\n", report.error().to_string().c_str());
+    return 3;
+  }
+  if (has_flag(flags, "verbose")) {
+    std::printf("  replayed %llu commands, %zu timing violations\n",
+                static_cast<unsigned long long>(report->commands_replayed),
+                report->timing_violations);
+    std::printf("  counters: %s\n", report->counters.summary().c_str());
+  }
+  std::printf("original: %s, replay: %s\n",
+              report->original_failed
+                  ? std::string(common::error_code_name(report->original_code))
+                        .c_str()
+                  : "clean",
+              report->replay_failed ? report->replay_message.c_str() : "clean");
+  if (report->reproduced()) {
+    std::printf("reproduced: yes\n");
+    return 0;
+  }
+  std::printf("reproduced: NO\n");
+  return 4;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: vppctl <list|hammer|sweep|profile> [--flag value ...]\n"
+               "usage: vppctl <list|hammer|sweep|profile|inject|replay> "
+               "[--flag value ...]\n"
                "see the header comment of tools/vppctl.cpp for details\n");
   return 2;
 }
@@ -298,5 +459,10 @@ int main(int argc, char** argv) {
   if (cmd == "hammer") return cmd_hammer(flags);
   if (cmd == "sweep") return cmd_sweep(flags);
   if (cmd == "profile") return cmd_profile(flags);
+  if (cmd == "inject") return cmd_inject(flags);
+  if (cmd == "replay") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return usage();
+    return cmd_replay(argv[2], parse_flags(argc, argv, 3));
+  }
   return usage();
 }
