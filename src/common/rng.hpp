@@ -22,12 +22,24 @@ namespace vppstudy::common {
   return x ^ (x >> 31);
 }
 
+/// Initial accumulator state of hash_key (pi fractional bits).
+inline constexpr std::uint64_t kHashInit = 0x243f6a8885a308d3ULL;
+
+/// Fold one key word into a running hash accumulator. hash_key is exactly a
+/// left fold of this over kHashInit, so a fixed key prefix can be hashed once
+/// and reused across a walk that only varies the trailing words (the batched
+/// word-walk kernels in common/simd.hpp depend on this factorization).
+[[nodiscard]] constexpr std::uint64_t
+hash_accumulate(std::uint64_t h, std::uint64_t w) noexcept {
+  return mix64(h ^ mix64(w));
+}
+
 /// Hash an arbitrary-length key of 64-bit words into one 64-bit value.
 [[nodiscard]] constexpr std::uint64_t
 hash_key(std::initializer_list<std::uint64_t> words) noexcept {
-  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  std::uint64_t h = kHashInit;
   for (std::uint64_t w : words) {
-    h = mix64(h ^ mix64(w));
+    h = hash_accumulate(h, w);
   }
   return h;
 }

@@ -38,13 +38,17 @@ unsigned ThreadPool::resolve_jobs(int jobs) noexcept {
   return hw > 0 ? hw : 1;
 }
 
+std::size_t ThreadPool::slot_of_current_thread() const noexcept {
+  return t_pool == this ? t_worker + 1 : 0;
+}
+
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     if (t_pool == this) {
-      deques_[t_worker].push_back(std::move(task));
+      deques_[t_worker].tasks.push_back(std::move(task));
     } else {
-      deques_[next_deque_].push_back(std::move(task));
+      deques_[next_deque_].tasks.push_back(std::move(task));
       next_deque_ = (next_deque_ + 1) % deques_.size();
     }
   }
@@ -52,22 +56,22 @@ void ThreadPool::enqueue(std::function<void()> task) {
 }
 
 bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out) {
-  if (!deques_[self].empty()) {
-    out = std::move(deques_[self].back());
-    deques_[self].pop_back();
+  if (!deques_[self].tasks.empty()) {
+    out = std::move(deques_[self].tasks.back());
+    deques_[self].tasks.pop_back();
     return true;
   }
   std::size_t victim = self;
   std::size_t victim_size = 0;
   for (std::size_t i = 0; i < deques_.size(); ++i) {
-    if (i != self && deques_[i].size() > victim_size) {
+    if (i != self && deques_[i].tasks.size() > victim_size) {
       victim = i;
-      victim_size = deques_[i].size();
+      victim_size = deques_[i].tasks.size();
     }
   }
   if (victim_size == 0) return false;
-  out = std::move(deques_[victim].front());
-  deques_[victim].pop_front();
+  out = std::move(deques_[victim].tasks.front());
+  deques_[victim].tasks.pop_front();
   return true;
 }
 
@@ -81,7 +85,7 @@ void ThreadPool::worker_loop(std::size_t self) {
       wake_.wait(lock, [&] {
         if (stop_) return true;
         return std::any_of(deques_.begin(), deques_.end(),
-                           [](const auto& d) { return !d.empty(); });
+                           [](const auto& d) { return !d.tasks.empty(); });
       });
       if (!pop_or_steal(self, task)) {
         if (stop_) return;

@@ -69,6 +69,11 @@ class ThreadPool {
     return jobs == 1 ? 0 : resolve_jobs(jobs);
   }
 
+  /// Storage slot of the calling thread for WorkerLocal lookups: workers of
+  /// *this* pool get 1..worker_count(), every other thread (including the
+  /// submitting thread of an inline 0-worker pool) gets slot 0.
+  [[nodiscard]] std::size_t slot_of_current_thread() const noexcept;
+
  private:
   void enqueue(std::function<void()> task);
   /// Pop from own deque's back, else steal from the fullest other deque's
@@ -77,12 +82,55 @@ class ThreadPool {
                                   std::function<void()>& out);
   void worker_loop(std::size_t self);
 
-  std::vector<std::deque<std::function<void()>>> deques_;
+  /// Each worker's deque on its own cache line: the deques are mutated by
+  /// different threads on every push/pop, and adjacent std::deque headers
+  /// would otherwise share lines and ping-pong between cores.
+  struct alignas(64) WorkerQueue {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<WorkerQueue> deques_;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::size_t next_deque_ = 0;
   bool stop_ = false;
+};
+
+/// Per-worker storage for a pool: one default-constructed T per worker slot,
+/// plus slot 0 for non-worker threads (the submitting thread of an inline
+/// pool, or the coordinator). Tasks call local(pool) to get the slot of the
+/// thread they happen to run on; because a slot is only ever touched by its
+/// owning thread, no synchronization is needed, and the values persist
+/// across submissions -- this is how core/parallel_study reuses one rig
+/// Session per (worker, module) across shard jobs.
+///
+/// Lifetime rule: construct the WorkerLocal BEFORE the pool it serves (so it
+/// outlives any task the pool might still drain during its destructor), and
+/// size it with the same worker count the pool was built with. Slots are
+/// alignas(64)-padded: neighboring workers' values never share a cache line.
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(unsigned workers) : slots_(workers + 1) {}
+
+  WorkerLocal(const WorkerLocal&) = delete;
+  WorkerLocal& operator=(const WorkerLocal&) = delete;
+
+  /// The calling thread's slot value with respect to `pool`.
+  [[nodiscard]] T& local(const ThreadPool& pool) noexcept {
+    return slots_[pool.slot_of_current_thread()].value;
+  }
+  /// Number of slots (workers + 1).
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  /// Direct slot access for post-run aggregation on the coordinator.
+  [[nodiscard]] T& slot(std::size_t i) noexcept { return slots_[i].value; }
+
+ private:
+  struct alignas(64) Slot {
+    T value{};
+  };
+  std::vector<Slot> slots_;
 };
 
 }  // namespace vppstudy::common

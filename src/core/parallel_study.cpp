@@ -1,5 +1,6 @@
 #include "core/parallel_study.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <future>
@@ -9,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "dram/mapping.hpp"
 #include "harness/retention_test.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "harness/trcd_test.hpp"
@@ -30,195 +32,252 @@ std::uint64_t job_stream_seed(std::uint64_t seed, std::uint64_t module_seed,
       {seed, module_seed, vpp_mv, static_cast<std::uint64_t>(phase)});
 }
 
-namespace {
-
-unsigned workers_for(int jobs) {
-  return common::ThreadPool::workers_for_jobs(jobs);
+std::uint64_t row_stream_seed(std::uint64_t seed, std::uint64_t module_seed,
+                              std::uint64_t vpp_mv, JobPhase phase,
+                              std::uint32_t row) noexcept {
+  return common::hash_key({seed, module_seed, vpp_mv,
+                           static_cast<std::uint64_t>(phase), row});
 }
 
-/// Configure a fresh rig session the way every characterization job starts:
-/// refresh disabled (which also neutralizes TRR, section 4.1), temperature
-/// set, VPP programmed, and the job's private noise stream keyed in.
-common::Status setup_job_session(softmc::Session& session, double temp_c,
-                                 double vpp_v, std::uint64_t base_seed,
-                                 JobPhase phase) {
+namespace {
+
+/// Below this many planned jobs the pool is pure overhead (thread spin-up,
+/// futures, arenas migrating between cores): run everything inline instead.
+constexpr std::size_t kMinJobsForPool = 8;
+
+unsigned workers_for(int jobs, std::size_t planned_jobs) {
+  if (planned_jobs < kMinJobsForPool) return 0;
+  const unsigned workers = common::ThreadPool::workers_for_jobs(jobs);
+  return static_cast<unsigned>(std::min<std::size_t>(workers, planned_jobs));
+}
+
+/// One reusable rig session per (worker, module). At shard granularity the
+/// per-job Session construction the engine used to do (allocations, observer
+/// wiring, and above all throwing away the device's per-row physics caches)
+/// dominates; a worker instead checks out the session it already built for
+/// the module and Session::reset_for_job() restores fresh-rig state
+/// bit-identically while keeping those caches warm.
+struct SessionArena {
+  std::vector<std::unique_ptr<softmc::Session>> sessions;  ///< by module index
+
+  softmc::Session& acquire(std::size_t module_index,
+                           const dram::ModuleProfile& profile) {
+    if (sessions.size() <= module_index) sessions.resize(module_index + 1);
+    auto& slot = sessions[module_index];
+    if (slot) {
+      slot->reset_for_job();
+    } else {
+      slot = std::make_unique<softmc::Session>(profile);
+    }
+    return *slot;
+  }
+};
+
+/// Declared before the pool in every sweep method: the pool's destructor
+/// drains still-queued jobs, and those jobs touch their worker's arena.
+using Arenas = common::WorkerLocal<SessionArena>;
+
+/// Sample the campaign's rows without standing up a device: RowSampling only
+/// consults the logical->physical mapping, which is a pure function of the
+/// profile (dram::Module builds its own mapping from the same three fields).
+std::vector<std::uint32_t> sample_rows(const dram::ModuleProfile& profile,
+                                       const harness::RowSampling& sampling) {
+  const dram::RowMapping mapping(dram::scheme_for(profile.mfr),
+                                 profile.rows_per_bank, profile.row_repairs);
+  return sampling.sample(mapping);
+}
+
+/// A [begin, end) index range into the sampled row list.
+struct ShardSpec {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<ShardSpec> shard_ranges(std::size_t rows,
+                                    std::uint32_t rows_per_shard) {
+  const std::size_t step = rows_per_shard == 0 ? rows : rows_per_shard;
+  std::vector<ShardSpec> out;
+  for (std::size_t b = 0; b < rows; b += step) {
+    out.push_back({b, std::min(rows, b + step)});
+  }
+  return out;
+}
+
+/// Bring a checked-out session to the state every characterization shard
+/// starts from: refresh disabled (which also neutralizes TRR, section 4.1),
+/// temperature settled, VPP programmed. Noise streams are keyed per row by
+/// the shard loop itself.
+common::Status setup_shard_session(softmc::Session& session, double temp_c,
+                                   double vpp_v) {
   session.set_auto_refresh(false);
   if (auto st = session.set_temperature(temp_c); !st.ok()) return st;
-  if (auto st = session.set_vpp(vpp_v); !st.ok()) return st;
-  session.set_noise_stream(job_stream_seed(
-      base_seed, session.module().profile().seed, vpp_millivolts(vpp_v),
-      phase));
-  return common::Status::ok_status();
+  return session.set_vpp(vpp_v);
 }
 
 /// Output of a per-module WCDP job (phase A of the RowHammer campaign).
+/// Never sharded: the WCDP pass is one sweep over all rows at nominal VPP,
+/// so it keeps the whole-cell job_stream_seed keying.
 struct HammerPrep {
-  std::vector<std::uint32_t> rows;
+  std::shared_ptr<const std::vector<std::uint32_t>> rows;
   std::vector<dram::DataPattern> wcdp;
   softmc::CommandCounts counts;  ///< the prep session's instrumentation
 };
 
-common::Expected<HammerPrep> wcdp_job(const dram::ModuleProfile& profile,
-                                      const SweepConfig& sweep,
-                                      std::uint64_t base_seed,
-                                      double nominal_vpp) {
-  softmc::Session session(profile);
-  if (auto st = setup_job_session(session, common::kHammerTestTempC,
-                                  nominal_vpp, base_seed, JobPhase::kWcdp);
+common::Expected<HammerPrep> wcdp_job(
+    softmc::Session& session, const SweepConfig& sweep,
+    std::uint64_t base_seed, double nominal_vpp,
+    std::shared_ptr<const std::vector<std::uint32_t>> rows) {
+  const dram::ModuleProfile& profile = session.module().profile();
+  if (auto st = setup_shard_session(session, common::kHammerTestTempC,
+                                    nominal_vpp);
       !st.ok()) {
     return std::move(st).error().with_module(profile.name).with_context(
         "wcdp job setup");
   }
+  session.set_noise_stream(job_stream_seed(base_seed, profile.seed,
+                                           vpp_millivolts(nominal_vpp),
+                                           JobPhase::kWcdp));
   HammerPrep prep;
-  prep.rows = sweep.sampling.sample(session.module().mapping());
-  if (prep.rows.empty()) {
-    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-        .with_module(profile.name);
-  }
+  prep.rows = std::move(rows);
   if (sweep.determine_wcdp) {
-    auto wcdp =
-        harness::find_wcdp_hammer_rows(session, sweep.sampling.bank,
-                                       prep.rows);
+    auto wcdp = harness::find_wcdp_hammer_rows(session, sweep.sampling.bank,
+                                               *prep.rows);
     if (!wcdp) {
       return std::move(wcdp).error().with_module(profile.name).with_context(
           "wcdp determination");
     }
     prep.wcdp = std::move(*wcdp);
   } else {
-    prep.wcdp.assign(prep.rows.size(), dram::DataPattern::kCheckerAA);
+    prep.wcdp.assign(prep.rows->size(), dram::DataPattern::kCheckerAA);
   }
   prep.counts = session.counters();
   return prep;
 }
 
-/// Phase B of the RowHammer campaign: one (module, VPP level) cell.
-struct HammerLevel {
+/// Phase B of the RowHammer campaign: one row-range shard of a
+/// (module, VPP level) cell.
+struct HammerShard {
   std::vector<harness::RowHammerRowResult> rows;
   softmc::CommandCounts counts;
 };
 
-common::Expected<HammerLevel> hammer_level_job(
-    const dram::ModuleProfile& profile, const SweepConfig& sweep,
-    std::uint64_t base_seed, double vpp_v, const HammerPrep& prep) {
-  softmc::Session session(profile);
-  if (auto st = setup_job_session(session, common::kHammerTestTempC, vpp_v,
-                                  base_seed, JobPhase::kRowHammer);
+common::Expected<HammerShard> hammer_shard_job(softmc::Session& session,
+                                               const SweepConfig& sweep,
+                                               std::uint64_t seed, double vpp_v,
+                                               const HammerPrep& prep,
+                                               ShardSpec shard) {
+  const dram::ModuleProfile& profile = session.module().profile();
+  if (auto st =
+          setup_shard_session(session, common::kHammerTestTempC, vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
         .with_module(profile.name)
         .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
-        .with_context("hammer job setup");
+        .with_context("hammer shard setup");
   }
+  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   harness::RowHammerTest test(session, sweep.hammer);
-  auto rows = test.test_rows(sweep.sampling.bank, prep.rows, prep.wcdp);
-  if (!rows) {
-    return std::move(rows)
-        .error()
-        .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)));
-  }
-  return HammerLevel{std::move(*rows), session.counters()};
-}
-
-/// One (module, VPP level) cell of the tRCD campaign: module tRCDmin is the
-/// max across sampled rows (Table 3 semantics).
-struct TrcdLevel {
-  double trcd_min_ns = 0.0;
-  softmc::CommandCounts counts;
-};
-
-common::Expected<TrcdLevel> trcd_level_job(const dram::ModuleProfile& profile,
-                                           const SweepConfig& sweep,
-                                           std::uint64_t base_seed,
-                                           double vpp_v) {
-  softmc::Session session(profile);
-  if (auto st = setup_job_session(session, common::kHammerTestTempC, vpp_v,
-                                  base_seed, JobPhase::kTrcd);
-      !st.ok()) {
-    return std::move(st)
-        .error()
-        .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
-        .with_context("trcd job setup");
-  }
-  const auto rows = sweep.sampling.sample(session.module().mapping());
-  if (rows.empty()) {
-    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-        .with_module(profile.name);
-  }
-  harness::TrcdTest test(session, sweep.trcd);
-  auto results =
-      test.test_rows(sweep.sampling.bank, rows, dram::DataPattern::kCheckerAA);
-  if (!results) {
-    return std::move(results)
-        .error()
-        .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)));
-  }
-  TrcdLevel out;
-  for (const auto& r : *results) {
-    out.trcd_min_ns = std::max(out.trcd_min_ns, r.trcd_min_ns);
+  HammerShard out;
+  out.rows.reserve(shard.end - shard.begin);
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    const std::uint32_t row = (*prep.rows)[i];
+    session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
+                                             JobPhase::kRowHammer, row));
+    auto r = test.test_row(sweep.sampling.bank, row, prep.wcdp[i]);
+    if (!r) {
+      return std::move(r)
+          .error()
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
+    out.rows.push_back(std::move(*r));
   }
   out.counts = session.counters();
   return out;
 }
 
-/// One (module, VPP level) cell of the retention campaign.
-struct RetentionLevel {
-  std::vector<double> trefw_ms;
-  std::vector<double> mean_ber;        ///< per window, averaged across rows
-  std::vector<double> ref_bers;        ///< per row, at the reference window
+/// One row-range shard of a (module, VPP level) tRCD cell. Returns per-row
+/// results; the coordinator takes the module-level max (Table 3 semantics)
+/// across shards in fixed order.
+struct TrcdShard {
+  std::vector<harness::TrcdRowResult> rows;
   softmc::CommandCounts counts;
 };
 
-common::Expected<RetentionLevel> retention_level_job(
-    const dram::ModuleProfile& profile, const SweepConfig& sweep,
-    std::uint64_t base_seed, double vpp_v, double reference_trefw_ms) {
-  // Retention tests run at 80C (section 4.1).
-  softmc::Session session(profile);
-  if (auto st = setup_job_session(session, common::kRetentionTestTempC, vpp_v,
-                                  base_seed, JobPhase::kRetention);
+common::Expected<TrcdShard> trcd_shard_job(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, const std::vector<std::uint32_t>& rows, ShardSpec shard) {
+  const dram::ModuleProfile& profile = session.module().profile();
+  if (auto st =
+          setup_shard_session(session, common::kHammerTestTempC, vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
         .with_module(profile.name)
         .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
-        .with_context("retention job setup");
+        .with_context("trcd shard setup");
   }
-  const auto rows = sweep.sampling.sample(session.module().mapping());
-  if (rows.empty()) {
-    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-        .with_module(profile.name);
+  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
+  harness::TrcdTest test(session, sweep.trcd);
+  TrcdShard out;
+  out.rows.reserve(shard.end - shard.begin);
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
+                                             JobPhase::kTrcd, rows[i]));
+    auto r = test.test_row(sweep.sampling.bank, rows[i],
+                           dram::DataPattern::kCheckerAA);
+    if (!r) {
+      return std::move(r)
+          .error()
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
+    out.rows.push_back(std::move(*r));
   }
-  harness::RetentionTest test(session, sweep.retention);
-  auto results =
-      test.test_rows(sweep.sampling.bank, rows, dram::DataPattern::kCheckerAA);
-  if (!results) {
-    return std::move(results)
+  out.counts = session.counters();
+  return out;
+}
+
+/// One row-range shard of a (module, VPP level) retention cell. Returns
+/// per-row results; the coordinator computes the across-rows window means
+/// and reference-window BERs in fixed row order.
+struct RetentionShard {
+  std::vector<harness::RetentionRowResult> rows;
+  softmc::CommandCounts counts;
+};
+
+common::Expected<RetentionShard> retention_shard_job(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, const std::vector<std::uint32_t>& rows, ShardSpec shard) {
+  // Retention tests run at 80C (section 4.1).
+  const dram::ModuleProfile& profile = session.module().profile();
+  if (auto st =
+          setup_shard_session(session, common::kRetentionTestTempC, vpp_v);
+      !st.ok()) {
+    return std::move(st)
         .error()
         .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)));
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_context("retention shard setup");
   }
-
-  RetentionLevel out;
-  std::vector<double> sums;
-  for (const auto& rr : *results) {
-    if (out.trefw_ms.empty()) out.trefw_ms = rr.trefw_ms;
-    if (sums.empty()) sums.assign(rr.ber.size(), 0.0);
-    for (std::size_t w = 0; w < rr.ber.size(); ++w) sums[w] += rr.ber[w];
-    // Per-row BER at the reference window (closest probed window).
-    std::size_t ref = 0;
-    for (std::size_t w = 0; w < rr.trefw_ms.size(); ++w) {
-      if (std::abs(rr.trefw_ms[w] - reference_trefw_ms) <
-          std::abs(rr.trefw_ms[ref] - reference_trefw_ms)) {
-        ref = w;
-      }
+  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
+  harness::RetentionTest test(session, sweep.retention);
+  RetentionShard out;
+  out.rows.reserve(shard.end - shard.begin);
+  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+    session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
+                                             JobPhase::kRetention, rows[i]));
+    auto r = test.test_row(sweep.sampling.bank, rows[i],
+                           dram::DataPattern::kCheckerAA);
+    if (!r) {
+      return std::move(r)
+          .error()
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
     }
-    out.ref_bers.push_back(rr.ber[ref]);
+    out.rows.push_back(std::move(*r));
   }
-  for (double& s : sums) s /= static_cast<double>(results->size());
-  out.mean_ber = std::move(sums);
   out.counts = session.counters();
   return out;
 }
@@ -229,19 +288,25 @@ ParallelStudy::ParallelStudy(StudyConfig config) : config_(std::move(config)) {}
 
 common::Expected<std::vector<ModuleSweepResult>>
 ParallelStudy::rowhammer_sweeps() {
-  common::ThreadPool pool(workers_for(config_.jobs));
   const SweepConfig& sweep = config_.sweep;
   const std::uint64_t seed = config_.seed;
 
   struct ModulePlan {
     std::vector<double> levels;
+    std::shared_ptr<const std::vector<std::uint32_t>> rows;
+    std::vector<ShardSpec> shards;
     std::future<common::Expected<HammerPrep>> prep;
     std::shared_ptr<const HammerPrep> ready;
-    std::vector<std::future<common::Expected<HammerLevel>>> per_level;
+    /// per_level[level][shard], in submission (= assembly) order.
+    std::vector<std::vector<std::future<common::Expected<HammerShard>>>>
+        per_level;
   };
-  std::vector<ModulePlan> plans(config_.modules.size());
 
-  // Phase A: one WCDP-determination job per module, all in flight at once.
+  // Plan before spawning anything: levels, row samples, and shard ranges
+  // need no device, and the worker count adapts to the true job count
+  // (tiny campaigns run inline).
+  std::vector<ModulePlan> plans(config_.modules.size());
+  std::size_t planned_jobs = 0;
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
     plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
@@ -250,49 +315,81 @@ ParallelStudy::rowhammer_sweeps() {
                    "no usable VPP levels for module " + profile.name}
           .with_module(profile.name);
     }
-    const double nominal = plans[m].levels.front();
-    plans[m].prep = pool.submit([&profile, &sweep, seed, nominal] {
-      return wcdp_job(profile, sweep, seed, nominal);
-    });
+    auto rows = sample_rows(profile, sweep.sampling);
+    if (rows.empty()) {
+      return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+          .with_module(profile.name);
+    }
+    plans[m].shards = shard_ranges(rows.size(), config_.rows_per_shard);
+    plans[m].rows = std::make_shared<const std::vector<std::uint32_t>>(
+        std::move(rows));
+    planned_jobs += 1 + plans[m].levels.size() * plans[m].shards.size();
   }
 
-  // Phase B: as each module's prep lands, fan out its (module, level) cells.
+  Arenas arenas(workers_for(config_.jobs, planned_jobs));
+  common::ThreadPool pool(static_cast<unsigned>(arenas.size() - 1));
+
+  // Phase A: one WCDP-determination job per module, all in flight at once.
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    const double nominal = plans[m].levels.front();
+    plans[m].prep = pool.submit(
+        [&arenas, &pool, &profile, &sweep, seed, nominal, m,
+         rows = plans[m].rows] {
+          return wcdp_job(arenas.local(pool).acquire(m, profile), sweep, seed,
+                          nominal, rows);
+        });
+  }
+
+  // Phase B: as each module's prep lands, fan out its level x shard cells.
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
     auto prep = plans[m].prep.get();
     if (!prep) return std::move(prep).error();
     plans[m].ready = std::make_shared<const HammerPrep>(std::move(*prep));
-    for (const double vpp : plans[m].levels) {
-      plans[m].per_level.push_back(
-          pool.submit([&profile, &sweep, seed, vpp, prep = plans[m].ready] {
-            return hammer_level_job(profile, sweep, seed, vpp, *prep);
-          }));
+    plans[m].per_level.resize(plans[m].levels.size());
+    for (std::size_t l = 0; l < plans[m].levels.size(); ++l) {
+      const double vpp = plans[m].levels[l];
+      for (const ShardSpec shard : plans[m].shards) {
+        plans[m].per_level[l].push_back(pool.submit(
+            [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
+             prep = plans[m].ready] {
+              return hammer_shard_job(arenas.local(pool).acquire(m, profile),
+                                      sweep, seed, vpp, *prep, shard);
+            }));
+      }
     }
   }
 
-  // Assembly in (module, level) order: independent of completion order.
+  // Assembly in (module, level, shard) order: independent of completion
+  // order, and shard boundaries vanish from the per-row series.
   std::vector<ModuleSweepResult> sweeps;
   sweeps.reserve(config_.modules.size());
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
+    const std::vector<std::uint32_t>& rows = *plans[m].rows;
     ModuleSweepResult result;
     result.module_name = profile.name;
     result.mfr = profile.mfr;
     result.vppmin_v = profile.vppmin_v;
     result.vpp_levels = plans[m].levels;
-    result.rows.resize(plans[m].ready->rows.size());
+    result.rows.resize(rows.size());
     result.instrumentation.add_job(plans[m].ready->counts);
-    for (std::size_t i = 0; i < plans[m].ready->rows.size(); ++i) {
-      result.rows[i].row = plans[m].ready->rows[i];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      result.rows[i].row = rows[i];
       result.rows[i].wcdp = plans[m].ready->wcdp[i];
     }
-    for (auto& future : plans[m].per_level) {
-      auto level = future.get();
-      if (!level) return std::move(level).error();
-      result.instrumentation.add_job(level->counts);
-      for (std::size_t i = 0; i < level->rows.size(); ++i) {
-        result.rows[i].hc_first.push_back(level->rows[i].hc_first);
-        result.rows[i].ber.push_back(level->rows[i].ber);
+    for (auto& level : plans[m].per_level) {
+      for (std::size_t s = 0; s < level.size(); ++s) {
+        auto part = level[s].get();
+        if (!part) return std::move(part).error();
+        result.instrumentation.add_job(part->counts);
+        const ShardSpec spec = plans[m].shards[s];
+        for (std::size_t i = spec.begin; i < spec.end; ++i) {
+          const auto& rr = part->rows[i - spec.begin];
+          result.rows[i].hc_first.push_back(rr.hc_first);
+          result.rows[i].ber.push_back(rr.ber);
+        }
       }
     }
     sweeps.push_back(std::move(result));
@@ -301,25 +398,52 @@ ParallelStudy::rowhammer_sweeps() {
 }
 
 common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
-  common::ThreadPool pool(workers_for(config_.jobs));
   const SweepConfig& sweep = config_.sweep;
   const std::uint64_t seed = config_.seed;
 
-  std::vector<std::vector<std::future<common::Expected<TrcdLevel>>>> cells(
-      config_.modules.size());
-  std::vector<std::vector<double>> levels(config_.modules.size());
+  struct ModulePlan {
+    std::vector<double> levels;
+    std::shared_ptr<const std::vector<std::uint32_t>> rows;
+    std::vector<ShardSpec> shards;
+    std::vector<std::vector<std::future<common::Expected<TrcdShard>>>> cells;
+  };
+  std::vector<ModulePlan> plans(config_.modules.size());
+  std::size_t planned_jobs = 0;
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
-    levels[m] = usable_vpp_levels(sweep, profile.vppmin_v);
-    if (levels[m].empty()) {
+    plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
+    if (plans[m].levels.empty()) {
       return Error{ErrorCode::kNoUsableLevels,
                    "no usable VPP levels for module " + profile.name}
           .with_module(profile.name);
     }
-    for (const double vpp : levels[m]) {
-      cells[m].push_back(pool.submit([&profile, &sweep, seed, vpp] {
-        return trcd_level_job(profile, sweep, seed, vpp);
-      }));
+    auto rows = sample_rows(profile, sweep.sampling);
+    if (rows.empty()) {
+      return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+          .with_module(profile.name);
+    }
+    plans[m].shards = shard_ranges(rows.size(), config_.rows_per_shard);
+    plans[m].rows = std::make_shared<const std::vector<std::uint32_t>>(
+        std::move(rows));
+    planned_jobs += plans[m].levels.size() * plans[m].shards.size();
+  }
+
+  Arenas arenas(workers_for(config_.jobs, planned_jobs));
+  common::ThreadPool pool(static_cast<unsigned>(arenas.size() - 1));
+
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    plans[m].cells.resize(plans[m].levels.size());
+    for (std::size_t l = 0; l < plans[m].levels.size(); ++l) {
+      const double vpp = plans[m].levels[l];
+      for (const ShardSpec shard : plans[m].shards) {
+        plans[m].cells[l].push_back(pool.submit(
+            [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
+             rows = plans[m].rows] {
+              return trcd_shard_job(arenas.local(pool).acquire(m, profile),
+                                    sweep, seed, vpp, *rows, shard);
+            }));
+      }
     }
   }
 
@@ -329,12 +453,20 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
     TrcdSweepResult result;
     result.module_name = config_.modules[m].name;
     result.vppmin_v = config_.modules[m].vppmin_v;
-    result.vpp_levels = levels[m];
-    for (auto& future : cells[m]) {
-      auto trcd = future.get();
-      if (!trcd) return std::move(trcd).error();
-      result.instrumentation.add_job(trcd->counts);
-      result.trcd_min_ns.push_back(trcd->trcd_min_ns);
+    result.vpp_levels = plans[m].levels;
+    for (auto& level : plans[m].cells) {
+      // Module tRCDmin is the max across sampled rows (Table 3 semantics);
+      // with shards the reduction happens here, in fixed order.
+      double trcd_min_ns = 0.0;
+      for (auto& future : level) {
+        auto part = future.get();
+        if (!part) return std::move(part).error();
+        result.instrumentation.add_job(part->counts);
+        for (const auto& rr : part->rows) {
+          trcd_min_ns = std::max(trcd_min_ns, rr.trcd_min_ns);
+        }
+      }
+      result.trcd_min_ns.push_back(trcd_min_ns);
     }
     sweeps.push_back(std::move(result));
   }
@@ -343,28 +475,55 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
 
 common::Expected<std::vector<RetentionSweepResult>>
 ParallelStudy::retention_sweeps() {
-  common::ThreadPool pool(workers_for(config_.jobs));
   const SweepConfig& sweep = config_.sweep;
   const std::uint64_t seed = config_.seed;
-
-  std::vector<std::vector<std::future<common::Expected<RetentionLevel>>>>
-      cells(config_.modules.size());
-  std::vector<std::vector<double>> levels(config_.modules.size());
   const double reference_trefw_ms = RetentionSweepResult{}.reference_trefw_ms;
+
+  struct ModulePlan {
+    std::vector<double> levels;
+    std::shared_ptr<const std::vector<std::uint32_t>> rows;
+    std::vector<ShardSpec> shards;
+    std::vector<std::vector<std::future<common::Expected<RetentionShard>>>>
+        cells;
+  };
+  std::vector<ModulePlan> plans(config_.modules.size());
+  std::size_t planned_jobs = 0;
   for (std::size_t m = 0; m < config_.modules.size(); ++m) {
     const dram::ModuleProfile& profile = config_.modules[m];
-    levels[m] = usable_vpp_levels(sweep, profile.vppmin_v);
-    if (levels[m].empty()) {
+    plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
+    if (plans[m].levels.empty()) {
       return Error{ErrorCode::kNoUsableLevels,
                    "no usable VPP levels for module " + profile.name}
           .with_module(profile.name);
     }
-    for (const double vpp : levels[m]) {
-      cells[m].push_back(
-          pool.submit([&profile, &sweep, seed, vpp, reference_trefw_ms] {
-            return retention_level_job(profile, sweep, seed, vpp,
-                                       reference_trefw_ms);
-          }));
+    auto rows = sample_rows(profile, sweep.sampling);
+    if (rows.empty()) {
+      return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+          .with_module(profile.name);
+    }
+    plans[m].shards = shard_ranges(rows.size(), config_.rows_per_shard);
+    plans[m].rows = std::make_shared<const std::vector<std::uint32_t>>(
+        std::move(rows));
+    planned_jobs += plans[m].levels.size() * plans[m].shards.size();
+  }
+
+  Arenas arenas(workers_for(config_.jobs, planned_jobs));
+  common::ThreadPool pool(static_cast<unsigned>(arenas.size() - 1));
+
+  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
+    const dram::ModuleProfile& profile = config_.modules[m];
+    plans[m].cells.resize(plans[m].levels.size());
+    for (std::size_t l = 0; l < plans[m].levels.size(); ++l) {
+      const double vpp = plans[m].levels[l];
+      for (const ShardSpec shard : plans[m].shards) {
+        plans[m].cells[l].push_back(pool.submit(
+            [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
+             rows = plans[m].rows] {
+              return retention_shard_job(
+                  arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
+                  *rows, shard);
+            }));
+      }
     }
   }
 
@@ -374,14 +533,35 @@ ParallelStudy::retention_sweeps() {
     RetentionSweepResult result;
     result.module_name = config_.modules[m].name;
     result.mfr = config_.modules[m].mfr;
-    result.vpp_levels = levels[m];
-    for (auto& future : cells[m]) {
-      auto level = future.get();
-      if (!level) return std::move(level).error();
-      result.instrumentation.add_job(level->counts);
-      if (result.trefw_ms.empty()) result.trefw_ms = level->trefw_ms;
-      result.mean_ber.push_back(std::move(level->mean_ber));
-      result.row_ber_at_reference.push_back(std::move(level->ref_bers));
+    result.vpp_levels = plans[m].levels;
+    const double row_count = static_cast<double>(plans[m].rows->size());
+    for (auto& level : plans[m].cells) {
+      // Across-rows reductions (window means, reference-window BERs) happen
+      // here, in fixed row order, so shard boundaries cannot show.
+      std::vector<double> sums;
+      std::vector<double> ref_bers;
+      for (auto& future : level) {
+        auto part = future.get();
+        if (!part) return std::move(part).error();
+        result.instrumentation.add_job(part->counts);
+        for (const auto& rr : part->rows) {
+          if (result.trefw_ms.empty()) result.trefw_ms = rr.trefw_ms;
+          if (sums.empty()) sums.assign(rr.ber.size(), 0.0);
+          for (std::size_t w = 0; w < rr.ber.size(); ++w) sums[w] += rr.ber[w];
+          // Per-row BER at the reference window (closest probed window).
+          std::size_t ref = 0;
+          for (std::size_t w = 0; w < rr.trefw_ms.size(); ++w) {
+            if (std::abs(rr.trefw_ms[w] - reference_trefw_ms) <
+                std::abs(rr.trefw_ms[ref] - reference_trefw_ms)) {
+              ref = w;
+            }
+          }
+          ref_bers.push_back(rr.ber[ref]);
+        }
+      }
+      for (double& s : sums) s /= row_count;
+      result.mean_ber.push_back(std::move(sums));
+      result.row_ber_at_reference.push_back(std::move(ref_bers));
     }
     sweeps.push_back(std::move(result));
   }

@@ -1,16 +1,27 @@
 // The parallel deterministic sweep engine.
 //
 // A characterization campaign (Figs. 3-11) is an embarrassingly parallel grid
-// of (module, VPP level) cells: every cell owns its own rig session, so cells
-// never share device state. This layer decomposes a StudyConfig into those
-// per-cell jobs, runs them on a work-stealing pool (common/thread_pool), and
-// reassembles the per-module sweep results in a fixed order.
+// of (module, VPP level) cells, and each cell is itself a loop over sampled
+// rows whose results never interact (per-row physics snapshots, see
+// dram/module.hpp). This layer decomposes a StudyConfig into row-range
+// *shards* of those cells -- `rows_per_shard` rows per job -- runs them on a
+// work-stealing pool (common/thread_pool), and reassembles the per-module
+// sweep results in a fixed order. Sharding below the cell is what lets a
+// small campaign (few modules, few levels) keep every core busy.
 //
-// Determinism: each job derives a private noise stream from
-//   hash_key({seed, module seed, VPP in millivolts, phase tag})
-// and re-keys its session with it, so a job's output is a pure function of
-// its key -- never of scheduling. `jobs = 1` and `jobs = N` produce
-// bit-identical results (and byte-identical CSV exports).
+// Rig sessions are not rebuilt per shard: each worker keeps one Session per
+// module in a WorkerLocal arena and re-checks it out with
+// Session::reset_for_job(), which restores fresh-rig state while retaining
+// the device's per-row physics caches (the expensive part).
+//
+// Determinism: every sampled row derives a private noise stream from
+//   hash_key({seed, module seed, VPP in millivolts, phase tag, row})
+// and the shard re-keys its session before testing that row, so a row's
+// output is a pure function of its key -- never of scheduling, shard
+// granularity, or session reuse. `jobs = 1` and `jobs = N` produce
+// bit-identical results (and byte-identical CSV exports), and so do any two
+// `rows_per_shard` values. Campaigns planned below a small job-count
+// threshold skip the pool entirely and run inline.
 #pragma once
 
 #include <cstdint>
@@ -23,18 +34,27 @@
 namespace vppstudy::core {
 
 /// A full multi-module campaign: what to sweep, on which modules, with which
-/// base seed for the per-job noise streams, and how many workers.
+/// base seed for the per-row noise streams, and how many workers.
 struct StudyConfig {
   SweepConfig sweep;
   std::vector<dram::ModuleProfile> modules;
-  /// Base seed of the per-job noise streams. Campaigns with different seeds
+  /// Base seed of the per-row noise streams. Campaigns with different seeds
   /// see independent measurement noise; the device physics (which cells are
   /// weak, where flips land) is keyed by each module's own profile seed and
   /// does not change.
   std::uint64_t seed = 0;
   /// Worker threads: 1 runs jobs inline on the calling thread (serial),
   /// >= 2 spawns that many workers, 0 or negative uses all hardware threads.
+  /// The engine additionally drops to inline execution when the planned job
+  /// count is too small for a pool to pay off, and never spawns more workers
+  /// than there are jobs.
   int jobs = 1;
+  /// Shard granularity: sampled rows per shard job within one (module, VPP
+  /// level) cell. Smaller shards expose more parallelism when the grid has
+  /// fewer cells than cores; 0 means one shard per cell (the pre-sharding
+  /// behavior). Pure performance knob: per-row noise streams make results
+  /// bit-identical at any value.
+  std::uint32_t rows_per_shard = 4;
 };
 
 /// The experiment family a job belongs to; part of its stream key so the
@@ -50,11 +70,21 @@ enum class JobPhase : std::uint64_t {
 /// against floating-point drift in level arithmetic).
 [[nodiscard]] std::uint64_t vpp_millivolts(double vpp_v) noexcept;
 
-/// The deterministic per-job stream seed (see file header).
+/// Stream seed of a whole-cell job: the WCDP prep pass (which walks all rows
+/// in one session) and core/resilient_study key their noise with this.
 [[nodiscard]] std::uint64_t job_stream_seed(std::uint64_t seed,
                                             std::uint64_t module_seed,
                                             std::uint64_t vpp_mv,
                                             JobPhase phase) noexcept;
+
+/// Stream seed of one sampled row within a cell (see file header). Keying
+/// per row -- not per shard -- is what makes `rows_per_shard` a pure
+/// performance knob.
+[[nodiscard]] std::uint64_t row_stream_seed(std::uint64_t seed,
+                                            std::uint64_t module_seed,
+                                            std::uint64_t vpp_mv,
+                                            JobPhase phase,
+                                            std::uint32_t row) noexcept;
 
 class ParallelStudy {
  public:
@@ -64,7 +94,7 @@ class ParallelStudy {
 
   /// Alg. 1 over the whole grid; one ModuleSweepResult per module, in
   /// config order. Fails on the first failing job (module order, then level
-  /// order -- deterministic regardless of scheduling).
+  /// order, then shard order -- deterministic regardless of scheduling).
   [[nodiscard]] common::Expected<std::vector<ModuleSweepResult>>
   rowhammer_sweeps();
 

@@ -1,10 +1,12 @@
 #include "dram/module.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace vppstudy::dram {
 
@@ -40,7 +42,24 @@ Module::Module(ModuleProfile profile, Options options)
       mapping_(scheme_for(profile_.mfr), profile_.rows_per_bank,
                profile_.row_repairs),
       trr_(profile_.banks, TrrEngine::Options{}),
-      banks_(profile_.banks) {}
+      banks_(profile_.banks),
+      physics_store_(profile_.banks) {}
+
+void Module::reset_device_state() {
+  banks_.clear();
+  banks_.resize(profile_.banks);  // physics_store_ survives, by design
+  stats_ = ModuleStats{};
+  vpp_v_ = common::kNominalVppV;
+  temp_c_ = common::kHammerTestTempC;
+  refresh_cursor_ = 0;
+  noise_stream_ = 0;
+  read_noise_counter_ = 0;
+  hammer_noise_counter_ = 0;
+  measurement_noise_sigma_ = 0.0;
+  mode_registers_ = ModeRegisters{};
+  trr_.reset();
+  trr_enabled_ = true;
+}
 
 Status Module::check_responsive() const {
   if (!responsive()) {
@@ -74,7 +93,7 @@ Module::RowState& Module::row_state(BankState& bank_state, std::uint32_t bank,
     rs.neigh_above_acts = acts_of(bank_state, physical_row + 1);
     rs.neigh2_below_acts = acts_of(bank_state, physical_row - 2);
     rs.neigh2_above_acts = acts_of(bank_state, physical_row + 2);
-    (void)bank;
+    rs.physics = &physics_store_[bank][physical_row];
   }
   return rs;
 }
@@ -82,18 +101,32 @@ Module::RowState& Module::row_state(BankState& bank_state, std::uint32_t bank,
 void Module::ensure_initialized(std::uint32_t bank,
                                 std::uint32_t physical_row, RowState& rs) {
   if (rs.initialized) return;
-  rs.data.resize(kBytesPerRow);
-  // Deterministic power-up content.
-  for (std::uint32_t i = 0; i < kBytesPerRow; ++i) {
-    rs.data[i] = static_cast<std::uint8_t>(
-        common::hash_key({profile_.seed, bank, physical_row, i, 0xb007ULL}));
+  RowPhysicsCache& pc = *rs.physics;
+  if (pc.powerup.empty()) {
+    // Deterministic power-up content:
+    // byte[i] = hash_key({seed, bank, row, i, 0xb007}), batched through the
+    // SIMD walk kernel over the fixed (seed, bank, row) prefix.
+    pc.powerup.resize(kBytesPerRow);
+    std::uint64_t prefix =
+        common::hash_accumulate(common::kHashInit, profile_.seed);
+    prefix = common::hash_accumulate(prefix, bank);
+    prefix = common::hash_accumulate(prefix, physical_row);
+    constexpr std::uint32_t kChunk = 1024;
+    std::uint64_t hashes[kChunk];
+    for (std::uint32_t base = 0; base < kBytesPerRow; base += kChunk) {
+      common::simd::hash_index_walk(prefix, 0xb007ULL, base, kChunk, hashes);
+      for (std::uint32_t i = 0; i < kChunk; ++i) {
+        pc.powerup[base + i] = static_cast<std::uint8_t>(hashes[i]);
+      }
+    }
   }
+  rs.data = pc.powerup;
   rs.initialized = true;
 }
 
 const CellPhysics::RowParams& Module::cached_row_params(
     std::uint32_t bank, std::uint32_t physical_row, RowState& rs) {
-  auto& cache = rs.physics_cache;
+  auto& cache = *rs.physics;
   if (!cache.has_params) {
     cache.params = physics_.row_params(bank, physical_row);
     cache.has_params = true;
@@ -103,7 +136,7 @@ const CellPhysics::RowParams& Module::cached_row_params(
 
 const std::vector<CellPhysics::WeakCell>& Module::cached_weak_cells(
     std::uint32_t bank, std::uint32_t physical_row, RowState& rs) {
-  auto& cache = rs.physics_cache;
+  auto& cache = *rs.physics;
   if (!cache.has_weak) {
     cache.weak = physics_.weak_cells(bank, physical_row);
     std::sort(cache.weak.begin(), cache.weak.end(),
@@ -116,7 +149,7 @@ const std::vector<CellPhysics::WeakCell>& Module::cached_weak_cells(
 
 const std::vector<std::uint64_t>& Module::cached_polarity(
     std::uint32_t bank, std::uint32_t physical_row, RowState& rs) {
-  auto& cache = rs.physics_cache;
+  auto& cache = *rs.physics;
   if (cache.polarity.empty()) {
     cache.polarity = physics_.charged_words(bank, physical_row);
   }
@@ -126,7 +159,7 @@ const std::vector<std::uint64_t>& Module::cached_polarity(
 const CellPhysics::RowFlipIndex* Module::usable_flip_index(
     std::uint32_t bank, std::uint32_t physical_row, RowState& rs,
     CellPhysics::CellDraw what, double p) {
-  auto& cache = rs.physics_cache;
+  auto& cache = *rs.physics;
   const bool hammer = what == CellPhysics::CellDraw::kHammer;
   bool& built = hammer ? cache.has_hammer_index : cache.has_retention_index;
   auto& index = hammer ? cache.hammer_index : cache.retention_index;
@@ -218,23 +251,49 @@ void Module::apply_flips(std::uint32_t bank, std::uint32_t physical_row,
   } else if (do_hammer || do_retention) {
     // Reference full-row scan: every bit, charge polarity via the cached
     // per-row polarity words, then the per-bit uniform draws. This is the
-    // path the flip index must stay bit-exact against.
+    // path the flip index must stay bit-exact against. The scan works one
+    // 64-bit word at a time: an eligibility mask (stored == charged) from
+    // the polarity words, then batched uniform draws from the SIMD walk
+    // kernels. Drawing a whole word at once evaluates some uniforms the
+    // per-bit loop would skip, but cell_uniform is a pure function of its
+    // coordinates, so the *used* values -- and therefore the flip sets --
+    // are identical; retention draws stay lazy per word exactly like the
+    // scalar loop (only bits not already flipped by hammer consult them).
     const std::vector<std::uint64_t>& polarity =
         cached_polarity(bank, physical_row, rs);
-    for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
-      const bool charged = ((polarity[bit / 64] >> (bit % 64)) & 1ULL) != 0;
-      if (stored_bit(bit) != charged) continue;
-      if (do_hammer && physics_.cell_uniform(bank, physical_row, bit,
-                                             CellPhysics::CellDraw::kHammer) >
-                           hammer_threshold) {
-        hammer_bits.push_back(bit);
-        continue;
+    double u_hammer[64];
+    double u_retention[64];
+    for (std::uint32_t w = 0; w < kColumnsPerRow; ++w) {
+      std::uint64_t stored = 0;
+      for (std::uint32_t b = 0; b < 8; ++b) {
+        stored |= static_cast<std::uint64_t>(rs.data[w * 8 + b]) << (8 * b);
       }
-      if (do_retention &&
-          physics_.cell_uniform(bank, physical_row, bit,
-                                CellPhysics::CellDraw::kRetention) >
-              retention_threshold) {
-        retention_bits.push_back(bit);
+      const std::uint64_t eligible = ~(stored ^ polarity[w]);
+      if (eligible == 0) continue;
+      const std::uint32_t base = w * 64;
+      if (do_hammer) {
+        physics_.cell_uniform_batch(bank, physical_row, base, 64,
+                                    CellPhysics::CellDraw::kHammer, u_hammer);
+      }
+      std::uint64_t retention_candidates = 0;
+      for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+        const auto j = static_cast<std::uint32_t>(std::countr_zero(m));
+        if (do_hammer && u_hammer[j] > hammer_threshold) {
+          hammer_bits.push_back(base + j);
+        } else if (do_retention) {
+          retention_candidates |= 1ULL << j;
+        }
+      }
+      if (retention_candidates != 0) {
+        physics_.cell_uniform_batch(bank, physical_row, base, 64,
+                                    CellPhysics::CellDraw::kRetention,
+                                    u_retention);
+        for (std::uint64_t m = retention_candidates; m != 0; m &= m - 1) {
+          const auto j = static_cast<std::uint32_t>(std::countr_zero(m));
+          if (u_retention[j] > retention_threshold) {
+            retention_bits.push_back(base + j);
+          }
+        }
       }
     }
   }
@@ -456,7 +515,7 @@ common::Expected<std::array<std::uint8_t, kBytesPerColumn>> Module::read(
   // analog noise of marginal timing.
   const double trcd_ns = now_ns - bs.activate_time_ns;
   const CellPhysics::RowParams& rp = cached_row_params(bank, phys, rs);
-  RowPhysicsCache& pc = rs.physics_cache;
+  RowPhysicsCache& pc = *rs.physics;
   if (pc.trcd_mean_vpp != vpp_v_) {
     pc.trcd_mean_ns = physics_.trcd_row_mean_ns(rp, vpp_v_);
     pc.trcd_mean_vpp = vpp_v_;

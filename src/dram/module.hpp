@@ -37,6 +37,8 @@ struct ModuleStats {
   std::uint64_t trcd_read_errors = 0;
   std::uint64_t trr_mitigations = 0;
   std::uint64_t ondie_ecc_corrections = 0;
+
+  friend bool operator==(const ModuleStats&, const ModuleStats&) = default;
 };
 
 class Module {
@@ -152,10 +154,21 @@ class Module {
   [[nodiscard]] std::vector<std::uint8_t> debug_row_snapshot(
       std::uint32_t bank, std::uint32_t logical_row, double now_ns);
 
+  /// Return the device to its power-on state: all mutable experiment state
+  /// (row contents, bank state machines, stats, rail/temperature pushes,
+  /// noise streams, mode registers, TRR tables, refresh cursor) is reset as
+  /// if the module were freshly constructed. The per-row physics store is
+  /// deliberately PRESERVED: everything in it is a pure function of
+  /// (module seed, bank, row), so a reused module is bit-identical to a
+  /// fresh one while skipping the expensive cache rebuilds. Behavioral
+  /// Options (reference_sensing) are left as currently set.
+  /// softmc::Session::reset_for_job builds its worker-arena reuse on this.
+  void reset_device_state();
+
  private:
   /// Lazily built per-row caches of quantities that are pure functions of
-  /// (module seed, bank, row). They are device-lifetime immutable, so
-  /// caching them beside the row's mutable state is safe; the memory budget
+  /// (module seed, bank, row). They are device-lifetime immutable, so they
+  /// live in a store that survives reset_device_state(); the memory budget
   /// is documented in docs/MODEL.md ("Sensing hot path & flip index").
   struct RowPhysicsCache {
     bool has_params = false;
@@ -171,6 +184,10 @@ class Module {
     CellPhysics::RowFlipIndex hammer_index;
     bool has_retention_index = false;
     CellPhysics::RowFlipIndex retention_index;
+    /// Deterministic power-up byte image of the row (hash of coordinates);
+    /// empty until the row is first initialized. Re-initializing a row after
+    /// reset_device_state() becomes a copy instead of 8192 hash chains.
+    std::vector<std::uint8_t> powerup;
   };
   struct RowState {
     std::vector<std::uint8_t> data;  ///< kBytesPerRow once initialized
@@ -182,7 +199,9 @@ class Module {
     double neigh2_below_acts = 0.0;  ///< distance-2 snapshots
     double neigh2_above_acts = 0.0;
     bool initialized = false;
-    RowPhysicsCache physics_cache;
+    /// Borrowed from physics_store_ (nodes are pointer-stable); wired up by
+    /// row_state() when the RowState is created.
+    RowPhysicsCache* physics = nullptr;
   };
   struct BankState {
     std::unordered_map<std::uint32_t, RowState> rows;  // by physical row
@@ -239,6 +258,10 @@ class Module {
   ModeRegisters mode_registers_;
   bool trr_enabled_ = true;
   std::vector<BankState> banks_;
+  /// Per-bank physics caches keyed by physical row; module-lifetime (pure
+  /// functions of the seed), survives reset_device_state().
+  std::vector<std::unordered_map<std::uint32_t, RowPhysicsCache>>
+      physics_store_;
   ModuleStats stats_;
   double vpp_v_ = common::kNominalVppV;
   double temp_c_ = common::kHammerTestTempC;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/units.hpp"
 
 namespace vppstudy::dram {
@@ -68,6 +69,15 @@ double implied_alpha(double hc_first, double ber) noexcept {
 /// what pins the module-minimum HCfirst at Table 3's value instead of
 /// letting an unbounded power-law tail erode it across thousands of rows.
 constexpr double kRowFlipFloor = 0.97;
+
+/// Fold of the fixed (seed, bank, row) leading words of every per-cell hash
+/// key; the batched walk kernels vary only the trailing (bit, tag) words.
+std::uint64_t cell_hash_prefix(std::uint64_t seed, std::uint32_t bank,
+                               std::uint32_t row) noexcept {
+  std::uint64_t h = common::hash_accumulate(common::kHashInit, seed);
+  h = common::hash_accumulate(h, bank);
+  return common::hash_accumulate(h, row);
+}
 
 }  // namespace
 
@@ -329,6 +339,14 @@ double CellPhysics::cell_uniform(std::uint32_t bank, std::uint32_t row,
       {profile_.seed, bank, row, bit, static_cast<std::uint64_t>(what)}));
 }
 
+void CellPhysics::cell_uniform_batch(std::uint32_t bank, std::uint32_t row,
+                                     std::uint32_t bit0, std::uint32_t n,
+                                     CellDraw what, double* out) const {
+  common::simd::uniform_index_walk(cell_hash_prefix(profile_.seed, bank, row),
+                                   static_cast<std::uint64_t>(what), bit0, n,
+                                   out);
+}
+
 bool CellPhysics::charged_value(std::uint32_t bank, std::uint32_t row,
                                 std::uint32_t bit) const {
   return (hash_key({profile_.seed, bank, row, bit,
@@ -339,10 +357,18 @@ bool CellPhysics::charged_value(std::uint32_t bank, std::uint32_t row,
 std::vector<std::uint64_t> CellPhysics::charged_words(std::uint32_t bank,
                                                       std::uint32_t row) const {
   std::vector<std::uint64_t> words(kColumnsPerRow, 0);
-  for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
-    if (charged_value(bank, row, bit)) {
-      words[bit / 64] |= 1ULL << (bit % 64);
+  const std::uint64_t prefix = cell_hash_prefix(profile_.seed, bank, row);
+  constexpr std::uint64_t kTag =
+      static_cast<std::uint64_t>(CellDraw::kPolarity);
+  std::uint64_t hashes[64];
+  for (std::uint32_t w = 0; w < kColumnsPerRow; ++w) {
+    common::simd::hash_index_walk(prefix, kTag, std::uint64_t{w} * 64, 64,
+                                  hashes);
+    std::uint64_t word = 0;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      word |= (hashes[i] & 1u) << i;
     }
+    words[w] = word;
   }
   return words;
 }
@@ -360,15 +386,24 @@ CellPhysics::RowFlipIndex CellPhysics::build_flip_index(
   heap.reserve(top_k + 1);
   const auto less_u = [](const RowFlipIndex::Entry& a,
                          const RowFlipIndex::Entry& b) { return a.u > b.u; };
-  for (std::uint32_t bit = 0; bit < kBitsPerRow; ++bit) {
-    const double u = cell_uniform(bank, row, bit, what);
-    if (heap.size() < top_k) {
-      heap.push_back({u, bit});
-      std::push_heap(heap.begin(), heap.end(), less_u);
-    } else if (u > heap.front().u) {
-      std::pop_heap(heap.begin(), heap.end(), less_u);
-      heap.back() = {u, bit};
-      std::push_heap(heap.begin(), heap.end(), less_u);
+  // The uniforms come from the batched SIMD walk (values identical to the
+  // scalar per-bit calls); heap maintenance stays scalar and processes bits
+  // in ascending order, so the resulting index is byte-identical either way.
+  constexpr std::uint32_t kBatch = 1024;
+  double uniforms[kBatch];
+  for (std::uint32_t base = 0; base < kBitsPerRow; base += kBatch) {
+    cell_uniform_batch(bank, row, base, kBatch, what, uniforms);
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      const std::uint32_t bit = base + i;
+      const double u = uniforms[i];
+      if (heap.size() < top_k) {
+        heap.push_back({u, bit});
+        std::push_heap(heap.begin(), heap.end(), less_u);
+      } else if (u > heap.front().u) {
+        std::pop_heap(heap.begin(), heap.end(), less_u);
+        heap.back() = {u, bit};
+        std::push_heap(heap.begin(), heap.end(), less_u);
+      }
     }
   }
   std::sort(heap.begin(), heap.end(),

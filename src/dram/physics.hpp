@@ -184,6 +184,13 @@ class CellPhysics {
   };
   [[nodiscard]] double cell_uniform(std::uint32_t bank, std::uint32_t row,
                                     std::uint32_t bit, CellDraw what) const;
+  /// Batched form of cell_uniform over a contiguous bit range:
+  /// out[i] = cell_uniform(bank, row, bit0 + i, what) for i in [0, n).
+  /// Dispatches to the common/simd.hpp walk kernels (bit-exact vs the
+  /// scalar per-bit calls by construction).
+  void cell_uniform_batch(std::uint32_t bank, std::uint32_t row,
+                          std::uint32_t bit0, std::uint32_t n, CellDraw what,
+                          double* out) const;
   /// True-cell / anti-cell layout: the stored value that corresponds to a
   /// *charged* capacitor for this cell.
   [[nodiscard]] bool charged_value(std::uint32_t bank, std::uint32_t row,

@@ -35,6 +35,24 @@ Session::Session(dram::ModuleProfile profile)
   dispatcher_.add_observer(&counters_);
 }
 
+void Session::reset_for_job() {
+  set_fault_injector(nullptr);
+  disable_trace();
+  checker_.reset();
+  counters_.reset();
+  // Rail and chamber are small value types; reconstructing them reproduces
+  // the constructor's state exactly (the chamber's PID plant temperature
+  // must start pristine for a later settle() to be bit-identical to a fresh
+  // session's).
+  rail_ = PowerRail(common::kNominalVppV);
+  chamber_ = ThermalChamber();
+  clock_ns_ = 0.0;
+  auto_refresh_ = false;
+  module_.reset_device_state();
+  module_.set_vpp(rail_.voltage());
+  module_.set_temperature(chamber_.temperature_c());
+}
+
 void Session::set_fault_injector(FaultInjector* injector) {
   if (injector_ != nullptr) {
     dispatcher_.remove_observer(injector_);

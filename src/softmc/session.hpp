@@ -129,6 +129,16 @@ class Session {
   /// refresh is enabled.
   common::Status wait_ms(double ms);
 
+  /// Return the rig to the state of a freshly constructed Session(profile):
+  /// pristine rail and thermal chamber, cleared timing history and counters,
+  /// trace and fault injector detached, command clock at zero, auto-refresh
+  /// off, and the device power-cycled (dram::Module::reset_device_state --
+  /// which retains the per-row physics caches, the whole point of reuse).
+  /// A reused session is bit-identical to a fresh one; core/parallel_study
+  /// keeps one Session per (worker, module) arena slot across shard jobs on
+  /// the strength of this, and the tier-1 suite asserts the equivalence.
+  void reset_for_job();
+
  private:
   dram::Module module_;
   dram::Ddr4Timing timing_;

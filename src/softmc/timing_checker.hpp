@@ -44,6 +44,15 @@ class TimingChecker : public SessionObserver {
   }
   void clear_violations() { violations_.clear(); }
 
+  /// Forget all command history and recorded violations, returning the
+  /// checker to its just-constructed state (Session::reset_for_job).
+  void reset() {
+    banks_.assign(banks_.size(), BankTimes{});
+    violations_.clear();
+    recent_acts_.clear();
+    last_act_any_bank_ = -1e18;
+  }
+
  private:
   struct BankTimes {
     double last_act = -1e18;

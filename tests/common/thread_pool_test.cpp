@@ -95,6 +95,74 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPool, WorkerLocalSlotsAreStableAcrossSubmissions) {
+  // A worker must see the *same* slot every time a task lands on it: the
+  // sweep engine parks a rig session in its slot and reuses it across shard
+  // jobs. Record each task's slot address and value; a slot's value may only
+  // ever be touched by its owning worker, so per-slot counters must add up.
+  constexpr unsigned kWorkers = 3;
+  WorkerLocal<int> counters(kWorkers);
+  ASSERT_EQ(counters.size(), kWorkers + 1u);
+  ThreadPool pool(kWorkers);
+
+  constexpr int kTasks = 200;
+  std::vector<std::future<int*>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&counters, &pool] {
+      int& slot = counters.local(pool);
+      ++slot;
+      return &slot;
+    }));
+  }
+  std::vector<int*> slots;
+  slots.reserve(kTasks);
+  for (auto& f : futures) slots.push_back(f.get());
+
+  int total = 0;
+  for (std::size_t s = 0; s < counters.size(); ++s) total += counters.slot(s);
+  EXPECT_EQ(total, kTasks);
+  // Every returned address is one of the arena's slots, and slot 0 (the
+  // non-worker slot) was never handed to a pool worker.
+  for (int* p : slots) {
+    bool found = false;
+    for (std::size_t s = 1; s < counters.size(); ++s) {
+      if (p == &counters.slot(s)) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(counters.slot(0), 0);
+}
+
+TEST(ThreadPool, WorkerLocalInlinePoolUsesCallerSlot) {
+  // A 0-worker pool runs tasks inline on the submitting thread, which maps
+  // to slot 0 -- the same slot the coordinator itself would get.
+  WorkerLocal<int> counters(0);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.slot_of_current_thread(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&counters, &pool] { ++counters.local(pool); }).get();
+  }
+  EXPECT_EQ(counters.slot(0), 5);
+  EXPECT_EQ(&counters.local(pool), &counters.slot(0));
+}
+
+TEST(ThreadPool, WorkerLocalValuesSurviveIntoPoolDestructorDrain) {
+  // The drain in ~ThreadPool still runs queued tasks; the arena (declared
+  // before the pool, per the lifetime rule) must absorb those late touches.
+  WorkerLocal<int> counters(2);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      auto f = pool.submit([&counters, &pool] { ++counters.local(pool); });
+      (void)f;
+    }
+  }
+  int total = 0;
+  for (std::size_t s = 0; s < counters.size(); ++s) total += counters.slot(s);
+  EXPECT_EQ(total, 64);
+}
+
 TEST(ThreadPool, ResolveJobsMapsUserFacingValues) {
   EXPECT_EQ(ThreadPool::resolve_jobs(1), 1u);
   EXPECT_EQ(ThreadPool::resolve_jobs(7), 7u);

@@ -91,6 +91,41 @@ TEST(ParallelStudy, RetentionCsvIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(concat_csv(*s), concat_csv(*p));
 }
 
+TEST(ParallelStudy, RowStreamSeedSeparatesRows) {
+  const auto base = row_stream_seed(0, 11, 2500, JobPhase::kRowHammer, 500);
+  EXPECT_NE(base, row_stream_seed(0, 11, 2500, JobPhase::kRowHammer, 501));
+  EXPECT_NE(base, row_stream_seed(0, 11, 2500, JobPhase::kTrcd, 500));
+  EXPECT_NE(base, row_stream_seed(1, 11, 2500, JobPhase::kRowHammer, 500));
+  EXPECT_EQ(base, row_stream_seed(0, 11, 2500, JobPhase::kRowHammer, 500));
+}
+
+TEST(ParallelStudy, ShardGranularityIsAPurePerformanceKnob) {
+  // rows_per_shard only changes how work is cut into jobs; per-row noise
+  // streams make every granularity -- including 0, one shard per cell --
+  // produce byte-identical CSV exports.
+  auto config = small_config(4);
+  config.sweep.vpp_levels = {2.5, 1.6};
+  std::vector<std::string> hammer_csv, trcd_csv, retention_csv;
+  for (const std::uint32_t rows_per_shard : {0u, 1u, 3u, 64u}) {
+    config.rows_per_shard = rows_per_shard;
+    ParallelStudy engine(config);
+    auto h = engine.rowhammer_sweeps();
+    ASSERT_TRUE(h.has_value()) << h.error().message;
+    hammer_csv.push_back(concat_csv(*h));
+    auto t = engine.trcd_sweeps();
+    ASSERT_TRUE(t.has_value()) << t.error().message;
+    trcd_csv.push_back(concat_csv(*t));
+    auto r = engine.retention_sweeps();
+    ASSERT_TRUE(r.has_value()) << r.error().message;
+    retention_csv.push_back(concat_csv(*r));
+  }
+  for (std::size_t i = 1; i < hammer_csv.size(); ++i) {
+    EXPECT_EQ(hammer_csv[0], hammer_csv[i]) << "granularity case " << i;
+    EXPECT_EQ(trcd_csv[0], trcd_csv[i]) << "granularity case " << i;
+    EXPECT_EQ(retention_csv[0], retention_csv[i]) << "granularity case " << i;
+  }
+}
+
 TEST(ParallelStudy, MatchesSerialStudyFacade) {
   // The Study facade delegates to a jobs=1 engine; a multi-module parallel
   // campaign must reproduce it module for module.

@@ -1,0 +1,190 @@
+// Tier-1 checks for the runtime-dispatched SIMD layer (common/simd.hpp): the
+// AVX2 and portable scalar word-walk kernels must agree bit-for-bit at every
+// layer that consumes them -- raw hash walks, per-cell uniform batches, the
+// charged-polarity words, the sorted flip index, and finally whole-device
+// runs (identical stored bytes and ModuleStats across VPP levels, with the
+// reference full-row scan both off and on). On CPUs without AVX2 the
+// cross-implementation cases skip; the definitional checks still run against
+// the scalar kernel.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chips/module_db.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "dram/module.hpp"
+#include "dram/physics.hpp"
+
+namespace vppstudy::dram {
+namespace {
+
+using common::simd::Impl;
+
+ModuleProfile small_profile() {
+  auto p = chips::profile_by_name("B3").value();
+  p.rows_per_bank = 4096;
+  return p;
+}
+
+/// Every test restores auto-detected dispatch, pass or fail: a forced
+/// implementation leaking out of one test must not silently change what the
+/// rest of the suite exercises.
+class SimdWordWalk : public ::testing::Test {
+ protected:
+  void TearDown() override { common::simd::force_impl(std::nullopt); }
+};
+
+TEST_F(SimdWordWalk, ForceImplControlsDispatch) {
+  ASSERT_TRUE(common::simd::force_impl(Impl::kScalar));
+  EXPECT_EQ(common::simd::active_impl(), Impl::kScalar);
+  EXPECT_STREQ(common::simd::active_impl_name(), "scalar");
+  if (common::simd::avx2_supported()) {
+    ASSERT_TRUE(common::simd::force_impl(Impl::kAvx2));
+    EXPECT_EQ(common::simd::active_impl(), Impl::kAvx2);
+    EXPECT_STREQ(common::simd::active_impl_name(), "avx2");
+  } else {
+    EXPECT_FALSE(common::simd::force_impl(Impl::kAvx2));
+    EXPECT_EQ(common::simd::active_impl(), Impl::kScalar);
+  }
+}
+
+TEST_F(SimdWordWalk, WalkMatchesHashKeyDefinition) {
+  // Whatever implementation is active, the batched walk must equal the
+  // one-at-a-time hash_key fold it factors: hash_key({a, b, index, tag})
+  // with the (a, b) prefix folded once.
+  const std::uint64_t a = 0x5eedULL;
+  const std::uint64_t b = 3;  // e.g. a bank
+  std::uint64_t prefix = common::hash_accumulate(common::kHashInit, a);
+  prefix = common::hash_accumulate(prefix, b);
+
+  const std::uint64_t tag = 42;
+  const std::uint64_t index0 = 1'000'000;
+  std::vector<std::uint64_t> out(133);
+  common::simd::hash_index_walk(prefix, tag, index0, out.size(), out.data());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], common::hash_key({a, b, index0 + i, tag})) << i;
+  }
+}
+
+TEST_F(SimdWordWalk, ScalarAndAvx2HashWalksMatchWordForWord) {
+  if (!common::simd::avx2_supported()) GTEST_SKIP() << "CPU lacks AVX2";
+  // Lengths straddle the 4-lane width (tails of 0..3) and the sizes the
+  // device model actually issues (64-bit polarity words, 1024-bit batches).
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{5}, std::size_t{64}, std::size_t{65},
+                              std::size_t{1024}}) {
+    std::vector<std::uint64_t> scalar(n), avx2(n);
+    std::vector<double> scalar_u(n), avx2_u(n);
+    ASSERT_TRUE(common::simd::force_impl(Impl::kScalar));
+    common::simd::hash_index_walk(0x1234, 7, 65'000, n, scalar.data());
+    common::simd::uniform_index_walk(0x1234, 7, 65'000, n, scalar_u.data());
+    ASSERT_TRUE(common::simd::force_impl(Impl::kAvx2));
+    common::simd::hash_index_walk(0x1234, 7, 65'000, n, avx2.data());
+    common::simd::uniform_index_walk(0x1234, 7, 65'000, n, avx2_u.data());
+    EXPECT_EQ(scalar, avx2) << "n=" << n;
+    EXPECT_EQ(scalar_u, avx2_u) << "n=" << n;  // exact: same bits, same dyadic
+  }
+}
+
+TEST_F(SimdWordWalk, CellUniformBatchMatchesPerBitDraws) {
+  const CellPhysics physics(small_profile());
+  constexpr std::uint32_t kBit0 = 5000;
+  constexpr std::uint32_t kCount = 300;
+  std::vector<double> batch(kCount);
+  for (const auto what :
+       {CellPhysics::CellDraw::kHammer, CellPhysics::CellDraw::kRetention,
+        CellPhysics::CellDraw::kTrcd, CellPhysics::CellDraw::kPolarity}) {
+    physics.cell_uniform_batch(0, 700, kBit0, kCount, what, batch.data());
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(batch[i], physics.cell_uniform(0, 700, kBit0 + i, what))
+          << "draw " << static_cast<int>(what) << " bit " << (kBit0 + i);
+    }
+  }
+}
+
+TEST_F(SimdWordWalk, PhysicsDerivedTablesMatchAcrossImpls) {
+  if (!common::simd::avx2_supported()) GTEST_SKIP() << "CPU lacks AVX2";
+  const CellPhysics physics(small_profile());
+
+  ASSERT_TRUE(common::simd::force_impl(Impl::kScalar));
+  const auto words_scalar = physics.charged_words(0, 321);
+  const auto index_scalar =
+      physics.build_flip_index(0, 321, CellPhysics::CellDraw::kHammer);
+  ASSERT_TRUE(common::simd::force_impl(Impl::kAvx2));
+  const auto words_avx2 = physics.charged_words(0, 321);
+  const auto index_avx2 =
+      physics.build_flip_index(0, 321, CellPhysics::CellDraw::kHammer);
+
+  EXPECT_EQ(words_scalar, words_avx2);
+  ASSERT_EQ(index_scalar.cells.size(), index_avx2.cells.size());
+  EXPECT_EQ(index_scalar.floor_u, index_avx2.floor_u);
+  for (std::size_t i = 0; i < index_scalar.cells.size(); ++i) {
+    EXPECT_EQ(index_scalar.cells[i].bit, index_avx2.cells[i].bit) << i;
+    EXPECT_EQ(index_scalar.cells[i].u, index_avx2.cells[i].u) << i;
+  }
+}
+
+/// Drive a module through hammer + retention + short-tRCD sensing and return
+/// the victim row's final bytes (mirrors the determinism suite's scenario).
+std::vector<std::uint8_t> run_device_scenario(Module& m, double vpp) {
+  m.set_trr_enabled(false);
+  m.set_vpp(vpp);
+  const std::uint32_t victim = 500;
+  const auto neighbors = m.mapping().physical_neighbors(victim);
+  EXPECT_TRUE(neighbors.valid);
+
+  double t = 100.0;
+  (void)m.debug_row_snapshot(0, victim, t);
+  EXPECT_TRUE(
+      m.hammer_pair(0, neighbors.below, neighbors.above, 150000, 46.0, t).ok());
+  EXPECT_TRUE(m.activate(0, victim, t).ok());
+  t += 35.0;
+  EXPECT_TRUE(m.precharge(0, t).ok());
+  t += 300e6;  // 300ms unrefreshed
+  EXPECT_TRUE(m.activate(0, victim, t).ok());
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    auto r = m.read(0, c, t + 2.0 + 0.1 * c);
+    EXPECT_TRUE(r.has_value());
+  }
+  t += 50.0;
+  EXPECT_TRUE(m.precharge(0, t).ok());
+  return m.debug_row_snapshot(0, victim, t);
+}
+
+class SimdWordWalkDevice : public ::testing::TestWithParam<double> {
+ protected:
+  void TearDown() override { common::simd::force_impl(std::nullopt); }
+};
+
+TEST_P(SimdWordWalkDevice, WholeDeviceRunsAreBitExactAcrossImpls) {
+  if (!common::simd::avx2_supported()) GTEST_SKIP() << "CPU lacks AVX2";
+  const double vpp = GetParam();
+  for (const bool reference_sensing : {false, true}) {
+    Module::Options options;
+    options.reference_sensing = reference_sensing;
+
+    ASSERT_TRUE(common::simd::force_impl(Impl::kScalar));
+    Module scalar(small_profile(), options);
+    const auto scalar_bytes = run_device_scenario(scalar, vpp);
+
+    ASSERT_TRUE(common::simd::force_impl(Impl::kAvx2));
+    Module avx2(small_profile(), options);
+    const auto avx2_bytes = run_device_scenario(avx2, vpp);
+
+    EXPECT_EQ(scalar_bytes, avx2_bytes)
+        << "vpp=" << vpp << " reference_sensing=" << reference_sensing;
+    EXPECT_TRUE(scalar.stats() == avx2.stats())
+        << "vpp=" << vpp << " reference_sensing=" << reference_sensing;
+  }
+}
+
+// Nominal, mid-sweep, and B3's VPPmin: the flip probability (and with it the
+// fast path vs full-scan mix) changes across these levels.
+INSTANTIATE_TEST_SUITE_P(VppLevels, SimdWordWalkDevice,
+                         ::testing::Values(2.5, 1.9, 1.6));
+
+}  // namespace
+}  // namespace vppstudy::dram

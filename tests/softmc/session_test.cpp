@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "chips/module_db.hpp"
+#include "common/units.hpp"
 #include "dram/data_pattern.hpp"
 
 namespace vppstudy::softmc {
@@ -124,6 +125,64 @@ TEST(Session, WaitWithAutoRefreshIssuesRefs) {
 TEST(Session, WaitWithoutRefreshIssuesNone) {
   Session s(small_profile());
   s.set_auto_refresh(false);
+  ASSERT_TRUE(s.wait_ms(5.0).ok());
+  EXPECT_EQ(s.module().stats().refreshes, 0u);
+}
+
+/// Hammer + marginal-tRCD reads + a long wait: enough activity to dirty the
+/// device, clock, counters, and timing history. Returns the victim's bytes.
+std::vector<std::uint8_t> dirty_the_rig(Session& s) {
+  EXPECT_TRUE(s.set_temperature(85.0).ok());
+  EXPECT_TRUE(s.set_vpp(1.7).ok());
+  s.set_noise_stream(123);
+  s.module().set_trr_enabled(false);
+  const auto image =
+      dram::pattern_row(dram::DataPattern::kCheckerAA, dram::kBytesPerRow);
+  EXPECT_TRUE(s.init_row(0, 500, image).ok());
+  EXPECT_TRUE(s.hammer_double_sided(0, 499, 501, 200000).ok());
+  (void)s.read_column_with_trcd(0, 500, 3, 6.0);
+  EXPECT_TRUE(s.wait_ms(200.0).ok());
+  auto bytes = s.read_row(0, 500);
+  EXPECT_TRUE(bytes.has_value());
+  return bytes.has_value() ? *bytes : std::vector<std::uint8_t>{};
+}
+
+TEST(Session, ResetForJobMatchesFreshSessionBitForBit) {
+  // The sweep engine's arena reuse stands on this: a session that already ran
+  // a full (and deliberately messy) job, once reset, must reproduce a fresh
+  // session's run exactly -- same bytes, same stats, same counters, same
+  // recorded violations, same clock.
+  Session reused(small_profile());
+  (void)dirty_the_rig(reused);
+  reused.enable_trace();
+  reused.reset_for_job();
+
+  Session fresh(small_profile());
+  const auto fresh_bytes = dirty_the_rig(fresh);
+  const auto reused_bytes = dirty_the_rig(reused);
+
+  EXPECT_EQ(fresh_bytes, reused_bytes);
+  EXPECT_TRUE(fresh.module().stats() == reused.module().stats());
+  EXPECT_EQ(fresh.counters(), reused.counters());
+  EXPECT_EQ(fresh.violations().size(), reused.violations().size());
+  EXPECT_DOUBLE_EQ(fresh.clock_ns(), reused.clock_ns());
+  EXPECT_EQ(reused.trace(), nullptr);  // reset detaches instrumentation
+}
+
+TEST(Session, ResetForJobRestoresRigDefaults) {
+  Session s(small_profile());
+  ASSERT_TRUE(s.set_vpp(2.0).ok());
+  ASSERT_TRUE(s.set_temperature(80.0).ok());
+  s.set_auto_refresh(true);
+  ASSERT_TRUE(s.wait_ms(1.0).ok());
+  ASSERT_GT(s.clock_ns(), 0.0);
+
+  s.reset_for_job();
+  EXPECT_DOUBLE_EQ(s.vpp(), common::kNominalVppV);
+  EXPECT_DOUBLE_EQ(s.clock_ns(), 0.0);
+  EXPECT_EQ(s.counters().total_commands(), 0u);
+  EXPECT_EQ(s.module().stats().refreshes, 0u);
+  // Auto-refresh is off again: a long wait issues no REFs.
   ASSERT_TRUE(s.wait_ms(5.0).ok());
   EXPECT_EQ(s.module().stats().refreshes, 0u);
 }
