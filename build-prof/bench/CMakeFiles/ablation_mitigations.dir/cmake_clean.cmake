@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mitigations.dir/ablation_mitigations.cpp.o"
+  "CMakeFiles/ablation_mitigations.dir/ablation_mitigations.cpp.o.d"
+  "ablation_mitigations"
+  "ablation_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_terms.dir/ablation_model_terms.cpp.o"
+  "CMakeFiles/ablation_model_terms.dir/ablation_model_terms.cpp.o.d"
+  "ablation_model_terms"
+  "ablation_model_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_refresh.dir/ablation_selective_refresh.cpp.o"
+  "CMakeFiles/ablation_selective_refresh.dir/ablation_selective_refresh.cpp.o.d"
+  "ablation_selective_refresh"
+  "ablation_selective_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_word_census.cpp" "bench/CMakeFiles/fig11_word_census.dir/fig11_word_census.cpp.o" "gcc" "bench/CMakeFiles/fig11_word_census.dir/fig11_word_census.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/bench/CMakeFiles/vpp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/core/CMakeFiles/vpp_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/harness/CMakeFiles/vpp_harness.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/softmc/CMakeFiles/vpp_softmc.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/ecc/CMakeFiles/vpp_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/chips/CMakeFiles/vpp_chips.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dram/CMakeFiles/vpp_dram.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/circuit/CMakeFiles/vpp_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

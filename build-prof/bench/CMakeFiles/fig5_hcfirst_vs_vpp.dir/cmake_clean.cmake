@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hcfirst_vs_vpp.dir/fig5_hcfirst_vs_vpp.cpp.o"
+  "CMakeFiles/fig5_hcfirst_vs_vpp.dir/fig5_hcfirst_vs_vpp.cpp.o.d"
+  "fig5_hcfirst_vs_vpp"
+  "fig5_hcfirst_vs_vpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hcfirst_vs_vpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hcfirst_density.dir/fig6_hcfirst_density.cpp.o"
+  "CMakeFiles/fig6_hcfirst_density.dir/fig6_hcfirst_density.cpp.o.d"
+  "fig6_hcfirst_density"
+  "fig6_hcfirst_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hcfirst_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

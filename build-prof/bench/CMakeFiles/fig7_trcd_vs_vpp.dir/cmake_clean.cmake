@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_trcd_vs_vpp.dir/fig7_trcd_vs_vpp.cpp.o"
+  "CMakeFiles/fig7_trcd_vs_vpp.dir/fig7_trcd_vs_vpp.cpp.o.d"
+  "fig7_trcd_vs_vpp"
+  "fig7_trcd_vs_vpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_trcd_vs_vpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

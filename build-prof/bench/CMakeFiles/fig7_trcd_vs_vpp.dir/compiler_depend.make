@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_trcd_vs_vpp.
+# This may be replaced when dependencies are built.

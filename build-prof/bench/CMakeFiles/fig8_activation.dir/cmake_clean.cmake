@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_activation.dir/fig8_activation.cpp.o"
+  "CMakeFiles/fig8_activation.dir/fig8_activation.cpp.o.d"
+  "fig8_activation"
+  "fig8_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

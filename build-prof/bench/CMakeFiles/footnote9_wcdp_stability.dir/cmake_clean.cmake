@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footnote9_wcdp_stability.dir/footnote9_wcdp_stability.cpp.o"
+  "CMakeFiles/footnote9_wcdp_stability.dir/footnote9_wcdp_stability.cpp.o.d"
+  "footnote9_wcdp_stability"
+  "footnote9_wcdp_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footnote9_wcdp_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

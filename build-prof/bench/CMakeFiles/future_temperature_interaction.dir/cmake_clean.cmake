@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_temperature_interaction.dir/future_temperature_interaction.cpp.o"
+  "CMakeFiles/future_temperature_interaction.dir/future_temperature_interaction.cpp.o.d"
+  "future_temperature_interaction"
+  "future_temperature_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_temperature_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

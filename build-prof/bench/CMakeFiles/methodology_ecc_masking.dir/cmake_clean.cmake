@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_ecc_masking.dir/methodology_ecc_masking.cpp.o"
+  "CMakeFiles/methodology_ecc_masking.dir/methodology_ecc_masking.cpp.o.d"
+  "methodology_ecc_masking"
+  "methodology_ecc_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_ecc_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

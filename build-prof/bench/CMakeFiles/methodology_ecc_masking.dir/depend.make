@@ -1,0 +1,2 @@
+# Empty dependencies file for methodology_ecc_masking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observations_summary.dir/observations_summary.cpp.o"
+  "CMakeFiles/observations_summary.dir/observations_summary.cpp.o.d"
+  "observations_summary"
+  "observations_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observations_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_on_time.dir/related_on_time.cpp.o"
+  "CMakeFiles/related_on_time.dir/related_on_time.cpp.o.d"
+  "related_on_time"
+  "related_on_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_on_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_characteristics.dir/table3_characteristics.cpp.o"
+  "CMakeFiles/table3_characteristics.dir/table3_characteristics.cpp.o.d"
+  "table3_characteristics"
+  "table3_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/vpp_bench_common.dir/bench_common.cpp.o.d"
+  "libvpp_bench_common.a"
+  "libvpp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_reveng.dir/adjacency_reveng.cpp.o"
+  "CMakeFiles/adjacency_reveng.dir/adjacency_reveng.cpp.o.d"
+  "adjacency_reveng"
+  "adjacency_reveng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_reveng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

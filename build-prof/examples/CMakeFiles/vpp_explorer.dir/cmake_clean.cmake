@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_explorer.dir/vpp_explorer.cpp.o"
+  "CMakeFiles/vpp_explorer.dir/vpp_explorer.cpp.o.d"
+  "vpp_explorer"
+  "vpp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

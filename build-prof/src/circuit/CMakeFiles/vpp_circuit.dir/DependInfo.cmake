@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/dram_cell.cpp" "src/circuit/CMakeFiles/vpp_circuit.dir/dram_cell.cpp.o" "gcc" "src/circuit/CMakeFiles/vpp_circuit.dir/dram_cell.cpp.o.d"
+  "/root/repo/src/circuit/matrix.cpp" "src/circuit/CMakeFiles/vpp_circuit.dir/matrix.cpp.o" "gcc" "src/circuit/CMakeFiles/vpp_circuit.dir/matrix.cpp.o.d"
+  "/root/repo/src/circuit/montecarlo.cpp" "src/circuit/CMakeFiles/vpp_circuit.dir/montecarlo.cpp.o" "gcc" "src/circuit/CMakeFiles/vpp_circuit.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/circuit/CMakeFiles/vpp_circuit.dir/mosfet.cpp.o" "gcc" "src/circuit/CMakeFiles/vpp_circuit.dir/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/vpp_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/vpp_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/solver.cpp" "src/circuit/CMakeFiles/vpp_circuit.dir/solver.cpp.o" "gcc" "src/circuit/CMakeFiles/vpp_circuit.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/vpp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

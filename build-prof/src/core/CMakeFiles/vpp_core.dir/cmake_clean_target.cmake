@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpp_core.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_dram.dir/data_pattern.cpp.o"
+  "CMakeFiles/vpp_dram.dir/data_pattern.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/energy.cpp.o"
+  "CMakeFiles/vpp_dram.dir/energy.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/mapping.cpp.o"
+  "CMakeFiles/vpp_dram.dir/mapping.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/mode_registers.cpp.o"
+  "CMakeFiles/vpp_dram.dir/mode_registers.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/module.cpp.o"
+  "CMakeFiles/vpp_dram.dir/module.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/physics.cpp.o"
+  "CMakeFiles/vpp_dram.dir/physics.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/timing.cpp.o"
+  "CMakeFiles/vpp_dram.dir/timing.cpp.o.d"
+  "CMakeFiles/vpp_dram.dir/trr.cpp.o"
+  "CMakeFiles/vpp_dram.dir/trr.cpp.o.d"
+  "libvpp_dram.a"
+  "libvpp_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

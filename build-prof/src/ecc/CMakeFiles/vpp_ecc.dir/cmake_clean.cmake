@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_ecc.dir/secded.cpp.o"
+  "CMakeFiles/vpp_ecc.dir/secded.cpp.o.d"
+  "CMakeFiles/vpp_ecc.dir/word_census.cpp.o"
+  "CMakeFiles/vpp_ecc.dir/word_census.cpp.o.d"
+  "libvpp_ecc.a"
+  "libvpp_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

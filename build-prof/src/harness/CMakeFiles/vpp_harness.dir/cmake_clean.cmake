@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_harness.dir/adjacency.cpp.o"
+  "CMakeFiles/vpp_harness.dir/adjacency.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/attack_patterns.cpp.o"
+  "CMakeFiles/vpp_harness.dir/attack_patterns.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/vpp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/recovery.cpp.o"
+  "CMakeFiles/vpp_harness.dir/recovery.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/retention_test.cpp.o"
+  "CMakeFiles/vpp_harness.dir/retention_test.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/rowhammer_test.cpp.o"
+  "CMakeFiles/vpp_harness.dir/rowhammer_test.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/trcd_test.cpp.o"
+  "CMakeFiles/vpp_harness.dir/trcd_test.cpp.o.d"
+  "CMakeFiles/vpp_harness.dir/wcdp.cpp.o"
+  "CMakeFiles/vpp_harness.dir/wcdp.cpp.o.d"
+  "libvpp_harness.a"
+  "libvpp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softmc/counters.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/counters.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/counters.cpp.o.d"
+  "/root/repo/src/softmc/dispatcher.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/dispatcher.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/softmc/fault_injector.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/fault_injector.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/softmc/power_rail.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/power_rail.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/power_rail.cpp.o.d"
+  "/root/repo/src/softmc/program.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/program.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/program.cpp.o.d"
+  "/root/repo/src/softmc/program_text.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/program_text.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/program_text.cpp.o.d"
+  "/root/repo/src/softmc/row_ops.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/row_ops.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/row_ops.cpp.o.d"
+  "/root/repo/src/softmc/session.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/session.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/session.cpp.o.d"
+  "/root/repo/src/softmc/thermal.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/thermal.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/thermal.cpp.o.d"
+  "/root/repo/src/softmc/timing_checker.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/timing_checker.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/timing_checker.cpp.o.d"
+  "/root/repo/src/softmc/trace_dump.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/trace_dump.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/trace_dump.cpp.o.d"
+  "/root/repo/src/softmc/trace_recorder.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/trace_recorder.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/trace_recorder.cpp.o.d"
+  "/root/repo/src/softmc/trace_replayer.cpp" "src/softmc/CMakeFiles/vpp_softmc.dir/trace_replayer.cpp.o" "gcc" "src/softmc/CMakeFiles/vpp_softmc.dir/trace_replayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dram/CMakeFiles/vpp_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_softmc.dir/counters.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/counters.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/dispatcher.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/fault_injector.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/power_rail.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/power_rail.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/program.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/program.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/program_text.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/program_text.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/row_ops.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/row_ops.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/session.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/session.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/thermal.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/thermal.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/timing_checker.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/timing_checker.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/trace_dump.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/trace_dump.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/trace_recorder.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/trace_recorder.cpp.o.d"
+  "CMakeFiles/vpp_softmc.dir/trace_replayer.cpp.o"
+  "CMakeFiles/vpp_softmc.dir/trace_replayer.cpp.o.d"
+  "libvpp_softmc.a"
+  "libvpp_softmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_softmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

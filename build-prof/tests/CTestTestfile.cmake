@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-prof/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-prof/tests/vpp_tests[1]_include.cmake")
+include("/root/repo/build-prof/tests/vpp_tests[2]_include.cmake")
+include("/root/repo/build-prof/tests/vpp_tests[3]_include.cmake")

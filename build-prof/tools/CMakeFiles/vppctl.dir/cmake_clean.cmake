@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppctl.dir/vppctl.cpp.o"
+  "CMakeFiles/vppctl.dir/vppctl.cpp.o.d"
+  "vppctl"
+  "vppctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_retention_ber.dir/fig10_retention_ber.cpp.o"
+  "CMakeFiles/fig10_retention_ber.dir/fig10_retention_ber.cpp.o.d"
+  "fig10_retention_ber"
+  "fig10_retention_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_retention_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_word_census.dir/fig11_word_census.cpp.o"
+  "CMakeFiles/fig11_word_census.dir/fig11_word_census.cpp.o.d"
+  "fig11_word_census"
+  "fig11_word_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_word_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ber_vs_vpp.dir/fig3_ber_vs_vpp.cpp.o"
+  "CMakeFiles/fig3_ber_vs_vpp.dir/fig3_ber_vs_vpp.cpp.o.d"
+  "fig3_ber_vs_vpp"
+  "fig3_ber_vs_vpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ber_vs_vpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

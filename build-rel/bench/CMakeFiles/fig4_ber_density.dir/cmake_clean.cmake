@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ber_density.dir/fig4_ber_density.cpp.o"
+  "CMakeFiles/fig4_ber_density.dir/fig4_ber_density.cpp.o.d"
+  "fig4_ber_density"
+  "fig4_ber_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ber_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_restoration.dir/fig9_restoration.cpp.o"
+  "CMakeFiles/fig9_restoration.dir/fig9_restoration.cpp.o.d"
+  "fig9_restoration"
+  "fig9_restoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_restoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_operating_points.dir/pareto_operating_points.cpp.o"
+  "CMakeFiles/pareto_operating_points.dir/pareto_operating_points.cpp.o.d"
+  "pareto_operating_points"
+  "pareto_operating_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_operating_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_cv.dir/stats_cv.cpp.o"
+  "CMakeFiles/stats_cv.dir/stats_cv.cpp.o.d"
+  "stats_cv"
+  "stats_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

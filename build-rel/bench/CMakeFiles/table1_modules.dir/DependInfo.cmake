@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_modules.cpp" "bench/CMakeFiles/table1_modules.dir/table1_modules.cpp.o" "gcc" "bench/CMakeFiles/table1_modules.dir/table1_modules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/bench/CMakeFiles/vpp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/core/CMakeFiles/vpp_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/harness/CMakeFiles/vpp_harness.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/softmc/CMakeFiles/vpp_softmc.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/ecc/CMakeFiles/vpp_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/chips/CMakeFiles/vpp_chips.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/dram/CMakeFiles/vpp_dram.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/circuit/CMakeFiles/vpp_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/stats/CMakeFiles/vpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_modules.dir/table1_modules.cpp.o"
+  "CMakeFiles/table1_modules.dir/table1_modules.cpp.o.d"
+  "table1_modules"
+  "table1_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_memory_controller.dir/secure_memory_controller.cpp.o"
+  "CMakeFiles/secure_memory_controller.dir/secure_memory_controller.cpp.o.d"
+  "secure_memory_controller"
+  "secure_memory_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_memory_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_waveforms.dir/spice_waveforms.cpp.o"
+  "CMakeFiles/spice_waveforms.dir/spice_waveforms.cpp.o.d"
+  "spice_waveforms"
+  "spice_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

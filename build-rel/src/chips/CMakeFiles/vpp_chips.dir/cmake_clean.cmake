@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_chips.dir/module_db.cpp.o"
+  "CMakeFiles/vpp_chips.dir/module_db.cpp.o.d"
+  "libvpp_chips.a"
+  "libvpp_chips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_chips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_circuit.dir/dram_cell.cpp.o"
+  "CMakeFiles/vpp_circuit.dir/dram_cell.cpp.o.d"
+  "CMakeFiles/vpp_circuit.dir/matrix.cpp.o"
+  "CMakeFiles/vpp_circuit.dir/matrix.cpp.o.d"
+  "CMakeFiles/vpp_circuit.dir/montecarlo.cpp.o"
+  "CMakeFiles/vpp_circuit.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/vpp_circuit.dir/mosfet.cpp.o"
+  "CMakeFiles/vpp_circuit.dir/mosfet.cpp.o.d"
+  "CMakeFiles/vpp_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/vpp_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/vpp_circuit.dir/solver.cpp.o"
+  "CMakeFiles/vpp_circuit.dir/solver.cpp.o.d"
+  "libvpp_circuit.a"
+  "libvpp_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_common.dir/csv.cpp.o"
+  "CMakeFiles/vpp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/vpp_common.dir/error.cpp.o"
+  "CMakeFiles/vpp_common.dir/error.cpp.o.d"
+  "CMakeFiles/vpp_common.dir/json.cpp.o"
+  "CMakeFiles/vpp_common.dir/json.cpp.o.d"
+  "CMakeFiles/vpp_common.dir/log.cpp.o"
+  "CMakeFiles/vpp_common.dir/log.cpp.o.d"
+  "CMakeFiles/vpp_common.dir/rng.cpp.o"
+  "CMakeFiles/vpp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vpp_common.dir/simd.cpp.o"
+  "CMakeFiles/vpp_common.dir/simd.cpp.o.d"
+  "CMakeFiles/vpp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/vpp_common.dir/thread_pool.cpp.o.d"
+  "libvpp_common.a"
+  "libvpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

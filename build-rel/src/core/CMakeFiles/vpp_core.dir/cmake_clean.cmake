@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_core.dir/export.cpp.o"
+  "CMakeFiles/vpp_core.dir/export.cpp.o.d"
+  "CMakeFiles/vpp_core.dir/parallel_study.cpp.o"
+  "CMakeFiles/vpp_core.dir/parallel_study.cpp.o.d"
+  "CMakeFiles/vpp_core.dir/resilient_study.cpp.o"
+  "CMakeFiles/vpp_core.dir/resilient_study.cpp.o.d"
+  "CMakeFiles/vpp_core.dir/study.cpp.o"
+  "CMakeFiles/vpp_core.dir/study.cpp.o.d"
+  "libvpp_core.a"
+  "libvpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/data_pattern.cpp" "src/dram/CMakeFiles/vpp_dram.dir/data_pattern.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/data_pattern.cpp.o.d"
+  "/root/repo/src/dram/energy.cpp" "src/dram/CMakeFiles/vpp_dram.dir/energy.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/energy.cpp.o.d"
+  "/root/repo/src/dram/mapping.cpp" "src/dram/CMakeFiles/vpp_dram.dir/mapping.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/mapping.cpp.o.d"
+  "/root/repo/src/dram/mode_registers.cpp" "src/dram/CMakeFiles/vpp_dram.dir/mode_registers.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/mode_registers.cpp.o.d"
+  "/root/repo/src/dram/module.cpp" "src/dram/CMakeFiles/vpp_dram.dir/module.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/module.cpp.o.d"
+  "/root/repo/src/dram/physics.cpp" "src/dram/CMakeFiles/vpp_dram.dir/physics.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/physics.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/dram/CMakeFiles/vpp_dram.dir/timing.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/timing.cpp.o.d"
+  "/root/repo/src/dram/trr.cpp" "src/dram/CMakeFiles/vpp_dram.dir/trr.cpp.o" "gcc" "src/dram/CMakeFiles/vpp_dram.dir/trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

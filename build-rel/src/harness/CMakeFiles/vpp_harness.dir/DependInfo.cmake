@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/adjacency.cpp" "src/harness/CMakeFiles/vpp_harness.dir/adjacency.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/adjacency.cpp.o.d"
+  "/root/repo/src/harness/attack_patterns.cpp" "src/harness/CMakeFiles/vpp_harness.dir/attack_patterns.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/attack_patterns.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/vpp_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/recovery.cpp" "src/harness/CMakeFiles/vpp_harness.dir/recovery.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/recovery.cpp.o.d"
+  "/root/repo/src/harness/retention_test.cpp" "src/harness/CMakeFiles/vpp_harness.dir/retention_test.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/retention_test.cpp.o.d"
+  "/root/repo/src/harness/rowhammer_test.cpp" "src/harness/CMakeFiles/vpp_harness.dir/rowhammer_test.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/rowhammer_test.cpp.o.d"
+  "/root/repo/src/harness/trcd_test.cpp" "src/harness/CMakeFiles/vpp_harness.dir/trcd_test.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/trcd_test.cpp.o.d"
+  "/root/repo/src/harness/wcdp.cpp" "src/harness/CMakeFiles/vpp_harness.dir/wcdp.cpp.o" "gcc" "src/harness/CMakeFiles/vpp_harness.dir/wcdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/stats/CMakeFiles/vpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/dram/CMakeFiles/vpp_dram.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/softmc/CMakeFiles/vpp_softmc.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/ecc/CMakeFiles/vpp_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

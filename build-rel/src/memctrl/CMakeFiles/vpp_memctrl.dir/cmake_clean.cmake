@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_memctrl.dir/controller.cpp.o"
+  "CMakeFiles/vpp_memctrl.dir/controller.cpp.o.d"
+  "CMakeFiles/vpp_memctrl.dir/mitigation.cpp.o"
+  "CMakeFiles/vpp_memctrl.dir/mitigation.cpp.o.d"
+  "CMakeFiles/vpp_memctrl.dir/retention_profiler.cpp.o"
+  "CMakeFiles/vpp_memctrl.dir/retention_profiler.cpp.o.d"
+  "libvpp_memctrl.a"
+  "libvpp_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

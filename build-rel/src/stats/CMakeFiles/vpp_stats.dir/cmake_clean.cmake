@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/vpp_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/vpp_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vpp_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vpp_stats.dir/inference.cpp.o"
+  "CMakeFiles/vpp_stats.dir/inference.cpp.o.d"
+  "CMakeFiles/vpp_stats.dir/kde.cpp.o"
+  "CMakeFiles/vpp_stats.dir/kde.cpp.o.d"
+  "libvpp_stats.a"
+  "libvpp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_workload.dir/runner.cpp.o"
+  "CMakeFiles/vpp_workload.dir/runner.cpp.o.d"
+  "CMakeFiles/vpp_workload.dir/trace.cpp.o"
+  "CMakeFiles/vpp_workload.dir/trace.cpp.o.d"
+  "libvpp_workload.a"
+  "libvpp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chips/module_db_test.cpp" "tests/CMakeFiles/vpp_tests.dir/chips/module_db_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/chips/module_db_test.cpp.o.d"
+  "/root/repo/tests/circuit/dram_cell_test.cpp" "tests/CMakeFiles/vpp_tests.dir/circuit/dram_cell_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/circuit/dram_cell_test.cpp.o.d"
+  "/root/repo/tests/circuit/matrix_test.cpp" "tests/CMakeFiles/vpp_tests.dir/circuit/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/circuit/matrix_test.cpp.o.d"
+  "/root/repo/tests/circuit/montecarlo_test.cpp" "tests/CMakeFiles/vpp_tests.dir/circuit/montecarlo_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/circuit/montecarlo_test.cpp.o.d"
+  "/root/repo/tests/circuit/mosfet_test.cpp" "tests/CMakeFiles/vpp_tests.dir/circuit/mosfet_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/circuit/mosfet_test.cpp.o.d"
+  "/root/repo/tests/circuit/solver_test.cpp" "tests/CMakeFiles/vpp_tests.dir/circuit/solver_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/circuit/solver_test.cpp.o.d"
+  "/root/repo/tests/common/csv_test.cpp" "tests/CMakeFiles/vpp_tests.dir/common/csv_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/expected_test.cpp" "tests/CMakeFiles/vpp_tests.dir/common/expected_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/common/expected_test.cpp.o.d"
+  "/root/repo/tests/common/json_parse_test.cpp" "tests/CMakeFiles/vpp_tests.dir/common/json_parse_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/common/json_parse_test.cpp.o.d"
+  "/root/repo/tests/common/result_test.cpp" "tests/CMakeFiles/vpp_tests.dir/common/result_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/common/result_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/vpp_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/vpp_tests.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/vpp_tests.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/export_test.cpp" "tests/CMakeFiles/vpp_tests.dir/core/export_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/core/export_test.cpp.o.d"
+  "/root/repo/tests/core/instrumentation_test.cpp" "tests/CMakeFiles/vpp_tests.dir/core/instrumentation_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/core/instrumentation_test.cpp.o.d"
+  "/root/repo/tests/core/parallel_study_test.cpp" "tests/CMakeFiles/vpp_tests.dir/core/parallel_study_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/core/parallel_study_test.cpp.o.d"
+  "/root/repo/tests/core/resilient_study_test.cpp" "tests/CMakeFiles/vpp_tests.dir/core/resilient_study_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/core/resilient_study_test.cpp.o.d"
+  "/root/repo/tests/core/study_test.cpp" "tests/CMakeFiles/vpp_tests.dir/core/study_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/core/study_test.cpp.o.d"
+  "/root/repo/tests/dram/blast_radius_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/blast_radius_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/blast_radius_test.cpp.o.d"
+  "/root/repo/tests/dram/mapping_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/mapping_test.cpp.o.d"
+  "/root/repo/tests/dram/mode_registers_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/mode_registers_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/mode_registers_test.cpp.o.d"
+  "/root/repo/tests/dram/module_fuzz_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/module_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/module_fuzz_test.cpp.o.d"
+  "/root/repo/tests/dram/module_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/module_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/module_test.cpp.o.d"
+  "/root/repo/tests/dram/on_time_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/on_time_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/on_time_test.cpp.o.d"
+  "/root/repo/tests/dram/physics_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/physics_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/physics_test.cpp.o.d"
+  "/root/repo/tests/dram/row_repair_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/row_repair_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/row_repair_test.cpp.o.d"
+  "/root/repo/tests/dram/sensing_equivalence_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/sensing_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/sensing_equivalence_test.cpp.o.d"
+  "/root/repo/tests/dram/simd_word_walk_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/simd_word_walk_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/simd_word_walk_test.cpp.o.d"
+  "/root/repo/tests/dram/timing_pattern_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/timing_pattern_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/timing_pattern_test.cpp.o.d"
+  "/root/repo/tests/dram/trr_test.cpp" "tests/CMakeFiles/vpp_tests.dir/dram/trr_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/dram/trr_test.cpp.o.d"
+  "/root/repo/tests/ecc/secded_test.cpp" "tests/CMakeFiles/vpp_tests.dir/ecc/secded_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/ecc/secded_test.cpp.o.d"
+  "/root/repo/tests/ecc/word_census_test.cpp" "tests/CMakeFiles/vpp_tests.dir/ecc/word_census_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/ecc/word_census_test.cpp.o.d"
+  "/root/repo/tests/harness/adjacency_test.cpp" "tests/CMakeFiles/vpp_tests.dir/harness/adjacency_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/harness/adjacency_test.cpp.o.d"
+  "/root/repo/tests/harness/attack_patterns_test.cpp" "tests/CMakeFiles/vpp_tests.dir/harness/attack_patterns_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/harness/attack_patterns_test.cpp.o.d"
+  "/root/repo/tests/harness/rowhammer_test_test.cpp" "tests/CMakeFiles/vpp_tests.dir/harness/rowhammer_test_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/harness/rowhammer_test_test.cpp.o.d"
+  "/root/repo/tests/harness/trcd_retention_test.cpp" "tests/CMakeFiles/vpp_tests.dir/harness/trcd_retention_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/harness/trcd_retention_test.cpp.o.d"
+  "/root/repo/tests/memctrl/controller_test.cpp" "tests/CMakeFiles/vpp_tests.dir/memctrl/controller_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/memctrl/controller_test.cpp.o.d"
+  "/root/repo/tests/memctrl/mitigation_test.cpp" "tests/CMakeFiles/vpp_tests.dir/memctrl/mitigation_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/memctrl/mitigation_test.cpp.o.d"
+  "/root/repo/tests/memctrl/page_policy_test.cpp" "tests/CMakeFiles/vpp_tests.dir/memctrl/page_policy_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/memctrl/page_policy_test.cpp.o.d"
+  "/root/repo/tests/properties/circuit_properties_test.cpp" "tests/CMakeFiles/vpp_tests.dir/properties/circuit_properties_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/properties/circuit_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/module_properties_test.cpp" "tests/CMakeFiles/vpp_tests.dir/properties/module_properties_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/properties/module_properties_test.cpp.o.d"
+  "/root/repo/tests/softmc/fault_injector_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/fault_injector_test.cpp.o.d"
+  "/root/repo/tests/softmc/observer_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/observer_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/observer_test.cpp.o.d"
+  "/root/repo/tests/softmc/program_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/program_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/program_test.cpp.o.d"
+  "/root/repo/tests/softmc/program_text_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/program_text_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/program_text_test.cpp.o.d"
+  "/root/repo/tests/softmc/rig_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/rig_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/rig_test.cpp.o.d"
+  "/root/repo/tests/softmc/session_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/session_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/session_test.cpp.o.d"
+  "/root/repo/tests/softmc/timing_checker_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/timing_checker_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/timing_checker_test.cpp.o.d"
+  "/root/repo/tests/softmc/trace_replay_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/trace_replay_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/trace_replay_test.cpp.o.d"
+  "/root/repo/tests/softmc/trace_ring_test.cpp" "tests/CMakeFiles/vpp_tests.dir/softmc/trace_ring_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/softmc/trace_ring_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/vpp_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/vpp_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/inference_test.cpp" "tests/CMakeFiles/vpp_tests.dir/stats/inference_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/stats/inference_test.cpp.o.d"
+  "/root/repo/tests/stats/kde_test.cpp" "tests/CMakeFiles/vpp_tests.dir/stats/kde_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/stats/kde_test.cpp.o.d"
+  "/root/repo/tests/workload/workload_test.cpp" "tests/CMakeFiles/vpp_tests.dir/workload/workload_test.cpp.o" "gcc" "tests/CMakeFiles/vpp_tests.dir/workload/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/vpp_common.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/stats/CMakeFiles/vpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/circuit/CMakeFiles/vpp_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/ecc/CMakeFiles/vpp_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/dram/CMakeFiles/vpp_dram.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/softmc/CMakeFiles/vpp_softmc.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/chips/CMakeFiles/vpp_chips.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/harness/CMakeFiles/vpp_harness.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/memctrl/CMakeFiles/vpp_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/workload/CMakeFiles/vpp_workload.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/core/CMakeFiles/vpp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
