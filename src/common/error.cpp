@@ -19,6 +19,12 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kParseError: return "kParseError";
     case ErrorCode::kNoUsableLevels: return "kNoUsableLevels";
     case ErrorCode::kEmptySample: return "kEmptySample";
+    case ErrorCode::kIoError: return "kIoError";
+    case ErrorCode::kFrameTooLarge: return "kFrameTooLarge";
+    case ErrorCode::kUnknownRequest: return "kUnknownRequest";
+    case ErrorCode::kQueueFull: return "kQueueFull";
+    case ErrorCode::kQuotaExceeded: return "kQuotaExceeded";
+    case ErrorCode::kCancelled: return "kCancelled";
   }
   return "kUnknown";
 }
@@ -31,7 +37,10 @@ ErrorCode error_code_from_name(std::string_view name) noexcept {
       ErrorCode::kBadRowImage,    ErrorCode::kReadUnderrun,
       ErrorCode::kDeviceProtocol, ErrorCode::kSolverDiverged,
       ErrorCode::kParseError,     ErrorCode::kNoUsableLevels,
-      ErrorCode::kEmptySample,
+      ErrorCode::kEmptySample,    ErrorCode::kIoError,
+      ErrorCode::kFrameTooLarge,  ErrorCode::kUnknownRequest,
+      ErrorCode::kQueueFull,      ErrorCode::kQuotaExceeded,
+      ErrorCode::kCancelled,
   };
   for (const ErrorCode code : kAll) {
     if (error_code_name(code) == name) return code;

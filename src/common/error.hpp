@@ -46,6 +46,19 @@ enum class ErrorCode : std::uint8_t {
   kNoUsableLevels,
   /// Row sampling produced an empty set.
   kEmptySample,
+  /// A socket/file operation failed (connect, accept, short read/write).
+  kIoError,
+  /// A protocol frame declared a length above the server's cap, or a frame
+  /// ended mid-payload (src/server/protocol.hpp).
+  kFrameTooLarge,
+  /// A well-formed request named a type the daemon does not serve.
+  kUnknownRequest,
+  /// The daemon's bounded job queue is full (backpressure, try again later).
+  kQueueFull,
+  /// One client exceeded its in-flight request quota.
+  kQuotaExceeded,
+  /// The request was cancelled before it completed.
+  kCancelled,
 };
 
 /// Stable short name, e.g. "kVppOutOfRange".

@@ -1,0 +1,136 @@
+#include "common/socket.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vppstudy::common {
+
+namespace {
+
+Error io_error(const char* what) {
+  return Error{ErrorCode::kIoError,
+               std::string(what) + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::send_all(const void* data, std::size_t len) const {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must surface as a
+    // typed kIoError on this connection, not SIGPIPE the whole daemon.
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+Status Socket::recv_exact(void* data, std::size_t len, bool* clean_eof) const {
+  if (clean_eof != nullptr) *clean_eof = false;
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::ok_status();
+      }
+      return Error{ErrorCode::kIoError, "connection closed mid-message"};
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+void Socket::shutdown_both() const noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ServerSocket> ServerSocket::listen_loopback(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return io_error("socket");
+
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return io_error("bind");
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) return io_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return io_error("getsockname");
+  }
+  return ServerSocket(std::move(sock), ntohs(bound.sin_port));
+}
+
+Result<Socket> ServerSocket::accept() const {
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return io_error("accept");
+  }
+}
+
+Result<Socket> connect_loopback(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return io_error("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return io_error("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace vppstudy::common

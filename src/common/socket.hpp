@@ -1,0 +1,79 @@
+// Minimal RAII TCP sockets for the vppd daemon and its clients.
+//
+// Loopback-only by design: the daemon serves the deterministic
+// characterization cache to local tooling, so the listener binds
+// 127.0.0.1 and never a routable interface. All failures surface as typed
+// kIoError Results; partial reads/writes are retried until complete
+// (send_all / recv_exact), and EOF mid-message is an error while EOF at a
+// message boundary is a clean close (recv_exact's `clean_eof` out-param).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hpp"
+
+namespace vppstudy::common {
+
+/// Move-only owner of one connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Write the whole buffer (retrying short writes; SIGPIPE suppressed).
+  [[nodiscard]] Status send_all(const void* data, std::size_t len) const;
+
+  /// Read exactly `len` bytes. EOF before the first byte sets *clean_eof
+  /// (when non-null) and returns ok with nothing read -- the caller decides
+  /// whether a close at this boundary is clean; EOF mid-buffer is kIoError.
+  [[nodiscard]] Status recv_exact(void* data, std::size_t len,
+                                  bool* clean_eof = nullptr) const;
+
+  /// Disallow further reads and writes (wakes a thread blocked in recv).
+  void shutdown_both() const noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. `port = 0` picks an ephemeral port;
+/// port() reports the actual one.
+class ServerSocket {
+ public:
+  [[nodiscard]] static Result<ServerSocket> listen_loopback(
+      std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block for the next connection; kIoError once the socket is closed
+  /// (the accept loop's shutdown path).
+  [[nodiscard]] Result<Socket> accept() const;
+
+  void close() noexcept { socket_.close(); }
+  /// Wake a thread blocked in accept() without destroying the object.
+  void shutdown() const noexcept { socket_.shutdown_both(); }
+
+ private:
+  ServerSocket(Socket socket, std::uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a loopback port.
+[[nodiscard]] Result<Socket> connect_loopback(std::uint16_t port);
+
+}  // namespace vppstudy::common

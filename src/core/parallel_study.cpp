@@ -77,16 +77,6 @@ struct SessionArena {
 /// drains still-queued jobs, and those jobs touch their worker's arena.
 using Arenas = common::WorkerLocal<SessionArena>;
 
-/// Sample the campaign's rows without standing up a device: RowSampling only
-/// consults the logical->physical mapping, which is a pure function of the
-/// profile (dram::Module builds its own mapping from the same three fields).
-std::vector<std::uint32_t> sample_rows(const dram::ModuleProfile& profile,
-                                       const harness::RowSampling& sampling) {
-  const dram::RowMapping mapping(dram::scheme_for(profile.mfr),
-                                 profile.rows_per_bank, profile.row_repairs);
-  return sampling.sample(mapping);
-}
-
 /// A [begin, end) index range into the sampled row list.
 struct ShardSpec {
   std::size_t begin = 0;
@@ -114,19 +104,32 @@ common::Status setup_shard_session(softmc::Session& session, double temp_c,
   return session.set_vpp(vpp_v);
 }
 
-/// Output of a per-module WCDP job (phase A of the RowHammer campaign).
-/// Never sharded: the WCDP pass is one sweep over all rows at nominal VPP,
-/// so it keeps the whole-cell job_stream_seed keying.
+/// Per-module WCDP prep plus the shared row sample it is parallel to
+/// (phase A of the RowHammer campaign). Never sharded: the WCDP pass is one
+/// sweep over all rows at nominal VPP, so it keeps the whole-cell
+/// job_stream_seed keying.
 struct HammerPrep {
   std::shared_ptr<const std::vector<std::uint32_t>> rows;
-  std::vector<dram::DataPattern> wcdp;
-  softmc::CommandCounts counts;  ///< the prep session's instrumentation
+  WcdpPrep prep;
 };
 
-common::Expected<HammerPrep> wcdp_job(
-    softmc::Session& session, const SweepConfig& sweep,
-    std::uint64_t base_seed, double nominal_vpp,
-    std::shared_ptr<const std::vector<std::uint32_t>> rows) {
+}  // namespace
+
+std::vector<std::uint32_t> sample_campaign_rows(
+    const dram::ModuleProfile& profile, const harness::RowSampling& sampling) {
+  // RowSampling only consults the logical->physical mapping, which is a pure
+  // function of the profile (dram::Module builds its own mapping from the
+  // same three fields) -- no device needed.
+  const dram::RowMapping mapping(dram::scheme_for(profile.mfr),
+                                 profile.rows_per_bank, profile.row_repairs);
+  return sampling.sample(mapping);
+}
+
+common::Expected<WcdpPrep> run_wcdp_prep(softmc::Session& session,
+                                         const SweepConfig& sweep,
+                                         std::uint64_t seed,
+                                         double nominal_vpp,
+                                         std::span<const std::uint32_t> rows) {
   const dram::ModuleProfile& profile = session.module().profile();
   if (auto st = setup_shard_session(session, common::kHammerTestTempC,
                                     nominal_vpp);
@@ -134,57 +137,54 @@ common::Expected<HammerPrep> wcdp_job(
     return std::move(st).error().with_module(profile.name).with_context(
         "wcdp job setup");
   }
-  session.set_noise_stream(job_stream_seed(base_seed, profile.seed,
+  session.set_noise_stream(job_stream_seed(seed, profile.seed,
                                            vpp_millivolts(nominal_vpp),
                                            JobPhase::kWcdp));
-  HammerPrep prep;
-  prep.rows = std::move(rows);
+  WcdpPrep prep;
   if (sweep.determine_wcdp) {
-    auto wcdp = harness::find_wcdp_hammer_rows(session, sweep.sampling.bank,
-                                               *prep.rows);
+    auto wcdp = harness::find_wcdp_hammer_rows(
+        session, sweep.sampling.bank,
+        std::vector<std::uint32_t>(rows.begin(), rows.end()));
     if (!wcdp) {
       return std::move(wcdp).error().with_module(profile.name).with_context(
           "wcdp determination");
     }
     prep.wcdp = std::move(*wcdp);
   } else {
-    prep.wcdp.assign(prep.rows->size(), dram::DataPattern::kCheckerAA);
+    prep.wcdp.assign(rows.size(), dram::DataPattern::kCheckerAA);
   }
   prep.counts = session.counters();
   return prep;
 }
 
-/// Phase B of the RowHammer campaign: one row-range shard of a
-/// (module, VPP level) cell.
-struct HammerShard {
-  std::vector<harness::RowHammerRowResult> rows;
-  softmc::CommandCounts counts;
-};
-
-common::Expected<HammerShard> hammer_shard_job(softmc::Session& session,
-                                               const SweepConfig& sweep,
-                                               std::uint64_t seed, double vpp_v,
-                                               const HammerPrep& prep,
-                                               ShardSpec shard) {
+common::Expected<HammerCell> run_hammer_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp,
+    const common::CancelToken& cancel) {
   const dram::ModuleProfile& profile = session.module().profile();
+  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   if (auto st =
           setup_shard_session(session, common::kHammerTestTempC, vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
         .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
         .with_context("hammer shard setup");
   }
-  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   harness::RowHammerTest test(session, sweep.hammer);
-  HammerShard out;
-  out.rows.reserve(shard.end - shard.begin);
-  for (std::size_t i = shard.begin; i < shard.end; ++i) {
-    const std::uint32_t row = (*prep.rows)[i];
+  HammerCell out;
+  out.rows.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (cancel.cancelled()) {
+      return Error{ErrorCode::kCancelled, "hammer shard cancelled"}
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
     session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
-                                             JobPhase::kRowHammer, row));
-    auto r = test.test_row(sweep.sampling.bank, row, prep.wcdp[i]);
+                                             JobPhase::kRowHammer, rows[i]));
+    auto r = test.test_row(sweep.sampling.bank, rows[i], wcdp[i]);
     if (!r) {
       return std::move(r)
           .error()
@@ -197,35 +197,34 @@ common::Expected<HammerShard> hammer_shard_job(softmc::Session& session,
   return out;
 }
 
-/// One row-range shard of a (module, VPP level) tRCD cell. Returns per-row
-/// results; the coordinator takes the module-level max (Table 3 semantics)
-/// across shards in fixed order.
-struct TrcdShard {
-  std::vector<harness::TrcdRowResult> rows;
-  softmc::CommandCounts counts;
-};
-
-common::Expected<TrcdShard> trcd_shard_job(
-    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
-    double vpp_v, const std::vector<std::uint32_t>& rows, ShardSpec shard) {
+common::Expected<TrcdCell> run_trcd_rows(softmc::Session& session,
+                                         const SweepConfig& sweep,
+                                         std::uint64_t seed, double vpp_v,
+                                         std::span<const std::uint32_t> rows,
+                                         const common::CancelToken& cancel) {
   const dram::ModuleProfile& profile = session.module().profile();
+  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   if (auto st =
           setup_shard_session(session, common::kHammerTestTempC, vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
         .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
         .with_context("trcd shard setup");
   }
-  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   harness::TrcdTest test(session, sweep.trcd);
-  TrcdShard out;
-  out.rows.reserve(shard.end - shard.begin);
-  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+  TrcdCell out;
+  out.rows.reserve(rows.size());
+  for (const std::uint32_t row : rows) {
+    if (cancel.cancelled()) {
+      return Error{ErrorCode::kCancelled, "trcd shard cancelled"}
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
     session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
-                                             JobPhase::kTrcd, rows[i]));
-    auto r = test.test_row(sweep.sampling.bank, rows[i],
+                                             JobPhase::kTrcd, row));
+    auto r = test.test_row(sweep.sampling.bank, row,
                            dram::DataPattern::kCheckerAA);
     if (!r) {
       return std::move(r)
@@ -239,36 +238,34 @@ common::Expected<TrcdShard> trcd_shard_job(
   return out;
 }
 
-/// One row-range shard of a (module, VPP level) retention cell. Returns
-/// per-row results; the coordinator computes the across-rows window means
-/// and reference-window BERs in fixed row order.
-struct RetentionShard {
-  std::vector<harness::RetentionRowResult> rows;
-  softmc::CommandCounts counts;
-};
-
-common::Expected<RetentionShard> retention_shard_job(
+common::Expected<RetentionCell> run_retention_rows(
     softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
-    double vpp_v, const std::vector<std::uint32_t>& rows, ShardSpec shard) {
+    double vpp_v, std::span<const std::uint32_t> rows,
+    const common::CancelToken& cancel) {
   // Retention tests run at 80C (section 4.1).
   const dram::ModuleProfile& profile = session.module().profile();
+  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   if (auto st =
           setup_shard_session(session, common::kRetentionTestTempC, vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
         .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_millivolts(vpp_v)))
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
         .with_context("retention shard setup");
   }
-  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
   harness::RetentionTest test(session, sweep.retention);
-  RetentionShard out;
-  out.rows.reserve(shard.end - shard.begin);
-  for (std::size_t i = shard.begin; i < shard.end; ++i) {
+  RetentionCell out;
+  out.rows.reserve(rows.size());
+  for (const std::uint32_t row : rows) {
+    if (cancel.cancelled()) {
+      return Error{ErrorCode::kCancelled, "retention shard cancelled"}
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
     session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
-                                             JobPhase::kRetention, rows[i]));
-    auto r = test.test_row(sweep.sampling.bank, rows[i],
+                                             JobPhase::kRetention, row));
+    auto r = test.test_row(sweep.sampling.bank, row,
                            dram::DataPattern::kCheckerAA);
     if (!r) {
       return std::move(r)
@@ -281,8 +278,6 @@ common::Expected<RetentionShard> retention_shard_job(
   out.counts = session.counters();
   return out;
 }
-
-}  // namespace
 
 ParallelStudy::ParallelStudy(StudyConfig config) : config_(std::move(config)) {}
 
@@ -298,7 +293,7 @@ ParallelStudy::rowhammer_sweeps() {
     std::future<common::Expected<HammerPrep>> prep;
     std::shared_ptr<const HammerPrep> ready;
     /// per_level[level][shard], in submission (= assembly) order.
-    std::vector<std::vector<std::future<common::Expected<HammerShard>>>>
+    std::vector<std::vector<std::future<common::Expected<HammerCell>>>>
         per_level;
   };
 
@@ -315,7 +310,7 @@ ParallelStudy::rowhammer_sweeps() {
                    "no usable VPP levels for module " + profile.name}
           .with_module(profile.name);
     }
-    auto rows = sample_rows(profile, sweep.sampling);
+    auto rows = sample_campaign_rows(profile, sweep.sampling);
     if (rows.empty()) {
       return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
           .with_module(profile.name);
@@ -335,9 +330,11 @@ ParallelStudy::rowhammer_sweeps() {
     const double nominal = plans[m].levels.front();
     plans[m].prep = pool.submit(
         [&arenas, &pool, &profile, &sweep, seed, nominal, m,
-         rows = plans[m].rows] {
-          return wcdp_job(arenas.local(pool).acquire(m, profile), sweep, seed,
-                          nominal, rows);
+         rows = plans[m].rows]() -> common::Expected<HammerPrep> {
+          auto prep = run_wcdp_prep(arenas.local(pool).acquire(m, profile),
+                                    sweep, seed, nominal, *rows);
+          if (!prep) return std::move(prep).error();
+          return HammerPrep{rows, std::move(*prep)};
         });
   }
 
@@ -353,9 +350,14 @@ ParallelStudy::rowhammer_sweeps() {
       for (const ShardSpec shard : plans[m].shards) {
         plans[m].per_level[l].push_back(pool.submit(
             [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
-             prep = plans[m].ready] {
-              return hammer_shard_job(arenas.local(pool).acquire(m, profile),
-                                      sweep, seed, vpp, *prep, shard);
+             cancel = config_.cancel, prep = plans[m].ready] {
+              return run_hammer_rows(
+                  arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
+                  std::span(*prep->rows).subspan(shard.begin,
+                                                 shard.end - shard.begin),
+                  std::span(prep->prep.wcdp)
+                      .subspan(shard.begin, shard.end - shard.begin),
+                  cancel);
             }));
       }
     }
@@ -374,10 +376,10 @@ ParallelStudy::rowhammer_sweeps() {
     result.vppmin_v = profile.vppmin_v;
     result.vpp_levels = plans[m].levels;
     result.rows.resize(rows.size());
-    result.instrumentation.add_job(plans[m].ready->counts);
+    result.instrumentation.add_job(plans[m].ready->prep.counts);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       result.rows[i].row = rows[i];
-      result.rows[i].wcdp = plans[m].ready->wcdp[i];
+      result.rows[i].wcdp = plans[m].ready->prep.wcdp[i];
     }
     for (auto& level : plans[m].per_level) {
       for (std::size_t s = 0; s < level.size(); ++s) {
@@ -405,7 +407,7 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
     std::vector<double> levels;
     std::shared_ptr<const std::vector<std::uint32_t>> rows;
     std::vector<ShardSpec> shards;
-    std::vector<std::vector<std::future<common::Expected<TrcdShard>>>> cells;
+    std::vector<std::vector<std::future<common::Expected<TrcdCell>>>> cells;
   };
   std::vector<ModulePlan> plans(config_.modules.size());
   std::size_t planned_jobs = 0;
@@ -417,7 +419,7 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
                    "no usable VPP levels for module " + profile.name}
           .with_module(profile.name);
     }
-    auto rows = sample_rows(profile, sweep.sampling);
+    auto rows = sample_campaign_rows(profile, sweep.sampling);
     if (rows.empty()) {
       return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
           .with_module(profile.name);
@@ -439,9 +441,12 @@ common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
       for (const ShardSpec shard : plans[m].shards) {
         plans[m].cells[l].push_back(pool.submit(
             [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
-             rows = plans[m].rows] {
-              return trcd_shard_job(arenas.local(pool).acquire(m, profile),
-                                    sweep, seed, vpp, *rows, shard);
+             cancel = config_.cancel, rows = plans[m].rows] {
+              return run_trcd_rows(
+                  arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
+                  std::span(*rows).subspan(shard.begin,
+                                           shard.end - shard.begin),
+                  cancel);
             }));
       }
     }
@@ -483,7 +488,7 @@ ParallelStudy::retention_sweeps() {
     std::vector<double> levels;
     std::shared_ptr<const std::vector<std::uint32_t>> rows;
     std::vector<ShardSpec> shards;
-    std::vector<std::vector<std::future<common::Expected<RetentionShard>>>>
+    std::vector<std::vector<std::future<common::Expected<RetentionCell>>>>
         cells;
   };
   std::vector<ModulePlan> plans(config_.modules.size());
@@ -496,7 +501,7 @@ ParallelStudy::retention_sweeps() {
                    "no usable VPP levels for module " + profile.name}
           .with_module(profile.name);
     }
-    auto rows = sample_rows(profile, sweep.sampling);
+    auto rows = sample_campaign_rows(profile, sweep.sampling);
     if (rows.empty()) {
       return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
           .with_module(profile.name);
@@ -518,10 +523,12 @@ ParallelStudy::retention_sweeps() {
       for (const ShardSpec shard : plans[m].shards) {
         plans[m].cells[l].push_back(pool.submit(
             [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
-             rows = plans[m].rows] {
-              return retention_shard_job(
+             cancel = config_.cancel, rows = plans[m].rows] {
+              return run_retention_rows(
                   arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
-                  *rows, shard);
+                  std::span(*rows).subspan(shard.begin,
+                                           shard.end - shard.begin),
+                  cancel);
             }));
       }
     }

@@ -25,11 +25,17 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/expected.hpp"
 #include "core/study.hpp"
 #include "dram/profile.hpp"
+
+namespace vppstudy::softmc {
+class Session;
+}  // namespace vppstudy::softmc
 
 namespace vppstudy::core {
 
@@ -55,6 +61,12 @@ struct StudyConfig {
   /// behavior). Pure performance knob: per-row noise streams make results
   /// bit-identical at any value.
   std::uint32_t rows_per_shard = 4;
+  /// Cooperative cancellation: shard jobs poll this between sampled rows and
+  /// fail with kCancelled, so a cancelled campaign drains in at most one
+  /// row's worth of work per in-flight shard. Rows finished before the
+  /// cancel are complete and valid (never torn) -- the vppd result cache
+  /// relies on that. Default token never cancels.
+  common::CancelToken cancel;
 };
 
 /// The experiment family a job belongs to; part of its stream key so the
@@ -85,6 +97,68 @@ enum class JobPhase : std::uint64_t {
                                             std::uint64_t vpp_mv,
                                             JobPhase phase,
                                             std::uint32_t row) noexcept;
+
+// --- Shard-level building blocks ---------------------------------------------
+// The engine below and the vppd characterization service both compose
+// campaigns from these: one function call computes one row-range slice of a
+// (module, VPP level) grid cell on a caller-provided session, with every
+// random quantity keyed per row (row_stream_seed). Because results are pure
+// functions of the row keys, a caller may regroup rows into any slices --
+// the vppd cache computes exactly the uncovered rows of a request and the
+// output is bit-identical to a full in-process sweep.
+
+/// Concrete row addresses a campaign samples on `profile`: a pure function
+/// of (profile, sampling) that needs no device, so servers and cache-key
+/// derivation can call it cheaply.
+[[nodiscard]] std::vector<std::uint32_t> sample_campaign_rows(
+    const dram::ModuleProfile& profile, const harness::RowSampling& sampling);
+
+/// Output of the per-module WCDP determination pass (phase A of the
+/// RowHammer campaign, section 4.1): the worst-case data pattern of each
+/// sampled row at nominal VPP, parallel to the input rows.
+struct WcdpPrep {
+  std::vector<dram::DataPattern> wcdp;
+  softmc::CommandCounts counts;  ///< the prep session's instrumentation
+};
+
+[[nodiscard]] common::Expected<WcdpPrep> run_wcdp_prep(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double nominal_vpp, std::span<const std::uint32_t> rows);
+
+/// One row-range slice of a (module, VPP level) RowHammer cell. `wcdp` is
+/// parallel to `rows`. Polls `cancel` before each row.
+struct HammerCell {
+  std::vector<harness::RowHammerRowResult> rows;
+  softmc::CommandCounts counts;
+};
+
+[[nodiscard]] common::Expected<HammerCell> run_hammer_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp,
+    const common::CancelToken& cancel = {});
+
+/// One row-range slice of a (module, VPP level) tRCD cell (Alg. 2).
+struct TrcdCell {
+  std::vector<harness::TrcdRowResult> rows;
+  softmc::CommandCounts counts;
+};
+
+[[nodiscard]] common::Expected<TrcdCell> run_trcd_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, std::span<const std::uint32_t> rows,
+    const common::CancelToken& cancel = {});
+
+/// One row-range slice of a (module, VPP level) retention cell (Alg. 3).
+struct RetentionCell {
+  std::vector<harness::RetentionRowResult> rows;
+  softmc::CommandCounts counts;
+};
+
+[[nodiscard]] common::Expected<RetentionCell> run_retention_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, std::span<const std::uint32_t> rows,
+    const common::CancelToken& cancel = {});
 
 class ParallelStudy {
  public:

@@ -20,6 +20,12 @@ FaultClass classify_error(common::ErrorCode code) noexcept {
     case ErrorCode::kReadUnderrun:
     case ErrorCode::kDeviceProtocol:
       return FaultClass::kTransient;
+    // A failed socket write or a momentarily full daemon queue is worth a
+    // retry; the rest of the server-layer codes describe requests that
+    // cannot succeed as issued.
+    case ErrorCode::kIoError:
+    case ErrorCode::kQueueFull:
+      return FaultClass::kTransient;
     case ErrorCode::kInvalidArgument:
     case ErrorCode::kVppOutOfRange:
     case ErrorCode::kBadRowImage:
@@ -27,6 +33,10 @@ FaultClass classify_error(common::ErrorCode code) noexcept {
     case ErrorCode::kParseError:
     case ErrorCode::kNoUsableLevels:
     case ErrorCode::kEmptySample:
+    case ErrorCode::kFrameTooLarge:
+    case ErrorCode::kUnknownRequest:
+    case ErrorCode::kQuotaExceeded:
+    case ErrorCode::kCancelled:
       return FaultClass::kPersistent;
   }
   return FaultClass::kTransient;

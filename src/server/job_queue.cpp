@@ -1,0 +1,124 @@
+#include "server/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vppstudy::server {
+
+using common::Error;
+using common::ErrorCode;
+
+JobQueue::JobQueue(Config config) : config_(config) {
+  const unsigned n = std::max(1u, config_.dispatchers);
+  dispatchers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+JobQueue::~JobQueue() { shutdown(); }
+
+common::Status JobQueue::submit(std::uint64_t client_id,
+                                std::uint64_t request_id, Job job) {
+  std::lock_guard lock(mu_);
+  if (stopping_) {
+    return Error{ErrorCode::kCancelled, "job queue is shutting down"};
+  }
+  if (in_flight_.count({client_id, request_id}) != 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "request id " + std::to_string(request_id) +
+                     " is already in flight for this client"};
+  }
+  if (pending_.size() >= config_.capacity) {
+    ++rejected_full_;
+    return Error{ErrorCode::kQueueFull,
+                 "job queue at capacity (" + std::to_string(config_.capacity) +
+                     " pending); retry later"};
+  }
+  if (per_client_[client_id] >= config_.per_client_quota) {
+    ++rejected_quota_;
+    return Error{ErrorCode::kQuotaExceeded,
+                 "client quota of " +
+                     std::to_string(config_.per_client_quota) +
+                     " in-flight jobs reached"};
+  }
+  Entry entry;
+  entry.client = client_id;
+  entry.request = request_id;
+  entry.job = std::move(job);
+  in_flight_.emplace(std::make_pair(client_id, request_id), entry.token);
+  ++per_client_[client_id];
+  ++submitted_;
+  pending_.push_back(std::move(entry));
+  cv_.notify_one();
+  return common::Status::ok_status();
+}
+
+bool JobQueue::cancel(std::uint64_t client_id, std::uint64_t request_id) {
+  std::lock_guard lock(mu_);
+  const auto it = in_flight_.find({client_id, request_id});
+  if (it == in_flight_.end()) return false;
+  it->second.cancel();
+  ++cancel_requests_;
+  return true;
+}
+
+void JobQueue::cancel_client(std::uint64_t client_id) {
+  std::lock_guard lock(mu_);
+  for (auto& [key, token] : in_flight_) {
+    if (key.first == client_id) token.cancel();
+  }
+}
+
+void JobQueue::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& [key, token] : in_flight_) token.cancel();
+    cv_.notify_all();
+  }
+  for (auto& t : dispatchers_) t.join();
+  dispatchers_.clear();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.rejected_full = rejected_full_;
+  s.rejected_quota = rejected_quota_;
+  s.cancel_requests = cancel_requests_;
+  s.pending = pending_.size();
+  s.running = running_;
+  return s;
+}
+
+void JobQueue::dispatcher_loop() {
+  for (;;) {
+    Entry entry;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      // On shutdown the queue still runs dry: every remaining job executes
+      // with a tripped token so its completion path (response, quota
+      // release) happens exactly once.
+      if (pending_.empty()) return;
+      entry = std::move(pending_.front());
+      pending_.pop_front();
+      ++running_;
+    }
+    entry.job(entry.token);
+    {
+      std::lock_guard lock(mu_);
+      --running_;
+      ++completed_;
+      in_flight_.erase({entry.client, entry.request});
+      auto it = per_client_.find(entry.client);
+      if (it != per_client_.end() && --it->second == 0) per_client_.erase(it);
+    }
+  }
+}
+
+}  // namespace vppstudy::server

@@ -1,0 +1,142 @@
+// Wire protocol of the vppd characterization daemon.
+//
+// Transport: length-prefixed JSON frames over a loopback TCP stream. A
+// frame is a 4-byte big-endian payload length followed by that many bytes
+// of UTF-8 JSON. Frames above kMaxFrameBytes are rejected with a typed
+// kFrameTooLarge error before any payload is read; the declared length is
+// the only trust decision the framing layer makes.
+//
+// Requests are objects {"id": N, "type": "...", ...}; a client may pipeline
+// requests and responses carry the id they answer, so completion order is
+// free. Responses are {"id": N, "ok": true, "result": {...}, "stats": {...}}
+// or {"id": N, "ok": false, "error": {"code": "kQueueFull", "message": ...}}.
+// The "result" member is a deterministic serialization: two requests for the
+// same work produce byte-identical "result" text whether served from the
+// cache or computed fresh (asserted by tests/server/).
+//
+// Request types: ping, stats, sweep, inject, replay, cancel, shutdown
+// (see DESIGN.md section 9 for field tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "common/socket.hpp"
+#include "core/resilient_study.hpp"
+#include "core/study.hpp"
+
+namespace vppstudy::server {
+
+/// Frames above this are refused (kFrameTooLarge): large enough for any
+/// full-grid sweep response, small enough that a hostile length prefix
+/// cannot make the daemon allocate unbounded memory.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Write one frame (length prefix + payload).
+[[nodiscard]] common::Status write_frame(const common::Socket& socket,
+                                         std::string_view payload);
+
+/// Read one frame into `payload`. Returns false on a clean close at a frame
+/// boundary; kFrameTooLarge when the declared length exceeds kMaxFrameBytes
+/// (nothing further is read -- the connection cannot be resynced);
+/// kIoError when the peer vanishes mid-frame.
+[[nodiscard]] common::Result<bool> read_frame(const common::Socket& socket,
+                                              std::string& payload);
+
+// --- Requests ----------------------------------------------------------------
+
+/// A sweep request mirrors the `vppctl sweep` flag surface; the client and
+/// the daemon both expand it through sweep_config_from_request so a remote
+/// sweep is configured exactly like a local one.
+struct SweepRequest {
+  std::string module = "B3";
+  std::string test = "rowhammer";  ///< rowhammer | trcd | retention
+  std::uint32_t rows = 16;
+  double step = 0.2;
+  std::uint64_t seed = 0;
+};
+
+/// Expand a SweepRequest into the engine's SweepConfig. VPP levels are
+/// quantized to the rig supply's millivolt grid so that any arithmetic
+/// producing the same level (e.g. step 0.2 twice vs 0.4 once) yields the
+/// same double -- the daemon's cache keys levels by millivolt, and the
+/// physics must agree with the key.
+[[nodiscard]] core::SweepConfig sweep_config_from_request(
+    const SweepRequest& request);
+
+/// An inject request mirrors `vppctl inject`.
+struct InjectRequest {
+  std::string faults = "seed=1";
+  std::vector<std::string> modules = {"B3"};
+  std::uint32_t rows = 8;
+  std::uint32_t retries = 3;
+  std::uint64_t seed = 1;
+  std::uint64_t trace_cap = 4096;
+};
+
+/// Encoders used by the client (and tests).
+[[nodiscard]] std::string encode_ping_request(std::uint64_t id);
+[[nodiscard]] std::string encode_stats_request(std::uint64_t id);
+[[nodiscard]] std::string encode_shutdown_request(std::uint64_t id);
+[[nodiscard]] std::string encode_cancel_request(std::uint64_t id,
+                                                std::uint64_t target);
+[[nodiscard]] std::string encode_sweep_request(std::uint64_t id,
+                                               const SweepRequest& request);
+[[nodiscard]] std::string encode_inject_request(std::uint64_t id,
+                                                const InjectRequest& request);
+/// `dump_json` is the raw text of a trace dump file (vppctl inject
+/// --dump-dir), shipped verbatim so the daemon replays exactly what the
+/// client has on disk.
+[[nodiscard]] std::string encode_replay_request(std::uint64_t id,
+                                                const std::string& dump_json);
+
+/// Decoders used by the daemon.
+[[nodiscard]] common::Result<SweepRequest> parse_sweep_request(
+    const common::JsonValue& body);
+[[nodiscard]] common::Result<InjectRequest> parse_inject_request(
+    const common::JsonValue& body);
+
+// --- Responses ---------------------------------------------------------------
+
+/// Per-request service accounting, reported in every successful response.
+struct RequestStats {
+  std::uint64_t cache_hits = 0;    ///< grid cells served from the cache
+  std::uint64_t cache_misses = 0;  ///< grid cells computed for this request
+};
+
+[[nodiscard]] std::string encode_result_response(std::uint64_t id,
+                                                 std::string_view result_json,
+                                                 const RequestStats& stats);
+[[nodiscard]] std::string encode_error_response(std::uint64_t id,
+                                                const common::Error& error);
+
+/// Turn a response document into the request's typed outcome: the raw
+/// "result" text on ok, the decoded Error otherwise.
+[[nodiscard]] common::Result<common::JsonValue> response_result(
+    const common::JsonValue& response);
+
+// --- Result serialization ----------------------------------------------------
+// Deterministic, field-ordered encodings of the three sweep result kinds.
+// Doubles are written with %.17g (common::JsonWriter), which round-trips
+// exactly: a client reconstructing the struct from JSON and re-rendering a
+// CSV gets the same bytes as the in-process path.
+
+[[nodiscard]] std::string hammer_sweep_to_json(
+    const core::ModuleSweepResult& sweep);
+[[nodiscard]] std::string trcd_sweep_to_json(const core::TrcdSweepResult& sweep);
+[[nodiscard]] std::string retention_sweep_to_json(
+    const core::RetentionSweepResult& sweep);
+
+[[nodiscard]] common::Result<core::ModuleSweepResult> hammer_sweep_from_json(
+    const common::JsonValue& doc);
+[[nodiscard]] common::Result<core::TrcdSweepResult> trcd_sweep_from_json(
+    const common::JsonValue& doc);
+[[nodiscard]] common::Result<core::RetentionSweepResult>
+retention_sweep_from_json(const common::JsonValue& doc);
+
+[[nodiscard]] std::string campaign_result_to_json(
+    const core::CampaignResult& campaign);
+
+}  // namespace vppstudy::server

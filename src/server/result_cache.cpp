@@ -1,0 +1,101 @@
+#include "server/result_cache.hpp"
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::server {
+
+namespace {
+
+std::uint64_t bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t ResultCache::config_digest(const core::SweepConfig& sweep,
+                                         std::uint64_t seed) {
+  const std::uint64_t nominal_mv =
+      sweep.vpp_levels.empty() ? 0
+                               : core::vpp_millivolts(sweep.vpp_levels.front());
+  return common::hash_key({
+      0x76707064ULL,  // "vppd" domain separator
+      seed,
+      nominal_mv,
+      sweep.sampling.bank,
+      sweep.sampling.chunks,
+      sweep.sampling.rows_per_chunk,
+      sweep.determine_wcdp ? 1ULL : 0ULL,
+      sweep.hammer.initial_hc,
+      sweep.hammer.initial_step,
+      sweep.hammer.min_step,
+      sweep.hammer.ber_hc,
+      static_cast<std::uint64_t>(sweep.hammer.num_iterations),
+      bits(sweep.trcd.start_ns),
+      bits(sweep.trcd.step_ns),
+      bits(sweep.trcd.max_ns),
+      static_cast<std::uint64_t>(sweep.trcd.num_iterations),
+      sweep.trcd.column_stride,
+      bits(sweep.retention.min_trefw_ms),
+      bits(sweep.retention.max_trefw_ms),
+      static_cast<std::uint64_t>(sweep.retention.num_iterations),
+  });
+}
+
+std::uint64_t ResultCache::cell_key(std::uint64_t digest, core::JobPhase phase,
+                                    std::uint64_t module_seed,
+                                    std::uint64_t vpp_mv, std::uint32_t row) {
+  return common::hash_key({digest, static_cast<std::uint64_t>(phase),
+                           module_seed, vpp_mv, row});
+}
+
+std::uint64_t ResultCache::wcdp_key(std::uint64_t digest,
+                                    std::uint64_t module_seed) {
+  return common::hash_key(
+      {digest, static_cast<std::uint64_t>(core::JobPhase::kWcdp), module_seed});
+}
+
+bool ResultCache::lookup(std::uint64_t key, CellValue* out) const {
+  std::lock_guard lock(mu_);
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second;
+  return true;
+}
+
+void ResultCache::insert(std::uint64_t key, CellValue value) {
+  std::lock_guard lock(mu_);
+  cells_.insert_or_assign(key, std::move(value));
+}
+
+bool ResultCache::lookup_wcdp(std::uint64_t key,
+                              std::vector<dram::DataPattern>* out) const {
+  std::lock_guard lock(mu_);
+  const auto it = wcdp_.find(key);
+  if (it == wcdp_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void ResultCache::insert_wcdp(std::uint64_t key,
+                              std::vector<dram::DataPattern> wcdp) {
+  std::lock_guard lock(mu_);
+  wcdp_.insert_or_assign(key, std::move(wcdp));
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.cells = cells_.size();
+  s.wcdp_preps = wcdp_.size();
+  return s;
+}
+
+}  // namespace vppstudy::server

@@ -1,0 +1,479 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "chips/module_db.hpp"
+#include "core/parallel_study.hpp"
+#include "softmc/fault_injector.hpp"
+#include "softmc/trace_dump.hpp"
+#include "softmc/trace_replayer.hpp"
+
+namespace vppstudy::server {
+
+using common::CancelToken;
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+/// The uncovered (level, row) cells of one shard job: a regrouped, owned
+/// slice of the request's grid. Indices point back into the sampled row
+/// list so completed values land in their final positions.
+struct MissShard {
+  std::size_t level = 0;
+  double vpp = 0.0;
+  std::vector<std::uint32_t> rows;
+  std::vector<std::size_t> row_index;
+  std::vector<dram::DataPattern> wcdp;  ///< hammer only, parallel to rows
+};
+
+/// Reconstruct the tREFW window grid RetentionTest::test_row probes: a pure
+/// function of the config (doubling from min to max), needed when every
+/// cell of a level is served from the cache and no fresh row carries it.
+std::vector<double> retention_windows(const core::SweepConfig& cfg) {
+  std::vector<double> windows;
+  for (double t = cfg.retention.min_trefw_ms; t <= cfg.retention.max_trefw_ms;
+       t *= 2.0) {
+    windows.push_back(t);
+  }
+  return windows;
+}
+
+}  // namespace
+
+softmc::Session& Service::Arena::acquire(const dram::ModuleProfile& profile) {
+  auto& slot = sessions[profile.name];
+  if (slot) {
+    slot->reset_for_job();
+  } else {
+    slot = std::make_unique<softmc::Session>(profile);
+  }
+  return *slot;
+}
+
+Service::Service(Config config)
+    : config_(config),
+      arenas_(std::max(1u, common::ThreadPool::workers_for_jobs(config.jobs))),
+      pool_(static_cast<unsigned>(arenas_.size() - 1)) {}
+
+common::Result<Service::Outcome> Service::sweep(const SweepRequest& request,
+                                                const CancelToken& cancel) {
+  const auto profile = chips::profile_by_name(request.module);
+  if (!profile) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unknown module '" + request.module + "'"};
+  }
+  const core::SweepConfig cfg = sweep_config_from_request(request);
+  const std::vector<double> levels =
+      core::usable_vpp_levels(cfg, profile->vppmin_v);
+  if (levels.empty()) {
+    return Error{ErrorCode::kNoUsableLevels,
+                 "no usable VPP levels for module " + profile->name}
+        .with_module(profile->name);
+  }
+  const std::vector<std::uint32_t> rows =
+      core::sample_campaign_rows(*profile, cfg.sampling);
+  if (rows.empty()) {
+    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
+        .with_module(profile->name);
+  }
+  const std::uint64_t digest = ResultCache::config_digest(cfg, request.seed);
+  if (request.test == "trcd") {
+    return trcd_sweep(request, cancel, *profile, cfg, levels, rows, digest);
+  }
+  if (request.test == "retention") {
+    return retention_sweep(request, cancel, *profile, cfg, levels, rows,
+                           digest);
+  }
+  return hammer_sweep(request, cancel, *profile, cfg, levels, rows, digest);
+}
+
+common::Result<Service::Outcome> Service::hammer_sweep(
+    const SweepRequest& request, const CancelToken& cancel,
+    const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
+    const std::vector<double>& levels, const std::vector<std::uint32_t>& rows,
+    std::uint64_t digest) {
+  const std::uint64_t seed = request.seed;
+
+  // Phase A: WCDP determination at nominal VPP, cached per (digest, module).
+  std::vector<dram::DataPattern> wcdp;
+  const std::uint64_t wk = ResultCache::wcdp_key(digest, profile.seed);
+  if (!cache_.lookup_wcdp(wk, &wcdp)) {
+    if (cancel.cancelled()) {
+      return Error{ErrorCode::kCancelled, "sweep cancelled before WCDP prep"}
+          .with_module(profile.name);
+    }
+    const double nominal = levels.front();
+    auto future = pool_.submit([this, &profile, &cfg, seed, nominal, &rows] {
+      return core::run_wcdp_prep(arenas_.local(pool_).acquire(profile), cfg,
+                                 seed, nominal, rows);
+    });
+    auto prep = future.get();
+    if (!prep) return std::move(prep).error();
+    wcdp = std::move(prep->wcdp);
+    cache_.insert_wcdp(wk, wcdp);
+  }
+
+  // Plan: copy cached cells straight into the result grid, regroup the
+  // uncovered remainder into row-range shards.
+  std::vector<core::RowSeries> series(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    series[i].row = rows[i];
+    series[i].wcdp = wcdp[i];
+    series[i].hc_first.assign(levels.size(), 0);
+    series[i].ber.assign(levels.size(), 0.0);
+  }
+  RequestStats stats;
+  const std::size_t shard_size =
+      config_.rows_per_shard == 0 ? rows.size() : config_.rows_per_shard;
+  std::vector<MissShard> shards;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const std::uint64_t vpp_mv = core::vpp_millivolts(levels[l]);
+    MissShard cur;
+    cur.level = l;
+    cur.vpp = levels[l];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::uint64_t key = ResultCache::cell_key(
+          digest, core::JobPhase::kRowHammer, profile.seed, vpp_mv, rows[i]);
+      CellValue cell;
+      if (cache_.lookup(key, &cell)) {
+        ++stats.cache_hits;
+        series[i].hc_first[l] = cell.hc_first;
+        series[i].ber[l] = cell.ber;
+        continue;
+      }
+      ++stats.cache_misses;
+      cur.rows.push_back(rows[i]);
+      cur.row_index.push_back(i);
+      cur.wcdp.push_back(wcdp[i]);
+      if (cur.rows.size() >= shard_size) {
+        shards.push_back(std::move(cur));
+        cur = MissShard{};
+        cur.level = l;
+        cur.vpp = levels[l];
+      }
+    }
+    if (!cur.rows.empty()) shards.push_back(std::move(cur));
+  }
+
+  std::vector<std::future<common::Expected<core::HammerCell>>> futures;
+  futures.reserve(shards.size());
+  for (const MissShard& shard : shards) {
+    futures.push_back(pool_.submit([this, &profile, &cfg, seed, &shard,
+                                    cancel] {
+      return core::run_hammer_rows(arenas_.local(pool_).acquire(profile), cfg,
+                                   seed, shard.vpp, shard.rows, shard.wcdp,
+                                   cancel);
+    }));
+  }
+
+  // Drain every shard even after a failure: completed shards are whole rows
+  // and go into the cache (reusable, never torn); the first error -- in
+  // deterministic shard order -- is what the client sees.
+  std::optional<Error> first_error;
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    auto cell = futures[s].get();
+    if (!cell) {
+      if (!first_error) first_error = std::move(cell).error();
+      continue;
+    }
+    const MissShard& shard = shards[s];
+    const std::uint64_t vpp_mv = core::vpp_millivolts(shard.vpp);
+    for (std::size_t j = 0; j < shard.rows.size(); ++j) {
+      CellValue value;
+      value.wcdp = shard.wcdp[j];
+      value.hc_first = cell->rows[j].hc_first;
+      value.ber = cell->rows[j].ber;
+      cache_.insert(
+          ResultCache::cell_key(digest, core::JobPhase::kRowHammer,
+                                profile.seed, vpp_mv, shard.rows[j]),
+          std::move(value));
+      series[shard.row_index[j]].hc_first[shard.level] = cell->rows[j].hc_first;
+      series[shard.row_index[j]].ber[shard.level] = cell->rows[j].ber;
+    }
+  }
+  if (first_error) return std::move(*first_error);
+
+  core::ModuleSweepResult result;
+  result.module_name = profile.name;
+  result.mfr = profile.mfr;
+  result.vppmin_v = profile.vppmin_v;
+  result.vpp_levels = levels;
+  result.rows = std::move(series);
+  Outcome out;
+  out.result_json = hammer_sweep_to_json(result);
+  out.stats = stats;
+  return out;
+}
+
+common::Result<Service::Outcome> Service::trcd_sweep(
+    const SweepRequest& request, const CancelToken& cancel,
+    const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
+    const std::vector<double>& levels, const std::vector<std::uint32_t>& rows,
+    std::uint64_t digest) {
+  const std::uint64_t seed = request.seed;
+  std::vector<std::vector<double>> grid(levels.size(),
+                                        std::vector<double>(rows.size(), 0.0));
+  RequestStats stats;
+  const std::size_t shard_size =
+      config_.rows_per_shard == 0 ? rows.size() : config_.rows_per_shard;
+  std::vector<MissShard> shards;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const std::uint64_t vpp_mv = core::vpp_millivolts(levels[l]);
+    MissShard cur;
+    cur.level = l;
+    cur.vpp = levels[l];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::uint64_t key = ResultCache::cell_key(
+          digest, core::JobPhase::kTrcd, profile.seed, vpp_mv, rows[i]);
+      CellValue cell;
+      if (cache_.lookup(key, &cell)) {
+        ++stats.cache_hits;
+        grid[l][i] = cell.trcd_min_ns;
+        continue;
+      }
+      ++stats.cache_misses;
+      cur.rows.push_back(rows[i]);
+      cur.row_index.push_back(i);
+      if (cur.rows.size() >= shard_size) {
+        shards.push_back(std::move(cur));
+        cur = MissShard{};
+        cur.level = l;
+        cur.vpp = levels[l];
+      }
+    }
+    if (!cur.rows.empty()) shards.push_back(std::move(cur));
+  }
+
+  std::vector<std::future<common::Expected<core::TrcdCell>>> futures;
+  futures.reserve(shards.size());
+  for (const MissShard& shard : shards) {
+    futures.push_back(
+        pool_.submit([this, &profile, &cfg, seed, &shard, cancel] {
+          return core::run_trcd_rows(arenas_.local(pool_).acquire(profile),
+                                     cfg, seed, shard.vpp, shard.rows, cancel);
+        }));
+  }
+
+  std::optional<Error> first_error;
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    auto cell = futures[s].get();
+    if (!cell) {
+      if (!first_error) first_error = std::move(cell).error();
+      continue;
+    }
+    const MissShard& shard = shards[s];
+    const std::uint64_t vpp_mv = core::vpp_millivolts(shard.vpp);
+    for (std::size_t j = 0; j < shard.rows.size(); ++j) {
+      CellValue value;
+      value.wcdp = cell->rows[j].wcdp;
+      value.trcd_min_ns = cell->rows[j].trcd_min_ns;
+      cache_.insert(ResultCache::cell_key(digest, core::JobPhase::kTrcd,
+                                          profile.seed, vpp_mv, shard.rows[j]),
+                    std::move(value));
+      grid[shard.level][shard.row_index[j]] = cell->rows[j].trcd_min_ns;
+    }
+  }
+  if (first_error) return std::move(*first_error);
+
+  core::TrcdSweepResult result;
+  result.module_name = profile.name;
+  result.vppmin_v = profile.vppmin_v;
+  result.vpp_levels = levels;
+  result.trcd_min_ns.reserve(levels.size());
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    // Module tRCDmin is the max across sampled rows, reduced in fixed row
+    // order exactly like core/parallel_study's assembly.
+    double trcd_min_ns = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      trcd_min_ns = std::max(trcd_min_ns, grid[l][i]);
+    }
+    result.trcd_min_ns.push_back(trcd_min_ns);
+  }
+  Outcome out;
+  out.result_json = trcd_sweep_to_json(result);
+  out.stats = stats;
+  return out;
+}
+
+common::Result<Service::Outcome> Service::retention_sweep(
+    const SweepRequest& request, const CancelToken& cancel,
+    const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
+    const std::vector<double>& levels, const std::vector<std::uint32_t>& rows,
+    std::uint64_t digest) {
+  const std::uint64_t seed = request.seed;
+  const std::vector<double> windows = retention_windows(cfg);
+  std::vector<std::vector<std::vector<double>>> grid(
+      levels.size(), std::vector<std::vector<double>>(rows.size()));
+  RequestStats stats;
+  const std::size_t shard_size =
+      config_.rows_per_shard == 0 ? rows.size() : config_.rows_per_shard;
+  std::vector<MissShard> shards;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const std::uint64_t vpp_mv = core::vpp_millivolts(levels[l]);
+    MissShard cur;
+    cur.level = l;
+    cur.vpp = levels[l];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::uint64_t key = ResultCache::cell_key(
+          digest, core::JobPhase::kRetention, profile.seed, vpp_mv, rows[i]);
+      CellValue cell;
+      if (cache_.lookup(key, &cell)) {
+        ++stats.cache_hits;
+        grid[l][i] = std::move(cell.retention_ber);
+        continue;
+      }
+      ++stats.cache_misses;
+      cur.rows.push_back(rows[i]);
+      cur.row_index.push_back(i);
+      if (cur.rows.size() >= shard_size) {
+        shards.push_back(std::move(cur));
+        cur = MissShard{};
+        cur.level = l;
+        cur.vpp = levels[l];
+      }
+    }
+    if (!cur.rows.empty()) shards.push_back(std::move(cur));
+  }
+
+  std::vector<std::future<common::Expected<core::RetentionCell>>> futures;
+  futures.reserve(shards.size());
+  for (const MissShard& shard : shards) {
+    futures.push_back(
+        pool_.submit([this, &profile, &cfg, seed, &shard, cancel] {
+          return core::run_retention_rows(arenas_.local(pool_).acquire(profile),
+                                          cfg, seed, shard.vpp, shard.rows,
+                                          cancel);
+        }));
+  }
+
+  std::optional<Error> first_error;
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    auto cell = futures[s].get();
+    if (!cell) {
+      if (!first_error) first_error = std::move(cell).error();
+      continue;
+    }
+    const MissShard& shard = shards[s];
+    const std::uint64_t vpp_mv = core::vpp_millivolts(shard.vpp);
+    for (std::size_t j = 0; j < shard.rows.size(); ++j) {
+      CellValue value;
+      value.wcdp = cell->rows[j].wcdp;
+      value.retention_ber = cell->rows[j].ber;
+      grid[shard.level][shard.row_index[j]] = cell->rows[j].ber;
+      cache_.insert(ResultCache::cell_key(digest, core::JobPhase::kRetention,
+                                          profile.seed, vpp_mv, shard.rows[j]),
+                    std::move(value));
+    }
+  }
+  if (first_error) return std::move(*first_error);
+
+  core::RetentionSweepResult result;
+  result.module_name = profile.name;
+  result.mfr = profile.mfr;
+  result.vpp_levels = levels;
+  result.trefw_ms = windows;
+  const double row_count = static_cast<double>(rows.size());
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    std::vector<double> sums(windows.size(), 0.0);
+    std::vector<double> ref_bers;
+    ref_bers.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::vector<double>& ber = grid[l][i];
+      for (std::size_t w = 0; w < ber.size() && w < sums.size(); ++w) {
+        sums[w] += ber[w];
+      }
+      std::size_t ref = 0;
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        if (std::abs(windows[w] - result.reference_trefw_ms) <
+            std::abs(windows[ref] - result.reference_trefw_ms)) {
+          ref = w;
+        }
+      }
+      ref_bers.push_back(ber.empty() ? 0.0 : ber[ref]);
+    }
+    for (double& s : sums) s /= row_count;
+    result.mean_ber.push_back(std::move(sums));
+    result.row_ber_at_reference.push_back(std::move(ref_bers));
+  }
+  Outcome out;
+  out.result_json = retention_sweep_to_json(result);
+  out.stats = stats;
+  return out;
+}
+
+common::Result<Service::Outcome> Service::inject(const InjectRequest& request,
+                                                 const CancelToken& cancel) {
+  if (cancel.cancelled()) {
+    return Error{ErrorCode::kCancelled, "inject cancelled before start"};
+  }
+  auto plan = softmc::FaultPlan::parse(request.faults);
+  if (!plan) return std::move(plan).error();
+
+  // Mirrors vppctl inject's config construction field for field, so a
+  // remote campaign is the same campaign the CLI would run locally.
+  core::ResilientConfig config;
+  config.faults = std::move(*plan);
+  config.seed = request.seed;
+  config.retry.max_attempts = request.retries;
+  config.trace_capacity = static_cast<std::size_t>(request.trace_cap);
+  config.sweep = core::SweepConfig::quick();
+  config.sweep.sampling.chunks = 2;
+  config.sweep.sampling.rows_per_chunk = std::max(1u, request.rows / 2);
+  for (const std::string& name : request.modules) {
+    auto profile = chips::profile_by_name(name);
+    if (!profile) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown module '" + name + "'"};
+    }
+    profile->rows_per_bank = 4096;
+    config.modules.push_back(std::move(*profile));
+  }
+
+  const core::CampaignResult campaign = core::run_resilient_rowhammer(config);
+  Outcome out;
+  out.result_json = campaign_result_to_json(campaign);
+  return out;
+}
+
+common::Result<Service::Outcome> Service::replay(const std::string& dump_json,
+                                                 const CancelToken& cancel) {
+  if (cancel.cancelled()) {
+    return Error{ErrorCode::kCancelled, "replay cancelled before start"};
+  }
+  auto doc = common::parse_json(dump_json);
+  if (!doc) return std::move(doc).error();
+  auto dump = softmc::parse_trace_dump(*doc);
+  if (!dump) return std::move(dump).error();
+  const auto profile = chips::profile_by_name(dump->module);
+  if (!profile) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "dump names unknown module '" + dump->module + "'"};
+  }
+  const std::size_t entries = dump->entries.size();
+  softmc::TraceReplayer replayer(std::move(*dump));
+  auto report = replayer.replay_on_profile(*profile);
+  if (!report) return std::move(report).error();
+
+  common::JsonWriter w;
+  w.begin_object()
+      .kv("kind", "replay")
+      .kv("module", profile->name)
+      .kv("entries", static_cast<std::uint64_t>(entries))
+      .kv("commands_replayed", report->commands_replayed)
+      .kv("timing_violations",
+          static_cast<std::uint64_t>(report->timing_violations))
+      .kv("original_failed", report->original_failed)
+      .kv("replay_failed", report->replay_failed)
+      .kv("reproduced", report->reproduced())
+      .end_object();
+  Outcome out;
+  out.result_json = w.str();
+  return out;
+}
+
+}  // namespace vppstudy::server

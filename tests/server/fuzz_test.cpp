@@ -1,0 +1,170 @@
+// Protocol fuzz / negative-path tests (slow tier): malformed frames from
+// the seed corpus in tests/server/corpus/ plus a deterministic randomized
+// round. The contract under attack input is "typed error or clean close,
+// never a crash": after every hostile connection the daemon still answers
+// ping on a fresh one.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/server.hpp"
+#include "server_test_util.hpp"
+
+namespace vppstudy::server {
+namespace {
+
+using testing::RawConn;
+using testing::response_error_code;
+
+class ServerFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Server::Config config;
+    config.service.jobs = 1;
+    auto server = Server::start(config);
+    ASSERT_TRUE(server.has_value());
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  std::uint16_t port() const { return server_->port(); }
+
+  void expect_alive() {
+    RawConn probe = RawConn::connect(port());
+    probe.send_payload(encode_ping_request(1));
+    auto response = probe.recv_response();
+    ASSERT_TRUE(response.has_value()) << "daemon stopped answering ping";
+    EXPECT_TRUE(response->bool_or("ok", false));
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+};
+
+std::string frame(const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>(len & 0xFF));
+  out += payload;
+  return out;
+}
+
+// Every seed corpus file is raw socket bytes (frame prefix included, when
+// the case has one). The daemon must survive each and keep serving.
+TEST_F(ServerFuzz, SeedCorpusNeverKillsTheDaemon) {
+  const std::filesystem::path corpus(CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  int cases = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    SCOPED_TRACE(entry.path().filename().string());
+
+    RawConn conn = RawConn::connect(port());
+    conn.send_raw(bytes);
+    conn.close();  // hostile client: never reads its responses
+    expect_alive();
+    ++cases;
+  }
+  // The corpus documents the attack classes; losing it should fail loudly.
+  EXPECT_GE(cases, 7) << "seed corpus went missing or shrank";
+}
+
+TEST_F(ServerFuzz, OversizedDeclaredLengthGetsTypedResponseThenClose) {
+  RawConn conn = RawConn::connect(port());
+  const std::string prefix = {'\x7F', '\x00', '\x00', '\x00'};  // ~2 GiB
+  conn.send_raw(prefix);
+  auto response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->uint_or("id", 99), 0u);  // unattributable
+  EXPECT_EQ(response_error_code(*response), "kFrameTooLarge");
+  // The stream cannot be resynced: the daemon closes after responding.
+  std::string payload;
+  auto more = read_frame(conn.socket(), payload);
+  EXPECT_TRUE(!more.has_value() || !*more);
+  expect_alive();
+}
+
+TEST_F(ServerFuzz, InvalidJsonGetsParseErrorAndConnectionSurvives) {
+  RawConn conn = RawConn::connect(port());
+  conn.send_raw(frame("{\"id\":1,\"type\":"));
+  auto response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response_error_code(*response), "kParseError");
+
+  // Same connection keeps working: framing never lost sync.
+  conn.send_payload(encode_ping_request(2));
+  response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->bool_or("ok", false));
+}
+
+TEST_F(ServerFuzz, NonObjectRequestIsParseError) {
+  RawConn conn = RawConn::connect(port());
+  for (const char* payload : {"42", "[1,2,3]", "\"sweep\"", "null", ""}) {
+    conn.send_raw(frame(payload));
+    auto response = conn.recv_response();
+    ASSERT_TRUE(response.has_value()) << payload;
+    EXPECT_EQ(response_error_code(*response), "kParseError") << payload;
+  }
+}
+
+TEST_F(ServerFuzz, UnknownRequestTypeIsTypedAndKeepsId) {
+  RawConn conn = RawConn::connect(port());
+  conn.send_raw(frame("{\"id\":77,\"type\":\"frobnicate\"}"));
+  auto response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->uint_or("id", 0), 77u);
+  EXPECT_EQ(response_error_code(*response), "kUnknownRequest");
+}
+
+TEST_F(ServerFuzz, NestingDepthAbuseIsAParseErrorNotAStackOverflow) {
+  RawConn conn = RawConn::connect(port());
+  std::string bomb(512, '[');
+  bomb += std::string(512, ']');
+  conn.send_raw(frame(bomb));
+  auto response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response_error_code(*response), "kParseError");
+  expect_alive();
+}
+
+// Deterministic randomized round: well-framed garbage payloads of every
+// byte class. No response is read until the end (a hostile writer), so this
+// also exercises response buffering against a slow reader.
+TEST_F(ServerFuzz, RandomizedFramedGarbageSurvives) {
+  std::uint64_t state = 0x243F6A8885A308D3ull;  // fixed seed: reproducible
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  RawConn conn = RawConn::connect(port());
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t len = next() % 64;
+    std::string payload;
+    payload.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      payload.push_back(static_cast<char>(next() & 0xFF));
+    }
+    conn.send_raw(frame(payload));
+  }
+  conn.close();
+  expect_alive();
+}
+
+}  // namespace
+}  // namespace vppstudy::server

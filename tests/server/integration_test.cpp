@@ -1,0 +1,238 @@
+// End-to-end integration tests: a real vppd child process (the binary CMake
+// built, path injected via VPPD_PATH), the port-file handshake, and the
+// full socket protocol. The load-bearing assertions are the PR's acceptance
+// criteria: a fully-overlapping second sweep performs zero cell
+// recomputation (cache-hit counters) and returns a byte-identical "result",
+// and remote results match a fresh in-process engine byte for byte.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server_test_util.hpp"
+
+namespace vppstudy::server {
+namespace {
+
+using testing::extract_result_text;
+using testing::raw_sweep;
+using testing::RawConn;
+using testing::reference_result_text;
+using testing::response_error_code;
+using testing::response_stats;
+
+/// Spawns one vppd child per fixture instance and tears it down (shutdown
+/// request first, SIGKILL as a last resort) so no test leaks a daemon.
+class VppdProcess : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    port_file_ = ::testing::TempDir() + "vppd_port_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name();
+    std::remove(port_file_.c_str());
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0) << "fork failed";
+    if (pid_ == 0) {
+      ::execl(VPPD_PATH, VPPD_PATH, "--port-file", port_file_.c_str(),
+              "--rows-per-shard", "2", "--jobs", "2", static_cast<char*>(nullptr));
+      std::perror("execl vppd");
+      ::_exit(127);
+    }
+    // Handshake: poll for the atomically-published port file.
+    for (int i = 0; i < 400 && port_ == 0; ++i) {
+      std::FILE* f = std::fopen(port_file_.c_str(), "r");
+      if (f != nullptr) {
+        unsigned port = 0;
+        const int fields = std::fscanf(f, "%u", &port);
+        std::fclose(f);
+        if (fields == 1 && port != 0) {
+          port_ = static_cast<std::uint16_t>(port);
+          break;
+        }
+      }
+      ::usleep(25 * 1000);
+    }
+    ASSERT_NE(port_, 0) << "vppd never published its port";
+  }
+
+  void TearDown() override {
+    if (pid_ > 0) {
+      if (!shut_down_) {
+        auto client = Client::connect(port_);
+        if (client) (void)client->shutdown_server();
+      }
+      // reap_child asserts on the exit code in tests that care; here we only
+      // guarantee the process is gone.
+      if (!reaped_) {
+        for (int i = 0; i < 400; ++i) {
+          int status = 0;
+          const pid_t done = ::waitpid(pid_, &status, WNOHANG);
+          if (done == pid_) {
+            reaped_ = true;
+            break;
+          }
+          ::usleep(25 * 1000);
+        }
+        if (!reaped_) {
+          ::kill(pid_, SIGKILL);
+          ::waitpid(pid_, nullptr, 0);
+        }
+      }
+    }
+    std::remove(port_file_.c_str());
+  }
+
+  /// Blocking reap with an exit-code assertion (for the shutdown test).
+  int reap_child() {
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid_, &status, 0), pid_);
+    reaped_ = true;
+    EXPECT_TRUE(WIFEXITED(status));
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  std::uint16_t port() const { return port_; }
+  void mark_shut_down() { shut_down_ = true; }
+
+ private:
+  std::string port_file_;
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  bool shut_down_ = false;
+  bool reaped_ = false;
+};
+
+TEST_F(VppdProcess, PingAndStatsAnswerInline) {
+  auto client = Client::connect(port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_TRUE(client->ping().ok());
+
+  const std::uint64_t id = client->next_id();
+  auto stats = client->call_result(id, encode_stats_request(id));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->string_or("kind", ""), "stats");
+  ASSERT_NE(stats->find("cache"), nullptr);
+  ASSERT_NE(stats->find("queue"), nullptr);
+}
+
+// The acceptance criterion: a second fully-overlapping sweep recomputes
+// nothing (cache-hit counters prove it) and its response "result" text is
+// byte-identical -- and both match a fresh in-process engine.
+TEST_F(VppdProcess, RepeatedSweepIsFullyCachedAndByteIdentical) {
+  RawConn conn = RawConn::connect(port());
+  SweepRequest request;
+  request.module = "B3";
+  request.test = "rowhammer";
+  request.rows = 4;
+  request.step = 0.4;
+  request.seed = 7;
+
+  const std::string first = raw_sweep(conn, 1, request);
+  auto first_doc = common::parse_json(first);
+  ASSERT_TRUE(first_doc.has_value());
+  ASSERT_TRUE(first_doc->bool_or("ok", false)) << first;
+  const auto first_stats = response_stats(*first_doc);
+  EXPECT_EQ(first_stats.hits, 0u);
+  EXPECT_GT(first_stats.misses, 0u);
+
+  const std::string second = raw_sweep(conn, 2, request);
+  auto second_doc = common::parse_json(second);
+  ASSERT_TRUE(second_doc.has_value());
+  ASSERT_TRUE(second_doc->bool_or("ok", false)) << second;
+  const auto second_stats = response_stats(*second_doc);
+  EXPECT_EQ(second_stats.misses, 0u) << "second sweep recomputed cells";
+  EXPECT_EQ(second_stats.hits, first_stats.misses);
+
+  const std::string first_result = extract_result_text(first);
+  EXPECT_EQ(first_result, extract_result_text(second));
+  EXPECT_EQ(first_result, reference_result_text(request));
+}
+
+// A coarser grid after a finer one is a subset of the same millivolt grid:
+// zero recomputation across *different* requests.
+TEST_F(VppdProcess, CoarserGridAfterFinerRecomputesNothing) {
+  RawConn conn = RawConn::connect(port());
+  SweepRequest fine;
+  fine.rows = 4;
+  fine.step = 0.2;
+  SweepRequest coarse = fine;
+  coarse.step = 0.4;
+
+  const std::string first = raw_sweep(conn, 1, fine);
+  auto first_doc = common::parse_json(first);
+  ASSERT_TRUE(first_doc.has_value());
+  ASSERT_TRUE(first_doc->bool_or("ok", false)) << first;
+
+  const std::string second = raw_sweep(conn, 2, coarse);
+  auto second_doc = common::parse_json(second);
+  ASSERT_TRUE(second_doc.has_value());
+  ASSERT_TRUE(second_doc->bool_or("ok", false)) << second;
+  EXPECT_EQ(response_stats(*second_doc).misses, 0u)
+      << "coarse grid is a subset of the fine grid; nothing should recompute";
+  EXPECT_EQ(extract_result_text(second), reference_result_text(coarse));
+}
+
+TEST_F(VppdProcess, TrcdAndRetentionSweepsMatchInProcessReference) {
+  RawConn conn = RawConn::connect(port());
+  SweepRequest request;
+  request.rows = 4;
+  request.step = 0.4;
+  for (const char* test : {"trcd", "retention"}) {
+    request.test = test;
+    const std::string response = raw_sweep(conn, 1, request);
+    auto doc = common::parse_json(response);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->bool_or("ok", false)) << response;
+    EXPECT_EQ(extract_result_text(response), reference_result_text(request))
+        << "remote " << test << " diverged from the in-process engine";
+  }
+}
+
+TEST_F(VppdProcess, TypedErrorsForBadRequests) {
+  RawConn conn = RawConn::connect(port());
+
+  SweepRequest unknown_module;
+  unknown_module.module = "no-such-module";
+  unknown_module.rows = 4;
+  conn.send_payload(encode_sweep_request(1, unknown_module));
+  auto response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response_error_code(*response), "kInvalidArgument");
+
+  conn.send_payload("{\"id\":2,\"type\":\"sweep\",\"test\":\"voodoo\"}");
+  response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response_error_code(*response), "kInvalidArgument");
+
+  conn.send_payload("{\"id\":3,\"type\":\"frobnicate\"}");
+  response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->uint_or("id", 0), 3u);
+  EXPECT_EQ(response_error_code(*response), "kUnknownRequest");
+
+  // The connection survived all three errors.
+  conn.send_payload(encode_ping_request(4));
+  response = conn.recv_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->bool_or("ok", false));
+}
+
+TEST_F(VppdProcess, ShutdownRequestExitsCleanly) {
+  auto client = Client::connect(port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(client->shutdown_server().ok());
+  mark_shut_down();
+  EXPECT_EQ(reap_child(), 0);
+}
+
+}  // namespace
+}  // namespace vppstudy::server

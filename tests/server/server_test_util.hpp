@@ -1,0 +1,131 @@
+// Shared helpers of the tests/server suites: a raw framed connection (for
+// byte-level protocol assertions the typed Client would paper over), result
+// text extraction (the byte-identity contract covers the spliced "result"
+// substring of a response), and an in-process reference sweep.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "common/socket.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+
+namespace vppstudy::server::testing {
+
+/// A client connection that speaks raw frames (and, for the fuzz suites,
+/// raw bytes that are not frames at all).
+class RawConn {
+ public:
+  static RawConn connect(std::uint16_t port) {
+    auto socket = common::connect_loopback(port);
+    EXPECT_TRUE(socket.has_value()) << "connect_loopback failed";
+    return RawConn(std::move(*socket));
+  }
+
+  explicit RawConn(common::Socket socket) : socket_(std::move(socket)) {}
+
+  [[nodiscard]] const common::Socket& socket() const { return socket_; }
+
+  /// Send one well-formed frame.
+  void send_payload(std::string_view payload) {
+    ASSERT_TRUE(write_frame(socket_, payload).ok());
+  }
+
+  /// Send bytes verbatim -- no framing, no validity promise.
+  void send_raw(const std::string& bytes) {
+    ASSERT_TRUE(socket_.send_all(bytes.data(), bytes.size()).ok());
+  }
+
+  /// Read one response frame's raw payload text.
+  [[nodiscard]] common::Result<std::string> recv_payload() {
+    std::string payload;
+    auto more = read_frame(socket_, payload);
+    if (!more) return std::move(more).error();
+    if (!*more) {
+      return common::Error{common::ErrorCode::kIoError,
+                           "peer closed at frame boundary"};
+    }
+    return payload;
+  }
+
+  /// Read one response frame as a parsed document.
+  [[nodiscard]] common::Result<common::JsonValue> recv_response() {
+    auto payload = recv_payload();
+    if (!payload) return std::move(payload).error();
+    return common::parse_json(*payload);
+  }
+
+  void close() { socket_.close(); }
+
+ private:
+  common::Socket socket_;
+};
+
+/// The spliced "result" substring of a successful response payload -- the
+/// exact bytes the byte-identity contract covers.
+inline std::string extract_result_text(const std::string& response) {
+  constexpr std::string_view kPrefix = "\"ok\":true,\"result\":";
+  constexpr std::string_view kSuffix = ",\"stats\":{\"cache_hits\":";
+  const std::size_t start = response.find(kPrefix);
+  const std::size_t end = response.rfind(kSuffix);
+  EXPECT_NE(start, std::string::npos) << response.substr(0, 200);
+  EXPECT_NE(end, std::string::npos) << response.substr(0, 200);
+  if (start == std::string::npos || end == std::string::npos) return {};
+  const std::size_t begin = start + kPrefix.size();
+  return response.substr(begin, end - begin);
+}
+
+/// The error code name of a failed response payload ("" when ok).
+inline std::string response_error_code(const common::JsonValue& response) {
+  if (response.bool_or("ok", false)) return "";
+  const common::JsonValue* error = response.find("error");
+  if (error == nullptr) return "(no error member)";
+  return error->string_or("code", "(no code)");
+}
+
+struct SweepStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+inline SweepStats response_stats(const common::JsonValue& response) {
+  SweepStats out;
+  if (const common::JsonValue* stats = response.find("stats")) {
+    out.hits = stats->uint_or("cache_hits", 0);
+    out.misses = stats->uint_or("cache_misses", 0);
+  }
+  return out;
+}
+
+/// One sweep request/response cycle over a raw connection; returns the full
+/// raw response payload so callers can assert byte identity.
+inline std::string raw_sweep(RawConn& conn, std::uint64_t id,
+                             const SweepRequest& request) {
+  conn.send_payload(encode_sweep_request(id, request));
+  auto payload = conn.recv_payload();
+  EXPECT_TRUE(payload.has_value());
+  return payload ? *payload : std::string();
+}
+
+/// The "result" text a fresh in-process engine computes for `request` -- the
+/// reference the daemon's responses must match byte for byte. A new Service
+/// per call so no cache state leaks between references.
+inline std::string reference_result_text(const SweepRequest& request,
+                                         std::uint32_t rows_per_shard = 4) {
+  Service::Config config;
+  config.jobs = 2;
+  config.rows_per_shard = rows_per_shard;
+  Service service(config);
+  auto outcome = service.sweep(request, common::CancelToken());
+  EXPECT_TRUE(outcome.has_value())
+      << (outcome ? "" : outcome.error().to_string());
+  return outcome ? outcome->result_json : std::string();
+}
+
+}  // namespace vppstudy::server::testing

@@ -8,11 +8,16 @@
 //       --counters prints the rig session's command counts; --trace prints
 //       the last N commands the rig issued (default 32).
 //   vppctl sweep   --module B3 --test rowhammer|trcd|retention
-//                  [--rows 16] [--step 0.2] [--csv out.csv] [--counters]
+//                  [--rows 16] [--step 0.2] [--seed 0] [--csv out.csv]
+//                  [--counters] [--connect PORT]
 //       Run a full VPP sweep and print (or export) the series. --counters
 //       prints the aggregated instrumentation of every rig session the
 //       sweep ran; --csv additionally writes the same instrumentation as a
-//       machine-readable JSON sidecar at <out.csv>.json.
+//       machine-readable JSON sidecar at <out.csv>.json. --connect PORT
+//       sends the sweep to a vppd daemon on 127.0.0.1:PORT instead of
+//       running it in-process: same numbers, byte-identical CSV, but no
+//       instrumentation sidecar (a cached response ran no rig sessions).
+//       Exit 0 on success, 3 on a typed error (local or remote).
 //   vppctl profile --module B6 [--vpp 1.7] [--rows 128]
 //       REAPER-style retention profile at a VPP level.
 //   vppctl inject  --faults "seed=7;drop_act=0.001;spurious@5000"
@@ -23,10 +28,22 @@
 //       quarantine set and byte-identical --csv/JSON exports. --dump-dir
 //       writes a replayable trace dump per quarantined module. Exit 0 when
 //       the campaign ran (quarantines included), 3 on a typed error.
-//   vppctl replay  <dump.json> [--verbose]
+//   vppctl replay  <dump.json> [--verbose] [--connect PORT]
 //       Feed a captured trace dump through a fresh session and check that
 //       it reproduces the recorded outcome. Exit 0 when reproduced, 4 when
-//       the replay diverged, 3 on a typed error.
+//       the replay diverged, 3 on a typed error. --connect ships the dump
+//       text to a vppd daemon and replays there.
+//   vppctl serve   [--port N] [--port-file PATH] [--jobs N]
+//                  [--rows-per-shard N] [--queue-cap N] [--quota N]
+//                  [--dispatchers N]
+//       Run the vppd daemon in-process (same server as tools/vppd): serves
+//       sweep/inject/replay over the length-prefixed JSON protocol with a
+//       content-addressed result cache. Runs until a client sends
+//       `shutdown`. Exit 0 on clean shutdown, 3 on a startup error.
+//
+//   --connect PORT is also accepted by inject. Remote inject does not
+//   support --csv or --dump-dir (the artifacts would land on the daemon's
+//   filesystem); requesting them remotely is a usage error (exit 3).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +61,8 @@
 #include "harness/rowhammer_test.hpp"
 #include "harness/wcdp.hpp"
 #include "memctrl/retention_profiler.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "softmc/fault_injector.hpp"
 #include "softmc/trace_dump.hpp"
 #include "softmc/trace_replayer.hpp"
@@ -149,26 +168,168 @@ int cmd_hammer(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+server::SweepRequest sweep_request_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  server::SweepRequest request;
+  request.module = flag_or(flags, "module", "B3");
+  request.test = flag_or(flags, "test", "rowhammer");
+  request.rows = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "rows", "16").c_str()));
+  request.step = std::atof(flag_or(flags, "step", "0.2").c_str());
+  request.seed = static_cast<std::uint64_t>(
+      std::strtoull(flag_or(flags, "seed", "0").c_str(), nullptr, 10));
+  return request;
+}
+
+// The render helpers below are shared by the in-process and --connect paths
+// so both produce the same table and byte-identical CSV. `sidecar` is false
+// for remote results: a cached response ran no rig sessions, so there is no
+// meaningful instrumentation to write.
+int render_hammer_sweep(const core::ModuleSweepResult& sweep,
+                        const std::string& csv_path, bool sidecar) {
+  common::CsvWriter csv({"vpp_v", "min_hc_first", "max_ber"});
+  std::printf("%-8s %12s %12s\n", "VPP[V]", "minHCfirst", "maxBER");
+  for (std::size_t l = 0; l < sweep.vpp_levels.size(); ++l) {
+    std::printf("%-8.2f %12llu %12.4e\n", sweep.vpp_levels[l],
+                static_cast<unsigned long long>(sweep.min_hc_first_at(l)),
+                sweep.max_ber_at(l));
+    csv.begin_row();
+    csv.add(sweep.vpp_levels[l]);
+    csv.add(static_cast<std::uint64_t>(sweep.min_hc_first_at(l)));
+    csv.add(sweep.max_ber_at(l));
+  }
+  if (!csv_path.empty()) {
+    if (!csv.write_file(csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 3;
+    }
+    if (sidecar && !core::write_instrumentation_sidecar(
+                       csv_path, core::instrumentation_json(sweep))) {
+      std::fprintf(stderr, "cannot write %s.json\n", csv_path.c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
+
+int render_trcd_sweep(const core::TrcdSweepResult& sweep,
+                      const std::string& csv_path, bool sidecar) {
+  common::CsvWriter csv({"vpp_v", "trcd_min_ns"});
+  std::printf("%-8s %12s\n", "VPP[V]", "tRCDmin[ns]");
+  for (std::size_t l = 0; l < sweep.vpp_levels.size(); ++l) {
+    std::printf("%-8.2f %12.1f\n", sweep.vpp_levels[l], sweep.trcd_min_ns[l]);
+    csv.begin_row();
+    csv.add(sweep.vpp_levels[l]);
+    csv.add(sweep.trcd_min_ns[l]);
+  }
+  if (!csv_path.empty()) {
+    if (!csv.write_file(csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 3;
+    }
+    if (sidecar && !core::write_instrumentation_sidecar(
+                       csv_path, core::instrumentation_json(sweep))) {
+      std::fprintf(stderr, "cannot write %s.json\n", csv_path.c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
+
+int render_retention_sweep(const core::RetentionSweepResult& sweep,
+                           const std::string& csv_path, bool sidecar) {
+  common::CsvWriter csv({"vpp_v", "trefw_ms", "mean_ber"});
+  std::printf("%-8s %10s %12s\n", "VPP[V]", "tREFW[ms]", "meanBER");
+  for (std::size_t l = 0; l < sweep.vpp_levels.size(); ++l) {
+    for (std::size_t w = 0; w < sweep.trefw_ms.size(); ++w) {
+      std::printf("%-8.2f %10.0f %12.4e\n", sweep.vpp_levels[l],
+                  sweep.trefw_ms[w], sweep.mean_ber[l][w]);
+      csv.begin_row();
+      csv.add(sweep.vpp_levels[l]);
+      csv.add(sweep.trefw_ms[w]);
+      csv.add(sweep.mean_ber[l][w]);
+    }
+  }
+  if (!csv_path.empty()) {
+    if (!csv.write_file(csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 3;
+    }
+    if (sidecar && !core::write_instrumentation_sidecar(
+                       csv_path, core::instrumentation_json(sweep))) {
+      std::fprintf(stderr, "cannot write %s.json\n", csv_path.c_str());
+      return 3;
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep_remote(const server::SweepRequest& request, std::uint16_t port,
+                     const std::string& csv_path) {
+  auto client = server::Client::connect(port);
+  if (!client) {
+    std::fprintf(stderr, "%s\n", client.error().to_string().c_str());
+    return 3;
+  }
+  auto response = client->sweep(request);
+  if (!response) {
+    std::fprintf(stderr, "%s\n", response.error().to_string().c_str());
+    return 3;
+  }
+  std::printf("vppd: %llu cells from cache, %llu computed\n",
+              static_cast<unsigned long long>(response->stats.cache_hits),
+              static_cast<unsigned long long>(response->stats.cache_misses));
+  const std::string kind = response->result.string_or("kind", "");
+  if (kind == "rowhammer") {
+    auto sweep = server::hammer_sweep_from_json(response->result);
+    if (!sweep) {
+      std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
+      return 3;
+    }
+    return render_hammer_sweep(*sweep, csv_path, /*sidecar=*/false);
+  }
+  if (kind == "trcd") {
+    auto sweep = server::trcd_sweep_from_json(response->result);
+    if (!sweep) {
+      std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
+      return 3;
+    }
+    return render_trcd_sweep(*sweep, csv_path, /*sidecar=*/false);
+  }
+  if (kind == "retention") {
+    auto sweep = server::retention_sweep_from_json(response->result);
+    if (!sweep) {
+      std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
+      return 3;
+    }
+    return render_retention_sweep(*sweep, csv_path, /*sidecar=*/false);
+  }
+  std::fprintf(stderr, "vppd returned unknown result kind '%s'\n",
+               kind.c_str());
+  return 3;
+}
+
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
-  const auto profile = chips::profile_by_name(flag_or(flags, "module", "B3"));
+  const server::SweepRequest request = sweep_request_from_flags(flags);
+  const std::string csv_path = flag_or(flags, "csv", "");
+  const std::string connect = flag_or(flags, "connect", "");
+  if (!connect.empty()) {
+    return cmd_sweep_remote(
+        request, static_cast<std::uint16_t>(std::atoi(connect.c_str())),
+        csv_path);
+  }
+
+  const auto profile = chips::profile_by_name(request.module);
   if (!profile) {
     std::fprintf(stderr, "unknown module\n");
     return 1;
   }
-  const std::string kind = flag_or(flags, "test", "rowhammer");
-  const auto rows =
-      static_cast<std::uint32_t>(std::atoi(flag_or(flags, "rows", "16").c_str()));
-  const double step = std::atof(flag_or(flags, "step", "0.2").c_str());
-  const std::string csv_path = flag_or(flags, "csv", "");
-
-  core::SweepConfig cfg = core::SweepConfig::quick();
-  cfg.vpp_levels.clear();
-  for (double v = 2.5; v >= 1.4 - 1e-9; v -= step) cfg.vpp_levels.push_back(v);
-  cfg.sampling.chunks = 4;
-  cfg.sampling.rows_per_chunk = std::max(1u, rows / 4);
+  // The same config builder the daemon uses, so a remote sweep is the same
+  // sweep (VPP levels quantized to the supply's millivolt grid included).
+  const core::SweepConfig cfg = server::sweep_config_from_request(request);
 
   core::Study study(*profile);
-  if (kind == "rowhammer") {
+  if (request.test == "rowhammer") {
     auto sweep = study.rowhammer_sweep(cfg);
     if (!sweep) {
       std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
@@ -178,29 +339,9 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
       std::printf("instrumentation: %s\n",
                   sweep->instrumentation.summary().c_str());
     }
-    common::CsvWriter csv({"vpp_v", "min_hc_first", "max_ber"});
-    std::printf("%-8s %12s %12s\n", "VPP[V]", "minHCfirst", "maxBER");
-    for (std::size_t l = 0; l < sweep->vpp_levels.size(); ++l) {
-      std::printf("%-8.2f %12llu %12.4e\n", sweep->vpp_levels[l],
-                  static_cast<unsigned long long>(sweep->min_hc_first_at(l)),
-                  sweep->max_ber_at(l));
-      csv.begin_row();
-      csv.add(sweep->vpp_levels[l]);
-      csv.add(static_cast<std::uint64_t>(sweep->min_hc_first_at(l)));
-      csv.add(sweep->max_ber_at(l));
-    }
-    if (!csv_path.empty()) {
-      if (!csv.write_file(csv_path)) {
-        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
-        return 1;
-      }
-      if (!core::write_instrumentation_sidecar(
-              csv_path, core::instrumentation_json(*sweep))) {
-        std::fprintf(stderr, "cannot write %s.json\n", csv_path.c_str());
-        return 1;
-      }
-    }
-  } else if (kind == "trcd") {
+    return render_hammer_sweep(*sweep, csv_path, /*sidecar=*/true);
+  }
+  if (request.test == "trcd") {
     auto sweep = study.trcd_sweep(cfg);
     if (!sweep) {
       std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
@@ -210,23 +351,9 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
       std::printf("instrumentation: %s\n",
                   sweep->instrumentation.summary().c_str());
     }
-    common::CsvWriter csv({"vpp_v", "trcd_min_ns"});
-    std::printf("%-8s %12s\n", "VPP[V]", "tRCDmin[ns]");
-    for (std::size_t l = 0; l < sweep->vpp_levels.size(); ++l) {
-      std::printf("%-8.2f %12.1f\n", sweep->vpp_levels[l],
-                  sweep->trcd_min_ns[l]);
-      csv.begin_row();
-      csv.add(sweep->vpp_levels[l]);
-      csv.add(sweep->trcd_min_ns[l]);
-    }
-    if (!csv_path.empty()) {
-      if (!csv.write_file(csv_path)) return 1;
-      if (!core::write_instrumentation_sidecar(
-              csv_path, core::instrumentation_json(*sweep))) {
-        return 1;
-      }
-    }
-  } else if (kind == "retention") {
+    return render_trcd_sweep(*sweep, csv_path, /*sidecar=*/true);
+  }
+  if (request.test == "retention") {
     auto sweep = study.retention_sweep(cfg);
     if (!sweep) {
       std::fprintf(stderr, "%s\n", sweep.error().to_string().c_str());
@@ -236,30 +363,10 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
       std::printf("instrumentation: %s\n",
                   sweep->instrumentation.summary().c_str());
     }
-    common::CsvWriter csv({"vpp_v", "trefw_ms", "mean_ber"});
-    std::printf("%-8s %10s %12s\n", "VPP[V]", "tREFW[ms]", "meanBER");
-    for (std::size_t l = 0; l < sweep->vpp_levels.size(); ++l) {
-      for (std::size_t w = 0; w < sweep->trefw_ms.size(); ++w) {
-        std::printf("%-8.2f %10.0f %12.4e\n", sweep->vpp_levels[l],
-                    sweep->trefw_ms[w], sweep->mean_ber[l][w]);
-        csv.begin_row();
-        csv.add(sweep->vpp_levels[l]);
-        csv.add(sweep->trefw_ms[w]);
-        csv.add(sweep->mean_ber[l][w]);
-      }
-    }
-    if (!csv_path.empty()) {
-      if (!csv.write_file(csv_path)) return 1;
-      if (!core::write_instrumentation_sidecar(
-              csv_path, core::instrumentation_json(*sweep))) {
-        return 1;
-      }
-    }
-  } else {
-    std::fprintf(stderr, "unknown --test '%s'\n", kind.c_str());
-    return 1;
+    return render_retention_sweep(*sweep, csv_path, /*sidecar=*/true);
   }
-  return 0;
+  std::fprintf(stderr, "unknown --test '%s'\n", request.test.c_str());
+  return 1;
 }
 
 int cmd_profile(const std::map<std::string, std::string>& flags) {
@@ -299,10 +406,75 @@ int cmd_profile(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_inject_remote(const std::map<std::string, std::string>& flags,
+                      std::uint16_t port) {
+  if (has_flag(flags, "csv") || has_flag(flags, "dump-dir")) {
+    std::fprintf(stderr,
+                 "--csv/--dump-dir are not supported with --connect (the "
+                 "artifacts would land on the daemon's filesystem)\n");
+    return 3;
+  }
+  server::InjectRequest request;
+  request.faults = flag_or(flags, "faults", "seed=1");
+  request.modules.clear();
+  const std::string names =
+      flag_or(flags, "modules", flag_or(flags, "module", "B3"));
+  for (std::size_t pos = 0; pos <= names.size();) {
+    const std::size_t end = std::min(names.find(',', pos), names.size());
+    std::string name = names.substr(pos, end - pos);
+    pos = end + 1;
+    if (!name.empty()) request.modules.push_back(std::move(name));
+  }
+  request.rows = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "rows", "8").c_str()));
+  request.retries = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "retries", "3").c_str()));
+  request.seed = static_cast<std::uint64_t>(
+      std::strtoull(flag_or(flags, "seed", "1").c_str(), nullptr, 10));
+  request.trace_cap = static_cast<std::uint64_t>(
+      std::atoll(flag_or(flags, "trace-cap", "4096").c_str()));
+
+  auto client = server::Client::connect(port);
+  if (!client) {
+    std::fprintf(stderr, "%s\n", client.error().to_string().c_str());
+    return 3;
+  }
+  auto result = client->inject(request);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
+    return 3;
+  }
+  std::size_t total = 0;
+  if (const common::JsonValue* modules = result->find("modules")) {
+    total = modules->items().size();
+    for (const auto& m : modules->items()) {
+      std::printf("%-4s %-11s attempts=%llu injected=%llu",
+                  m.string_or("module", "?").c_str(),
+                  m.bool_or("completed", false) ? "completed" : "quarantined",
+                  static_cast<unsigned long long>(m.uint_or("attempts", 0)),
+                  static_cast<unsigned long long>(m.uint_or("injected", 0)));
+      if (!m.bool_or("completed", false)) {
+        std::printf("  %s", m.string_or("error", "").c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("completed %llu/%zu modules, HCfirst CV (completed only) = "
+              "%.4f\n",
+              static_cast<unsigned long long>(result->uint_or("completed", 0)),
+              total, result->number_or("hc_first_cv", 0.0));
+  return 0;
+}
+
 int cmd_inject(const std::map<std::string, std::string>& flags) {
   // Typed-error exit code contract (asserted by the replay-fuzz CI job):
   // 0 = campaign ran to completion (quarantined modules included),
   // 3 = typed error (bad spec, unknown module, export I/O failure).
+  const std::string connect = flag_or(flags, "connect", "");
+  if (!connect.empty()) {
+    return cmd_inject_remote(
+        flags, static_cast<std::uint16_t>(std::atoi(connect.c_str())));
+  }
   auto plan = softmc::FaultPlan::parse(flag_or(flags, "faults", "seed=1"));
   if (!plan) {
     std::fprintf(stderr, "%s\n", plan.error().to_string().c_str());
@@ -396,8 +568,49 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_replay_remote(const std::string& path, std::uint16_t port) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 3;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto client = server::Client::connect(port);
+  if (!client) {
+    std::fprintf(stderr, "%s\n", client.error().to_string().c_str());
+    return 3;
+  }
+  auto result = client->replay(text);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
+    return 3;
+  }
+  std::printf("replayed %llu commands on %s (%zu timing violations)\n",
+              static_cast<unsigned long long>(
+                  result->uint_or("commands_replayed", 0)),
+              result->string_or("module", "?").c_str(),
+              static_cast<std::size_t>(result->uint_or("timing_violations", 0)));
+  if (result->bool_or("reproduced", false)) {
+    std::printf("reproduced: yes\n");
+    return 0;
+  }
+  std::printf("reproduced: NO\n");
+  return 4;
+}
+
 int cmd_replay(const std::string& path,
                const std::map<std::string, std::string>& flags) {
+  const std::string connect = flag_or(flags, "connect", "");
+  if (!connect.empty()) {
+    return cmd_replay_remote(
+        path, static_cast<std::uint16_t>(std::atoi(connect.c_str())));
+  }
   auto dump = softmc::load_trace_dump(path);
   if (!dump) {
     std::fprintf(stderr, "%s\n", dump.error().to_string().c_str());
@@ -441,9 +654,26 @@ int cmd_replay(const std::string& path,
   return 4;
 }
 
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  server::DaemonOptions options;
+  options.config.port = static_cast<std::uint16_t>(
+      std::atoi(flag_or(flags, "port", "0").c_str()));
+  options.port_file = flag_or(flags, "port-file", "");
+  options.config.service.jobs = std::atoi(flag_or(flags, "jobs", "0").c_str());
+  options.config.service.rows_per_shard = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "rows-per-shard", "4").c_str()));
+  options.config.queue.capacity = static_cast<std::size_t>(
+      std::atoll(flag_or(flags, "queue-cap", "16").c_str()));
+  options.config.queue.per_client_quota = static_cast<std::size_t>(
+      std::atoll(flag_or(flags, "quota", "8").c_str()));
+  options.config.queue.dispatchers = static_cast<unsigned>(
+      std::atoi(flag_or(flags, "dispatchers", "2").c_str()));
+  return server::run_daemon(options);
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: vppctl <list|hammer|sweep|profile|inject|replay> "
+               "usage: vppctl <list|hammer|sweep|profile|inject|replay|serve> "
                "[--flag value ...]\n"
                "see the header comment of tools/vppctl.cpp for details\n");
   return 2;
@@ -460,6 +690,7 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return cmd_sweep(flags);
   if (cmd == "profile") return cmd_profile(flags);
   if (cmd == "inject") return cmd_inject(flags);
+  if (cmd == "serve") return cmd_serve(flags);
   if (cmd == "replay") {
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return usage();
     return cmd_replay(argv[2], parse_flags(argc, argv, 3));

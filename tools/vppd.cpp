@@ -1,0 +1,68 @@
+// vppd: the characterization-as-a-service daemon.
+//
+//   vppd [--port N] [--port-file PATH] [--jobs N] [--rows-per-shard N]
+//        [--queue-cap N] [--quota N] [--dispatchers N]
+//
+// Binds 127.0.0.1 (never a routable interface) and serves the vppctl
+// protocol: sweep/inject/replay requests scheduled through a bounded job
+// queue with per-client quotas, results served from a content-addressed
+// cache (see src/server/ and DESIGN.md section 9). --port 0 (the default)
+// binds an ephemeral port; --port-file publishes the bound port atomically
+// for child-process harnesses. Runs until a client sends `shutdown`.
+// Exit codes: 0 clean shutdown, 2 bad usage, 3 typed startup error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace {
+
+using namespace vppstudy;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "vppd: unexpected argument '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    std::string name(argv[i] + 2);
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      flags.insert_or_assign(std::move(name), std::string("1"));
+    } else {
+      flags.insert_or_assign(std::move(name), std::string(argv[i + 1]));
+      ++i;
+    }
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  server::DaemonOptions options;
+  options.config.port = static_cast<std::uint16_t>(
+      std::atoi(flag_or(flags, "port", "0").c_str()));
+  options.port_file = flag_or(flags, "port-file", "");
+  options.config.service.jobs =
+      std::atoi(flag_or(flags, "jobs", "0").c_str());
+  options.config.service.rows_per_shard = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "rows-per-shard", "4").c_str()));
+  options.config.queue.capacity = static_cast<std::size_t>(
+      std::atoll(flag_or(flags, "queue-cap", "16").c_str()));
+  options.config.queue.per_client_quota = static_cast<std::size_t>(
+      std::atoll(flag_or(flags, "quota", "8").c_str()));
+  options.config.queue.dispatchers = static_cast<unsigned>(
+      std::atoi(flag_or(flags, "dispatchers", "2").c_str()));
+  return server::run_daemon(options);
+}
