@@ -108,29 +108,39 @@ core::StudyConfig study_config(const BenchOptions& opt) {
   return config;
 }
 
+core::CampaignPlan campaign_plan(const BenchOptions& opt) {
+  return core::CampaignPlan::from_study(study_config(opt));
+}
+
 std::vector<core::ModuleSweepResult> run_rowhammer_all(
     const BenchOptions& opt) {
-  core::ParallelStudy engine(study_config(opt));
-  auto sweeps = engine.rowhammer_sweeps();
-  if (!sweeps) {
+  core::CampaignEngine engine(campaign_plan(opt));
+  auto grids = engine.run_hammer();
+  if (!grids) {
     std::fprintf(stderr, "rowhammer sweep failed: %s\n",
-                 sweeps.error().to_string().c_str());
+                 grids.error().to_string().c_str());
     return {};
   }
-  print_instrumentation("rowhammer", *sweeps);
-  return std::move(*sweeps);
+  std::vector<core::ModuleSweepResult> sweeps;
+  sweeps.reserve(grids->size());
+  for (const auto& grid : *grids) sweeps.push_back(grid.to_sweep());
+  print_instrumentation("rowhammer", sweeps);
+  return sweeps;
 }
 
 std::vector<core::TrcdSweepResult> run_trcd_all(const BenchOptions& opt) {
-  core::ParallelStudy engine(study_config(opt));
-  auto sweeps = engine.trcd_sweeps();
-  if (!sweeps) {
+  core::CampaignEngine engine(campaign_plan(opt));
+  auto grids = engine.run_trcd();
+  if (!grids) {
     std::fprintf(stderr, "tRCD sweep failed: %s\n",
-                 sweeps.error().to_string().c_str());
+                 grids.error().to_string().c_str());
     return {};
   }
-  print_instrumentation("trcd", *sweeps);
-  return std::move(*sweeps);
+  std::vector<core::TrcdSweepResult> sweeps;
+  sweeps.reserve(grids->size());
+  for (const auto& grid : *grids) sweeps.push_back(grid.to_sweep());
+  print_instrumentation("trcd", sweeps);
+  return sweeps;
 }
 
 void print_scale_banner(const std::string& what, const BenchOptions& opt) {

@@ -15,9 +15,11 @@
 
 #include "chips/module_db.hpp"
 #include "common/thread_pool.hpp"
+#include "core/campaign.hpp"
 #include "core/parallel_study.hpp"
 #include "core/study.hpp"
 #include "dram/profile.hpp"
+#include "stats/descriptive.hpp"
 
 namespace vppstudy::bench {
 
@@ -56,6 +58,13 @@ struct BenchOptions {
 
 /// Engine config over the first `max_modules` profiles with the shared grid.
 [[nodiscard]] core::StudyConfig study_config(const BenchOptions& opt);
+
+/// The same configuration lifted into the multi-axis engine's vocabulary: a
+/// VPP-only CampaignPlan over the bench modules. Benches that sweep extra
+/// axes start from this and populate `axes` (and every bench sweep now runs
+/// through the one CampaignEngine, so figure output and `vppctl campaign`
+/// output come from the same code path).
+[[nodiscard]] core::CampaignPlan campaign_plan(const BenchOptions& opt);
 
 /// The first `max_modules` profiles.
 [[nodiscard]] std::vector<dram::ModuleProfile> bench_modules(
@@ -104,6 +113,73 @@ template <typename SweepResult>
 void print_instrumentation(const std::string& what,
                            const std::vector<SweepResult>& sweeps) {
   print_instrumentation(what, std::span<const SweepResult>(sweeps));
+}
+
+/// Headline aggregate accumulated by print_normalized_sweep_table: the mean
+/// and max of a per-row delta at each module's VPPmin level.
+struct NormalizedHeadline {
+  double sum = 0.0;
+  std::size_t rows = 0;
+  double max_delta = 0.0;
+  std::string max_module;
+  double max_vpp = 2.5;
+
+  [[nodiscard]] double mean_pct() const {
+    return 100.0 * sum / static_cast<double>(rows == 0 ? 1 : rows);
+  }
+  [[nodiscard]] double max_pct() const { return 100.0 * max_delta; }
+};
+
+/// The shared Fig. 3 / Fig. 5 scaffolding: a per-(VPP, module) table of the
+/// mean normalized series, then 90% bands per module at its VPPmin.
+/// `norm_at(sweep, level)` extracts the normalized per-row series;
+/// `delta(r)` maps one normalized value to the headline quantity (1-r for a
+/// BER reduction, r-1 for an HCfirst increase), accumulated at VPPmin only.
+template <typename NormAt, typename Delta>
+NormalizedHeadline print_normalized_sweep_table(
+    const std::vector<core::ModuleSweepResult>& sweeps,
+    const BenchOptions& opt, NormAt norm_at, Delta delta) {
+  NormalizedHeadline headline;
+  std::printf("%-6s", "VPP[V]");
+  for (const auto& s : sweeps) std::printf(" %8s", s.module_name.c_str());
+  std::printf("\n");
+  // All modules share the master grid; print per level, gaps below VPPmin.
+  const auto grid = vpp_grid(opt.vpp_step);
+  for (const double vpp : grid) {
+    std::printf("%-6.2f", vpp);
+    for (const auto& s : sweeps) {
+      const int idx = s.level_index(vpp);
+      if (idx < 0) {
+        std::printf(" %8s", "-");
+        continue;
+      }
+      const auto norm = norm_at(s, static_cast<std::size_t>(idx));
+      std::printf(" %8.3f", stats::mean(norm));
+      if (idx == static_cast<int>(s.vpp_levels.size()) - 1) {
+        for (const double r : norm) {
+          const double d = delta(r);
+          headline.sum += d;
+          ++headline.rows;
+          if (d > headline.max_delta) {
+            headline.max_delta = d;
+            headline.max_module = s.module_name;
+            headline.max_vpp = vpp;
+          }
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n90%% bands across rows (per module, at its VPPmin):\n");
+  for (const auto& s : sweeps) {
+    const auto norm = norm_at(s, s.vpp_levels.size() - 1);
+    const auto band = stats::central_interval(norm, 0.90);
+    std::printf("  %-4s @%.1fV: mean %.3f [%.3f, %.3f]\n",
+                s.module_name.c_str(), s.vpp_levels.back(), stats::mean(norm),
+                band.lower, band.upper);
+  }
+  return headline;
 }
 
 /// Render one series as a fixed-width table row block:

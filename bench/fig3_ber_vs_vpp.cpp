@@ -2,11 +2,9 @@
 // curve per module, with 90% confidence bands across tested rows.
 // Paper result to reproduce: BER *decreases* with reduced VPP for most rows,
 // by 15.2% on average and up to 66.9% (B3 at 1.6V).
-#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "stats/descriptive.hpp"
 
 int main(int argc, char** argv) {
   using namespace vppstudy;
@@ -14,56 +12,17 @@ int main(int argc, char** argv) {
   bench::print_scale_banner("Fig. 3: normalized RowHammer BER vs VPP", opt);
 
   const auto sweeps = bench::run_rowhammer_all(opt);
-  double worst_reduction = 0.0;
-  std::string worst_module;
-  double worst_vpp = 2.5;
-  double sum_reduction = 0.0;
-  std::size_t n_rows = 0;
-
-  std::printf("%-6s", "VPP[V]");
-  for (const auto& s : sweeps) std::printf(" %8s", s.module_name.c_str());
-  std::printf("\n");
-  // All modules share the master grid; print per level, gaps below VPPmin.
-  const auto grid = bench::vpp_grid(opt.vpp_step);
-  for (const double vpp : grid) {
-    std::printf("%-6.2f", vpp);
-    for (const auto& s : sweeps) {
-      const int idx = s.level_index(vpp);
-      if (idx < 0) {
-        std::printf(" %8s", "-");
-        continue;
-      }
-      const auto norm = s.normalized_ber_at(static_cast<std::size_t>(idx));
-      const double mean = stats::mean(norm);
-      std::printf(" %8.3f", mean);
-      if (idx == static_cast<int>(s.vpp_levels.size()) - 1) {
-        for (const double r : norm) {
-          sum_reduction += 1.0 - r;
-          ++n_rows;
-          if (1.0 - r > worst_reduction) {
-            worst_reduction = 1.0 - r;
-            worst_module = s.module_name;
-            worst_vpp = vpp;
-          }
-        }
-      }
-    }
-    std::printf("\n");
-  }
-
-  std::printf("\n90%% bands across rows (per module, at its VPPmin):\n");
-  for (const auto& s : sweeps) {
-    const auto norm = s.normalized_ber_at(s.vpp_levels.size() - 1);
-    const auto band = stats::central_interval(norm, 0.90);
-    std::printf("  %-4s @%.1fV: mean %.3f [%.3f, %.3f]\n",
-                s.module_name.c_str(), s.vpp_levels.back(),
-                stats::mean(norm), band.lower, band.upper);
-  }
+  const auto headline = bench::print_normalized_sweep_table(
+      sweeps, opt,
+      [](const core::ModuleSweepResult& s, std::size_t level) {
+        return s.normalized_ber_at(level);
+      },
+      [](double r) { return 1.0 - r; });
 
   std::printf(
       "\nHeadline: mean BER reduction at VPPmin = %.1f%% (paper: 15.2%%), "
       "max = %.1f%% on %s at %.1fV (paper: 66.9%% on B3 at 1.6V)\n",
-      100.0 * sum_reduction / static_cast<double>(std::max<std::size_t>(n_rows, 1)),
-      100.0 * worst_reduction, worst_module.c_str(), worst_vpp);
+      headline.mean_pct(), headline.max_pct(), headline.max_module.c_str(),
+      headline.max_vpp);
   return 0;
 }

@@ -1,11 +1,9 @@
 // Fig. 5: normalized HCfirst across VPP levels, one curve per module, with
 // 90% bands across rows. Paper result to reproduce: HCfirst *increases* with
 // reduced VPP for most rows, by 7.4% on average and up to 85.8% (B3, 1.6V).
-#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "stats/descriptive.hpp"
 
 int main(int argc, char** argv) {
   using namespace vppstudy;
@@ -13,52 +11,16 @@ int main(int argc, char** argv) {
   bench::print_scale_banner("Fig. 5: normalized HCfirst vs VPP", opt);
 
   const auto sweeps = bench::run_rowhammer_all(opt);
-  double max_increase = 0.0;
-  std::string max_module;
-  double sum_increase = 0.0;
-  std::size_t n_rows = 0;
-
-  std::printf("%-6s", "VPP[V]");
-  for (const auto& s : sweeps) std::printf(" %8s", s.module_name.c_str());
-  std::printf("\n");
-  const auto grid = bench::vpp_grid(opt.vpp_step);
-  for (const double vpp : grid) {
-    std::printf("%-6.2f", vpp);
-    for (const auto& s : sweeps) {
-      const int idx = s.level_index(vpp);
-      if (idx < 0) {
-        std::printf(" %8s", "-");
-        continue;
-      }
-      const auto norm = s.normalized_hc_first_at(static_cast<std::size_t>(idx));
-      std::printf(" %8.3f", stats::mean(norm));
-      if (idx == static_cast<int>(s.vpp_levels.size()) - 1) {
-        for (const double r : norm) {
-          sum_increase += r - 1.0;
-          ++n_rows;
-          if (r - 1.0 > max_increase) {
-            max_increase = r - 1.0;
-            max_module = s.module_name;
-          }
-        }
-      }
-    }
-    std::printf("\n");
-  }
-
-  std::printf("\n90%% bands across rows (per module, at its VPPmin):\n");
-  for (const auto& s : sweeps) {
-    const auto norm = s.normalized_hc_first_at(s.vpp_levels.size() - 1);
-    const auto band = stats::central_interval(norm, 0.90);
-    std::printf("  %-4s @%.1fV: mean %.3f [%.3f, %.3f]\n",
-                s.module_name.c_str(), s.vpp_levels.back(),
-                stats::mean(norm), band.lower, band.upper);
-  }
+  const auto headline = bench::print_normalized_sweep_table(
+      sweeps, opt,
+      [](const core::ModuleSweepResult& s, std::size_t level) {
+        return s.normalized_hc_first_at(level);
+      },
+      [](double r) { return r - 1.0; });
 
   std::printf(
       "\nHeadline: mean HCfirst increase at VPPmin = %.1f%% (paper: 7.4%%), "
       "max = %.1f%% on %s (paper: 85.8%% on B3)\n",
-      100.0 * sum_increase / static_cast<double>(std::max<std::size_t>(n_rows, 1)),
-      100.0 * max_increase, max_module.c_str());
+      headline.mean_pct(), headline.max_pct(), headline.max_module.c_str());
   return 0;
 }

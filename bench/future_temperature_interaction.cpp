@@ -1,70 +1,103 @@
 // Section 7 / future work: the three-way VPP x temperature x RowHammer
 // interaction the paper explicitly defers ("requires several months of
-// testing time" on real silicon; seconds here). Sweeps both axes on one
-// module and prints the mean normalized HCfirst surface plus the fraction
-// of rows whose temperature direction flips sign -- the row-dependence
-// [12] reports.
+// testing time" on real silicon; seconds here). Declared as a multi-axis
+// CampaignPlan -- VPP levels x a first-class temperature axis -- and run
+// through core::CampaignEngine, so this bench exercises exactly the grid
+// path `vppctl campaign run --temps ...` and the vppd daemon use. Prints
+// the mean normalized HCfirst surface plus the fraction of rows whose
+// temperature direction flips sign -- the row-dependence [12] reports.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "harness/rowhammer_test.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
-  using namespace vppstudy;
+namespace {
+
+using namespace vppstudy;
+
+/// Index of the grid point at (vpp, temp); the engine stores normalized
+/// points, so match on the resolved temperature.
+int point_index(const core::HammerGrid& grid, double vpp, double temp) {
+  for (std::size_t p = 0; p < grid.points.size(); ++p) {
+    const auto& point = grid.points[p];
+    if (point.vpp_v == vpp &&
+        point.resolved_temperature(core::JobPhase::kRowHammer) == temp) {
+      return static_cast<int>(p);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::options_from_args(argc, argv);
   auto profile = chips::profile_by_name("B3").value();
   profile.rows_per_bank = 8192;
-  constexpr std::uint32_t kRows = 24;
+
+  const std::vector<double> temps = {50.0, 65.0, 80.0};
+  const std::vector<double> vpps = {2.5, 2.0, 1.6};
+
+  core::CampaignPlan plan;
+  plan.sweep = bench::sweep_config(opt);
+  plan.sweep.vpp_levels = vpps;
+  plan.sweep.sampling.chunks = 4;
+  plan.sweep.sampling.rows_per_chunk = 6;  // 24 rows, like the original bench
+  plan.axes.temperatures_c = temps;
+  plan.modules.push_back(profile);
+  plan.seed = opt.seed;
+  plan.jobs = opt.jobs;
+
+  core::CampaignEngine engine(std::move(plan));
+  auto grids = engine.run_hammer();
+  if (!grids || grids->empty()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 grids ? "no grids" : grids.error().to_string().c_str());
+    return 1;
+  }
+  const core::HammerGrid& grid = grids->front();
 
   std::printf("# Future work (section 7): VPP x temperature x RowHammer "
-              "(module B3, %u rows)\n\n", kRows);
-  const double temps[] = {50.0, 65.0, 80.0};
-  const double vpps[] = {2.5, 2.0, 1.6};
+              "(module B3, %zu rows)\n\n", grid.rows.size());
 
-  // Reference HCfirst per row at (2.5V, 50C).
-  std::vector<std::uint32_t> rows;
-  for (std::uint32_t r = 100; rows.size() < kRows; r += 17) rows.push_back(r);
+  // Reference HCfirst per row at (2.5V, 50C) -- the methodology corner.
+  const int ref = point_index(grid, 2.5, 50.0);
+  if (ref < 0) {
+    std::fprintf(stderr, "reference point (2.5V, 50C) missing from grid\n");
+    return 1;
+  }
+  const auto& reference = grid.cells[static_cast<std::size_t>(ref)];
 
-  std::vector<double> reference(rows.size(), 0.0);
   std::printf("mean normalized HCfirst (vs 2.5V/50C):\n%-8s", "VPP[V]");
   for (const double t : temps) std::printf(" %8.0fC", t);
   std::printf("\n");
 
-  std::vector<std::vector<double>> per_row_at_80c;  // for direction stats
+  std::vector<double> norm_at_80c;  // 2.5V column, for direction stats
   for (const double vpp : vpps) {
     std::printf("%-8.1f", vpp);
     for (const double temp : temps) {
-      softmc::Session session(profile);
-      session.set_auto_refresh(false);
-      if (!session.set_temperature(temp).ok() || !session.set_vpp(vpp).ok()) {
+      const int p = point_index(grid, vpp, temp);
+      if (p < 0) {
         std::printf(" %9s", "-");
         continue;
       }
-      harness::RowHammerConfig cfg;
-      cfg.num_iterations = 1;
-      harness::RowHammerTest test(session, cfg);
       std::vector<double> norm;
-      std::vector<double> raw;
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        auto rr = test.test_row(0, rows[i], dram::DataPattern::kCheckerAA);
-        if (!rr) continue;
-        raw.push_back(static_cast<double>(rr->hc_first));
-        if (vpp == 2.5 && temp == 50.0) {
-          reference[i] = static_cast<double>(rr->hc_first);
-        }
-        if (reference[i] > 0.0) {
-          norm.push_back(static_cast<double>(rr->hc_first) / reference[i]);
+      const auto& cells = grid.cells[static_cast<std::size_t>(p)];
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const double base = static_cast<double>(reference[i].hc_first);
+        if (base > 0.0) {
+          norm.push_back(static_cast<double>(cells[i].hc_first) / base);
         }
       }
-      if (vpp == 2.5 && temp == 80.0) per_row_at_80c.push_back(norm);
+      if (vpp == 2.5 && temp == 80.0) norm_at_80c = norm;
       std::printf(" %9.3f", stats::mean(norm));
     }
     std::printf("\n");
   }
 
-  if (!per_row_at_80c.empty()) {
-    const auto& n = per_row_at_80c.front();
-    const double frac_up = stats::fraction_above(n, 1.0);
+  if (!norm_at_80c.empty()) {
+    const double frac_up = stats::fraction_above(norm_at_80c, 1.0);
     std::printf(
         "\nrow-dependence at 2.5V/80C: %.0f%% of rows get *stronger* with "
         "temperature,\n%.0f%% weaker -- the direction is per-row, matching "

@@ -1,0 +1,98 @@
+// Multi-axis sensitivity grid: temperature x VPP x hammer-count RowHammer
+// characterization of one module, run as a single CampaignPlan through
+// core::CampaignEngine and exported in full via the shared grid_csv /
+// grid_json serializers (the same documents `vppctl campaign --csv/--json`
+// writes). The stdout summary is a VPPmin pivot of mean BER over the
+// (temperature, hammer count) plane -- the two-knob sensitivity surface
+// "A Deeper Look into RowHammer's Sensitivities" explores one axis at a
+// time.
+//
+// Output paths default to sensitivity_grid.{csv,json} in the working
+// directory; set VPP_BENCH_GRID_PREFIX to redirect both. VPP_BENCH_* and
+// --jobs/--rows/--step scale fidelity as in every other bench.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/export.hpp"
+#include "stats/descriptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vppstudy;
+  const auto opt = bench::options_from_args(argc, argv);
+  bench::print_scale_banner(
+      "Sensitivity grid: temperature x VPP x hammer count", opt);
+
+  const std::vector<double> temps = {50.0, 65.0, 80.0};
+  const std::vector<std::uint64_t> hammer_counts = {150000, 300000, 600000};
+
+  core::CampaignPlan plan = bench::campaign_plan(opt);
+  plan.modules.resize(1);  // one module: the grid is already 3-axis
+  plan.axes.temperatures_c = temps;
+  plan.axes.hammer_counts = hammer_counts;
+
+  const std::string module_name = plan.modules.front().name;
+  const std::uint64_t default_hc = plan.sweep.hammer.ber_hc;
+  core::CampaignEngine engine(std::move(plan));
+  auto grids = engine.run_hammer();
+  if (!grids || grids->empty()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 grids ? "no grids" : grids.error().to_string().c_str());
+    return 1;
+  }
+  const core::HammerGrid& grid = grids->front();
+  std::printf("# module %s: %zu grid points x %zu rows\n", module_name.c_str(),
+              grid.points.size(), grid.rows.size());
+
+  // VPPmin pivot: mean BER over rows per (temperature, hammer count).
+  const double vppmin = grid.points.empty() ? 0.0 : grid.points.back().vpp_v;
+  std::printf("\nmean BER at VPP=%.2fV (rows averaged):\n%-10s", vppmin,
+              "HC\\temp");
+  for (const double t : temps) std::printf(" %9.0fC", t);
+  std::printf("\n");
+  for (const std::uint64_t hc : hammer_counts) {
+    std::printf("%-10llu", static_cast<unsigned long long>(hc));
+    for (const double temp : temps) {
+      double shown = -1.0;
+      for (std::size_t p = 0; p < grid.points.size(); ++p) {
+        const auto& point = grid.points[p];
+        if (point.vpp_v != vppmin) continue;
+        if (point.resolved_temperature(core::JobPhase::kRowHammer) != temp) {
+          continue;
+        }
+        // Normalized points collapse the default hammer count to 0.
+        const std::uint64_t point_hc =
+            point.hammer_count == 0 ? default_hc : point.hammer_count;
+        if (point_hc != hc) continue;
+        std::vector<double> bers;
+        for (const auto& cell : grid.cells[p]) bers.push_back(cell.ber);
+        shown = stats::mean(bers);
+        break;
+      }
+      if (shown < 0.0) {
+        std::printf(" %10s", "-");
+      } else {
+        std::printf(" %10.3e", shown);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::string prefix = "sensitivity_grid";
+  if (const char* v = std::getenv("VPP_BENCH_GRID_PREFIX")) prefix = v;
+  const std::string csv_path = prefix + ".csv";
+  const std::string json_path = prefix + ".json";
+  if (!core::grid_csv(grid).write_file(csv_path)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!core::grid_json(grid).write_file(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s and %s (full %zu-point grid)\n", csv_path.c_str(),
+              json_path.c_str(), grid.points.size());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The campaign axis vocabulary: the coordinates a characterization cell can
+// vary over beyond the paper's single VPP axis -- temperature, hammer count,
+// and aggressor on-time (ACT-to-ACT spacing), the cross-product "A Deeper
+// Look into RowHammer's Sensitivities" explores.
+//
+// The contract that keeps every historical output byte-identical: an axis
+// value equal to its phase default *normalizes to zero* and the per-cell
+// noise-stream key stays the legacy 5-tuple
+//   hash_key({seed, module seed, VPP mV, phase, row}).
+// Only a genuinely off-default coordinate extends the tuple with its axis
+// words. A VPP-only campaign (or one that spells out the defaults, e.g.
+// temperatures {50} for a hammer sweep) therefore reproduces the exact
+// pre-axis results, and caches keyed by the same rule share those cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vppstudy::core {
+
+/// The experiment family a job belongs to; part of its stream key so the
+/// same (module, VPP) cell draws independent noise in different sweeps.
+enum class JobPhase : std::uint64_t {
+  kWcdp = 1,
+  kRowHammer = 2,
+  kTrcd = 3,
+  kRetention = 4,
+};
+
+/// The methodology temperature of a phase (section 4.1): 50C for hammer and
+/// tRCD, 80C for retention.
+[[nodiscard]] double default_phase_temperature(JobPhase phase) noexcept;
+
+/// One grid coordinate. Zero in a non-VPP field means "phase default":
+/// default_phase_temperature for temperature, SweepConfig::hammer.ber_hc for
+/// the hammer count, the nominal tRC spacing for the ACT-to-ACT on-time.
+struct AxisPoint {
+  double vpp_v = 0.0;
+  double temperature_c = 0.0;    ///< 0 = phase default (50C / 80C)
+  std::uint64_t hammer_count = 0;  ///< 0 = the sweep's BER hammer count
+  double act_to_act_ns = 0.0;    ///< 0 = nominal tRC aggressor spacing
+
+  /// True when every non-VPP coordinate is at its phase default -- the
+  /// legacy seed tuple applies.
+  [[nodiscard]] bool baseline() const noexcept {
+    return temperature_c == 0.0 && hammer_count == 0 && act_to_act_ns == 0.0;
+  }
+
+  /// Canonical form of this point for `phase`: coordinates equal to the
+  /// phase default collapse to 0, and axes the phase does not consult
+  /// (hammer count and on-time outside kRowHammer) are dropped. Seeds,
+  /// cache keys, and manifest records all key by the normalized point.
+  [[nodiscard]] AxisPoint normalized(JobPhase phase,
+                                     std::uint64_t default_hammer_count) const;
+
+  /// The temperature the rig actually programs for `phase`.
+  [[nodiscard]] double resolved_temperature(JobPhase phase) const noexcept;
+
+  friend bool operator==(const AxisPoint&, const AxisPoint&) = default;
+};
+
+/// Millivolt/millidegree/picosecond quantizations: the integer words an
+/// AxisPoint contributes to hash keys and manifest records (stable against
+/// floating-point drift in level arithmetic, like vpp_millivolts).
+[[nodiscard]] std::int64_t temperature_millidegrees(double temp_c) noexcept;
+[[nodiscard]] std::int64_t act_to_act_picoseconds(double ns) noexcept;
+
+/// The extra campaign axes beyond VPP; empty vectors mean "phase default
+/// only", so a default-constructed CampaignAxes is the paper's VPP-only
+/// campaign.
+struct CampaignAxes {
+  std::vector<double> temperatures_c;
+  std::vector<std::uint64_t> hammer_counts;  ///< kRowHammer only
+  std::vector<double> act_to_act_ns;         ///< kRowHammer only
+  /// True when no extra axis is populated (a pure VPP sweep).
+  [[nodiscard]] bool vpp_only() const noexcept {
+    return temperatures_c.empty() && hammer_counts.empty() &&
+           act_to_act_ns.empty();
+  }
+  /// Expand the grid for one phase: VPP-major over `vpp_levels`, then
+  /// temperature, hammer count, on-time. Points are normalized (defaults
+  /// collapse to 0) and exact duplicates after normalization are dropped,
+  /// so axes {50} for a hammer phase yield the same point list as no axis.
+  [[nodiscard]] std::vector<AxisPoint> points_for(
+      const std::vector<double>& vpp_levels, JobPhase phase,
+      std::uint64_t default_hammer_count) const;
+
+  friend bool operator==(const CampaignAxes&, const CampaignAxes&) = default;
+};
+
+/// Stream seed of one sampled row at one grid point. Baseline points use the
+/// legacy row_stream_seed 5-tuple; off-default points append their axis
+/// words -- see the file header for why this split is load-bearing.
+[[nodiscard]] std::uint64_t point_stream_seed(std::uint64_t seed,
+                                              std::uint64_t module_seed,
+                                              JobPhase phase, std::uint32_t row,
+                                              const AxisPoint& point) noexcept;
+
+}  // namespace vppstudy::core

@@ -1,0 +1,329 @@
+// The unified campaign engine.
+//
+// One layered orchestrator replaces the four historical drivers (core/study
+// serial, core/parallel_study sharded, core/resilient_study retry/quarantine,
+// and the vppd service's in-house shard planner): a declarative CampaignPlan
+// -- sweep + extra axes + modules + seed + shard granularity -- is compiled
+// into (module, grid point, row-range shard) units and executed by
+// CampaignEngine on a work-stealing pool with worker-local session arenas.
+// The old facades survive as thin adapters and their outputs stay
+// byte-identical: a VPP-only plan produces exactly the job set, stream keys,
+// and assembly order the pre-engine code produced (core/axis.hpp explains
+// the seed-normalization rule that makes this hold).
+//
+// Layers the engine composes:
+//
+//  * CellStore -- an optional per-row result store consulted before any
+//    session runs. The vppd daemon adapts its content-addressed ResultCache
+//    to this interface; rows served from the store are merged with computed
+//    rows and the merged output is bit-identical to a fresh run, because
+//    every row is a pure function of its stream key.
+//
+//  * Campaign manifest -- optional checkpoint/resume. When
+//    CampaignPlan::manifest_path is set, the engine serializes a manifest
+//    (plan hash + full plan spec + completed-shard records with per-row
+//    results and session counts, versioned JSON like softmc/trace_dump)
+//    after each shard completes, via atomic tmp+rename. A killed campaign
+//    re-run against the same manifest skips completed shards and the merged
+//    result -- rows, reductions, instrumentation -- is byte-identical to an
+//    uninterrupted run. The manifest embeds the plan spec, so
+//    plan_from_manifest reconstructs the campaign from the file alone
+//    (vppctl campaign resume).
+//
+// Determinism: unit order (module, point, shard) is the assembly and
+// error-priority order regardless of scheduling; manifest records are
+// written in drain order, so "the first N shards" of a partial manifest is
+// a deterministic set for any fixed jobs count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "core/axis.hpp"
+#include "core/parallel_study.hpp"
+#include "core/resilient_study.hpp"
+#include "core/study.hpp"
+#include "dram/profile.hpp"
+
+namespace vppstudy::softmc {
+class Session;
+}  // namespace vppstudy::softmc
+
+namespace vppstudy::core {
+
+/// A declarative multi-axis campaign: what to sweep (VPP levels come from
+/// `sweep.vpp_levels`, extra axes from `axes`), on which modules, with which
+/// seed, plus execution and checkpoint knobs.
+struct CampaignPlan {
+  SweepConfig sweep;
+  CampaignAxes axes;
+  std::vector<dram::ModuleProfile> modules;
+  std::uint64_t seed = 0;
+  /// Worker threads (StudyConfig::jobs semantics). Not part of the plan
+  /// identity: any jobs count produces byte-identical results.
+  int jobs = 1;
+  std::uint32_t rows_per_shard = 4;
+  common::CancelToken cancel;
+  /// Checkpoint file; empty disables checkpointing. The manifest is keyed
+  /// by digest(phase), so one path serves one (plan, phase) pair.
+  std::string manifest_path;
+  /// Stop submitting new shard computations after this many (0 = no limit)
+  /// and fail with kCancelled once completed work is checkpointed -- the
+  /// deterministic "kill mid-campaign" used by the resume tests, and a
+  /// budget knob for incremental fill-in of big grids.
+  std::uint32_t max_new_shards = 0;
+
+  /// Lift a legacy StudyConfig into a VPP-only plan (the facade path).
+  [[nodiscard]] static CampaignPlan from_study(StudyConfig config);
+
+  /// Hash of every result-affecting plan input for `phase`: seed, sampling,
+  /// phase configs, VPP levels, axes, shard granularity (the manifest's
+  /// canonical shard grid), and module identities. jobs and manifest_path
+  /// are excluded -- they do not change results.
+  [[nodiscard]] std::uint64_t digest(JobPhase phase) const;
+};
+
+/// Optional per-row result store the engine consults before computing a
+/// row and feeds after computing one. All methods take the *normalized*
+/// grid point (core/axis.hpp), so implementations key by the same axis
+/// coordinates the stream seeds use. Default implementation stores nothing.
+class CellStore {
+ public:
+  virtual ~CellStore() = default;
+
+  [[nodiscard]] virtual bool lookup_wcdp(const dram::ModuleProfile& profile,
+                                         std::vector<dram::DataPattern>* out) {
+    (void)profile;
+    (void)out;
+    return false;
+  }
+  virtual void store_wcdp(const dram::ModuleProfile& profile,
+                          const std::vector<dram::DataPattern>& wcdp) {
+    (void)profile;
+    (void)wcdp;
+  }
+
+  [[nodiscard]] virtual bool lookup_hammer(const dram::ModuleProfile& profile,
+                                           const AxisPoint& point,
+                                           std::uint32_t row,
+                                           harness::RowHammerRowResult* out) {
+    (void)profile;
+    (void)point;
+    (void)row;
+    (void)out;
+    return false;
+  }
+  virtual void store_hammer(const dram::ModuleProfile& profile,
+                            const AxisPoint& point,
+                            const harness::RowHammerRowResult& row) {
+    (void)profile;
+    (void)point;
+    (void)row;
+  }
+
+  [[nodiscard]] virtual bool lookup_trcd(const dram::ModuleProfile& profile,
+                                         const AxisPoint& point,
+                                         std::uint32_t row,
+                                         harness::TrcdRowResult* out) {
+    (void)profile;
+    (void)point;
+    (void)row;
+    (void)out;
+    return false;
+  }
+  virtual void store_trcd(const dram::ModuleProfile& profile,
+                          const AxisPoint& point,
+                          const harness::TrcdRowResult& row) {
+    (void)profile;
+    (void)point;
+    (void)row;
+  }
+
+  [[nodiscard]] virtual bool lookup_retention(
+      const dram::ModuleProfile& profile, const AxisPoint& point,
+      std::uint32_t row, harness::RetentionRowResult* out) {
+    (void)profile;
+    (void)point;
+    (void)row;
+    (void)out;
+    return false;
+  }
+  virtual void store_retention(const dram::ModuleProfile& profile,
+                               const AxisPoint& point,
+                               const harness::RetentionRowResult& row) {
+    (void)profile;
+    (void)point;
+    (void)row;
+  }
+};
+
+/// One reusable rig session per (worker, module name). Shared by the engine
+/// and the vppd service (which serves many requests, hence name keying).
+struct SessionArena {
+  std::map<std::string, std::unique_ptr<softmc::Session>> sessions;
+  softmc::Session& acquire(const dram::ModuleProfile& profile);
+};
+
+// --- Grid results ------------------------------------------------------------
+// One grid per module per phase: `cells[point][i]` is the result of sampled
+// row `rows[i]` at `points[point]`. For a VPP-only plan the points are
+// exactly the usable VPP levels and to_sweep() reproduces the legacy result
+// structs byte for byte.
+
+struct HammerGrid {
+  std::string module_name;
+  dram::Manufacturer mfr = dram::Manufacturer::kMfrA;
+  double vppmin_v = 0.0;
+  std::vector<std::uint32_t> rows;
+  std::vector<dram::DataPattern> wcdp;  ///< parallel to rows
+  std::vector<AxisPoint> points;        ///< normalized, VPP-major
+  std::vector<std::vector<harness::RowHammerRowResult>> cells;
+  SweepInstrumentation instrumentation;
+
+  [[nodiscard]] ModuleSweepResult to_sweep() const;
+};
+
+struct TrcdGrid {
+  std::string module_name;
+  double vppmin_v = 0.0;
+  std::vector<std::uint32_t> rows;
+  std::vector<AxisPoint> points;
+  std::vector<std::vector<harness::TrcdRowResult>> cells;
+  SweepInstrumentation instrumentation;
+
+  [[nodiscard]] TrcdSweepResult to_sweep() const;
+};
+
+struct RetentionGrid {
+  std::string module_name;
+  dram::Manufacturer mfr = dram::Manufacturer::kMfrA;
+  std::vector<std::uint32_t> rows;
+  std::vector<AxisPoint> points;
+  std::vector<std::vector<harness::RetentionRowResult>> cells;
+  SweepInstrumentation instrumentation;
+
+  [[nodiscard]] RetentionSweepResult to_sweep() const;
+};
+
+// --- Campaign manifest -------------------------------------------------------
+
+/// One completed shard: its grid coordinates, the row results, and the
+/// session counts that produced them (absent for shards served entirely
+/// from a CellStore -- no session ran).
+struct ManifestShard {
+  std::string module;
+  AxisPoint point;  ///< normalized
+  std::uint32_t row_begin = 0;  ///< index range into the sampled row list
+  std::uint32_t row_end = 0;
+  bool counted = false;  ///< a session ran; counts below are meaningful
+  softmc::CommandCounts counts;
+  /// Exactly one of these is populated, per the manifest's phase.
+  std::vector<harness::RowHammerRowResult> hammer;
+  std::vector<harness::TrcdRowResult> trcd;
+  std::vector<harness::RetentionRowResult> retention;
+};
+
+struct ManifestWcdp {
+  std::string module;
+  std::vector<dram::DataPattern> wcdp;
+  bool counted = false;
+  softmc::CommandCounts counts;
+};
+
+/// The checkpoint document: plan hash + the full plan spec (so resume can
+/// reconstruct the campaign from the file alone) + completed work.
+/// Versioned like softmc/trace_dump: unknown major versions are rejected,
+/// unknown keys ignored.
+struct CampaignManifest {
+  static constexpr int kVersion = 1;
+  static constexpr std::string_view kSchemaPrefix =
+      "vppstudy-campaign-manifest/";
+
+  int version = kVersion;
+  JobPhase phase = JobPhase::kRowHammer;
+  std::uint64_t plan_hash = 0;
+
+  // Plan spec (modules by (name, rows_per_bank); profiles are rebuilt from
+  // chips/module_db on resume).
+  SweepConfig sweep;
+  CampaignAxes axes;
+  std::uint64_t seed = 0;
+  std::uint32_t rows_per_shard = 4;
+  std::vector<std::pair<std::string, std::uint32_t>> modules;
+
+  std::vector<ManifestWcdp> wcdp;
+  std::vector<ManifestShard> shards;
+
+  /// Total shard units the plan compiles to (for status displays).
+  std::uint64_t planned_shards = 0;
+};
+
+/// Stable phase tag used in manifests and status output: "wcdp",
+/// "rowhammer", "trcd", or "retention".
+[[nodiscard]] std::string_view campaign_phase_name(JobPhase phase) noexcept;
+
+[[nodiscard]] common::JsonWriter campaign_manifest_json(
+    const CampaignManifest& manifest);
+[[nodiscard]] common::Result<CampaignManifest> parse_campaign_manifest(
+    const common::JsonValue& doc);
+[[nodiscard]] common::Result<CampaignManifest> load_campaign_manifest(
+    const std::string& path);
+/// Atomic write (tmp + rename). Honors VPP_CAMPAIGN_KILL_AFTER=N: the
+/// process SIGKILLs itself after the Nth successful manifest write -- the
+/// deterministic mid-campaign kill used by the CI resume smoke test.
+[[nodiscard]] bool write_campaign_manifest(const std::string& path,
+                                           const CampaignManifest& manifest);
+/// Reconstruct the plan a manifest was checkpointing (vppctl campaign
+/// resume). Fails if a module name is not in the module DB.
+[[nodiscard]] common::Result<CampaignPlan> plan_from_manifest(
+    const CampaignManifest& manifest);
+
+/// External execution context: the vppd daemon keeps a long-lived pool with
+/// warm session arenas across requests and lends it to each engine run. Both
+/// pointers must outlive the engine; pass {} to let each run build its own
+/// right-sized pool.
+struct CampaignExecution {
+  common::WorkerLocal<SessionArena>* arenas = nullptr;
+  common::ThreadPool* pool = nullptr;
+};
+
+class CampaignEngine {
+ public:
+  using Execution = CampaignExecution;
+
+  explicit CampaignEngine(CampaignPlan plan, CellStore* store = nullptr,
+                          Execution exec = {});
+
+  [[nodiscard]] const CampaignPlan& plan() const noexcept { return plan_; }
+
+  /// Alg. 1 over the grid: one HammerGrid per module, in plan order. Fails
+  /// on the first failing unit in (module, point, shard) order.
+  [[nodiscard]] common::Expected<std::vector<HammerGrid>> run_hammer();
+  /// Alg. 2 over the grid (VPP x temperature).
+  [[nodiscard]] common::Expected<std::vector<TrcdGrid>> run_trcd();
+  /// Alg. 3 over the grid (VPP x temperature).
+  [[nodiscard]] common::Expected<std::vector<RetentionGrid>> run_retention();
+
+  /// The retry/quarantine RowHammer campaign (core/resilient_study's
+  /// engine): per-module attempt budgets, re-salted fault draws, quarantine
+  /// records with replayable trace dumps. Serial by design -- the failure
+  /// evidence of attempt N must not interleave with attempt N+1.
+  [[nodiscard]] CampaignResult run_resilient(
+      const softmc::FaultPlan& faults, const harness::RetryPolicy& retry,
+      std::size_t trace_capacity);
+
+ private:
+  CampaignPlan plan_;
+  CellStore* store_ = nullptr;
+  Execution exec_;
+};
+
+}  // namespace vppstudy::core

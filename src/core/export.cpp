@@ -4,6 +4,168 @@
 
 namespace vppstudy::core {
 
+namespace {
+
+void write_point_fields(common::CsvWriter& csv, const AxisPoint& point,
+                        JobPhase phase) {
+  csv.add(point.vpp_v);
+  csv.add(point.resolved_temperature(phase));
+  csv.add(point.hammer_count);
+  csv.add(point.act_to_act_ns);
+}
+
+void write_point_json(common::JsonWriter& json, const AxisPoint& point,
+                      JobPhase phase) {
+  json.begin_object();
+  json.kv("vpp_v", point.vpp_v);
+  json.kv("temperature_c", point.resolved_temperature(phase));
+  json.kv("hammer_count", point.hammer_count);
+  json.kv("act_to_act_ns", point.act_to_act_ns);
+  json.end_object();
+}
+
+template <typename Grid>
+void write_grid_header(common::JsonWriter& json, std::string_view kind,
+                       const Grid& grid, JobPhase phase) {
+  json.kv("kind", kind);
+  json.kv("module", grid.module_name);
+  json.key("points").begin_array();
+  for (const AxisPoint& point : grid.points) {
+    write_point_json(json, point, phase);
+  }
+  json.end_array();
+  json.key("rows").begin_array();
+  for (const std::uint32_t row : grid.rows) {
+    json.value(static_cast<std::uint64_t>(row));
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+common::CsvWriter grid_csv(const HammerGrid& grid) {
+  common::CsvWriter csv({"module", "vpp_v", "temperature_c", "hammer_count",
+                         "act_to_act_ns", "row", "wcdp", "hc_first", "ber"});
+  for (std::size_t p = 0; p < grid.points.size(); ++p) {
+    for (std::size_t i = 0; i < grid.rows.size(); ++i) {
+      const auto& cell = grid.cells[p][i];
+      csv.begin_row();
+      csv.add(grid.module_name);
+      write_point_fields(csv, grid.points[p], JobPhase::kRowHammer);
+      csv.add(static_cast<std::uint64_t>(grid.rows[i]));
+      csv.add(dram::pattern_name(grid.wcdp[i]));
+      csv.add(cell.hc_first);
+      csv.add(cell.ber);
+    }
+  }
+  csv.end_row();
+  return csv;
+}
+
+common::CsvWriter grid_csv(const TrcdGrid& grid) {
+  common::CsvWriter csv({"module", "vpp_v", "temperature_c", "hammer_count",
+                         "act_to_act_ns", "row", "trcd_min_ns"});
+  for (std::size_t p = 0; p < grid.points.size(); ++p) {
+    for (std::size_t i = 0; i < grid.rows.size(); ++i) {
+      csv.begin_row();
+      csv.add(grid.module_name);
+      write_point_fields(csv, grid.points[p], JobPhase::kTrcd);
+      csv.add(static_cast<std::uint64_t>(grid.rows[i]));
+      csv.add(grid.cells[p][i].trcd_min_ns);
+    }
+  }
+  csv.end_row();
+  return csv;
+}
+
+common::CsvWriter grid_csv(const RetentionGrid& grid) {
+  common::CsvWriter csv({"module", "vpp_v", "temperature_c", "hammer_count",
+                         "act_to_act_ns", "row", "trefw_ms", "ber"});
+  for (std::size_t p = 0; p < grid.points.size(); ++p) {
+    for (std::size_t i = 0; i < grid.rows.size(); ++i) {
+      const auto& cell = grid.cells[p][i];
+      for (std::size_t w = 0; w < cell.trefw_ms.size(); ++w) {
+        csv.begin_row();
+        csv.add(grid.module_name);
+        write_point_fields(csv, grid.points[p], JobPhase::kRetention);
+        csv.add(static_cast<std::uint64_t>(grid.rows[i]));
+        csv.add(cell.trefw_ms[w]);
+        csv.add(cell.ber[w]);
+      }
+    }
+  }
+  csv.end_row();
+  return csv;
+}
+
+common::JsonWriter grid_json(const HammerGrid& grid) {
+  common::JsonWriter json;
+  json.begin_object();
+  write_grid_header(json, "rowhammer_grid", grid, JobPhase::kRowHammer);
+  json.kv("mfr", static_cast<std::uint64_t>(grid.mfr));
+  json.kv("vppmin_v", grid.vppmin_v);
+  json.key("wcdp").begin_array();
+  for (const dram::DataPattern pattern : grid.wcdp) {
+    json.value(dram::pattern_name(pattern));
+  }
+  json.end_array();
+  json.key("cells").begin_array();
+  for (const auto& point_cells : grid.cells) {
+    json.begin_array();
+    for (const auto& cell : point_cells) {
+      json.begin_object();
+      json.kv("hc_first", cell.hc_first);
+      json.kv("ber", cell.ber);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  return json;
+}
+
+common::JsonWriter grid_json(const TrcdGrid& grid) {
+  common::JsonWriter json;
+  json.begin_object();
+  write_grid_header(json, "trcd_grid", grid, JobPhase::kTrcd);
+  json.kv("vppmin_v", grid.vppmin_v);
+  json.key("cells").begin_array();
+  for (const auto& point_cells : grid.cells) {
+    json.begin_array();
+    for (const auto& cell : point_cells) json.value(cell.trcd_min_ns);
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  return json;
+}
+
+common::JsonWriter grid_json(const RetentionGrid& grid) {
+  common::JsonWriter json;
+  json.begin_object();
+  write_grid_header(json, "retention_grid", grid, JobPhase::kRetention);
+  json.kv("mfr", static_cast<std::uint64_t>(grid.mfr));
+  if (!grid.cells.empty() && !grid.cells.front().empty()) {
+    json.key("trefw_ms").begin_array();
+    for (const double t : grid.cells.front().front().trefw_ms) json.value(t);
+    json.end_array();
+  }
+  json.key("cells").begin_array();
+  for (const auto& point_cells : grid.cells) {
+    json.begin_array();
+    for (const auto& cell : point_cells) {
+      json.begin_array();
+      for (const double b : cell.ber) json.value(b);
+      json.end_array();
+    }
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  return json;
+}
+
 common::CsvWriter to_csv(const ModuleSweepResult& sweep) {
   common::CsvWriter csv(
       {"module", "row", "wcdp", "vpp_v", "hc_first", "ber"});

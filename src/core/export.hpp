@@ -9,10 +9,26 @@
 
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "core/campaign.hpp"
 #include "core/resilient_study.hpp"
 #include "core/study.hpp"
 
 namespace vppstudy::core {
+
+// --- Multi-axis grid exports -------------------------------------------------
+// One row per (grid point, DRAM row) with every axis coordinate spelled out:
+// temperature_c is resolved to the value the rig programmed (the phase
+// default when the point left it unset); hammer_count and act_to_act_ns are
+// 0 when the sweep default applied. The JSON forms are the deterministic
+// "*_grid" result kinds the vppd daemon returns for multi-axis sweeps.
+
+[[nodiscard]] common::CsvWriter grid_csv(const HammerGrid& grid);
+[[nodiscard]] common::CsvWriter grid_csv(const TrcdGrid& grid);
+[[nodiscard]] common::CsvWriter grid_csv(const RetentionGrid& grid);
+
+[[nodiscard]] common::JsonWriter grid_json(const HammerGrid& grid);
+[[nodiscard]] common::JsonWriter grid_json(const TrcdGrid& grid);
+[[nodiscard]] common::JsonWriter grid_json(const RetentionGrid& grid);
 
 /// One row per (DRAM row, VPP level): module, row, wcdp, vpp, hc_first, ber.
 [[nodiscard]] common::CsvWriter to_csv(const ModuleSweepResult& sweep);

@@ -1,15 +1,11 @@
 #include "core/parallel_study.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <cstdlib>
-#include <future>
-#include <memory>
 #include <utility>
 
 #include "common/rng.hpp"
-#include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "core/campaign.hpp"
 #include "dram/mapping.hpp"
 #include "harness/retention_test.hpp"
 #include "harness/rowhammer_test.hpp"
@@ -41,58 +37,6 @@ std::uint64_t row_stream_seed(std::uint64_t seed, std::uint64_t module_seed,
 
 namespace {
 
-/// Below this many planned jobs the pool is pure overhead (thread spin-up,
-/// futures, arenas migrating between cores): run everything inline instead.
-constexpr std::size_t kMinJobsForPool = 8;
-
-unsigned workers_for(int jobs, std::size_t planned_jobs) {
-  if (planned_jobs < kMinJobsForPool) return 0;
-  const unsigned workers = common::ThreadPool::workers_for_jobs(jobs);
-  return static_cast<unsigned>(std::min<std::size_t>(workers, planned_jobs));
-}
-
-/// One reusable rig session per (worker, module). At shard granularity the
-/// per-job Session construction the engine used to do (allocations, observer
-/// wiring, and above all throwing away the device's per-row physics caches)
-/// dominates; a worker instead checks out the session it already built for
-/// the module and Session::reset_for_job() restores fresh-rig state
-/// bit-identically while keeping those caches warm.
-struct SessionArena {
-  std::vector<std::unique_ptr<softmc::Session>> sessions;  ///< by module index
-
-  softmc::Session& acquire(std::size_t module_index,
-                           const dram::ModuleProfile& profile) {
-    if (sessions.size() <= module_index) sessions.resize(module_index + 1);
-    auto& slot = sessions[module_index];
-    if (slot) {
-      slot->reset_for_job();
-    } else {
-      slot = std::make_unique<softmc::Session>(profile);
-    }
-    return *slot;
-  }
-};
-
-/// Declared before the pool in every sweep method: the pool's destructor
-/// drains still-queued jobs, and those jobs touch their worker's arena.
-using Arenas = common::WorkerLocal<SessionArena>;
-
-/// A [begin, end) index range into the sampled row list.
-struct ShardSpec {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-std::vector<ShardSpec> shard_ranges(std::size_t rows,
-                                    std::uint32_t rows_per_shard) {
-  const std::size_t step = rows_per_shard == 0 ? rows : rows_per_shard;
-  std::vector<ShardSpec> out;
-  for (std::size_t b = 0; b < rows; b += step) {
-    out.push_back({b, std::min(rows, b + step)});
-  }
-  return out;
-}
-
 /// Bring a checked-out session to the state every characterization shard
 /// starts from: refresh disabled (which also neutralizes TRR, section 4.1),
 /// temperature settled, VPP programmed. Noise streams are keyed per row by
@@ -104,14 +48,17 @@ common::Status setup_shard_session(softmc::Session& session, double temp_c,
   return session.set_vpp(vpp_v);
 }
 
-/// Per-module WCDP prep plus the shared row sample it is parallel to
-/// (phase A of the RowHammer campaign). Never sharded: the WCDP pass is one
-/// sweep over all rows at nominal VPP, so it keeps the whole-cell
-/// job_stream_seed keying.
-struct HammerPrep {
-  std::shared_ptr<const std::vector<std::uint32_t>> rows;
-  WcdpPrep prep;
-};
+/// The hammer config at one grid point: a baseline point uses the sweep's
+/// config untouched (byte-compat with the VPP-only driver); a hammer-count
+/// axis overrides the fixed BER hammer count, an on-time axis overrides the
+/// aggressor ACT-to-ACT spacing.
+harness::RowHammerConfig hammer_config_at(const SweepConfig& sweep,
+                                          const AxisPoint& point) {
+  harness::RowHammerConfig config = sweep.hammer;
+  if (point.hammer_count != 0) config.ber_hc = point.hammer_count;
+  if (point.act_to_act_ns > 0.0) config.act_to_act_ns = point.act_to_act_ns;
+  return config;
+}
 
 }  // namespace
 
@@ -159,13 +106,14 @@ common::Expected<WcdpPrep> run_wcdp_prep(softmc::Session& session,
 
 common::Expected<HammerCell> run_hammer_rows(
     softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
-    double vpp_v, std::span<const std::uint32_t> rows,
+    const AxisPoint& point, std::span<const std::uint32_t> rows,
     std::span<const dram::DataPattern> wcdp,
     const common::CancelToken& cancel) {
   const dram::ModuleProfile& profile = session.module().profile();
-  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
-  if (auto st =
-          setup_shard_session(session, common::kHammerTestTempC, vpp_v);
+  const std::uint64_t vpp_mv = vpp_millivolts(point.vpp_v);
+  if (auto st = setup_shard_session(
+          session, point.resolved_temperature(JobPhase::kRowHammer),
+          point.vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
@@ -173,7 +121,7 @@ common::Expected<HammerCell> run_hammer_rows(
         .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
         .with_context("hammer shard setup");
   }
-  harness::RowHammerTest test(session, sweep.hammer);
+  harness::RowHammerTest test(session, hammer_config_at(sweep, point));
   HammerCell out;
   out.rows.reserve(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -182,9 +130,60 @@ common::Expected<HammerCell> run_hammer_rows(
           .with_module(profile.name)
           .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
     }
-    session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
-                                             JobPhase::kRowHammer, rows[i]));
+    session.set_noise_stream(point_stream_seed(
+        seed, profile.seed, JobPhase::kRowHammer, rows[i], point));
     auto r = test.test_row(sweep.sampling.bank, rows[i], wcdp[i]);
+    if (!r) {
+      return std::move(r)
+          .error()
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
+    out.rows.push_back(std::move(*r));
+  }
+  out.counts = session.counters();
+  return out;
+}
+
+common::Expected<HammerCell> run_hammer_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    double vpp_v, std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp,
+    const common::CancelToken& cancel) {
+  return run_hammer_rows(session, sweep, seed, AxisPoint{vpp_v}, rows, wcdp,
+                         cancel);
+}
+
+common::Expected<TrcdCell> run_trcd_rows(softmc::Session& session,
+                                         const SweepConfig& sweep,
+                                         std::uint64_t seed,
+                                         const AxisPoint& point,
+                                         std::span<const std::uint32_t> rows,
+                                         const common::CancelToken& cancel) {
+  const dram::ModuleProfile& profile = session.module().profile();
+  const std::uint64_t vpp_mv = vpp_millivolts(point.vpp_v);
+  if (auto st = setup_shard_session(
+          session, point.resolved_temperature(JobPhase::kTrcd), point.vpp_v);
+      !st.ok()) {
+    return std::move(st)
+        .error()
+        .with_module(profile.name)
+        .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
+        .with_context("trcd shard setup");
+  }
+  harness::TrcdTest test(session, sweep.trcd);
+  TrcdCell out;
+  out.rows.reserve(rows.size());
+  for (const std::uint32_t row : rows) {
+    if (cancel.cancelled()) {
+      return Error{ErrorCode::kCancelled, "trcd shard cancelled"}
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
+    session.set_noise_stream(
+        point_stream_seed(seed, profile.seed, JobPhase::kTrcd, row, point));
+    auto r = test.test_row(sweep.sampling.bank, row,
+                           dram::DataPattern::kCheckerAA);
     if (!r) {
       return std::move(r)
           .error()
@@ -202,28 +201,37 @@ common::Expected<TrcdCell> run_trcd_rows(softmc::Session& session,
                                          std::uint64_t seed, double vpp_v,
                                          std::span<const std::uint32_t> rows,
                                          const common::CancelToken& cancel) {
+  return run_trcd_rows(session, sweep, seed, AxisPoint{vpp_v}, rows, cancel);
+}
+
+common::Expected<RetentionCell> run_retention_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    const AxisPoint& point, std::span<const std::uint32_t> rows,
+    const common::CancelToken& cancel) {
+  // Retention tests default to 80C (section 4.1).
   const dram::ModuleProfile& profile = session.module().profile();
-  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
-  if (auto st =
-          setup_shard_session(session, common::kHammerTestTempC, vpp_v);
+  const std::uint64_t vpp_mv = vpp_millivolts(point.vpp_v);
+  if (auto st = setup_shard_session(
+          session, point.resolved_temperature(JobPhase::kRetention),
+          point.vpp_v);
       !st.ok()) {
     return std::move(st)
         .error()
         .with_module(profile.name)
         .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
-        .with_context("trcd shard setup");
+        .with_context("retention shard setup");
   }
-  harness::TrcdTest test(session, sweep.trcd);
-  TrcdCell out;
+  harness::RetentionTest test(session, sweep.retention);
+  RetentionCell out;
   out.rows.reserve(rows.size());
   for (const std::uint32_t row : rows) {
     if (cancel.cancelled()) {
-      return Error{ErrorCode::kCancelled, "trcd shard cancelled"}
+      return Error{ErrorCode::kCancelled, "retention shard cancelled"}
           .with_module(profile.name)
           .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
     }
-    session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
-                                             JobPhase::kTrcd, row));
+    session.set_noise_stream(point_stream_seed(
+        seed, profile.seed, JobPhase::kRetention, row, point));
     auto r = test.test_row(sweep.sampling.bank, row,
                            dram::DataPattern::kCheckerAA);
     if (!r) {
@@ -242,336 +250,40 @@ common::Expected<RetentionCell> run_retention_rows(
     softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
     double vpp_v, std::span<const std::uint32_t> rows,
     const common::CancelToken& cancel) {
-  // Retention tests run at 80C (section 4.1).
-  const dram::ModuleProfile& profile = session.module().profile();
-  const std::uint64_t vpp_mv = vpp_millivolts(vpp_v);
-  if (auto st =
-          setup_shard_session(session, common::kRetentionTestTempC, vpp_v);
-      !st.ok()) {
-    return std::move(st)
-        .error()
-        .with_module(profile.name)
-        .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
-        .with_context("retention shard setup");
-  }
-  harness::RetentionTest test(session, sweep.retention);
-  RetentionCell out;
-  out.rows.reserve(rows.size());
-  for (const std::uint32_t row : rows) {
-    if (cancel.cancelled()) {
-      return Error{ErrorCode::kCancelled, "retention shard cancelled"}
-          .with_module(profile.name)
-          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
-    }
-    session.set_noise_stream(row_stream_seed(seed, profile.seed, vpp_mv,
-                                             JobPhase::kRetention, row));
-    auto r = test.test_row(sweep.sampling.bank, row,
-                           dram::DataPattern::kCheckerAA);
-    if (!r) {
-      return std::move(r)
-          .error()
-          .with_module(profile.name)
-          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
-    }
-    out.rows.push_back(std::move(*r));
-  }
-  out.counts = session.counters();
-  return out;
+  return run_retention_rows(session, sweep, seed, AxisPoint{vpp_v}, rows,
+                            cancel);
 }
 
 ParallelStudy::ParallelStudy(StudyConfig config) : config_(std::move(config)) {}
 
 common::Expected<std::vector<ModuleSweepResult>>
 ParallelStudy::rowhammer_sweeps() {
-  const SweepConfig& sweep = config_.sweep;
-  const std::uint64_t seed = config_.seed;
-
-  struct ModulePlan {
-    std::vector<double> levels;
-    std::shared_ptr<const std::vector<std::uint32_t>> rows;
-    std::vector<ShardSpec> shards;
-    std::future<common::Expected<HammerPrep>> prep;
-    std::shared_ptr<const HammerPrep> ready;
-    /// per_level[level][shard], in submission (= assembly) order.
-    std::vector<std::vector<std::future<common::Expected<HammerCell>>>>
-        per_level;
-  };
-
-  // Plan before spawning anything: levels, row samples, and shard ranges
-  // need no device, and the worker count adapts to the true job count
-  // (tiny campaigns run inline).
-  std::vector<ModulePlan> plans(config_.modules.size());
-  std::size_t planned_jobs = 0;
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
-    if (plans[m].levels.empty()) {
-      return Error{ErrorCode::kNoUsableLevels,
-                   "no usable VPP levels for module " + profile.name}
-          .with_module(profile.name);
-    }
-    auto rows = sample_campaign_rows(profile, sweep.sampling);
-    if (rows.empty()) {
-      return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-          .with_module(profile.name);
-    }
-    plans[m].shards = shard_ranges(rows.size(), config_.rows_per_shard);
-    plans[m].rows = std::make_shared<const std::vector<std::uint32_t>>(
-        std::move(rows));
-    planned_jobs += 1 + plans[m].levels.size() * plans[m].shards.size();
-  }
-
-  Arenas arenas(workers_for(config_.jobs, planned_jobs));
-  common::ThreadPool pool(static_cast<unsigned>(arenas.size() - 1));
-
-  // Phase A: one WCDP-determination job per module, all in flight at once.
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    const double nominal = plans[m].levels.front();
-    plans[m].prep = pool.submit(
-        [&arenas, &pool, &profile, &sweep, seed, nominal, m,
-         rows = plans[m].rows]() -> common::Expected<HammerPrep> {
-          auto prep = run_wcdp_prep(arenas.local(pool).acquire(m, profile),
-                                    sweep, seed, nominal, *rows);
-          if (!prep) return std::move(prep).error();
-          return HammerPrep{rows, std::move(*prep)};
-        });
-  }
-
-  // Phase B: as each module's prep lands, fan out its level x shard cells.
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    auto prep = plans[m].prep.get();
-    if (!prep) return std::move(prep).error();
-    plans[m].ready = std::make_shared<const HammerPrep>(std::move(*prep));
-    plans[m].per_level.resize(plans[m].levels.size());
-    for (std::size_t l = 0; l < plans[m].levels.size(); ++l) {
-      const double vpp = plans[m].levels[l];
-      for (const ShardSpec shard : plans[m].shards) {
-        plans[m].per_level[l].push_back(pool.submit(
-            [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
-             cancel = config_.cancel, prep = plans[m].ready] {
-              return run_hammer_rows(
-                  arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
-                  std::span(*prep->rows).subspan(shard.begin,
-                                                 shard.end - shard.begin),
-                  std::span(prep->prep.wcdp)
-                      .subspan(shard.begin, shard.end - shard.begin),
-                  cancel);
-            }));
-      }
-    }
-  }
-
-  // Assembly in (module, level, shard) order: independent of completion
-  // order, and shard boundaries vanish from the per-row series.
+  CampaignEngine engine(CampaignPlan::from_study(config_));
+  VPP_ASSIGN_OR_RETURN(const std::vector<HammerGrid> grids,
+                       engine.run_hammer());
   std::vector<ModuleSweepResult> sweeps;
-  sweeps.reserve(config_.modules.size());
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    const std::vector<std::uint32_t>& rows = *plans[m].rows;
-    ModuleSweepResult result;
-    result.module_name = profile.name;
-    result.mfr = profile.mfr;
-    result.vppmin_v = profile.vppmin_v;
-    result.vpp_levels = plans[m].levels;
-    result.rows.resize(rows.size());
-    result.instrumentation.add_job(plans[m].ready->prep.counts);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      result.rows[i].row = rows[i];
-      result.rows[i].wcdp = plans[m].ready->prep.wcdp[i];
-    }
-    for (auto& level : plans[m].per_level) {
-      for (std::size_t s = 0; s < level.size(); ++s) {
-        auto part = level[s].get();
-        if (!part) return std::move(part).error();
-        result.instrumentation.add_job(part->counts);
-        const ShardSpec spec = plans[m].shards[s];
-        for (std::size_t i = spec.begin; i < spec.end; ++i) {
-          const auto& rr = part->rows[i - spec.begin];
-          result.rows[i].hc_first.push_back(rr.hc_first);
-          result.rows[i].ber.push_back(rr.ber);
-        }
-      }
-    }
-    sweeps.push_back(std::move(result));
-  }
+  sweeps.reserve(grids.size());
+  for (const HammerGrid& grid : grids) sweeps.push_back(grid.to_sweep());
   return sweeps;
 }
 
 common::Expected<std::vector<TrcdSweepResult>> ParallelStudy::trcd_sweeps() {
-  const SweepConfig& sweep = config_.sweep;
-  const std::uint64_t seed = config_.seed;
-
-  struct ModulePlan {
-    std::vector<double> levels;
-    std::shared_ptr<const std::vector<std::uint32_t>> rows;
-    std::vector<ShardSpec> shards;
-    std::vector<std::vector<std::future<common::Expected<TrcdCell>>>> cells;
-  };
-  std::vector<ModulePlan> plans(config_.modules.size());
-  std::size_t planned_jobs = 0;
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
-    if (plans[m].levels.empty()) {
-      return Error{ErrorCode::kNoUsableLevels,
-                   "no usable VPP levels for module " + profile.name}
-          .with_module(profile.name);
-    }
-    auto rows = sample_campaign_rows(profile, sweep.sampling);
-    if (rows.empty()) {
-      return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-          .with_module(profile.name);
-    }
-    plans[m].shards = shard_ranges(rows.size(), config_.rows_per_shard);
-    plans[m].rows = std::make_shared<const std::vector<std::uint32_t>>(
-        std::move(rows));
-    planned_jobs += plans[m].levels.size() * plans[m].shards.size();
-  }
-
-  Arenas arenas(workers_for(config_.jobs, planned_jobs));
-  common::ThreadPool pool(static_cast<unsigned>(arenas.size() - 1));
-
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    plans[m].cells.resize(plans[m].levels.size());
-    for (std::size_t l = 0; l < plans[m].levels.size(); ++l) {
-      const double vpp = plans[m].levels[l];
-      for (const ShardSpec shard : plans[m].shards) {
-        plans[m].cells[l].push_back(pool.submit(
-            [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
-             cancel = config_.cancel, rows = plans[m].rows] {
-              return run_trcd_rows(
-                  arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
-                  std::span(*rows).subspan(shard.begin,
-                                           shard.end - shard.begin),
-                  cancel);
-            }));
-      }
-    }
-  }
-
+  CampaignEngine engine(CampaignPlan::from_study(config_));
+  VPP_ASSIGN_OR_RETURN(const std::vector<TrcdGrid> grids, engine.run_trcd());
   std::vector<TrcdSweepResult> sweeps;
-  sweeps.reserve(config_.modules.size());
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    TrcdSweepResult result;
-    result.module_name = config_.modules[m].name;
-    result.vppmin_v = config_.modules[m].vppmin_v;
-    result.vpp_levels = plans[m].levels;
-    for (auto& level : plans[m].cells) {
-      // Module tRCDmin is the max across sampled rows (Table 3 semantics);
-      // with shards the reduction happens here, in fixed order.
-      double trcd_min_ns = 0.0;
-      for (auto& future : level) {
-        auto part = future.get();
-        if (!part) return std::move(part).error();
-        result.instrumentation.add_job(part->counts);
-        for (const auto& rr : part->rows) {
-          trcd_min_ns = std::max(trcd_min_ns, rr.trcd_min_ns);
-        }
-      }
-      result.trcd_min_ns.push_back(trcd_min_ns);
-    }
-    sweeps.push_back(std::move(result));
-  }
+  sweeps.reserve(grids.size());
+  for (const TrcdGrid& grid : grids) sweeps.push_back(grid.to_sweep());
   return sweeps;
 }
 
 common::Expected<std::vector<RetentionSweepResult>>
 ParallelStudy::retention_sweeps() {
-  const SweepConfig& sweep = config_.sweep;
-  const std::uint64_t seed = config_.seed;
-  const double reference_trefw_ms = RetentionSweepResult{}.reference_trefw_ms;
-
-  struct ModulePlan {
-    std::vector<double> levels;
-    std::shared_ptr<const std::vector<std::uint32_t>> rows;
-    std::vector<ShardSpec> shards;
-    std::vector<std::vector<std::future<common::Expected<RetentionCell>>>>
-        cells;
-  };
-  std::vector<ModulePlan> plans(config_.modules.size());
-  std::size_t planned_jobs = 0;
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    plans[m].levels = usable_vpp_levels(sweep, profile.vppmin_v);
-    if (plans[m].levels.empty()) {
-      return Error{ErrorCode::kNoUsableLevels,
-                   "no usable VPP levels for module " + profile.name}
-          .with_module(profile.name);
-    }
-    auto rows = sample_campaign_rows(profile, sweep.sampling);
-    if (rows.empty()) {
-      return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-          .with_module(profile.name);
-    }
-    plans[m].shards = shard_ranges(rows.size(), config_.rows_per_shard);
-    plans[m].rows = std::make_shared<const std::vector<std::uint32_t>>(
-        std::move(rows));
-    planned_jobs += plans[m].levels.size() * plans[m].shards.size();
-  }
-
-  Arenas arenas(workers_for(config_.jobs, planned_jobs));
-  common::ThreadPool pool(static_cast<unsigned>(arenas.size() - 1));
-
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    const dram::ModuleProfile& profile = config_.modules[m];
-    plans[m].cells.resize(plans[m].levels.size());
-    for (std::size_t l = 0; l < plans[m].levels.size(); ++l) {
-      const double vpp = plans[m].levels[l];
-      for (const ShardSpec shard : plans[m].shards) {
-        plans[m].cells[l].push_back(pool.submit(
-            [&arenas, &pool, &profile, &sweep, seed, vpp, m, shard,
-             cancel = config_.cancel, rows = plans[m].rows] {
-              return run_retention_rows(
-                  arenas.local(pool).acquire(m, profile), sweep, seed, vpp,
-                  std::span(*rows).subspan(shard.begin,
-                                           shard.end - shard.begin),
-                  cancel);
-            }));
-      }
-    }
-  }
-
+  CampaignEngine engine(CampaignPlan::from_study(config_));
+  VPP_ASSIGN_OR_RETURN(const std::vector<RetentionGrid> grids,
+                       engine.run_retention());
   std::vector<RetentionSweepResult> sweeps;
-  sweeps.reserve(config_.modules.size());
-  for (std::size_t m = 0; m < config_.modules.size(); ++m) {
-    RetentionSweepResult result;
-    result.module_name = config_.modules[m].name;
-    result.mfr = config_.modules[m].mfr;
-    result.vpp_levels = plans[m].levels;
-    const double row_count = static_cast<double>(plans[m].rows->size());
-    for (auto& level : plans[m].cells) {
-      // Across-rows reductions (window means, reference-window BERs) happen
-      // here, in fixed row order, so shard boundaries cannot show.
-      std::vector<double> sums;
-      std::vector<double> ref_bers;
-      for (auto& future : level) {
-        auto part = future.get();
-        if (!part) return std::move(part).error();
-        result.instrumentation.add_job(part->counts);
-        for (const auto& rr : part->rows) {
-          if (result.trefw_ms.empty()) result.trefw_ms = rr.trefw_ms;
-          if (sums.empty()) sums.assign(rr.ber.size(), 0.0);
-          for (std::size_t w = 0; w < rr.ber.size(); ++w) sums[w] += rr.ber[w];
-          // Per-row BER at the reference window (closest probed window).
-          std::size_t ref = 0;
-          for (std::size_t w = 0; w < rr.trefw_ms.size(); ++w) {
-            if (std::abs(rr.trefw_ms[w] - reference_trefw_ms) <
-                std::abs(rr.trefw_ms[ref] - reference_trefw_ms)) {
-              ref = w;
-            }
-          }
-          ref_bers.push_back(rr.ber[ref]);
-        }
-      }
-      for (double& s : sums) s /= row_count;
-      result.mean_ber.push_back(std::move(sums));
-      result.row_ber_at_reference.push_back(std::move(ref_bers));
-    }
-    sweeps.push_back(std::move(result));
-  }
+  sweeps.reserve(grids.size());
+  for (const RetentionGrid& grid : grids) sweeps.push_back(grid.to_sweep());
   return sweeps;
 }
 

@@ -30,6 +30,7 @@
 
 #include "common/cancel.hpp"
 #include "common/expected.hpp"
+#include "core/axis.hpp"
 #include "core/study.hpp"
 #include "dram/profile.hpp"
 
@@ -69,14 +70,7 @@ struct StudyConfig {
   common::CancelToken cancel;
 };
 
-/// The experiment family a job belongs to; part of its stream key so the
-/// same (module, VPP) cell draws independent noise in different sweeps.
-enum class JobPhase : std::uint64_t {
-  kWcdp = 1,
-  kRowHammer = 2,
-  kTrcd = 3,
-  kRetention = 4,
-};
+// JobPhase and the multi-axis AxisPoint vocabulary live in core/axis.hpp.
 
 /// VPP level quantized to the millivolt grid of the rig's supply (stable
 /// against floating-point drift in level arithmetic).
@@ -138,6 +132,16 @@ struct HammerCell {
     std::span<const dram::DataPattern> wcdp,
     const common::CancelToken& cancel = {});
 
+/// Multi-axis form: one row-range slice at an arbitrary grid point
+/// (VPP x temperature x hammer count x on-time). `point` must be normalized
+/// (AxisPoint::normalized); a baseline point reproduces the VPP-only form
+/// byte for byte -- same session setup, same per-row stream keys.
+[[nodiscard]] common::Expected<HammerCell> run_hammer_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    const AxisPoint& point, std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp,
+    const common::CancelToken& cancel = {});
+
 /// One row-range slice of a (module, VPP level) tRCD cell (Alg. 2).
 struct TrcdCell {
   std::vector<harness::TrcdRowResult> rows;
@@ -147,6 +151,12 @@ struct TrcdCell {
 [[nodiscard]] common::Expected<TrcdCell> run_trcd_rows(
     softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
     double vpp_v, std::span<const std::uint32_t> rows,
+    const common::CancelToken& cancel = {});
+
+/// Multi-axis form (VPP x temperature; tRCD ignores the hammer axes).
+[[nodiscard]] common::Expected<TrcdCell> run_trcd_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    const AxisPoint& point, std::span<const std::uint32_t> rows,
     const common::CancelToken& cancel = {});
 
 /// One row-range slice of a (module, VPP level) retention cell (Alg. 3).
@@ -160,6 +170,16 @@ struct RetentionCell {
     double vpp_v, std::span<const std::uint32_t> rows,
     const common::CancelToken& cancel = {});
 
+/// Multi-axis form (VPP x temperature; retention ignores the hammer axes).
+[[nodiscard]] common::Expected<RetentionCell> run_retention_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    const AxisPoint& point, std::span<const std::uint32_t> rows,
+    const common::CancelToken& cancel = {});
+
+/// Thin adapter over core::CampaignEngine (core/campaign.hpp): a VPP-only
+/// campaign plan executed by the unified engine. Kept as the stable sweep
+/// API; results are byte-identical to the pre-engine implementation (the
+/// equivalence suites pin this).
 class ParallelStudy {
  public:
   explicit ParallelStudy(StudyConfig config);

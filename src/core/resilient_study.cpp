@@ -2,132 +2,10 @@
 
 #include <utility>
 
-#include "common/units.hpp"
-#include "core/parallel_study.hpp"
-#include "harness/rowhammer_test.hpp"
-#include "harness/wcdp.hpp"
-#include "softmc/session.hpp"
+#include "core/campaign.hpp"
 #include "stats/descriptive.hpp"
 
 namespace vppstudy::core {
-
-using common::Error;
-using common::ErrorCode;
-
-namespace {
-
-/// One full per-module RowHammer sweep (WCDP prep + every usable level),
-/// run serially in sessions that carry the attempt's fault injector and a
-/// trace ring. On failure, `failure_dump` holds the failing session's ring
-/// with the error recorded -- captured before the session is torn down.
-common::Expected<ModuleSweepResult> attempt_module_sweep(
-    const dram::ModuleProfile& profile, const ResilientConfig& config,
-    softmc::FaultInjector* injector, SweepInstrumentation& instr,
-    softmc::TraceDump& failure_dump, bool& has_failure_dump) {
-  const std::vector<double> levels =
-      usable_vpp_levels(config.sweep, profile.vppmin_v);
-  if (levels.empty()) {
-    return Error{ErrorCode::kNoUsableLevels,
-                 "no usable VPP levels for module " + profile.name}
-        .with_module(profile.name);
-  }
-  const double nominal = levels.front();
-
-  const auto rig_session = [&](softmc::Session& session, double vpp_v,
-                               JobPhase phase) -> common::Status {
-    session.enable_trace(config.trace_capacity);
-    if (injector != nullptr) session.set_fault_injector(injector);
-    session.set_auto_refresh(false);
-    VPP_RETURN_IF_ERROR(
-        session.set_temperature(common::kHammerTestTempC));
-    VPP_RETURN_IF_ERROR(session.set_vpp(vpp_v));
-    session.set_noise_stream(job_stream_seed(
-        config.seed, profile.seed, vpp_millivolts(vpp_v), phase));
-    return common::Status::ok_status();
-  };
-  const auto fail = [&](softmc::Session& session,
-                        common::Error error) -> common::Error {
-    failure_dump = softmc::capture_trace_dump(session, &error);
-    has_failure_dump = true;
-    instr.add_job(session.counters());
-    return error;
-  };
-
-  ModuleSweepResult result;
-  result.module_name = profile.name;
-  result.mfr = profile.mfr;
-  result.vppmin_v = profile.vppmin_v;
-  result.vpp_levels = levels;
-
-  // Phase A: row sampling + per-row WCDP at the nominal level.
-  std::vector<std::uint32_t> rows;
-  std::vector<dram::DataPattern> wcdp;
-  {
-    softmc::Session session(profile);
-    if (auto st = rig_session(session, nominal, JobPhase::kWcdp); !st.ok()) {
-      return fail(session,
-                  std::move(st).error().with_module(profile.name).with_context(
-                      "wcdp session setup"));
-    }
-    rows = config.sweep.sampling.sample(session.module().mapping());
-    if (rows.empty()) {
-      return fail(session,
-                  Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-                      .with_module(profile.name));
-    }
-    if (config.sweep.determine_wcdp) {
-      auto found = harness::find_wcdp_hammer_rows(
-          session, config.sweep.sampling.bank, rows);
-      if (!found) {
-        return fail(session, std::move(found)
-                                 .error()
-                                 .with_module(profile.name)
-                                 .with_context("wcdp determination"));
-      }
-      wcdp = std::move(*found);
-    } else {
-      wcdp.assign(rows.size(), dram::DataPattern::kCheckerAA);
-    }
-    instr.add_job(session.counters());
-  }
-  result.rows.resize(rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    result.rows[i].row = rows[i];
-    result.rows[i].wcdp = wcdp[i];
-  }
-
-  // Phase B: one session per VPP level, highest first.
-  for (const double vpp : levels) {
-    softmc::Session session(profile);
-    if (auto st = rig_session(session, vpp, JobPhase::kRowHammer); !st.ok()) {
-      return fail(session,
-                  std::move(st)
-                      .error()
-                      .with_module(profile.name)
-                      .with_vpp_mv(static_cast<std::int64_t>(
-                          vpp_millivolts(vpp)))
-                      .with_context("hammer session setup"));
-    }
-    harness::RowHammerTest test(session, config.sweep.hammer);
-    auto level = test.test_rows(config.sweep.sampling.bank, rows, wcdp);
-    if (!level) {
-      return fail(session, std::move(level)
-                               .error()
-                               .with_module(profile.name)
-                               .with_vpp_mv(static_cast<std::int64_t>(
-                                   vpp_millivolts(vpp))));
-    }
-    instr.add_job(session.counters());
-    for (std::size_t i = 0; i < level->size(); ++i) {
-      result.rows[i].hc_first.push_back((*level)[i].hc_first);
-      result.rows[i].ber.push_back((*level)[i].ber);
-    }
-    result.instrumentation.add_job(session.counters());
-  }
-  return result;
-}
-
-}  // namespace
 
 std::size_t CampaignResult::completed_count() const noexcept {
   std::size_t n = 0;
@@ -150,56 +28,15 @@ double CampaignResult::hc_first_cv() const {
 }
 
 CampaignResult run_resilient_rowhammer(const ResilientConfig& config) {
-  CampaignResult campaign;
-  campaign.modules.reserve(config.modules.size());
-
-  for (const dram::ModuleProfile& profile : config.modules) {
-    ModuleCampaignResult outcome;
-    outcome.module_name = profile.name;
-
-    softmc::FaultInjector injector(config.faults);
-    softmc::FaultInjector* active =
-        config.faults.empty() ? nullptr : &injector;
-
-    const std::uint32_t budget =
-        config.retry.max_attempts > 0 ? config.retry.max_attempts : 1;
-    for (std::uint32_t attempt = 0; attempt < budget; ++attempt) {
-      // Re-salting the draws means a retry faces *different* fault sites
-      // than the attempt that failed -- deterministic progress instead of
-      // deterministic re-failure.
-      injector.set_attempt(attempt);
-      outcome.attempts = attempt + 1;
-      if (attempt > 0) ++campaign.instrumentation.retries;
-
-      auto sweep = attempt_module_sweep(profile, config, active,
-                                        campaign.instrumentation, outcome.dump,
-                                        outcome.has_dump);
-      outcome.injections = injector.counts();
-      if (sweep) {
-        outcome.completed = true;
-        outcome.error_code = ErrorCode::kUnknown;
-        outcome.error_message.clear();
-        outcome.has_dump = false;
-        outcome.sweep = std::move(*sweep);
-        break;
-      }
-      outcome.error_code = sweep.error().code;
-      outcome.error_message = sweep.error().to_string();
-      if (!config.retry.should_retry(sweep.error().code, attempt + 1)) break;
-    }
-
-    if (!outcome.completed) {
-      ++campaign.instrumentation.quarantined_modules;
-      harness::QuarantineRecord record;
-      record.module = profile.name;
-      record.code = outcome.error_code;
-      record.message = outcome.error_message;
-      record.attempts = outcome.attempts;
-      campaign.quarantines.push_back(std::move(record));
-    }
-    campaign.modules.push_back(std::move(outcome));
-  }
-  return campaign;
+  // Thin adapter: the retry/quarantine loop itself lives in
+  // core::CampaignEngine (campaign_engine.cpp) next to the grid drivers.
+  CampaignPlan plan;
+  plan.sweep = config.sweep;
+  plan.modules = config.modules;
+  plan.seed = config.seed;
+  CampaignEngine engine(std::move(plan));
+  return engine.run_resilient(config.faults, config.retry,
+                              config.trace_capacity);
 }
 
 }  // namespace vppstudy::core

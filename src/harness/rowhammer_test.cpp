@@ -39,7 +39,7 @@ common::Expected<double> RowHammerTest::measure_ber(std::uint32_t bank,
   if (hc > 0) {
     VPP_RETURN_IF_ERROR_CTX(
         session_.hammer_double_sided(bank, neighbors.below, neighbors.above,
-                                     hc),
+                                     hc, config_.act_to_act_ns),
         "rowhammer loop");
   }
 

@@ -19,6 +19,9 @@ struct RowHammerConfig {
   std::uint64_t min_step = 100;         ///< Alg. 1: stop when step <= this
   std::uint64_t ber_hc = 300'000;       ///< fixed hammer count for BER
   int num_iterations = 10;              ///< repeats; worst case recorded
+  /// Aggressor ACT-to-ACT spacing; <= 0 uses the nominal tRC spacing (the
+  /// on-time axis of multi-axis campaigns, see core/axis.hpp).
+  double act_to_act_ns = -1.0;
 };
 
 struct RowHammerRowResult {

@@ -115,6 +115,11 @@ std::string encode_sweep_request(std::uint64_t id,
       .kv("rows", static_cast<std::uint64_t>(request.rows))
       .kv("step", request.step)
       .kv("seed", request.seed);
+  if (!request.temps.empty()) {
+    w.key("temps").begin_array();
+    for (const double t : request.temps) w.value(t);
+    w.end_array();
+  }
   return close_object(std::move(w));
 }
 
@@ -161,6 +166,21 @@ common::Result<SweepRequest> parse_sweep_request(const JsonValue& body) {
   }
   if (!(request.step >= 0.01 && request.step <= 1.2)) {
     return Error{ErrorCode::kInvalidArgument, "step must be in [0.01, 1.2]"};
+  }
+  if (const JsonValue* temps = body.find("temps");
+      temps != nullptr && temps->is_array()) {
+    for (const auto& t : temps->items()) {
+      if (!t.is_number()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "temps entries must be numbers"};
+      }
+      const double temp_c = t.as_number();
+      if (!(temp_c >= -40.0 && temp_c <= 120.0)) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "temps entries must be in [-40, 120] C"};
+      }
+      request.temps.push_back(temp_c);
+    }
   }
   return request;
 }

@@ -56,6 +56,12 @@ struct SweepRequest {
   std::uint32_t rows = 16;
   double step = 0.2;
   std::uint64_t seed = 0;
+  /// Optional temperature axis (core::CampaignAxes::temperatures_c). Empty
+  /// runs the phase-default temperature and the response is the legacy
+  /// per-test result kind; non-empty selects the multi-axis engine path and
+  /// a "*_grid" result kind. Encoded on the wire only when non-empty, so
+  /// requests without the axis are byte-identical to older clients'.
+  std::vector<double> temps;
 };
 
 /// Expand a SweepRequest into the engine's SweepConfig. VPP levels are

@@ -50,6 +50,24 @@ std::uint64_t ResultCache::cell_key(std::uint64_t digest, core::JobPhase phase,
                            module_seed, vpp_mv, row});
 }
 
+std::uint64_t ResultCache::point_key(std::uint64_t digest,
+                                     core::JobPhase phase,
+                                     std::uint64_t module_seed,
+                                     const core::AxisPoint& point,
+                                     std::uint32_t row) {
+  const std::uint64_t vpp_mv = core::vpp_millivolts(point.vpp_v);
+  if (point.baseline()) {
+    return cell_key(digest, phase, module_seed, vpp_mv, row);
+  }
+  return common::hash_key(
+      {digest, static_cast<std::uint64_t>(phase), module_seed, vpp_mv, row,
+       static_cast<std::uint64_t>(
+           core::temperature_millidegrees(point.temperature_c)),
+       point.hammer_count,
+       static_cast<std::uint64_t>(
+           core::act_to_act_picoseconds(point.act_to_act_ns))});
+}
+
 std::uint64_t ResultCache::wcdp_key(std::uint64_t digest,
                                     std::uint64_t module_seed) {
   return common::hash_key(

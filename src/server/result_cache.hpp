@@ -66,6 +66,18 @@ class ResultCache {
                                               std::uint64_t module_seed,
                                               std::uint64_t vpp_mv,
                                               std::uint32_t row);
+
+  /// Cell key of one sampled row at one multi-axis grid point. `point` must
+  /// be normalized (core::AxisPoint::normalized): a baseline point hashes to
+  /// exactly cell_key(...) -- multi-axis requests share every baseline cell
+  /// with VPP-only requests -- and each off-default coordinate extends the
+  /// key with its quantized axis word, so e.g. a 65C hammer cell can never
+  /// alias the 50C default cell of the same (digest, module, vpp, row).
+  [[nodiscard]] static std::uint64_t point_key(std::uint64_t digest,
+                                               core::JobPhase phase,
+                                               std::uint64_t module_seed,
+                                               const core::AxisPoint& point,
+                                               std::uint32_t row);
   [[nodiscard]] static std::uint64_t wcdp_key(std::uint64_t digest,
                                               std::uint64_t module_seed);
 

@@ -1,12 +1,14 @@
 #include "server/service.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
-#include <cmath>
-#include <future>
-#include <optional>
+#include <cstdio>
 #include <utility>
+#include <vector>
 
 #include "chips/module_db.hpp"
+#include "core/export.hpp"
 #include "core/parallel_study.hpp"
 #include "softmc/fault_injector.hpp"
 #include "softmc/trace_dump.hpp"
@@ -20,20 +22,9 @@ using common::ErrorCode;
 
 namespace {
 
-/// The uncovered (level, row) cells of one shard job: a regrouped, owned
-/// slice of the request's grid. Indices point back into the sampled row
-/// list so completed values land in their final positions.
-struct MissShard {
-  std::size_t level = 0;
-  double vpp = 0.0;
-  std::vector<std::uint32_t> rows;
-  std::vector<std::size_t> row_index;
-  std::vector<dram::DataPattern> wcdp;  ///< hammer only, parallel to rows
-};
-
 /// Reconstruct the tREFW window grid RetentionTest::test_row probes: a pure
-/// function of the config (doubling from min to max), needed when every
-/// cell of a level is served from the cache and no fresh row carries it.
+/// function of the config (doubling from min to max), needed to rebuild a
+/// full retention row from a cached BER vector.
 std::vector<double> retention_windows(const core::SweepConfig& cfg) {
   std::vector<double> windows;
   for (double t = cfg.retention.min_trefw_ms; t <= cfg.retention.max_trefw_ms;
@@ -43,22 +34,142 @@ std::vector<double> retention_windows(const core::SweepConfig& cfg) {
   return windows;
 }
 
-}  // namespace
+/// The daemon's ResultCache adapted to the engine's CellStore interface.
+/// Keys fold every axis coordinate of the (normalized) grid point
+/// (ResultCache::point_key), so a 65C cell can never alias the 50C default
+/// cell. Request-level hit/miss accounting lands in `stats`.
+class CacheStore final : public core::CellStore {
+ public:
+  CacheStore(ResultCache& cache, std::uint64_t digest,
+             std::vector<double> windows, RequestStats& stats)
+      : cache_(cache),
+        digest_(digest),
+        windows_(std::move(windows)),
+        stats_(stats) {}
 
-softmc::Session& Service::Arena::acquire(const dram::ModuleProfile& profile) {
-  auto& slot = sessions[profile.name];
-  if (slot) {
-    slot->reset_for_job();
-  } else {
-    slot = std::make_unique<softmc::Session>(profile);
+  bool lookup_wcdp(const dram::ModuleProfile& profile,
+                   std::vector<dram::DataPattern>* out) override {
+    return cache_.lookup_wcdp(ResultCache::wcdp_key(digest_, profile.seed),
+                              out);
   }
-  return *slot;
+  void store_wcdp(const dram::ModuleProfile& profile,
+                  const std::vector<dram::DataPattern>& wcdp) override {
+    cache_.insert_wcdp(ResultCache::wcdp_key(digest_, profile.seed), wcdp);
+  }
+
+  bool lookup_hammer(const dram::ModuleProfile& profile,
+                     const core::AxisPoint& point, std::uint32_t row,
+                     harness::RowHammerRowResult* out) override {
+    CellValue cell;
+    if (!fetch(core::JobPhase::kRowHammer, profile, point, row, &cell)) {
+      return false;
+    }
+    out->row = row;
+    out->wcdp = cell.wcdp;
+    out->hc_first = cell.hc_first;
+    out->ber = cell.ber;
+    return true;
+  }
+  void store_hammer(const dram::ModuleProfile& profile,
+                    const core::AxisPoint& point,
+                    const harness::RowHammerRowResult& row) override {
+    CellValue value;
+    value.wcdp = row.wcdp;
+    value.hc_first = row.hc_first;
+    value.ber = row.ber;
+    cache_.insert(ResultCache::point_key(digest_, core::JobPhase::kRowHammer,
+                                         profile.seed, point, row.row),
+                  std::move(value));
+  }
+
+  bool lookup_trcd(const dram::ModuleProfile& profile,
+                   const core::AxisPoint& point, std::uint32_t row,
+                   harness::TrcdRowResult* out) override {
+    CellValue cell;
+    if (!fetch(core::JobPhase::kTrcd, profile, point, row, &cell)) {
+      return false;
+    }
+    out->row = row;
+    out->wcdp = cell.wcdp;
+    out->trcd_min_ns = cell.trcd_min_ns;
+    return true;
+  }
+  void store_trcd(const dram::ModuleProfile& profile,
+                  const core::AxisPoint& point,
+                  const harness::TrcdRowResult& row) override {
+    CellValue value;
+    value.wcdp = row.wcdp;
+    value.trcd_min_ns = row.trcd_min_ns;
+    cache_.insert(ResultCache::point_key(digest_, core::JobPhase::kTrcd,
+                                         profile.seed, point, row.row),
+                  std::move(value));
+  }
+
+  bool lookup_retention(const dram::ModuleProfile& profile,
+                        const core::AxisPoint& point, std::uint32_t row,
+                        harness::RetentionRowResult* out) override {
+    CellValue cell;
+    if (!fetch(core::JobPhase::kRetention, profile, point, row, &cell)) {
+      return false;
+    }
+    out->row = row;
+    out->wcdp = cell.wcdp;
+    out->trefw_ms = windows_;
+    out->ber = std::move(cell.retention_ber);
+    return true;
+  }
+  void store_retention(const dram::ModuleProfile& profile,
+                       const core::AxisPoint& point,
+                       const harness::RetentionRowResult& row) override {
+    CellValue value;
+    value.wcdp = row.wcdp;
+    value.retention_ber = row.ber;
+    cache_.insert(ResultCache::point_key(digest_, core::JobPhase::kRetention,
+                                         profile.seed, point, row.row),
+                  std::move(value));
+  }
+
+ private:
+  bool fetch(core::JobPhase phase, const dram::ModuleProfile& profile,
+             const core::AxisPoint& point, std::uint32_t row,
+             CellValue* cell) {
+    if (!cache_.lookup(
+            ResultCache::point_key(digest_, phase, profile.seed, point, row),
+            cell)) {
+      ++stats_.cache_misses;
+      return false;
+    }
+    ++stats_.cache_hits;
+    return true;
+  }
+
+  ResultCache& cache_;
+  std::uint64_t digest_;
+  std::vector<double> windows_;
+  RequestStats& stats_;
+};
+
+std::string manifest_path_for(const std::string& dir, core::JobPhase phase,
+                              std::uint64_t plan_hash) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(plan_hash));
+  return dir + "/campaign-" + std::string(core::campaign_phase_name(phase)) +
+         "-" + hex + ".json";
 }
 
+}  // namespace
+
 Service::Service(Config config)
-    : config_(config),
-      arenas_(std::max(1u, common::ThreadPool::workers_for_jobs(config.jobs))),
-      pool_(static_cast<unsigned>(arenas_.size() - 1)) {}
+    : config_(std::move(config)),
+      arenas_(std::max(1u, common::ThreadPool::workers_for_jobs(config_.jobs))),
+      pool_(static_cast<unsigned>(arenas_.size() - 1)) {
+  // A fresh --manifest-dir must not fail every checkpoint write with
+  // kIoError; EEXIST (or a race with another daemon) is fine.
+  if (!config_.manifest_dir.empty()) {
+    ::mkdir(config_.manifest_dir.c_str(), 0755);
+  }
+}
 
 common::Result<Service::Outcome> Service::sweep(const SweepRequest& request,
                                                 const CancelToken& cancel) {
@@ -68,342 +179,60 @@ common::Result<Service::Outcome> Service::sweep(const SweepRequest& request,
                  "unknown module '" + request.module + "'"};
   }
   const core::SweepConfig cfg = sweep_config_from_request(request);
-  const std::vector<double> levels =
-      core::usable_vpp_levels(cfg, profile->vppmin_v);
-  if (levels.empty()) {
-    return Error{ErrorCode::kNoUsableLevels,
-                 "no usable VPP levels for module " + profile->name}
-        .with_module(profile->name);
-  }
-  const std::vector<std::uint32_t> rows =
-      core::sample_campaign_rows(*profile, cfg.sampling);
-  if (rows.empty()) {
-    return Error{ErrorCode::kEmptySample, "row sampling produced no rows"}
-        .with_module(profile->name);
-  }
   const std::uint64_t digest = ResultCache::config_digest(cfg, request.seed);
-  if (request.test == "trcd") {
-    return trcd_sweep(request, cancel, *profile, cfg, levels, rows, digest);
-  }
-  if (request.test == "retention") {
-    return retention_sweep(request, cancel, *profile, cfg, levels, rows,
-                           digest);
-  }
-  return hammer_sweep(request, cancel, *profile, cfg, levels, rows, digest);
-}
+  const core::JobPhase phase = request.test == "trcd"
+                                   ? core::JobPhase::kTrcd
+                                   : request.test == "retention"
+                                         ? core::JobPhase::kRetention
+                                         : core::JobPhase::kRowHammer;
 
-common::Result<Service::Outcome> Service::hammer_sweep(
-    const SweepRequest& request, const CancelToken& cancel,
-    const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
-    const std::vector<double>& levels, const std::vector<std::uint32_t>& rows,
-    std::uint64_t digest) {
-  const std::uint64_t seed = request.seed;
-
-  // Phase A: WCDP determination at nominal VPP, cached per (digest, module).
-  std::vector<dram::DataPattern> wcdp;
-  const std::uint64_t wk = ResultCache::wcdp_key(digest, profile.seed);
-  if (!cache_.lookup_wcdp(wk, &wcdp)) {
-    if (cancel.cancelled()) {
-      return Error{ErrorCode::kCancelled, "sweep cancelled before WCDP prep"}
-          .with_module(profile.name);
-    }
-    const double nominal = levels.front();
-    auto future = pool_.submit([this, &profile, &cfg, seed, nominal, &rows] {
-      return core::run_wcdp_prep(arenas_.local(pool_).acquire(profile), cfg,
-                                 seed, nominal, rows);
-    });
-    auto prep = future.get();
-    if (!prep) return std::move(prep).error();
-    wcdp = std::move(prep->wcdp);
-    cache_.insert_wcdp(wk, wcdp);
+  core::CampaignPlan plan;
+  plan.sweep = cfg;
+  plan.axes.temperatures_c = request.temps;
+  plan.modules.push_back(*profile);
+  plan.seed = request.seed;
+  plan.rows_per_shard = config_.rows_per_shard;
+  plan.cancel = cancel;
+  if (!config_.manifest_dir.empty()) {
+    plan.manifest_path =
+        manifest_path_for(config_.manifest_dir, phase, plan.digest(phase));
   }
+  // The request's presence of an axis selects the result kind: a bare sweep
+  // answers with the legacy per-test document (byte-identical to the
+  // pre-engine daemon), an axis sweep answers with the "*_grid" kind.
+  const bool multi_axis = !plan.axes.vpp_only();
 
-  // Plan: copy cached cells straight into the result grid, regroup the
-  // uncovered remainder into row-range shards.
-  std::vector<core::RowSeries> series(rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    series[i].row = rows[i];
-    series[i].wcdp = wcdp[i];
-    series[i].hc_first.assign(levels.size(), 0);
-    series[i].ber.assign(levels.size(), 0.0);
-  }
-  RequestStats stats;
-  const std::size_t shard_size =
-      config_.rows_per_shard == 0 ? rows.size() : config_.rows_per_shard;
-  std::vector<MissShard> shards;
-  for (std::size_t l = 0; l < levels.size(); ++l) {
-    const std::uint64_t vpp_mv = core::vpp_millivolts(levels[l]);
-    MissShard cur;
-    cur.level = l;
-    cur.vpp = levels[l];
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const std::uint64_t key = ResultCache::cell_key(
-          digest, core::JobPhase::kRowHammer, profile.seed, vpp_mv, rows[i]);
-      CellValue cell;
-      if (cache_.lookup(key, &cell)) {
-        ++stats.cache_hits;
-        series[i].hc_first[l] = cell.hc_first;
-        series[i].ber[l] = cell.ber;
-        continue;
-      }
-      ++stats.cache_misses;
-      cur.rows.push_back(rows[i]);
-      cur.row_index.push_back(i);
-      cur.wcdp.push_back(wcdp[i]);
-      if (cur.rows.size() >= shard_size) {
-        shards.push_back(std::move(cur));
-        cur = MissShard{};
-        cur.level = l;
-        cur.vpp = levels[l];
-      }
-    }
-    if (!cur.rows.empty()) shards.push_back(std::move(cur));
-  }
-
-  std::vector<std::future<common::Expected<core::HammerCell>>> futures;
-  futures.reserve(shards.size());
-  for (const MissShard& shard : shards) {
-    futures.push_back(pool_.submit([this, &profile, &cfg, seed, &shard,
-                                    cancel] {
-      return core::run_hammer_rows(arenas_.local(pool_).acquire(profile), cfg,
-                                   seed, shard.vpp, shard.rows, shard.wcdp,
-                                   cancel);
-    }));
-  }
-
-  // Drain every shard even after a failure: completed shards are whole rows
-  // and go into the cache (reusable, never torn); the first error -- in
-  // deterministic shard order -- is what the client sees.
-  std::optional<Error> first_error;
-  for (std::size_t s = 0; s < futures.size(); ++s) {
-    auto cell = futures[s].get();
-    if (!cell) {
-      if (!first_error) first_error = std::move(cell).error();
-      continue;
-    }
-    const MissShard& shard = shards[s];
-    const std::uint64_t vpp_mv = core::vpp_millivolts(shard.vpp);
-    for (std::size_t j = 0; j < shard.rows.size(); ++j) {
-      CellValue value;
-      value.wcdp = shard.wcdp[j];
-      value.hc_first = cell->rows[j].hc_first;
-      value.ber = cell->rows[j].ber;
-      cache_.insert(
-          ResultCache::cell_key(digest, core::JobPhase::kRowHammer,
-                                profile.seed, vpp_mv, shard.rows[j]),
-          std::move(value));
-      series[shard.row_index[j]].hc_first[shard.level] = cell->rows[j].hc_first;
-      series[shard.row_index[j]].ber[shard.level] = cell->rows[j].ber;
-    }
-  }
-  if (first_error) return std::move(*first_error);
-
-  core::ModuleSweepResult result;
-  result.module_name = profile.name;
-  result.mfr = profile.mfr;
-  result.vppmin_v = profile.vppmin_v;
-  result.vpp_levels = levels;
-  result.rows = std::move(series);
   Outcome out;
-  out.result_json = hammer_sweep_to_json(result);
-  out.stats = stats;
-  return out;
-}
+  CacheStore store(cache_, digest, retention_windows(cfg), out.stats);
+  core::CampaignEngine engine(std::move(plan), &store,
+                              {.arenas = &arenas_, .pool = &pool_});
 
-common::Result<Service::Outcome> Service::trcd_sweep(
-    const SweepRequest& request, const CancelToken& cancel,
-    const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
-    const std::vector<double>& levels, const std::vector<std::uint32_t>& rows,
-    std::uint64_t digest) {
-  const std::uint64_t seed = request.seed;
-  std::vector<std::vector<double>> grid(levels.size(),
-                                        std::vector<double>(rows.size(), 0.0));
-  RequestStats stats;
-  const std::size_t shard_size =
-      config_.rows_per_shard == 0 ? rows.size() : config_.rows_per_shard;
-  std::vector<MissShard> shards;
-  for (std::size_t l = 0; l < levels.size(); ++l) {
-    const std::uint64_t vpp_mv = core::vpp_millivolts(levels[l]);
-    MissShard cur;
-    cur.level = l;
-    cur.vpp = levels[l];
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const std::uint64_t key = ResultCache::cell_key(
-          digest, core::JobPhase::kTrcd, profile.seed, vpp_mv, rows[i]);
-      CellValue cell;
-      if (cache_.lookup(key, &cell)) {
-        ++stats.cache_hits;
-        grid[l][i] = cell.trcd_min_ns;
-        continue;
-      }
-      ++stats.cache_misses;
-      cur.rows.push_back(rows[i]);
-      cur.row_index.push_back(i);
-      if (cur.rows.size() >= shard_size) {
-        shards.push_back(std::move(cur));
-        cur = MissShard{};
-        cur.level = l;
-        cur.vpp = levels[l];
-      }
+  switch (phase) {
+    case core::JobPhase::kTrcd: {
+      VPP_ASSIGN_OR_RETURN(const std::vector<core::TrcdGrid> grids,
+                           engine.run_trcd());
+      out.result_json = multi_axis
+                            ? core::grid_json(grids.front()).str()
+                            : trcd_sweep_to_json(grids.front().to_sweep());
+      return out;
     }
-    if (!cur.rows.empty()) shards.push_back(std::move(cur));
-  }
-
-  std::vector<std::future<common::Expected<core::TrcdCell>>> futures;
-  futures.reserve(shards.size());
-  for (const MissShard& shard : shards) {
-    futures.push_back(
-        pool_.submit([this, &profile, &cfg, seed, &shard, cancel] {
-          return core::run_trcd_rows(arenas_.local(pool_).acquire(profile),
-                                     cfg, seed, shard.vpp, shard.rows, cancel);
-        }));
-  }
-
-  std::optional<Error> first_error;
-  for (std::size_t s = 0; s < futures.size(); ++s) {
-    auto cell = futures[s].get();
-    if (!cell) {
-      if (!first_error) first_error = std::move(cell).error();
-      continue;
+    case core::JobPhase::kRetention: {
+      VPP_ASSIGN_OR_RETURN(const std::vector<core::RetentionGrid> grids,
+                           engine.run_retention());
+      out.result_json =
+          multi_axis ? core::grid_json(grids.front()).str()
+                     : retention_sweep_to_json(grids.front().to_sweep());
+      return out;
     }
-    const MissShard& shard = shards[s];
-    const std::uint64_t vpp_mv = core::vpp_millivolts(shard.vpp);
-    for (std::size_t j = 0; j < shard.rows.size(); ++j) {
-      CellValue value;
-      value.wcdp = cell->rows[j].wcdp;
-      value.trcd_min_ns = cell->rows[j].trcd_min_ns;
-      cache_.insert(ResultCache::cell_key(digest, core::JobPhase::kTrcd,
-                                          profile.seed, vpp_mv, shard.rows[j]),
-                    std::move(value));
-      grid[shard.level][shard.row_index[j]] = cell->rows[j].trcd_min_ns;
+    default: {
+      VPP_ASSIGN_OR_RETURN(const std::vector<core::HammerGrid> grids,
+                           engine.run_hammer());
+      out.result_json = multi_axis
+                            ? core::grid_json(grids.front()).str()
+                            : hammer_sweep_to_json(grids.front().to_sweep());
+      return out;
     }
   }
-  if (first_error) return std::move(*first_error);
-
-  core::TrcdSweepResult result;
-  result.module_name = profile.name;
-  result.vppmin_v = profile.vppmin_v;
-  result.vpp_levels = levels;
-  result.trcd_min_ns.reserve(levels.size());
-  for (std::size_t l = 0; l < levels.size(); ++l) {
-    // Module tRCDmin is the max across sampled rows, reduced in fixed row
-    // order exactly like core/parallel_study's assembly.
-    double trcd_min_ns = 0.0;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      trcd_min_ns = std::max(trcd_min_ns, grid[l][i]);
-    }
-    result.trcd_min_ns.push_back(trcd_min_ns);
-  }
-  Outcome out;
-  out.result_json = trcd_sweep_to_json(result);
-  out.stats = stats;
-  return out;
-}
-
-common::Result<Service::Outcome> Service::retention_sweep(
-    const SweepRequest& request, const CancelToken& cancel,
-    const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
-    const std::vector<double>& levels, const std::vector<std::uint32_t>& rows,
-    std::uint64_t digest) {
-  const std::uint64_t seed = request.seed;
-  const std::vector<double> windows = retention_windows(cfg);
-  std::vector<std::vector<std::vector<double>>> grid(
-      levels.size(), std::vector<std::vector<double>>(rows.size()));
-  RequestStats stats;
-  const std::size_t shard_size =
-      config_.rows_per_shard == 0 ? rows.size() : config_.rows_per_shard;
-  std::vector<MissShard> shards;
-  for (std::size_t l = 0; l < levels.size(); ++l) {
-    const std::uint64_t vpp_mv = core::vpp_millivolts(levels[l]);
-    MissShard cur;
-    cur.level = l;
-    cur.vpp = levels[l];
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const std::uint64_t key = ResultCache::cell_key(
-          digest, core::JobPhase::kRetention, profile.seed, vpp_mv, rows[i]);
-      CellValue cell;
-      if (cache_.lookup(key, &cell)) {
-        ++stats.cache_hits;
-        grid[l][i] = std::move(cell.retention_ber);
-        continue;
-      }
-      ++stats.cache_misses;
-      cur.rows.push_back(rows[i]);
-      cur.row_index.push_back(i);
-      if (cur.rows.size() >= shard_size) {
-        shards.push_back(std::move(cur));
-        cur = MissShard{};
-        cur.level = l;
-        cur.vpp = levels[l];
-      }
-    }
-    if (!cur.rows.empty()) shards.push_back(std::move(cur));
-  }
-
-  std::vector<std::future<common::Expected<core::RetentionCell>>> futures;
-  futures.reserve(shards.size());
-  for (const MissShard& shard : shards) {
-    futures.push_back(
-        pool_.submit([this, &profile, &cfg, seed, &shard, cancel] {
-          return core::run_retention_rows(arenas_.local(pool_).acquire(profile),
-                                          cfg, seed, shard.vpp, shard.rows,
-                                          cancel);
-        }));
-  }
-
-  std::optional<Error> first_error;
-  for (std::size_t s = 0; s < futures.size(); ++s) {
-    auto cell = futures[s].get();
-    if (!cell) {
-      if (!first_error) first_error = std::move(cell).error();
-      continue;
-    }
-    const MissShard& shard = shards[s];
-    const std::uint64_t vpp_mv = core::vpp_millivolts(shard.vpp);
-    for (std::size_t j = 0; j < shard.rows.size(); ++j) {
-      CellValue value;
-      value.wcdp = cell->rows[j].wcdp;
-      value.retention_ber = cell->rows[j].ber;
-      grid[shard.level][shard.row_index[j]] = cell->rows[j].ber;
-      cache_.insert(ResultCache::cell_key(digest, core::JobPhase::kRetention,
-                                          profile.seed, vpp_mv, shard.rows[j]),
-                    std::move(value));
-    }
-  }
-  if (first_error) return std::move(*first_error);
-
-  core::RetentionSweepResult result;
-  result.module_name = profile.name;
-  result.mfr = profile.mfr;
-  result.vpp_levels = levels;
-  result.trefw_ms = windows;
-  const double row_count = static_cast<double>(rows.size());
-  for (std::size_t l = 0; l < levels.size(); ++l) {
-    std::vector<double> sums(windows.size(), 0.0);
-    std::vector<double> ref_bers;
-    ref_bers.reserve(rows.size());
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const std::vector<double>& ber = grid[l][i];
-      for (std::size_t w = 0; w < ber.size() && w < sums.size(); ++w) {
-        sums[w] += ber[w];
-      }
-      std::size_t ref = 0;
-      for (std::size_t w = 0; w < windows.size(); ++w) {
-        if (std::abs(windows[w] - result.reference_trefw_ms) <
-            std::abs(windows[ref] - result.reference_trefw_ms)) {
-          ref = w;
-        }
-      }
-      ref_bers.push_back(ber.empty() ? 0.0 : ber[ref]);
-    }
-    for (double& s : sums) s /= row_count;
-    result.mean_ber.push_back(std::move(sums));
-    result.row_ber_at_reference.push_back(std::move(ref_bers));
-  }
-  Outcome out;
-  out.result_json = retention_sweep_to_json(result);
-  out.stats = stats;
-  return out;
 }
 
 common::Result<Service::Outcome> Service::inject(const InjectRequest& request,

@@ -1,34 +1,41 @@
 // Request execution layer of the vppd daemon: turns admitted requests into
-// deterministic result documents, serving every grid cell it can from the
+// deterministic result documents by dispatching them through
+// core::CampaignEngine, serving every grid cell it can from the
 // content-addressed ResultCache and computing only the uncovered remainder
 // on a long-lived shard pool.
 //
-// A sweep request is planned exactly like core/parallel_study plans a
-// campaign -- usable levels, sampled rows, row-range shards -- except the
-// plan first consults the cache: cells already present are copied into the
-// result, and only the uncovered (level, row) cells are regrouped into
-// shards and submitted. Because every cell is a pure function of its
-// row_stream_seed key, the merged output is bit-identical to a fresh
-// in-process sweep, and the response's "result" text is byte-identical
-// whether 0% or 100% of it came from the cache (tests/server/ asserts
-// both). Completed shards are inserted into the cache even when a later
-// shard fails or the request is cancelled: whole rows only, so partial
-// progress is reusable but never torn.
+// A sweep request becomes a one-module CampaignPlan (VPP levels plus the
+// request's optional temperature axis) and the engine does the planning the
+// service used to reimplement: usable levels, sampled rows, row-range
+// shards. The cache plugs in as the engine's CellStore -- cells already
+// present are merged into the result, and only the uncovered rows are
+// computed. Because every cell is a pure function of its stream key, the
+// merged output is bit-identical to a fresh in-process sweep, and the
+// response's "result" text is byte-identical whether 0% or 100% of it came
+// from the cache (tests/server/ asserts both). Completed shards are
+// inserted into the cache even when a later shard fails or the request is
+// cancelled: whole rows only, so partial progress is reusable but never
+// torn.
+//
+// Checkpointing: with Config::manifest_dir set, every sweep runs with a
+// campaign manifest keyed by the plan digest, so a daemon killed mid-sweep
+// resumes from completed shards after restart and the merged result is
+// byte-identical (the cache is in-memory and dies with the process; the
+// manifest is the durable layer).
 //
 // Threading: handlers run on JobQueue dispatcher threads and block on shard
 // futures; the shard pool workers never block on futures, so the two layers
 // cannot deadlock. Worker-local Session arenas (one per (worker, module))
-// follow core/parallel_study's reuse discipline.
+// are lent to each engine run via CampaignEngine::Execution.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 
 #include "common/cancel.hpp"
 #include "common/expected.hpp"
 #include "common/thread_pool.hpp"
+#include "core/campaign.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
 #include "softmc/session.hpp"
@@ -45,6 +52,10 @@ class Service {
     /// Sampled rows per shard job (StudyConfig::rows_per_shard); a pure
     /// performance knob by the determinism contract.
     std::uint32_t rows_per_shard = 4;
+    /// Directory for campaign manifests (vppd --manifest-dir); empty
+    /// disables checkpointing. One manifest per (plan digest, phase), so
+    /// concurrent distinct sweeps never share a file.
+    std::string manifest_dir;
   };
 
   explicit Service(Config config);
@@ -64,35 +75,11 @@ class Service {
   [[nodiscard]] ResultCache::Stats cache_stats() const { return cache_.stats(); }
 
  private:
-  /// One reusable Session per (worker, module name); the daemon serves many
-  /// requests, so unlike core/parallel_study's index-keyed arena this one
-  /// keys by module name.
-  struct Arena {
-    std::map<std::string, std::unique_ptr<softmc::Session>> sessions;
-    softmc::Session& acquire(const dram::ModuleProfile& profile);
-  };
-
-  [[nodiscard]] common::Result<Outcome> hammer_sweep(
-      const SweepRequest& request, const common::CancelToken& cancel,
-      const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
-      const std::vector<double>& levels,
-      const std::vector<std::uint32_t>& rows, std::uint64_t digest);
-  [[nodiscard]] common::Result<Outcome> trcd_sweep(
-      const SweepRequest& request, const common::CancelToken& cancel,
-      const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
-      const std::vector<double>& levels,
-      const std::vector<std::uint32_t>& rows, std::uint64_t digest);
-  [[nodiscard]] common::Result<Outcome> retention_sweep(
-      const SweepRequest& request, const common::CancelToken& cancel,
-      const dram::ModuleProfile& profile, const core::SweepConfig& cfg,
-      const std::vector<double>& levels,
-      const std::vector<std::uint32_t>& rows, std::uint64_t digest);
-
   Config config_;
   ResultCache cache_;
   // Arena before pool: the pool's destructor drains queued jobs that touch
   // their worker's arena (common/thread_pool lifetime rule).
-  common::WorkerLocal<Arena> arenas_;
+  common::WorkerLocal<core::SessionArena> arenas_;
   common::ThreadPool pool_;
 };
 

@@ -1,0 +1,254 @@
+// Daemon-layer campaign tests: the ResultCache keys every axis coordinate
+// (a 65C cell must never alias the VPP-only default cell), and a vppd
+// killed mid-sweep resumes from its --manifest-dir checkpoint after restart
+// with a byte-identical merged result.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/axis.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/result_cache.hpp"
+#include "server_test_util.hpp"
+
+namespace vppstudy::server {
+namespace {
+
+using testing::extract_result_text;
+using testing::raw_sweep;
+using testing::RawConn;
+using testing::reference_result_text;
+using testing::response_stats;
+
+// --- ResultCache axis keying -------------------------------------------------
+
+TEST(ServerCacheAxisKeys, BaselinePointSharesTheLegacyCellKey) {
+  // Normalized baseline points must hash to exactly the VPP-only key: a
+  // multi-axis request at the phase defaults shares cells with legacy
+  // sweeps instead of recomputing them.
+  const core::AxisPoint baseline{.vpp_v = 2.1};
+  EXPECT_EQ(ResultCache::point_key(0xBEEF, core::JobPhase::kRowHammer, 99,
+                                   baseline, 1234),
+            ResultCache::cell_key(0xBEEF, core::JobPhase::kRowHammer, 99,
+                                  core::vpp_millivolts(2.1), 1234));
+}
+
+TEST(ServerCacheAxisKeys, OffDefaultTemperatureNeverAliasesTheBaseline) {
+  // The negative test of the satellite: a 65C cell keyed like the VPP-only
+  // cell would serve 50C results for a 65C request.
+  const core::AxisPoint baseline{.vpp_v = 2.1};
+  const core::AxisPoint at65{.vpp_v = 2.1, .temperature_c = 65.0};
+  const core::AxisPoint at80{.vpp_v = 2.1, .temperature_c = 80.0};
+  const std::uint64_t base_key = ResultCache::point_key(
+      0xBEEF, core::JobPhase::kRowHammer, 99, baseline, 1234);
+  const std::uint64_t key65 = ResultCache::point_key(
+      0xBEEF, core::JobPhase::kRowHammer, 99, at65, 1234);
+  const std::uint64_t key80 = ResultCache::point_key(
+      0xBEEF, core::JobPhase::kRowHammer, 99, at80, 1234);
+  EXPECT_NE(key65, base_key);
+  EXPECT_NE(key80, base_key);
+  EXPECT_NE(key65, key80);
+
+  const core::AxisPoint heavy{.vpp_v = 2.1, .hammer_count = 600000};
+  const core::AxisPoint slow{.vpp_v = 2.1, .act_to_act_ns = 90.0};
+  EXPECT_NE(ResultCache::point_key(0xBEEF, core::JobPhase::kRowHammer, 99,
+                                   heavy, 1234),
+            base_key);
+  EXPECT_NE(ResultCache::point_key(0xBEEF, core::JobPhase::kRowHammer, 99,
+                                   slow, 1234),
+            base_key);
+}
+
+// --- vppd kill / restart / resume --------------------------------------------
+
+/// Like integration_test's VppdProcess, but restartable and with a campaign
+/// manifest directory plus an optional deterministic kill switch
+/// (VPP_CAMPAIGN_KILL_AFTER) armed in the child's environment.
+class VppdCampaignResume : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(::getpid()) + "_" +
+                            ::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name();
+    port_file_ = ::testing::TempDir() + "vppd_port_" + tag;
+    manifest_dir_ = ::testing::TempDir() + "vppd_manifests_" + tag;
+  }
+
+  void TearDown() override {
+    stop_daemon(/*expect_signalled=*/false);
+    std::remove(port_file_.c_str());
+  }
+
+  void start_daemon(int kill_after_writes) {
+    std::remove(port_file_.c_str());
+    port_ = 0;
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0) << "fork failed";
+    if (pid_ == 0) {
+      if (kill_after_writes > 0) {
+        ::setenv("VPP_CAMPAIGN_KILL_AFTER",
+                 std::to_string(kill_after_writes).c_str(), 1);
+      } else {
+        ::unsetenv("VPP_CAMPAIGN_KILL_AFTER");
+      }
+      ::execl(VPPD_PATH, VPPD_PATH, "--port-file", port_file_.c_str(),
+              "--rows-per-shard", "2", "--jobs", "2", "--manifest-dir",
+              manifest_dir_.c_str(), static_cast<char*>(nullptr));
+      std::perror("execl vppd");
+      ::_exit(127);
+    }
+    for (int i = 0; i < 400 && port_ == 0; ++i) {
+      std::FILE* f = std::fopen(port_file_.c_str(), "r");
+      if (f != nullptr) {
+        unsigned port = 0;
+        const int fields = std::fscanf(f, "%u", &port);
+        std::fclose(f);
+        if (fields == 1 && port != 0) {
+          port_ = static_cast<std::uint16_t>(port);
+          break;
+        }
+      }
+      ::usleep(25 * 1000);
+    }
+    ASSERT_NE(port_, 0) << "vppd never published its port";
+  }
+
+  /// Reap the daemon; with expect_signalled, assert it died of SIGKILL
+  /// (the armed kill switch), otherwise shut it down cooperatively.
+  void stop_daemon(bool expect_signalled) {
+    if (pid_ <= 0) return;
+    if (!expect_signalled) {
+      auto client = Client::connect(port_);
+      if (client) (void)client->shutdown_server();
+    }
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 400; ++i) {
+      if (::waitpid(pid_, &status, WNOHANG) == pid_) {
+        reaped = true;
+        break;
+      }
+      ::usleep(25 * 1000);
+    }
+    if (!reaped) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, &status, 0);
+    }
+    if (expect_signalled) {
+      EXPECT_TRUE(WIFSIGNALED(status)) << "daemon survived the kill switch";
+      if (WIFSIGNALED(status)) {
+        EXPECT_EQ(WTERMSIG(status), SIGKILL);
+      }
+    }
+    pid_ = -1;
+  }
+
+  std::uint16_t port() const { return port_; }
+  const std::string& manifest_dir() const { return manifest_dir_; }
+
+ private:
+  std::string port_file_;
+  std::string manifest_dir_;
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+SweepRequest resume_request() {
+  SweepRequest request;
+  request.module = "B3";
+  request.test = "rowhammer";
+  request.rows = 4;
+  request.step = 0.4;
+  request.seed = 11;
+  return request;
+}
+
+// The acceptance criterion: SIGKILL the daemon mid-campaign (deterministic
+// shard, via the manifest writer's kill switch), restart it on the same
+// --manifest-dir, and the re-issued sweep completes from the checkpoint with
+// a "result" byte-identical to a fresh in-process engine.
+TEST_F(VppdCampaignResume, KilledDaemonResumesFromManifestByteIdentical) {
+  const SweepRequest request = resume_request();
+
+  // Daemon A: dies at the 2nd manifest write. The campaign checkpoints on
+  // every wcdp prep and shard completion (1 wcdp + 2 shards here), so the
+  // daemon dies with the prep and exactly one shard persisted -- a genuine
+  // mid-campaign interruption.
+  start_daemon(/*kill_after_writes=*/2);
+  {
+    RawConn conn = RawConn::connect(port());
+    conn.send_payload(encode_sweep_request(1, request));
+    auto payload = conn.recv_payload();
+    EXPECT_FALSE(payload.has_value())
+        << "daemon answered a sweep it should have died during: " << *payload;
+  }
+  stop_daemon(/*expect_signalled=*/true);
+
+  // Daemon B: same manifest dir, kill switch disarmed. The sweep resumes
+  // from completed shards; its cache is empty, so every *resumed* row comes
+  // from the manifest, not the cache.
+  start_daemon(/*kill_after_writes=*/0);
+  RawConn conn = RawConn::connect(port());
+  const std::string response = raw_sweep(conn, 1, request);
+  auto doc = common::parse_json(response);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->bool_or("ok", false)) << response;
+  EXPECT_EQ(extract_result_text(response), reference_result_text(request, 2));
+
+  // And a repeat on the live daemon is served fully from cache -- the
+  // manifest-resumed rows were inserted like computed ones.
+  const std::string repeat = raw_sweep(conn, 2, request);
+  auto repeat_doc = common::parse_json(repeat);
+  ASSERT_TRUE(repeat_doc.has_value());
+  ASSERT_TRUE(repeat_doc->bool_or("ok", false)) << repeat;
+  EXPECT_EQ(response_stats(*repeat_doc).misses, 0u);
+  EXPECT_EQ(extract_result_text(repeat), extract_result_text(response));
+}
+
+// A multi-axis request answers with the rowhammer_grid kind and resumes the
+// same way (the temperature axis is first-class through the whole daemon).
+TEST_F(VppdCampaignResume, MultiAxisSweepRoundTripsAndIsCached) {
+  SweepRequest request = resume_request();
+  request.temps = {50.0, 65.0};
+
+  start_daemon(/*kill_after_writes=*/0);
+  RawConn conn = RawConn::connect(port());
+  const std::string response = raw_sweep(conn, 1, request);
+  auto doc = common::parse_json(response);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->bool_or("ok", false)) << response;
+  const std::string result = extract_result_text(response);
+  EXPECT_NE(result.find("\"kind\":\"rowhammer_grid\""), std::string::npos)
+      << result.substr(0, 200);
+  EXPECT_EQ(result, reference_result_text(request, 2));
+
+  // The 65C points must not have been served from the 50C/default cells:
+  // the grid has 2x the points, so the first run misses on every cell and a
+  // repeat hits on every cell.
+  const std::string repeat = raw_sweep(conn, 2, request);
+  auto repeat_doc = common::parse_json(repeat);
+  ASSERT_TRUE(repeat_doc.has_value());
+  EXPECT_EQ(response_stats(*repeat_doc).misses, 0u);
+  EXPECT_EQ(extract_result_text(repeat), result);
+
+  // A VPP-only sweep shares exactly the baseline half of those cells.
+  SweepRequest vpp_only = resume_request();
+  const std::string legacy = raw_sweep(conn, 3, vpp_only);
+  auto legacy_doc = common::parse_json(legacy);
+  ASSERT_TRUE(legacy_doc.has_value());
+  ASSERT_TRUE(legacy_doc->bool_or("ok", false)) << legacy;
+  EXPECT_EQ(response_stats(*legacy_doc).misses, 0u)
+      << "baseline cells of the grid should cover the VPP-only sweep";
+  EXPECT_EQ(extract_result_text(legacy), reference_result_text(vpp_only, 2));
+}
+
+}  // namespace
+}  // namespace vppstudy::server

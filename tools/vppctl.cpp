@@ -35,11 +35,34 @@
 //       text to a vppd daemon and replays there.
 //   vppctl serve   [--port N] [--port-file PATH] [--jobs N]
 //                  [--rows-per-shard N] [--queue-cap N] [--quota N]
-//                  [--dispatchers N]
+//                  [--dispatchers N] [--manifest-dir DIR]
 //       Run the vppd daemon in-process (same server as tools/vppd): serves
 //       sweep/inject/replay over the length-prefixed JSON protocol with a
 //       content-addressed result cache. Runs until a client sends
 //       `shutdown`. Exit 0 on clean shutdown, 3 on a startup error.
+//   vppctl campaign run    [--manifest PATH] --module B3 [--modules B3,A0]
+//                          [--test rowhammer|trcd|retention] [--rows 16]
+//                          [--step 0.2] [--temps 50,65,80]
+//                          [--hammer-counts 150000,300000] [--on-times 45,90]
+//                          [--seed 0] [--jobs 1] [--rows-per-shard 4]
+//                          [--max-shards N] [--csv out.csv] [--json out.json]
+//   vppctl campaign resume --manifest PATH [--jobs N] [--max-shards N]
+//                          [--csv out.csv] [--json out.json]
+//   vppctl campaign status --manifest PATH
+//       Multi-axis characterization campaigns through core::CampaignEngine.
+//       `run` compiles the flags into a CampaignPlan (VPP levels x optional
+//       temperature / hammer-count / on-time axes), executes it, and prints
+//       one grid summary per module; --csv/--json export the full grid
+//       (per-module suffixed files when more than one module). With
+//       --manifest, completed shards are checkpointed so a killed campaign
+//       is resumable; --max-shards bounds fresh shard computations per
+//       invocation (incremental fill-in). `resume` reconstructs the plan
+//       from the manifest alone and continues it -- the merged result is
+//       byte-identical to an uninterrupted run. `status` prints checkpoint
+//       progress without running anything. Exit 0 on success (a completed
+//       campaign), 2 on usage errors, 3 on typed errors -- including the
+//       deliberate kCancelled of an exhausted --max-shards budget, which
+//       leaves a resumable manifest behind.
 //
 //   --connect PORT is also accepted by inject. Remote inject does not
 //   support --csv or --dump-dir (the artifacts would land on the daemon's
@@ -55,6 +78,7 @@
 #include "chips/module_db.hpp"
 #include "common/csv.hpp"
 #include "common/units.hpp"
+#include "core/campaign.hpp"
 #include "core/export.hpp"
 #include "core/resilient_study.hpp"
 #include "core/study.hpp"
@@ -654,6 +678,251 @@ int cmd_replay(const std::string& path,
   return 4;
 }
 
+std::vector<std::string> split_csv_list(const std::string& text) {
+  std::vector<std::string> parts;
+  for (std::size_t pos = 0; pos <= text.size();) {
+    const std::size_t end = std::min(text.find(',', pos), text.size());
+    std::string part = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (!part.empty()) parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  for (const std::string& part : split_csv_list(text)) {
+    values.push_back(std::atof(part.c_str()));
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> parse_uint_list(const std::string& text) {
+  std::vector<std::uint64_t> values;
+  for (const std::string& part : split_csv_list(text)) {
+    values.push_back(
+        static_cast<std::uint64_t>(std::strtoull(part.c_str(), nullptr, 10)));
+  }
+  return values;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Exports of a multi-module campaign get a per-module suffix before the
+/// extension (grid-B3.csv) so one invocation never overwrites itself.
+std::string per_module_path(const std::string& path, const std::string& module,
+                            bool multi) {
+  if (!multi) return path;
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "-" + module;
+  }
+  return path.substr(0, dot) + "-" + module + path.substr(dot);
+}
+
+template <typename Grid>
+int render_campaign_grids(core::JobPhase phase, const std::vector<Grid>& grids,
+                          const std::string& csv_path,
+                          const std::string& json_path) {
+  const bool multi = grids.size() > 1;
+  for (const Grid& grid : grids) {
+    std::printf("%-4s %s grid: %zu points x %zu rows  (%s)\n",
+                grid.module_name.c_str(),
+                std::string(core::campaign_phase_name(phase)).c_str(),
+                grid.points.size(), grid.rows.size(),
+                grid.instrumentation.summary().c_str());
+    if (!csv_path.empty()) {
+      const std::string path =
+          per_module_path(csv_path, grid.module_name, multi);
+      if (!core::grid_csv(grid).write_file(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 3;
+      }
+    }
+    if (!json_path.empty()) {
+      const std::string path =
+          per_module_path(json_path, grid.module_name, multi);
+      if (!write_text_file(path, core::grid_json(grid).str())) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 3;
+      }
+    }
+  }
+  return 0;
+}
+
+int run_campaign(core::CampaignPlan plan, core::JobPhase phase,
+                 const std::string& csv_path, const std::string& json_path) {
+  const std::string manifest = plan.manifest_path;
+  core::CampaignEngine engine(std::move(plan));
+  int rc = 3;
+  common::Error error{common::ErrorCode::kUnknown, ""};
+  switch (phase) {
+    case core::JobPhase::kTrcd: {
+      auto grids = engine.run_trcd();
+      if (grids) {
+        rc = render_campaign_grids(phase, *grids, csv_path, json_path);
+      } else {
+        error = std::move(grids).error();
+      }
+      break;
+    }
+    case core::JobPhase::kRetention: {
+      auto grids = engine.run_retention();
+      if (grids) {
+        rc = render_campaign_grids(phase, *grids, csv_path, json_path);
+      } else {
+        error = std::move(grids).error();
+      }
+      break;
+    }
+    default: {
+      auto grids = engine.run_hammer();
+      if (grids) {
+        rc = render_campaign_grids(phase, *grids, csv_path, json_path);
+      } else {
+        error = std::move(grids).error();
+      }
+      break;
+    }
+  }
+  if (rc == 3 && !error.message.empty()) {
+    std::fprintf(stderr, "%s\n", error.to_string().c_str());
+    if (!manifest.empty()) {
+      std::fprintf(stderr,
+                   "completed shards are checkpointed; continue with: vppctl "
+                   "campaign resume --manifest %s\n",
+                   manifest.c_str());
+    }
+  }
+  return rc;
+}
+
+int cmd_campaign_run(const std::map<std::string, std::string>& flags) {
+  // The sweep config comes through the daemon's request expander so a
+  // campaign's VPP grid is millivolt-quantized exactly like `vppctl sweep`
+  // (and the stream seeds therefore agree across all front ends).
+  const server::SweepRequest request = sweep_request_from_flags(flags);
+  const core::JobPhase phase = request.test == "trcd"
+                                   ? core::JobPhase::kTrcd
+                                   : request.test == "retention"
+                                         ? core::JobPhase::kRetention
+                                         : core::JobPhase::kRowHammer;
+  if (request.test != "rowhammer" && request.test != "trcd" &&
+      request.test != "retention") {
+    std::fprintf(stderr, "unknown --test '%s'\n", request.test.c_str());
+    return 2;
+  }
+
+  core::CampaignPlan plan;
+  plan.sweep = server::sweep_config_from_request(request);
+  plan.axes.temperatures_c = parse_double_list(flag_or(flags, "temps", ""));
+  plan.axes.hammer_counts = parse_uint_list(flag_or(flags, "hammer-counts", ""));
+  plan.axes.act_to_act_ns = parse_double_list(flag_or(flags, "on-times", ""));
+  plan.seed = request.seed;
+  plan.jobs = std::atoi(flag_or(flags, "jobs", "1").c_str());
+  plan.rows_per_shard = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "rows-per-shard", "4").c_str()));
+  plan.max_new_shards = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "max-shards", "0").c_str()));
+  plan.manifest_path = flag_or(flags, "manifest", "");
+
+  const std::string names =
+      flag_or(flags, "modules", flag_or(flags, "module", "B3"));
+  for (const std::string& name : split_csv_list(names)) {
+    auto profile = chips::profile_by_name(name);
+    if (!profile) {
+      std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
+      return 3;
+    }
+    plan.modules.push_back(std::move(*profile));
+  }
+
+  return run_campaign(std::move(plan), phase, flag_or(flags, "csv", ""),
+                      flag_or(flags, "json", ""));
+}
+
+int cmd_campaign_resume(const std::map<std::string, std::string>& flags) {
+  const std::string manifest_path = flag_or(flags, "manifest", "");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "campaign resume requires --manifest PATH\n");
+    return 2;
+  }
+  auto manifest = core::load_campaign_manifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "%s\n", manifest.error().to_string().c_str());
+    return 3;
+  }
+  auto plan = core::plan_from_manifest(*manifest);
+  if (!plan) {
+    std::fprintf(stderr, "%s\n", plan.error().to_string().c_str());
+    return 3;
+  }
+  // Execution knobs are not part of the plan identity; they may be re-chosen
+  // at resume time without perturbing a single result bit.
+  plan->manifest_path = manifest_path;
+  plan->jobs = std::atoi(flag_or(flags, "jobs", "1").c_str());
+  plan->max_new_shards = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "max-shards", "0").c_str()));
+  std::printf("resuming %s campaign (%zu of %llu shards checkpointed)\n",
+              std::string(core::campaign_phase_name(manifest->phase)).c_str(),
+              manifest->shards.size(),
+              static_cast<unsigned long long>(manifest->planned_shards));
+  return run_campaign(*std::move(plan), manifest->phase,
+                      flag_or(flags, "csv", ""), flag_or(flags, "json", ""));
+}
+
+int cmd_campaign_status(const std::map<std::string, std::string>& flags) {
+  const std::string manifest_path = flag_or(flags, "manifest", "");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "campaign status requires --manifest PATH\n");
+    return 2;
+  }
+  auto manifest = core::load_campaign_manifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "%s\n", manifest.error().to_string().c_str());
+    return 3;
+  }
+  std::printf("manifest: %s\n", manifest_path.c_str());
+  std::printf("phase: %s  plan: 0x%016llx  seed: %llu\n",
+              std::string(core::campaign_phase_name(manifest->phase)).c_str(),
+              static_cast<unsigned long long>(manifest->plan_hash),
+              static_cast<unsigned long long>(manifest->seed));
+  std::printf("shards: %zu of %llu complete, wcdp preps: %zu of %zu\n",
+              manifest->shards.size(),
+              static_cast<unsigned long long>(manifest->planned_shards),
+              manifest->wcdp.size(), manifest->modules.size());
+  for (const auto& [name, rows_per_bank] : manifest->modules) {
+    std::size_t done = 0;
+    for (const auto& shard : manifest->shards) {
+      if (shard.module == name) ++done;
+    }
+    std::printf("  %-4s %zu shards done (rows_per_bank=%u)\n", name.c_str(),
+                done, rows_per_bank);
+  }
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: vppctl campaign <run|resume|status> "
+                         "[--flag value ...]\n");
+    return 2;
+  }
+  const std::string verb = argv[2];
+  const auto flags = parse_flags(argc, argv, 3);
+  if (verb == "run") return cmd_campaign_run(flags);
+  if (verb == "resume") return cmd_campaign_resume(flags);
+  if (verb == "status") return cmd_campaign_status(flags);
+  std::fprintf(stderr, "unknown campaign verb '%s'\n", verb.c_str());
+  return 2;
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   server::DaemonOptions options;
   options.config.port = static_cast<std::uint16_t>(
@@ -666,6 +935,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       std::atoll(flag_or(flags, "queue-cap", "16").c_str()));
   options.config.queue.per_client_quota = static_cast<std::size_t>(
       std::atoll(flag_or(flags, "quota", "8").c_str()));
+  options.config.service.manifest_dir = flag_or(flags, "manifest-dir", "");
   options.config.queue.dispatchers = static_cast<unsigned>(
       std::atoi(flag_or(flags, "dispatchers", "2").c_str()));
   return server::run_daemon(options);
@@ -673,7 +943,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vppctl <list|hammer|sweep|profile|inject|replay|serve> "
+               "usage: vppctl "
+               "<list|hammer|sweep|campaign|profile|inject|replay|serve> "
                "[--flag value ...]\n"
                "see the header comment of tools/vppctl.cpp for details\n");
   return 2;
@@ -688,6 +959,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
   if (cmd == "hammer") return cmd_hammer(flags);
   if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
   if (cmd == "profile") return cmd_profile(flags);
   if (cmd == "inject") return cmd_inject(flags);
   if (cmd == "serve") return cmd_serve(flags);

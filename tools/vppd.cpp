@@ -1,14 +1,17 @@
 // vppd: the characterization-as-a-service daemon.
 //
 //   vppd [--port N] [--port-file PATH] [--jobs N] [--rows-per-shard N]
-//        [--queue-cap N] [--quota N] [--dispatchers N]
+//        [--queue-cap N] [--quota N] [--dispatchers N] [--manifest-dir DIR]
 //
 // Binds 127.0.0.1 (never a routable interface) and serves the vppctl
 // protocol: sweep/inject/replay requests scheduled through a bounded job
 // queue with per-client quotas, results served from a content-addressed
 // cache (see src/server/ and DESIGN.md section 9). --port 0 (the default)
 // binds an ephemeral port; --port-file publishes the bound port atomically
-// for child-process harnesses. Runs until a client sends `shutdown`.
+// for child-process harnesses. --manifest-dir enables campaign checkpoint
+// manifests: a daemon killed mid-sweep resumes completed shards after
+// restart and the merged result is byte-identical (DESIGN.md section 10).
+// Runs until a client sends `shutdown`.
 // Exit codes: 0 clean shutdown, 2 bad usage, 3 typed startup error.
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
       std::atoi(flag_or(flags, "jobs", "0").c_str());
   options.config.service.rows_per_shard = static_cast<std::uint32_t>(
       std::atoi(flag_or(flags, "rows-per-shard", "4").c_str()));
+  options.config.service.manifest_dir = flag_or(flags, "manifest-dir", "");
   options.config.queue.capacity = static_cast<std::size_t>(
       std::atoll(flag_or(flags, "queue-cap", "16").c_str()));
   options.config.queue.per_client_quota = static_cast<std::size_t>(
