@@ -1,0 +1,216 @@
+// Distributed-campaign scaling benchmark (google-benchmark): one full
+// coordinator + N-worker campaign over a real loopback daemon per
+// iteration, so BM_DistributedCampaign/1 vs /2 measures the end-to-end
+// wall-clock speedup of the lease/submit distribution layer (DESIGN.md
+// section 11) including every protocol round trip and manifest flush. CI's
+// perf-smoke job gates workers=2 <= workers=1 via tools/ci/perf_gate.py
+// scaling. After the timed loop the final merged manifest is resumed and
+// checked byte-identical against a single-host engine run -- a bench that
+// got faster by dropping work fails instead of winning.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "core/campaign_lease.hpp"
+#include "core/export.hpp"
+#include "server/coordinator.hpp"
+#include "server/server.hpp"
+#include "server/worker.hpp"
+
+namespace {
+
+using namespace vppstudy;
+
+// Fixed small scale, independent of the env knobs: big enough that shard
+// compute dominates the lease/submit round trips, small enough for
+// --benchmark_repetitions=3 on a shared runner.
+core::CampaignPlan bench_plan() {
+  bench::BenchOptions opt;
+  opt.rows_per_chunk = 2;
+  opt.chunks = 2;
+  opt.iterations = 1;
+  opt.max_modules = 4;
+  opt.vpp_step = 0.2;
+  opt.jobs = 1;
+  core::CampaignPlan plan = bench::campaign_plan(opt);
+  plan.rows_per_shard = 2;
+  return plan;
+}
+
+std::string bench_manifest_path(int workers) {
+  return "/tmp/vpp_dist_bench_" + std::to_string(::getpid()) + "_w" +
+         std::to_string(workers) + ".json";
+}
+
+void remove_campaign_files(const std::string& manifest_path) {
+  std::remove(manifest_path.c_str());
+  std::remove(core::campaign_ledger_path(manifest_path).c_str());
+}
+
+/// One whole distributed campaign: coordinator + daemon + `workers` worker
+/// threads, all over loopback. Returns false (with a message in *error) on
+/// any failure.
+bool run_distributed(int workers, const std::string& manifest_path,
+                     std::string* error) {
+  auto coordinator = server::CampaignCoordinator::open(
+      bench_plan(), core::JobPhase::kRowHammer, manifest_path);
+  if (!coordinator) {
+    *error = coordinator.error().to_string();
+    return false;
+  }
+  auto daemon = server::Server::start({});
+  if (!daemon) {
+    *error = daemon.error().to_string();
+    return false;
+  }
+  std::shared_ptr<server::CampaignCoordinator> shared = *std::move(coordinator);
+  (*daemon)->service().adopt_campaign(shared);
+
+  std::vector<std::string> failures(static_cast<std::size_t>(workers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      server::CampaignWorker::Options options;
+      options.port = (*daemon)->port();
+      options.worker_id = "bench-w" + std::to_string(w + 1);
+      options.lease_shards = 4;
+      options.jobs = 1;
+      auto summary = server::CampaignWorker::run(options);
+      if (!summary) {
+        failures[static_cast<std::size_t>(w)] = summary.error().to_string();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  (*daemon)->stop();
+  for (const std::string& failure : failures) {
+    if (!failure.empty()) {
+      *error = failure;
+      return false;
+    }
+  }
+  if (!shared->complete()) {
+    *error = "campaign did not complete";
+    return false;
+  }
+  return true;
+}
+
+/// The merged manifest must resume to grids byte-identical to a fresh
+/// single-host run -- asserted once per benchmark, outside the timed loop.
+bool verify_byte_identity(const std::string& manifest_path,
+                          std::string* error) {
+  core::CampaignPlan resume_plan = bench_plan();
+  resume_plan.manifest_path = manifest_path;
+  core::CampaignEngine resumed(std::move(resume_plan));
+  auto merged = resumed.run_hammer();
+  if (!merged) {
+    *error = merged.error().to_string();
+    return false;
+  }
+  core::CampaignEngine single_engine(bench_plan());
+  auto single = single_engine.run_hammer();
+  if (!single) {
+    *error = single.error().to_string();
+    return false;
+  }
+  if (merged->size() != single->size()) {
+    *error = "module count mismatch";
+    return false;
+  }
+  for (std::size_t m = 0; m < single->size(); ++m) {
+    if (core::grid_json((*merged)[m]).str() !=
+        core::grid_json((*single)[m]).str()) {
+      *error = "distributed grid is not byte-identical to single-host";
+      return false;
+    }
+  }
+  return true;
+}
+
+void BM_DistributedCampaign(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const std::string manifest_path = bench_manifest_path(workers);
+  std::string error;
+  bool ok = true;
+  for (auto _ : state) {
+    // A fresh campaign every iteration: stale checkpoint files would turn
+    // the run into a zero-compute resume.
+    state.PauseTiming();
+    remove_campaign_files(manifest_path);
+    state.ResumeTiming();
+    if (!run_distributed(workers, manifest_path, &error)) {
+      state.SkipWithError(error.c_str());
+      ok = false;
+      break;
+    }
+  }
+  if (ok && !verify_byte_identity(manifest_path, &error)) {
+    state.SkipWithError(error.c_str());
+  }
+  remove_campaign_files(manifest_path);
+  state.counters["workers"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_DistributedCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Same snapshot plumbing as perf_microbench: every run lands in the
+// machine-readable perf snapshot for the CI scaling gate.
+class PerfSnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::PerfEntry entry;
+      entry.name = run.benchmark_name();
+      entry.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name, counter.value);
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<bench::PerfEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<bench::PerfEntry> entries_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  PerfSnapshotReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string path = vppstudy::bench::perf_snapshot_path();
+  if (!vppstudy::bench::write_perf_snapshot(path, reporter.entries())) {
+    std::fprintf(stderr, "cannot write perf snapshot %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("perf snapshot: %s (%zu benchmarks)\n", path.c_str(),
+              reporter.entries().size());
+  return 0;
+}

@@ -25,6 +25,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kQueueFull: return "kQueueFull";
     case ErrorCode::kQuotaExceeded: return "kQuotaExceeded";
     case ErrorCode::kCancelled: return "kCancelled";
+    case ErrorCode::kLeaseExpired: return "kLeaseExpired";
   }
   return "kUnknown";
 }
@@ -40,7 +41,7 @@ ErrorCode error_code_from_name(std::string_view name) noexcept {
       ErrorCode::kEmptySample,    ErrorCode::kIoError,
       ErrorCode::kFrameTooLarge,  ErrorCode::kUnknownRequest,
       ErrorCode::kQueueFull,      ErrorCode::kQuotaExceeded,
-      ErrorCode::kCancelled,
+      ErrorCode::kCancelled,      ErrorCode::kLeaseExpired,
   };
   for (const ErrorCode code : kAll) {
     if (error_code_name(code) == name) return code;

@@ -59,6 +59,10 @@ enum class ErrorCode : std::uint8_t {
   kQuotaExceeded,
   /// The request was cancelled before it completed.
   kCancelled,
+  /// A campaign shard lease's fencing token is stale: the lease expired and
+  /// was re-granted to another worker, so the submission must be dropped
+  /// (src/core/campaign_lease.hpp).
+  kLeaseExpired,
 };
 
 /// Stable short name, e.g. "kVppOutOfRange".

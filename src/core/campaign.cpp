@@ -43,9 +43,7 @@ std::string_view campaign_phase_name(JobPhase phase) noexcept {
   return "unknown";
 }
 
-namespace {
-
-[[nodiscard]] bool phase_from_name(std::string_view name, JobPhase& out) {
+bool campaign_phase_from_name(std::string_view name, JobPhase& out) noexcept {
   constexpr JobPhase kAll[] = {JobPhase::kWcdp, JobPhase::kRowHammer,
                                JobPhase::kTrcd, JobPhase::kRetention};
   for (const JobPhase p : kAll) {
@@ -57,22 +55,7 @@ namespace {
   return false;
 }
 
-/// 64-bit hashes and seeds round-trip the JSON layer as hex strings: the
-/// JsonValue DOM stores numbers as doubles, which would silently truncate
-/// values past 2^53.
-[[nodiscard]] std::string u64_hex(std::uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof buf, "0x%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-[[nodiscard]] bool parse_u64_hex(const std::string& s, std::uint64_t& out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  out = std::strtoull(s.c_str(), &end, 16);
-  return end != nullptr && *end == '\0';
-}
+namespace {
 
 void counts_json(common::JsonWriter& json, const softmc::CommandCounts& c) {
   json.begin_object();
@@ -145,6 +128,206 @@ void maybe_kill_after_write() {
 }
 
 }  // namespace
+
+std::string u64_hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_u64_hex(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+void manifest_wcdp_json(common::JsonWriter& json, const ManifestWcdp& record) {
+  json.begin_object();
+  json.kv("module", record.module);
+  json.key("patterns").begin_array();
+  for (const dram::DataPattern p : record.wcdp) {
+    json.value(static_cast<std::uint64_t>(p));
+  }
+  json.end_array();
+  json.kv("counted", record.counted);
+  if (record.counted) {
+    json.key("counts");
+    counts_json(json, record.counts);
+  }
+  json.end_object();
+}
+
+void manifest_shard_json(common::JsonWriter& json, const ManifestShard& s,
+                         JobPhase phase) {
+  json.begin_object();
+  json.kv("module", s.module);
+  json.key("point");
+  point_json(json, s.point);
+  json.kv("row_begin", static_cast<std::uint64_t>(s.row_begin));
+  json.kv("row_end", static_cast<std::uint64_t>(s.row_end));
+  json.kv("counted", s.counted);
+  if (s.counted) {
+    json.key("counts");
+    counts_json(json, s.counts);
+  }
+  json.key("rows").begin_array();
+  switch (phase) {
+    case JobPhase::kWcdp:
+      break;
+    case JobPhase::kRowHammer:
+      for (const harness::RowHammerRowResult& rr : s.hammer) {
+        json.begin_object();
+        json.kv("row", static_cast<std::uint64_t>(rr.row));
+        json.kv("wcdp", static_cast<std::uint64_t>(rr.wcdp));
+        json.kv("hc_first", rr.hc_first);
+        json.kv("ber", rr.ber);
+        json.end_object();
+      }
+      break;
+    case JobPhase::kTrcd:
+      for (const harness::TrcdRowResult& rr : s.trcd) {
+        json.begin_object();
+        json.kv("row", static_cast<std::uint64_t>(rr.row));
+        json.kv("wcdp", static_cast<std::uint64_t>(rr.wcdp));
+        json.kv("trcd_min_ns", rr.trcd_min_ns);
+        json.end_object();
+      }
+      break;
+    case JobPhase::kRetention:
+      for (const harness::RetentionRowResult& rr : s.retention) {
+        json.begin_object();
+        json.kv("row", static_cast<std::uint64_t>(rr.row));
+        json.kv("wcdp", static_cast<std::uint64_t>(rr.wcdp));
+        json.key("trefw_ms").begin_array();
+        for (const double t : rr.trefw_ms) json.value(t);
+        json.end_array();
+        json.key("ber").begin_array();
+        for (const double b : rr.ber) json.value(b);
+        json.end_array();
+        json.end_object();
+      }
+      break;
+  }
+  json.end_array();
+  json.end_object();
+}
+
+common::Result<ManifestWcdp> parse_manifest_wcdp(const JsonValue& item) {
+  const auto fail = [](std::string what) {
+    return Error{ErrorCode::kParseError,
+                 "campaign manifest: " + std::move(what)};
+  };
+  if (!item.is_object()) return fail("wcdp entry is not an object");
+  ManifestWcdp record;
+  record.module = item.string_or("module", "");
+  if (record.module.empty()) return fail("wcdp entry missing module");
+  const JsonValue* patterns = item.find("patterns");
+  if (patterns == nullptr || !patterns->is_array()) {
+    return fail("wcdp entry missing 'patterns'");
+  }
+  for (const JsonValue& p : patterns->items()) {
+    dram::DataPattern pattern = dram::DataPattern::kCheckerAA;
+    if (!p.is_number() ||
+        !pattern_from_uint(static_cast<std::uint64_t>(p.as_number()),
+                           pattern)) {
+      return fail("wcdp entry has malformed pattern");
+    }
+    record.wcdp.push_back(pattern);
+  }
+  record.counted = item.bool_or("counted", false);
+  if (const JsonValue* counts = item.find("counts")) {
+    record.counts = counts_from_json(*counts);
+  }
+  return record;
+}
+
+common::Result<ManifestShard> parse_manifest_shard(const JsonValue& item,
+                                                   JobPhase phase) {
+  const auto fail = [](std::string what) {
+    return Error{ErrorCode::kParseError,
+                 "campaign manifest: " + std::move(what)};
+  };
+  if (!item.is_object()) return fail("shard entry is not an object");
+  ManifestShard shard;
+  shard.module = item.string_or("module", "");
+  if (shard.module.empty()) return fail("shard entry missing module");
+  const JsonValue* point = item.find("point");
+  if (point == nullptr || !point->is_object()) {
+    return fail("shard entry missing 'point'");
+  }
+  shard.point = point_from_json(*point);
+  shard.row_begin = static_cast<std::uint32_t>(item.uint_or("row_begin", 0));
+  shard.row_end = static_cast<std::uint32_t>(item.uint_or("row_end", 0));
+  if (shard.row_end < shard.row_begin) {
+    return fail("shard entry has inverted row range");
+  }
+  shard.counted = item.bool_or("counted", false);
+  if (const JsonValue* counts = item.find("counts")) {
+    shard.counts = counts_from_json(*counts);
+  }
+  const JsonValue* rows = item.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return fail("shard entry missing 'rows'");
+  }
+  for (const JsonValue& rv : rows->items()) {
+    if (!rv.is_object()) return fail("shard row is not an object");
+    dram::DataPattern pattern = dram::DataPattern::kCheckerAA;
+    if (!pattern_from_uint(rv.uint_or("wcdp", 0), pattern)) {
+      return fail("shard row has malformed wcdp");
+    }
+    switch (phase) {
+      case JobPhase::kWcdp:
+        return fail("wcdp phase cannot carry shard rows");
+      case JobPhase::kRowHammer: {
+        harness::RowHammerRowResult rr;
+        rr.row = static_cast<std::uint32_t>(rv.uint_or("row", 0));
+        rr.wcdp = pattern;
+        rr.hc_first = rv.uint_or("hc_first", 0);
+        rr.ber = rv.number_or("ber", 0.0);
+        shard.hammer.push_back(rr);
+        break;
+      }
+      case JobPhase::kTrcd: {
+        harness::TrcdRowResult rr;
+        rr.row = static_cast<std::uint32_t>(rv.uint_or("row", 0));
+        rr.wcdp = pattern;
+        rr.trcd_min_ns = rv.number_or("trcd_min_ns", 0.0);
+        shard.trcd.push_back(rr);
+        break;
+      }
+      case JobPhase::kRetention: {
+        harness::RetentionRowResult rr;
+        rr.row = static_cast<std::uint32_t>(rv.uint_or("row", 0));
+        rr.wcdp = pattern;
+        const JsonValue* windows = rv.find("trefw_ms");
+        const JsonValue* bers = rv.find("ber");
+        if (windows == nullptr || !windows->is_array() || bers == nullptr ||
+            !bers->is_array()) {
+          return fail("retention shard row missing window arrays");
+        }
+        for (const JsonValue& w : windows->items()) {
+          rr.trefw_ms.push_back(w.as_number());
+        }
+        for (const JsonValue& b : bers->items()) {
+          rr.ber.push_back(b.as_number());
+        }
+        if (rr.trefw_ms.size() != rr.ber.size()) {
+          return fail("retention shard row window/ber size mismatch");
+        }
+        shard.retention.push_back(std::move(rr));
+        break;
+      }
+    }
+  }
+  const std::size_t got =
+      shard.hammer.size() + shard.trcd.size() + shard.retention.size();
+  if (got != shard.row_end - shard.row_begin) {
+    return fail("shard row payload does not match its row range");
+  }
+  return shard;
+}
 
 CampaignPlan CampaignPlan::from_study(StudyConfig config) {
   CampaignPlan plan;
@@ -352,75 +535,13 @@ common::JsonWriter campaign_manifest_json(const CampaignManifest& manifest) {
 
   json.key("wcdp").begin_array();
   for (const ManifestWcdp& w : manifest.wcdp) {
-    json.begin_object();
-    json.kv("module", w.module);
-    json.key("patterns").begin_array();
-    for (const dram::DataPattern p : w.wcdp) {
-      json.value(static_cast<std::uint64_t>(p));
-    }
-    json.end_array();
-    json.kv("counted", w.counted);
-    if (w.counted) {
-      json.key("counts");
-      counts_json(json, w.counts);
-    }
-    json.end_object();
+    manifest_wcdp_json(json, w);
   }
   json.end_array();
 
   json.key("shards").begin_array();
   for (const ManifestShard& s : manifest.shards) {
-    json.begin_object();
-    json.kv("module", s.module);
-    json.key("point");
-    point_json(json, s.point);
-    json.kv("row_begin", static_cast<std::uint64_t>(s.row_begin));
-    json.kv("row_end", static_cast<std::uint64_t>(s.row_end));
-    json.kv("counted", s.counted);
-    if (s.counted) {
-      json.key("counts");
-      counts_json(json, s.counts);
-    }
-    json.key("rows").begin_array();
-    switch (manifest.phase) {
-      case JobPhase::kWcdp:
-        break;
-      case JobPhase::kRowHammer:
-        for (const harness::RowHammerRowResult& rr : s.hammer) {
-          json.begin_object();
-          json.kv("row", static_cast<std::uint64_t>(rr.row));
-          json.kv("wcdp", static_cast<std::uint64_t>(rr.wcdp));
-          json.kv("hc_first", rr.hc_first);
-          json.kv("ber", rr.ber);
-          json.end_object();
-        }
-        break;
-      case JobPhase::kTrcd:
-        for (const harness::TrcdRowResult& rr : s.trcd) {
-          json.begin_object();
-          json.kv("row", static_cast<std::uint64_t>(rr.row));
-          json.kv("wcdp", static_cast<std::uint64_t>(rr.wcdp));
-          json.kv("trcd_min_ns", rr.trcd_min_ns);
-          json.end_object();
-        }
-        break;
-      case JobPhase::kRetention:
-        for (const harness::RetentionRowResult& rr : s.retention) {
-          json.begin_object();
-          json.kv("row", static_cast<std::uint64_t>(rr.row));
-          json.kv("wcdp", static_cast<std::uint64_t>(rr.wcdp));
-          json.key("trefw_ms").begin_array();
-          for (const double t : rr.trefw_ms) json.value(t);
-          json.end_array();
-          json.key("ber").begin_array();
-          for (const double b : rr.ber) json.value(b);
-          json.end_array();
-          json.end_object();
-        }
-        break;
-    }
-    json.end_array();
-    json.end_object();
+    manifest_shard_json(json, s, manifest.phase);
   }
   json.end_array();
 
@@ -445,7 +566,7 @@ common::Result<CampaignManifest> parse_campaign_manifest(const JsonValue& doc) {
   if (m.version < 1 || m.version > CampaignManifest::kVersion) {
     return fail("unsupported version " + std::to_string(m.version));
   }
-  if (!phase_from_name(doc.string_or("phase", ""), m.phase)) {
+  if (!campaign_phase_from_name(doc.string_or("phase", ""), m.phase)) {
     return fail("unknown phase '" + doc.string_or("phase", "") + "'");
   }
   if (!parse_u64_hex(doc.string_or("plan_hash", ""), m.plan_hash)) {
@@ -543,110 +664,15 @@ common::Result<CampaignManifest> parse_campaign_manifest(const JsonValue& doc) {
 
   if (const JsonValue* wcdp = doc.find("wcdp")) {
     for (const JsonValue& item : wcdp->items()) {
-      if (!item.is_object()) return fail("wcdp entry is not an object");
-      ManifestWcdp record;
-      record.module = item.string_or("module", "");
-      if (record.module.empty()) return fail("wcdp entry missing module");
-      const JsonValue* patterns = item.find("patterns");
-      if (patterns == nullptr || !patterns->is_array()) {
-        return fail("wcdp entry missing 'patterns'");
-      }
-      for (const JsonValue& p : patterns->items()) {
-        dram::DataPattern pattern = dram::DataPattern::kCheckerAA;
-        if (!p.is_number() ||
-            !pattern_from_uint(static_cast<std::uint64_t>(p.as_number()),
-                               pattern)) {
-          return fail("wcdp entry has malformed pattern");
-        }
-        record.wcdp.push_back(pattern);
-      }
-      record.counted = item.bool_or("counted", false);
-      if (const JsonValue* counts = item.find("counts")) {
-        record.counts = counts_from_json(*counts);
-      }
+      VPP_ASSIGN_OR_RETURN(ManifestWcdp record, parse_manifest_wcdp(item));
       m.wcdp.push_back(std::move(record));
     }
   }
 
   if (const JsonValue* shards = doc.find("shards")) {
     for (const JsonValue& item : shards->items()) {
-      if (!item.is_object()) return fail("shard entry is not an object");
-      ManifestShard shard;
-      shard.module = item.string_or("module", "");
-      if (shard.module.empty()) return fail("shard entry missing module");
-      const JsonValue* point = item.find("point");
-      if (point == nullptr || !point->is_object()) {
-        return fail("shard entry missing 'point'");
-      }
-      shard.point = point_from_json(*point);
-      shard.row_begin = static_cast<std::uint32_t>(item.uint_or("row_begin", 0));
-      shard.row_end = static_cast<std::uint32_t>(item.uint_or("row_end", 0));
-      if (shard.row_end < shard.row_begin) {
-        return fail("shard entry has inverted row range");
-      }
-      shard.counted = item.bool_or("counted", false);
-      if (const JsonValue* counts = item.find("counts")) {
-        shard.counts = counts_from_json(*counts);
-      }
-      const JsonValue* rows = item.find("rows");
-      if (rows == nullptr || !rows->is_array()) {
-        return fail("shard entry missing 'rows'");
-      }
-      for (const JsonValue& rv : rows->items()) {
-        if (!rv.is_object()) return fail("shard row is not an object");
-        dram::DataPattern pattern = dram::DataPattern::kCheckerAA;
-        if (!pattern_from_uint(rv.uint_or("wcdp", 0), pattern)) {
-          return fail("shard row has malformed wcdp");
-        }
-        switch (m.phase) {
-          case JobPhase::kWcdp:
-            return fail("wcdp phase cannot carry shard rows");
-          case JobPhase::kRowHammer: {
-            harness::RowHammerRowResult rr;
-            rr.row = static_cast<std::uint32_t>(rv.uint_or("row", 0));
-            rr.wcdp = pattern;
-            rr.hc_first = rv.uint_or("hc_first", 0);
-            rr.ber = rv.number_or("ber", 0.0);
-            shard.hammer.push_back(rr);
-            break;
-          }
-          case JobPhase::kTrcd: {
-            harness::TrcdRowResult rr;
-            rr.row = static_cast<std::uint32_t>(rv.uint_or("row", 0));
-            rr.wcdp = pattern;
-            rr.trcd_min_ns = rv.number_or("trcd_min_ns", 0.0);
-            shard.trcd.push_back(rr);
-            break;
-          }
-          case JobPhase::kRetention: {
-            harness::RetentionRowResult rr;
-            rr.row = static_cast<std::uint32_t>(rv.uint_or("row", 0));
-            rr.wcdp = pattern;
-            const JsonValue* windows = rv.find("trefw_ms");
-            const JsonValue* bers = rv.find("ber");
-            if (windows == nullptr || !windows->is_array() ||
-                bers == nullptr || !bers->is_array()) {
-              return fail("retention shard row missing window arrays");
-            }
-            for (const JsonValue& w : windows->items()) {
-              rr.trefw_ms.push_back(w.as_number());
-            }
-            for (const JsonValue& b : bers->items()) {
-              rr.ber.push_back(b.as_number());
-            }
-            if (rr.trefw_ms.size() != rr.ber.size()) {
-              return fail("retention shard row window/ber size mismatch");
-            }
-            shard.retention.push_back(std::move(rr));
-            break;
-          }
-        }
-      }
-      const std::size_t got = shard.hammer.size() + shard.trcd.size() +
-                              shard.retention.size();
-      if (got != shard.row_end - shard.row_begin) {
-        return fail("shard row payload does not match its row range");
-      }
+      VPP_ASSIGN_OR_RETURN(ManifestShard shard,
+                           parse_manifest_shard(item, m.phase));
       m.shards.push_back(std::move(shard));
     }
   }

@@ -269,6 +269,29 @@ struct CampaignManifest {
 /// Stable phase tag used in manifests and status output: "wcdp",
 /// "rowhammer", "trcd", or "retention".
 [[nodiscard]] std::string_view campaign_phase_name(JobPhase phase) noexcept;
+/// Reverse of campaign_phase_name; false for unrecognized names.
+[[nodiscard]] bool campaign_phase_from_name(std::string_view name,
+                                            JobPhase& out) noexcept;
+
+// --- Record-level serialization ---------------------------------------------
+// The wcdp/shard record encodings are shared by the manifest writer/parser,
+// the lease ledger (core/campaign_lease.hpp), and the vppd lease protocol
+// (workers stream ManifestShard records over the wire in `submit` frames);
+// all producers and consumers must stay byte-compatible.
+
+/// 64-bit hashes and seeds round-trip the JSON layer as hex strings: the
+/// JsonValue DOM stores numbers as doubles, which would silently truncate
+/// values past 2^53.
+[[nodiscard]] std::string u64_hex(std::uint64_t v);
+[[nodiscard]] bool parse_u64_hex(const std::string& s, std::uint64_t& out);
+
+void manifest_wcdp_json(common::JsonWriter& json, const ManifestWcdp& record);
+void manifest_shard_json(common::JsonWriter& json, const ManifestShard& shard,
+                         JobPhase phase);
+[[nodiscard]] common::Result<ManifestWcdp> parse_manifest_wcdp(
+    const common::JsonValue& item);
+[[nodiscard]] common::Result<ManifestShard> parse_manifest_shard(
+    const common::JsonValue& item, JobPhase phase);
 
 [[nodiscard]] common::JsonWriter campaign_manifest_json(
     const CampaignManifest& manifest);

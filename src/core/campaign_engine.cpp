@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/campaign.hpp"
+#include "core/campaign_lease.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "harness/wcdp.hpp"
 #include "softmc/session.hpp"
@@ -555,7 +556,187 @@ common::Expected<std::vector<typename Traits::Grid>> run_grid_phase(
   return grids;
 }
 
+/// run_campaign_shards for one phase: the leased-subset variant of
+/// run_grid_phase. Same pool/arena structure, same stream seeds, but no
+/// manifest and no per-row CellStore resolve -- leases are disjoint, so
+/// every row of every named shard is computed fresh and every returned
+/// record carries counted=true, exactly like a storeless single-host run.
+template <typename Traits>
+common::Expected<CampaignShardBatch> run_shard_subset(
+    const CampaignPlan& plan, const std::vector<std::uint64_t>& indices,
+    CellStore* store, const CampaignEngine::Execution& injected) {
+  constexpr bool kHasPrep = Traits::kPhase == JobPhase::kRowHammer;
+  const SweepConfig& sweep = plan.sweep;
+  const std::uint64_t seed = plan.seed;
+
+  VPP_ASSIGN_OR_RETURN(std::vector<ModulePlan> plans,
+                       plan_modules(plan, Traits::kPhase));
+
+  // Map flat grid indices back to (module, point, shard).
+  std::vector<std::uint64_t> offsets(plans.size() + 1, 0);
+  for (std::size_t m = 0; m < plans.size(); ++m) {
+    offsets[m + 1] =
+        offsets[m] + plans[m].points.size() * plans[m].shards.size();
+  }
+  std::vector<std::uint64_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  struct Unit {
+    std::size_t m = 0;
+    std::size_t p = 0;
+    std::size_t s = 0;
+  };
+  std::vector<Unit> subset;
+  subset.reserve(sorted.size());
+  std::vector<bool> module_used(plans.size(), false);
+  for (const std::uint64_t index : sorted) {
+    if (index >= offsets.back()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "shard index " + std::to_string(index) +
+                       " is outside the campaign grid (" +
+                       std::to_string(offsets.back()) + " shards)"};
+    }
+    Unit unit;
+    while (offsets[unit.m + 1] <= index) ++unit.m;
+    const std::uint64_t local = index - offsets[unit.m];
+    unit.p = static_cast<std::size_t>(local / plans[unit.m].shards.size());
+    unit.s = static_cast<std::size_t>(local % plans[unit.m].shards.size());
+    module_used[unit.m] = true;
+    subset.push_back(unit);
+  }
+
+  CampaignShardBatch batch;
+  Exec exec = make_exec(injected, plan.jobs, subset.size());
+  auto& arenas = *exec.arenas;
+  auto& pool = *exec.pool;
+
+  // Phase A (hammer only): resolve the WCDP prep of every referenced
+  // module, preferring the worker's memo store so one worker records each
+  // module's prep at most once across its leases.
+  std::vector<PrepState> preps(plans.size());
+  if constexpr (kHasPrep) {
+    for (std::size_t m = 0; m < plans.size(); ++m) {
+      if (!module_used[m]) continue;
+      const dram::ModuleProfile& profile = plan.modules[m];
+      if (store != nullptr && store->lookup_wcdp(profile, &preps[m].wcdp)) {
+        continue;  // prep already computed (and recorded) by a prior batch
+      }
+      if (plan.cancel.cancelled()) {
+        return Error{ErrorCode::kCancelled, "sweep cancelled before WCDP prep"}
+            .with_module(profile.name);
+      }
+      auto prep =
+          pool.submit([&arenas, &pool, &profile, &sweep, seed,
+                       nominal = plans[m].nominal_vpp,
+                       rows = plans[m].rows]() -> common::Expected<WcdpPrep> {
+                return run_wcdp_prep(arenas.local(pool).acquire(profile),
+                                     sweep, seed, nominal, *rows);
+              })
+              .get();
+      if (!prep) return std::move(prep).error();
+      preps[m].wcdp = std::move(prep->wcdp);
+      preps[m].counts = prep->counts;
+      preps[m].counted = true;
+      if (store != nullptr) store->store_wcdp(profile, preps[m].wcdp);
+      ManifestWcdp record;
+      record.module = profile.name;
+      record.wcdp = preps[m].wcdp;
+      record.counted = true;
+      record.counts = preps[m].counts;
+      batch.wcdp.push_back(std::move(record));
+    }
+  }
+
+  // Fan out the subset, then drain it in canonical order; the first failing
+  // unit in that order is the batch's error, like the engine.
+  std::vector<std::future<common::Expected<typename Traits::Cell>>> futures;
+  futures.reserve(subset.size());
+  for (const Unit& unit : subset) {
+    const dram::ModuleProfile& profile = plan.modules[unit.m];
+    const AxisPoint& point = plans[unit.m].points[unit.p];
+    const ShardSpec shard = plans[unit.m].shards[unit.s];
+    const std::vector<std::uint32_t>& rows = *plans[unit.m].rows;
+    std::vector<std::uint32_t> shard_rows(rows.begin() + shard.begin,
+                                          rows.begin() + shard.end);
+    std::vector<dram::DataPattern> shard_wcdp;
+    if constexpr (kHasPrep) {
+      shard_wcdp.assign(preps[unit.m].wcdp.begin() + shard.begin,
+                        preps[unit.m].wcdp.begin() + shard.end);
+    }
+    futures.push_back(pool.submit(
+        [&arenas, &pool, &profile, &sweep, seed, point, cancel = plan.cancel,
+         rows_in = std::move(shard_rows), wcdp_in = std::move(shard_wcdp)] {
+          return Traits::run(arenas.local(pool).acquire(profile), sweep, seed,
+                             point, std::span(rows_in), std::span(wcdp_in),
+                             cancel);
+        }));
+  }
+  std::optional<Error> first_error;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    auto cell = futures[i].get();
+    if (!cell) {
+      if (!first_error) first_error = std::move(cell).error();
+      continue;
+    }
+    if (first_error) continue;
+    const Unit& unit = subset[i];
+    const ShardSpec shard = plans[unit.m].shards[unit.s];
+    ManifestShard record;
+    record.module = plan.modules[unit.m].name;
+    record.point = plans[unit.m].points[unit.p];
+    record.row_begin = static_cast<std::uint32_t>(shard.begin);
+    record.row_end = static_cast<std::uint32_t>(shard.end);
+    record.counted = true;
+    record.counts = cell->counts;
+    Traits::rows(record) = std::move(cell->rows);
+    batch.shards.push_back(std::move(record));
+  }
+  if (first_error) return *std::move(first_error);
+  return batch;
+}
+
 }  // namespace
+
+common::Expected<std::vector<ShardCoord>> compile_campaign_shards(
+    const CampaignPlan& plan, JobPhase phase) {
+  VPP_ASSIGN_OR_RETURN(std::vector<ModulePlan> plans,
+                       plan_modules(plan, phase));
+  std::vector<ShardCoord> grid;
+  std::uint64_t index = 0;
+  for (std::size_t m = 0; m < plans.size(); ++m) {
+    for (std::size_t p = 0; p < plans[m].points.size(); ++p) {
+      for (std::size_t s = 0; s < plans[m].shards.size(); ++s) {
+        ShardCoord coord;
+        coord.index = index++;
+        coord.module_index = m;
+        coord.module = plan.modules[m].name;
+        coord.point = plans[m].points[p];
+        coord.row_begin = static_cast<std::uint32_t>(plans[m].shards[s].begin);
+        coord.row_end = static_cast<std::uint32_t>(plans[m].shards[s].end);
+        grid.push_back(std::move(coord));
+      }
+    }
+  }
+  return grid;
+}
+
+common::Expected<CampaignShardBatch> run_campaign_shards(
+    const CampaignPlan& plan, JobPhase phase,
+    const std::vector<std::uint64_t>& indices, CellStore* store,
+    CampaignExecution exec) {
+  switch (phase) {
+    case JobPhase::kRowHammer:
+      return run_shard_subset<HammerTraits>(plan, indices, store, exec);
+    case JobPhase::kTrcd:
+      return run_shard_subset<TrcdTraits>(plan, indices, store, exec);
+    case JobPhase::kRetention:
+      return run_shard_subset<RetentionTraits>(plan, indices, store, exec);
+    case JobPhase::kWcdp:
+      break;
+  }
+  return Error{ErrorCode::kInvalidArgument,
+               "run_campaign_shards: wcdp is not a shardable phase"};
+}
 
 CampaignEngine::CampaignEngine(CampaignPlan plan, CellStore* store,
                                Execution exec)

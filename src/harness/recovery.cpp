@@ -20,11 +20,13 @@ FaultClass classify_error(common::ErrorCode code) noexcept {
     case ErrorCode::kReadUnderrun:
     case ErrorCode::kDeviceProtocol:
       return FaultClass::kTransient;
-    // A failed socket write or a momentarily full daemon queue is worth a
-    // retry; the rest of the server-layer codes describe requests that
-    // cannot succeed as issued.
+    // A failed socket write, a momentarily full daemon queue, or a shard
+    // lease lost to expiry is worth a retry (the worker can re-lease); the
+    // rest of the server-layer codes describe requests that cannot succeed
+    // as issued.
     case ErrorCode::kIoError:
     case ErrorCode::kQueueFull:
+    case ErrorCode::kLeaseExpired:
       return FaultClass::kTransient;
     case ErrorCode::kInvalidArgument:
     case ErrorCode::kVppOutOfRange:

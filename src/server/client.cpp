@@ -96,6 +96,34 @@ common::Result<JsonValue> Client::replay(const std::string& dump_json) {
   return call_result(id, encode_replay_request(id, dump_json));
 }
 
+common::Result<JsonValue> Client::campaign_open(
+    const std::string& manifest_json) {
+  const std::uint64_t id = next_id();
+  return call_result(id, encode_campaign_open_request(id, manifest_json));
+}
+
+common::Result<LeaseGrant> Client::lease(const LeaseRequest& request) {
+  const std::uint64_t id = next_id();
+  auto result = call_result(id, encode_lease_request(id, request));
+  if (!result) return std::move(result).error();
+  return parse_lease_result(*result);
+}
+
+common::Result<SubmitOutcome> Client::submit(const SubmitRequest& request) {
+  const std::uint64_t id = next_id();
+  auto result = call_result(id, encode_submit_request(id, request));
+  if (!result) return std::move(result).error();
+  return parse_submit_result(*result);
+}
+
+common::Result<std::uint64_t> Client::heartbeat(
+    const HeartbeatRequest& request) {
+  const std::uint64_t id = next_id();
+  auto result = call_result(id, encode_heartbeat_request(id, request));
+  if (!result) return std::move(result).error();
+  return result->uint_or("renewed", 0);
+}
+
 common::Status Client::ping() {
   const std::uint64_t id = next_id();
   auto result = call_result(id, encode_ping_request(id));

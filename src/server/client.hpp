@@ -54,6 +54,19 @@ class Client {
       const InjectRequest& request);
   [[nodiscard]] common::Result<common::JsonValue> replay(
       const std::string& dump_json);
+
+  // Campaign distribution verbs (the worker loop of server/worker.hpp).
+  /// Open (or re-open, idempotently) a campaign on the daemon;
+  /// `manifest_json` is a zero-shard manifest spec document.
+  [[nodiscard]] common::Result<common::JsonValue> campaign_open(
+      const std::string& manifest_json);
+  [[nodiscard]] common::Result<LeaseGrant> lease(const LeaseRequest& request);
+  [[nodiscard]] common::Result<SubmitOutcome> submit(
+      const SubmitRequest& request);
+  /// Returns how many shards were renewed; kLeaseExpired when the token no
+  /// longer holds any.
+  [[nodiscard]] common::Result<std::uint64_t> heartbeat(
+      const HeartbeatRequest& request);
   [[nodiscard]] common::Status ping();
   /// Ask the daemon to exit; returns once the daemon acknowledged.
   [[nodiscard]] common::Status shutdown_server();

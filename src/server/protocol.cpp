@@ -213,6 +213,270 @@ common::Result<InjectRequest> parse_inject_request(const JsonValue& body) {
   return request;
 }
 
+// --- Campaign distribution ---------------------------------------------------
+
+namespace {
+
+/// Read a u64 wire field (hex string, core::u64_hex). Absent is fine when
+/// !required (out keeps its default); present-but-malformed never is.
+common::Status parse_hex_member(const JsonValue& body, std::string_view key,
+                                bool required, std::uint64_t& out) {
+  const JsonValue* v = body.find(key);
+  if (v == nullptr) {
+    if (!required) return common::Status::ok_status();
+    return Error{ErrorCode::kInvalidArgument,
+                 "missing required field '" + std::string(key) + "'"};
+  }
+  if (!v->is_string() || !core::parse_u64_hex(v->as_string(), out)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "field '" + std::string(key) + "' must be a hex string"};
+  }
+  return common::Status::ok_status();
+}
+
+common::Result<core::JobPhase> parse_phase_member(const JsonValue& body) {
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  const std::string name = body.string_or("phase", "");
+  if (!core::campaign_phase_from_name(name, phase)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unknown campaign phase '" + name + "'"};
+  }
+  return phase;
+}
+
+}  // namespace
+
+std::string encode_campaign_open_request(std::uint64_t id,
+                                         std::string_view manifest_json) {
+  // The spec document is spliced as pre-rendered text, like result splicing:
+  // the zero-shard manifest is the plan's canonical serialization and must
+  // arrive byte-identical to what load_campaign_manifest would read.
+  JsonWriter w = request_header(id, "campaign_open");
+  std::string out = w.str();
+  out += ",\"campaign\":";
+  out += manifest_json;
+  out += "}";
+  return out;
+}
+
+std::string encode_lease_request(std::uint64_t id, const LeaseRequest& request) {
+  JsonWriter w = request_header(id, "lease");
+  w.kv("plan_hash", core::u64_hex(request.plan_hash))
+      .kv("worker", request.worker)
+      .kv("max_shards", request.max_shards)
+      .kv("ttl_ms", request.ttl_ms)
+      .kv("need_plan", request.need_plan);
+  return close_object(std::move(w));
+}
+
+std::string encode_submit_request(std::uint64_t id,
+                                  const SubmitRequest& request) {
+  JsonWriter w = request_header(id, "submit");
+  w.kv("plan_hash", core::u64_hex(request.plan_hash))
+      .kv("phase", core::campaign_phase_name(request.phase))
+      .kv("worker", request.worker)
+      .kv("token", core::u64_hex(request.token));
+  w.key("wcdp").begin_array();
+  for (const auto& record : request.wcdp) core::manifest_wcdp_json(w, record);
+  w.end_array();
+  w.key("shards").begin_array();
+  for (const auto& shard : request.shards) {
+    core::manifest_shard_json(w, shard, request.phase);
+  }
+  w.end_array();
+  return close_object(std::move(w));
+}
+
+std::string encode_heartbeat_request(std::uint64_t id,
+                                     const HeartbeatRequest& request) {
+  JsonWriter w = request_header(id, "heartbeat");
+  w.kv("plan_hash", core::u64_hex(request.plan_hash))
+      .kv("token", core::u64_hex(request.token))
+      .kv("ttl_ms", request.ttl_ms);
+  return close_object(std::move(w));
+}
+
+common::Result<LeaseRequest> parse_lease_request(const JsonValue& body) {
+  LeaseRequest request;
+  if (auto st = parse_hex_member(body, "plan_hash", false, request.plan_hash);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  request.worker = body.string_or("worker", "");
+  if (request.worker.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "lease needs a worker name"};
+  }
+  request.max_shards = body.uint_or("max_shards", request.max_shards);
+  request.ttl_ms = static_cast<std::int64_t>(
+      body.uint_or("ttl_ms", static_cast<std::uint64_t>(request.ttl_ms)));
+  if (request.ttl_ms <= 0) {
+    return Error{ErrorCode::kInvalidArgument, "ttl_ms must be positive"};
+  }
+  request.need_plan = body.bool_or("need_plan", false);
+  return request;
+}
+
+common::Result<SubmitRequest> parse_submit_request(const JsonValue& body) {
+  SubmitRequest request;
+  if (auto st = parse_hex_member(body, "plan_hash", true, request.plan_hash);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  VPP_ASSIGN_OR_RETURN(request.phase, parse_phase_member(body));
+  request.worker = body.string_or("worker", "");
+  if (request.worker.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "submit needs a worker name"};
+  }
+  if (auto st = parse_hex_member(body, "token", true, request.token);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  if (request.token == 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "submit needs a nonzero fencing token"};
+  }
+  if (const JsonValue* wcdp = body.find("wcdp");
+      wcdp != nullptr && wcdp->is_array()) {
+    for (const auto& item : wcdp->items()) {
+      VPP_ASSIGN_OR_RETURN(core::ManifestWcdp record,
+                           core::parse_manifest_wcdp(item));
+      request.wcdp.push_back(std::move(record));
+    }
+  }
+  if (const JsonValue* shards = body.find("shards");
+      shards != nullptr && shards->is_array()) {
+    for (const auto& item : shards->items()) {
+      VPP_ASSIGN_OR_RETURN(core::ManifestShard shard,
+                           core::parse_manifest_shard(item, request.phase));
+      request.shards.push_back(std::move(shard));
+    }
+  }
+  return request;
+}
+
+common::Result<HeartbeatRequest> parse_heartbeat_request(const JsonValue& body) {
+  HeartbeatRequest request;
+  if (auto st = parse_hex_member(body, "plan_hash", false, request.plan_hash);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  if (auto st = parse_hex_member(body, "token", true, request.token);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  if (request.token == 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "heartbeat needs a nonzero fencing token"};
+  }
+  request.ttl_ms = static_cast<std::int64_t>(
+      body.uint_or("ttl_ms", static_cast<std::uint64_t>(request.ttl_ms)));
+  if (request.ttl_ms <= 0) {
+    return Error{ErrorCode::kInvalidArgument, "ttl_ms must be positive"};
+  }
+  return request;
+}
+
+std::string encode_lease_result(const LeaseGrant& grant,
+                                std::string_view campaign_json) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("kind", "lease")
+      .kv("phase", core::campaign_phase_name(grant.phase))
+      .kv("plan_hash", core::u64_hex(grant.plan_hash))
+      .kv("token", core::u64_hex(grant.token));
+  w.key("shards").begin_array();
+  for (const std::uint64_t index : grant.shards) w.value(index);
+  w.end_array();
+  w.key("wcdp").begin_array();
+  for (const auto& record : grant.wcdp) core::manifest_wcdp_json(w, record);
+  w.end_array();
+  w.kv("done", grant.done)
+      .kv("remaining", grant.remaining)
+      .kv("complete", grant.complete);
+  if (campaign_json.empty()) {
+    w.end_object();
+    return w.str();
+  }
+  std::string out = w.str();
+  out += ",\"campaign\":";
+  out += campaign_json;
+  out += "}";
+  return out;
+}
+
+std::string encode_submit_result(const SubmitOutcome& outcome) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("kind", "submit")
+      .kv("accepted", outcome.accepted)
+      .kv("duplicates", outcome.duplicates)
+      .kv("done", outcome.done)
+      .kv("remaining", outcome.remaining)
+      .kv("complete", outcome.complete)
+      .end_object();
+  return w.str();
+}
+
+std::string encode_heartbeat_result(std::uint64_t renewed, bool complete) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("kind", "heartbeat")
+      .kv("renewed", renewed)
+      .kv("complete", complete)
+      .end_object();
+  return w.str();
+}
+
+common::Result<LeaseGrant> parse_lease_result(const JsonValue& result) {
+  LeaseGrant grant;
+  VPP_ASSIGN_OR_RETURN(grant.phase, parse_phase_member(result));
+  if (auto st = parse_hex_member(result, "plan_hash", true, grant.plan_hash);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  if (auto st = parse_hex_member(result, "token", true, grant.token);
+      !st.ok()) {
+    return std::move(st).error();
+  }
+  const JsonValue* shards = result.find("shards");
+  if (shards == nullptr || !shards->is_array()) {
+    return Error{ErrorCode::kParseError, "lease result without shards"};
+  }
+  for (const auto& v : shards->items()) {
+    if (!v.is_number()) {
+      return Error{ErrorCode::kParseError, "non-numeric shard index"};
+    }
+    grant.shards.push_back(static_cast<std::uint64_t>(v.as_number()));
+  }
+  if (const JsonValue* wcdp = result.find("wcdp");
+      wcdp != nullptr && wcdp->is_array()) {
+    for (const auto& item : wcdp->items()) {
+      VPP_ASSIGN_OR_RETURN(core::ManifestWcdp record,
+                           core::parse_manifest_wcdp(item));
+      grant.wcdp.push_back(std::move(record));
+    }
+  }
+  grant.done = result.uint_or("done", 0);
+  grant.remaining = result.uint_or("remaining", 0);
+  grant.complete = result.bool_or("complete", false);
+  if (const JsonValue* campaign = result.find("campaign")) {
+    VPP_ASSIGN_OR_RETURN(grant.campaign,
+                         core::parse_campaign_manifest(*campaign));
+    grant.has_campaign = true;
+  }
+  return grant;
+}
+
+common::Result<SubmitOutcome> parse_submit_result(const JsonValue& result) {
+  SubmitOutcome outcome;
+  outcome.accepted = result.uint_or("accepted", 0);
+  outcome.duplicates = result.uint_or("duplicates", 0);
+  outcome.done = result.uint_or("done", 0);
+  outcome.remaining = result.uint_or("remaining", 0);
+  outcome.complete = result.bool_or("complete", false);
+  return outcome;
+}
+
 // --- Responses ---------------------------------------------------------------
 
 std::string encode_result_response(std::uint64_t id,

@@ -14,8 +14,9 @@
 // same work produce byte-identical "result" text whether served from the
 // cache or computed fresh (asserted by tests/server/).
 //
-// Request types: ping, stats, sweep, inject, replay, cancel, shutdown
-// (see DESIGN.md section 9 for field tables).
+// Request types: ping, stats, sweep, inject, replay, cancel, shutdown,
+// plus the campaign distribution verbs campaign_open, lease, submit and
+// heartbeat (see DESIGN.md sections 9 and 11 for field tables).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +25,7 @@
 #include "common/expected.hpp"
 #include "common/json.hpp"
 #include "common/socket.hpp"
+#include "core/campaign.hpp"
 #include "core/resilient_study.hpp"
 #include "core/study.hpp"
 
@@ -103,6 +105,104 @@ struct InjectRequest {
     const common::JsonValue& body);
 [[nodiscard]] common::Result<InjectRequest> parse_inject_request(
     const common::JsonValue& body);
+
+// --- Campaign distribution ---------------------------------------------------
+// The coordinator side of `vppctl campaign distribute`: a campaign is opened
+// on the daemon (campaign_open ships a zero-shard manifest -- the full plan
+// spec), then workers loop lease -> compute -> submit, with heartbeat
+// extending a slow worker's leases. 64-bit hashes and fencing tokens travel
+// as hex strings (core::u64_hex): the JSON DOM stores numbers as doubles,
+// which would silently truncate values past 2^53.
+
+/// A worker's request for a batch of open shards.
+struct LeaseRequest {
+  /// Which campaign: 0 addresses the daemon's sole open campaign (an error
+  /// when none or several are open).
+  std::uint64_t plan_hash = 0;
+  std::string worker;
+  std::uint64_t max_shards = 4;  ///< 0 = every open shard
+  std::int64_t ttl_ms = 30000;
+  /// Ship the campaign spec (zero-shard manifest) with the grant; a worker
+  /// that connected with nothing but a port sets this on its first lease.
+  bool need_plan = false;
+};
+
+/// A worker's completed shard batch, streamed back for the merge.
+struct SubmitRequest {
+  std::uint64_t plan_hash = 0;
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  std::string worker;
+  std::uint64_t token = 0;  ///< the fencing token the batch was leased under
+  std::vector<core::ManifestWcdp> wcdp;
+  std::vector<core::ManifestShard> shards;
+};
+
+struct HeartbeatRequest {
+  std::uint64_t plan_hash = 0;
+  std::uint64_t token = 0;
+  std::int64_t ttl_ms = 30000;
+};
+
+/// The coordinator's answer to a lease request (result kind "lease").
+struct LeaseGrant {
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  std::uint64_t plan_hash = 0;
+  std::uint64_t token = 0;                ///< 0 when no shard was available
+  std::vector<std::uint64_t> shards;      ///< canonical grid indices
+  /// Every WCDP prep merged so far, shipped with each grant so a worker
+  /// whose module was already prepped elsewhere seeds its memo instead of
+  /// recomputing. Preps are deterministic, so a seeded worker produces the
+  /// same rows it would have computed -- byte identity is unaffected.
+  std::vector<core::ManifestWcdp> wcdp;
+  std::uint64_t done = 0;
+  std::uint64_t remaining = 0;
+  bool complete = false;
+  bool has_campaign = false;  ///< the spec rode along (need_plan)
+  core::CampaignManifest campaign;
+};
+
+/// The coordinator's answer to a submit (result kind "submit").
+struct SubmitOutcome {
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t done = 0;
+  std::uint64_t remaining = 0;
+  bool complete = false;
+};
+
+/// `manifest_json` is the pre-rendered zero-shard manifest text, spliced
+/// verbatim (the plan-spec analogue of the result splice below).
+[[nodiscard]] std::string encode_campaign_open_request(
+    std::uint64_t id, std::string_view manifest_json);
+[[nodiscard]] std::string encode_lease_request(std::uint64_t id,
+                                               const LeaseRequest& request);
+[[nodiscard]] std::string encode_submit_request(std::uint64_t id,
+                                                const SubmitRequest& request);
+[[nodiscard]] std::string encode_heartbeat_request(
+    std::uint64_t id, const HeartbeatRequest& request);
+
+[[nodiscard]] common::Result<LeaseRequest> parse_lease_request(
+    const common::JsonValue& body);
+[[nodiscard]] common::Result<SubmitRequest> parse_submit_request(
+    const common::JsonValue& body);
+[[nodiscard]] common::Result<HeartbeatRequest> parse_heartbeat_request(
+    const common::JsonValue& body);
+
+/// Result-document encoders of the coordinator. `campaign_json` is the
+/// cached zero-shard manifest text, spliced when non-empty (need_plan);
+/// `grant.has_campaign`/`grant.campaign` are ignored here -- they are the
+/// *parsed* view.
+[[nodiscard]] std::string encode_lease_result(const LeaseGrant& grant,
+                                              std::string_view campaign_json);
+[[nodiscard]] std::string encode_submit_result(const SubmitOutcome& outcome);
+[[nodiscard]] std::string encode_heartbeat_result(std::uint64_t renewed,
+                                                  bool complete);
+
+/// Worker-side decoders of the lease/submit result documents.
+[[nodiscard]] common::Result<LeaseGrant> parse_lease_result(
+    const common::JsonValue& result);
+[[nodiscard]] common::Result<SubmitOutcome> parse_submit_result(
+    const common::JsonValue& result);
 
 // --- Responses ---------------------------------------------------------------
 

@@ -82,13 +82,31 @@ bool ResultCache::lookup(std::uint64_t key, CellValue* out) const {
     return false;
   }
   ++hits_;
-  *out = it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.pos);
+  *out = it->second.value;
   return true;
 }
 
 void ResultCache::insert(std::uint64_t key, CellValue value) {
   std::lock_guard lock(mu_);
-  cells_.insert_or_assign(key, std::move(value));
+  const auto it = cells_.find(key);
+  if (it != cells_.end()) {
+    it->second.value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return;
+  }
+  lru_.push_front(key);
+  cells_.emplace(key, CellEntry{std::move(value), lru_.begin()});
+  evict_over_cap();
+}
+
+void ResultCache::evict_over_cap() {
+  if (max_cells_ == 0) return;
+  while (cells_.size() > max_cells_) {
+    cells_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 bool ResultCache::lookup_wcdp(std::uint64_t key,
@@ -113,6 +131,8 @@ ResultCache::Stats ResultCache::stats() const {
   s.misses = misses_;
   s.cells = cells_.size();
   s.wcdp_preps = wcdp_.size();
+  s.evictions = evictions_;
+  s.max_cells = max_cells_;
   return s;
 }
 

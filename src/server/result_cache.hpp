@@ -20,6 +20,15 @@
 // VPP and its output vector is parallel to the row set, which the digest
 // pins via the sampling fields.
 //
+// Capacity: by default the cache grows without bound (the historical
+// behavior). Constructing with max_cells > 0 bounds the *cell* map: once
+// resident cells exceed the cap, the least recently used cells are evicted
+// (lookups and inserts both refresh recency). Eviction only ever costs
+// recompute -- an evicted cell is recomputed bit-identically on the next
+// request -- so correctness is untouched. WCDP prep vectors are NOT bounded:
+// there is one per (digest, module), a population too small to matter and
+// too expensive to recompute per request.
+//
 // Thread safety: all methods are safe to call concurrently (one mutex; cell
 // values are copied out). Insertion happens only with whole completed rows
 // -- a cancelled shard inserts nothing -- so no reader can observe a torn
@@ -27,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +62,10 @@ struct CellValue {
 
 class ResultCache {
  public:
+  /// `max_cells` == 0 leaves the cell map unbounded; > 0 caps resident
+  /// cells with LRU eviction (vppd --cache-max-cells).
+  explicit ResultCache(std::uint64_t max_cells = 0) : max_cells_(max_cells) {}
+
   /// Digest of every result-affecting request-level input: the campaign
   /// seed, the row sampling (which pins the sampled row set), the nominal
   /// VPP level (the WCDP pass's operating point), and all three phase
@@ -96,15 +110,30 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t cells = 0;       ///< resident cell entries
     std::uint64_t wcdp_preps = 0;  ///< resident WCDP prep vectors
+    std::uint64_t evictions = 0;   ///< cells dropped by the LRU bound
+    std::uint64_t max_cells = 0;   ///< the configured bound (0 = unbounded)
   };
   [[nodiscard]] Stats stats() const;
 
  private:
+  struct CellEntry {
+    CellValue value;
+    /// This cell's position in lru_ (most recent at the front). list
+    /// iterators survive splicing, so refreshing recency never touches the
+    /// map entry.
+    std::list<std::uint64_t>::iterator pos;
+  };
+
+  void evict_over_cap();
+
+  const std::uint64_t max_cells_;
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, CellValue> cells_;
+  mutable std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, CellEntry> cells_;
   std::unordered_map<std::uint64_t, std::vector<dram::DataPattern>> wcdp_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace vppstudy::server

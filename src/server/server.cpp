@@ -1,6 +1,7 @@
 #include "server/server.hpp"
 
 #include <cstdio>
+#include <string_view>
 #include <utility>
 
 #include "common/json.hpp"
@@ -141,6 +142,8 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
         .kv("misses", cache.misses)
         .kv("cells", cache.cells)
         .kv("wcdp_preps", cache.wcdp_preps)
+        .kv("evictions", cache.evictions)
+        .kv("max_cells", cache.max_cells)
         .end_object();
     w.key("queue")
         .begin_object()
@@ -162,6 +165,116 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
     common::JsonWriter w;
     w.begin_object().kv("kind", "cancel").kv("found", found).end_object();
     send_frame(*conn, encode_result_response(id, w.str(), {}));
+    return true;
+  }
+  // Campaign distribution verbs are answered inline on the reader thread,
+  // like stats/cancel: the coordinator's merge is bookkeeping, not compute
+  // -- the expensive part (shard execution) happens on the *workers*.
+  if (type == "campaign_open") {
+    const common::JsonValue* spec_doc = doc->find("campaign");
+    if (spec_doc == nullptr || !spec_doc->is_object()) {
+      send_frame(*conn, encode_error_response(
+                            id, Error{ErrorCode::kInvalidArgument,
+                                      "campaign_open needs a campaign spec "
+                                      "object"}));
+      return true;
+    }
+    auto spec = core::parse_campaign_manifest(*spec_doc);
+    if (!spec) {
+      send_frame(*conn, encode_error_response(id, spec.error()));
+      return true;
+    }
+    auto coordinator = service_.open_campaign(*spec);
+    if (!coordinator) {
+      send_frame(*conn, encode_error_response(id, coordinator.error()));
+      return true;
+    }
+    const CampaignCoordinator::Status status = (*coordinator)->status();
+    common::JsonWriter w;
+    w.begin_object()
+        .kv("kind", "campaign")
+        .kv("phase", core::campaign_phase_name(status.phase))
+        .kv("plan_hash", core::u64_hex(status.plan_hash))
+        .kv("planned_shards", status.planned)
+        .kv("done", status.done)
+        .kv("remaining", status.planned - status.done)
+        .kv("complete", status.complete)
+        .end_object();
+    send_frame(*conn, encode_result_response(id, w.str(), {}));
+    return true;
+  }
+  if (type == "lease") {
+    auto request = parse_lease_request(*doc);
+    if (!request) {
+      send_frame(*conn, encode_error_response(id, request.error()));
+      return true;
+    }
+    auto coordinator = service_.find_campaign(request->plan_hash);
+    if (!coordinator) {
+      send_frame(*conn, encode_error_response(id, coordinator.error()));
+      return true;
+    }
+    auto grant = (*coordinator)
+                     ->lease(request->worker, request->max_shards,
+                             request->ttl_ms, steady_now_ms());
+    if (!grant) {
+      send_frame(*conn, encode_error_response(id, grant.error()));
+      return true;
+    }
+    const std::string_view spec_json =
+        request->need_plan
+            ? std::string_view((*coordinator)->campaign_spec_json())
+            : std::string_view();
+    send_frame(*conn, encode_result_response(
+                          id, encode_lease_result(*grant, spec_json), {}));
+    return true;
+  }
+  if (type == "submit") {
+    auto request = parse_submit_request(*doc);
+    if (!request) {
+      send_frame(*conn, encode_error_response(id, request.error()));
+      return true;
+    }
+    auto coordinator = service_.find_campaign(request->plan_hash);
+    if (!coordinator) {
+      send_frame(*conn, encode_error_response(id, coordinator.error()));
+      return true;
+    }
+    auto outcome = (*coordinator)
+                       ->submit(request->worker, request->token,
+                                request->plan_hash, request->wcdp,
+                                request->shards, steady_now_ms());
+    if (!outcome) {
+      send_frame(*conn, encode_error_response(id, outcome.error()));
+      return true;
+    }
+    send_frame(*conn,
+               encode_result_response(id, encode_submit_result(*outcome), {}));
+    return true;
+  }
+  if (type == "heartbeat") {
+    auto request = parse_heartbeat_request(*doc);
+    if (!request) {
+      send_frame(*conn, encode_error_response(id, request.error()));
+      return true;
+    }
+    auto coordinator = service_.find_campaign(request->plan_hash);
+    if (!coordinator) {
+      send_frame(*conn, encode_error_response(id, coordinator.error()));
+      return true;
+    }
+    auto renewed =
+        (*coordinator)->heartbeat(request->token, request->ttl_ms,
+                                  steady_now_ms());
+    if (!renewed) {
+      send_frame(*conn, encode_error_response(id, renewed.error()));
+      return true;
+    }
+    send_frame(*conn, encode_result_response(
+                          id,
+                          encode_heartbeat_result(*renewed,
+                                                  (*coordinator)->complete()),
+                          {}));
     return true;
   }
   if (type == "shutdown") {

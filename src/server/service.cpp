@@ -162,6 +162,7 @@ std::string manifest_path_for(const std::string& dir, core::JobPhase phase,
 
 Service::Service(Config config)
     : config_(std::move(config)),
+      cache_(config_.cache_max_cells),
       arenas_(std::max(1u, common::ThreadPool::workers_for_jobs(config_.jobs))),
       pool_(static_cast<unsigned>(arenas_.size() - 1)) {
   // A fresh --manifest-dir must not fail every checkpoint write with
@@ -169,6 +170,65 @@ Service::Service(Config config)
   if (!config_.manifest_dir.empty()) {
     ::mkdir(config_.manifest_dir.c_str(), 0755);
   }
+}
+
+common::Result<std::shared_ptr<CampaignCoordinator>> Service::open_campaign(
+    const core::CampaignManifest& spec) {
+  VPP_ASSIGN_OR_RETURN(core::CampaignPlan plan,
+                       core::plan_from_manifest(spec));
+  const std::uint64_t hash = plan.digest(spec.phase);
+  if (spec.plan_hash != hash) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "campaign spec does not hash to its declared plan hash"};
+  }
+  {
+    // Idempotent re-open: a second campaign_open for the same plan joins
+    // the existing coordinator (two clients may race to open one campaign).
+    std::lock_guard lock(campaigns_mu_);
+    const auto it = campaigns_.find(hash);
+    if (it != campaigns_.end()) return it->second;
+  }
+  std::string manifest_path;
+  if (!config_.manifest_dir.empty()) {
+    manifest_path = manifest_path_for(config_.manifest_dir, spec.phase, hash);
+  }
+  auto opened = CampaignCoordinator::open(std::move(plan), spec.phase,
+                                          std::move(manifest_path));
+  if (!opened) return std::move(opened).error();
+  std::shared_ptr<CampaignCoordinator> coordinator = std::move(*opened);
+  std::lock_guard lock(campaigns_mu_);
+  const auto [it, inserted] = campaigns_.emplace(hash, coordinator);
+  return inserted ? coordinator : it->second;  // lost the race: join theirs
+}
+
+void Service::adopt_campaign(std::shared_ptr<CampaignCoordinator> coordinator) {
+  std::lock_guard lock(campaigns_mu_);
+  campaigns_.insert_or_assign(coordinator->plan_hash(),
+                              std::move(coordinator));
+}
+
+common::Result<std::shared_ptr<CampaignCoordinator>> Service::find_campaign(
+    std::uint64_t plan_hash) {
+  std::lock_guard lock(campaigns_mu_);
+  if (plan_hash != 0) {
+    const auto it = campaigns_.find(plan_hash);
+    if (it == campaigns_.end()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "no open campaign with plan hash " +
+                       core::u64_hex(plan_hash) +
+                       " (send campaign_open first)"};
+    }
+    return it->second;
+  }
+  if (campaigns_.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "no campaign is open on this daemon"};
+  }
+  if (campaigns_.size() > 1) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "several campaigns are open; address one by plan_hash"};
+  }
+  return campaigns_.begin()->second;
 }
 
 common::Result<Service::Outcome> Service::sweep(const SweepRequest& request,

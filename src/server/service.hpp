@@ -30,12 +30,16 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/cancel.hpp"
 #include "common/expected.hpp"
 #include "common/thread_pool.hpp"
 #include "core/campaign.hpp"
+#include "server/coordinator.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
 #include "softmc/session.hpp"
@@ -56,6 +60,9 @@ class Service {
     /// disables checkpointing. One manifest per (plan digest, phase), so
     /// concurrent distinct sweeps never share a file.
     std::string manifest_dir;
+    /// Result-cache cell bound (vppd --cache-max-cells); 0 = unbounded.
+    /// Eviction is LRU and only ever costs recompute (result_cache.hpp).
+    std::uint64_t cache_max_cells = 0;
   };
 
   explicit Service(Config config);
@@ -74,6 +81,27 @@ class Service {
 
   [[nodiscard]] ResultCache::Stats cache_stats() const { return cache_.stats(); }
 
+  // --- Campaign registry -----------------------------------------------------
+  // Distributed campaigns the daemon currently coordinates, keyed by plan
+  // hash. `campaign_open` requests create coordinators here; `vppctl
+  // campaign distribute` with in-process workers injects its own via
+  // adopt_campaign so the manifest lands at the exact path the user named.
+
+  /// Open (or idempotently re-open) a campaign from a wire spec document
+  /// (a zero-shard manifest). The manifest path derives from
+  /// Config::manifest_dir; with no manifest dir the campaign is in-memory.
+  [[nodiscard]] common::Result<std::shared_ptr<CampaignCoordinator>>
+  open_campaign(const core::CampaignManifest& spec);
+
+  /// Register an externally created coordinator (replaces any existing
+  /// coordinator of the same plan hash).
+  void adopt_campaign(std::shared_ptr<CampaignCoordinator> coordinator);
+
+  /// Look up a campaign: plan_hash 0 addresses the sole open campaign (an
+  /// error when none or several are open).
+  [[nodiscard]] common::Result<std::shared_ptr<CampaignCoordinator>>
+  find_campaign(std::uint64_t plan_hash);
+
  private:
   Config config_;
   ResultCache cache_;
@@ -81,6 +109,9 @@ class Service {
   // their worker's arena (common/thread_pool lifetime rule).
   common::WorkerLocal<core::SessionArena> arenas_;
   common::ThreadPool pool_;
+
+  std::mutex campaigns_mu_;
+  std::map<std::uint64_t, std::shared_ptr<CampaignCoordinator>> campaigns_;
 };
 
 }  // namespace vppstudy::server

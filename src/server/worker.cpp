@@ -1,0 +1,161 @@
+#include "server/worker.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/campaign_lease.hpp"
+#include "server/client.hpp"
+
+namespace vppstudy::server {
+
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+/// Per-worker WCDP prep memo: each module's prep runs at most once per
+/// worker process no matter how many leases touch it. Row-level lookups
+/// stay at the CellStore default (miss): leases are disjoint, so rows are
+/// always computed fresh -- exactly like a storeless single-host run.
+class WcdpMemoStore final : public core::CellStore {
+ public:
+  bool lookup_wcdp(const dram::ModuleProfile& profile,
+                   std::vector<dram::DataPattern>* out) override {
+    std::lock_guard lock(mu_);
+    const auto it = memo_.find(profile.seed);
+    if (it == memo_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void store_wcdp(const dram::ModuleProfile& profile,
+                  const std::vector<dram::DataPattern>& wcdp) override {
+    std::lock_guard lock(mu_);
+    memo_.insert_or_assign(profile.seed, wcdp);
+  }
+
+  /// Seed the memo from the coordinator's merged preps (shipped with every
+  /// lease grant): any module another worker already prepped becomes a memo
+  /// hit here instead of a duplicate compute. Already-memoized modules are
+  /// left alone -- preps are deterministic, so the bytes would be equal
+  /// anyway.
+  void seed(const core::CampaignPlan& plan,
+            const std::vector<core::ManifestWcdp>& records) {
+    std::lock_guard lock(mu_);
+    for (const core::ManifestWcdp& record : records) {
+      for (const dram::ModuleProfile& profile : plan.modules) {
+        if (profile.name != record.module) continue;
+        memo_.try_emplace(profile.seed, record.wcdp);
+        break;
+      }
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<dram::DataPattern>> memo_;
+};
+
+}  // namespace
+
+common::Result<CampaignWorker::Summary> CampaignWorker::run(
+    const Options& options) {
+  if (options.worker_id.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "worker needs a non-empty id"};
+  }
+  VPP_ASSIGN_OR_RETURN(Client client, Client::connect(options.port));
+
+  Summary summary;
+  WcdpMemoStore memo;
+  bool have_plan = false;
+  core::CampaignPlan plan;
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  std::uint64_t plan_hash = 0;
+
+  for (;;) {
+    LeaseRequest request;
+    request.plan_hash = plan_hash;
+    request.worker = options.worker_id;
+    request.max_shards = options.lease_shards;
+    request.ttl_ms = options.ttl_ms;
+    request.need_plan = !have_plan;
+    VPP_ASSIGN_OR_RETURN(LeaseGrant grant, client.lease(request));
+
+    if (!have_plan) {
+      if (!grant.has_campaign) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "lease grant did not carry the campaign spec"};
+      }
+      VPP_ASSIGN_OR_RETURN(plan, core::plan_from_manifest(grant.campaign));
+      phase = grant.phase;
+      plan_hash = grant.plan_hash;
+      // The spec must hash to the coordinator's plan hash -- a mismatch
+      // means the wire document does not describe the campaign we would be
+      // computing cells for.
+      if (plan.digest(phase) != plan_hash) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "campaign spec does not hash to the coordinator's "
+                     "plan hash"};
+      }
+      plan.jobs = options.jobs;
+      plan.manifest_path.clear();  // the coordinator owns the checkpoint
+      have_plan = true;
+    }
+    memo.seed(plan, grant.wcdp);
+
+    if (grant.shards.empty()) {
+      if (grant.complete) break;
+      // Everything is leased out to other workers right now; poll.
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+      continue;
+    }
+
+    // Renew once before computing: exercises the heartbeat path and skips
+    // the compute when the lease is somehow already gone.
+    HeartbeatRequest hb;
+    hb.plan_hash = plan_hash;
+    hb.token = grant.token;
+    hb.ttl_ms = options.ttl_ms;
+    if (auto renewed = client.heartbeat(hb); !renewed) {
+      if (renewed.error().code == ErrorCode::kLeaseExpired) {
+        ++summary.dropped;
+        continue;
+      }
+      return std::move(renewed).error();
+    }
+
+    VPP_ASSIGN_OR_RETURN(
+        core::CampaignShardBatch batch,
+        core::run_campaign_shards(plan, phase, grant.shards, &memo));
+
+    SubmitRequest submit;
+    submit.plan_hash = plan_hash;
+    submit.phase = phase;
+    submit.worker = options.worker_id;
+    submit.token = grant.token;
+    submit.wcdp = std::move(batch.wcdp);
+    submit.shards = std::move(batch.shards);
+    auto outcome = client.submit(submit);
+    if (!outcome) {
+      if (outcome.error().code == ErrorCode::kLeaseExpired) {
+        // Our lease expired mid-compute and the shards were re-granted; the
+        // other worker's bytes are identical by determinism, so dropping
+        // this batch loses nothing.
+        ++summary.dropped;
+        continue;
+      }
+      return std::move(outcome).error();
+    }
+    ++summary.leases;
+    summary.shards += outcome->accepted;
+    summary.duplicates += outcome->duplicates;
+    if (outcome->complete) break;
+  }
+  return summary;
+}
+
+}  // namespace vppstudy::server

@@ -49,6 +49,11 @@
 //   vppctl campaign resume --manifest PATH [--jobs N] [--max-shards N]
 //                          [--csv out.csv] [--json out.json]
 //   vppctl campaign status --manifest PATH
+//   vppctl campaign distribute --manifest PATH [--workers N]
+//                          [--port N] [--port-file PATH]
+//                          [--lease-shards N] [--lease-ttl-ms N]
+//                          [plus every `campaign run` plan flag]
+//                          [--csv out.csv] [--json out.json]
 //       Multi-axis characterization campaigns through core::CampaignEngine.
 //       `run` compiles the flags into a CampaignPlan (VPP levels x optional
 //       temperature / hammer-count / on-time axes), executes it, and prints
@@ -59,26 +64,43 @@
 //       invocation (incremental fill-in). `resume` reconstructs the plan
 //       from the manifest alone and continues it -- the merged result is
 //       byte-identical to an uninterrupted run. `status` prints checkpoint
-//       progress without running anything. Exit 0 on success (a completed
-//       campaign), 2 on usage errors, 3 on typed errors -- including the
-//       deliberate kCancelled of an exhausted --max-shards budget, which
-//       leaves a resumable manifest behind.
+//       progress without running anything; when a lease ledger sits beside
+//       the manifest (a distributed campaign) it also prints shard lease
+//       state and per-worker leased/completed/expired counts. Exit 0 on
+//       success (a completed campaign; for `status`, a readable manifest),
+//       2 on usage errors, 3 on typed errors -- including the deliberate
+//       kCancelled of an exhausted --max-shards budget, which leaves a
+//       resumable manifest behind.
+//       `distribute` runs the same plan across N workers (DESIGN.md section
+//       11): it compiles the canonical shard grid, opens a coordinator on a
+//       loopback daemon, and leases disjoint shard subsets to workers with
+//       fencing tokens and lease expiry recorded in <manifest>.leases.json.
+//       --workers N (default 2) runs N in-process workers; --workers 0
+//       publishes the port (--port/--port-file) and waits for external
+//       `vppd --connect` workers instead. Completed shard records stream
+//       back over the lease/submit protocol and merge in canonical order,
+//       so the final --csv/--json is byte-identical to a single-host run.
+//       Exit 0 when the campaign completed, 2 on usage errors, 3 on typed
+//       errors (including any worker's fatal error).
 //
 //   --connect PORT is also accepted by inject. Remote inject does not
 //   support --csv or --dump-dir (the artifacts would land on the daemon's
 //   filesystem); requesting them remotely is a usage error (exit 3).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chips/module_db.hpp"
 #include "common/csv.hpp"
 #include "common/units.hpp"
 #include "core/campaign.hpp"
+#include "core/campaign_lease.hpp"
 #include "core/export.hpp"
 #include "core/resilient_study.hpp"
 #include "core/study.hpp"
@@ -86,7 +108,9 @@
 #include "harness/wcdp.hpp"
 #include "memctrl/retention_profiler.hpp"
 #include "server/client.hpp"
+#include "server/coordinator.hpp"
 #include "server/server.hpp"
+#include "server/worker.hpp"
 #include "softmc/fault_injector.hpp"
 #include "softmc/trace_dump.hpp"
 #include "softmc/trace_replayer.hpp"
@@ -803,23 +827,26 @@ int run_campaign(core::CampaignPlan plan, core::JobPhase phase,
   return rc;
 }
 
-int cmd_campaign_run(const std::map<std::string, std::string>& flags) {
+/// Shared flag -> plan compiler of `campaign run` and `campaign
+/// distribute`. Returns 0 and fills plan/phase, or a nonzero exit code
+/// (message already printed).
+int campaign_plan_from_flags(const std::map<std::string, std::string>& flags,
+                             core::CampaignPlan& plan,
+                             core::JobPhase& phase) {
   // The sweep config comes through the daemon's request expander so a
   // campaign's VPP grid is millivolt-quantized exactly like `vppctl sweep`
   // (and the stream seeds therefore agree across all front ends).
   const server::SweepRequest request = sweep_request_from_flags(flags);
-  const core::JobPhase phase = request.test == "trcd"
-                                   ? core::JobPhase::kTrcd
-                                   : request.test == "retention"
-                                         ? core::JobPhase::kRetention
-                                         : core::JobPhase::kRowHammer;
+  phase = request.test == "trcd"
+              ? core::JobPhase::kTrcd
+              : request.test == "retention" ? core::JobPhase::kRetention
+                                            : core::JobPhase::kRowHammer;
   if (request.test != "rowhammer" && request.test != "trcd" &&
       request.test != "retention") {
     std::fprintf(stderr, "unknown --test '%s'\n", request.test.c_str());
     return 2;
   }
 
-  core::CampaignPlan plan;
   plan.sweep = server::sweep_config_from_request(request);
   plan.axes.temperatures_c = parse_double_list(flag_or(flags, "temps", ""));
   plan.axes.hammer_counts = parse_uint_list(flag_or(flags, "hammer-counts", ""));
@@ -842,8 +869,149 @@ int cmd_campaign_run(const std::map<std::string, std::string>& flags) {
     }
     plan.modules.push_back(std::move(*profile));
   }
+  return 0;
+}
 
+int cmd_campaign_run(const std::map<std::string, std::string>& flags) {
+  core::CampaignPlan plan;
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  if (const int rc = campaign_plan_from_flags(flags, plan, phase); rc != 0) {
+    return rc;
+  }
   return run_campaign(std::move(plan), phase, flag_or(flags, "csv", ""),
+                      flag_or(flags, "json", ""));
+}
+
+int cmd_campaign_distribute(const std::map<std::string, std::string>& flags) {
+  core::CampaignPlan plan;
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  if (const int rc = campaign_plan_from_flags(flags, plan, phase); rc != 0) {
+    return rc;
+  }
+  const std::string manifest_path = plan.manifest_path;
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "campaign distribute requires --manifest PATH\n");
+    return 2;
+  }
+  const int workers = std::atoi(flag_or(flags, "workers", "2").c_str());
+  if (workers < 0) {
+    std::fprintf(stderr, "--workers must be >= 0\n");
+    return 2;
+  }
+  const std::uint64_t lease_shards = static_cast<std::uint64_t>(
+      std::atoll(flag_or(flags, "lease-shards", "4").c_str()));
+  const std::int64_t ttl_ms =
+      std::atoll(flag_or(flags, "lease-ttl-ms", "30000").c_str());
+  if (ttl_ms <= 0) {
+    std::fprintf(stderr, "--lease-ttl-ms must be positive\n");
+    return 2;
+  }
+
+  // The coordinator owns the manifest at the exact path the user named;
+  // the final export resumes the engine over it, so keep a plan copy.
+  core::CampaignPlan export_plan = plan;
+  auto coordinator =
+      server::CampaignCoordinator::open(std::move(plan), phase, manifest_path);
+  if (!coordinator) {
+    std::fprintf(stderr, "%s\n", coordinator.error().to_string().c_str());
+    return 3;
+  }
+  std::shared_ptr<server::CampaignCoordinator> coord = std::move(*coordinator);
+
+  server::DaemonOptions daemon;
+  daemon.config.port = static_cast<std::uint16_t>(
+      std::atoi(flag_or(flags, "port", "0").c_str()));
+  daemon.port_file = flag_or(flags, "port-file", "");
+  auto started = server::Server::start(daemon.config);
+  if (!started) {
+    std::fprintf(stderr, "%s\n", started.error().to_string().c_str());
+    return 3;
+  }
+  std::unique_ptr<server::Server> srv = std::move(*started);
+  srv->service().adopt_campaign(coord);
+  if (!daemon.port_file.empty()) {
+    const std::string tmp = daemon.port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr ||
+        std::fprintf(f, "%u\n", static_cast<unsigned>(srv->port())) < 0 ||
+        std::fclose(f) != 0 ||
+        std::rename(tmp.c_str(), daemon.port_file.c_str()) != 0) {
+      std::fprintf(stderr, "cannot publish %s\n", daemon.port_file.c_str());
+      return 3;
+    }
+  }
+  std::printf("coordinator on 127.0.0.1:%u: %llu shard(s), manifest %s\n",
+              static_cast<unsigned>(srv->port()),
+              static_cast<unsigned long long>(coord->status().planned),
+              manifest_path.c_str());
+  std::fflush(stdout);
+
+  int rc = 0;
+  if (workers == 0) {
+    // External-worker mode: wait for `vppd --connect` workers to finish the
+    // grid. The coordinator fences crashed workers, so polling completeness
+    // is the only job left here.
+    while (!coord->complete()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  } else {
+    struct WorkerOutcome {
+      bool ok = false;
+      server::CampaignWorker::Summary summary;
+      std::string error;
+    };
+    std::vector<WorkerOutcome> outcomes(static_cast<std::size_t>(workers));
+    std::vector<std::thread> threads;
+    threads.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      server::CampaignWorker::Options options;
+      options.port = srv->port();
+      options.worker_id = "w" + std::to_string(i + 1);
+      options.lease_shards = lease_shards;
+      options.ttl_ms = ttl_ms;
+      options.jobs = std::atoi(flag_or(flags, "jobs", "1").c_str());
+      threads.emplace_back([&outcomes, i, options] {
+        auto summary = server::CampaignWorker::run(options);
+        if (summary) {
+          outcomes[i].ok = true;
+          outcomes[i].summary = *summary;
+        } else {
+          outcomes[i].error = summary.error().to_string();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].ok) {
+        std::fprintf(stderr, "worker w%zu: %s\n", i + 1,
+                     outcomes[i].error.c_str());
+        rc = 3;
+      }
+    }
+  }
+  srv->stop();
+  srv.reset();
+
+  for (const core::LeaseWorkerStats& w : coord->worker_stats()) {
+    std::printf("  worker %-8s leased %llu  completed %llu  expired %llu\n",
+                w.worker.c_str(), static_cast<unsigned long long>(w.leased),
+                static_cast<unsigned long long>(w.completed),
+                static_cast<unsigned long long>(w.expired));
+  }
+  if (rc != 0) return rc;
+  if (!coord->complete()) {
+    std::fprintf(stderr,
+                 "campaign incomplete after all workers exited; continue "
+                 "with: vppctl campaign distribute --manifest %s\n",
+                 manifest_path.c_str());
+    return 3;
+  }
+
+  // Final export: resume the single-host engine over the complete merged
+  // manifest. Every shard restores from the checkpoint (zero compute), and
+  // the rendered CSV/JSON is byte-identical to an undistributed run.
+  export_plan.manifest_path = manifest_path;
+  return run_campaign(std::move(export_plan), phase, flag_or(flags, "csv", ""),
                       flag_or(flags, "json", ""));
 }
 
@@ -905,13 +1073,37 @@ int cmd_campaign_status(const std::map<std::string, std::string>& flags) {
     std::printf("  %-4s %zu shards done (rows_per_bank=%u)\n", name.c_str(),
                 done, rows_per_bank);
   }
+  // A distributed campaign keeps its lease ledger beside the manifest;
+  // surface shard lease state and per-worker accounting when present.
+  const std::string ledger_path = core::campaign_ledger_path(manifest_path);
+  if (std::filesystem::exists(ledger_path)) {
+    auto ledger = core::load_campaign_ledger(ledger_path);
+    if (!ledger) {
+      std::fprintf(stderr, "%s\n", ledger.error().to_string().c_str());
+      return 3;
+    }
+    std::printf("leases: %llu open, %llu leased, %llu done\n",
+                static_cast<unsigned long long>(
+                    ledger->count(core::LeaseState::kOpen)),
+                static_cast<unsigned long long>(
+                    ledger->count(core::LeaseState::kLeased)),
+                static_cast<unsigned long long>(
+                    ledger->count(core::LeaseState::kDone)));
+    for (const core::LeaseWorkerStats& w : ledger->workers) {
+      std::printf("  worker %-8s leased %llu  completed %llu  expired %llu\n",
+                  w.worker.c_str(), static_cast<unsigned long long>(w.leased),
+                  static_cast<unsigned long long>(w.completed),
+                  static_cast<unsigned long long>(w.expired));
+    }
+  }
   return 0;
 }
 
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
-    std::fprintf(stderr, "usage: vppctl campaign <run|resume|status> "
-                         "[--flag value ...]\n");
+    std::fprintf(stderr,
+                 "usage: vppctl campaign <run|resume|status|distribute> "
+                 "[--flag value ...]\n");
     return 2;
   }
   const std::string verb = argv[2];
@@ -919,6 +1111,7 @@ int cmd_campaign(int argc, char** argv) {
   if (verb == "run") return cmd_campaign_run(flags);
   if (verb == "resume") return cmd_campaign_resume(flags);
   if (verb == "status") return cmd_campaign_status(flags);
+  if (verb == "distribute") return cmd_campaign_distribute(flags);
   std::fprintf(stderr, "unknown campaign verb '%s'\n", verb.c_str());
   return 2;
 }
@@ -936,6 +1129,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   options.config.queue.per_client_quota = static_cast<std::size_t>(
       std::atoll(flag_or(flags, "quota", "8").c_str()));
   options.config.service.manifest_dir = flag_or(flags, "manifest-dir", "");
+  options.config.service.cache_max_cells = static_cast<std::uint64_t>(
+      std::atoll(flag_or(flags, "cache-max-cells", "0").c_str()));
   options.config.queue.dispatchers = static_cast<unsigned>(
       std::atoi(flag_or(flags, "dispatchers", "2").c_str()));
   return server::run_daemon(options);

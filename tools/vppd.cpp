@@ -1,18 +1,31 @@
-// vppd: the characterization-as-a-service daemon.
+// vppd: the characterization-as-a-service daemon, and (with --connect) a
+// distributed-campaign worker.
 //
 //   vppd [--port N] [--port-file PATH] [--jobs N] [--rows-per-shard N]
 //        [--queue-cap N] [--quota N] [--dispatchers N] [--manifest-dir DIR]
+//        [--cache-max-cells N]
+//   vppd --connect PORT [--worker NAME] [--jobs N] [--lease-shards N]
+//        [--lease-ttl-ms N]
 //
-// Binds 127.0.0.1 (never a routable interface) and serves the vppctl
-// protocol: sweep/inject/replay requests scheduled through a bounded job
-// queue with per-client quotas, results served from a content-addressed
+// Daemon mode binds 127.0.0.1 (never a routable interface) and serves the
+// vppctl protocol: sweep/inject/replay requests scheduled through a bounded
+// job queue with per-client quotas, results served from a content-addressed
 // cache (see src/server/ and DESIGN.md section 9). --port 0 (the default)
 // binds an ephemeral port; --port-file publishes the bound port atomically
 // for child-process harnesses. --manifest-dir enables campaign checkpoint
 // manifests: a daemon killed mid-sweep resumes completed shards after
 // restart and the merged result is byte-identical (DESIGN.md section 10).
-// Runs until a client sends `shutdown`.
-// Exit codes: 0 clean shutdown, 2 bad usage, 3 typed startup error.
+// --cache-max-cells bounds the result cache with LRU eviction (0 =
+// unbounded). Runs until a client sends `shutdown`.
+//
+// Worker mode (--connect PORT) joins the campaign coordinated by the
+// daemon on that loopback port and loops lease -> compute -> submit until
+// the campaign completes (DESIGN.md section 11). --worker defaults to
+// vppd-<pid>.
+// Exit codes: 0 clean shutdown / campaign complete, 2 bad usage, 3 typed
+// (startup or worker) error.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +33,7 @@
 #include <string>
 
 #include "server/server.hpp"
+#include "server/worker.hpp"
 
 namespace {
 
@@ -51,8 +65,50 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
 
 }  // namespace
 
+namespace {
+
+int run_worker(const std::map<std::string, std::string>& flags) {
+  server::CampaignWorker::Options options;
+  options.port = static_cast<std::uint16_t>(
+      std::atoi(flag_or(flags, "connect", "0").c_str()));
+  if (options.port == 0) {
+    std::fprintf(stderr, "vppd: --connect needs a port\n");
+    return 2;
+  }
+  options.worker_id = flag_or(flags, "worker", "");
+  if (options.worker_id.empty()) {
+    options.worker_id = "vppd-" + std::to_string(::getpid());
+  }
+  options.jobs = std::atoi(flag_or(flags, "jobs", "1").c_str());
+  options.lease_shards = static_cast<std::uint64_t>(
+      std::atoll(flag_or(flags, "lease-shards", "4").c_str()));
+  options.ttl_ms = std::atoll(flag_or(flags, "lease-ttl-ms", "30000").c_str());
+  if (options.ttl_ms <= 0) {
+    std::fprintf(stderr, "vppd: --lease-ttl-ms must be positive\n");
+    return 2;
+  }
+  auto summary = server::CampaignWorker::run(options);
+  if (!summary) {
+    std::fprintf(stderr, "vppd: worker %s: %s\n", options.worker_id.c_str(),
+                 summary.error().to_string().c_str());
+    return 3;
+  }
+  std::printf(
+      "vppd worker %s done: %llu shard(s) over %llu lease(s), "
+      "%llu duplicate(s), %llu dropped batch(es)\n",
+      options.worker_id.c_str(),
+      static_cast<unsigned long long>(summary->shards),
+      static_cast<unsigned long long>(summary->leases),
+      static_cast<unsigned long long>(summary->duplicates),
+      static_cast<unsigned long long>(summary->dropped));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
+  if (flags.count("connect") != 0) return run_worker(flags);
   server::DaemonOptions options;
   options.config.port = static_cast<std::uint16_t>(
       std::atoi(flag_or(flags, "port", "0").c_str()));
@@ -62,6 +118,8 @@ int main(int argc, char** argv) {
   options.config.service.rows_per_shard = static_cast<std::uint32_t>(
       std::atoi(flag_or(flags, "rows-per-shard", "4").c_str()));
   options.config.service.manifest_dir = flag_or(flags, "manifest-dir", "");
+  options.config.service.cache_max_cells = static_cast<std::uint64_t>(
+      std::atoll(flag_or(flags, "cache-max-cells", "0").c_str()));
   options.config.queue.capacity = static_cast<std::size_t>(
       std::atoll(flag_or(flags, "queue-cap", "16").c_str()));
   options.config.queue.per_client_quota = static_cast<std::size_t>(
