@@ -13,6 +13,8 @@
 #include "circuit/matrix.hpp"
 #include "common/rng.hpp"
 #include "dram/module.hpp"
+#include "harness/pattern_fuzzer.hpp"
+#include "harness/pattern_spec.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "softmc/session.hpp"
 
@@ -178,6 +180,44 @@ void BM_LuSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuSolve)->Arg(9)->Arg(32);
+
+// One fuzzer generation step on the pure-function side: synthetic
+// deterministic scores, evolve_population, then every evolved member
+// compiled into a one-period SoftMC program. This is the per-generation CPU
+// overhead a fuzz campaign pays on top of the hammer simulation itself;
+// range(0) is the population size.
+void BM_FuzzGeneration(benchmark::State& state) {
+  harness::FuzzerConfig config;
+  config.population = static_cast<std::uint32_t>(state.range(0));
+  config.elites = 2;
+  const std::uint64_t seed = 0x5eed;
+  const dram::Ddr4Timing timing;
+  const std::int64_t victim = 500;
+  auto population = harness::initial_population(seed, config);
+  std::uint32_t generation = 0;
+  std::vector<harness::ScoredSpec> scored;
+  std::vector<std::uint32_t> rows;
+  for (auto _ : state) {
+    scored.clear();
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      scored.push_back(
+          {population[i], static_cast<double>((i * 37 + generation) % 101)});
+    }
+    population = harness::evolve_population(scored, seed, ++generation, config);
+    for (const harness::PatternSpec& spec : population) {
+      rows.clear();
+      for (const harness::AggressorSpec& a : spec.aggressors) {
+        rows.push_back(static_cast<std::uint32_t>(victim + a.offset));
+      }
+      const softmc::Program p = harness::compile_pattern(spec, timing, 0,
+                                                         rows, 1);
+      benchmark::DoNotOptimize(p.instructions().data());
+    }
+  }
+  state.counters["specs_per_s"] = benchmark::Counter(
+      static_cast<double>(config.population), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuzzGeneration)->Arg(8)->Arg(32);
 
 // End-to-end RowHammer sweep through the parallel engine, with the job count
 // as the benchmark argument. Compare the `jobs:1` row against `jobs:N` to

@@ -115,6 +115,12 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma_if_needed();
+  out_ += json;
+  return *this;
+}
+
 bool JsonWriter::write_file(const std::string& path) const {
   std::ofstream file(path, std::ios::binary);
   if (!file) return false;

@@ -36,6 +36,11 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(bool v);
 
+  /// Splice a pre-rendered JSON value (e.g. another writer's str()) in as
+  /// one element. The caller guarantees `json` is a complete, valid JSON
+  /// value; the writer only handles the surrounding comma placement.
+  JsonWriter& raw(std::string_view json);
+
   /// Shorthand for key(name).value(v).
   template <typename T>
   JsonWriter& kv(std::string_view name, T v) {

@@ -42,6 +42,7 @@ AxisPoint AxisPoint::normalized(JobPhase phase,
       p.hammer_count = hammer_count;
     }
     if (act_to_act_ns > 0.0) p.act_to_act_ns = act_to_act_ns;
+    p.pattern_hash = pattern_hash;
   }
   return p;
 }
@@ -49,6 +50,15 @@ AxisPoint AxisPoint::normalized(JobPhase phase,
 double AxisPoint::resolved_temperature(JobPhase phase) const noexcept {
   return temperature_c > 0.0 ? temperature_c
                              : default_phase_temperature(phase);
+}
+
+const harness::PatternSpec* CampaignAxes::find_pattern(
+    std::uint64_t pattern_hash) const noexcept {
+  if (pattern_hash == 0) return nullptr;
+  for (const harness::PatternSpec& spec : patterns) {
+    if (spec.spec_hash() == pattern_hash) return &spec;
+  }
+  return nullptr;
 }
 
 std::vector<AxisPoint> CampaignAxes::points_for(
@@ -63,20 +73,31 @@ std::vector<AxisPoint> CampaignAxes::points_for(
   const std::vector<double> acts =
       (hammer_phase && !act_to_act_ns.empty()) ? act_to_act_ns
                                                : std::vector<double>{0.0};
+  std::vector<std::uint64_t> pats{0};
+  if (hammer_phase && !patterns.empty()) {
+    pats.clear();
+    for (const harness::PatternSpec& spec : patterns) {
+      pats.push_back(spec.spec_hash());
+    }
+  }
   std::vector<AxisPoint> points;
-  points.reserve(vpp_levels.size() * temps.size() * hcs.size() * acts.size());
+  points.reserve(vpp_levels.size() * temps.size() * hcs.size() * acts.size() *
+                 pats.size());
   for (const double vpp : vpp_levels) {
     for (const double temp : temps) {
       for (const std::uint64_t hc : hcs) {
         for (const double act : acts) {
-          AxisPoint raw;
-          raw.vpp_v = vpp;
-          raw.temperature_c = temp;
-          raw.hammer_count = hc;
-          raw.act_to_act_ns = act;
-          const AxisPoint p = raw.normalized(phase, default_hammer_count);
-          if (std::find(points.begin(), points.end(), p) == points.end()) {
-            points.push_back(p);
+          for (const std::uint64_t pat : pats) {
+            AxisPoint raw;
+            raw.vpp_v = vpp;
+            raw.temperature_c = temp;
+            raw.hammer_count = hc;
+            raw.act_to_act_ns = act;
+            raw.pattern_hash = pat;
+            const AxisPoint p = raw.normalized(phase, default_hammer_count);
+            if (std::find(points.begin(), points.end(), p) == points.end()) {
+              points.push_back(p);
+            }
           }
         }
       }
@@ -92,11 +113,17 @@ std::uint64_t point_stream_seed(std::uint64_t seed, std::uint64_t module_seed,
   if (point.baseline()) {
     return row_stream_seed(seed, module_seed, vpp_mv, phase, row);
   }
-  return common::hash_key(
+  std::uint64_t h = common::hash_key(
       {seed, module_seed, vpp_mv, static_cast<std::uint64_t>(phase), row,
        static_cast<std::uint64_t>(temperature_millidegrees(point.temperature_c)),
        point.hammer_count,
        static_cast<std::uint64_t>(act_to_act_picoseconds(point.act_to_act_ns))});
+  // hash_key is a left fold, so appending the pattern word only when present
+  // leaves every pre-pattern off-default stream byte-identical.
+  if (point.pattern_hash != 0) {
+    h = common::hash_accumulate(h, point.pattern_hash);
+  }
+  return h;
 }
 
 }  // namespace vppstudy::core

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "harness/pattern_spec.hpp"
+
 namespace vppstudy::core {
 
 /// The experiment family a job belongs to; part of its stream key so the
@@ -39,11 +41,16 @@ struct AxisPoint {
   double temperature_c = 0.0;    ///< 0 = phase default (50C / 80C)
   std::uint64_t hammer_count = 0;  ///< 0 = the sweep's BER hammer count
   double act_to_act_ns = 0.0;    ///< 0 = nominal tRC aggressor spacing
+  /// harness::PatternSpec::spec_hash of a non-uniform attack pattern, or 0
+  /// for the uniform study hammer. The spec itself lives in
+  /// CampaignAxes::patterns; the point carries only its identity.
+  std::uint64_t pattern_hash = 0;
 
   /// True when every non-VPP coordinate is at its phase default -- the
   /// legacy seed tuple applies.
   [[nodiscard]] bool baseline() const noexcept {
-    return temperature_c == 0.0 && hammer_count == 0 && act_to_act_ns == 0.0;
+    return temperature_c == 0.0 && hammer_count == 0 && act_to_act_ns == 0.0 &&
+           pattern_hash == 0;
   }
 
   /// Canonical form of this point for `phase`: coordinates equal to the
@@ -72,11 +79,18 @@ struct CampaignAxes {
   std::vector<double> temperatures_c;
   std::vector<std::uint64_t> hammer_counts;  ///< kRowHammer only
   std::vector<double> act_to_act_ns;         ///< kRowHammer only
+  /// Non-uniform attack patterns (kRowHammer only). Each valid spec expands
+  /// the grid with a pattern coordinate; the uniform study hammer is NOT
+  /// implied -- include uniform_double_sided_spec() explicitly to compare.
+  std::vector<harness::PatternSpec> patterns;
   /// True when no extra axis is populated (a pure VPP sweep).
   [[nodiscard]] bool vpp_only() const noexcept {
     return temperatures_c.empty() && hammer_counts.empty() &&
-           act_to_act_ns.empty();
+           act_to_act_ns.empty() && patterns.empty();
   }
+  /// The spec behind an AxisPoint::pattern_hash, or nullptr.
+  [[nodiscard]] const harness::PatternSpec* find_pattern(
+      std::uint64_t pattern_hash) const noexcept;
   /// Expand the grid for one phase: VPP-major over `vpp_levels`, then
   /// temperature, hammer count, on-time. Points are normalized (defaults
   /// collapse to 0) and exact duplicates after normalization are dropped,

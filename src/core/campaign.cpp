@@ -95,6 +95,10 @@ void point_json(common::JsonWriter& json, const AxisPoint& p) {
   json.kv("temperature_c", p.temperature_c);
   json.kv("hammer_count", p.hammer_count);
   json.kv("act_to_act_ns", p.act_to_act_ns);
+  // Emitted only for pattern points: pre-pattern manifests stay
+  // byte-identical, and old readers ignore the extra key. Hex string because
+  // JsonValue stores numbers as doubles (53-bit mantissa).
+  if (p.pattern_hash != 0) json.kv("pattern_hash", u64_hex(p.pattern_hash));
   json.end_object();
 }
 
@@ -104,6 +108,9 @@ void point_json(common::JsonWriter& json, const AxisPoint& p) {
   p.temperature_c = v.number_or("temperature_c", 0.0);
   p.hammer_count = v.uint_or("hammer_count", 0);
   p.act_to_act_ns = v.number_or("act_to_act_ns", 0.0);
+  if (const std::string hex = v.string_or("pattern_hash", ""); !hex.empty()) {
+    (void)parse_u64_hex(hex, p.pattern_hash);
+  }
   return p;
 }
 
@@ -113,11 +120,9 @@ void point_json(common::JsonWriter& json, const AxisPoint& p) {
   return true;
 }
 
-/// After the Nth successful manifest write, SIGKILL the process: the CI
-/// resume smoke test's deterministic mid-campaign crash. Manifest writes
-/// happen in drain order on the coordinator thread, so N selects a fixed
-/// checkpoint boundary at any --jobs count.
-void maybe_kill_after_write() {
+}  // namespace
+
+void campaign_checkpoint_written() {
   static const int budget = [] {
     const char* env = std::getenv("VPP_CAMPAIGN_KILL_AFTER");
     return env != nullptr ? std::atoi(env) : -1;
@@ -126,8 +131,6 @@ void maybe_kill_after_write() {
   static int writes = 0;
   if (++writes >= budget) std::raise(SIGKILL);
 }
-
-}  // namespace
 
 std::string u64_hex(std::uint64_t v) {
   char buf[19];
@@ -377,6 +380,14 @@ std::uint64_t CampaignPlan::digest(JobPhase phase) const {
   for (const double a : axes.act_to_act_ns) {
     acc(static_cast<std::uint64_t>(act_to_act_picoseconds(a)));
   }
+  // Folded only when the pattern axis is populated: hash_key's left-fold
+  // structure then keeps every pre-pattern plan digest unchanged.
+  if (!axes.patterns.empty()) {
+    acc(axes.patterns.size());
+    for (const harness::PatternSpec& spec : axes.patterns) {
+      acc(spec.spec_hash());
+    }
+  }
   acc(modules.size());
   for (const dram::ModuleProfile& mod : modules) {
     std::uint64_t name_hash = common::kHashInit;
@@ -522,6 +533,15 @@ common::JsonWriter campaign_manifest_json(const CampaignManifest& manifest) {
   json.key("act_to_act_ns").begin_array();
   for (const double a : manifest.axes.act_to_act_ns) json.value(a);
   json.end_array();
+  // Key emitted only when populated: pre-pattern manifests stay
+  // byte-identical.
+  if (!manifest.axes.patterns.empty()) {
+    json.key("patterns").begin_array();
+    for (const harness::PatternSpec& spec : manifest.axes.patterns) {
+      harness::pattern_spec_json(json, spec);
+    }
+    json.end_array();
+  }
   json.end_object();
 
   json.key("modules").begin_array();
@@ -648,6 +668,13 @@ common::Result<CampaignManifest> parse_campaign_manifest(const JsonValue& doc) {
         m.axes.act_to_act_ns.push_back(v.as_number());
       }
     }
+    if (const JsonValue* pats = axes->find("patterns")) {
+      for (const JsonValue& v : pats->items()) {
+        VPP_ASSIGN_OR_RETURN(harness::PatternSpec spec,
+                             harness::parse_pattern_spec(v));
+        m.axes.patterns.push_back(std::move(spec));
+      }
+    }
   }
 
   const JsonValue* modules = doc.find("modules");
@@ -690,7 +717,7 @@ bool write_campaign_manifest(const std::string& path,
   const std::string tmp = path + ".tmp";
   if (!campaign_manifest_json(manifest).write_file(tmp)) return false;
   if (std::rename(tmp.c_str(), path.c_str()) != 0) return false;
-  maybe_kill_after_write();
+  campaign_checkpoint_written();
   return true;
 }
 

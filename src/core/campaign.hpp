@@ -304,6 +304,12 @@ void manifest_shard_json(common::JsonWriter& json, const ManifestShard& shard,
 /// deterministic mid-campaign kill used by the CI resume smoke test.
 [[nodiscard]] bool write_campaign_manifest(const std::string& path,
                                            const CampaignManifest& manifest);
+/// Advance the shared VPP_CAMPAIGN_KILL_AFTER write counter. Every
+/// checkpoint writer (campaign manifests here, fuzz manifests in
+/// core/fuzz_campaign) calls this after a successful atomic write, so the
+/// env var counts checkpoints of any kind and a kill boundary can land
+/// between fuzz generations as well as between shards.
+void campaign_checkpoint_written();
 /// Reconstruct the plan a manifest was checkpointing (vppctl campaign
 /// resume). Fails if a module name is not in the module DB.
 [[nodiscard]] common::Result<CampaignPlan> plan_from_manifest(

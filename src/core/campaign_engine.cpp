@@ -216,10 +216,21 @@ struct HammerTraits {
   }
   static common::Expected<Cell> run(softmc::Session& session,
                                     const SweepConfig& sweep,
+                                    const CampaignAxes& axes,
                                     std::uint64_t seed, const AxisPoint& point,
                                     std::span<const std::uint32_t> rows,
                                     std::span<const dram::DataPattern> wcdp,
                                     const common::CancelToken& cancel) {
+    if (point.pattern_hash != 0) {
+      const harness::PatternSpec* spec = axes.find_pattern(point.pattern_hash);
+      if (spec == nullptr) {
+        return common::Error{common::ErrorCode::kInvalidArgument,
+                             "campaign point references a pattern hash absent "
+                             "from the pattern axis"};
+      }
+      return run_pattern_rows(session, sweep, seed, point, *spec, rows, wcdp,
+                              cancel);
+    }
     return run_hammer_rows(session, sweep, seed, point, rows, wcdp, cancel);
   }
 };
@@ -244,7 +255,8 @@ struct TrcdTraits {
   }
   static common::Expected<Cell> run(softmc::Session& session,
                                     const SweepConfig& sweep,
-                                    std::uint64_t seed, const AxisPoint& point,
+                                    const CampaignAxes&, std::uint64_t seed,
+                                    const AxisPoint& point,
                                     std::span<const std::uint32_t> rows,
                                     std::span<const dram::DataPattern>,
                                     const common::CancelToken& cancel) {
@@ -272,7 +284,8 @@ struct RetentionTraits {
   }
   static common::Expected<Cell> run(softmc::Session& session,
                                     const SweepConfig& sweep,
-                                    std::uint64_t seed, const AxisPoint& point,
+                                    const CampaignAxes&, std::uint64_t seed,
+                                    const AxisPoint& point,
                                     std::span<const std::uint32_t> rows,
                                     std::span<const dram::DataPattern>,
                                     const common::CancelToken& cancel) {
@@ -453,11 +466,11 @@ common::Expected<std::vector<typename Traits::Grid>> run_grid_phase(
         ++new_shards;
         unit.submitted = true;
         unit.future = pool.submit(
-            [&arenas, &pool, &profile, &sweep, seed, point,
+            [&arenas, &pool, &profile, &sweep, &axes = plan.axes, seed, point,
              cancel = plan.cancel, missing = unit.missing,
              wcdp = std::move(missing_wcdp)] {
               return Traits::run(arenas.local(pool).acquire(profile), sweep,
-                                 seed, point, std::span(missing),
+                                 axes, seed, point, std::span(missing),
                                  std::span(wcdp), cancel);
             });
       }
@@ -664,11 +677,12 @@ common::Expected<CampaignShardBatch> run_shard_subset(
                         preps[unit.m].wcdp.begin() + shard.end);
     }
     futures.push_back(pool.submit(
-        [&arenas, &pool, &profile, &sweep, seed, point, cancel = plan.cancel,
-         rows_in = std::move(shard_rows), wcdp_in = std::move(shard_wcdp)] {
-          return Traits::run(arenas.local(pool).acquire(profile), sweep, seed,
-                             point, std::span(rows_in), std::span(wcdp_in),
-                             cancel);
+        [&arenas, &pool, &profile, &sweep, &axes = plan.axes, seed, point,
+         cancel = plan.cancel, rows_in = std::move(shard_rows),
+         wcdp_in = std::move(shard_wcdp)] {
+          return Traits::run(arenas.local(pool).acquire(profile), sweep, axes,
+                             seed, point, std::span(rows_in),
+                             std::span(wcdp_in), cancel);
         }));
   }
   std::optional<Error> first_error;

@@ -1,5 +1,8 @@
 #include "core/export.hpp"
 
+#include <algorithm>
+
+#include "core/campaign.hpp"
 #include "dram/data_pattern.hpp"
 
 namespace vppstudy::core {
@@ -21,7 +24,19 @@ void write_point_json(common::JsonWriter& json, const AxisPoint& point,
   json.kv("temperature_c", point.resolved_temperature(phase));
   json.kv("hammer_count", point.hammer_count);
   json.kv("act_to_act_ns", point.act_to_act_ns);
+  // Present only on pattern-axis points, so pattern-free grid documents are
+  // byte-identical to the pre-pattern encoding.
+  if (point.pattern_hash != 0) {
+    json.kv("pattern_hash", u64_hex(point.pattern_hash));
+  }
   json.end_object();
+}
+
+/// A grid carries a pattern axis iff any of its points does; the CSV schema
+/// grows the pattern column only then (same byte-compat rule as above).
+bool grid_has_patterns(const HammerGrid& grid) {
+  return std::any_of(grid.points.begin(), grid.points.end(),
+                     [](const AxisPoint& p) { return p.pattern_hash != 0; });
 }
 
 template <typename Grid>
@@ -44,14 +59,21 @@ void write_grid_header(common::JsonWriter& json, std::string_view kind,
 }  // namespace
 
 common::CsvWriter grid_csv(const HammerGrid& grid) {
-  common::CsvWriter csv({"module", "vpp_v", "temperature_c", "hammer_count",
-                         "act_to_act_ns", "row", "wcdp", "hc_first", "ber"});
+  const bool patterns = grid_has_patterns(grid);
+  std::vector<std::string> header{"module", "vpp_v", "temperature_c",
+                                  "hammer_count", "act_to_act_ns"};
+  if (patterns) header.emplace_back("pattern_hash");
+  for (const char* column : {"row", "wcdp", "hc_first", "ber"}) {
+    header.emplace_back(column);
+  }
+  common::CsvWriter csv(std::move(header));
   for (std::size_t p = 0; p < grid.points.size(); ++p) {
     for (std::size_t i = 0; i < grid.rows.size(); ++i) {
       const auto& cell = grid.cells[p][i];
       csv.begin_row();
       csv.add(grid.module_name);
       write_point_fields(csv, grid.points[p], JobPhase::kRowHammer);
+      if (patterns) csv.add(u64_hex(grid.points[p].pattern_hash));
       csv.add(static_cast<std::uint64_t>(grid.rows[i]));
       csv.add(dram::pattern_name(grid.wcdp[i]));
       csv.add(cell.hc_first);

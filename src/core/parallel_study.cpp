@@ -7,6 +7,7 @@
 #include "common/units.hpp"
 #include "core/campaign.hpp"
 #include "dram/mapping.hpp"
+#include "harness/attack_patterns.hpp"
 #include "harness/retention_test.hpp"
 #include "harness/rowhammer_test.hpp"
 #include "harness/trcd_test.hpp"
@@ -152,6 +153,88 @@ common::Expected<HammerCell> run_hammer_rows(
     const common::CancelToken& cancel) {
   return run_hammer_rows(session, sweep, seed, AxisPoint{vpp_v}, rows, wcdp,
                          cancel);
+}
+
+common::Expected<HammerCell> run_pattern_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    const AxisPoint& point, const harness::PatternSpec& spec,
+    std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp,
+    const common::CancelToken& cancel) {
+  const dram::ModuleProfile& profile = session.module().profile();
+  const std::uint64_t vpp_mv = vpp_millivolts(point.vpp_v);
+  const harness::RowHammerConfig config = hammer_config_at(sweep, point);
+  HammerCell out;
+  out.rows.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (cancel.cancelled()) {
+      return Error{ErrorCode::kCancelled, "pattern shard cancelled"}
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
+    // Unlike the refresh-free uniform path, a pattern attack issues REF, so
+    // TRR tracker state would leak from one victim's attack into the next.
+    // A full per-row reset keeps each result a pure function of its row key
+    // (reset_for_job is asserted bit-equal to a fresh session), which is
+    // what lets callers regroup rows into any shard slices.
+    session.reset_for_job();
+    if (auto st = setup_shard_session(
+            session, point.resolved_temperature(JobPhase::kRowHammer),
+            point.vpp_v);
+        !st.ok()) {
+      return std::move(st)
+          .error()
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv))
+          .with_context("pattern shard setup");
+    }
+    // A spec whose widest offset falls off the bank at this victim cannot
+    // attack it: record a zero-flip row instead of failing the campaign, so
+    // every pattern is scored over the same row sample (edge rows simply
+    // contribute nothing for patterns too wide to reach them).
+    const auto& mapping = session.module().mapping();
+    const std::int64_t victim_phys =
+        static_cast<std::int64_t>(mapping.logical_to_physical(rows[i]));
+    bool fits = true;
+    for (const harness::AggressorSpec& a : spec.aggressors) {
+      const std::int64_t phys = victim_phys + a.offset;
+      if (phys < 0 || phys >= static_cast<std::int64_t>(mapping.rows())) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      out.rows.push_back({rows[i], wcdp[i], 0, 0.0});
+      out.counts += session.counters();
+      continue;
+    }
+    session.set_noise_stream(point_stream_seed(
+        seed, profile.seed, JobPhase::kRowHammer, rows[i], point));
+    harness::AttackConfig attack;
+    attack.kind = harness::AttackKind::kFuzzed;
+    attack.pattern = &spec;
+    attack.hammer_count = config.ber_hc;
+    attack.victim_pattern = wcdp[i];
+    auto r = harness::run_attack(session, sweep.sampling.bank, rows[i], attack);
+    if (!r) {
+      return std::move(r)
+          .error()
+          .with_module(profile.name)
+          .with_vpp_mv(static_cast<std::int64_t>(vpp_mv));
+    }
+    harness::RowHammerRowResult rr;
+    rr.row = rows[i];
+    rr.wcdp = wcdp[i];
+    rr.hc_first = r->total_flips;
+    rr.ber = r->victim_rows == 0
+                 ? 0.0
+                 : static_cast<double>(r->total_flips) /
+                       (static_cast<double>(r->victim_rows) *
+                        static_cast<double>(dram::kBitsPerRow));
+    out.rows.push_back(rr);
+    out.counts += session.counters();
+  }
+  return out;
 }
 
 common::Expected<TrcdCell> run_trcd_rows(softmc::Session& session,

@@ -142,6 +142,22 @@ struct HammerCell {
     std::span<const dram::DataPattern> wcdp,
     const common::CancelToken& cancel = {});
 
+/// Non-uniform pattern form of the hammer shard: each sampled row is the
+/// victim of one harness::AttackKind::kFuzzed attack running `spec`, scored
+/// by post-TRR flips. Result shape reuses RowHammerRowResult so manifests,
+/// caches, and grids carry pattern cells unchanged: hc_first holds the
+/// post-TRR flip count across the pattern's victim set (the fuzzer's
+/// fitness), ber the corresponding bit error rate. `point.pattern_hash` must
+/// equal spec.spec_hash(). Because the pattern path issues REF (TRR acts),
+/// the session is fully reset per row -- results stay pure functions of the
+/// row keys and shard regrouping stays byte-identical.
+[[nodiscard]] common::Expected<HammerCell> run_pattern_rows(
+    softmc::Session& session, const SweepConfig& sweep, std::uint64_t seed,
+    const AxisPoint& point, const harness::PatternSpec& spec,
+    std::span<const std::uint32_t> rows,
+    std::span<const dram::DataPattern> wcdp,
+    const common::CancelToken& cancel = {});
+
 /// One row-range slice of a (module, VPP level) tRCD cell (Alg. 2).
 struct TrcdCell {
   std::vector<harness::TrcdRowResult> rows;

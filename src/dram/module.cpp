@@ -710,6 +710,45 @@ Status Module::hammer_pair(std::uint32_t bank, std::uint32_t logical_row_a,
   return Status::ok_status();
 }
 
+Status Module::hammer_single(std::uint32_t bank, std::uint32_t logical_row,
+                             std::uint64_t count, double act_to_act_ns,
+                             double& now_ns) {
+  if (auto st = check_responsive(); !st.ok()) return st;
+  if (bank >= banks_.size()) {
+    return range_error("bank", bank,
+                       static_cast<std::uint32_t>(banks_.size()));
+  }
+  BankState& bs = banks_[bank];
+  if (bs.open_physical_row >= 0) {
+    return Error{ErrorCode::kDeviceProtocol,
+                 "hammer loop needs a precharged bank"}
+        .with_module(profile_.name)
+        .with_bank(static_cast<std::int32_t>(bank))
+        .with_op("HAMMER");
+  }
+  const std::uint32_t phys = mapping_.logical_to_physical(logical_row);
+
+  // Same bulk-accounting argument as hammer_pair: the aggressor itself is
+  // re-restored every activation, so settling its physics at the loop
+  // boundaries is exact while neighbor disturbance accrues via acts[].
+  RowState& rs = row_state(bs, bank, phys);
+  sense_and_restore(bank, bs, phys, rs, now_ns);
+
+  const double on_ns = act_to_act_ns - 13.5;
+  const double weight =
+      physics_.on_time_factor(on_ns) * static_cast<double>(count);
+  bs.acts[phys] += weight;
+  stats_.activates += count;
+  stats_.precharges += count;
+  if (trr_enabled_ && profile_.has_trr) {
+    trr_.observe_activates(bank, phys, count);
+  }
+  now_ns += static_cast<double>(count) * act_to_act_ns;
+
+  sense_and_restore(bank, bs, phys, rs, now_ns);
+  return Status::ok_status();
+}
+
 std::vector<std::uint8_t> Module::debug_row_snapshot(std::uint32_t bank,
                                                      std::uint32_t logical_row,
                                                      double now_ns) {

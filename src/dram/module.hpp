@@ -77,6 +77,12 @@ class Module {
   }
 
   void set_trr_enabled(bool enabled) noexcept { trr_enabled_ = enabled; }
+  /// TRR tracker-dynamics tally (insertions/evictions/displaced acts/
+  /// mitigations) -- the basis of per-pattern TRR-bypass accounting: snapshot
+  /// before and after an attack and diff.
+  [[nodiscard]] const TrrEngine::Counters& trr_counters() const noexcept {
+    return trr_.counters();
+  }
 
   /// Test/bench hook: toggle the reference full-row scan (see Options).
   void set_reference_sensing(bool on) noexcept {
@@ -148,6 +154,16 @@ class Module {
                                            std::uint64_t count,
                                            double act_to_act_ns,
                                            double& now_ns);
+
+  /// Single-row hammer fast path: activate+precharge one row `count` times.
+  /// The burst primitive of non-uniform attack patterns
+  /// (harness/pattern_spec), where each aggressor is hammered on its own
+  /// schedule rather than in interleaved pairs.
+  [[nodiscard]] common::Status hammer_single(std::uint32_t bank,
+                                             std::uint32_t logical_row,
+                                             std::uint64_t count,
+                                             double act_to_act_ns,
+                                             double& now_ns);
 
   /// Test/debug support: direct snapshot of a row's stored bytes, evaluating
   /// pending physics first (as an activation at `now_ns` would).

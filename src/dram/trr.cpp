@@ -16,15 +16,19 @@ void TrrEngine::observe_activates(std::uint32_t bank,
                                   std::uint32_t physical_row,
                                   std::uint64_t count) {
   if (bank >= tables_.size() || count == 0) return;
+  counters_.observed_acts += count;
   auto& table = tables_[bank];
   for (auto& e : table) {
     if (e.row == physical_row) {
       e.count += count;
+      counters_.tracked_acts += count;
       return;
     }
   }
   if (table.size() < options_.table_entries) {
     table.push_back({physical_row, count});
+    counters_.tracked_acts += count;
+    ++counters_.insertions;
     return;
   }
   // Misra-Gries: decrement everyone by the smaller of (count, min count);
@@ -36,8 +40,13 @@ void TrrEngine::observe_activates(std::uint32_t bank,
     const std::uint64_t dec = min_it->count;
     for (auto& e : table) e.count -= std::min(e.count, dec);
     *min_it = {physical_row, count - dec};
+    counters_.tracked_acts += count - dec;
+    counters_.displaced_acts += dec;
+    ++counters_.insertions;
+    ++counters_.evictions;
   } else {
     for (auto& e : table) e.count -= std::min(e.count, count);
+    counters_.displaced_acts += count;
   }
 }
 
@@ -53,6 +62,7 @@ std::optional<TrrEngine::Mitigation> TrrEngine::on_refresh() {
     if (hot != table.end() && hot->count >= options_.act_threshold) {
       Mitigation m{bank, hot->row};
       hot->count = 0;
+      ++counters_.mitigations;
       refresh_scan_bank_ = (bank + 1) % static_cast<std::uint32_t>(tables_.size());
       return m;
     }
@@ -63,6 +73,7 @@ std::optional<TrrEngine::Mitigation> TrrEngine::on_refresh() {
 void TrrEngine::reset() {
   for (auto& t : tables_) t.clear();
   refresh_scan_bank_ = 0;
+  counters_ = Counters{};
 }
 
 }  // namespace vppstudy::dram

@@ -21,7 +21,24 @@ class TrrEngine {
     std::uint64_t act_threshold = 512;  ///< count needed to earn a mitigation
   };
 
+  /// Tracker-dynamics tally. Patterns are judged on these: a TRR-bypassing
+  /// pattern keeps its real aggressors out of the table (high displaced_acts
+  /// relative to its activations) or below threshold (zero mitigations), a
+  /// benign one is sampled and mitigated. Pure integer sums, so per-pattern
+  /// deltas aggregate deterministically.
+  struct Counters {
+    std::uint64_t observed_acts = 0;   ///< activations seen by the tracker
+    std::uint64_t tracked_acts = 0;    ///< acts credited to a table entry
+    std::uint64_t displaced_acts = 0;  ///< acts absorbed by decrement/eviction
+    std::uint64_t insertions = 0;      ///< rows entering the table
+    std::uint64_t evictions = 0;       ///< rows displaced from a full table
+    std::uint64_t mitigations = 0;     ///< neighbor refreshes issued on REF
+    friend bool operator==(const Counters&, const Counters&) = default;
+  };
+
   TrrEngine(std::uint32_t banks, Options options);
+
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
   /// Called on every ACT.
   void observe_activate(std::uint32_t bank, std::uint32_t physical_row);
@@ -47,6 +64,7 @@ class TrrEngine {
   Options options_;
   std::vector<std::vector<Entry>> tables_;  // per bank
   std::uint32_t refresh_scan_bank_ = 0;
+  Counters counters_;
 };
 
 }  // namespace vppstudy::dram

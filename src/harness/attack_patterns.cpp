@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/experiment.hpp"
+#include "harness/pattern_spec.hpp"
 
 namespace vppstudy::harness {
 
@@ -14,6 +15,7 @@ const char* attack_name(AttackKind kind) noexcept {
     case AttackKind::kSingleSided: return "single-sided";
     case AttackKind::kDoubleSided: return "double-sided";
     case AttackKind::kManySided: return "many-sided";
+    case AttackKind::kFuzzed: return "fuzzed";
   }
   return "?";
 }
@@ -26,12 +28,130 @@ std::uint32_t logical_at(const dram::RowMapping& mapping,
   return mapping.physical_to_logical(physical);
 }
 
+/// Periods compiled per Program: bounds program memory for long attacks
+/// while keeping the REF schedule seamless across chunk boundaries (each
+/// chunk starts exactly where the previous period grid left off).
+constexpr std::uint64_t kPeriodsPerChunk = 128;
+
+common::Expected<AttackOutcome> run_fuzzed_attack(softmc::Session& session,
+                                                  std::uint32_t bank,
+                                                  std::uint32_t victim_row,
+                                                  const AttackConfig& config) {
+  const PatternSpec& spec = *config.pattern;
+  VPP_RETURN_IF_ERROR_CTX(spec.validate(), "fuzzed attack pattern");
+
+  const auto& mapping = session.module().mapping();
+  const std::uint32_t rows = mapping.rows();
+  const std::uint32_t victim_phys = mapping.logical_to_physical(victim_row);
+
+  // Aggressors at the spec's physical offsets from the victim; victims are
+  // the aggressors' physical neighbors (minus the aggressors themselves),
+  // plus the nominal victim even when no aggressor sits adjacent to it.
+  std::vector<std::uint32_t> aggressor_phys;
+  for (const AggressorSpec& a : spec.aggressors) {
+    const std::int64_t phys = static_cast<std::int64_t>(victim_phys) + a.offset;
+    if (phys < 0 || phys >= static_cast<std::int64_t>(rows)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "fuzzed pattern does not fit the bank"}
+          .with_bank_row(static_cast<std::int32_t>(bank), victim_row);
+    }
+    aggressor_phys.push_back(static_cast<std::uint32_t>(phys));
+  }
+  std::vector<std::uint32_t> aggressors;  // logical, schedule order
+  aggressors.reserve(aggressor_phys.size());
+  for (const std::uint32_t p : aggressor_phys) {
+    aggressors.push_back(logical_at(mapping, p));
+  }
+  std::vector<std::uint32_t> victim_phys_rows{victim_phys};
+  for (const std::uint32_t p : aggressor_phys) {
+    for (const std::int64_t n :
+         {static_cast<std::int64_t>(p) - 1, static_cast<std::int64_t>(p) + 1}) {
+      if (n < 0 || n >= static_cast<std::int64_t>(rows)) continue;
+      const auto np = static_cast<std::uint32_t>(n);
+      if (std::find(aggressor_phys.begin(), aggressor_phys.end(), np) !=
+          aggressor_phys.end()) {
+        continue;
+      }
+      if (std::find(victim_phys_rows.begin(), victim_phys_rows.end(), np) ==
+          victim_phys_rows.end()) {
+        victim_phys_rows.push_back(np);
+      }
+    }
+  }
+  std::vector<std::uint32_t> victims;  // logical
+  victims.reserve(victim_phys_rows.size());
+  for (const std::uint32_t p : victim_phys_rows) {
+    victims.push_back(logical_at(mapping, p));
+  }
+
+  const auto victim_image =
+      dram::pattern_row(config.victim_pattern, dram::kBytesPerRow);
+  const auto aggressor_image = dram::pattern_row(
+      dram::inverse_pattern(config.victim_pattern), dram::kBytesPerRow);
+  for (const std::uint32_t v : victims) {
+    VPP_RETURN_IF_ERROR_CTX(session.init_row(bank, v, victim_image),
+                            "attack victim init");
+  }
+  for (const std::uint32_t a : aggressors) {
+    VPP_RETURN_IF_ERROR_CTX(session.init_row(bank, a, aggressor_image),
+                            "attack aggressor init");
+  }
+
+  const double start_ns = session.clock_ns();
+  const dram::TrrEngine::Counters trr_before = session.module().trr_counters();
+
+  // Same total activation budget as a uniform double-sided attack with this
+  // hammer_count (which issues 2 * hammer_count ACTs).
+  std::uint64_t periods =
+      pattern_periods_for_budget(spec, 2 * config.hammer_count);
+  while (periods > 0) {
+    const std::uint64_t now_periods = std::min(periods, kPeriodsPerChunk);
+    const softmc::Program p = compile_pattern(spec, session.timing(), bank,
+                                              aggressors, now_periods);
+    if (auto res = session.execute(p); !res.status.ok()) {
+      return std::move(res.status).error().with_context("fuzzed hammer");
+    }
+    periods -= now_periods;
+  }
+
+  AttackOutcome outcome;
+  outcome.elapsed_ms = (session.clock_ns() - start_ns) / 1e6;
+  const dram::TrrEngine::Counters trr_after = session.module().trr_counters();
+  outcome.trr_mitigations = trr_after.mitigations - trr_before.mitigations;
+  outcome.trr_insertions = trr_after.insertions - trr_before.insertions;
+  outcome.trr_evictions = trr_after.evictions - trr_before.evictions;
+  outcome.trr_displaced_acts =
+      trr_after.displaced_acts - trr_before.displaced_acts;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    auto observed = session.read_row(bank, victims[i], kSafeReadTrcdNs);
+    if (!observed) {
+      return std::move(observed).error().with_context("attack readback");
+    }
+    const std::uint64_t flips = count_bit_flips(victim_image, *observed);
+    outcome.total_flips += flips;
+    ++outcome.victim_rows;
+    if (victims[i] == victim_row) outcome.victim_flips = flips;
+  }
+  outcome.trr_evaded =
+      outcome.total_flips > 0 && outcome.trr_mitigations == 0;
+  return outcome;
+}
+
 }  // namespace
 
 common::Expected<AttackOutcome> run_attack(softmc::Session& session,
                                            std::uint32_t bank,
                                            std::uint32_t victim_row,
                                            const AttackConfig& config) {
+  if (config.kind == AttackKind::kFuzzed) {
+    if (config.pattern == nullptr) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "fuzzed attack needs a pattern"}
+          .with_bank_row(static_cast<std::int32_t>(bank), victim_row);
+    }
+    return run_fuzzed_attack(session, bank, victim_row, config);
+  }
+
   const auto& mapping = session.module().mapping();
   const std::uint32_t rows = mapping.rows();
   const std::uint32_t victim_phys = mapping.logical_to_physical(victim_row);
@@ -77,6 +197,8 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
       }
       break;
     }
+    case AttackKind::kFuzzed:
+      break;  // dispatched to run_fuzzed_attack above
   }
 
   // Initialize victims with the pattern, aggressors with its inverse.
@@ -155,6 +277,7 @@ common::Expected<AttackOutcome> run_attack(softmc::Session& session,
     }
     const std::uint64_t flips = count_bit_flips(victim_image, *observed);
     outcome.total_flips += flips;
+    ++outcome.victim_rows;
     if (victims[i] == victim_row || i == 0) outcome.victim_flips = flips;
   }
   return outcome;

@@ -15,10 +15,13 @@
 
 namespace vppstudy::harness {
 
+struct PatternSpec;
+
 enum class AttackKind {
   kSingleSided,  ///< one aggressor adjacent to the victim
   kDoubleSided,  ///< both adjacent aggressors (the study's workhorse)
   kManySided,    ///< TRRespass-style: N aggressor pairs straddling N victims
+  kFuzzed,       ///< non-uniform PatternSpec schedule (harness/pattern_spec)
 };
 
 [[nodiscard]] const char* attack_name(AttackKind kind) noexcept;
@@ -34,14 +37,36 @@ struct AttackConfig {
   /// Interleave REF commands at tREFI during the attack (gives TRR its
   /// chance to fight back; the characterization study never does this).
   bool refresh_during_attack = false;
+  /// kFuzzed only: the pattern to run (non-owning; must outlive the call and
+  /// be valid per PatternSpec::validate). Aggressors are laid out at the
+  /// spec's physical offsets from the victim; the spec's own REF schedule is
+  /// always honored, so TRR is inherently in play regardless of
+  /// refresh_during_attack. hammer_count is the per-neighbor activation
+  /// budget: the pattern gets 2 * hammer_count total ACTs, exactly what a
+  /// uniform double-sided attack with the same hammer_count issues.
+  const PatternSpec* pattern = nullptr;
 };
 
 struct AttackOutcome {
   /// Flipped bits in the primary victim row.
   std::uint64_t victim_flips = 0;
-  /// Flipped bits across all victim rows of a many-sided pattern.
+  /// Flipped bits across all victim rows of a many-sided/fuzzed pattern.
   std::uint64_t total_flips = 0;
+  /// Victim rows read back (total_flips / (victim_rows * kBitsPerRow) is the
+  /// attack's post-TRR bit error rate).
+  std::uint64_t victim_rows = 0;
   std::uint64_t trr_mitigations = 0;
+  /// TRR tracker-dynamics deltas over the attack (dram::TrrEngine::Counters
+  /// diff): per-pattern bypass accounting. A crowd-out pattern shows high
+  /// displaced_acts with zero mitigations; a sampled pattern shows
+  /// insertions followed by mitigations.
+  std::uint64_t trr_insertions = 0;
+  std::uint64_t trr_evictions = 0;
+  std::uint64_t trr_displaced_acts = 0;
+  /// Victims flipped while TRR (enabled, fed REFs) issued zero mitigations:
+  /// the tracker never caught the aggressors. The corpus-regression CI step
+  /// pins this verdict per corpus pattern.
+  bool trr_evaded = false;
   double elapsed_ms = 0.0;
 };
 

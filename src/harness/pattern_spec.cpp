@@ -1,0 +1,271 @@
+#include "harness/pattern_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace vppstudy::harness {
+
+using common::Error;
+using common::ErrorCode;
+
+namespace {
+
+/// Nominal ACTs per tREFI (7800ns / 45.5ns tRC). validate() requires at
+/// least this REF cadence so no spec can "win" by simply issuing fewer
+/// refreshes than a real memory controller would -- TRR must get its
+/// nominal number of mitigation opportunities per activation.
+constexpr std::uint64_t kNominalActsPerTrefi = 171;
+
+std::uint64_t quantized_spacing_ps(double ns) noexcept {
+  return static_cast<std::uint64_t>(std::llround(ns * 1000.0));
+}
+
+Error field_error(std::string what) {
+  return Error{ErrorCode::kInvalidArgument,
+               "pattern spec: " + std::move(what)};
+}
+
+}  // namespace
+
+std::uint64_t PatternSpec::spec_hash() const noexcept {
+  std::uint64_t h = common::hash_key(
+      {0x70617453ULL,  // "patS" domain separator
+       slots_per_period, refs_per_period, quantized_spacing_ps(act_to_act_ns),
+       aggressors.size()});
+  for (const AggressorSpec& a : aggressors) {
+    h = common::hash_accumulate(
+        h, static_cast<std::uint64_t>(static_cast<std::int64_t>(a.offset)));
+    h = common::hash_accumulate(h, a.phase);
+    h = common::hash_accumulate(h, a.frequency);
+    h = common::hash_accumulate(h, a.amplitude);
+  }
+  return h != 0 ? h : 1;
+}
+
+std::uint64_t PatternSpec::acts_per_period() const noexcept {
+  std::uint64_t acts = 0;
+  for (const AggressorSpec& a : aggressors) {
+    acts += static_cast<std::uint64_t>(a.frequency) * a.amplitude;
+  }
+  return acts;
+}
+
+common::Status PatternSpec::validate() const {
+  if (slots_per_period == 0 || slots_per_period > kMaxSlots) {
+    return field_error("slots_per_period must be in [1, " +
+                       std::to_string(kMaxSlots) + "]");
+  }
+  if (refs_per_period == 0 || refs_per_period > slots_per_period) {
+    return field_error("refs_per_period must be in [1, slots_per_period]");
+  }
+  if (!(act_to_act_ns >= 0.0) || act_to_act_ns > 10000.0) {
+    return field_error("act_to_act_ns must be in [0, 10000]");
+  }
+  if (aggressors.empty() || aggressors.size() > kMaxAggressors) {
+    return field_error("aggressor count must be in [1, " +
+                       std::to_string(kMaxAggressors) + "]");
+  }
+  for (std::size_t i = 0; i < aggressors.size(); ++i) {
+    const AggressorSpec& a = aggressors[i];
+    const std::string at = "aggressor " + std::to_string(i) + ": ";
+    if (a.offset == 0) return field_error(at + "offset must be non-zero");
+    if (a.offset < -kMaxOffset || a.offset > kMaxOffset) {
+      return field_error(at + "offset must be in [-" +
+                         std::to_string(kMaxOffset) + ", " +
+                         std::to_string(kMaxOffset) + "]");
+    }
+    if (a.phase >= slots_per_period) {
+      return field_error(at + "phase must be below slots_per_period");
+    }
+    if (a.frequency == 0 || a.frequency > slots_per_period) {
+      return field_error(at + "frequency must be in [1, slots_per_period]");
+    }
+    if (a.amplitude == 0 || a.amplitude > kMaxAmplitude) {
+      return field_error(at + "amplitude must be in [1, " +
+                         std::to_string(kMaxAmplitude) + "]");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (aggressors[j].offset == a.offset) {
+        return field_error(at + "duplicate offset " +
+                           std::to_string(a.offset));
+      }
+    }
+  }
+  // One REF per kNominalActsPerTrefi activations, rounded up: the spec may
+  // refresh MORE often than a real controller, never less.
+  const std::uint64_t min_refs =
+      (acts_per_period() + kNominalActsPerTrefi - 1) / kNominalActsPerTrefi;
+  if (refs_per_period < min_refs) {
+    return field_error("refs_per_period " + std::to_string(refs_per_period) +
+                       " is below the nominal refresh cadence (" +
+                       std::to_string(min_refs) + " REFs for " +
+                       std::to_string(acts_per_period()) +
+                       " ACTs per period)");
+  }
+  return common::Status::ok_status();
+}
+
+// --- JSON --------------------------------------------------------------------
+
+void pattern_spec_json(common::JsonWriter& json, const PatternSpec& spec) {
+  json.begin_object();
+  if (!spec.name.empty()) json.kv("name", spec.name);
+  json.kv("slots_per_period", static_cast<std::uint64_t>(spec.slots_per_period));
+  json.kv("refs_per_period", static_cast<std::uint64_t>(spec.refs_per_period));
+  json.kv("act_to_act_ns", spec.act_to_act_ns);
+  json.key("aggressors").begin_array();
+  for (const AggressorSpec& a : spec.aggressors) {
+    json.begin_object();
+    json.kv("offset", static_cast<std::int64_t>(a.offset));
+    json.kv("phase", static_cast<std::uint64_t>(a.phase));
+    json.kv("frequency", static_cast<std::uint64_t>(a.frequency));
+    json.kv("amplitude", static_cast<std::uint64_t>(a.amplitude));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+common::JsonWriter pattern_spec_document(const PatternSpec& spec) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.kv("schema", std::string(PatternSpec::kSchemaPrefix) +
+                        std::to_string(PatternSpec::kVersion));
+  json.key("spec");
+  pattern_spec_json(json, spec);
+  json.end_object();
+  return json;
+}
+
+common::Result<PatternSpec> parse_pattern_spec(const common::JsonValue& value) {
+  if (!value.is_object()) {
+    return field_error("spec is not an object");
+  }
+  PatternSpec spec;
+  spec.name = value.string_or("name", "");
+  spec.slots_per_period =
+      static_cast<std::uint32_t>(value.uint_or("slots_per_period", 0));
+  spec.refs_per_period =
+      static_cast<std::uint32_t>(value.uint_or("refs_per_period", 0));
+  spec.act_to_act_ns = value.number_or("act_to_act_ns", 0.0);
+  const common::JsonValue* aggressors = value.find("aggressors");
+  if (aggressors == nullptr || !aggressors->is_array()) {
+    return field_error("missing 'aggressors' array");
+  }
+  for (const common::JsonValue& item : aggressors->items()) {
+    if (!item.is_object()) {
+      return field_error("aggressor entry is not an object");
+    }
+    AggressorSpec a;
+    a.offset = static_cast<std::int32_t>(item.number_or("offset", 0.0));
+    a.phase = static_cast<std::uint32_t>(item.uint_or("phase", 0));
+    a.frequency = static_cast<std::uint32_t>(item.uint_or("frequency", 0));
+    a.amplitude = static_cast<std::uint32_t>(item.uint_or("amplitude", 0));
+    spec.aggressors.push_back(a);
+  }
+  VPP_RETURN_IF_ERROR(spec.validate());
+  return spec;
+}
+
+common::Result<PatternSpec> parse_pattern_spec_document(
+    const common::JsonValue& doc) {
+  if (!doc.is_object()) return field_error("document is not an object");
+  const std::string schema = doc.string_or("schema", "");
+  if (schema.rfind(PatternSpec::kSchemaPrefix, 0) != 0) {
+    return field_error("unrecognized schema '" + schema + "'");
+  }
+  const int version = std::atoi(
+      schema.substr(PatternSpec::kSchemaPrefix.size()).c_str());
+  if (version < 1 || version > PatternSpec::kVersion) {
+    return field_error("unsupported version " + std::to_string(version));
+  }
+  const common::JsonValue* spec = doc.find("spec");
+  if (spec == nullptr) return field_error("missing 'spec' object");
+  return parse_pattern_spec(*spec);
+}
+
+common::Result<PatternSpec> parse_pattern_spec_text(std::string_view text) {
+  VPP_ASSIGN_OR_RETURN(common::JsonValue doc,
+                       common::parse_json(std::string(text)));
+  if (doc.is_object() && doc.find("schema") != nullptr) {
+    return parse_pattern_spec_document(doc);
+  }
+  return parse_pattern_spec(doc);
+}
+
+// --- Scheduling & compilation ------------------------------------------------
+
+std::vector<PatternEvent> pattern_schedule(const PatternSpec& spec) {
+  std::vector<PatternEvent> events;
+  for (std::uint32_t i = 0; i < spec.aggressors.size(); ++i) {
+    const AggressorSpec& a = spec.aggressors[i];
+    for (std::uint32_t k = 0; k < a.frequency; ++k) {
+      const std::uint32_t slot =
+          (a.phase + static_cast<std::uint64_t>(k) * spec.slots_per_period /
+                         a.frequency) %
+          spec.slots_per_period;
+      events.push_back({static_cast<std::uint32_t>(slot), i});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const PatternEvent& x, const PatternEvent& y) {
+              return x.slot != y.slot ? x.slot < y.slot
+                                      : x.aggressor < y.aggressor;
+            });
+  return events;
+}
+
+softmc::Program compile_pattern(const PatternSpec& spec,
+                                const dram::Ddr4Timing& timing,
+                                std::uint32_t bank,
+                                std::span<const std::uint32_t> aggressor_rows,
+                                std::uint64_t periods) {
+  const std::vector<PatternEvent> schedule = pattern_schedule(spec);
+  const double spacing =
+      spec.act_to_act_ns > 0.0 ? spec.act_to_act_ns : timing.t_rc_ns;
+  softmc::Program p(timing);
+  p.reserve(periods * (schedule.size() + spec.refs_per_period));
+  for (std::uint64_t period = 0; period < periods; ++period) {
+    std::size_t ev = 0;
+    for (std::uint32_t j = 1; j <= spec.refs_per_period; ++j) {
+      // REF boundaries are evenly spaced slot positions; the last one sits
+      // at the period edge so every event precedes some REF.
+      const std::uint32_t boundary =
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(j) *
+                                     spec.slots_per_period /
+                                     spec.refs_per_period);
+      while (ev < schedule.size() && schedule[ev].slot < boundary) {
+        const PatternEvent& e = schedule[ev];
+        p.hammer_single(bank, aggressor_rows[e.aggressor],
+                        spec.aggressors[e.aggressor].amplitude, spacing);
+        ++ev;
+      }
+      p.ref(timing.t_rfc_ns);
+    }
+  }
+  return p;
+}
+
+std::uint64_t pattern_periods_for_budget(const PatternSpec& spec,
+                                         std::uint64_t act_budget) noexcept {
+  const std::uint64_t per_period = spec.acts_per_period();
+  if (per_period == 0) return 1;
+  return std::max<std::uint64_t>(1, act_budget / per_period);
+}
+
+PatternSpec uniform_double_sided_spec() {
+  PatternSpec spec;
+  spec.name = "uniform-double-sided";
+  spec.slots_per_period = 64;
+  spec.refs_per_period = 1;
+  spec.aggressors = {
+      {-1, 0, 32, 1},
+      {+1, 1, 32, 1},
+  };
+  return spec;
+}
+
+}  // namespace vppstudy::harness

@@ -1,0 +1,142 @@
+// Non-uniform attack-pattern specifications (Blacksmith/ZenHammer-style).
+//
+// The characterization study only hammers uniformly (double-sided, fixed
+// ACT-to-ACT cadence). Modern TRR-bypass research shows flip counts depend
+// strongly on the *structure* of aggressor accesses: which rows are touched,
+// how often per refresh interval, in what order, and with how many back-to-
+// back activations. A PatternSpec captures that structure as data:
+//
+//  * a periodic slot grid (`slots_per_period` scheduling slots per period),
+//  * per-aggressor placement: a physical row `offset` from the victim, a
+//    starting `phase` slot, a `frequency` (appearances per period) and an
+//    `amplitude` (back-to-back ACTs per appearance),
+//  * REF synchronization: `refs_per_period` REF commands per period, evenly
+//    spaced across the slot grid, so the pattern's relationship to the TRR
+//    engine's mitigation opportunities is part of the spec itself.
+//
+// Specs are plain data with a versioned JSON encoding (corpus files, campaign
+// manifests, wire requests) and a stable 64-bit `spec_hash` built from
+// integer-quantized fields only -- the hash is the pattern's identity in
+// campaign axis points, result-cache keys, and plan digests, and must be
+// identical across platforms and compilers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "dram/timing.hpp"
+#include "softmc/program.hpp"
+
+namespace vppstudy::harness {
+
+/// One aggressor row's schedule within the pattern period.
+struct AggressorSpec {
+  /// Physical-row offset from the victim (never 0; negative = above).
+  std::int32_t offset = -1;
+  /// Slot of the first appearance, in [0, slots_per_period).
+  std::uint32_t phase = 0;
+  /// Appearances per period, in [1, slots_per_period].
+  std::uint32_t frequency = 1;
+  /// Back-to-back activations per appearance (one hammer burst).
+  std::uint32_t amplitude = 1;
+
+  friend bool operator==(const AggressorSpec&, const AggressorSpec&) = default;
+};
+
+struct PatternSpec {
+  static constexpr int kVersion = 1;
+  static constexpr std::string_view kSchemaPrefix = "vppstudy-pattern-spec/";
+  /// Validation bounds: generous enough for every published pattern family,
+  /// tight enough that a fuzzed spec cannot compile into an absurd program.
+  static constexpr std::uint32_t kMaxSlots = 4096;
+  static constexpr std::uint32_t kMaxAggressors = 32;
+  static constexpr std::uint32_t kMaxAmplitude = 4096;
+  static constexpr std::int32_t kMaxOffset = 64;
+
+  /// Human label for corpus files and reports; NOT part of spec_hash.
+  std::string name;
+  std::uint32_t slots_per_period = 64;
+  std::uint32_t refs_per_period = 1;
+  /// ACT-to-ACT spacing inside bursts; 0 = the nominal tRC.
+  double act_to_act_ns = 0.0;
+  std::vector<AggressorSpec> aggressors;
+
+  /// Stable identity hash over the quantized scheduling fields (everything
+  /// but `name`). Used as the pattern coordinate of campaign axis points and
+  /// result-cache keys; never 0 for a valid spec (0 means "no pattern").
+  [[nodiscard]] std::uint64_t spec_hash() const noexcept;
+
+  /// Structural validation with typed kInvalidArgument errors naming the
+  /// offending field (empty/oversized grids, zero frequencies, aggressors
+  /// sharing a physical offset, phases outside the period, ...).
+  [[nodiscard]] common::Status validate() const;
+
+  /// Total ACTs one period issues across all aggressors.
+  [[nodiscard]] std::uint64_t acts_per_period() const noexcept;
+
+  friend bool operator==(const PatternSpec&, const PatternSpec&) = default;
+};
+
+// --- JSON encoding -----------------------------------------------------------
+// Standalone documents carry {"schema": "vppstudy-pattern-spec/1", ...};
+// embedded forms (campaign manifests, wire requests) reuse the same object
+// shape. Unknown major versions are rejected, unknown keys ignored.
+
+/// Append the spec as a JSON object to an in-progress writer (embedded form,
+/// no schema key).
+void pattern_spec_json(common::JsonWriter& json, const PatternSpec& spec);
+/// Standalone document with the schema tag.
+[[nodiscard]] common::JsonWriter pattern_spec_document(const PatternSpec& spec);
+
+/// Parse the embedded object form. Validates the result.
+[[nodiscard]] common::Result<PatternSpec> parse_pattern_spec(
+    const common::JsonValue& value);
+/// Parse a standalone document: requires and checks the schema tag.
+[[nodiscard]] common::Result<PatternSpec> parse_pattern_spec_document(
+    const common::JsonValue& doc);
+/// Parse from raw text. Malformed JSON fails with the byte-offset
+/// kParseError of common::parse_json; well-formed JSON with bad fields fails
+/// with the typed validation errors above.
+[[nodiscard]] common::Result<PatternSpec> parse_pattern_spec_text(
+    std::string_view text);
+
+// --- Scheduling & compilation ------------------------------------------------
+
+/// One scheduled hammer burst: at slot `slot`, aggressor `aggressor` (an
+/// index into spec.aggressors) issues its amplitude worth of ACTs.
+struct PatternEvent {
+  std::uint32_t slot = 0;
+  std::uint32_t aggressor = 0;
+};
+
+/// The deterministic slot schedule of one period: appearance k of aggressor
+/// i lands at slot (phase + k * slots / frequency) mod slots, and events are
+/// ordered by (slot, aggressor index). A pure function of the spec.
+[[nodiscard]] std::vector<PatternEvent> pattern_schedule(
+    const PatternSpec& spec);
+
+/// Compile `periods` periods of the pattern into a SoftMC program against a
+/// concrete aggressor layout: `aggressor_rows[i]` is the logical row of
+/// spec.aggressors[i]. Bursts become single-row hammer-loop instructions;
+/// REFs are interleaved at the spec's evenly spaced slot boundaries (the
+/// REF-synchronized schedule). The bank must be precharged on entry.
+[[nodiscard]] softmc::Program compile_pattern(
+    const PatternSpec& spec, const dram::Ddr4Timing& timing,
+    std::uint32_t bank, std::span<const std::uint32_t> aggressor_rows,
+    std::uint64_t periods);
+
+/// Periods needed to spend (at least) `act_budget` total activations; >= 1.
+[[nodiscard]] std::uint64_t pattern_periods_for_budget(
+    const PatternSpec& spec, std::uint64_t act_budget) noexcept;
+
+/// The study's uniform double-sided attack expressed as a PatternSpec: both
+/// neighbors, alternating slots, amplitude 1, one REF per period. The
+/// reference point every fuzzed pattern is scored against.
+[[nodiscard]] PatternSpec uniform_double_sided_spec();
+
+}  // namespace vppstudy::harness

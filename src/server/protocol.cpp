@@ -120,6 +120,13 @@ std::string encode_sweep_request(std::uint64_t id,
     for (const double t : request.temps) w.value(t);
     w.end_array();
   }
+  if (!request.patterns.empty()) {
+    w.key("patterns").begin_array();
+    for (const harness::PatternSpec& spec : request.patterns) {
+      harness::pattern_spec_json(w, spec);
+    }
+    w.end_array();
+  }
   return close_object(std::move(w));
 }
 
@@ -180,6 +187,19 @@ common::Result<SweepRequest> parse_sweep_request(const JsonValue& body) {
                      "temps entries must be in [-40, 120] C"};
       }
       request.temps.push_back(temp_c);
+    }
+  }
+  if (const JsonValue* patterns = body.find("patterns");
+      patterns != nullptr && patterns->is_array()) {
+    if (request.test != "rowhammer") {
+      return Error{ErrorCode::kInvalidArgument,
+                   "the pattern axis applies to rowhammer sweeps only"};
+    }
+    for (const auto& item : patterns->items()) {
+      VPP_ASSIGN_OR_RETURN(harness::PatternSpec spec,
+                           harness::parse_pattern_spec(item));
+      VPP_RETURN_IF_ERROR(spec.validate());
+      request.patterns.push_back(std::move(spec));
     }
   }
   return request;

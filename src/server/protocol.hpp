@@ -64,6 +64,11 @@ struct SweepRequest {
   /// a "*_grid" result kind. Encoded on the wire only when non-empty, so
   /// requests without the axis are byte-identical to older clients'.
   std::vector<double> temps;
+  /// Optional pattern axis (core::CampaignAxes::patterns; rowhammer only).
+  /// Every spec must pass PatternSpec::validate. Like temps, encoded on the
+  /// wire only when non-empty so pattern-free requests are byte-identical
+  /// to older clients'.
+  std::vector<harness::PatternSpec> patterns;
 };
 
 /// Expand a SweepRequest into the engine's SweepConfig. VPP levels are

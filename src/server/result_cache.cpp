@@ -59,13 +59,20 @@ std::uint64_t ResultCache::point_key(std::uint64_t digest,
   if (point.baseline()) {
     return cell_key(digest, phase, module_seed, vpp_mv, row);
   }
-  return common::hash_key(
+  std::uint64_t key = common::hash_key(
       {digest, static_cast<std::uint64_t>(phase), module_seed, vpp_mv, row,
        static_cast<std::uint64_t>(
            core::temperature_millidegrees(point.temperature_c)),
        point.hammer_count,
        static_cast<std::uint64_t>(
            core::act_to_act_picoseconds(point.act_to_act_ns))});
+  // The pattern axis folds in only when present: hash_key is a left fold,
+  // so every pre-pattern key -- and therefore every cached result of a
+  // pattern-free campaign -- is untouched by the axis existing.
+  if (point.pattern_hash != 0) {
+    key = common::hash_accumulate(key, point.pattern_hash);
+  }
+  return key;
 }
 
 std::uint64_t ResultCache::wcdp_key(std::uint64_t digest,

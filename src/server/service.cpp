@@ -249,6 +249,7 @@ common::Result<Service::Outcome> Service::sweep(const SweepRequest& request,
   core::CampaignPlan plan;
   plan.sweep = cfg;
   plan.axes.temperatures_c = request.temps;
+  plan.axes.patterns = request.patterns;
   plan.modules.push_back(*profile);
   plan.seed = request.seed;
   plan.rows_per_shard = config_.rows_per_shard;

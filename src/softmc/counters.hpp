@@ -60,6 +60,16 @@ class SessionCounters final : public SessionObserver {
     // Two aggressor rows, `count` activations each.
     counts_.hammer_activations += 2 * count;
   }
+  void on_hammer_single(std::uint32_t bank, std::uint64_t count,
+                        double act_to_act_ns, double start_ns,
+                        double end_ns) override {
+    (void)bank;
+    (void)act_to_act_ns;
+    (void)start_ns;
+    (void)end_ns;
+    // One aggressor row -- on_hammer's 2x would overcount.
+    counts_.hammer_activations += count;
+  }
   void on_violation(const TimingViolation& violation) override {
     (void)violation;
     ++counts_.timing_violations;

@@ -63,13 +63,24 @@ bool CommandDispatcher::issue_one(const Instruction& inst,
       if (inst.loop_count > 0) {
         const double start = clock_ns;
         double now = clock_ns;
-        st = module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
-                                 inst.loop_count, inst.loop_act_to_act_ns,
-                                 now);
+        // loop_row_b == row is the single-row burst encoding
+        // (Program::hammer_single); hammer_pair rejects identical rows.
+        const bool single = inst.loop_row_b == inst.row;
+        st = single ? module_.hammer_single(inst.bank, inst.row,
+                                            inst.loop_count,
+                                            inst.loop_act_to_act_ns, now)
+                    : module_.hammer_pair(inst.bank, inst.row, inst.loop_row_b,
+                                          inst.loop_count,
+                                          inst.loop_act_to_act_ns, now);
         watermark = violation_log_.size();
         for (SessionObserver* obs : observers_) {
-          obs->on_hammer(inst.bank, inst.loop_count,
-                         inst.loop_act_to_act_ns, start, now);
+          if (single) {
+            obs->on_hammer_single(inst.bank, inst.loop_count,
+                                  inst.loop_act_to_act_ns, start, now);
+          } else {
+            obs->on_hammer(inst.bank, inst.loop_count,
+                           inst.loop_act_to_act_ns, start, now);
+          }
         }
         notify_new_violations(watermark);
         const double from = clock_ns;

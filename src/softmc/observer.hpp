@@ -62,6 +62,16 @@ class SessionObserver {
     (void)start_ns;
     (void)end_ns;
   }
+  /// A single-row hammer loop retired: `count` activations of ONE row (the
+  /// burst primitive of non-uniform pattern specs, encoded as a loop with
+  /// loop_row_b == row). Defaults to forwarding into on_hammer so existing
+  /// observers keep correct timing semantics; observers that count
+  /// *activations* (which on_hammer doubles) must override.
+  virtual void on_hammer_single(std::uint32_t bank, std::uint64_t count,
+                                double act_to_act_ns, double start_ns,
+                                double end_ns) {
+    on_hammer(bank, count, act_to_act_ns, start_ns, end_ns);
+  }
   /// The timing checker flagged a JEDEC rule.
   virtual void on_violation(const TimingViolation& violation) {
     (void)violation;

@@ -94,4 +94,17 @@ Program& Program::hammer(std::uint32_t bank, std::uint32_t row_a,
   return push(i, timing_.t_rp_ns, -1.0);
 }
 
+Program& Program::hammer_single(std::uint32_t bank, std::uint32_t row,
+                                std::uint64_t count, double act_to_act_ns) {
+  Instruction i;
+  i.kind = dram::CommandKind::kActivate;
+  i.bank = bank;
+  i.row = row;
+  i.loop_row_b = row;
+  i.loop_count = count;
+  i.loop_act_to_act_ns =
+      act_to_act_ns > 0.0 ? act_to_act_ns : timing_.t_rc_ns;
+  return push(i, timing_.t_rp_ns, -1.0);
+}
+
 }  // namespace vppstudy::softmc

@@ -86,6 +86,12 @@ class Program {
   /// experiments).
   Program& hammer(std::uint32_t bank, std::uint32_t row_a, std::uint32_t row_b,
                   std::uint64_t count, double act_to_act_ns = -1.0);
+  /// Single-row hammer loop: ACT/PRE one row `count` times. Encoded as a
+  /// loop instruction with loop_row_b == row (the double-sided encoding
+  /// forbids identical rows, so the degenerate case is unambiguous). The
+  /// burst primitive of non-uniform pattern specs (harness/pattern_spec).
+  Program& hammer_single(std::uint32_t bank, std::uint32_t row,
+                         std::uint64_t count, double act_to_act_ns = -1.0);
 
  private:
   Program& push(Instruction inst, double default_delay_ns, double delay_ns);

@@ -1,0 +1,134 @@
+// Corpus regression: every pattern in tests/harness/corpus/ is run at the
+// pinned golden conditions (module B3, bank 0, victim row 700, hammer count
+// 300000, nominal VPP) and its flip counts and TRR-evasion verdict must
+// match GOLDENS.json exactly. The corpus pins the repo's attack-pattern
+// semantics: a change that drifts a TRR-bypassing pattern's flip score, or
+// flips its evasion verdict, is a behavioral break of the TRR model or the
+// pattern compiler, not a tunable -- CI's corpus-regression step runs this
+// suite explicitly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chips/module_db.hpp"
+#include "common/json.hpp"
+#include "harness/attack_patterns.hpp"
+#include "harness/pattern_spec.hpp"
+#include "softmc/session.hpp"
+
+#ifndef PATTERN_CORPUS_DIR
+#error "PATTERN_CORPUS_DIR must point at tests/harness/corpus"
+#endif
+
+namespace vppstudy::harness {
+namespace {
+
+struct GoldenEntry {
+  std::string file;
+  std::uint64_t spec_hash = 0;
+  std::uint64_t victim_flips = 0;
+  std::uint64_t total_flips = 0;
+  std::uint64_t trr_mitigations = 0;
+  bool trr_evaded = false;
+};
+
+struct Goldens {
+  std::string module;
+  std::uint32_t bank = 0;
+  std::uint32_t victim_row = 0;
+  std::uint64_t hammer_count = 0;
+  std::vector<GoldenEntry> entries;
+};
+
+Goldens load_goldens() {
+  const std::string path = std::string(PATTERN_CORPUS_DIR) + "/GOLDENS.json";
+  auto doc = common::parse_json_file(path);
+  EXPECT_TRUE(doc.has_value()) << path;
+  Goldens g;
+  if (!doc) return g;
+  EXPECT_EQ(doc->string_or("schema", ""), "vppstudy-pattern-goldens/1");
+  g.module = doc->string_or("module", "");
+  g.bank = static_cast<std::uint32_t>(doc->uint_or("bank", 0));
+  g.victim_row = static_cast<std::uint32_t>(doc->uint_or("victim_row", 0));
+  g.hammer_count = doc->uint_or("hammer_count", 0);
+  const common::JsonValue* entries = doc->find("entries");
+  EXPECT_NE(entries, nullptr);
+  if (!entries) return g;
+  for (const common::JsonValue& e : entries->items()) {
+    GoldenEntry entry;
+    entry.file = e.string_or("file", "");
+    entry.spec_hash =
+        std::strtoull(e.string_or("spec_hash", "0").c_str(), nullptr, 16);
+    entry.victim_flips = e.uint_or("victim_flips", 0);
+    entry.total_flips = e.uint_or("total_flips", 0);
+    entry.trr_mitigations = e.uint_or("trr_mitigations", 0);
+    entry.trr_evaded = e.bool_or("trr_evaded", false);
+    g.entries.push_back(std::move(entry));
+  }
+  return g;
+}
+
+TEST(PatternCorpusTest, EveryCorpusSpecMatchesItsGolden) {
+  const Goldens goldens = load_goldens();
+  ASSERT_FALSE(goldens.entries.empty());
+  const auto profile = chips::profile_by_name(goldens.module);
+  ASSERT_TRUE(profile.has_value()) << goldens.module;
+
+  // The corpus must contain at least one TRR-bypassing pattern and at least
+  // one benign (mitigated) one, or the regression has no discriminating
+  // power in either direction.
+  bool any_evaded = false;
+  bool any_mitigated = false;
+
+  for (const GoldenEntry& golden : goldens.entries) {
+    SCOPED_TRACE(golden.file);
+    const std::string path =
+        std::string(PATTERN_CORPUS_DIR) + "/" + golden.file;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto spec = parse_pattern_spec_text(text.str());
+    ASSERT_TRUE(spec.has_value()) << spec.error().to_string();
+    EXPECT_EQ(spec->spec_hash(), golden.spec_hash)
+        << "corpus file drifted from its recorded identity";
+
+    softmc::Session session(*profile);
+    AttackConfig config;
+    config.kind = AttackKind::kFuzzed;
+    config.pattern = &*spec;
+    config.hammer_count = goldens.hammer_count;
+    auto outcome =
+        run_attack(session, goldens.bank, goldens.victim_row, config);
+    ASSERT_TRUE(outcome.has_value()) << outcome.error().to_string();
+
+    EXPECT_EQ(outcome->victim_flips, golden.victim_flips);
+    EXPECT_EQ(outcome->total_flips, golden.total_flips);
+    EXPECT_EQ(outcome->trr_mitigations, golden.trr_mitigations);
+    EXPECT_EQ(outcome->trr_evaded, golden.trr_evaded);
+    any_evaded |= golden.trr_evaded;
+    any_mitigated |= !golden.trr_evaded;
+  }
+  EXPECT_TRUE(any_evaded) << "corpus lost its TRR-bypassing patterns";
+  EXPECT_TRUE(any_mitigated) << "corpus lost its benign reference patterns";
+}
+
+TEST(PatternCorpusTest, GoldensCoverEveryCorpusSpecFile) {
+  // A corpus file without a golden is an unpinned pattern; GOLDENS.json must
+  // enumerate them all (sorted, so drift shows up as a clean diff).
+  const Goldens goldens = load_goldens();
+  std::vector<std::string> recorded;
+  for (const GoldenEntry& e : goldens.entries) recorded.push_back(e.file);
+  std::vector<std::string> expected = {"burst_blaster.json", "crowd_out.json",
+                                       "decoy_light.json",
+                                       "uniform_double_sided.json"};
+  EXPECT_EQ(recorded, expected);
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

@@ -1,0 +1,140 @@
+// Fuzzer purity tests: every generated, mutated, crossed-over, or evolved
+// spec is a pure function of its inputs (bit-identical across calls) and
+// always validates. Determinism is what lets fuzz campaigns checkpoint,
+// resume, and replay in CI; validity is what lets the campaign engine run a
+// population without per-spec error handling.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "harness/pattern_fuzzer.hpp"
+#include "harness/pattern_spec.hpp"
+
+namespace vppstudy::harness {
+namespace {
+
+FuzzerConfig small_config() {
+  FuzzerConfig config;
+  config.population = 8;
+  config.elites = 2;
+  return config;
+}
+
+std::vector<ScoredSpec> score_by_rank(const std::vector<PatternSpec>& specs) {
+  std::vector<ScoredSpec> scored;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    scored.push_back({specs[i], static_cast<double>((i * 37) % 101)});
+  }
+  return scored;
+}
+
+TEST(PatternFuzzerTest, InitialPopulationIsDeterministicAndValid) {
+  const FuzzerConfig config = small_config();
+  const auto a = initial_population(42, config);
+  const auto b = initial_population(42, config);
+  EXPECT_EQ(a, b);  // bit-identical replay
+  ASSERT_EQ(a.size(), config.population);
+  // Member 0 is always the uniform double-sided reference.
+  EXPECT_EQ(a[0], uniform_double_sided_spec());
+  std::set<std::uint64_t> hashes;
+  for (const PatternSpec& spec : a) {
+    EXPECT_TRUE(spec.validate().ok()) << spec.name;
+    EXPECT_TRUE(hashes.insert(spec.spec_hash()).second)
+        << "duplicate spec_hash in initial population";
+  }
+  // A different seed explores a different population (beyond the fixed
+  // uniform reference).
+  const auto c = initial_population(43, config);
+  EXPECT_NE(a, c);
+}
+
+TEST(PatternFuzzerTest, CorpusSeedsEnterGenerationZeroAfterUniform) {
+  FuzzerConfig config = small_config();
+  PatternSpec seed_spec = uniform_double_sided_spec();
+  seed_spec.name = "corpus-seed";
+  seed_spec.aggressors[0].amplitude = 4;
+  seed_spec.aggressors[1].amplitude = 4;
+  seed_spec.refs_per_period = 2;  // REF-fairness floor for 256 ACTs/period
+  config.seeds = {seed_spec};
+  const auto population = initial_population(7, config);
+  ASSERT_GE(population.size(), 2u);
+  EXPECT_EQ(population[0], uniform_double_sided_spec());
+  EXPECT_EQ(population[1], seed_spec);
+}
+
+TEST(PatternFuzzerTest, InvalidAndDuplicateSeedsAreSkipped) {
+  FuzzerConfig config = small_config();
+  PatternSpec invalid;  // no aggressors: validate() fails
+  invalid.aggressors.clear();
+  config.seeds = {invalid, uniform_double_sided_spec()};
+  const auto seeded = initial_population(7, config);
+  // The invalid seed is dropped and the uniform duplicate deduped, so the
+  // population is exactly the unseeded one.
+  config.seeds.clear();
+  EXPECT_EQ(seeded, initial_population(7, config));
+}
+
+TEST(PatternFuzzerTest, RepairProducesValidSpecsFromGarbage) {
+  const FuzzerLimits limits;
+  PatternSpec garbage;
+  garbage.slots_per_period = 0;
+  garbage.refs_per_period = 0;
+  garbage.act_to_act_ns = -5.0;
+  garbage.aggressors = {{0, 9999, 0, 0}, {0, 9999, 0, 0}, {77, 1, 2, 3}};
+  const PatternSpec repaired = repair_pattern_spec(garbage, limits);
+  EXPECT_TRUE(repaired.validate().ok())
+      << repaired.validate().error().to_string();
+  // Repair is deterministic.
+  EXPECT_EQ(repaired, repair_pattern_spec(garbage, limits));
+}
+
+TEST(PatternFuzzerTest, MutationAndCrossoverAreDeterministicAndValid) {
+  const FuzzerLimits limits;
+  const PatternSpec a = random_pattern_spec(1, limits);
+  const PatternSpec b = random_pattern_spec(2, limits);
+  EXPECT_TRUE(a.validate().ok());
+  EXPECT_TRUE(b.validate().ok());
+  EXPECT_EQ(a, random_pattern_spec(1, limits));
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const PatternSpec m = mutate_pattern_spec(a, seed, limits);
+    EXPECT_TRUE(m.validate().ok()) << "mutation seed " << seed;
+    EXPECT_EQ(m, mutate_pattern_spec(a, seed, limits));
+    const PatternSpec x = crossover_pattern_specs(a, b, seed, limits);
+    EXPECT_TRUE(x.validate().ok()) << "crossover seed " << seed;
+    EXPECT_EQ(x, crossover_pattern_specs(a, b, seed, limits));
+  }
+}
+
+TEST(PatternFuzzerTest, EvolutionKeepsElitesAndNeverCollapses) {
+  const FuzzerConfig config = small_config();
+  auto population = initial_population(99, config);
+  for (std::uint32_t gen = 1; gen <= 4; ++gen) {
+    const auto scored = score_by_rank(population);
+    // Top scorer under (score desc, hash asc): must survive as an elite.
+    const ScoredSpec* best = &scored[0];
+    for (const ScoredSpec& s : scored) {
+      if (s.score > best->score ||
+          (s.score == best->score &&
+           s.spec.spec_hash() < best->spec.spec_hash())) {
+        best = &s;
+      }
+    }
+    population = evolve_population(scored, 99, gen, config);
+    ASSERT_EQ(population.size(), config.population);
+    EXPECT_EQ(population, evolve_population(scored, 99, gen, config));
+    std::set<std::uint64_t> hashes;
+    bool best_survived = false;
+    for (const PatternSpec& spec : population) {
+      EXPECT_TRUE(spec.validate().ok());
+      EXPECT_TRUE(hashes.insert(spec.spec_hash()).second)
+          << "population collapsed to duplicates at generation " << gen;
+      best_survived |= spec.spec_hash() == best->spec.spec_hash();
+    }
+    EXPECT_TRUE(best_survived) << "elite lost at generation " << gen;
+  }
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

@@ -1,0 +1,162 @@
+// PatternSpec contract tests: JSON round-trips for both encodings, typed
+// parse failures with byte offsets, validation errors naming the offending
+// field, and the cross-platform stability of spec_hash. The hash is the
+// pattern's identity in campaign axis points, cache keys, and manifests, so
+// its exact value for the reference patterns is pinned here: a hash change
+// silently orphans every cached result and recorded manifest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "harness/pattern_spec.hpp"
+
+namespace vppstudy::harness {
+namespace {
+
+// The corpus crowd-out pattern (tests/harness/corpus/crowd_out.json): eight
+// decoys saturate the TRR tracker while the two real aggressors ride in
+// bursts small enough to be displaced instead of inserted.
+PatternSpec crowd_out_spec() {
+  PatternSpec spec;
+  spec.name = "crowd-out";
+  spec.slots_per_period = 64;
+  const std::int32_t offs[] = {-6, -5, -4, -3, 3, 4, 5, 6};
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    spec.aggressors.push_back({offs[i], i, 1, 24});
+  }
+  spec.aggressors.push_back({-1, 8, 8, 3});
+  spec.aggressors.push_back({1, 9, 8, 3});
+  spec.refs_per_period = 2;  // ceil(240 ACTs / 171)
+  return spec;
+}
+
+TEST(PatternSpecTest, DocumentRoundTripPreservesEveryField) {
+  for (const PatternSpec& spec :
+       {uniform_double_sided_spec(), crowd_out_spec()}) {
+    const std::string text = pattern_spec_document(spec).str();
+    auto parsed = parse_pattern_spec_text(text);
+    ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+    EXPECT_EQ(*parsed, spec);
+    EXPECT_EQ(parsed->spec_hash(), spec.spec_hash());
+  }
+}
+
+TEST(PatternSpecTest, EmbeddedRoundTripPreservesEveryField) {
+  const PatternSpec spec = crowd_out_spec();
+  common::JsonWriter json;
+  json.begin_object();
+  json.key("spec");
+  pattern_spec_json(json, spec);
+  json.end_object();
+  auto doc = common::parse_json(json.str());
+  ASSERT_TRUE(doc.has_value());
+  auto parsed = parse_pattern_spec(*doc->find("spec"));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().to_string();
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(PatternSpecTest, MalformedJsonFailsWithByteOffset) {
+  auto res = parse_pattern_spec_text("{\"schema\": \"x\", ]");
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, common::ErrorCode::kParseError);
+  EXPECT_NE(res.error().message.find("at byte"), std::string::npos)
+      << res.error().message;
+}
+
+TEST(PatternSpecTest, UnknownSchemaMajorVersionRejected) {
+  std::string text = pattern_spec_document(uniform_double_sided_spec()).str();
+  const auto pos = text.find("vppstudy-pattern-spec/1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 23, "vppstudy-pattern-spec/9");
+  auto res = parse_pattern_spec_text(text);
+  ASSERT_FALSE(res.has_value());
+}
+
+TEST(PatternSpecTest, ValidationNamesTheOffendingField) {
+  PatternSpec spec = uniform_double_sided_spec();
+  spec.aggressors[0].offset = 0;
+  auto st = spec.validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.error().message.find("offset must be non-zero"),
+            std::string::npos)
+      << st.error().message;
+
+  spec = uniform_double_sided_spec();
+  spec.aggressors[1].offset = spec.aggressors[0].offset;
+  EXPECT_FALSE(spec.validate().ok());  // duplicate physical offset
+
+  spec = uniform_double_sided_spec();
+  spec.aggressors[0].phase = spec.slots_per_period;
+  EXPECT_FALSE(spec.validate().ok());
+
+  spec = uniform_double_sided_spec();
+  spec.aggressors[0].frequency = 0;
+  EXPECT_FALSE(spec.validate().ok());
+
+  spec = uniform_double_sided_spec();
+  spec.aggressors.clear();
+  EXPECT_FALSE(spec.validate().ok());
+
+  // The REF-fairness floor: a spec cannot win by skipping refreshes.
+  spec = crowd_out_spec();
+  spec.refs_per_period = 1;  // 240 ACTs/period needs >= 2
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(PatternSpecTest, ParsedSpecsAreValidated) {
+  // Well-formed JSON, invalid field: the parse itself must fail typed.
+  auto res = parse_pattern_spec_text(
+      "{\"schema\": \"vppstudy-pattern-spec/1\", \"spec\": {"
+      "\"slots_per_period\": 64, \"refs_per_period\": 1, "
+      "\"act_to_act_ns\": 0, \"aggressors\": ["
+      "{\"offset\": 0, \"phase\": 0, \"frequency\": 1, \"amplitude\": 1}"
+      "]}}");
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.error().code, common::ErrorCode::kInvalidArgument);
+}
+
+TEST(PatternSpecTest, SpecHashPinnedForReferencePatterns) {
+  // These exact values live in tests/harness/corpus/GOLDENS.json and in
+  // every recorded campaign manifest; changing the hash function is a
+  // breaking format change, not a refactor.
+  EXPECT_EQ(uniform_double_sided_spec().spec_hash(), 0x6ed7c26d05ff3069ull);
+  EXPECT_EQ(crowd_out_spec().spec_hash(), 0xb4fc2a725a8698e4ull);
+}
+
+TEST(PatternSpecTest, NameIsNotPartOfTheHash) {
+  PatternSpec a = crowd_out_spec();
+  PatternSpec b = a;
+  b.name = "renamed";
+  EXPECT_EQ(a.spec_hash(), b.spec_hash());
+  EXPECT_NE(a.spec_hash(), 0u);
+  // But any scheduling field is.
+  b.aggressors[0].amplitude += 1;
+  EXPECT_NE(a.spec_hash(), b.spec_hash());
+}
+
+TEST(PatternSpecTest, ScheduleIsOrderedAndMatchesActBudget) {
+  const PatternSpec spec = crowd_out_spec();
+  const auto events = pattern_schedule(spec);
+  std::uint64_t freq_total = 0;
+  for (const AggressorSpec& a : spec.aggressors) freq_total += a.frequency;
+  EXPECT_EQ(events.size(), freq_total);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const bool ordered =
+        events[i - 1].slot < events[i].slot ||
+        (events[i - 1].slot == events[i].slot &&
+         events[i - 1].aggressor < events[i].aggressor);
+    EXPECT_TRUE(ordered) << "event " << i << " out of (slot, index) order";
+  }
+  EXPECT_EQ(spec.acts_per_period(), 8u * 24u + 2u * 8u * 3u);
+  // Periods always cover the budget and never round down to zero.
+  EXPECT_EQ(pattern_periods_for_budget(spec, 0), 1u);
+  const std::uint64_t periods = pattern_periods_for_budget(spec, 600'000);
+  EXPECT_GE(periods * spec.acts_per_period(), 600'000u);
+}
+
+}  // namespace
+}  // namespace vppstudy::harness

@@ -86,9 +86,29 @@ def advisory_requested(args):
     return env not in ("", "0", "false")
 
 
+def missing_required(current, prefixes):
+    """Required prefixes with no matching benchmark name in the snapshot."""
+    return [
+        p
+        for p in prefixes
+        if not any(name.startswith(p) for name in current)
+    ]
+
+
 def cmd_compare(args):
     base = load_medians(args.baseline)
     current = load_medians(args.current)
+    # A benchmark the baseline lists but the run filter dropped shows up as
+    # "(missing)" in the table without failing; --require turns absence of a
+    # named family into a hard error so a filter typo cannot un-gate it.
+    absent = missing_required(current, getattr(args, "require", None) or [])
+    if absent:
+        for prefix in absent:
+            print(
+                f"::error::required benchmark '{prefix}' is absent from "
+                f"{args.current} -- check the --benchmark_filter"
+            )
+        return 2
     table, regressions = compare_medians(base, current, args.threshold)
     advisory = advisory_requested(args)
     mode = "advisory (perf-regression-ok)" if advisory else "gating"
@@ -161,6 +181,14 @@ def cmd_self_test(_args):
     if regressions:
         print(f"self-test FAILED: 1.10x wrongly flagged: {regressions}")
         return 1
+    # --require: a present prefix passes, an absent one must be reported.
+    current = {"BM_FuzzGeneration/8": 100.0, "BM_A": 100.0}
+    if missing_required(current, ["BM_FuzzGeneration", "BM_A"]):
+        print("self-test FAILED: present prefixes reported missing")
+        return 1
+    if missing_required(current, ["BM_StudySweep"]) != ["BM_StudySweep"]:
+        print("self-test FAILED: absent prefix not reported")
+        return 1
     # Median reduction: {90, 300, 100} -> 100, not the 163 mean.
     import tempfile
 
@@ -213,6 +241,13 @@ def main(argv):
     p.add_argument("current")
     p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     p.add_argument("--advisory", action="store_true")
+    p.add_argument(
+        "--require",
+        action="append",
+        metavar="PREFIX",
+        help="fail (exit 2) unless CURRENT has a benchmark with this "
+        "name prefix; repeatable",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("scaling", help="jobs=2 must not be slower than jobs=1")

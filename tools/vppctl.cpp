@@ -86,12 +86,15 @@
 //   --connect PORT is also accepted by inject. Remote inject does not
 //   support --csv or --dump-dir (the artifacts would land on the daemon's
 //   filesystem); requesting them remotely is a usage error (exit 3).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -102,6 +105,7 @@
 #include "core/campaign.hpp"
 #include "core/campaign_lease.hpp"
 #include "core/export.hpp"
+#include "core/fuzz_campaign.hpp"
 #include "core/resilient_study.hpp"
 #include "core/study.hpp"
 #include "harness/rowhammer_test.hpp"
@@ -1116,6 +1120,246 @@ int cmd_campaign(int argc, char** argv) {
   return 2;
 }
 
+// --- fuzz --------------------------------------------------------------------
+// `vppctl fuzz run/resume/status`: the attack-pattern fuzzer
+// (core/fuzz_campaign) on the campaign exit-code contract -- 0 a completed
+// campaign, 2 usage errors, 3 typed errors (killed/cancelled runs leave a
+// resumable manifest behind).
+
+/// The summed post-TRR flip score of one pattern at one (module, VPP) grid
+/// point, straight from the final generation's grids.
+double fuzz_grid_score(const std::vector<core::HammerGrid>& grids,
+                       const std::string& module, std::uint64_t vpp_mv,
+                       std::uint64_t pattern_hash) {
+  double total = 0.0;
+  for (const core::HammerGrid& grid : grids) {
+    if (grid.module_name != module) continue;
+    for (std::size_t p = 0; p < grid.points.size(); ++p) {
+      if (grid.points[p].pattern_hash != pattern_hash ||
+          core::vpp_millivolts(grid.points[p].vpp_v) != vpp_mv) {
+        continue;
+      }
+      for (const auto& cell : grid.cells[p]) {
+        total += static_cast<double>(cell.hc_first);
+      }
+    }
+  }
+  return total;
+}
+
+int render_fuzz_result(const core::FuzzCampaignResult& result,
+                       const std::string& csv_path,
+                       const std::string& json_path) {
+  const std::uint64_t uniform_hash =
+      harness::uniform_double_sided_spec().spec_hash();
+  std::printf("%u generation(s) complete\n", result.generations);
+  std::printf("%-4s %-8s %-24s %12s %12s\n", "mod", "VPP[V]", "best pattern",
+              "best flips", "uniform");
+  for (const core::FuzzPopulation& point : result.points) {
+    if (point.members.empty()) continue;
+    const harness::ScoredSpec& best = point.members.front();
+    std::printf("%-4s %-8.2f %-24s %12.0f %12.0f\n", point.module.c_str(),
+                static_cast<double>(point.vpp_mv) / 1000.0,
+                best.spec.name.c_str(), best.score,
+                fuzz_grid_score(result.grids, point.module, point.vpp_mv,
+                                uniform_hash));
+  }
+  return render_campaign_grids(core::JobPhase::kRowHammer, result.grids,
+                               csv_path, json_path);
+}
+
+int run_fuzz(const core::FuzzCampaignConfig& config,
+             const std::string& csv_path, const std::string& json_path) {
+  auto result = core::run_fuzz_campaign(config);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.error().to_string().c_str());
+    if (!config.base.manifest_path.empty()) {
+      std::fprintf(stderr,
+                   "completed work is checkpointed; continue with: vppctl "
+                   "fuzz resume --manifest %s\n",
+                   config.base.manifest_path.c_str());
+    }
+    return 3;
+  }
+  return render_fuzz_result(*result, csv_path, json_path);
+}
+
+/// Load every *.json pattern-spec document in `dir` (sorted by filename, so
+/// the seed order -- part of the config digest -- is stable across
+/// filesystems) into `seeds`. Sibling documents carrying a different schema
+/// tag (the corpus keeps GOLDENS.json beside its specs) are skipped; files
+/// that claim the pattern-spec schema but fail to parse are hard errors.
+/// Returns 0, or 2/3 per the exit-code contract.
+int load_seed_corpus(const std::string& dir,
+                     std::vector<harness::PatternSpec>* seeds) {
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read corpus directory %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  std::size_t loaded = 0;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 3;
+    }
+    auto doc = common::parse_json(text.str());
+    if (!doc) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   doc.error().to_string().c_str());
+      return 3;
+    }
+    if (doc->string_or("schema", "")
+            .rfind(harness::PatternSpec::kSchemaPrefix, 0) != 0) {
+      continue;  // goldens, manifests, ... -- not a seed
+    }
+    auto spec = harness::parse_pattern_spec_document(*doc);
+    if (!spec) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   spec.error().to_string().c_str());
+      return 3;
+    }
+    seeds->push_back(*std::move(spec));
+    ++loaded;
+  }
+  if (loaded == 0) {
+    std::fprintf(stderr, "no pattern-spec documents in %s\n", dir.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_fuzz_run(const std::map<std::string, std::string>& flags) {
+  if (flag_or(flags, "test", "rowhammer") != std::string("rowhammer")) {
+    std::fprintf(stderr, "fuzz campaigns score rowhammer only\n");
+    return 2;
+  }
+  core::FuzzCampaignConfig config;
+  core::JobPhase phase = core::JobPhase::kRowHammer;
+  if (const int rc = campaign_plan_from_flags(flags, config.base, phase);
+      rc != 0) {
+    return rc;
+  }
+  config.generations = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "generations", "4").c_str()));
+  config.fuzzer.population = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "population", "8").c_str()));
+  config.fuzzer.elites = static_cast<std::uint32_t>(
+      std::atoi(flag_or(flags, "elites", "2").c_str()));
+  if (config.generations == 0 || config.fuzzer.population < 2 ||
+      config.fuzzer.elites >= config.fuzzer.population) {
+    std::fprintf(stderr,
+                 "need --generations >= 1 and --elites < --population "
+                 "(population >= 2)\n");
+    return 2;
+  }
+  if (const std::string corpus = flag_or(flags, "corpus", ""); !corpus.empty()) {
+    if (const int rc = load_seed_corpus(corpus, &config.fuzzer.seeds); rc != 0) {
+      return rc;
+    }
+  }
+  return run_fuzz(config, flag_or(flags, "csv", ""),
+                  flag_or(flags, "json", ""));
+}
+
+int cmd_fuzz_resume(const std::map<std::string, std::string>& flags) {
+  const std::string manifest_path = flag_or(flags, "manifest", "");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "fuzz resume requires --manifest PATH\n");
+    return 2;
+  }
+  auto manifest = core::load_fuzz_manifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "%s\n", manifest.error().to_string().c_str());
+    return 3;
+  }
+  auto config = core::config_from_fuzz_manifest(*manifest);
+  if (!config) {
+    std::fprintf(stderr, "%s\n", config.error().to_string().c_str());
+    return 3;
+  }
+  // Execution knobs are not part of the config identity (same rule as
+  // campaign resume): re-chosen freely without perturbing a result bit.
+  config->base.manifest_path = manifest_path;
+  config->base.jobs = std::atoi(flag_or(flags, "jobs", "1").c_str());
+  std::printf("resuming fuzz campaign (%zu of %u generations complete)\n",
+              manifest->completed.size(), manifest->generations);
+  return run_fuzz(*config, flag_or(flags, "csv", ""),
+                  flag_or(flags, "json", ""));
+}
+
+int cmd_fuzz_status(const std::map<std::string, std::string>& flags) {
+  const std::string manifest_path = flag_or(flags, "manifest", "");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "fuzz status requires --manifest PATH\n");
+    return 2;
+  }
+  auto manifest = core::load_fuzz_manifest(manifest_path);
+  if (!manifest) {
+    std::fprintf(stderr, "%s\n", manifest.error().to_string().c_str());
+    return 3;
+  }
+  std::printf("manifest: %s\n", manifest_path.c_str());
+  std::printf("config: 0x%016llx  generations: %zu of %u complete\n",
+              static_cast<unsigned long long>(manifest->config_hash),
+              manifest->completed.size(), manifest->generations);
+  if (!manifest->completed.empty()) {
+    for (const core::FuzzPopulation& point : manifest->completed.back()) {
+      const harness::ScoredSpec* best = nullptr;
+      for (const harness::ScoredSpec& m : point.members) {
+        if (best == nullptr || m.score > best->score ||
+            (m.score == best->score &&
+             m.spec.spec_hash() < best->spec.spec_hash())) {
+          best = &m;
+        }
+      }
+      if (best != nullptr) {
+        std::printf("  %-4s VPP=%.2fV best %-24s score %.0f\n",
+                    point.module.c_str(),
+                    static_cast<double>(point.vpp_mv) / 1000.0,
+                    best->spec.name.c_str(), best->score);
+      }
+    }
+  }
+  // An interrupted generation leaves its engine checkpoint beside the fuzz
+  // manifest; surface its shard progress.
+  const std::string generation_path = core::fuzz_generation_manifest_path(
+      manifest_path, static_cast<std::uint32_t>(manifest->completed.size()));
+  if (std::filesystem::exists(generation_path)) {
+    if (auto gen = core::load_campaign_manifest(generation_path)) {
+      std::printf(
+          "generation %zu in flight: %zu of %llu shards checkpointed\n",
+          manifest->completed.size(), gen->shards.size(),
+          static_cast<unsigned long long>(gen->planned_shards));
+    }
+  }
+  return 0;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr,
+                 "usage: vppctl fuzz <run|resume|status> [--flag value ...]\n");
+    return 2;
+  }
+  const std::string verb = argv[2];
+  const auto flags = parse_flags(argc, argv, 3);
+  if (verb == "run") return cmd_fuzz_run(flags);
+  if (verb == "resume") return cmd_fuzz_resume(flags);
+  if (verb == "status") return cmd_fuzz_status(flags);
+  std::fprintf(stderr, "unknown fuzz verb '%s'\n", verb.c_str());
+  return 2;
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   server::DaemonOptions options;
   options.config.port = static_cast<std::uint16_t>(
@@ -1139,7 +1383,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 int usage() {
   std::fprintf(stderr,
                "usage: vppctl "
-               "<list|hammer|sweep|campaign|profile|inject|replay|serve> "
+               "<list|hammer|sweep|campaign|fuzz|profile|inject|replay|serve> "
                "[--flag value ...]\n"
                "see the header comment of tools/vppctl.cpp for details\n");
   return 2;
@@ -1155,6 +1399,7 @@ int main(int argc, char** argv) {
   if (cmd == "hammer") return cmd_hammer(flags);
   if (cmd == "sweep") return cmd_sweep(flags);
   if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "fuzz") return cmd_fuzz(argc, argv);
   if (cmd == "profile") return cmd_profile(flags);
   if (cmd == "inject") return cmd_inject(flags);
   if (cmd == "serve") return cmd_serve(flags);
